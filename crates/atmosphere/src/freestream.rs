@@ -1,0 +1,94 @@
+//! Freestream condition builders: the (M∞, Re∞) coordinates of the paper's
+//! Fig. 1 flight-domain map, plus stagnation enthalpy.
+
+use crate::Atmosphere;
+use aerothermo_gas::transport::sutherland_air;
+
+/// Freestream state at a flight condition.
+#[derive(Debug, Clone, Copy)]
+pub struct Freestream {
+    /// Altitude \[m\].
+    pub altitude: f64,
+    /// Velocity \[m/s\].
+    pub velocity: f64,
+    /// Static temperature \[K\].
+    pub temperature: f64,
+    /// Static pressure \[Pa\].
+    pub pressure: f64,
+    /// Density \[kg/m³\].
+    pub density: f64,
+    /// Mach number.
+    pub mach: f64,
+    /// Unit Reynolds number \[1/m\].
+    pub reynolds_per_meter: f64,
+    /// Total (stagnation) specific enthalpy \[J/kg\], cold-gas reference.
+    pub total_enthalpy: f64,
+}
+
+/// Build the freestream at `(altitude, velocity)` for an atmosphere.
+/// Viscosity uses Sutherland air — adequate for the cold freestream even on
+/// Titan (N₂-dominated) at the fidelity of a flight-domain map.
+#[must_use]
+pub fn freestream(atm: &dyn Atmosphere, altitude: f64, velocity: f64) -> Freestream {
+    let t = atm.temperature(altitude);
+    let p = atm.pressure(altitude);
+    let rho = atm.density(altitude);
+    let a = atm.sound_speed(altitude);
+    let mu = sutherland_air(t);
+    let gamma = atm.gamma();
+    let cp = gamma * atm.gas_constant() / (gamma - 1.0);
+    Freestream {
+        altitude,
+        velocity,
+        temperature: t,
+        pressure: p,
+        density: rho,
+        mach: velocity / a,
+        reynolds_per_meter: rho * velocity / mu,
+        total_enthalpy: cp * t + 0.5 * velocity * velocity,
+    }
+}
+
+/// Reynolds number for a reference length.
+#[must_use]
+pub fn reynolds(fs: &Freestream, length: f64) -> f64 {
+    fs.reynolds_per_meter * length
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::us76::Us76;
+
+    #[test]
+    fn sea_level_transonic() {
+        let fs = freestream(&Us76, 0.0, 340.0);
+        assert!((fs.mach - 1.0).abs() < 0.01);
+        // Unit Reynolds ~ 2.3e7 /m at M=1 sea level.
+        assert!(fs.reynolds_per_meter > 1.5e7 && fs.reynolds_per_meter < 3e7);
+    }
+
+    #[test]
+    fn orbiter_entry_point() {
+        // The paper's Fig. 4 condition: 6.7 km/s at 65.5 km → M ≈ 21-23,
+        // low Reynolds.
+        let fs = freestream(&Us76, 65_500.0, 6_700.0);
+        assert!(fs.mach > 19.0 && fs.mach < 24.0, "M = {}", fs.mach);
+        let re = reynolds(&fs, 32.8); // orbiter length
+        assert!(re > 1e5 && re < 1e7, "Re_L = {re:.3e}");
+    }
+
+    #[test]
+    fn total_enthalpy_dominated_by_kinetic() {
+        let fs = freestream(&Us76, 65_500.0, 6_700.0);
+        let kinetic = 0.5 * 6_700.0_f64 * 6_700.0;
+        assert!((fs.total_enthalpy - kinetic) / fs.total_enthalpy < 0.02);
+    }
+
+    #[test]
+    fn higher_altitude_lower_reynolds() {
+        let lo = freestream(&Us76, 40_000.0, 3_000.0);
+        let hi = freestream(&Us76, 80_000.0, 3_000.0);
+        assert!(hi.reynolds_per_meter < lo.reynolds_per_meter / 10.0);
+    }
+}

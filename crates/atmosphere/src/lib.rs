@@ -1,0 +1,59 @@
+//! Planetary atmospheres and entry flight mechanics.
+//!
+//! The paper's flight-domain figure (Fig. 1) and the Titan-probe heating
+//! pulses (Fig. 2) need freestream conditions along entry trajectories:
+//!
+//! * [`us76`] — the U.S. Standard Atmosphere 1976 (layered, to 86 km, with an
+//!   exponential thermosphere extension),
+//! * [`planets`] — exponential-fit models for Titan and Jupiter entries,
+//! * [`trajectory`] — planar 3-DOF entry dynamics (ballistic or lifting),
+//! * [`freestream`] — Mach/Reynolds/enthalpy freestream builders.
+#![warn(missing_docs)]
+// Indexed loops over parallel arrays are the clearest idiom for the
+// numerical kernels here; spelled-out spectroscopic constants keep their
+// literature precision.
+#![allow(clippy::needless_range_loop, clippy::excessive_precision, clippy::type_complexity)]
+
+
+pub mod freestream;
+pub mod planets;
+pub mod trajectory;
+pub mod us76;
+
+/// A planetary atmosphere plus the planet constants needed for entry
+/// mechanics. Heights are geometric altitude above the reference surface
+/// \[m\].
+pub trait Atmosphere: Send + Sync {
+    /// Temperature \[K\] at altitude `h`.
+    fn temperature(&self, h: f64) -> f64;
+
+    /// Pressure \[Pa\] at altitude `h`.
+    fn pressure(&self, h: f64) -> f64;
+
+    /// Density \[kg/m³\] at altitude `h`.
+    fn density(&self, h: f64) -> f64;
+
+    /// Effective specific gas constant of the undisturbed atmosphere
+    /// \[J/(kg·K)\].
+    fn gas_constant(&self) -> f64;
+
+    /// Frozen ratio of specific heats of the cold atmosphere.
+    fn gamma(&self) -> f64;
+
+    /// Planet mean radius \[m\].
+    fn planet_radius(&self) -> f64;
+
+    /// Surface gravitational acceleration \[m/s²\].
+    fn surface_gravity(&self) -> f64;
+
+    /// Frozen sound speed \[m/s\] at altitude `h`.
+    fn sound_speed(&self, h: f64) -> f64 {
+        (self.gamma() * self.gas_constant() * self.temperature(h)).sqrt()
+    }
+
+    /// Gravitational acceleration \[m/s²\] at altitude `h` (inverse-square).
+    fn gravity(&self, h: f64) -> f64 {
+        let r = self.planet_radius();
+        self.surface_gravity() * (r / (r + h)).powi(2)
+    }
+}

@@ -1,0 +1,211 @@
+//! Exponential atmosphere models for planetary entries.
+//!
+//! The paper's Titan-probe case (Figs. 2–3, Ref. 15 of the paper) and the
+//! Galileo/Jupiter heritage it cites used engineering atmosphere models.
+//! We provide a piecewise-exponential density profile with an isothermal
+//! temperature per segment — the same construction as the era's design
+//! atmospheres — parameterized per planet. These are documented substitutes
+//! for the proprietary mission atmospheres (see DESIGN.md §2); the entry
+//! heating-pulse physics (Allen-Eggers) depends only on the local scale
+//! height, which is matched.
+
+use crate::Atmosphere;
+
+/// Piecewise-exponential atmosphere: within segment `i`,
+/// `ρ(h) = ρ_i · exp(−(h − h_i)/H_i)` with temperature `T_i`.
+#[derive(Debug, Clone)]
+pub struct ExponentialAtmosphere {
+    /// Segment base altitudes \[m\], strictly increasing, first must be 0.
+    bases: Vec<f64>,
+    /// Density at each segment base \[kg/m³\].
+    rho_bases: Vec<f64>,
+    /// Scale height per segment \[m\].
+    scale_heights: Vec<f64>,
+    /// Temperature per segment \[K\].
+    temperatures: Vec<f64>,
+    r_gas: f64,
+    gamma: f64,
+    radius: f64,
+    g0: f64,
+    name: &'static str,
+}
+
+impl ExponentialAtmosphere {
+    /// Construct from segments `(base_altitude, base_density, scale_height,
+    /// temperature)` plus planet constants.
+    ///
+    /// # Panics
+    /// Panics when the segment list is empty or base altitudes are not
+    /// strictly increasing from 0.
+    #[must_use]
+    pub fn new(
+        name: &'static str,
+        segments: &[(f64, f64, f64, f64)],
+        r_gas: f64,
+        gamma: f64,
+        radius: f64,
+        g0: f64,
+    ) -> Self {
+        assert!(!segments.is_empty());
+        assert_eq!(segments[0].0, 0.0, "first segment must start at h = 0");
+        for w in segments.windows(2) {
+            assert!(w[1].0 > w[0].0, "segment bases must increase");
+        }
+        Self {
+            bases: segments.iter().map(|s| s.0).collect(),
+            rho_bases: segments.iter().map(|s| s.1).collect(),
+            scale_heights: segments.iter().map(|s| s.2).collect(),
+            temperatures: segments.iter().map(|s| s.3).collect(),
+            r_gas,
+            gamma,
+            radius,
+            g0,
+            name,
+        }
+    }
+
+    /// Model name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn segment(&self, h: f64) -> usize {
+        let mut i = 0;
+        for (k, &b) in self.bases.iter().enumerate() {
+            if h >= b {
+                i = k;
+            }
+        }
+        i
+    }
+
+    /// Titan engineering atmosphere (N₂ with a few percent CH₄): surface
+    /// ~1.5 bar at 94 K, ~20 km scale height in the lower atmosphere
+    /// opening to ~50 km in the upper atmosphere where entry heating peaks
+    /// (≈ 200–400 km altitude).
+    #[must_use]
+    pub fn titan() -> Self {
+        use aerothermo_numerics::constants::{G0_TITAN, R_TITAN};
+        // R for N2 + 5% CH4 (M ≈ 27.4 kg/kmol).
+        let r_gas = 303.0;
+        Self::new(
+            "titan",
+            &[
+                (0.0, 5.43, 20_000.0, 94.0),
+                // 100 km: ρ = 5.43·exp(−5) ≈ 3.66e-2.
+                (100_000.0, 3.66e-2, 30_000.0, 140.0),
+                // 250 km: ρ = 3.66e-2·exp(−5) ≈ 2.47e-4.
+                (250_000.0, 2.47e-4, 45_000.0, 165.0),
+            ],
+            r_gas,
+            1.4,
+            R_TITAN,
+            G0_TITAN,
+        )
+    }
+
+    /// Jupiter engineering atmosphere (H₂/He) anchored at the 1-bar level,
+    /// for Galileo-class entry sweeps.
+    #[must_use]
+    pub fn jupiter() -> Self {
+        Self::new(
+            "jupiter",
+            &[(0.0, 0.16, 27_000.0, 165.0)],
+            3_745.0, // H2/He mix, M ≈ 2.22 kg/kmol
+            1.45,
+            6.9911e7,
+            24.79,
+        )
+    }
+}
+
+impl Atmosphere for ExponentialAtmosphere {
+    fn temperature(&self, h: f64) -> f64 {
+        self.temperatures[self.segment(h.max(0.0))]
+    }
+
+    fn pressure(&self, h: f64) -> f64 {
+        self.density(h) * self.r_gas * self.temperature(h)
+    }
+
+    fn density(&self, h: f64) -> f64 {
+        let h = h.max(0.0);
+        let i = self.segment(h);
+        self.rho_bases[i] * (-(h - self.bases[i]) / self.scale_heights[i]).exp()
+    }
+
+    fn gas_constant(&self) -> f64 {
+        self.r_gas
+    }
+
+    fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    fn planet_radius(&self) -> f64 {
+        self.radius
+    }
+
+    fn surface_gravity(&self) -> f64 {
+        self.g0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn titan_surface() {
+        let a = ExponentialAtmosphere::titan();
+        assert!((a.density(0.0) - 5.43).abs() < 1e-9);
+        assert!((a.temperature(0.0) - 94.0).abs() < 1e-9);
+        // Surface pressure ≈ 1.5 bar.
+        let p = a.pressure(0.0);
+        assert!(p > 1.2e5 && p < 1.8e5, "p = {p}");
+    }
+
+    #[test]
+    fn titan_entry_altitudes_thin() {
+        let a = ExponentialAtmosphere::titan();
+        let rho300 = a.density(300_000.0);
+        assert!(rho300 < 1e-3 && rho300 > 1e-7, "rho(300 km) = {rho300:.3e}");
+    }
+
+    #[test]
+    fn density_decreases_smoothly() {
+        let a = ExponentialAtmosphere::titan();
+        let mut prev = a.density(0.0);
+        for k in 1..100 {
+            let h = 5000.0 * f64::from(k);
+            let rho = a.density(h);
+            assert!(rho < prev, "rho rising at {h}");
+            prev = rho;
+        }
+    }
+
+    #[test]
+    fn segments_roughly_continuous() {
+        let a = ExponentialAtmosphere::titan();
+        for h in [100_000.0, 250_000.0] {
+            let below = a.density(h - 100.0);
+            let above = a.density(h + 100.0);
+            assert!((below - above).abs() / below < 0.05, "jump at {h}");
+        }
+    }
+
+    #[test]
+    fn jupiter_has_huge_sound_speed() {
+        // Light H2/He gas: a ≈ √(1.45·3745·165) ≈ 947 m/s.
+        let a = ExponentialAtmosphere::jupiter();
+        let c = a.sound_speed(0.0);
+        assert!(c > 800.0 && c < 1100.0, "a = {c}");
+    }
+
+    #[test]
+    #[should_panic(expected = "first segment")]
+    fn bad_segments_rejected() {
+        let _ = ExponentialAtmosphere::new("x", &[(10.0, 1.0, 1e4, 100.0)], 287.0, 1.4, 6e6, 9.8);
+    }
+}

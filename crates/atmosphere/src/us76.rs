@@ -1,0 +1,185 @@
+//! U.S. Standard Atmosphere 1976.
+//!
+//! The classic seven-layer geopotential model to 86 km, extended above with
+//! an exponential density tail (adequate for the 86–120 km entry-corridor
+//! fringe; the thermosphere's temperature rise matters little for the
+//! dynamic-pressure-dominated quantities computed from it).
+
+use crate::Atmosphere;
+use aerothermo_numerics::constants::{G0_EARTH, R_EARTH};
+
+/// Specific gas constant of dry air \[J/(kg·K)\].
+pub const R_AIR: f64 = 287.053;
+
+/// Layer table: (geopotential base altitude \[m\], base temperature \[K\],
+/// lapse rate \[K/m\], base pressure \[Pa\]).
+const LAYERS: [(f64, f64, f64, f64); 8] = [
+    (0.0, 288.15, -6.5e-3, 101_325.0),
+    (11_000.0, 216.65, 0.0, 22_632.06),
+    (20_000.0, 216.65, 1.0e-3, 5_474.889),
+    (32_000.0, 228.65, 2.8e-3, 868.0187),
+    (47_000.0, 270.65, 0.0, 110.9063),
+    (51_000.0, 270.65, -2.8e-3, 66.93887),
+    (71_000.0, 214.65, -2.0e-3, 3.956420),
+    (84_852.0, 186.946, 0.0, 0.373_8),
+];
+
+/// Top of the layered model (geopotential) \[m\].
+const H_TOP: f64 = 84_852.0;
+
+/// Density scale height used for the exponential extension above 86 km \[m\].
+const H_SCALE_EXT: f64 = 7_250.0;
+
+/// The U.S. Standard Atmosphere 1976.
+///
+/// ```
+/// use aerothermo_atmosphere::{us76::Us76, Atmosphere};
+/// let atm = Us76;
+/// assert!((atm.temperature(0.0) - 288.15).abs() < 1e-6);
+/// assert!(atm.density(30_000.0) < atm.density(0.0) / 10.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Us76;
+
+impl Us76 {
+    /// Convert geometric altitude to geopotential altitude.
+    #[must_use]
+    pub fn geopotential(z: f64) -> f64 {
+        R_EARTH * z / (R_EARTH + z)
+    }
+
+    fn layer(h: f64) -> usize {
+        let mut i = 0;
+        for (k, layer) in LAYERS.iter().enumerate() {
+            if h >= layer.0 {
+                i = k;
+            }
+        }
+        i
+    }
+
+    fn t_p(z: f64) -> (f64, f64) {
+        let h = Self::geopotential(z.max(0.0)).min(H_TOP);
+        let i = Self::layer(h);
+        let (hb, tb, lapse, pb) = LAYERS[i];
+        let t = tb + lapse * (h - hb);
+        let p = if lapse.abs() < 1e-12 {
+            pb * (-G0_EARTH * (h - hb) / (R_AIR * tb)).exp()
+        } else {
+            pb * (tb / t).powf(G0_EARTH / (R_AIR * lapse))
+        };
+        if Self::geopotential(z) <= H_TOP {
+            (t, p)
+        } else {
+            // Exponential extension above 86 km geometric.
+            let t_top = LAYERS[7].1;
+            let p_top = p; // pressure at the cap from the last layer
+            let dz = Self::geopotential(z) - H_TOP;
+            (t_top, p_top * (-dz / H_SCALE_EXT).exp())
+        }
+    }
+}
+
+impl Atmosphere for Us76 {
+    fn temperature(&self, h: f64) -> f64 {
+        Self::t_p(h).0
+    }
+
+    fn pressure(&self, h: f64) -> f64 {
+        Self::t_p(h).1
+    }
+
+    fn density(&self, h: f64) -> f64 {
+        let (t, p) = Self::t_p(h);
+        p / (R_AIR * t)
+    }
+
+    fn gas_constant(&self) -> f64 {
+        R_AIR
+    }
+
+    fn gamma(&self) -> f64 {
+        1.4
+    }
+
+    fn planet_radius(&self) -> f64 {
+        R_EARTH
+    }
+
+    fn surface_gravity(&self) -> f64 {
+        G0_EARTH
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sea_level() {
+        let a = Us76;
+        assert!((a.temperature(0.0) - 288.15).abs() < 1e-9);
+        assert!((a.pressure(0.0) - 101_325.0).abs() < 1e-6);
+        assert!((a.density(0.0) - 1.225).abs() < 0.001);
+    }
+
+    #[test]
+    fn tropopause() {
+        let a = Us76;
+        // Geometric 11 019 m ≈ geopotential 11 000 m.
+        let t = a.temperature(11_019.0);
+        assert!((t - 216.65).abs() < 0.1, "T = {t}");
+        let p = a.pressure(11_019.0);
+        assert!((p - 22_632.0).abs() / 22_632.0 < 0.005, "p = {p}");
+    }
+
+    #[test]
+    fn standard_checkpoints() {
+        let a = Us76;
+        // 1976 standard tables (geometric altitude): values to a few ‰.
+        // 30 km: T = 226.5 K, p = 1197 Pa, ρ = 1.84e-2.
+        assert!((a.temperature(30_000.0) - 226.5).abs() < 1.0);
+        assert!((a.pressure(30_000.0) - 1197.0).abs() / 1197.0 < 0.01);
+        assert!((a.density(30_000.0) - 1.841e-2).abs() / 1.841e-2 < 0.01);
+        // 50 km: T ≈ 270.65, p ≈ 79.78 Pa.
+        assert!((a.temperature(50_000.0) - 270.65).abs() < 0.5);
+        assert!((a.pressure(50_000.0) - 79.78).abs() / 79.78 < 0.02);
+        // 71.3 km (paper's Fig. 6 STS-3 point): ρ ≈ 7e-5 kg/m³.
+        let rho = a.density(71_300.0);
+        assert!(rho > 4e-5 && rho < 1.2e-4, "rho(71.3 km) = {rho:.3e}");
+    }
+
+    #[test]
+    fn density_monotone_decreasing() {
+        let a = Us76;
+        let mut prev = a.density(0.0);
+        for k in 1..120 {
+            let h = 1000.0 * f64::from(k);
+            let rho = a.density(h);
+            assert!(rho < prev, "rho not decreasing at {h}");
+            prev = rho;
+        }
+    }
+
+    #[test]
+    fn exponential_extension_continuous() {
+        let a = Us76;
+        let below = a.density(85_900.0);
+        let above = a.density(86_100.0);
+        assert!((below - above).abs() / below < 0.1);
+        assert!(a.density(110_000.0) < a.density(90_000.0));
+    }
+
+    #[test]
+    fn sound_speed_sea_level() {
+        let a = Us76;
+        assert!((a.sound_speed(0.0) - 340.3).abs() < 0.5);
+    }
+
+    #[test]
+    fn gravity_decays() {
+        let a = Us76;
+        assert!(a.gravity(0.0) > a.gravity(100_000.0));
+        assert!((a.gravity(0.0) - G0_EARTH).abs() < 1e-12);
+    }
+}

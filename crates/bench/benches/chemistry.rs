@@ -1,0 +1,80 @@
+//! Chemistry-kernel costs: the per-cell work a real-gas flow solver pays.
+//!
+//! The paper's "loosely coupled" strategy exists because fully coupled
+//! chemistry is expensive; these benches quantify the hierarchy: table
+//! lookup ≪ rate evaluation ≪ direct equilibrium solve.
+
+use aerothermo_gas::eq_table::air9_table;
+use aerothermo_gas::equilibrium::air9_equilibrium;
+use aerothermo_gas::kinetics::park_air9;
+use aerothermo_gas::relaxation::RelaxationModel;
+use aerothermo_gas::GasModel;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_equilibrium_direct(c: &mut Criterion) {
+    let gas = air9_equilibrium();
+    c.bench_function("equilibrium_direct_solve_8000K", |b| {
+        b.iter(|| {
+            let st = gas.at_tp(black_box(8000.0), black_box(10_000.0)).unwrap();
+            black_box(st.density)
+        });
+    });
+    c.bench_function("equilibrium_direct_solve_300K", |b| {
+        b.iter(|| {
+            let st = gas.at_tp(black_box(300.0), black_box(101_325.0)).unwrap();
+            black_box(st.density)
+        });
+    });
+}
+
+fn bench_table_lookup(c: &mut Criterion) {
+    let table = air9_table();
+    c.bench_function("equilibrium_table_lookup", |b| {
+        b.iter(|| {
+            let p = table.pressure(black_box(0.01), black_box(5e6));
+            let t = table.temperature(black_box(0.01), black_box(5e6));
+            let a = table.sound_speed(black_box(0.01), black_box(5e6));
+            black_box(p + t + a)
+        });
+    });
+}
+
+fn bench_kinetics(c: &mut Criterion) {
+    let gas = air9_equilibrium();
+    let set = park_air9(gas.mixture());
+    let conc = [1e-3, 2e-4, 5e-5, 4e-4, 3e-4, 1e-6, 2e-6, 5e-6, 8e-6];
+    let mut wdot = [0.0; 9];
+    c.bench_function("park_production_rates", |b| {
+        b.iter(|| {
+            set.production_rates(black_box(9000.0), black_box(7000.0), &conc, &mut wdot);
+            black_box(wdot[0])
+        });
+    });
+}
+
+fn bench_relaxation_source(c: &mut Criterion) {
+    let gas = air9_equilibrium();
+    let relax = RelaxationModel::new(gas.mixture().clone());
+    let y = [0.6, 0.1, 0.05, 0.15, 0.1, 0.0, 0.0, 0.0, 0.0];
+    c.bench_function("millikan_white_park_source", |b| {
+        b.iter(|| {
+            black_box(relax.q_trans_vib(
+                black_box(0.01),
+                &y,
+                black_box(12_000.0),
+                black_box(5_000.0),
+                black_box(5_000.0),
+                black_box(3e22),
+            ))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_equilibrium_direct,
+    bench_table_lookup,
+    bench_kinetics,
+    bench_relaxation_source
+);
+criterion_main!(benches);

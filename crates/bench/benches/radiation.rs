@@ -1,0 +1,49 @@
+//! Radiation-kernel costs: the paper calls spectral radiation "one of the
+//! most costly parts of the solution process" — these benches show why and
+//! measure the tangent-slab transport on a realistic layer stack.
+
+use aerothermo_radiation::spectra::spectrum;
+use aerothermo_radiation::tangent_slab::{solve_slab_samples, Layer};
+use aerothermo_radiation::{wavelength_grid, GasSample};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn hot_air(t: f64) -> GasSample {
+    GasSample {
+        t,
+        t_exc: t,
+        densities: vec![
+            ("N2".into(), 5e21),
+            ("N2+".into(), 5e18),
+            ("N".into(), 2e22),
+            ("O".into(), 6e21),
+        ],
+    }
+}
+
+fn bench_spectrum_resolution(c: &mut Criterion) {
+    let sample = hot_air(11_000.0);
+    let mut group = c.benchmark_group("spectrum_resolution");
+    for n in [500usize, 2000, 8000] {
+        let lam = wavelength_grid(0.2e-6, 1.0e-6, n);
+        group.bench_function(format!("bins_{n}"), |b| {
+            b.iter(|| black_box(spectrum(&sample, &lam, 1e-9).total_emission()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_tangent_slab(c: &mut Criterion) {
+    let lam = wavelength_grid(0.2e-6, 1.0e-6, 1000);
+    let layers: Vec<Layer> = (0..30)
+        .map(|k| Layer {
+            thickness: 0.001,
+            sample: hot_air(6000.0 + 200.0 * k as f64),
+        })
+        .collect();
+    c.bench_function("tangent_slab_30layers_1000bins", |b| {
+        b.iter(|| black_box(solve_slab_samples(&layers, &lam, 1e-9).total_wall_flux()));
+    });
+}
+
+criterion_group!(benches, bench_spectrum_resolution, bench_tangent_slab);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Flow-solver kernel costs: the per-step price of each equation set on a
+//! fixed hemisphere problem (the measured backbone of experiment E10).
+
+use aerothermo_gas::eq_table::air9_table;
+use aerothermo_gas::IdealGas;
+use aerothermo_grid::bodies::Hemisphere;
+use aerothermo_grid::{stretch, StructuredGrid};
+use aerothermo_solvers::euler2d::{Bc, BcSet, EulerOptions, EulerSolver};
+use aerothermo_solvers::ns2d::{NsSolver, Transport};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn condition() -> (f64, f64, f64, f64) {
+    let t = 230.0;
+    let p = 300.0;
+    let rho = p / (287.05 * t);
+    let a = (1.4_f64 * 287.05 * t).sqrt();
+    (rho, 8.0 * a, 0.0, p)
+}
+
+fn bc(fs: (f64, f64, f64, f64)) -> BcSet {
+    BcSet {
+        i_lo: Bc::SlipWall,
+        i_hi: Bc::Outflow,
+        j_lo: Bc::SlipWall,
+        j_hi: Bc::Inflow { rho: fs.0, ux: fs.1, ur: fs.2, p: fs.3 },
+    }
+}
+
+fn bench_euler_step(c: &mut Criterion) {
+    let gas = IdealGas::air();
+    let body = Hemisphere::new(0.15);
+    let dist = stretch::uniform(49);
+    let grid = StructuredGrid::blunt_body(&body, 25, 49, &|sb| (0.3 + 0.2 * sb) * 0.15, &dist);
+    let fs = condition();
+    let mut solver = EulerSolver::new(&grid, &gas, bc(fs), EulerOptions::default(), fs);
+    // Shake off the impulsive start so the step cost is representative.
+    for _ in 0..300 {
+        solver.step();
+    }
+    c.bench_function("euler_step_ideal_24x48", |b| {
+        b.iter(|| black_box(solver.step()));
+    });
+}
+
+fn bench_euler_step_equilibrium(c: &mut Criterion) {
+    let table = air9_table();
+    let body = Hemisphere::new(0.15);
+    let dist = stretch::uniform(49);
+    let grid = StructuredGrid::blunt_body(&body, 25, 49, &|sb| (0.3 + 0.2 * sb) * 0.15, &dist);
+    let fs = condition();
+    let mut solver = EulerSolver::new(&grid, table, bc(fs), EulerOptions::default(), fs);
+    for _ in 0..300 {
+        solver.step();
+    }
+    c.bench_function("euler_step_equilibrium_24x48", |b| {
+        b.iter(|| black_box(solver.step()));
+    });
+}
+
+fn bench_ns_step(c: &mut Criterion) {
+    let gas = IdealGas::air();
+    let body = Hemisphere::new(0.15);
+    let dist = stretch::tanh_one_sided(49, 3.0);
+    let grid = StructuredGrid::blunt_body(&body, 25, 49, &|sb| (0.3 + 0.2 * sb) * 0.15, &dist);
+    let fs = condition();
+    let mut solver = NsSolver::new(
+        &grid,
+        &gas,
+        bc(fs),
+        EulerOptions::default(),
+        fs,
+        Transport::air(),
+        300.0,
+    );
+    for _ in 0..300 {
+        solver.step();
+    }
+    c.bench_function("ns_step_24x48", |b| {
+        b.iter(|| black_box(solver.step()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_euler_step,
+    bench_euler_step_equilibrium,
+    bench_ns_step
+);
+criterion_main!(benches);

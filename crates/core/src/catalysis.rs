@@ -1,0 +1,101 @@
+//! Catalytic-wall effects on convective heating.
+//!
+//! In a dissociated boundary layer a large fraction of the transportable
+//! energy is chemical (formation enthalpy of atoms). Whether it reaches the
+//! wall depends on surface catalycity: a fully catalytic wall recombines
+//! every arriving atom (full chemical heating), a non-catalytic wall none.
+//! The Space Shuttle's reaction-cured-glass tiles are famously *partially*
+//! catalytic — the flight result of the paper's Ref. 17 — which is why
+//! equilibrium predictions over-estimated tile heating.
+
+/// Catalytic behavior of a thermal-protection surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WallCatalysis {
+    /// Every atom recombines at the wall (upper bound, equilibrium wall).
+    FullyCatalytic,
+    /// No surface recombination (lower bound).
+    NonCatalytic,
+    /// Finite recombination efficiency γ ∈ (0, 1): the fraction of
+    /// atom-wall collisions that recombine.
+    Partial(f64),
+}
+
+/// Goulard's reduction: the fraction of the *chemical* heating delivered to
+/// a wall of recombination efficiency `gamma_w`, for an atom mass fraction
+/// `c_atom_edge` diffusing through a boundary layer with film coefficient
+/// characteristics bundled into the catalytic speed ratio
+/// `phi = γ_w·v_thermal/(4·C_h·u_ref)`-style parameter. We use the compact
+/// engineering form `η = φ/(1 + φ)` with
+/// `φ = γ_w·√(R_atom·T_w/(2π)) · ρ_w / C_m`, where `C_m` is the mass-transfer
+/// conductance `≈ q_conv/(h_0 − h_w)` of the boundary layer.
+#[must_use]
+pub fn catalytic_efficiency(gamma_w: f64, r_atom: f64, t_wall: f64, rho_wall: f64, c_m: f64) -> f64 {
+    if gamma_w <= 0.0 {
+        return 0.0;
+    }
+    if gamma_w >= 1.0 {
+        return 1.0;
+    }
+    let v_wall = (r_atom * t_wall / (2.0 * std::f64::consts::PI)).sqrt();
+    let phi = gamma_w * rho_wall * v_wall / c_m.max(1e-30);
+    phi / (1.0 + phi)
+}
+
+/// Heating ratio `q/q_fully_catalytic` for a wall, given the dissociation
+/// enthalpy fraction `h_d_frac = h_chem/h_total` of the edge gas and the
+/// Lewis number. Uses the Fay-Riddell structure: the chemical part of the
+/// heat flux scales with `Le^0.52·h_d_frac` and is delivered in proportion
+/// to the catalytic efficiency `eta`.
+#[must_use]
+pub fn heating_ratio(catalysis: WallCatalysis, h_d_frac: f64, lewis: f64, eta_partial: f64) -> f64 {
+    let le_term = lewis.powf(0.52);
+    let full = 1.0 + (le_term - 1.0) * h_d_frac;
+    let chem_share = le_term * h_d_frac / full;
+    match catalysis {
+        WallCatalysis::FullyCatalytic => 1.0,
+        WallCatalysis::NonCatalytic => 1.0 - chem_share,
+        WallCatalysis::Partial(_) => 1.0 - chem_share * (1.0 - eta_partial.clamp(0.0, 1.0)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_ordering() {
+        let hd = 0.35;
+        let le = 1.4;
+        let q_fc = heating_ratio(WallCatalysis::FullyCatalytic, hd, le, 0.0);
+        let q_nc = heating_ratio(WallCatalysis::NonCatalytic, hd, le, 0.0);
+        let q_p = heating_ratio(WallCatalysis::Partial(0.01), hd, le, 0.5);
+        assert!((q_fc - 1.0).abs() < 1e-12);
+        assert!(q_nc < q_p && q_p < q_fc, "{q_nc} {q_p} {q_fc}");
+        // For shuttle-like conditions the non-catalytic reduction is
+        // substantial (tens of percent).
+        assert!(q_nc < 0.8, "q_nc = {q_nc}");
+        assert!(q_nc > 0.4);
+    }
+
+    #[test]
+    fn no_dissociation_no_effect() {
+        let q_nc = heating_ratio(WallCatalysis::NonCatalytic, 0.0, 1.4, 0.0);
+        assert!((q_nc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn catalytic_efficiency_limits() {
+        assert_eq!(catalytic_efficiency(0.0, 594.0, 1200.0, 0.01, 0.05), 0.0);
+        assert_eq!(catalytic_efficiency(1.0, 594.0, 1200.0, 0.01, 0.05), 1.0);
+        let lo = catalytic_efficiency(1e-4, 594.0, 1200.0, 0.01, 0.05);
+        let hi = catalytic_efficiency(1e-1, 594.0, 1200.0, 0.01, 0.05);
+        assert!(lo < hi && lo > 0.0 && hi < 1.0, "{lo} {hi}");
+    }
+
+    #[test]
+    fn efficiency_grows_with_wall_density() {
+        let lo = catalytic_efficiency(0.01, 594.0, 1200.0, 1e-3, 0.05);
+        let hi = catalytic_efficiency(0.01, 594.0, 1200.0, 1e-1, 0.05);
+        assert!(hi > lo);
+    }
+}

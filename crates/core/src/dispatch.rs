@@ -1,0 +1,141 @@
+//! Equation-set selection — the paper's central taxonomy as an API.
+//!
+//! The paper organizes CAT around four equation sets with distinct
+//! applicability envelopes and costs:
+//!
+//! | set   | valid when                                            | relative cost |
+//! |-------|-------------------------------------------------------|---------------|
+//! | VSL   | windward forebody, no streamwise/crossflow separation | lowest        |
+//! | E+BL  | weak viscous-inviscid interaction, thin BL            | low           |
+//! | PNS   | supersonic streamwise inviscid flow, no reversal      | moderate      |
+//! | NS    | anything, including wakes and subsonic pockets        | highest       |
+//!
+//! [`recommend`] encodes that guidance; the benches measure the cost
+//! ordering empirically (experiment E10 in DESIGN.md).
+
+/// The four solution methods of computational aerothermodynamics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EquationSet {
+    /// Viscous shock layer.
+    Vsl,
+    /// Euler plus boundary layer.
+    EulerBl,
+    /// Parabolized Navier-Stokes.
+    Pns,
+    /// Full (Reynolds-averaged) Navier-Stokes.
+    Ns,
+}
+
+impl EquationSet {
+    /// Short display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EquationSet::Vsl => "VSL",
+            EquationSet::EulerBl => "E+BL",
+            EquationSet::Pns => "PNS",
+            EquationSet::Ns => "NS",
+        }
+    }
+}
+
+/// Flow-problem features that drive method selection.
+#[derive(Debug, Clone, Copy)]
+pub struct ProblemClass {
+    /// Any separated/reverse flow expected (wakes, base flows, strong
+    /// interactions)?
+    pub separated_flow: bool,
+    /// Large subsonic region with upstream influence (very blunt body
+    /// forebody at low supersonic Mach, base recirculation)?
+    pub large_subsonic_region: bool,
+    /// Is only the windward forebody of a simple (not too slender, not too
+    /// blunt) configuration needed?
+    pub windward_forebody_only: bool,
+    /// Is the streamwise inviscid flow supersonic everywhere in the domain
+    /// of interest (slender body, small bluntness)?
+    pub streamwise_supersonic: bool,
+    /// Is the viscous-inviscid interaction weak (thin attached boundary
+    /// layer, high Reynolds number)?
+    pub weak_interaction: bool,
+}
+
+/// Recommend the cheapest applicable equation set, following the paper's
+/// guidance (Section "Computational Aerothermodynamics").
+#[must_use]
+pub fn recommend(class: &ProblemClass) -> EquationSet {
+    if class.separated_flow || class.large_subsonic_region {
+        return EquationSet::Ns;
+    }
+    if class.windward_forebody_only {
+        return EquationSet::Vsl;
+    }
+    if class.weak_interaction {
+        return EquationSet::EulerBl;
+    }
+    if class.streamwise_supersonic {
+        return EquationSet::Pns;
+    }
+    EquationSet::Ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_flows_need_ns() {
+        // The paper: "A prime example is the simulation of the wake-flow
+        // region of an aerobraking AOTV" — NS territory.
+        let aotv_wake = ProblemClass {
+            separated_flow: true,
+            large_subsonic_region: true,
+            windward_forebody_only: false,
+            streamwise_supersonic: false,
+            weak_interaction: false,
+        };
+        assert_eq!(recommend(&aotv_wake), EquationSet::Ns);
+    }
+
+    #[test]
+    fn probe_forebody_gets_vsl() {
+        // Galileo/Titan probe forebody: the VSL codes' home turf.
+        let probe = ProblemClass {
+            separated_flow: false,
+            large_subsonic_region: false,
+            windward_forebody_only: true,
+            streamwise_supersonic: false,
+            weak_interaction: false,
+        };
+        assert_eq!(recommend(&probe), EquationSet::Vsl);
+    }
+
+    #[test]
+    fn orbiter_full_body_weak_interaction_gets_ebl() {
+        let orbiter = ProblemClass {
+            separated_flow: false,
+            large_subsonic_region: false,
+            windward_forebody_only: false,
+            streamwise_supersonic: false,
+            weak_interaction: true,
+        };
+        assert_eq!(recommend(&orbiter), EquationSet::EulerBl);
+    }
+
+    #[test]
+    fn slender_tav_gets_pns() {
+        let tav = ProblemClass {
+            separated_flow: false,
+            large_subsonic_region: false,
+            windward_forebody_only: false,
+            streamwise_supersonic: true,
+            weak_interaction: false,
+        };
+        assert_eq!(recommend(&tav), EquationSet::Pns);
+    }
+
+    #[test]
+    fn names_stable() {
+        assert_eq!(EquationSet::Vsl.name(), "VSL");
+        assert_eq!(EquationSet::Ns.name(), "NS");
+    }
+}

@@ -1,0 +1,33 @@
+//! The computational-aerothermodynamics front end.
+//!
+//! This crate is the paper's "CAT" proper: the layer that combines the flow
+//! solvers of `aerothermo-solvers`, the real-gas models of `aerothermo-gas`,
+//! the atmospheres of `aerothermo-atmosphere`, and the radiation of
+//! `aerothermo-radiation` into mission-level analyses:
+//!
+//! * [`stagnation`] — freestream → post-shock → stagnation state pipelines
+//!   for any gas model,
+//! * [`heating`] — stagnation heating: Fay-Riddell/Sutton-Graves convective,
+//!   Tauber-Sutton and tangent-slab radiative, trajectory heat pulses,
+//! * [`catalysis`] — catalytic-wall effects on convective heating,
+//! * [`ablation`] — radiative-equilibrium walls and steady-state ablation
+//!   (the TPS balances the surveyed vehicles were sized with),
+//! * [`dispatch`] — the four equation sets as selectable methods with the
+//!   paper's applicability guidance,
+//! * [`tables`] — aligned text/CSV table output used by the figure benches.
+#![warn(missing_docs)]
+// Indexed loops over parallel arrays are the clearest idiom for the
+// numerical kernels here; spelled-out spectroscopic constants keep their
+// literature precision.
+#![allow(clippy::needless_range_loop, clippy::excessive_precision, clippy::type_complexity)]
+
+
+pub mod ablation;
+pub mod catalysis;
+pub mod dispatch;
+pub mod heating;
+pub mod stagnation;
+pub mod tables;
+
+pub use dispatch::{recommend, EquationSet, ProblemClass};
+pub use stagnation::{stagnation_state, StagnationState};

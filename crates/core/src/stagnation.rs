@@ -1,0 +1,156 @@
+//! Stagnation-state pipeline: freestream → normal shock → isentropic-ish
+//! recompression, for any [`GasModel`].
+
+use aerothermo_gas::GasModel;
+use aerothermo_solvers::shock::normal_shock;
+
+/// Post-shock and stagnation conditions on the stagnation streamline.
+#[derive(Debug, Clone, Copy)]
+pub struct StagnationState {
+    /// Post-(normal-)shock density \[kg/m³\].
+    pub rho_shock: f64,
+    /// Post-shock pressure \[Pa\].
+    pub p_shock: f64,
+    /// Post-shock temperature \[K\].
+    pub t_shock: f64,
+    /// Post-shock flow speed (shock frame) \[m/s\].
+    pub u_shock: f64,
+    /// Stagnation (pitot) pressure \[Pa\].
+    pub p_stag: f64,
+    /// Stagnation temperature \[K\].
+    pub t_stag: f64,
+    /// Stagnation density \[kg/m³\].
+    pub rho_stag: f64,
+    /// Stagnation specific enthalpy \[J/kg\] (model reference).
+    pub h_stag: f64,
+    /// Density ratio ρ₂/ρ∞ across the shock (the shock-layer compression
+    /// that controls standoff distance).
+    pub density_ratio: f64,
+}
+
+/// Compute the stagnation state for a freestream `(ρ∞, p∞, V∞)` and a gas
+/// model. The post-shock to stagnation-point recompression is modeled as a
+/// constant-enthalpy pressure rise `p_stag = p₂ + ½ρ₂u₂²` (exact to the
+/// order the engineering correlations need) followed by an EOS evaluation
+/// at `(h_stag, p_stag)` via a density iteration.
+///
+/// # Errors
+/// Propagates shock-solve failures (e.g. subsonic freestream).
+pub fn stagnation_state(
+    gas: &dyn GasModel,
+    rho_inf: f64,
+    p_inf: f64,
+    v_inf: f64,
+) -> Result<StagnationState, String> {
+    let jump = normal_shock(gas, rho_inf, p_inf, v_inf)
+        .map_err(|e| format!("normal shock: {e}"))?;
+    let h2 = jump.e + jump.p / jump.rho;
+    let h_stag = h2 + 0.5 * jump.u * jump.u;
+    let p_stag = jump.p + 0.5 * jump.rho * jump.u * jump.u;
+
+    // Find ρ_stag with h(ρ, e) = h_stag and p(ρ, e) = p_stag: iterate
+    // ρ → e = h_stag − p_stag/ρ → p(ρ, e) and correct ρ by the pressure
+    // mismatch (fixed point; converges fast since p is near-linear in ρ).
+    let mut rho_s = jump.rho * 1.05;
+    for _ in 0..60 {
+        let e = h_stag - p_stag / rho_s;
+        let p = gas.pressure(rho_s, e);
+        let err = p / p_stag;
+        if (err - 1.0).abs() < 1e-10 {
+            break;
+        }
+        rho_s /= err.clamp(0.5, 2.0);
+    }
+    let e_stag = h_stag - p_stag / rho_s;
+    let t_stag = gas.temperature(rho_s, e_stag);
+
+    Ok(StagnationState {
+        rho_shock: jump.rho,
+        p_shock: jump.p,
+        t_shock: jump.t,
+        u_shock: jump.u,
+        p_stag,
+        t_stag,
+        rho_stag: rho_s,
+        h_stag,
+        density_ratio: jump.rho / rho_inf,
+    })
+}
+
+/// Engineering estimate of the bow-shock standoff distance on a sphere from
+/// the shock density ratio ε = ρ∞/ρ₂ (Serbin/Lobb class correlation):
+/// `Δ/Rn ≈ ε / (1 + √(2ε))`.
+#[must_use]
+pub fn standoff_estimate(nose_radius: f64, density_ratio: f64) -> f64 {
+    let eps = 1.0 / density_ratio;
+    nose_radius * eps / (1.0 + (2.0 * eps).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aerothermo_gas::eq_table::air9_table;
+    use aerothermo_gas::IdealGas;
+
+    #[test]
+    fn ideal_gas_pitot_matches_rayleigh() {
+        let gas = IdealGas::air();
+        let t_inf = 220.0;
+        let p_inf = 100.0;
+        let rho_inf = p_inf / (287.05 * t_inf);
+        let a = (1.4_f64 * 287.05 * t_inf).sqrt();
+        let st = stagnation_state(&gas, rho_inf, p_inf, 8.0 * a).unwrap();
+        // Rayleigh pitot at M8, γ=1.4: p0₂/p∞ = 82.87.
+        let ratio = st.p_stag / p_inf;
+        assert!((ratio - 82.87).abs() / 82.87 < 0.03, "p0/p = {ratio}");
+        // Stagnation T for perfect gas: T0 = T(1+0.2M²) = 220·13.8 = 3036.
+        assert!((st.t_stag - 3036.0).abs() < 60.0, "T0 = {}", st.t_stag);
+    }
+
+    #[test]
+    fn equilibrium_air_cooler_and_denser_than_ideal() {
+        // The central real-gas effect: dissociation absorbs energy, so the
+        // equilibrium stagnation temperature is far below the ideal-gas
+        // value and the shock density ratio far above 6.
+        let table = air9_table();
+        let rho_inf = 1.6e-4; // ~65 km
+        let p_inf = rho_inf * 287.05 * 230.0;
+        let v = 6700.0;
+        let st_eq = stagnation_state(table, rho_inf, p_inf, v).unwrap();
+
+        let gas = IdealGas::air();
+        let st_id = stagnation_state(&gas, rho_inf, p_inf, v).unwrap();
+
+        assert!(
+            st_eq.t_stag < 0.45 * st_id.t_stag,
+            "T_eq = {} vs T_ideal = {}",
+            st_eq.t_stag,
+            st_id.t_stag
+        );
+        assert!(st_eq.density_ratio > 8.0, "ρ ratio = {}", st_eq.density_ratio);
+        assert!(st_id.density_ratio < 6.2);
+    }
+
+    #[test]
+    fn standoff_estimate_tracks_density_ratio() {
+        // Ideal γ=1.4 strong shock: ε = 1/6 → Δ/Rn ≈ 0.105; equilibrium
+        // ε ~ 1/12 → Δ/Rn ≈ 0.059.
+        let d_ideal = standoff_estimate(1.0, 6.0);
+        let d_eq = standoff_estimate(1.0, 12.0);
+        assert!(d_ideal > 0.09 && d_ideal < 0.13, "{d_ideal}");
+        assert!(d_eq < 0.7 * d_ideal);
+    }
+
+    #[test]
+    fn stagnation_enthalpy_conserved() {
+        let gas = IdealGas::air();
+        let t_inf = 220.0;
+        let p_inf = 100.0;
+        let rho_inf = p_inf / (287.05 * t_inf);
+        let v = 3000.0;
+        let st = stagnation_state(&gas, rho_inf, p_inf, v).unwrap();
+        let h_inf = gas.enthalpy(rho_inf, gas.energy(rho_inf, p_inf));
+        let h_total = h_inf + 0.5 * v * v;
+        assert!((st.h_stag - h_total).abs() / h_total < 1e-6);
+    }
+}

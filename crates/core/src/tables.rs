@@ -1,0 +1,128 @@
+//! Aligned text tables and CSV output for the figure-regeneration benches.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table builder.
+///
+/// ```
+/// use aerothermo_core::tables::Table;
+/// let mut t = Table::new(&["Mach", "standoff_mm"]);
+/// t.row(&["8".into(), "26.4".into()]);
+/// assert!(t.to_csv().contains("8,26.4"));
+/// assert!(t.to_text().contains("standoff_mm"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    #[must_use]
+    pub fn new(headers: &[&str]) -> Self {
+        Self { headers: headers.iter().map(|s| (*s).to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row of preformatted cells.
+    ///
+    /// # Panics
+    /// Panics when the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Append a row of f64s formatted with `%.*e`-style precision.
+    pub fn row_f64(&mut self, values: &[f64], precision: usize) {
+        let cells: Vec<String> = values.iter().map(|v| format!("{v:.precision$e}")).collect();
+        self.row(&cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as an aligned text table.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let ncol = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (c, h) in self.headers.iter().enumerate() {
+            let _ = write!(out, "{:>w$}", h, w = widths[c] + 2);
+        }
+        out.push('\n');
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            for c in 0..ncol {
+                let _ = write!(out, "{:>w$}", row[c], w = widths[c] + 2);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_csv() {
+        let mut t = Table::new(&["x", "value"]);
+        t.row(&["1".into(), "short".into()]);
+        t.row(&["2000".into(), "muchlongervalue".into()]);
+        let text = t.to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+        let csv = t.to_csv();
+        assert!(csv.starts_with("x,value\n"));
+        assert!(csv.contains("2000,muchlongervalue"));
+    }
+
+    #[test]
+    fn f64_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row_f64(&[1.23456789, 2e-12], 3);
+        assert!(t.to_csv().contains("1.235e0"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn wrong_arity_rejected() {
+        let mut t = Table::new(&["only"]);
+        t.row(&["a".into(), "b".into()]);
+    }
+}

@@ -1,0 +1,148 @@
+//! The equation-of-state abstraction consumed by the flow solvers.
+//!
+//! A conservative finite-volume scheme needs, per cell and per step,
+//! `p(ρ, e)`, `T(ρ, e)` and the sound speed. [`GasModel`] captures exactly
+//! that; the implementations are [`IdealGas`] (calorically perfect, with an
+//! adjustable effective γ — the paper's Fig. 6 "ideal gas γ = 1.2" baseline)
+//! and the tabulated equilibrium gas in [`crate::eq_table`].
+
+/// Equation of state in `(ρ, e)` form, where `e` is specific internal energy
+/// *including* formation energies for reacting models.
+pub trait GasModel: Send + Sync {
+    /// Pressure \[Pa\] from density \[kg/m³\] and specific internal energy
+    /// \[J/kg\].
+    fn pressure(&self, rho: f64, e: f64) -> f64;
+
+    /// Temperature \[K\].
+    fn temperature(&self, rho: f64, e: f64) -> f64;
+
+    /// Speed of sound \[m/s\].
+    fn sound_speed(&self, rho: f64, e: f64) -> f64;
+
+    /// Specific internal energy \[J/kg\] from density and pressure — the
+    /// inverse of [`GasModel::pressure`] at fixed ρ, used by boundary
+    /// conditions and initialization.
+    fn energy(&self, rho: f64, p: f64) -> f64;
+
+    /// Effective ratio of specific heats `γ_eff = 1 + p/(ρ·e_thermal)`.
+    ///
+    /// For the ideal gas this is the actual γ; for reacting models it is the
+    /// local equivalent exponent (`p = (γ_eff − 1)·ρ·ē` with `ē` measured
+    /// from the model's own zero).
+    fn gamma_eff(&self, rho: f64, e: f64) -> f64 {
+        1.0 + self.pressure(rho, e) / (rho * e.max(1e-30))
+    }
+
+    /// Specific enthalpy \[J/kg\].
+    fn enthalpy(&self, rho: f64, e: f64) -> f64 {
+        e + self.pressure(rho, e) / rho
+    }
+}
+
+/// Calorically perfect gas with constant `γ` and gas constant `r`.
+///
+/// ```
+/// use aerothermo_gas::{GasModel, IdealGas};
+/// let air = IdealGas::air();
+/// let rho = 1.225;
+/// let e = air.energy(rho, 101_325.0);
+/// assert!((air.sound_speed(rho, e) - 340.3).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct IdealGas {
+    /// Ratio of specific heats.
+    pub gamma: f64,
+    /// Specific gas constant \[J/(kg·K)\].
+    pub r: f64,
+}
+
+impl IdealGas {
+    /// Cold air: γ = 1.4, R = 287.05 J/(kg·K).
+    #[must_use]
+    pub fn air() -> Self {
+        Self { gamma: 1.4, r: 287.05 }
+    }
+
+    /// The "effective γ" hypersonic ideal-gas model of the era's engineering
+    /// analyses (the paper's Fig. 6 uses γ = 1.2 to mimic equilibrium air).
+    #[must_use]
+    pub fn effective_gamma(gamma: f64) -> Self {
+        Self { gamma, r: 287.05 }
+    }
+
+    /// Specific heat at constant pressure \[J/(kg·K)\].
+    #[must_use]
+    pub fn cp(&self) -> f64 {
+        self.gamma * self.r / (self.gamma - 1.0)
+    }
+
+    /// Specific heat at constant volume \[J/(kg·K)\].
+    #[must_use]
+    pub fn cv(&self) -> f64 {
+        self.r / (self.gamma - 1.0)
+    }
+}
+
+impl GasModel for IdealGas {
+    fn pressure(&self, rho: f64, e: f64) -> f64 {
+        (self.gamma - 1.0) * rho * e
+    }
+
+    fn temperature(&self, _rho: f64, e: f64) -> f64 {
+        e / self.cv()
+    }
+
+    fn sound_speed(&self, rho: f64, e: f64) -> f64 {
+        (self.gamma * self.pressure(rho, e) / rho).max(0.0).sqrt()
+    }
+
+    fn energy(&self, rho: f64, p: f64) -> f64 {
+        p / ((self.gamma - 1.0) * rho)
+    }
+
+    fn gamma_eff(&self, _rho: f64, _e: f64) -> f64 {
+        self.gamma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_gas_roundtrip() {
+        let g = IdealGas::air();
+        let rho = 1.2;
+        let p = 101_325.0;
+        let e = g.energy(rho, p);
+        assert!((g.pressure(rho, e) - p).abs() < 1e-6 * p);
+        let t = g.temperature(rho, e);
+        assert!((t - p / (rho * g.r)).abs() < 1e-9 * t);
+    }
+
+    #[test]
+    fn ideal_gas_sound_speed_sea_level() {
+        let g = IdealGas::air();
+        let rho = 1.225;
+        let e = g.energy(rho, 101_325.0);
+        let a = g.sound_speed(rho, e);
+        assert!((a - 340.3).abs() < 1.0, "a = {a}");
+    }
+
+    #[test]
+    fn gamma_eff_matches_gamma() {
+        let g = IdealGas::effective_gamma(1.2);
+        assert!((g.gamma_eff(1.0, 1e6) - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enthalpy_identity() {
+        let g = IdealGas::air();
+        let rho = 0.5;
+        let e = 3e5;
+        let h = g.enthalpy(rho, e);
+        assert!((h - (e + g.pressure(rho, e) / rho)).abs() < 1e-9);
+        // h = γ e for a perfect gas.
+        assert!((h - g.gamma * e).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,555 @@
+//! Species data for high-temperature planetary-atmosphere gases.
+//!
+//! Every thermodynamic quantity in this crate is derived from statistical
+//! mechanics, so a species is described by its *spectroscopic* data —
+//! characteristic rotational/vibrational/electronic temperatures — plus a
+//! formation energy at 0 K expressed as a temperature (`theta_f` = E₀/k).
+//! This guarantees that equilibrium constants, enthalpies, and specific heats
+//! are mutually consistent, which matters when backward reaction rates are
+//! computed from equilibrium constants (as the Park kinetics here do).
+//!
+//! Reference states: N₂, O₂, H₂ molecules at 0 K have `theta_f = 0`;
+//! monatomic C uses the 0 K sublimation enthalpy of graphite so that Titan
+//! C/H/N chemistry is on a consistent scale. Values follow the compilations
+//! used by the CAT codes of the paper's era (Park's two-temperature models,
+//! the RASLE/NEQAIR databases) to the accuracy relevant here.
+
+/// Chemical elements tracked for conservation (charge is tracked separately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Element {
+    /// Nitrogen nuclei.
+    N,
+    /// Oxygen nuclei.
+    O,
+    /// Carbon nuclei.
+    C,
+    /// Hydrogen nuclei.
+    H,
+    /// Helium nuclei (inert at entry temperatures below ~30 000 K).
+    He,
+    /// Argon (inert, present in trace air models).
+    Ar,
+}
+
+/// Rotational structure of a species.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Rotation {
+    /// Atom or electron: no rotational degrees of freedom.
+    None,
+    /// Linear molecule: 2 rotational DOF.
+    Linear {
+        /// Characteristic rotational temperature \[K\].
+        theta_r: f64,
+        /// Symmetry number.
+        sigma: f64,
+    },
+    /// Nonlinear molecule: 3 rotational DOF.
+    Nonlinear {
+        /// Geometric mean of the three rotational temperatures \[K\].
+        theta_abc: f64,
+        /// Symmetry number.
+        sigma: f64,
+    },
+}
+
+/// Viscosity model for a single species.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ViscModel {
+    /// Blottner curve fit: μ = 0.1·exp[(A·lnT + B)·lnT + C] Pa·s.
+    Blottner {
+        /// Quadratic log-fit coefficient A.
+        a: f64,
+        /// Linear log-fit coefficient B.
+        b: f64,
+        /// Constant log-fit coefficient C.
+        c: f64,
+    },
+    /// Chapman-Enskog kinetic theory with Lennard-Jones parameters.
+    LennardJones {
+        /// Collision diameter σ \[Å\].
+        sigma: f64,
+        /// Well depth ε/k \[K\].
+        eps_k: f64,
+    },
+}
+
+/// One chemical species with its spectroscopic and transport data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Species {
+    /// Display name, e.g. `"N2"`, `"NO+"`, `"e-"`.
+    pub name: &'static str,
+    /// Molar mass \[kg/kmol\].
+    pub molar_mass: f64,
+    /// Charge in units of the elementary charge.
+    pub charge: i32,
+    /// Formation energy at 0 K divided by k_B \[K\] (per particle), relative
+    /// to the reference elements described in the module docs.
+    pub theta_f: f64,
+    /// Rotational structure.
+    pub rot: Rotation,
+    /// Vibrational modes: (characteristic temperature \[K\], degeneracy).
+    pub vib_modes: Vec<(f64, u32)>,
+    /// Electronic levels: (excitation temperature \[K\], degeneracy). The
+    /// first entry must be the ground state at 0 K.
+    pub electronic: Vec<(f64, u32)>,
+    /// Elemental composition: (element, atom count).
+    pub elements: Vec<(Element, u32)>,
+    /// Species viscosity model.
+    pub viscosity: ViscModel,
+}
+
+impl Species {
+    /// Specific gas constant R_u / M \[J/(kg·K)\].
+    #[must_use]
+    pub fn gas_constant(&self) -> f64 {
+        aerothermo_numerics::constants::R_UNIVERSAL / self.molar_mass
+    }
+
+    /// Particle mass \[kg\].
+    #[must_use]
+    pub fn particle_mass(&self) -> f64 {
+        self.molar_mass / aerothermo_numerics::constants::N_AVOGADRO
+    }
+
+    /// True for molecules with at least one vibrational mode.
+    #[must_use]
+    pub fn is_molecule(&self) -> bool {
+        !self.vib_modes.is_empty()
+    }
+
+    /// Number of atoms of `el` in one particle of this species.
+    #[must_use]
+    pub fn atoms_of(&self, el: Element) -> u32 {
+        self.elements
+            .iter()
+            .find(|(e, _)| *e == el)
+            .map_or(0, |(_, n)| *n)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Individual species constructors. Public so that custom mixtures can be
+// assembled; the standard mixtures below cover the paper's cases.
+// ---------------------------------------------------------------------------
+
+/// Molecular nitrogen.
+#[must_use]
+pub fn n2() -> Species {
+    Species {
+        name: "N2",
+        molar_mass: 28.0134,
+        charge: 0,
+        theta_f: 0.0,
+        rot: Rotation::Linear { theta_r: 2.88, sigma: 2.0 },
+        vib_modes: vec![(3393.5, 1)],
+        electronic: vec![(0.0, 1)],
+        elements: vec![(Element::N, 2)],
+        viscosity: ViscModel::Blottner { a: 0.026_814_2, b: 0.317_783_8, c: -11.315_551_3 },
+    }
+}
+
+/// Molecular oxygen.
+#[must_use]
+pub fn o2() -> Species {
+    Species {
+        name: "O2",
+        molar_mass: 31.9988,
+        charge: 0,
+        theta_f: 0.0,
+        rot: Rotation::Linear { theta_r: 2.08, sigma: 2.0 },
+        vib_modes: vec![(2273.5, 1)],
+        electronic: vec![(0.0, 3), (11_392.0, 2), (18_985.0, 1)],
+        elements: vec![(Element::O, 2)],
+        viscosity: ViscModel::Blottner { a: 0.044_929_0, b: -0.082_615_8, c: -9.201_947_5 },
+    }
+}
+
+/// Nitric oxide.
+#[must_use]
+pub fn no() -> Species {
+    Species {
+        name: "NO",
+        molar_mass: 30.0061,
+        // E0(N) + E0(O) − D0(NO); D0 taken as 75 500 K (6.50 eV).
+        theta_f: 10_850.0,
+        charge: 0,
+        rot: Rotation::Linear { theta_r: 2.45, sigma: 1.0 },
+        vib_modes: vec![(2739.7, 1)],
+        electronic: vec![(0.0, 4)],
+        elements: vec![(Element::N, 1), (Element::O, 1)],
+        viscosity: ViscModel::Blottner { a: 0.043_637_8, b: -0.033_551_1, c: -9.576_743_0 },
+    }
+}
+
+/// Atomic nitrogen. `theta_f` = D0(N₂)/2 with D0 = 113 200 K (9.76 eV).
+#[must_use]
+pub fn n_atom() -> Species {
+    Species {
+        name: "N",
+        molar_mass: 14.0067,
+        charge: 0,
+        theta_f: 56_600.0,
+        rot: Rotation::None,
+        vib_modes: vec![],
+        electronic: vec![(0.0, 4), (27_658.0, 10), (41_495.0, 6)],
+        elements: vec![(Element::N, 1)],
+        viscosity: ViscModel::Blottner { a: 0.011_557_2, b: 0.603_167_9, c: -12.432_749_5 },
+    }
+}
+
+/// Atomic oxygen. `theta_f` = D0(O₂)/2 with D0 = 59 500 K (5.12 eV).
+#[must_use]
+pub fn o_atom() -> Species {
+    Species {
+        name: "O",
+        molar_mass: 15.9994,
+        charge: 0,
+        theta_f: 29_750.0,
+        rot: Rotation::None,
+        vib_modes: vec![],
+        // The ³P fine-structure multiplet is lumped into g=9 at zero energy.
+        electronic: vec![(0.0, 9), (22_830.0, 5), (48_620.0, 1)],
+        elements: vec![(Element::O, 1)],
+        viscosity: ViscModel::Blottner { a: 0.020_314_4, b: 0.429_440_4, c: -11.603_140_3 },
+    }
+}
+
+/// Nitrogen ion. `theta_f` = E0(N) + IP(N) (14.53 eV = 168 600 K).
+#[must_use]
+pub fn n_ion() -> Species {
+    Species {
+        name: "N+",
+        molar_mass: 14.006_151,
+        charge: 1,
+        theta_f: 225_200.0,
+        rot: Rotation::None,
+        vib_modes: vec![],
+        electronic: vec![(0.0, 9)],
+        elements: vec![(Element::N, 1)],
+        viscosity: ViscModel::Blottner { a: 0.011_557_2, b: 0.603_167_9, c: -12.432_749_5 },
+    }
+}
+
+/// Oxygen ion. `theta_f` = E0(O) + IP(O) (13.62 eV = 158 500 K).
+#[must_use]
+pub fn o_ion() -> Species {
+    Species {
+        name: "O+",
+        molar_mass: 15.998_851,
+        charge: 1,
+        theta_f: 188_250.0,
+        rot: Rotation::None,
+        vib_modes: vec![],
+        electronic: vec![(0.0, 4)],
+        elements: vec![(Element::O, 1)],
+        viscosity: ViscModel::Blottner { a: 0.020_314_4, b: 0.429_440_4, c: -11.603_140_3 },
+    }
+}
+
+/// Nitric-oxide ion. `theta_f` = E0(NO) + IP(NO) (9.26 eV = 107 500 K).
+#[must_use]
+pub fn no_ion() -> Species {
+    Species {
+        name: "NO+",
+        molar_mass: 30.005_551,
+        charge: 1,
+        theta_f: 118_350.0,
+        rot: Rotation::Linear { theta_r: 2.86, sigma: 1.0 },
+        vib_modes: vec![(3419.0, 1)],
+        electronic: vec![(0.0, 1)],
+        elements: vec![(Element::N, 1), (Element::O, 1)],
+        viscosity: ViscModel::Blottner { a: 0.043_637_8, b: -0.033_551_1, c: -9.576_743_0 },
+    }
+}
+
+/// Molecular-nitrogen ion. `theta_f` = IP(N₂) = 15.58 eV = 180 800 K.
+/// Its B²Σu⁺ state (3.17 eV) is the upper state of the first-negative band
+/// system — the dominant violet radiator in nonequilibrium air.
+#[must_use]
+pub fn n2_ion() -> Species {
+    Species {
+        name: "N2+",
+        molar_mass: 28.012_851,
+        charge: 1,
+        theta_f: 180_800.0,
+        rot: Rotation::Linear { theta_r: 2.80, sigma: 2.0 },
+        vib_modes: vec![(3175.0, 1)],
+        electronic: vec![(0.0, 2), (13_190.0, 4), (36_800.0, 2)],
+        elements: vec![(Element::N, 2)],
+        viscosity: ViscModel::Blottner { a: 0.026_814_2, b: 0.317_783_8, c: -11.315_551_3 },
+    }
+}
+
+/// Molecular-oxygen ion. `theta_f` = IP(O₂) = 12.07 eV = 140 100 K.
+#[must_use]
+pub fn o2_ion() -> Species {
+    Species {
+        name: "O2+",
+        molar_mass: 31.998_251,
+        charge: 1,
+        theta_f: 140_100.0,
+        rot: Rotation::Linear { theta_r: 2.40, sigma: 2.0 },
+        vib_modes: vec![(2741.0, 1)],
+        electronic: vec![(0.0, 4)],
+        elements: vec![(Element::O, 2)],
+        viscosity: ViscModel::Blottner { a: 0.044_929_0, b: -0.082_615_8, c: -9.201_947_5 },
+    }
+}
+
+/// Free electron (g = 2 from spin).
+#[must_use]
+pub fn electron() -> Species {
+    Species {
+        name: "e-",
+        molar_mass: 5.485_799e-4,
+        charge: -1,
+        theta_f: 0.0,
+        rot: Rotation::None,
+        vib_modes: vec![],
+        electronic: vec![(0.0, 2)],
+        elements: vec![],
+        // Electron viscosity is negligible; a tiny LJ cross-section keeps the
+        // Wilke mixing rule well-defined.
+        viscosity: ViscModel::LennardJones { sigma: 1.0, eps_k: 10.0 },
+    }
+}
+
+// --- Titan (N2/CH4) atmosphere species -------------------------------------
+
+/// Methane (spherical top, four vibrational modes).
+#[must_use]
+pub fn ch4() -> Species {
+    Species {
+        name: "CH4",
+        molar_mass: 16.0425,
+        charge: 0,
+        // ΔHf(0 K) = −66.9 kJ/mol → −8 047 K; consistent with E0(C)+4·E0(H)
+        // minus the 0 K atomization energy.
+        theta_f: -8_047.0,
+        rot: Rotation::Nonlinear { theta_abc: 7.54, sigma: 12.0 },
+        vib_modes: vec![(4196.0, 1), (2207.0, 2), (4343.0, 3), (1879.0, 3)],
+        electronic: vec![(0.0, 1)],
+        elements: vec![(Element::C, 1), (Element::H, 4)],
+        viscosity: ViscModel::LennardJones { sigma: 3.758, eps_k: 148.6 },
+    }
+}
+
+/// Cyano radical — the dominant radiator in Titan shock layers (CN violet).
+#[must_use]
+pub fn cn() -> Species {
+    Species {
+        name: "CN",
+        molar_mass: 26.0174,
+        charge: 0,
+        // ΔHf(0 K) ≈ 435 kJ/mol → 52 320 K.
+        theta_f: 52_320.0,
+        rot: Rotation::Linear { theta_r: 2.73, sigma: 1.0 },
+        vib_modes: vec![(2976.0, 1)],
+        // X²Σ ground, A²Π (1.15 eV), B²Σ (3.19 eV — upper state of the violet
+        // system).
+        electronic: vec![(0.0, 2), (13_090.0, 4), (37_020.0, 2)],
+        elements: vec![(Element::C, 1), (Element::N, 1)],
+        viscosity: ViscModel::LennardJones { sigma: 3.856, eps_k: 75.0 },
+    }
+}
+
+/// Hydrogen cyanide.
+#[must_use]
+pub fn hcn() -> Species {
+    Species {
+        name: "HCN",
+        molar_mass: 27.0253,
+        charge: 0,
+        // ΔHf(0 K) ≈ 135 kJ/mol → 16 240 K.
+        theta_f: 16_240.0,
+        rot: Rotation::Linear { theta_r: 2.13, sigma: 1.0 },
+        vib_modes: vec![(4764.0, 1), (1024.0, 2), (3017.0, 1)],
+        electronic: vec![(0.0, 1)],
+        elements: vec![(Element::C, 1), (Element::H, 1), (Element::N, 1)],
+        viscosity: ViscModel::LennardJones { sigma: 3.63, eps_k: 569.0 },
+    }
+}
+
+/// Dicarbon.
+#[must_use]
+pub fn c2() -> Species {
+    Species {
+        name: "C2",
+        molar_mass: 24.0214,
+        charge: 0,
+        // ΔHf(0 K) ≈ 820 kJ/mol → 98 680 K.
+        theta_f: 98_680.0,
+        rot: Rotation::Linear { theta_r: 2.61, sigma: 2.0 },
+        vib_modes: vec![(2668.5, 1)],
+        electronic: vec![(0.0, 1), (1030.0, 6)],
+        elements: vec![(Element::C, 2)],
+        viscosity: ViscModel::LennardJones { sigma: 3.913, eps_k: 78.8 },
+    }
+}
+
+/// Molecular hydrogen.
+#[must_use]
+pub fn h2() -> Species {
+    Species {
+        name: "H2",
+        molar_mass: 2.01588,
+        charge: 0,
+        theta_f: 0.0,
+        rot: Rotation::Linear { theta_r: 87.5, sigma: 2.0 },
+        vib_modes: vec![(6332.0, 1)],
+        electronic: vec![(0.0, 1)],
+        elements: vec![(Element::H, 2)],
+        viscosity: ViscModel::LennardJones { sigma: 2.827, eps_k: 59.7 },
+    }
+}
+
+/// Atomic hydrogen. `theta_f` = D0(H₂)/2 (D0 = 4.478 eV).
+#[must_use]
+pub fn h_atom() -> Species {
+    Species {
+        name: "H",
+        molar_mass: 1.00794,
+        charge: 0,
+        theta_f: 25_985.0,
+        rot: Rotation::None,
+        vib_modes: vec![],
+        electronic: vec![(0.0, 2)],
+        elements: vec![(Element::H, 1)],
+        viscosity: ViscModel::LennardJones { sigma: 2.708, eps_k: 37.0 },
+    }
+}
+
+/// Carbon ion. `theta_f` = E0(C) + IP(C) (11.26 eV = 130 700 K).
+#[must_use]
+pub fn c_ion() -> Species {
+    Species {
+        name: "C+",
+        molar_mass: 12.010_151,
+        charge: 1,
+        theta_f: 216_240.0,
+        rot: Rotation::None,
+        vib_modes: vec![],
+        electronic: vec![(0.0, 6)],
+        elements: vec![(Element::C, 1)],
+        viscosity: ViscModel::LennardJones { sigma: 3.385, eps_k: 31.0 },
+    }
+}
+
+/// Hydrogen ion (bare proton). `theta_f` = E0(H) + IP(H) (13.60 eV).
+#[must_use]
+pub fn h_ion() -> Species {
+    Species {
+        name: "H+",
+        molar_mass: 1.007_391,
+        charge: 1,
+        theta_f: 183_785.0,
+        rot: Rotation::None,
+        vib_modes: vec![],
+        electronic: vec![(0.0, 1)],
+        elements: vec![(Element::H, 1)],
+        viscosity: ViscModel::LennardJones { sigma: 2.708, eps_k: 37.0 },
+    }
+}
+
+/// Helium (inert monatomic; IP = 24.6 eV keeps it neutral at entry
+/// temperatures).
+#[must_use]
+pub fn helium() -> Species {
+    Species {
+        name: "He",
+        molar_mass: 4.002_602,
+        charge: 0,
+        theta_f: 0.0,
+        rot: Rotation::None,
+        vib_modes: vec![],
+        electronic: vec![(0.0, 1)],
+        elements: vec![(Element::He, 1)],
+        viscosity: ViscModel::LennardJones { sigma: 2.551, eps_k: 10.22 },
+    }
+}
+
+/// Atomic carbon (gas phase). `theta_f` from ΔHf(C,g; 0 K) = 711.2 kJ/mol.
+#[must_use]
+pub fn c_atom() -> Species {
+    Species {
+        name: "C",
+        molar_mass: 12.0107,
+        charge: 0,
+        theta_f: 85_540.0,
+        rot: Rotation::None,
+        vib_modes: vec![],
+        electronic: vec![(0.0, 9), (14_640.0, 5), (31_060.0, 1)],
+        elements: vec![(Element::C, 1)],
+        viscosity: ViscModel::LennardJones { sigma: 3.385, eps_k: 31.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn air_species_have_consistent_charge_and_elements() {
+        for sp in [n2(), o2(), no(), n_atom(), o_atom()] {
+            assert_eq!(sp.charge, 0, "{}", sp.name);
+        }
+        for sp in [n_ion(), o_ion(), no_ion()] {
+            assert_eq!(sp.charge, 1, "{}", sp.name);
+        }
+        assert_eq!(electron().charge, -1);
+        assert_eq!(n2().atoms_of(Element::N), 2);
+        assert_eq!(no().atoms_of(Element::N), 1);
+        assert_eq!(no().atoms_of(Element::O), 1);
+        assert_eq!(no().atoms_of(Element::C), 0);
+    }
+
+    #[test]
+    fn ion_masses_account_for_electron() {
+        let dm = n_atom().molar_mass - n_ion().molar_mass;
+        assert!((dm - electron().molar_mass).abs() < 1e-6);
+    }
+
+    #[test]
+    fn formation_energies_energetically_ordered() {
+        // Dissociation must cost energy: E0(2N) > E0(N2), etc.
+        assert!(2.0 * n_atom().theta_f > n2().theta_f);
+        assert!(2.0 * o_atom().theta_f > o2().theta_f);
+        assert!(n_atom().theta_f + o_atom().theta_f > no().theta_f);
+        // Ionization costs more energy still.
+        assert!(n_ion().theta_f > n_atom().theta_f);
+        assert!(o_ion().theta_f > o_atom().theta_f);
+        assert!(no_ion().theta_f > no().theta_f);
+    }
+
+    #[test]
+    fn no_dissociation_energy_recovered() {
+        // D0(NO) = E0(N) + E0(O) − E0(NO) ≈ 75 500 K.
+        let d0 = n_atom().theta_f + o_atom().theta_f - no().theta_f;
+        assert!((d0 - 75_500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn gas_constants() {
+        assert!((n2().gas_constant() - 296.8).abs() < 0.1);
+        assert!((o2().gas_constant() - 259.8).abs() < 0.1);
+    }
+
+    #[test]
+    fn molecule_flag() {
+        assert!(n2().is_molecule());
+        assert!(ch4().is_molecule());
+        assert!(!n_atom().is_molecule());
+        assert!(!electron().is_molecule());
+    }
+
+    #[test]
+    fn titan_species_consistent() {
+        // CN formation from atoms must release the CN bond energy (~7.7 eV).
+        let d0_cn = c_atom().theta_f + n_atom().theta_f - cn().theta_f;
+        assert!(d0_cn > 80_000.0 && d0_cn < 100_000.0, "D0(CN)={d0_cn}");
+        // CH4 is bound relative to C + 4H.
+        let d_atomization =
+            c_atom().theta_f + 4.0 * h_atom().theta_f - ch4().theta_f;
+        assert!(d_atomization > 180_000.0, "CH4 atomization {d_atomization}");
+    }
+}

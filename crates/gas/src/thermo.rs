@@ -1,0 +1,696 @@
+//! Statistical-mechanics thermodynamics for species and mixtures.
+//!
+//! All properties come from the rigid-rotor / harmonic-oscillator partition
+//! function plus tabulated electronic levels, evaluated at one temperature
+//! (thermal equilibrium) or at split temperatures (the two-temperature model:
+//! translation/rotation at `T`, vibration/electronic/electron-translation at
+//! `Tv`).
+
+use crate::species::{Rotation, Species};
+use aerothermo_numerics::constants::{H_PLANCK, K_BOLTZMANN, R_UNIVERSAL};
+use aerothermo_numerics::roots::brent_expanding;
+
+/// Largest exponent magnitude fed to `exp` in Boltzmann factors; beyond this
+/// the factor is numerically 0 or the mode is frozen out.
+const EXP_CLAMP: f64 = 600.0;
+
+fn boltzmann(theta: f64, t: f64) -> f64 {
+    let x = theta / t;
+    if x > EXP_CLAMP {
+        0.0
+    } else {
+        (-x).exp()
+    }
+}
+
+impl Species {
+    /// Thermal translational energy per unit mass \[J/kg\] at temperature `t`.
+    #[must_use]
+    pub fn e_trans(&self, t: f64) -> f64 {
+        1.5 * self.gas_constant() * t
+    }
+
+    /// Rotational energy per unit mass \[J/kg\] (fully excited).
+    #[must_use]
+    pub fn e_rot(&self, t: f64) -> f64 {
+        let dof = match self.rot {
+            Rotation::None => 0.0,
+            Rotation::Linear { .. } => 2.0,
+            Rotation::Nonlinear { .. } => 3.0,
+        };
+        0.5 * dof * self.gas_constant() * t
+    }
+
+    /// Vibrational energy per unit mass \[J/kg\] at vibrational temperature
+    /// `tv` (harmonic oscillator, sum over modes with degeneracy).
+    #[must_use]
+    pub fn e_vib(&self, tv: f64) -> f64 {
+        let rs = self.gas_constant();
+        let mut e = 0.0;
+        for &(theta, g) in &self.vib_modes {
+            let x = theta / tv;
+            if x < EXP_CLAMP {
+                e += f64::from(g) * rs * theta / (x.exp() - 1.0);
+            }
+        }
+        e
+    }
+
+    /// Electronic excitation energy per unit mass \[J/kg\] at electronic
+    /// temperature `te`.
+    #[must_use]
+    pub fn e_elec(&self, te: f64) -> f64 {
+        if self.electronic.len() <= 1 {
+            return 0.0;
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for &(theta, g) in &self.electronic {
+            let b = f64::from(g) * boltzmann(theta, te);
+            num += theta * b;
+            den += b;
+        }
+        if den <= 0.0 {
+            return 0.0;
+        }
+        self.gas_constant() * num / den
+    }
+
+    /// Formation energy per unit mass \[J/kg\] (0 K reference).
+    #[must_use]
+    pub fn e_formation(&self) -> f64 {
+        self.gas_constant() * self.theta_f
+    }
+
+    /// Total internal energy per unit mass \[J/kg\] in thermal equilibrium at
+    /// `t`, including formation energy.
+    #[must_use]
+    pub fn e_total(&self, t: f64) -> f64 {
+        self.e_trans(t) + self.e_rot(t) + self.e_vib(t) + self.e_elec(t) + self.e_formation()
+    }
+
+    /// Internal energy in the two-temperature model: translation and rotation
+    /// at `t`, vibration and electronic at `tv`.
+    #[must_use]
+    pub fn e_total_2t(&self, t: f64, tv: f64) -> f64 {
+        self.e_trans(t) + self.e_rot(t) + self.e_vib(tv) + self.e_elec(tv) + self.e_formation()
+    }
+
+    /// Enthalpy per unit mass \[J/kg\] at `t` (thermal equilibrium).
+    #[must_use]
+    pub fn h_total(&self, t: f64) -> f64 {
+        self.e_total(t) + self.gas_constant() * t
+    }
+
+    /// Frozen specific heat at constant volume \[J/(kg·K)\] at `t`
+    /// (all modes at the same temperature).
+    #[must_use]
+    pub fn cv(&self, t: f64) -> f64 {
+        let rs = self.gas_constant();
+        let dof_rot = match self.rot {
+            Rotation::None => 0.0,
+            Rotation::Linear { .. } => 2.0,
+            Rotation::Nonlinear { .. } => 3.0,
+        };
+        let mut cv = (1.5 + 0.5 * dof_rot) * rs;
+        cv += self.cv_vib(t);
+        cv += self.cv_elec(t);
+        cv
+    }
+
+    /// Vibrational specific heat \[J/(kg·K)\] at vibrational temperature `tv`.
+    #[must_use]
+    pub fn cv_vib(&self, tv: f64) -> f64 {
+        let rs = self.gas_constant();
+        let mut cv = 0.0;
+        for &(theta, g) in &self.vib_modes {
+            let x = theta / tv;
+            if x < EXP_CLAMP {
+                let ex = x.exp();
+                let d = ex - 1.0;
+                cv += f64::from(g) * rs * x * x * ex / (d * d);
+            }
+        }
+        cv
+    }
+
+    /// Electronic specific heat \[J/(kg·K)\] at electronic temperature `te`.
+    #[must_use]
+    pub fn cv_elec(&self, te: f64) -> f64 {
+        if self.electronic.len() <= 1 {
+            return 0.0;
+        }
+        let mut q = 0.0;
+        let mut q1 = 0.0; // Σ g θ e^{-θ/T}
+        let mut q2 = 0.0; // Σ g θ² e^{-θ/T}
+        for &(theta, g) in &self.electronic {
+            let b = f64::from(g) * boltzmann(theta, te);
+            q += b;
+            q1 += theta * b;
+            q2 += theta * theta * b;
+        }
+        if q <= 0.0 {
+            return 0.0;
+        }
+        let mean = q1 / q;
+        let mean_sq = q2 / q;
+        self.gas_constant() * (mean_sq - mean * mean) / (te * te)
+    }
+
+    /// Frozen specific heat at constant pressure \[J/(kg·K)\].
+    #[must_use]
+    pub fn cp(&self, t: f64) -> f64 {
+        self.cv(t) + self.gas_constant()
+    }
+
+    /// Specific entropy \[J/(kg·K)\] of the pure species at `(t, p)` from
+    /// the same partition functions as everything else:
+    /// Sackur-Tetrode translational part plus rotational, vibrational, and
+    /// electronic contributions.
+    #[must_use]
+    pub fn entropy(&self, t: f64, p: f64) -> f64 {
+        let rs = self.gas_constant();
+        // Translational: s/R = ln[(2πmkT/h²)^{3/2}·kT/p] + 5/2.
+        let s_tr = rs
+            * (self.ln_q_trans_per_volume(t)
+                + (aerothermo_numerics::constants::K_BOLTZMANN * t / p).ln()
+                + 2.5);
+        // Rotational: s/R = ln Q_rot + (rotational energy)/RT.
+        let s_rot = match self.rot {
+            Rotation::None => 0.0,
+            Rotation::Linear { theta_r, sigma } => rs * ((t / (sigma * theta_r)).ln() + 1.0),
+            Rotation::Nonlinear { theta_abc, sigma } => {
+                rs * (((std::f64::consts::PI * (t / theta_abc).powi(3)).sqrt() / sigma).ln()
+                    + 1.5)
+            }
+        };
+        // Vibrational per mode: s/R = θ/T/(e^{θ/T}−1) − ln(1 − e^{−θ/T}).
+        let mut s_vib = 0.0;
+        for &(theta, g) in &self.vib_modes {
+            let x = theta / t;
+            if x < EXP_CLAMP {
+                let b = (-x).exp();
+                s_vib += f64::from(g) * rs * (x * b / (1.0 - b) - (1.0 - b).ln());
+            }
+        }
+        // Electronic: s/R = ln Q_el + <θ>/T.
+        let mut q_el = 0.0;
+        let mut q1 = 0.0;
+        for &(theta, g) in &self.electronic {
+            let b = f64::from(g) * boltzmann(theta, t);
+            q_el += b;
+            q1 += theta * b;
+        }
+        let s_el = if q_el > 0.0 {
+            rs * (q_el.ln() + q1 / (q_el * t))
+        } else {
+            0.0
+        };
+        s_tr + s_rot + s_vib + s_el
+    }
+
+    /// Internal partition function Q_int = Q_rot · Q_vib · Q_el at `t`.
+    #[must_use]
+    pub fn q_internal(&self, t: f64) -> f64 {
+        let q_rot = match self.rot {
+            Rotation::None => 1.0,
+            Rotation::Linear { theta_r, sigma } => t / (sigma * theta_r),
+            Rotation::Nonlinear { theta_abc, sigma } => {
+                (std::f64::consts::PI * (t / theta_abc).powi(3)).sqrt() / sigma
+            }
+        };
+        let mut q_vib = 1.0;
+        for &(theta, g) in &self.vib_modes {
+            let b = boltzmann(theta, t);
+            q_vib *= (1.0 / (1.0 - b)).powi(g as i32);
+        }
+        let mut q_el = 0.0;
+        for &(theta, g) in &self.electronic {
+            q_el += f64::from(g) * boltzmann(theta, t);
+        }
+        q_rot * q_vib * q_el
+    }
+
+    /// `ln` of the translational partition function per unit volume,
+    /// (2π m k T / h²)^{3/2} \[m⁻³\].
+    #[must_use]
+    pub fn ln_q_trans_per_volume(&self, t: f64) -> f64 {
+        let m = self.particle_mass();
+        1.5 * (2.0 * std::f64::consts::PI * m * K_BOLTZMANN * t / (H_PLANCK * H_PLANCK)).ln()
+    }
+
+    /// The "concentration potential" φ(T) = ln[(Q_tr/V)·Q_int] − θ_f/T used
+    /// by the equilibrium solver: at equilibrium, `ln n_s = Σ a_es λ_e + φ_s`.
+    #[must_use]
+    pub fn ln_concentration_potential(&self, t: f64) -> f64 {
+        self.ln_q_trans_per_volume(t) + self.q_internal(t).ln() - self.theta_f / t
+    }
+}
+
+/// A gas mixture: an ordered species list with index lookups and
+/// mass-fraction-weighted mixture thermodynamics.
+#[derive(Debug, Clone)]
+pub struct Mixture {
+    species: Vec<Species>,
+}
+
+impl Mixture {
+    /// Build a mixture from a species list.
+    ///
+    /// # Panics
+    /// Panics if the list is empty or contains duplicate names.
+    #[must_use]
+    pub fn new(species: Vec<Species>) -> Self {
+        assert!(!species.is_empty(), "mixture needs at least one species");
+        for (i, a) in species.iter().enumerate() {
+            for b in &species[i + 1..] {
+                assert_ne!(a.name, b.name, "duplicate species {}", a.name);
+            }
+        }
+        Self { species }
+    }
+
+    /// The species, in index order.
+    #[must_use]
+    pub fn species(&self) -> &[Species] {
+        &self.species
+    }
+
+    /// Number of species.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.species.len()
+    }
+
+    /// Always false (constructor enforces non-empty).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.species.is_empty()
+    }
+
+    /// Index of species `name`.
+    #[must_use]
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.species.iter().position(|s| s.name == name)
+    }
+
+    /// Mixture gas constant \[J/(kg·K)\] for mass fractions `y`.
+    ///
+    /// # Panics
+    /// Panics if `y.len()` mismatches the species count.
+    #[must_use]
+    pub fn gas_constant(&self, y: &[f64]) -> f64 {
+        assert_eq!(y.len(), self.species.len());
+        self.species
+            .iter()
+            .zip(y)
+            .map(|(s, yi)| yi * s.gas_constant())
+            .sum()
+    }
+
+    /// Mixture molar mass \[kg/kmol\] for mass fractions `y`.
+    #[must_use]
+    pub fn molar_mass(&self, y: &[f64]) -> f64 {
+        R_UNIVERSAL / self.gas_constant(y)
+    }
+
+    /// Convert mole fractions to mass fractions.
+    #[must_use]
+    pub fn mole_to_mass(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.species.len());
+        let mbar: f64 = self
+            .species
+            .iter()
+            .zip(x)
+            .map(|(s, xi)| xi * s.molar_mass)
+            .sum();
+        self.species
+            .iter()
+            .zip(x)
+            .map(|(s, xi)| xi * s.molar_mass / mbar)
+            .collect()
+    }
+
+    /// Convert mass fractions to mole fractions.
+    #[must_use]
+    pub fn mass_to_mole(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.species.len());
+        let inv_mbar: f64 = self
+            .species
+            .iter()
+            .zip(y)
+            .map(|(s, yi)| yi / s.molar_mass)
+            .sum();
+        self.species
+            .iter()
+            .zip(y)
+            .map(|(s, yi)| (yi / s.molar_mass) / inv_mbar)
+            .collect()
+    }
+
+    /// Mixture internal energy \[J/kg\] (thermal equilibrium, includes
+    /// formation energies).
+    #[must_use]
+    pub fn e_total(&self, t: f64, y: &[f64]) -> f64 {
+        self.species
+            .iter()
+            .zip(y)
+            .map(|(s, yi)| yi * s.e_total(t))
+            .sum()
+    }
+
+    /// Mixture enthalpy \[J/kg\].
+    #[must_use]
+    pub fn h_total(&self, t: f64, y: &[f64]) -> f64 {
+        self.e_total(t, y) + self.gas_constant(y) * t
+    }
+
+    /// Mixture frozen cv \[J/(kg·K)\].
+    #[must_use]
+    pub fn cv(&self, t: f64, y: &[f64]) -> f64 {
+        self.species.iter().zip(y).map(|(s, yi)| yi * s.cv(t)).sum()
+    }
+
+    /// Mixture frozen cp \[J/(kg·K)\].
+    #[must_use]
+    pub fn cp(&self, t: f64, y: &[f64]) -> f64 {
+        self.species.iter().zip(y).map(|(s, yi)| yi * s.cp(t)).sum()
+    }
+
+    /// Frozen ratio of specific heats.
+    #[must_use]
+    pub fn gamma_frozen(&self, t: f64, y: &[f64]) -> f64 {
+        let cp = self.cp(t, y);
+        cp / (cp - self.gas_constant(y))
+    }
+
+    /// Frozen sound speed \[m/s\].
+    #[must_use]
+    pub fn sound_speed_frozen(&self, t: f64, y: &[f64]) -> f64 {
+        (self.gamma_frozen(t, y) * self.gas_constant(y) * t).sqrt()
+    }
+
+    /// Invert `e_total(T) = e` for T at fixed composition. Returns the
+    /// temperature in `[t_min, t_max]`.
+    ///
+    /// # Errors
+    /// Returns `Err` with a message when no temperature in range matches.
+    pub fn temperature_from_energy(
+        &self,
+        e: f64,
+        y: &[f64],
+        t_guess: f64,
+    ) -> Result<f64, String> {
+        brent_expanding(
+            |t| self.e_total(t, y) - e,
+            t_guess.max(20.0),
+            0.25 * t_guess.max(20.0),
+            10.0,
+            200_000.0,
+            1e-8,
+            80,
+        )
+        .map_err(|err| format!("temperature_from_energy: {err}"))
+    }
+
+    /// Two-temperature mixture internal energy \[J/kg\]: heavy-particle
+    /// translation + rotation at `t`, vibration + electronic + electron
+    /// translation at `tv`.
+    #[must_use]
+    pub fn e_total_2t(&self, t: f64, tv: f64, y: &[f64]) -> f64 {
+        self.species
+            .iter()
+            .zip(y)
+            .map(|(s, yi)| {
+                if s.name == "e-" {
+                    // Free electrons thermalize with the vibrational pool.
+                    yi * (s.e_trans(tv) + s.e_formation())
+                } else {
+                    yi * s.e_total_2t(t, tv)
+                }
+            })
+            .sum()
+    }
+
+    /// Mixture vibrational-electronic energy per unit mass \[J/kg\] at `tv`
+    /// (the quantity transported by the vibrational energy equation).
+    #[must_use]
+    pub fn e_vibronic(&self, tv: f64, y: &[f64]) -> f64 {
+        self.species
+            .iter()
+            .zip(y)
+            .map(|(s, yi)| {
+                if s.name == "e-" {
+                    yi * s.e_trans(tv)
+                } else {
+                    yi * (s.e_vib(tv) + s.e_elec(tv))
+                }
+            })
+            .sum()
+    }
+
+    /// Mixture specific entropy \[J/(kg·K)\] at `(t, p)` for mass fractions
+    /// `y`: partial-pressure-weighted species entropies (the ideal-mixing
+    /// term enters through each species seeing its own partial pressure).
+    #[must_use]
+    pub fn entropy(&self, t: f64, p: f64, y: &[f64]) -> f64 {
+        let x = self.mass_to_mole(y);
+        let mut s = 0.0;
+        for ((sp, yi), xi) in self.species().iter().zip(y).zip(&x) {
+            if *yi > 1e-300 && *xi > 1e-300 {
+                s += yi * sp.entropy(t, p * xi);
+            }
+        }
+        s
+    }
+
+    /// Invert `e_vibronic(Tv) = ev` for Tv.
+    ///
+    /// # Errors
+    /// Returns `Err` when no vibrational temperature in range matches (e.g.
+    /// the mixture has no internal modes).
+    pub fn tv_from_vibronic_energy(
+        &self,
+        ev: f64,
+        y: &[f64],
+        tv_guess: f64,
+    ) -> Result<f64, String> {
+        brent_expanding(
+            |tv| self.e_vibronic(tv, y) - ev,
+            tv_guess.max(20.0),
+            0.25 * tv_guess.max(20.0),
+            10.0,
+            200_000.0,
+            1e-8,
+            80,
+        )
+        .map_err(|err| format!("tv_from_vibronic_energy: {err}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::species::*;
+
+    #[test]
+    fn cold_diatomic_cp_is_seven_halves_r() {
+        // At 300 K vibration is frozen: cp → (7/2) R_s.
+        let sp = n2();
+        let cp = sp.cp(300.0);
+        assert!((cp / sp.gas_constant() - 3.5).abs() < 0.01, "cp/R = {}", cp / sp.gas_constant());
+    }
+
+    #[test]
+    fn hot_diatomic_cv_gains_vibration() {
+        // At T ≫ θv the vibrational mode adds a full R.
+        let sp = n2();
+        let cv_hot = sp.cv(30_000.0);
+        // trans 1.5 R + rot 1.0 R + vib → 1.0 R (plus tiny electronic).
+        assert!(cv_hot / sp.gas_constant() > 3.4);
+    }
+
+    #[test]
+    fn atom_cv_is_three_halves_r_when_cold() {
+        let sp = o_atom();
+        // At 300 K the excited electronic states are frozen out.
+        assert!((sp.cv(300.0) / sp.gas_constant() - 1.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn electronic_cv_peaks_then_decays() {
+        // Electronic specific heat is a Schottky bump: zero at low T,
+        // zero again at very high T.
+        let sp = o_atom();
+        let low = sp.cv_elec(300.0);
+        let mid = sp.cv_elec(10_000.0);
+        let high = sp.cv_elec(150_000.0);
+        assert!(low < 1e-6);
+        assert!(mid > low && mid > high);
+    }
+
+    #[test]
+    fn energy_monotone_in_temperature() {
+        let sp = no();
+        let mut prev = sp.e_total(200.0);
+        for i in 1..60 {
+            let t = 200.0 + 500.0 * f64::from(i);
+            let e = sp.e_total(t);
+            assert!(e > prev, "e not monotone at T={t}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn cv_is_derivative_of_e() {
+        let sp = o2();
+        for t in [300.0, 1000.0, 3000.0, 8000.0] {
+            let h = 1e-3 * t;
+            let fd = (sp.e_total(t + h) - sp.e_total(t - h)) / (2.0 * h);
+            let an = sp.cv(t);
+            assert!((fd - an).abs() < 1e-4 * an, "T={t}: fd={fd} an={an}");
+        }
+    }
+
+    #[test]
+    fn two_temperature_reduces_to_equilibrium() {
+        let sp = n2();
+        for t in [500.0, 3000.0, 12_000.0] {
+            assert!((sp.e_total_2t(t, t) - sp.e_total(t)).abs() < 1e-9 * sp.e_total(t).abs());
+        }
+    }
+
+    #[test]
+    fn mixture_air_gas_constant() {
+        let mix = Mixture::new(vec![n2(), o2()]);
+        // Standard air-like composition by mass.
+        let y = [0.767, 0.233];
+        let r = mix.gas_constant(&y);
+        assert!((r - 288.2).abs() < 1.0, "R = {r}");
+    }
+
+    #[test]
+    fn mole_mass_roundtrip() {
+        let mix = Mixture::new(vec![n2(), o2(), no(), n_atom(), o_atom()]);
+        let x = [0.5, 0.1, 0.05, 0.2, 0.15];
+        let y = mix.mole_to_mass(&x);
+        assert!((y.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        let x2 = mix.mass_to_mole(&y);
+        for (a, b) in x.iter().zip(&x2) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn temperature_inversion_roundtrip() {
+        let mix = Mixture::new(vec![n2(), o2()]);
+        let y = [0.767, 0.233];
+        for t in [300.0, 1500.0, 6000.0] {
+            let e = mix.e_total(t, &y);
+            let t2 = mix.temperature_from_energy(e, &y, 1000.0).unwrap();
+            assert!((t - t2).abs() < 1e-3 * t, "T={t} -> {t2}");
+        }
+    }
+
+    #[test]
+    fn tv_inversion_roundtrip() {
+        let mix = Mixture::new(vec![n2(), o2(), no()]);
+        let y = [0.6, 0.3, 0.1];
+        for tv in [800.0, 3000.0, 9000.0] {
+            let ev = mix.e_vibronic(tv, &y);
+            let tv2 = mix.tv_from_vibronic_energy(ev, &y, 2000.0).unwrap();
+            assert!((tv - tv2).abs() < 1e-3 * tv, "Tv={tv} -> {tv2}");
+        }
+    }
+
+    #[test]
+    fn frozen_gamma_cold_air() {
+        let mix = Mixture::new(vec![n2(), o2()]);
+        let y = [0.767, 0.233];
+        let g = mix.gamma_frozen(300.0, &y);
+        assert!((g - 1.4).abs() < 0.005, "gamma = {g}");
+        let a = mix.sound_speed_frozen(300.0, &y);
+        assert!((a - 347.0).abs() < 5.0, "a = {a}");
+    }
+
+    #[test]
+    fn partition_function_grows_with_t() {
+        let sp = n2();
+        assert!(sp.q_internal(2000.0) > sp.q_internal(300.0));
+        // Rotational part alone at 300 K: T/(σθr) ≈ 52.
+        let q300 = sp.q_internal(300.0);
+        assert!((q300 - 300.0 / (2.0 * 2.88)).abs() / q300 < 0.05, "q300={q300}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate species")]
+    fn duplicate_species_rejected() {
+        let _ = Mixture::new(vec![n2(), n2()]);
+    }
+
+    #[test]
+    fn sackur_tetrode_argon_class_entropy() {
+        // Monatomic O at 298.15 K, 1 atm: the Sackur-Tetrode value for a
+        // mass-16 gas with g0 = 9 is s = R_s·[1.5·ln M + 2.5·ln T − ln p +
+        // const]; check against the direct statistical evaluation of the
+        // standard molar entropy of O(g): 161.1 J/(mol·K).
+        let sp = o_atom();
+        let s = sp.entropy(298.15, 101_325.0) * sp.molar_mass / 1000.0; // J/(mol·K)
+        assert!((s - 161.06).abs() < 1.0, "S°(O) = {s} J/mol/K");
+    }
+
+    #[test]
+    fn n2_standard_entropy() {
+        // S°(N₂, 298.15 K) = 191.6 J/(mol·K).
+        let sp = n2();
+        let s = sp.entropy(298.15, 101_325.0) * sp.molar_mass / 1000.0;
+        assert!((s - 191.6).abs() < 1.5, "S°(N2) = {s} J/mol/K");
+    }
+
+    #[test]
+    fn entropy_thermodynamic_identity() {
+        // At constant pressure: T·ds = dh → ds/dT = cp/T.
+        let sp = o2();
+        let p = 5e4;
+        for t in [400.0, 2000.0, 6000.0] {
+            let h = 1e-3 * t;
+            let ds_dt = (sp.entropy(t + h, p) - sp.entropy(t - h, p)) / (2.0 * h);
+            let cp_over_t = sp.cp(t) / t;
+            assert!(
+                (ds_dt - cp_over_t).abs() < 1e-3 * cp_over_t,
+                "T={t}: ds/dT = {ds_dt}, cp/T = {cp_over_t}"
+            );
+        }
+    }
+
+    #[test]
+    fn entropy_falls_with_pressure() {
+        // ds = −R·d(ln p) at constant T.
+        let sp = n2();
+        let s1 = sp.entropy(1000.0, 1e4);
+        let s2 = sp.entropy(1000.0, 1e5);
+        let expect = sp.gas_constant() * (10.0_f64).ln();
+        assert!(((s1 - s2) - expect).abs() < 1e-9 * expect);
+    }
+
+    #[test]
+    fn mixing_entropy_positive() {
+        // An equimolar mixture has higher entropy than the mole-weighted
+        // pure-component value (ideal entropy of mixing).
+        let mix = Mixture::new(vec![n2(), o2()]);
+        let x = [0.5, 0.5];
+        let y = mix.mole_to_mass(&x);
+        let t = 500.0;
+        let p = 1e5;
+        let s_mix = mix.entropy(t, p, &y);
+        let s_unmixed = y[0] * n2().entropy(t, p) + y[1] * o2().entropy(t, p);
+        let r_mix = mix.gas_constant(&y);
+        let ds_ideal = -r_mix * (0.5_f64.ln()); // = R ln 2 per unit mass
+        assert!(
+            ((s_mix - s_unmixed) - ds_ideal).abs() < 1e-6 * ds_ideal,
+            "Δs_mix = {} vs R·ln2 = {}",
+            s_mix - s_unmixed,
+            ds_ideal
+        );
+    }
+}

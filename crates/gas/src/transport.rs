@@ -1,0 +1,205 @@
+//! Transport properties: viscosity, thermal conductivity, diffusion.
+//!
+//! Species viscosities come from Blottner curve fits where the classic air
+//! coefficients exist, and from Chapman-Enskog kinetic theory with
+//! Lennard-Jones parameters (Neufeld collision integral) otherwise — which
+//! covers the Titan species. Mixtures use Wilke's semi-empirical rule, the
+//! standard of the era's CAT codes. Thermal conductivity is Eucken per
+//! species, Wilke-mixed; diffusion uses a constant-Lewis-number model.
+
+use crate::species::{Species, ViscModel};
+use crate::thermo::Mixture;
+
+/// Sutherland viscosity for undissociated air \[Pa·s\].
+#[must_use]
+pub fn sutherland_air(t: f64) -> f64 {
+    1.458e-6 * t.powf(1.5) / (t + 110.4)
+}
+
+/// Neufeld's curve fit of the Ω(2,2)* collision integral.
+#[must_use]
+pub fn omega22(t_star: f64) -> f64 {
+    1.161_45 / t_star.powf(0.148_74)
+        + 0.524_87 * (-0.773_2 * t_star).exp()
+        + 2.161_78 * (-2.437_87 * t_star).exp()
+}
+
+/// Single-species viscosity \[Pa·s\] at `t`.
+#[must_use]
+pub fn species_viscosity(sp: &Species, t: f64) -> f64 {
+    match sp.viscosity {
+        ViscModel::Blottner { a, b, c } => {
+            let lt = t.ln();
+            0.1 * ((a * lt + b) * lt + c).exp()
+        }
+        ViscModel::LennardJones { sigma, eps_k } => {
+            // Chapman-Enskog: μ = 2.6693e-6·√(M·T)/(σ²·Ω22), σ in Å.
+            let t_star = (t / eps_k).max(0.1);
+            2.6693e-6 * (sp.molar_mass * t).sqrt() / (sigma * sigma * omega22(t_star))
+        }
+    }
+}
+
+/// Single-species Eucken thermal conductivity \[W/(m·K)\]:
+/// `k = μ·(cp + 1.25·R)`.
+#[must_use]
+pub fn species_conductivity(sp: &Species, t: f64) -> f64 {
+    let mu = species_viscosity(sp, t);
+    mu * (sp.cp(t) + 1.25 * sp.gas_constant())
+}
+
+/// Wilke's mixing rule applied to any per-species property `phi` (viscosity
+/// or conductivity), with mole fractions `x`.
+///
+/// # Panics
+/// Panics on length mismatch.
+#[must_use]
+pub fn wilke_mix(mix: &Mixture, x: &[f64], phi: &[f64]) -> f64 {
+    let ns = mix.len();
+    assert!(x.len() == ns && phi.len() == ns);
+    let mut result = 0.0;
+    for i in 0..ns {
+        if x[i] <= 1e-300 {
+            continue;
+        }
+        let mi = mix.species()[i].molar_mass;
+        let mut denom = 0.0;
+        for j in 0..ns {
+            if x[j] <= 1e-300 {
+                continue;
+            }
+            let mj = mix.species()[j].molar_mass;
+            let num = {
+                let r = (phi[i] / phi[j].max(1e-300)).sqrt() * (mj / mi).powf(0.25);
+                let v = 1.0 + r;
+                v * v
+            };
+            let den = (8.0 * (1.0 + mi / mj)).sqrt();
+            denom += x[j] * num / den;
+        }
+        result += x[i] * phi[i] / denom;
+    }
+    result
+}
+
+/// Mixture viscosity \[Pa·s\] from mass fractions via Wilke.
+#[must_use]
+pub fn mixture_viscosity(mix: &Mixture, t: f64, y: &[f64]) -> f64 {
+    let x = mix.mass_to_mole(y);
+    let phi: Vec<f64> = mix
+        .species()
+        .iter()
+        .map(|s| species_viscosity(s, t))
+        .collect();
+    wilke_mix(mix, &x, &phi)
+}
+
+/// Mixture frozen thermal conductivity \[W/(m·K)\] from mass fractions.
+#[must_use]
+pub fn mixture_conductivity(mix: &Mixture, t: f64, y: &[f64]) -> f64 {
+    let x = mix.mass_to_mole(y);
+    let phi: Vec<f64> = mix
+        .species()
+        .iter()
+        .map(|s| species_conductivity(s, t))
+        .collect();
+    wilke_mix(mix, &x, &phi)
+}
+
+/// Frozen Prandtl number `μ·cp/k`.
+#[must_use]
+pub fn prandtl(mix: &Mixture, t: f64, y: &[f64]) -> f64 {
+    let mu = mixture_viscosity(mix, t, y);
+    let k = mixture_conductivity(mix, t, y);
+    mu * mix.cp(t, y) / k
+}
+
+/// Effective binary diffusion coefficient \[m²/s\] from a constant Lewis
+/// number: `D = Le·k/(ρ·cp)`. Le = 1.4 is the era's standard for air.
+#[must_use]
+pub fn diffusion_lewis(mix: &Mixture, t: f64, rho: f64, y: &[f64], lewis: f64) -> f64 {
+    let k = mixture_conductivity(mix, t, y);
+    lewis * k / (rho * mix.cp(t, y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::species::*;
+
+    fn air2() -> Mixture {
+        Mixture::new(vec![n2(), o2()])
+    }
+
+    #[test]
+    fn sutherland_room_temperature() {
+        // μ(300 K) ≈ 1.846e-5 Pa·s.
+        let mu = sutherland_air(300.0);
+        assert!((mu - 1.846e-5).abs() < 2e-7, "mu = {mu:.4e}");
+    }
+
+    #[test]
+    fn blottner_n2_close_to_sutherland_when_cold() {
+        let mu_b = species_viscosity(&n2(), 300.0);
+        let mu_s = sutherland_air(300.0);
+        assert!((mu_b - mu_s).abs() / mu_s < 0.1, "{mu_b:.3e} vs {mu_s:.3e}");
+    }
+
+    #[test]
+    fn wilke_pure_gas_recovers_species_value() {
+        let mix = air2();
+        let y = [1.0, 0.0];
+        let mu = mixture_viscosity(&mix, 500.0, &y);
+        let mu_n2 = species_viscosity(&n2(), 500.0);
+        assert!((mu - mu_n2).abs() / mu_n2 < 1e-10);
+    }
+
+    #[test]
+    fn air_mixture_viscosity_reasonable() {
+        let mix = air2();
+        let y = [0.767, 0.233];
+        let mu = mixture_viscosity(&mix, 300.0, &y);
+        assert!((mu - 1.85e-5).abs() / 1.85e-5 < 0.12, "mu = {mu:.3e}");
+        // Viscosity grows with temperature.
+        assert!(mixture_viscosity(&mix, 2000.0, &y) > mu);
+    }
+
+    #[test]
+    fn prandtl_number_of_cold_air() {
+        // Eucken-based Pr for diatomic air ≈ 0.71–0.78.
+        let mix = air2();
+        let y = [0.767, 0.233];
+        let pr = prandtl(&mix, 300.0, &y);
+        assert!(pr > 0.6 && pr < 0.85, "Pr = {pr}");
+    }
+
+    #[test]
+    fn kinetic_theory_species_sane() {
+        // CH4 at 300 K: μ ≈ 1.1e-5 Pa·s.
+        let mu = species_viscosity(&ch4(), 300.0);
+        assert!(mu > 0.6e-5 && mu < 1.6e-5, "mu(CH4) = {mu:.3e}");
+        // H2 lighter → lower viscosity than N2 at same T.
+        assert!(species_viscosity(&h2(), 300.0) < species_viscosity(&n2(), 300.0));
+    }
+
+    #[test]
+    fn conductivity_positive_and_growing() {
+        let mix = air2();
+        let y = [0.767, 0.233];
+        let k300 = mixture_conductivity(&mix, 300.0, &y);
+        let k3000 = mixture_conductivity(&mix, 3000.0, &y);
+        // Air k(300K) ≈ 0.026 W/m/K; Eucken is approximate, allow slack.
+        assert!(k300 > 0.015 && k300 < 0.04, "k = {k300}");
+        assert!(k3000 > k300);
+    }
+
+    #[test]
+    fn lewis_diffusion_scales() {
+        let mix = air2();
+        let y = [0.767, 0.233];
+        let d1 = diffusion_lewis(&mix, 1000.0, 0.1, &y, 1.0);
+        let d14 = diffusion_lewis(&mix, 1000.0, 0.1, &y, 1.4);
+        assert!((d14 / d1 - 1.4).abs() < 1e-12);
+        assert!(d1 > 0.0);
+    }
+}

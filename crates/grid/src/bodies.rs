@@ -1,0 +1,333 @@
+//! Parametric axisymmetric body shapes.
+//!
+//! Bodies are parameterized by arc length `s ∈ [0, s_max]` measured from the
+//! stagnation point, in the meridian plane `(x, r)` with the freestream
+//! along +x and the nose at the origin. `point(s)` returns the surface
+//! point; tangents/normals come from analytic derivatives where available.
+
+/// An axisymmetric body in the meridian plane.
+pub trait Body: Send + Sync {
+    /// Total arc length of the generator curve \[m\].
+    fn arc_length(&self) -> f64;
+
+    /// Surface point `(x, r)` at arc length `s` from the stagnation point.
+    fn point(&self, s: f64) -> (f64, f64);
+
+    /// Unit tangent `(tx, tr)` in the direction of increasing `s`.
+    fn tangent(&self, s: f64) -> (f64, f64) {
+        let h = 1e-6 * self.arc_length().max(1e-6);
+        let s0 = (s - h).max(0.0);
+        let s1 = (s + h).min(self.arc_length());
+        let (x0, r0) = self.point(s0);
+        let (x1, r1) = self.point(s1);
+        let d = ((x1 - x0).powi(2) + (r1 - r0).powi(2)).sqrt().max(1e-300);
+        ((x1 - x0) / d, (r1 - r0) / d)
+    }
+
+    /// Outward unit normal (pointing into the flow, i.e. upstream of the
+    /// surface): the tangent rotated +90°.
+    fn normal(&self, s: f64) -> (f64, f64) {
+        let (tx, tr) = self.tangent(s);
+        (-tr, tx)
+    }
+
+    /// Nose radius of curvature \[m\].
+    fn nose_radius(&self) -> f64;
+
+    /// Local body angle θ (between surface tangent and the x-axis) \[rad\].
+    fn body_angle(&self, s: f64) -> f64 {
+        let (tx, tr) = self.tangent(s);
+        tr.atan2(tx)
+    }
+}
+
+/// Hemisphere (optionally extended as a hemisphere-cylinder) of nose radius
+/// `rn`, spanning polar angle `0..=theta_max` from the stagnation point.
+#[derive(Debug, Clone, Copy)]
+pub struct Hemisphere {
+    /// Nose radius \[m\].
+    pub rn: f64,
+    /// Maximum polar angle \[rad\] (π/2 for a full hemisphere).
+    pub theta_max: f64,
+}
+
+impl Hemisphere {
+    /// Full hemisphere of radius `rn`.
+    #[must_use]
+    pub fn new(rn: f64) -> Self {
+        Self { rn, theta_max: std::f64::consts::FRAC_PI_2 }
+    }
+}
+
+impl Body for Hemisphere {
+    fn arc_length(&self) -> f64 {
+        self.rn * self.theta_max
+    }
+
+    fn point(&self, s: f64) -> (f64, f64) {
+        let theta = (s / self.rn).clamp(0.0, self.theta_max);
+        (self.rn * (1.0 - theta.cos()), self.rn * theta.sin())
+    }
+
+    fn tangent(&self, s: f64) -> (f64, f64) {
+        let theta = (s / self.rn).clamp(0.0, self.theta_max);
+        (theta.sin(), theta.cos())
+    }
+
+    fn nose_radius(&self) -> f64 {
+        self.rn
+    }
+}
+
+/// Sphere-cone: spherical nose of radius `rn` blending tangentially into a
+/// cone of half-angle `half_angle`, truncated at axial length `length`.
+#[derive(Debug, Clone, Copy)]
+pub struct SphereCone {
+    /// Nose radius \[m\].
+    pub rn: f64,
+    /// Cone half-angle \[rad\].
+    pub half_angle: f64,
+    /// Total axial length from the nose \[m\].
+    pub length: f64,
+}
+
+impl SphereCone {
+    /// Polar angle at the sphere-cone tangency.
+    #[must_use]
+    pub fn tangency_angle(&self) -> f64 {
+        std::f64::consts::FRAC_PI_2 - self.half_angle
+    }
+
+    /// Arc length along the spherical cap to tangency.
+    #[must_use]
+    fn s_tangent(&self) -> f64 {
+        self.rn * self.tangency_angle()
+    }
+
+    /// Tangency point.
+    fn p_tangent(&self) -> (f64, f64) {
+        let th = self.tangency_angle();
+        (self.rn * (1.0 - th.cos()), self.rn * th.sin())
+    }
+}
+
+impl Body for SphereCone {
+    fn arc_length(&self) -> f64 {
+        let (xt, _) = self.p_tangent();
+        self.s_tangent() + (self.length - xt).max(0.0) / self.half_angle.cos()
+    }
+
+    fn point(&self, s: f64) -> (f64, f64) {
+        let st = self.s_tangent();
+        if s <= st {
+            let theta = s / self.rn;
+            (self.rn * (1.0 - theta.cos()), self.rn * theta.sin())
+        } else {
+            let (xt, rt) = self.p_tangent();
+            let ds = s - st;
+            (
+                xt + ds * self.half_angle.cos(),
+                rt + ds * self.half_angle.sin(),
+            )
+        }
+    }
+
+    fn tangent(&self, s: f64) -> (f64, f64) {
+        let st = self.s_tangent();
+        if s <= st {
+            let theta = s / self.rn;
+            (theta.sin(), theta.cos())
+        } else {
+            (self.half_angle.cos(), self.half_angle.sin())
+        }
+    }
+
+    fn nose_radius(&self) -> f64 {
+        self.rn
+    }
+}
+
+/// Hyperboloid of nose radius `rn` and asymptotic half-angle `asymptote`,
+/// truncated at axial length `length`. The classic equivalent body for the
+/// Shuttle Orbiter windward pitch plane at entry attitude (the same
+/// reduction used by the codes surveyed in the paper).
+#[derive(Debug, Clone)]
+pub struct Hyperboloid {
+    /// Nose radius \[m\].
+    pub rn: f64,
+    /// Asymptotic half-angle \[rad\].
+    pub asymptote: f64,
+    /// Axial length \[m\].
+    pub length: f64,
+    /// Precomputed arc-length ↔ x lookup (monotone).
+    s_of_x: Vec<(f64, f64)>,
+}
+
+impl Hyperboloid {
+    /// Build, precomputing the arc-length parameterization.
+    ///
+    /// # Panics
+    /// Panics for non-positive dimensions or angle outside (0, π/2).
+    #[must_use]
+    pub fn new(rn: f64, asymptote: f64, length: f64) -> Self {
+        assert!(rn > 0.0 && length > 0.0);
+        assert!(asymptote > 0.0 && asymptote < std::f64::consts::FRAC_PI_2);
+        // r(x) = tanθ·√((x+a)² − a²), a = rn/tan²θ gives nose curvature rn.
+        let tan2 = asymptote.tan() * asymptote.tan();
+        let a = rn / tan2;
+        let n = 4000;
+        let mut s_of_x = Vec::with_capacity(n + 1);
+        let mut s = 0.0;
+        let mut prev = (0.0, 0.0);
+        s_of_x.push((0.0, 0.0));
+        for k in 1..=n {
+            // Cluster x samples near the nose where curvature is high.
+            let t = k as f64 / n as f64;
+            let x = length * t * t;
+            let r = asymptote.tan() * ((x + a) * (x + a) - a * a).max(0.0).sqrt();
+            s += ((x - prev.0).powi(2) + (r - prev.1).powi(2)).sqrt();
+            s_of_x.push((s, x));
+            prev = (x, r);
+        }
+        Self { rn, asymptote, length, s_of_x }
+    }
+
+    fn r_of_x(&self, x: f64) -> f64 {
+        let tan2 = self.asymptote.tan() * self.asymptote.tan();
+        let a = self.rn / tan2;
+        self.asymptote.tan() * ((x + a) * (x + a) - a * a).max(0.0).sqrt()
+    }
+
+    fn x_of_s(&self, s: f64) -> f64 {
+        let s = s.clamp(0.0, self.arc_length());
+        // Binary search the monotone (s, x) table.
+        let idx = self
+            .s_of_x
+            .partition_point(|(si, _)| *si < s)
+            .clamp(1, self.s_of_x.len() - 1);
+        let (s0, x0) = self.s_of_x[idx - 1];
+        let (s1, x1) = self.s_of_x[idx];
+        if s1 > s0 {
+            x0 + (x1 - x0) * (s - s0) / (s1 - s0)
+        } else {
+            x0
+        }
+    }
+}
+
+impl Body for Hyperboloid {
+    fn arc_length(&self) -> f64 {
+        self.s_of_x.last().map_or(0.0, |(s, _)| *s)
+    }
+
+    fn point(&self, s: f64) -> (f64, f64) {
+        let x = self.x_of_s(s);
+        (x, self.r_of_x(x))
+    }
+
+    fn nose_radius(&self) -> f64 {
+        self.rn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hemisphere_geometry() {
+        let b = Hemisphere::new(0.5);
+        let (x0, r0) = b.point(0.0);
+        assert!(x0.abs() < 1e-12 && r0.abs() < 1e-12);
+        // Quarter arc: θ = π/4.
+        let s = 0.5 * std::f64::consts::FRAC_PI_4;
+        let (x, r) = b.point(s);
+        assert!((x - 0.5 * (1.0 - 0.5f64.sqrt())).abs() < 1e-12);
+        assert!((r - 0.5 * 0.5f64.sqrt()).abs() < 1e-12);
+        // Shoulder: θ = π/2 → (rn, rn).
+        let (xs, rs) = b.point(b.arc_length());
+        assert!((xs - 0.5).abs() < 1e-12 && (rs - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hemisphere_normal_points_upstream_at_nose() {
+        let b = Hemisphere::new(1.0);
+        let (nx, nr) = b.normal(0.0);
+        assert!((nx + 1.0).abs() < 1e-9, "nx = {nx}");
+        assert!(nr.abs() < 1e-9);
+    }
+
+    #[test]
+    fn sphere_cone_tangency_is_smooth() {
+        let b = SphereCone { rn: 0.3, half_angle: 20f64.to_radians(), length: 2.0 };
+        let st = b.rn * b.tangency_angle();
+        let t_before = b.tangent(st - 1e-9);
+        let t_after = b.tangent(st + 1e-9);
+        assert!((t_before.0 - t_after.0).abs() < 1e-6);
+        assert!((t_before.1 - t_after.1).abs() < 1e-6);
+        // Far downstream the slope equals the cone angle.
+        let angle = b.body_angle(b.arc_length() * 0.99);
+        assert!((angle - 20f64.to_radians()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sphere_cone_reaches_length() {
+        let b = SphereCone { rn: 0.3, half_angle: 20f64.to_radians(), length: 2.0 };
+        let (x_end, _) = b.point(b.arc_length());
+        assert!((x_end - 2.0).abs() < 1e-6, "x_end = {x_end}");
+    }
+
+    #[test]
+    fn hyperboloid_nose_curvature() {
+        let b = Hyperboloid::new(1.2, 40f64.to_radians(), 20.0);
+        // Near the nose, r ≈ √(2·rn·x).
+        let (x, r) = b.point(0.01);
+        let r_expect = (2.0 * 1.2 * x).sqrt();
+        assert!((r - r_expect).abs() / r_expect < 0.01, "r = {r} vs {r_expect}");
+    }
+
+    #[test]
+    fn hyperboloid_approaches_asymptote() {
+        let b = Hyperboloid::new(1.2, 40f64.to_radians(), 50.0);
+        let angle = b.body_angle(b.arc_length() * 0.999);
+        assert!(
+            (angle - 40f64.to_radians()).abs() < 0.05,
+            "angle = {} deg",
+            angle.to_degrees()
+        );
+    }
+
+    #[test]
+    fn arc_length_parameterization_consistent() {
+        // Distance between nearby points ≈ Δs for all bodies.
+        let bodies: Vec<Box<dyn Body>> = vec![
+            Box::new(Hemisphere::new(0.7)),
+            Box::new(SphereCone { rn: 0.4, half_angle: 0.3, length: 3.0 }),
+            Box::new(Hyperboloid::new(1.0, 0.7, 10.0)),
+        ];
+        for b in &bodies {
+            let smax = b.arc_length();
+            for k in 1..20 {
+                let s = smax * k as f64 / 21.0;
+                let ds = smax * 1e-5;
+                let (x0, r0) = b.point(s);
+                let (x1, r1) = b.point(s + ds);
+                let d = ((x1 - x0).powi(2) + (r1 - r0).powi(2)).sqrt();
+                assert!((d - ds).abs() < 0.05 * ds, "param distortion {d} vs {ds}");
+            }
+        }
+    }
+
+    #[test]
+    fn normals_are_unit_and_outward() {
+        let b = Hyperboloid::new(1.0, 0.6, 10.0);
+        for k in 0..10 {
+            let s = b.arc_length() * k as f64 / 10.0;
+            let (nx, nr) = b.normal(s);
+            assert!((nx * nx + nr * nr - 1.0).abs() < 1e-6);
+            // Outward normal on the windward generator has nx ≤ 0 component
+            // near the nose turning toward positive r downstream.
+            assert!(nr >= -1e-9, "nr = {nr} at s = {s}");
+        }
+    }
+}

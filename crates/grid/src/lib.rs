@@ -1,0 +1,33 @@
+//! Structured body-fitted grid generation for blunt-body hypersonic flows.
+//!
+//! The finite-volume solvers in `aerothermo-solvers` discretize on
+//! single-block structured grids wrapped around axisymmetric blunt bodies
+//! (hemisphere, sphere-cone, hyperboloid — the Orbiter-equivalent shapes of
+//! the paper's Figs. 4–6 and 9):
+//!
+//! * [`bodies`] — parametric body shapes with normals and curvature,
+//! * [`stretch`] — 1-D point-distribution (clustering) functions,
+//! * [`structured`] — grid assembly: wall-normal algebraic grids,
+//!   rectangular test grids,
+//! * [`metrics`] — finite-volume metrics: face normals, volumes, centroids,
+//!   with axisymmetric weighting,
+//! * [`quality`] — aspect/skew/volume-jump diagnostics,
+//! * [`adapt`] — shock-adaptive regridding (coarse solve → shock locus →
+//!   fitted outer boundary).
+#![warn(missing_docs)]
+// Indexed loops over parallel arrays are the clearest idiom for the
+// numerical kernels here; spelled-out spectroscopic constants keep their
+// literature precision.
+#![allow(clippy::needless_range_loop, clippy::excessive_precision, clippy::type_complexity)]
+
+
+pub mod adapt;
+pub mod bodies;
+pub mod metrics;
+pub mod quality;
+pub mod stretch;
+pub mod structured;
+
+pub use bodies::{Body, Hemisphere, Hyperboloid, SphereCone};
+pub use metrics::Metrics;
+pub use structured::{Geometry, StructuredGrid};

@@ -1,0 +1,218 @@
+//! Finite-volume metrics for structured grids.
+//!
+//! For every cell: volume and centroid; for every face: the area-weighted
+//! normal. Normals follow the index convention:
+//!
+//! * I-face `(i, j)` separates cells `(i−1, j)` and `(i, j)`; its normal
+//!   points toward increasing `i`.
+//! * J-face `(i, j)` separates cells `(i, j−1)` and `(i, j)`; its normal
+//!   points toward increasing `j`.
+//!
+//! In axisymmetric mode all areas and volumes are per radian of azimuth:
+//! face area = edge length × face-midpoint radius, volume = polygon area ×
+//! centroid radius. The solver adds the geometric (pressure) source term.
+
+use crate::structured::{Geometry, StructuredGrid};
+use aerothermo_numerics::Field2;
+
+/// Precomputed finite-volume metrics.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    /// I-face normal x-component times area; shape `(ni, ncj)`.
+    pub si_x: Field2<f64>,
+    /// I-face normal r-component times area; shape `(ni, ncj)`.
+    pub si_r: Field2<f64>,
+    /// J-face normal x-component times area; shape `(nci, nj)`.
+    pub sj_x: Field2<f64>,
+    /// J-face normal r-component times area; shape `(nci, nj)`.
+    pub sj_r: Field2<f64>,
+    /// Cell volumes (per radian when axisymmetric); shape `(nci, ncj)`.
+    pub volume: Field2<f64>,
+    /// Cell centroid x; shape `(nci, ncj)`.
+    pub xc: Field2<f64>,
+    /// Cell centroid r; shape `(nci, ncj)`.
+    pub rc: Field2<f64>,
+    /// Cell meridian-plane area (used for axisymmetric source terms);
+    /// shape `(nci, ncj)`.
+    pub plane_area: Field2<f64>,
+}
+
+fn quad_area_centroid(p: [(f64, f64); 4]) -> (f64, f64, f64) {
+    // Shoelace over the quad (counterclockwise order expected); returns
+    // (area, cx, cy).
+    let mut a2 = 0.0;
+    let mut cx = 0.0;
+    let mut cy = 0.0;
+    for k in 0..4 {
+        let (x0, y0) = p[k];
+        let (x1, y1) = p[(k + 1) % 4];
+        let w = x0 * y1 - x1 * y0;
+        a2 += w;
+        cx += (x0 + x1) * w;
+        cy += (y0 + y1) * w;
+    }
+    let area = 0.5 * a2;
+    if area.abs() < 1e-300 {
+        let mx = p.iter().map(|q| q.0).sum::<f64>() / 4.0;
+        let my = p.iter().map(|q| q.1).sum::<f64>() / 4.0;
+        return (0.0, mx, my);
+    }
+    (area, cx / (6.0 * area), cy / (6.0 * area))
+}
+
+impl Metrics {
+    /// Compute metrics for a grid.
+    ///
+    /// # Panics
+    /// Panics if any cell has non-positive volume (tangled grid).
+    #[must_use]
+    pub fn new(grid: &StructuredGrid) -> Self {
+        let ni = grid.ni();
+        let nj = grid.nj();
+        let nci = ni - 1;
+        let ncj = nj - 1;
+        let axi = grid.geometry == Geometry::Axisymmetric;
+
+        let mut si_x = Field2::zeros(ni, ncj);
+        let mut si_r = Field2::zeros(ni, ncj);
+        for i in 0..ni {
+            for j in 0..ncj {
+                // Edge from node (i, j) to (i, j+1); normal (+i) = (dr, −dx).
+                let dx = grid.x[(i, j + 1)] - grid.x[(i, j)];
+                let dr = grid.r[(i, j + 1)] - grid.r[(i, j)];
+                let w = if axi {
+                    0.5 * (grid.r[(i, j + 1)] + grid.r[(i, j)])
+                } else {
+                    1.0
+                };
+                si_x[(i, j)] = dr * w;
+                si_r[(i, j)] = -dx * w;
+            }
+        }
+
+        let mut sj_x = Field2::zeros(nci, nj);
+        let mut sj_r = Field2::zeros(nci, nj);
+        for i in 0..nci {
+            for j in 0..nj {
+                // Edge from node (i, j) to (i+1, j); normal (+j) = (−dr, dx).
+                let dx = grid.x[(i + 1, j)] - grid.x[(i, j)];
+                let dr = grid.r[(i + 1, j)] - grid.r[(i, j)];
+                let w = if axi {
+                    0.5 * (grid.r[(i + 1, j)] + grid.r[(i, j)])
+                } else {
+                    1.0
+                };
+                sj_x[(i, j)] = -dr * w;
+                sj_r[(i, j)] = dx * w;
+            }
+        }
+
+        let mut volume = Field2::zeros(nci, ncj);
+        let mut xc = Field2::zeros(nci, ncj);
+        let mut rc = Field2::zeros(nci, ncj);
+        let mut plane_area = Field2::zeros(nci, ncj);
+        for i in 0..nci {
+            for j in 0..ncj {
+                // Counterclockwise in (x, r) for i→+x, j→+r grids.
+                let p = [
+                    (grid.x[(i, j)], grid.r[(i, j)]),
+                    (grid.x[(i + 1, j)], grid.r[(i + 1, j)]),
+                    (grid.x[(i + 1, j + 1)], grid.r[(i + 1, j + 1)]),
+                    (grid.x[(i, j + 1)], grid.r[(i, j + 1)]),
+                ];
+                let (area, cx, cy) = quad_area_centroid(p);
+                let area = area.abs();
+                assert!(area > 0.0, "degenerate cell ({i},{j})");
+                plane_area[(i, j)] = area;
+                xc[(i, j)] = cx;
+                rc[(i, j)] = cy;
+                volume[(i, j)] = if axi { area * cy.max(1e-12) } else { area };
+            }
+        }
+
+        Self { si_x, si_r, sj_x, sj_r, volume, xc, rc, plane_area }
+    }
+
+    /// Geometric-conservation check: the face normals of cell `(i, j)` must
+    /// sum to ~0 in planar geometry (in axisymmetric geometry the imbalance
+    /// in r equals the meridian-plane area, absorbed by the pressure source).
+    #[must_use]
+    pub fn gcl_residual(&self, i: usize, j: usize) -> (f64, f64) {
+        let sx =
+            self.si_x[(i + 1, j)] - self.si_x[(i, j)] + self.sj_x[(i, j + 1)] - self.sj_x[(i, j)];
+        let sr =
+            self.si_r[(i + 1, j)] - self.si_r[(i, j)] + self.sj_r[(i, j + 1)] - self.sj_r[(i, j)];
+        (sx, sr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bodies::Hemisphere;
+    use crate::stretch;
+
+    #[test]
+    fn planar_rectangle_metrics() {
+        let g = StructuredGrid::rectangle(3, 3, 2.0, 1.0, Geometry::Planar);
+        let m = Metrics::new(&g);
+        // Each cell is 1.0 × 0.5 → volume 0.5.
+        assert!((m.volume[(0, 0)] - 0.5).abs() < 1e-12);
+        // I-face area = edge length 0.5, pointing +x.
+        assert!((m.si_x[(1, 0)] - 0.5).abs() < 1e-12);
+        assert!(m.si_r[(1, 0)].abs() < 1e-12);
+        // J-face area = 1.0 pointing +y.
+        assert!((m.sj_r[(0, 1)] - 1.0).abs() < 1e-12);
+        assert!(m.sj_x[(0, 1)].abs() < 1e-12);
+    }
+
+    #[test]
+    fn planar_gcl_closes() {
+        let body = Hemisphere::new(1.0);
+        let dist = stretch::tanh_one_sided(10, 2.0);
+        let mut g = StructuredGrid::blunt_body(&body, 12, 10, &|_| 0.3, &dist);
+        g.geometry = Geometry::Planar;
+        let m = Metrics::new(&g);
+        for i in 0..g.nci() {
+            for j in 0..g.ncj() {
+                let (sx, sr) = m.gcl_residual(i, j);
+                assert!(sx.abs() < 1e-12 && sr.abs() < 1e-12, "GCL at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn axisymmetric_gcl_r_imbalance_is_plane_area() {
+        // In axisymmetric metrics, Σ S_r = plane area of the cell (this is
+        // the term balanced by the p/r source in the solver).
+        let g = StructuredGrid::rectangle(4, 4, 1.0, 1.0, Geometry::Axisymmetric);
+        let m = Metrics::new(&g);
+        for i in 0..3 {
+            for j in 0..3 {
+                let (sx, sr) = m.gcl_residual(i, j);
+                assert!(sx.abs() < 1e-12);
+                assert!((sr - m.plane_area[(i, j)]).abs() < 1e-12, "({i},{j}): {sr}");
+            }
+        }
+    }
+
+    #[test]
+    fn axisymmetric_cylinder_volume() {
+        // Unit cylinder r ∈ [0,1], x ∈ [0,1]: total volume per radian = 1/2.
+        let g = StructuredGrid::rectangle(5, 5, 1.0, 1.0, Geometry::Axisymmetric);
+        let m = Metrics::new(&g);
+        let v: f64 = m.volume.as_slice().iter().sum();
+        assert!((v - 0.5).abs() < 1e-9, "V = {v}");
+    }
+
+    #[test]
+    fn volumes_positive_on_blunt_body_grid() {
+        let body = Hemisphere::new(0.5);
+        let dist = stretch::tanh_one_sided(16, 3.0);
+        let g = StructuredGrid::blunt_body(&body, 25, 16, &|sb| 0.1 + 0.05 * sb, &dist);
+        let m = Metrics::new(&g);
+        for v in m.volume.as_slice() {
+            assert!(*v > 0.0);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Grid-quality diagnostics.
+//!
+//! The paper's closing challenges include grid generation "optimized for
+//! supercomputer processing"; the first requirement is knowing when a grid
+//! is bad. These diagnostics flag the classic structured-grid pathologies:
+//! extreme aspect ratio, skewness, and volume jumps.
+
+use crate::metrics::Metrics;
+use crate::structured::StructuredGrid;
+
+/// Per-grid quality summary.
+#[derive(Debug, Clone, Copy)]
+pub struct QualityReport {
+    /// Maximum cell aspect ratio (i-extent / j-extent or inverse).
+    pub max_aspect: f64,
+    /// Mean aspect ratio.
+    pub mean_aspect: f64,
+    /// Maximum skewness: 1 − |cos| of the angle between the i-face normal
+    /// and the line between adjacent cell centers (0 = orthogonal).
+    pub max_skew: f64,
+    /// Maximum adjacent-cell volume ratio (≥ 1).
+    pub max_volume_jump: f64,
+    /// Smallest cell volume.
+    pub min_volume: f64,
+}
+
+impl QualityReport {
+    /// A loose acceptability gate for the solvers in this workspace.
+    #[must_use]
+    pub fn acceptable(&self) -> bool {
+        self.max_skew < 0.5 && self.min_volume > 0.0 && self.max_volume_jump < 1e4
+    }
+}
+
+/// Compute the quality report for a grid.
+///
+/// # Panics
+/// Panics for grids smaller than 2×2 cells.
+#[must_use]
+pub fn assess(grid: &StructuredGrid) -> QualityReport {
+    let m = Metrics::new(grid);
+    let nci = grid.nci();
+    let ncj = grid.ncj();
+    assert!(nci >= 2 && ncj >= 2, "quality needs at least 2x2 cells");
+
+    let mut max_aspect = 0.0_f64;
+    let mut sum_aspect = 0.0;
+    let mut max_skew = 0.0_f64;
+    let mut max_volume_jump = 1.0_f64;
+    let mut min_volume = f64::INFINITY;
+
+    for i in 0..nci {
+        for j in 0..ncj {
+            // Cell extents from the corner nodes.
+            let di = {
+                let dx = grid.x[(i + 1, j)] - grid.x[(i, j)];
+                let dr = grid.r[(i + 1, j)] - grid.r[(i, j)];
+                (dx * dx + dr * dr).sqrt()
+            };
+            let dj = {
+                let dx = grid.x[(i, j + 1)] - grid.x[(i, j)];
+                let dr = grid.r[(i, j + 1)] - grid.r[(i, j)];
+                (dx * dx + dr * dr).sqrt()
+            };
+            let aspect = (di / dj).max(dj / di);
+            max_aspect = max_aspect.max(aspect);
+            sum_aspect += aspect;
+            min_volume = min_volume.min(m.volume[(i, j)]);
+
+            // Skewness across the interior i-face to the right.
+            if i + 1 < nci {
+                let sx = m.si_x[(i + 1, j)];
+                let sr = m.si_r[(i + 1, j)];
+                let area = (sx * sx + sr * sr).sqrt().max(1e-300);
+                let cx = m.xc[(i + 1, j)] - m.xc[(i, j)];
+                let cr = m.rc[(i + 1, j)] - m.rc[(i, j)];
+                let clen = (cx * cx + cr * cr).sqrt().max(1e-300);
+                let cosang = ((sx * cx + sr * cr) / (area * clen)).abs();
+                max_skew = max_skew.max(1.0 - cosang);
+                let vjump = (m.volume[(i + 1, j)] / m.volume[(i, j)]).max(
+                    m.volume[(i, j)] / m.volume[(i + 1, j)],
+                );
+                max_volume_jump = max_volume_jump.max(vjump);
+            }
+            if j + 1 < ncj {
+                let vjump = (m.volume[(i, j + 1)] / m.volume[(i, j)]).max(
+                    m.volume[(i, j)] / m.volume[(i, j + 1)],
+                );
+                max_volume_jump = max_volume_jump.max(vjump);
+            }
+        }
+    }
+
+    QualityReport {
+        max_aspect,
+        mean_aspect: sum_aspect / (nci * ncj) as f64,
+        max_skew,
+        max_volume_jump,
+        min_volume,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bodies::Hemisphere;
+    use crate::stretch;
+    use crate::structured::Geometry;
+
+    #[test]
+    fn uniform_rectangle_is_pristine() {
+        let g = StructuredGrid::rectangle(11, 11, 1.0, 1.0, Geometry::Planar);
+        let q = assess(&g);
+        assert!((q.max_aspect - 1.0).abs() < 1e-12);
+        assert!(q.max_skew < 1e-12);
+        assert!((q.max_volume_jump - 1.0).abs() < 1e-12);
+        assert!(q.acceptable());
+    }
+
+    #[test]
+    fn stretched_rectangle_reports_aspect() {
+        let g = StructuredGrid::rectangle(11, 3, 1.0, 0.01, Geometry::Planar);
+        let q = assess(&g);
+        assert!(q.max_aspect > 15.0, "aspect = {}", q.max_aspect);
+    }
+
+    #[test]
+    fn blunt_body_grid_acceptable() {
+        let body = Hemisphere::new(0.5);
+        let dist = stretch::tanh_one_sided(25, 3.0);
+        let g = StructuredGrid::blunt_body(&body, 21, 25, &|sb| 0.15 + 0.05 * sb, &dist);
+        let q = assess(&g);
+        assert!(q.acceptable(), "{q:?}");
+        assert!(q.min_volume > 0.0);
+        // Wall clustering means high aspect near the wall — expected.
+        assert!(q.max_aspect > 3.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! 1-D point distributions (clustering) for grid generation.
+//!
+//! Hypersonic shock layers need wall clustering (boundary-layer resolution)
+//! and sometimes two-sided clustering (wall + shock). All functions return
+//! `n` normalized coordinates in `[0, 1]`, first 0, last 1, strictly
+//! increasing.
+
+/// Uniform distribution.
+#[must_use]
+pub fn uniform(n: usize) -> Vec<f64> {
+    assert!(n >= 2);
+    (0..n).map(|i| i as f64 / (n - 1) as f64).collect()
+}
+
+/// One-sided tanh clustering toward `ξ = 0` with strength `beta > 0`
+/// (larger = tighter wall spacing).
+#[must_use]
+pub fn tanh_one_sided(n: usize, beta: f64) -> Vec<f64> {
+    assert!(n >= 2 && beta > 0.0);
+    (0..n)
+        .map(|i| {
+            let xi = i as f64 / (n - 1) as f64;
+            1.0 + (beta * (xi - 1.0)).tanh() / beta.tanh()
+        })
+        .collect()
+}
+
+/// Geometric progression toward `ξ = 0` with growth `ratio > 1`; the first
+/// interval is the smallest.
+#[must_use]
+pub fn geometric(n: usize, ratio: f64) -> Vec<f64> {
+    assert!(n >= 2 && ratio > 0.0);
+    let m = n - 1;
+    let total: f64 = if (ratio - 1.0).abs() < 1e-12 {
+        m as f64
+    } else {
+        (ratio.powi(m as i32) - 1.0) / (ratio - 1.0)
+    };
+    let mut xs = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    xs.push(0.0);
+    for k in 0..m {
+        acc += ratio.powi(k as i32);
+        xs.push(acc / total);
+    }
+    let last = xs.len() - 1;
+    xs[last] = 1.0;
+    xs
+}
+
+/// Two-sided tanh clustering (both ends refined), strength `beta`.
+#[must_use]
+pub fn tanh_two_sided(n: usize, beta: f64) -> Vec<f64> {
+    assert!(n >= 2 && beta > 0.0);
+    (0..n)
+        .map(|i| {
+            let xi = i as f64 / (n - 1) as f64;
+            0.5 * (1.0 + (beta * (2.0 * xi - 1.0)).tanh() / beta.tanh())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+fn check(xs: &[f64]) -> bool {
+    xs.first() == Some(&0.0)
+        && (xs.last().copied().unwrap_or(0.0) - 1.0).abs() < 1e-12
+        && xs.windows(2).all(|w| w[1] > w[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_distributions_valid() {
+        assert!(check(&uniform(11)));
+        assert!(check(&tanh_one_sided(11, 3.0)));
+        assert!(check(&geometric(11, 1.2)));
+        assert!(check(&tanh_two_sided(11, 2.5)));
+    }
+
+    #[test]
+    fn tanh_clusters_at_wall() {
+        let xs = tanh_one_sided(21, 3.0);
+        let first = xs[1] - xs[0];
+        let last = xs[20] - xs[19];
+        assert!(first < last / 3.0, "first={first} last={last}");
+    }
+
+    #[test]
+    fn geometric_ratio_respected() {
+        let xs = geometric(11, 1.5);
+        let d0 = xs[1] - xs[0];
+        let d1 = xs[2] - xs[1];
+        assert!((d1 / d0 - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geometric_unit_ratio_is_uniform() {
+        let xs = geometric(6, 1.0);
+        let u = uniform(6);
+        for (a, b) in xs.iter().zip(&u) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn two_sided_symmetric() {
+        let xs = tanh_two_sided(21, 2.0);
+        for i in 0..21 {
+            assert!((xs[i] + xs[20 - i] - 1.0).abs() < 1e-12);
+        }
+    }
+}

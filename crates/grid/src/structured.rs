@@ -1,0 +1,201 @@
+//! Single-block structured grids.
+//!
+//! Convention: node index `(i, j)` with `i` running along the body from the
+//! stagnation line and `j` from the wall (`j = 0`) to the outer boundary
+//! (`j = nj−1`). Blunt-body grids are built algebraically by marching along
+//! the local body normal out to a prescribed shock-layer envelope.
+
+use crate::bodies::Body;
+use aerothermo_numerics::Field2;
+
+/// Planar 2-D or axisymmetric interpretation of the `(x, r)` plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Geometry {
+    /// `r` is the Cartesian y coordinate.
+    Planar,
+    /// `r` is the cylindrical radius; volumes/areas are per radian.
+    #[default]
+    Axisymmetric,
+}
+
+/// A single-block structured grid of nodes.
+#[derive(Debug, Clone)]
+pub struct StructuredGrid {
+    /// Axial coordinate of each node \[m\].
+    pub x: Field2<f64>,
+    /// Radial (or y) coordinate of each node \[m\].
+    pub r: Field2<f64>,
+    /// Planar or axisymmetric.
+    pub geometry: Geometry,
+}
+
+impl StructuredGrid {
+    /// Number of nodes along `i`.
+    #[must_use]
+    pub fn ni(&self) -> usize {
+        self.x.ni()
+    }
+
+    /// Number of nodes along `j`.
+    #[must_use]
+    pub fn nj(&self) -> usize {
+        self.x.nj()
+    }
+
+    /// Number of cells along `i`.
+    #[must_use]
+    pub fn nci(&self) -> usize {
+        self.ni() - 1
+    }
+
+    /// Number of cells along `j`.
+    #[must_use]
+    pub fn ncj(&self) -> usize {
+        self.nj() - 1
+    }
+
+    /// Rectangular grid on `[0, lx] × [0, ly]` with uniform spacing — used by
+    /// solver verification problems (Sod tube, vortex).
+    ///
+    /// # Panics
+    /// Panics for fewer than 2 nodes per direction.
+    #[must_use]
+    pub fn rectangle(ni: usize, nj: usize, lx: f64, ly: f64, geometry: Geometry) -> Self {
+        assert!(ni >= 2 && nj >= 2);
+        let x = Field2::from_fn(ni, nj, |i, _| lx * i as f64 / (ni - 1) as f64);
+        let r = Field2::from_fn(ni, nj, |_, j| ly * j as f64 / (nj - 1) as f64);
+        Self { x, r, geometry }
+    }
+
+    /// Blunt-body shock-layer grid: `ni` nodes along the body (arc-length
+    /// uniform), `nj` nodes along the local normal from the wall out to a
+    /// distance `envelope(s̄)` (s̄ = normalized arc length), distributed by
+    /// the normalized `wall_distribution` (length `nj`, from
+    /// [`crate::stretch`]).
+    ///
+    /// # Panics
+    /// Panics on inconsistent inputs.
+    #[must_use]
+    pub fn blunt_body(
+        body: &dyn Body,
+        ni: usize,
+        nj: usize,
+        envelope: &dyn Fn(f64) -> f64,
+        wall_distribution: &[f64],
+    ) -> Self {
+        assert!(ni >= 2 && nj >= 2);
+        assert_eq!(wall_distribution.len(), nj);
+        let smax = body.arc_length();
+        let mut x = Field2::zeros(ni, nj);
+        let mut r = Field2::zeros(ni, nj);
+        for i in 0..ni {
+            let sbar = i as f64 / (ni - 1) as f64;
+            let s = sbar * smax;
+            let (xw, rw) = body.point(s);
+            let (nx, nr) = body.normal(s);
+            let delta = envelope(sbar);
+            for (j, &xi) in wall_distribution.iter().enumerate() {
+                let d = xi * delta;
+                x[(i, j)] = xw + nx * d;
+                // Keep the stagnation line exactly on the axis.
+                r[(i, j)] = (rw + nr * d).max(0.0);
+                if i == 0 {
+                    r[(i, j)] = 0.0;
+                }
+            }
+        }
+        Self { x, r, geometry: Geometry::Axisymmetric }
+    }
+
+    /// Cell centroid (arithmetic mean of the four corner nodes).
+    #[must_use]
+    pub fn cell_center(&self, i: usize, j: usize) -> (f64, f64) {
+        let xc = 0.25
+            * (self.x[(i, j)] + self.x[(i + 1, j)] + self.x[(i, j + 1)] + self.x[(i + 1, j + 1)]);
+        let rc = 0.25
+            * (self.r[(i, j)] + self.r[(i + 1, j)] + self.r[(i, j + 1)] + self.r[(i + 1, j + 1)]);
+        (xc, rc)
+    }
+
+    /// Smallest cell diagonal — a conservative length scale for CFL limits.
+    #[must_use]
+    pub fn min_cell_size(&self) -> f64 {
+        let mut dmin = f64::INFINITY;
+        for i in 0..self.nci() {
+            for j in 0..self.ncj() {
+                let dx = self.x[(i + 1, j + 1)] - self.x[(i, j)];
+                let dr = self.r[(i + 1, j + 1)] - self.r[(i, j)];
+                dmin = dmin.min((dx * dx + dr * dr).sqrt());
+            }
+        }
+        dmin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bodies::Hemisphere;
+    use crate::stretch;
+
+    #[test]
+    fn rectangle_coords() {
+        let g = StructuredGrid::rectangle(3, 2, 2.0, 1.0, Geometry::Planar);
+        assert_eq!(g.ni(), 3);
+        assert_eq!(g.nj(), 2);
+        assert!((g.x[(2, 0)] - 2.0).abs() < 1e-14);
+        assert!((g.r[(0, 1)] - 1.0).abs() < 1e-14);
+        assert_eq!(g.nci(), 2);
+    }
+
+    #[test]
+    fn blunt_body_wall_on_body() {
+        let body = Hemisphere::new(1.0);
+        let dist = stretch::uniform(9);
+        let g = StructuredGrid::blunt_body(&body, 11, 9, &|_| 0.3, &dist);
+        // j = 0 nodes must lie on the body.
+        for i in 0..11 {
+            let s = body.arc_length() * i as f64 / 10.0;
+            let (xb, rb) = body.point(s);
+            assert!((g.x[(i, 0)] - xb).abs() < 1e-12);
+            assert!((g.r[(i, 0)] - rb).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn blunt_body_outer_at_envelope() {
+        let body = Hemisphere::new(1.0);
+        let dist = stretch::uniform(9);
+        let g = StructuredGrid::blunt_body(&body, 11, 9, &|_| 0.3, &dist);
+        // Outer node at the stagnation line: x = −0.3 (upstream of nose).
+        assert!((g.x[(0, 8)] + 0.3).abs() < 1e-9, "x = {}", g.x[(0, 8)]);
+        assert_eq!(g.r[(0, 8)], 0.0);
+    }
+
+    #[test]
+    fn stagnation_line_stays_on_axis() {
+        let body = Hemisphere::new(0.5);
+        let dist = stretch::tanh_one_sided(12, 3.0);
+        let g = StructuredGrid::blunt_body(&body, 8, 12, &|sb| 0.1 + 0.1 * sb, &dist);
+        for j in 0..12 {
+            assert_eq!(g.r[(0, j)], 0.0);
+        }
+    }
+
+    #[test]
+    fn min_cell_size_positive() {
+        let body = Hemisphere::new(1.0);
+        let dist = stretch::tanh_one_sided(15, 2.0);
+        let g = StructuredGrid::blunt_body(&body, 21, 15, &|_| 0.25, &dist);
+        let d = g.min_cell_size();
+        assert!(d > 0.0 && d < 0.25, "min cell {d}");
+    }
+
+    #[test]
+    fn cell_center_inside_cell() {
+        let g = StructuredGrid::rectangle(4, 4, 3.0, 3.0, Geometry::Planar);
+        let (xc, rc) = g.cell_center(1, 2);
+        assert!(xc > 1.0 && xc < 2.0);
+        assert!(rc > 2.0 && rc < 3.0);
+    }
+}

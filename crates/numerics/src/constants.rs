@@ -1,0 +1,82 @@
+//! Physical constants (SI units, CODATA-class values).
+//!
+//! All of the thermochemistry in `aerothermo-gas` is derived from statistical
+//! mechanics, so the fundamental constants here are the single source of truth
+//! for the whole workspace.
+
+/// Universal gas constant \[J/(kmol·K)\].
+pub const R_UNIVERSAL: f64 = 8314.462618;
+
+/// Boltzmann constant \[J/K\].
+pub const K_BOLTZMANN: f64 = 1.380649e-23;
+
+/// Avogadro's number \[1/kmol\].
+pub const N_AVOGADRO: f64 = 6.02214076e26;
+
+/// Planck constant \[J·s\].
+pub const H_PLANCK: f64 = 6.62607015e-34;
+
+/// Speed of light in vacuum \[m/s\].
+pub const C_LIGHT: f64 = 2.99792458e8;
+
+/// Stefan-Boltzmann constant \[W/(m²·K⁴)\].
+pub const SIGMA_SB: f64 = 5.670374419e-8;
+
+/// Elementary charge \[C\].
+pub const Q_ELECTRON: f64 = 1.602176634e-19;
+
+/// Electron mass \[kg\].
+pub const M_ELECTRON: f64 = 9.1093837015e-31;
+
+/// Standard gravitational acceleration at Earth's surface \[m/s²\].
+pub const G0_EARTH: f64 = 9.80665;
+
+/// Earth mean radius \[m\].
+pub const R_EARTH: f64 = 6.371e6;
+
+/// Titan mean radius \[m\].
+pub const R_TITAN: f64 = 2.575e6;
+
+/// Titan surface gravity \[m/s²\].
+pub const G0_TITAN: f64 = 1.352;
+
+/// Standard atmosphere \[Pa\].
+pub const P_ATM: f64 = 101_325.0;
+
+/// One torr \[Pa\]. Shock-tube conditions in the 1980s literature are quoted
+/// in torr (the paper's Fig. 7 case is 0.1 torr).
+pub const TORR: f64 = 133.322;
+
+/// Electron-volt expressed as a temperature \[K\] (eV / k_B).
+pub const EV_IN_KELVIN: f64 = 11_604.518;
+
+/// First radiation constant `2 h c²` \[W·m²\] for spectral radiance in
+/// wavelength form.
+pub const C1_RADIATION: f64 = 2.0 * H_PLANCK * C_LIGHT * C_LIGHT;
+
+/// Second radiation constant `h c / k_B` \[m·K\].
+pub const C2_RADIATION: f64 = H_PLANCK * C_LIGHT / K_BOLTZMANN;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boltzmann_times_avogadro_is_gas_constant() {
+        let r = K_BOLTZMANN * N_AVOGADRO;
+        assert!((r - R_UNIVERSAL).abs() / R_UNIVERSAL < 1e-9);
+    }
+
+    #[test]
+    fn ev_in_kelvin_consistent() {
+        let t = Q_ELECTRON / K_BOLTZMANN;
+        assert!((t - EV_IN_KELVIN).abs() / EV_IN_KELVIN < 1e-6);
+    }
+
+    #[test]
+    fn radiation_constants_positive() {
+        assert!(C1_RADIATION > 0.0 && C2_RADIATION > 0.0);
+        // c2 ~ 1.4388e-2 m K
+        assert!((C2_RADIATION - 1.4388e-2).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,305 @@
+//! Interpolation: linear, monotone cubic (Fritsch-Carlson), and bilinear
+//! tables.
+//!
+//! The equilibrium-air EOS table in `aerothermo-gas` and the atmosphere
+//! models both interpolate tabulated data; monotone cubic keeps thermodynamic
+//! derivatives (sound speed!) from ringing between knots.
+
+/// Locate the interval index `i` with `xs[i] <= x < xs[i+1]`, clamped to the
+/// valid range. `xs` must be strictly increasing with at least 2 entries.
+#[must_use]
+pub fn bracket(xs: &[f64], x: f64) -> usize {
+    debug_assert!(xs.len() >= 2);
+    if x <= xs[0] {
+        return 0;
+    }
+    if x >= xs[xs.len() - 2] {
+        return xs.len() - 2;
+    }
+    // Binary search.
+    let mut lo = 0usize;
+    let mut hi = xs.len() - 1;
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if xs[mid] <= x {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Piecewise-linear interpolation with constant extrapolation outside the
+/// table.
+///
+/// # Panics
+/// Panics when `xs`/`ys` lengths differ or fewer than 2 points are given.
+#[must_use]
+pub fn lerp(xs: &[f64], ys: &[f64], x: f64) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2, "need at least two points");
+    if x <= xs[0] {
+        return ys[0];
+    }
+    if x >= xs[xs.len() - 1] {
+        return ys[ys.len() - 1];
+    }
+    let i = bracket(xs, x);
+    let t = (x - xs[i]) / (xs[i + 1] - xs[i]);
+    ys[i] + t * (ys[i + 1] - ys[i])
+}
+
+/// Piecewise-linear interpolation with *linear* extrapolation beyond the
+/// endpoints (used for atmosphere tails).
+#[must_use]
+pub fn lerp_extrap(xs: &[f64], ys: &[f64], x: f64) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2, "need at least two points");
+    let i = bracket(xs, x);
+    let t = (x - xs[i]) / (xs[i + 1] - xs[i]);
+    ys[i] + t * (ys[i + 1] - ys[i])
+}
+
+/// Monotone cubic Hermite interpolant (Fritsch-Carlson slopes).
+///
+/// Preserves monotonicity of the data — no overshoot between knots — while
+/// being C¹. Ideal for thermodynamic property tables.
+#[derive(Debug, Clone)]
+pub struct MonotoneCubic {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    ms: Vec<f64>, // node slopes
+}
+
+impl MonotoneCubic {
+    /// Build the interpolant. `xs` must be strictly increasing and at least
+    /// 2 points long.
+    ///
+    /// # Panics
+    /// Panics on length mismatch, too-few points, or non-increasing `xs`.
+    #[must_use]
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Self {
+        assert_eq!(xs.len(), ys.len());
+        let n = xs.len();
+        assert!(n >= 2, "need at least two points");
+        for w in xs.windows(2) {
+            assert!(w[1] > w[0], "xs must be strictly increasing");
+        }
+        // Secant slopes.
+        let d: Vec<f64> = (0..n - 1)
+            .map(|i| (ys[i + 1] - ys[i]) / (xs[i + 1] - xs[i]))
+            .collect();
+        let mut ms = vec![0.0; n];
+        ms[0] = d[0];
+        ms[n - 1] = d[n - 2];
+        for i in 1..n - 1 {
+            ms[i] = if d[i - 1] * d[i] <= 0.0 {
+                0.0
+            } else {
+                // Harmonic-mean-like average keeps monotonicity.
+                let w1 = 2.0 * (xs[i + 1] - xs[i]) + (xs[i] - xs[i - 1]);
+                let w2 = (xs[i + 1] - xs[i]) + 2.0 * (xs[i] - xs[i - 1]);
+                (w1 + w2) / (w1 / d[i - 1] + w2 / d[i])
+            };
+        }
+        // Fritsch-Carlson limiting.
+        for i in 0..n - 1 {
+            if d[i] == 0.0 {
+                ms[i] = 0.0;
+                ms[i + 1] = 0.0;
+            } else {
+                let a = ms[i] / d[i];
+                let b = ms[i + 1] / d[i];
+                let s = (a * a + b * b).sqrt();
+                if s > 3.0 {
+                    ms[i] = 3.0 * d[i] * a / s;
+                    ms[i + 1] = 3.0 * d[i] * b / s;
+                }
+            }
+        }
+        Self { xs, ys, ms }
+    }
+
+    /// Evaluate at `x` (clamped extrapolation beyond the knots).
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1];
+        }
+        let i = bracket(&self.xs, x);
+        let h = self.xs[i + 1] - self.xs[i];
+        let t = (x - self.xs[i]) / h;
+        let t2 = t * t;
+        let t3 = t2 * t;
+        let h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
+        let h10 = t3 - 2.0 * t2 + t;
+        let h01 = -2.0 * t3 + 3.0 * t2;
+        let h11 = t3 - t2;
+        h00 * self.ys[i] + h10 * h * self.ms[i] + h01 * self.ys[i + 1] + h11 * h * self.ms[i + 1]
+    }
+
+    /// Derivative dy/dx at `x` (zero outside the knots).
+    #[must_use]
+    pub fn deriv(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x <= self.xs[0] || x >= self.xs[n - 1] {
+            return 0.0;
+        }
+        let i = bracket(&self.xs, x);
+        let h = self.xs[i + 1] - self.xs[i];
+        let t = (x - self.xs[i]) / h;
+        let t2 = t * t;
+        let dh00 = (6.0 * t2 - 6.0 * t) / h;
+        let dh10 = 3.0 * t2 - 4.0 * t + 1.0;
+        let dh01 = (-6.0 * t2 + 6.0 * t) / h;
+        let dh11 = 3.0 * t2 - 2.0 * t;
+        dh00 * self.ys[i] + dh10 * self.ms[i] + dh01 * self.ys[i + 1] + dh11 * self.ms[i + 1]
+    }
+}
+
+/// A rectangular bilinear lookup table `z(x, y)` on strictly increasing axes,
+/// with clamped evaluation outside the rectangle.
+#[derive(Debug, Clone)]
+pub struct BilinearTable {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// Row-major: `z[i * ys.len() + j]` is the value at `(xs[i], ys[j])`.
+    z: Vec<f64>,
+}
+
+impl BilinearTable {
+    /// Build from axes and row-major values.
+    ///
+    /// # Panics
+    /// Panics when dimensions are inconsistent or axes are not strictly
+    /// increasing.
+    #[must_use]
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>, z: Vec<f64>) -> Self {
+        assert!(xs.len() >= 2 && ys.len() >= 2);
+        assert_eq!(z.len(), xs.len() * ys.len());
+        for w in xs.windows(2) {
+            assert!(w[1] > w[0], "x axis must increase");
+        }
+        for w in ys.windows(2) {
+            assert!(w[1] > w[0], "y axis must increase");
+        }
+        Self { xs, ys, z }
+    }
+
+    /// X axis knots.
+    #[must_use]
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// Y axis knots.
+    #[must_use]
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Evaluate with bilinear interpolation, clamped to the table rectangle.
+    #[must_use]
+    pub fn eval(&self, x: f64, y: f64) -> f64 {
+        let nx = self.xs.len();
+        let ny = self.ys.len();
+        let xc = x.clamp(self.xs[0], self.xs[nx - 1]);
+        let yc = y.clamp(self.ys[0], self.ys[ny - 1]);
+        let i = bracket(&self.xs, xc);
+        let j = bracket(&self.ys, yc);
+        let tx = (xc - self.xs[i]) / (self.xs[i + 1] - self.xs[i]);
+        let ty = (yc - self.ys[j]) / (self.ys[j + 1] - self.ys[j]);
+        let z00 = self.z[i * ny + j];
+        let z01 = self.z[i * ny + j + 1];
+        let z10 = self.z[(i + 1) * ny + j];
+        let z11 = self.z[(i + 1) * ny + j + 1];
+        z00 * (1.0 - tx) * (1.0 - ty) + z10 * tx * (1.0 - ty) + z01 * (1.0 - tx) * ty
+            + z11 * tx * ty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bracket_edges() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        assert_eq!(bracket(&xs, -1.0), 0);
+        assert_eq!(bracket(&xs, 0.5), 0);
+        assert_eq!(bracket(&xs, 1.0), 1);
+        assert_eq!(bracket(&xs, 2.5), 2);
+        assert_eq!(bracket(&xs, 99.0), 2);
+    }
+
+    #[test]
+    fn lerp_exact_on_line() {
+        let xs = [0.0, 1.0, 3.0];
+        let ys = [0.0, 2.0, 6.0];
+        assert!((lerp(&xs, &ys, 0.5) - 1.0).abs() < 1e-14);
+        assert!((lerp(&xs, &ys, 2.0) - 4.0).abs() < 1e-14);
+        // clamped
+        assert_eq!(lerp(&xs, &ys, -5.0), 0.0);
+        assert_eq!(lerp(&xs, &ys, 9.0), 6.0);
+        // extrapolating variant keeps the slope
+        assert!((lerp_extrap(&xs, &ys, 4.0) - 8.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn monotone_cubic_interpolates_knots() {
+        let xs = vec![0.0, 1.0, 2.0, 4.0];
+        let ys = vec![1.0, 3.0, 3.5, 7.0];
+        let mc = MonotoneCubic::new(xs.clone(), ys.clone());
+        for (x, y) in xs.iter().zip(&ys) {
+            assert!((mc.eval(*x) - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn monotone_cubic_no_overshoot() {
+        // Step-like data: interpolant must stay within [0, 1].
+        let xs = vec![0.0, 1.0, 2.0, 3.0, 4.0];
+        let ys = vec![0.0, 0.0, 0.5, 1.0, 1.0];
+        let mc = MonotoneCubic::new(xs, ys);
+        let mut x = 0.0;
+        while x <= 4.0 {
+            let v = mc.eval(x);
+            assert!((-1e-12..=1.0 + 1e-12).contains(&v), "overshoot at {x}: {v}");
+            x += 0.01;
+        }
+    }
+
+    #[test]
+    fn monotone_cubic_derivative_fd() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.3).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x * 0.7).exp()).collect();
+        let mc = MonotoneCubic::new(xs, ys);
+        let x = 2.13;
+        let d_an = mc.deriv(x);
+        let h = 1e-6;
+        let d_fd = (mc.eval(x + h) - mc.eval(x - h)) / (2.0 * h);
+        assert!((d_an - d_fd).abs() < 1e-5 * d_fd.abs().max(1.0));
+    }
+
+    #[test]
+    fn bilinear_reproduces_plane() {
+        let xs = vec![0.0, 1.0, 2.0];
+        let ys = vec![0.0, 2.0];
+        // z = 3x + 0.5y + 1
+        let mut z = vec![0.0; 6];
+        for (i, &x) in xs.iter().enumerate() {
+            for (j, &y) in ys.iter().enumerate() {
+                z[i * 2 + j] = 3.0 * x + 0.5 * y + 1.0;
+            }
+        }
+        let t = BilinearTable::new(xs, ys, z);
+        assert!((t.eval(0.7, 1.1) - (3.0 * 0.7 + 0.55 + 1.0)).abs() < 1e-13);
+        // clamps
+        assert!((t.eval(-1.0, -1.0) - 1.0).abs() < 1e-13);
+    }
+}

@@ -1,0 +1,133 @@
+//! TVD slope limiters for MUSCL reconstruction.
+//!
+//! The upwind finite-volume solvers (`euler2d`, `ns2d`, `pns`) reconstruct
+//! interface states from cell averages; these limiters keep the
+//! reconstruction monotone through the captured bow shock.
+
+/// Which limiter a solver should apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Limiter {
+    /// First order (zero slope) — maximum robustness.
+    FirstOrder,
+    /// Minmod — most dissipative of the second-order family.
+    #[default]
+    Minmod,
+    /// Van Leer's smooth harmonic limiter.
+    VanLeer,
+    /// Superbee — sharpest, least dissipative.
+    Superbee,
+}
+
+impl Limiter {
+    /// Limited slope from left and right one-sided differences `a`, `b`.
+    #[inline]
+    #[must_use]
+    pub fn slope(self, a: f64, b: f64) -> f64 {
+        match self {
+            Limiter::FirstOrder => 0.0,
+            Limiter::Minmod => minmod(a, b),
+            Limiter::VanLeer => van_leer(a, b),
+            Limiter::Superbee => superbee(a, b),
+        }
+    }
+}
+
+/// Minmod of two slopes: the smaller magnitude when signs agree, else 0.
+#[inline]
+#[must_use]
+pub fn minmod(a: f64, b: f64) -> f64 {
+    if a * b <= 0.0 {
+        0.0
+    } else if a.abs() < b.abs() {
+        a
+    } else {
+        b
+    }
+}
+
+/// Van Leer harmonic limiter: `2ab/(a+b)` for same-signed slopes.
+#[inline]
+#[must_use]
+pub fn van_leer(a: f64, b: f64) -> f64 {
+    if a * b <= 0.0 {
+        0.0
+    } else {
+        2.0 * a * b / (a + b)
+    }
+}
+
+/// Superbee limiter.
+#[inline]
+#[must_use]
+pub fn superbee(a: f64, b: f64) -> f64 {
+    if a * b <= 0.0 {
+        return 0.0;
+    }
+    let s = a.signum();
+    let aa = a.abs();
+    let ab = b.abs();
+    s * (aa.min(2.0 * ab)).max(ab.min(2.0 * aa))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIMITERS: [Limiter; 4] = [
+        Limiter::FirstOrder,
+        Limiter::Minmod,
+        Limiter::VanLeer,
+        Limiter::Superbee,
+    ];
+
+    #[test]
+    fn zero_at_extrema() {
+        // Opposite-signed slopes (local extremum) must give zero slope for
+        // every limiter — that is the TVD property.
+        for lim in LIMITERS {
+            assert_eq!(lim.slope(1.0, -2.0), 0.0, "{lim:?}");
+            assert_eq!(lim.slope(-0.1, 3.0), 0.0, "{lim:?}");
+        }
+    }
+
+    #[test]
+    fn symmetric_on_equal_slopes() {
+        for lim in [Limiter::Minmod, Limiter::VanLeer, Limiter::Superbee] {
+            let s = lim.slope(2.0, 2.0);
+            assert!((s - 2.0).abs() < 1e-14, "{lim:?} gave {s}");
+        }
+    }
+
+    #[test]
+    fn bounded_by_twice_min_slope() {
+        // All second-order TVD limiters satisfy |φ| ≤ 2·min(|a|,|b|).
+        for lim in [Limiter::Minmod, Limiter::VanLeer, Limiter::Superbee] {
+            for (a, b) in [(1.0, 3.0), (0.5, 0.1), (4.0, 4.0), (1e-8, 1.0)] {
+                let s = lim.slope(a, b).abs();
+                assert!(
+                    s <= 2.0 * a.abs().min(b.abs()) + 1e-15,
+                    "{lim:?} a={a} b={b} s={s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dissipation_ordering() {
+        // minmod ≤ van Leer ≤ superbee in magnitude for same-signed slopes.
+        for (a, b) in [(1.0, 2.0), (0.3, 0.9), (5.0, 1.0)] {
+            let m = minmod(a, b);
+            let v = van_leer(a, b);
+            let s = superbee(a, b);
+            assert!(m <= v + 1e-14 && v <= s + 1e-14, "a={a} b={b}: {m} {v} {s}");
+        }
+    }
+
+    #[test]
+    fn sign_preserved() {
+        for lim in [Limiter::Minmod, Limiter::VanLeer, Limiter::Superbee] {
+            assert!(lim.slope(-1.0, -2.0) < 0.0, "{lim:?}");
+            assert!(lim.slope(1.0, 2.0) > 0.0, "{lim:?}");
+        }
+    }
+}

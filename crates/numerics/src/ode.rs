@@ -1,0 +1,481 @@
+//! ODE integrators: classic RK4, adaptive RKF45, and a stiff implicit
+//! (backward-Euler with Newton) marcher.
+//!
+//! The stiff integrator is the workhorse for finite-rate chemistry, where the
+//! time scales of the exchange reactions span many orders of magnitude — the
+//! "single most complicating factor in CAT" per the paper. Backward Euler is
+//! only first order, but its L-stability is exactly what a relaxing
+//! post-shock state needs, and the step controller keeps the accuracy.
+
+use crate::linalg::solve_dense;
+
+/// Right-hand side of `dy/dx = f(x, y)`: writes the derivative into `dydx`.
+pub trait OdeSystem {
+    /// Evaluate the derivative at `(x, y)`.
+    fn rhs(&self, x: f64, y: &[f64], dydx: &mut [f64]);
+}
+
+impl<F: Fn(f64, &[f64], &mut [f64])> OdeSystem for F {
+    fn rhs(&self, x: f64, y: &[f64], dydx: &mut [f64]) {
+        self(x, y, dydx);
+    }
+}
+
+/// One classic fourth-order Runge-Kutta step of size `h`; `y` is advanced in
+/// place.
+pub fn rk4_step(sys: &impl OdeSystem, x: f64, y: &mut [f64], h: f64) {
+    let n = y.len();
+    let mut k1 = vec![0.0; n];
+    let mut k2 = vec![0.0; n];
+    let mut k3 = vec![0.0; n];
+    let mut k4 = vec![0.0; n];
+    let mut yt = vec![0.0; n];
+
+    sys.rhs(x, y, &mut k1);
+    for i in 0..n {
+        yt[i] = y[i] + 0.5 * h * k1[i];
+    }
+    sys.rhs(x + 0.5 * h, &yt, &mut k2);
+    for i in 0..n {
+        yt[i] = y[i] + 0.5 * h * k2[i];
+    }
+    sys.rhs(x + 0.5 * h, &yt, &mut k3);
+    for i in 0..n {
+        yt[i] = y[i] + h * k3[i];
+    }
+    sys.rhs(x + h, &yt, &mut k4);
+    for i in 0..n {
+        y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+}
+
+/// Integrate with fixed-step RK4 from `x0` to `x1` in `nsteps` steps.
+pub fn rk4_integrate(sys: &impl OdeSystem, x0: f64, x1: f64, y: &mut [f64], nsteps: usize) {
+    let h = (x1 - x0) / nsteps as f64;
+    let mut x = x0;
+    for _ in 0..nsteps {
+        rk4_step(sys, x, y, h);
+        x += h;
+    }
+}
+
+/// Options for the adaptive integrators.
+#[derive(Debug, Clone)]
+pub struct AdaptiveOptions {
+    /// Relative error tolerance.
+    pub rtol: f64,
+    /// Absolute error tolerance.
+    pub atol: f64,
+    /// Initial step size (sign ignored; direction from the interval).
+    pub h0: f64,
+    /// Smallest allowed |step|.
+    pub hmin: f64,
+    /// Largest allowed |step|.
+    pub hmax: f64,
+    /// Step budget.
+    pub max_steps: usize,
+}
+
+impl Default for AdaptiveOptions {
+    fn default() -> Self {
+        Self {
+            rtol: 1e-8,
+            atol: 1e-12,
+            h0: 1e-4,
+            hmin: 1e-14,
+            hmax: f64::INFINITY,
+            max_steps: 1_000_000,
+        }
+    }
+}
+
+/// Integration failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OdeError {
+    /// Step size underflowed `hmin` at the given abscissa.
+    StepUnderflow(f64),
+    /// `max_steps` exhausted at the given abscissa.
+    TooManySteps(f64),
+    /// Newton failed to converge inside the implicit solver.
+    NewtonFailure(f64),
+}
+
+impl std::fmt::Display for OdeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OdeError::StepUnderflow(x) => write!(f, "ode: step underflow at x={x:.6e}"),
+            OdeError::TooManySteps(x) => write!(f, "ode: too many steps at x={x:.6e}"),
+            OdeError::NewtonFailure(x) => write!(f, "ode: implicit newton failed at x={x:.6e}"),
+        }
+    }
+}
+
+impl std::error::Error for OdeError {}
+
+// Fehlberg 4(5) coefficients.
+const RKF_A: [[f64; 5]; 5] = [
+    [1.0 / 4.0, 0.0, 0.0, 0.0, 0.0],
+    [3.0 / 32.0, 9.0 / 32.0, 0.0, 0.0, 0.0],
+    [1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0, 0.0, 0.0],
+    [439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0, 0.0],
+    [-8.0 / 27.0, 2.0, -3544.0 / 2565.0, 1859.0 / 4104.0, -11.0 / 40.0],
+];
+const RKF_C: [f64; 6] = [0.0, 0.25, 3.0 / 8.0, 12.0 / 13.0, 1.0, 0.5];
+const RKF_B4: [f64; 6] = [25.0 / 216.0, 0.0, 1408.0 / 2565.0, 2197.0 / 4104.0, -1.0 / 5.0, 0.0];
+const RKF_B5: [f64; 6] = [
+    16.0 / 135.0,
+    0.0,
+    6656.0 / 12825.0,
+    28561.0 / 56430.0,
+    -9.0 / 50.0,
+    2.0 / 55.0,
+];
+
+/// Adaptive RKF45 integration from `x0` to `x1`. Calls `observer(x, y)` after
+/// every accepted step (including the initial state).
+///
+/// # Errors
+/// See [`OdeError`].
+pub fn rkf45_integrate(
+    sys: &impl OdeSystem,
+    x0: f64,
+    x1: f64,
+    y: &mut [f64],
+    opts: &AdaptiveOptions,
+    mut observer: impl FnMut(f64, &[f64]),
+) -> Result<(), OdeError> {
+    let n = y.len();
+    let dir = if x1 >= x0 { 1.0 } else { -1.0 };
+    let mut x = x0;
+    let mut h = opts.h0.abs().max(opts.hmin) * dir;
+    let mut k = vec![vec![0.0; n]; 6];
+    let mut yt = vec![0.0; n];
+    let mut y4 = vec![0.0; n];
+    let mut y5 = vec![0.0; n];
+
+    observer(x, y);
+    let mut steps = 0;
+    while (x1 - x) * dir > 1e-14 * x1.abs().max(1.0) {
+        if steps >= opts.max_steps {
+            return Err(OdeError::TooManySteps(x));
+        }
+        steps += 1;
+        if (x + h - x1) * dir > 0.0 {
+            h = x1 - x;
+        }
+
+        sys.rhs(x, y, &mut k[0]);
+        for s in 1..6 {
+            for i in 0..n {
+                let mut acc = y[i];
+                for (j, kj) in k.iter().enumerate().take(s) {
+                    acc += h * RKF_A[s - 1][j] * kj[i];
+                }
+                yt[i] = acc;
+            }
+            let (head, tail) = k.split_at_mut(s);
+            let _ = head;
+            sys.rhs(x + RKF_C[s] * h, &yt, &mut tail[0]);
+        }
+
+        let mut err = 0.0_f64;
+        for i in 0..n {
+            let mut s4 = y[i];
+            let mut s5 = y[i];
+            for j in 0..6 {
+                s4 += h * RKF_B4[j] * k[j][i];
+                s5 += h * RKF_B5[j] * k[j][i];
+            }
+            y4[i] = s4;
+            y5[i] = s5;
+            let sc = opts.atol + opts.rtol * y[i].abs().max(s5.abs());
+            err = err.max(((s5 - s4) / sc).abs());
+        }
+
+        if err <= 1.0 || h.abs() <= opts.hmin * 1.0001 {
+            x += h;
+            y.copy_from_slice(&y5);
+            observer(x, y);
+        }
+
+        // PI-free simple controller.
+        let factor = if err > 0.0 {
+            (0.9 * err.powf(-0.2)).clamp(0.2, 5.0)
+        } else {
+            5.0
+        };
+        h *= factor;
+        if h.abs() > opts.hmax {
+            h = opts.hmax * dir;
+        }
+        if h.abs() < opts.hmin {
+            if err > 1.0 {
+                return Err(OdeError::StepUnderflow(x));
+            }
+            h = opts.hmin * dir;
+        }
+    }
+    Ok(())
+}
+
+/// Stiff integrator: adaptive backward Euler with a damped Newton inner solve
+/// and step-doubling error control.
+///
+/// Solves `y_{n+1} = y_n + h f(x_{n+1}, y_{n+1})` via Newton with a
+/// finite-difference Jacobian, re-assembled every step (the systems here are
+/// small — ≲ 15 unknowns — so Jacobian reuse isn't worth the complexity).
+/// Error is estimated by comparing one full step against two half steps and
+/// the step adapted to `rtol`/`atol` (first-order Richardson).
+///
+/// # Errors
+/// See [`OdeError`].
+pub fn stiff_integrate(
+    sys: &impl OdeSystem,
+    x0: f64,
+    x1: f64,
+    y: &mut [f64],
+    opts: &AdaptiveOptions,
+    mut observer: impl FnMut(f64, &[f64]),
+) -> Result<(), OdeError> {
+    let dir = if x1 >= x0 { 1.0 } else { -1.0 };
+    let mut x = x0;
+    let mut h = opts.h0.abs().max(opts.hmin) * dir;
+    let n = y.len();
+    let mut yfull = vec![0.0; n];
+    let mut yhalf = vec![0.0; n];
+
+    observer(x, y);
+    let mut steps = 0;
+    while (x1 - x) * dir > 1e-14 * x1.abs().max(1.0) {
+        if steps >= opts.max_steps {
+            return Err(OdeError::TooManySteps(x));
+        }
+        steps += 1;
+        if (x + h - x1) * dir > 0.0 {
+            h = x1 - x;
+        }
+
+        // One full step.
+        yfull.copy_from_slice(y);
+        let ok_full = be_step(sys, x, &mut yfull, h);
+        // Two half steps.
+        yhalf.copy_from_slice(y);
+        let ok_half = be_step(sys, x, &mut yhalf, 0.5 * h)
+            && be_step(sys, x + 0.5 * h, &mut yhalf, 0.5 * h);
+
+        if !(ok_full && ok_half) {
+            h *= 0.25;
+            if h.abs() < opts.hmin {
+                return Err(OdeError::NewtonFailure(x));
+            }
+            continue;
+        }
+
+        let mut err = 0.0_f64;
+        for i in 0..n {
+            let sc = opts.atol + opts.rtol * y[i].abs().max(yhalf[i].abs());
+            err = err.max(((yhalf[i] - yfull[i]) / sc).abs());
+        }
+
+        if err <= 1.0 || h.abs() <= opts.hmin * 1.0001 {
+            x += h;
+            // Richardson extrapolation of the first-order scheme.
+            for i in 0..n {
+                y[i] = 2.0 * yhalf[i] - yfull[i];
+            }
+            observer(x, y);
+        }
+
+        let factor = if err > 0.0 {
+            (0.8 / err).clamp(0.2, 4.0)
+        } else {
+            4.0
+        };
+        h *= factor;
+        if h.abs() > opts.hmax {
+            h = opts.hmax * dir;
+        }
+        if h.abs() < opts.hmin {
+            if err > 1.0 {
+                return Err(OdeError::StepUnderflow(x));
+            }
+            h = opts.hmin * dir;
+        }
+    }
+    Ok(())
+}
+
+/// Single backward-Euler step with Newton; returns false on Newton failure.
+fn be_step(sys: &impl OdeSystem, x: f64, y: &mut [f64], h: f64) -> bool {
+    let n = y.len();
+    let xn = x + h;
+    let y0: Vec<f64> = y.to_vec();
+    let mut f = vec![0.0; n];
+    let mut fpert = vec![0.0; n];
+    let mut res = vec![0.0; n];
+    let mut jac = vec![0.0; n * n];
+    let mut ypert = vec![0.0; n];
+
+    for _newton in 0..25 {
+        sys.rhs(xn, y, &mut f);
+        let mut rnorm = 0.0_f64;
+        for i in 0..n {
+            res[i] = y[i] - y0[i] - h * f[i];
+            rnorm = rnorm.max(res[i].abs() / (1.0 + y[i].abs()));
+        }
+        if !rnorm.is_finite() {
+            return false;
+        }
+        if rnorm < 1e-11 {
+            return true;
+        }
+
+        // J = I − h ∂f/∂y (forward differences).
+        for j in 0..n {
+            ypert.copy_from_slice(y);
+            let dy = 1e-7 * y[j].abs().max(1e-10);
+            ypert[j] += dy;
+            sys.rhs(xn, &ypert, &mut fpert);
+            for i in 0..n {
+                jac[i * n + j] = -h * (fpert[i] - f[i]) / dy;
+            }
+            jac[j * n + j] += 1.0;
+        }
+
+        let mut dx: Vec<f64> = res.iter().map(|r| -r).collect();
+        if solve_dense(&mut jac, n, &mut dx).is_err() {
+            return false;
+        }
+        for i in 0..n {
+            y[i] += dx[i];
+        }
+        if !y.iter().all(|v| v.is_finite()) {
+            return false;
+        }
+    }
+    // Accept a slightly-unconverged Newton if the residual is small-ish.
+    sys.rhs(xn, y, &mut f);
+    let mut rnorm = 0.0_f64;
+    for i in 0..n {
+        rnorm = rnorm.max((y[i] - y0[i] - h * f[i]).abs() / (1.0 + y[i].abs()));
+    }
+    rnorm < 1e-6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rk4_exponential() {
+        let sys = |_x: f64, y: &[f64], d: &mut [f64]| d[0] = -y[0];
+        let mut y = vec![1.0];
+        rk4_integrate(&sys, 0.0, 1.0, &mut y, 100);
+        assert!((y[0] - (-1.0_f64).exp()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rkf45_harmonic_oscillator() {
+        // y'' = −y as a system; energy conserved.
+        let sys = |_x: f64, y: &[f64], d: &mut [f64]| {
+            d[0] = y[1];
+            d[1] = -y[0];
+        };
+        let mut y = vec![1.0, 0.0];
+        rkf45_integrate(
+            &sys,
+            0.0,
+            2.0 * std::f64::consts::PI,
+            &mut y,
+            &AdaptiveOptions {
+                rtol: 1e-10,
+                ..AdaptiveOptions::default()
+            },
+            |_, _| {},
+        )
+        .unwrap();
+        assert!((y[0] - 1.0).abs() < 1e-7);
+        assert!(y[1].abs() < 1e-7);
+    }
+
+    #[test]
+    fn stiff_decay_fast_mode() {
+        // Classic stiff test: y' = −1e6 (y − cos x) − sin x, exact y = cos x
+        // after the fast transient dies.
+        let sys = |x: f64, y: &[f64], d: &mut [f64]| {
+            d[0] = -1e6 * (y[0] - x.cos()) - x.sin();
+        };
+        let mut y = vec![2.0]; // off the slow manifold
+        stiff_integrate(
+            &sys,
+            0.0,
+            1.0,
+            &mut y,
+            &AdaptiveOptions {
+                rtol: 1e-6,
+                atol: 1e-9,
+                h0: 1e-8,
+                ..AdaptiveOptions::default()
+            },
+            |_, _| {},
+        )
+        .unwrap();
+        assert!((y[0] - 1.0_f64.cos()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn stiff_robertson_mass_conserved() {
+        // Robertson chemistry problem: notoriously stiff; the three
+        // concentrations must keep summing to one.
+        let sys = |_x: f64, y: &[f64], d: &mut [f64]| {
+            d[0] = -0.04 * y[0] + 1e4 * y[1] * y[2];
+            d[1] = 0.04 * y[0] - 1e4 * y[1] * y[2] - 3e7 * y[1] * y[1];
+            d[2] = 3e7 * y[1] * y[1];
+        };
+        let mut y = vec![1.0, 0.0, 0.0];
+        stiff_integrate(
+            &sys,
+            0.0,
+            100.0,
+            &mut y,
+            &AdaptiveOptions {
+                rtol: 1e-6,
+                atol: 1e-12,
+                h0: 1e-6,
+                ..AdaptiveOptions::default()
+            },
+            |_, _| {},
+        )
+        .unwrap();
+        let sum: f64 = y.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5, "mass leak: {sum}");
+        // Reference: at t = 100 the Robertson solution has y3 ≈ 0.38.
+        assert!((y[2] - 0.38).abs() < 0.02, "y3 off reference: {y:?}");
+        assert!(y[1] < 1e-4, "intermediate species should stay tiny: {y:?}");
+    }
+
+    #[test]
+    fn rkf45_observer_sees_endpoints() {
+        let sys = |_x: f64, _y: &[f64], d: &mut [f64]| d[0] = 1.0;
+        let mut y = vec![0.0];
+        let mut first = f64::NAN;
+        let mut last = f64::NAN;
+        rkf45_integrate(
+            &sys,
+            0.0,
+            1.0,
+            &mut y,
+            &AdaptiveOptions::default(),
+            |x, _| {
+                if first.is_nan() {
+                    first = x;
+                }
+                last = x;
+            },
+        )
+        .unwrap();
+        assert_eq!(first, 0.0);
+        assert!((last - 1.0).abs() < 1e-12);
+        assert!((y[0] - 1.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,118 @@
+//! Numerical quadrature: trapezoid (on samples), Simpson, and fixed-order
+//! Gauss-Legendre.
+//!
+//! Radiative-flux integrals over wavelength and heating-load integrals over
+//! trajectories are plain sampled-data integrals (trapezoid); the band-shape
+//! and partition-function integrals use Gauss-Legendre.
+
+/// Trapezoid rule over sampled data `(xs, ys)`.
+///
+/// # Panics
+/// Panics when lengths differ.
+#[must_use]
+pub fn trapz(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let mut s = 0.0;
+    for i in 1..xs.len() {
+        s += 0.5 * (ys[i] + ys[i - 1]) * (xs[i] - xs[i - 1]);
+    }
+    s
+}
+
+/// Composite Simpson rule for `f` on `[a, b]` with `n` (even, ≥2) intervals.
+///
+/// # Panics
+/// Panics when `n` is odd or zero.
+#[must_use]
+pub fn simpson(mut f: impl FnMut(f64) -> f64, a: f64, b: f64, n: usize) -> f64 {
+    assert!(n >= 2 && n.is_multiple_of(2), "simpson needs an even interval count");
+    let h = (b - a) / n as f64;
+    let mut s = f(a) + f(b);
+    for i in 1..n {
+        let w = if i % 2 == 1 { 4.0 } else { 2.0 };
+        s += w * f(a + i as f64 * h);
+    }
+    s * h / 3.0
+}
+
+// 10-point Gauss-Legendre nodes/weights on [-1, 1].
+const GL10_X: [f64; 5] = [
+    0.148_874_338_981_631_21,
+    0.433_395_394_129_247_2,
+    0.679_409_568_299_024_4,
+    0.865_063_366_688_984_5,
+    0.973_906_528_517_171_7,
+];
+const GL10_W: [f64; 5] = [
+    0.295_524_224_714_752_87,
+    0.269_266_719_309_996_35,
+    0.219_086_362_515_982_04,
+    0.149_451_349_150_580_6,
+    0.066_671_344_308_688_14,
+];
+
+/// 10-point Gauss-Legendre quadrature of `f` on `[a, b]` — exact for
+/// polynomials of degree ≤ 19.
+#[must_use]
+pub fn gauss10(mut f: impl FnMut(f64) -> f64, a: f64, b: f64) -> f64 {
+    let xm = 0.5 * (a + b);
+    let xr = 0.5 * (b - a);
+    let mut s = 0.0;
+    for k in 0..5 {
+        let dx = xr * GL10_X[k];
+        s += GL10_W[k] * (f(xm + dx) + f(xm - dx));
+    }
+    s * xr
+}
+
+/// Composite 10-point Gauss-Legendre over `n` panels.
+#[must_use]
+pub fn gauss10_composite(mut f: impl FnMut(f64) -> f64, a: f64, b: f64, n: usize) -> f64 {
+    let h = (b - a) / n.max(1) as f64;
+    (0..n.max(1))
+        .map(|i| {
+            let x0 = a + i as f64 * h;
+            gauss10(&mut f, x0, x0 + h)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trapz_linear_exact() {
+        let xs: Vec<f64> = (0..11).map(|i| i as f64 * 0.1).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        assert!((trapz(&xs, &ys) - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn trapz_nonuniform() {
+        let xs = [0.0, 0.5, 2.0];
+        let ys = [1.0, 1.0, 1.0];
+        assert!((trapz(&xs, &ys) - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn simpson_cubic_exact() {
+        // Simpson is exact for cubics.
+        let v = simpson(|x| x * x * x - 2.0 * x + 1.0, 0.0, 2.0, 2);
+        let exact = 4.0 - 4.0 + 2.0;
+        assert!((v - exact).abs() < 1e-13);
+    }
+
+    #[test]
+    fn gauss10_high_degree_polynomial() {
+        // x^18 on [0,1] = 1/19 — inside the exactness degree.
+        let v = gauss10(|x| x.powi(18), 0.0, 1.0);
+        assert!((v - 1.0 / 19.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn gauss10_composite_oscillatory() {
+        let v = gauss10_composite(|x| x.sin(), 0.0, std::f64::consts::PI, 4);
+        assert!((v - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,164 @@
+//! Planck function and the exponential integrals used by slab transport.
+
+use aerothermo_numerics::constants::{C1_RADIATION, C2_RADIATION, SIGMA_SB};
+
+/// Spectral radiance of a blackbody, wavelength form:
+/// `B_λ(T) = 2hc²/λ⁵ / (exp(hc/λkT) − 1)` \[W/(m²·sr·m)\].
+///
+/// ```
+/// use aerothermo_radiation::planck::{planck_lambda, wien_peak};
+/// let t = 8000.0;
+/// let peak = wien_peak(t);
+/// assert!(planck_lambda(peak, t) > planck_lambda(0.7 * peak, t));
+/// ```
+#[must_use]
+pub fn planck_lambda(lambda: f64, t: f64) -> f64 {
+    if lambda <= 0.0 || t <= 0.0 {
+        return 0.0;
+    }
+    let x = C2_RADIATION / (lambda * t);
+    if x > 700.0 {
+        return 0.0;
+    }
+    C1_RADIATION / lambda.powi(5) / (x.exp() - 1.0)
+}
+
+/// Wavelength of peak blackbody emission (Wien) \[m\].
+#[must_use]
+pub fn wien_peak(t: f64) -> f64 {
+    2.897_771_955e-3 / t
+}
+
+/// Exponential integral E₁(x) for x > 0 (Abramowitz & Stegun 5.1.53/5.1.56).
+#[must_use]
+pub fn e1(x: f64) -> f64 {
+    assert!(x > 0.0, "E1 requires x > 0");
+    if x <= 1.0 {
+        // Series with polynomial fit.
+        let a = [
+            -0.577_215_66,
+            0.999_991_93,
+            -0.249_910_55,
+            0.055_199_68,
+            -0.009_760_04,
+            0.001_078_57,
+        ];
+        let mut p = 0.0;
+        for &c in a.iter().rev() {
+            p = p * x + c;
+        }
+        p - x.ln()
+    } else {
+        // Rational approximation times e^{-x}/x.
+        let num = x * x + 2.334_733 * x + 0.250_621;
+        let den = x * x + 3.330_657 * x + 1.681_534;
+        (num / den) * (-x).exp() / x
+    }
+}
+
+/// Exponential integral E₂(x) = e^{−x} − x·E₁(x); E₂(0) = 1.
+#[must_use]
+pub fn e2(x: f64) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    if x > 700.0 {
+        return 0.0;
+    }
+    (-x).exp() - x * e1(x)
+}
+
+/// Exponential integral E₃(x) = ½(e^{−x} − x·E₂(x)); E₃(0) = ½.
+#[must_use]
+pub fn e3(x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.5;
+    }
+    if x > 700.0 {
+        return 0.0;
+    }
+    0.5 * ((-x).exp() - x * e2(x))
+}
+
+/// Numerically integrate πB over wavelength — sanity tool for tests and the
+/// gray-gas limits.
+#[must_use]
+pub fn blackbody_flux_band(t: f64, lo: f64, hi: f64, n: usize) -> f64 {
+    let mut s = 0.0;
+    let dl = (hi - lo) / n as f64;
+    for i in 0..n {
+        let l = lo + (i as f64 + 0.5) * dl;
+        s += planck_lambda(l, t) * dl;
+    }
+    std::f64::consts::PI * s
+}
+
+/// Stefan-Boltzmann total flux σT⁴.
+#[must_use]
+pub fn blackbody_total_flux(t: f64) -> f64 {
+    SIGMA_SB * t.powi(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planck_integrates_to_stefan_boltzmann() {
+        let t = 8000.0;
+        let total = blackbody_flux_band(t, 2e-8, 2e-5, 40_000);
+        let sb = blackbody_total_flux(t);
+        assert!((total - sb).abs() / sb < 0.01, "{total:.4e} vs {sb:.4e}");
+    }
+
+    #[test]
+    fn wien_displacement() {
+        let t = 10_000.0;
+        let lp = wien_peak(t);
+        let b_peak = planck_lambda(lp, t);
+        assert!(b_peak > planck_lambda(lp * 0.8, t));
+        assert!(b_peak > planck_lambda(lp * 1.2, t));
+    }
+
+    #[test]
+    fn e1_reference_values() {
+        // E1(1) = 0.219384
+        assert!((e1(1.0) - 0.219_384).abs() < 1e-4);
+        // E1(0.5) = 0.559774
+        assert!((e1(0.5) - 0.559_774).abs() < 1e-4);
+        // E1(5) = 0.001148
+        assert!((e1(5.0) - 1.148e-3).abs() < 1e-5);
+    }
+
+    #[test]
+    fn e2_e3_limits_and_monotonicity() {
+        assert_eq!(e2(0.0), 1.0);
+        assert_eq!(e3(0.0), 0.5);
+        let mut prev2 = 1.0;
+        let mut prev3 = 0.5;
+        for k in 1..50 {
+            let x = 0.2 * f64::from(k);
+            let v2 = e2(x);
+            let v3 = e3(x);
+            assert!(v2 < prev2 && v2 >= 0.0);
+            assert!(v3 < prev3 && v3 >= 0.0);
+            prev2 = v2;
+            prev3 = v3;
+        }
+    }
+
+    #[test]
+    fn e3_derivative_is_minus_e2() {
+        let x = 0.7;
+        let h = 1e-6;
+        let fd = (e3(x + h) - e3(x - h)) / (2.0 * h);
+        assert!((fd + e2(x)).abs() < 1e-4, "dE3 = {fd}, -E2 = {}", -e2(x));
+    }
+
+    #[test]
+    fn hotter_is_brighter_everywhere() {
+        for lam in [0.3e-6, 0.6e-6, 1.0e-6] {
+            assert!(planck_lambda(lam, 9000.0) > planck_lambda(lam, 6000.0));
+        }
+    }
+}

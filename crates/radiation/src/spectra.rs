@@ -1,0 +1,310 @@
+//! Assembled emission/absorption spectra for a gas sample.
+//!
+//! Sums the atomic lines of [`crate::lines`] and the molecular band systems
+//! of [`crate::bands`] over a wavelength grid. Absorption comes from
+//! Kirchhoff's law at the excitation temperature (`κ = j/B(T_exc)`), which
+//! guarantees the correct optically-thick limit in the slab solver.
+
+use crate::bands::{standard_systems, system_emission, BandSystem};
+use crate::lines::{line_emission, standard_lines, AtomicLine};
+use crate::planck::planck_lambda;
+use crate::GasSample;
+use aerothermo_gas::species as gasdb;
+use aerothermo_gas::Species;
+use rayon::prelude::*;
+
+/// Emission and absorption coefficients over a wavelength grid.
+#[derive(Debug, Clone)]
+pub struct Spectrum {
+    /// Wavelengths \[m\].
+    pub lambda: Vec<f64>,
+    /// Emission coefficient j_λ \[W/(m³·sr·m)\].
+    pub emission: Vec<f64>,
+    /// Absorption coefficient κ_λ \[1/m\].
+    pub absorption: Vec<f64>,
+}
+
+impl Spectrum {
+    /// Total volumetric emitted power per steradian \[W/(m³·sr)\]
+    /// (trapezoid over the grid).
+    #[must_use]
+    pub fn total_emission(&self) -> f64 {
+        aerothermo_numerics::quadrature::trapz(&self.lambda, &self.emission)
+    }
+
+    /// Emission integrated over the band `[lo, hi]` \[W/(m³·sr)\].
+    #[must_use]
+    pub fn band_integral(&self, lo: f64, hi: f64) -> f64 {
+        let mut s = 0.0;
+        for w in self.lambda.windows(2).zip(self.emission.windows(2)) {
+            let ((l0, l1), (j0, j1)) = ((w.0[0], w.0[1]), (w.1[0], w.1[1]));
+            if l1 <= lo || l0 >= hi {
+                continue;
+            }
+            let a = l0.max(lo);
+            let b = l1.min(hi);
+            // Linear sub-segment of the trapezoid.
+            let ja = j0 + (j1 - j0) * (a - l0) / (l1 - l0);
+            let jb = j0 + (j1 - j0) * (b - l0) / (l1 - l0);
+            s += 0.5 * (ja + jb) * (b - a);
+        }
+        s
+    }
+
+    /// Index of the brightest wavelength.
+    #[must_use]
+    pub fn peak_index(&self) -> usize {
+        self.emission
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map_or(0, |(i, _)| i)
+    }
+}
+
+/// Known radiating species with their spectroscopic records (for partition
+/// functions).
+fn species_by_name(name: &str) -> Option<Species> {
+    match name {
+        "N2" => Some(gasdb::n2()),
+        "O2" => Some(gasdb::o2()),
+        "NO" => Some(gasdb::no()),
+        "N" => Some(gasdb::n_atom()),
+        "O" => Some(gasdb::o_atom()),
+        "N+" => Some(gasdb::n_ion()),
+        "O+" => Some(gasdb::o_ion()),
+        "NO+" => Some(gasdb::no_ion()),
+        "N2+" => Some(gasdb::n2_ion()),
+        "O2+" => Some(gasdb::o2_ion()),
+        "e-" => Some(gasdb::electron()),
+        "CN" => Some(gasdb::cn()),
+        "C2" => Some(gasdb::c2()),
+        "CH4" => Some(gasdb::ch4()),
+        "HCN" => Some(gasdb::hcn()),
+        "H2" => Some(gasdb::h2()),
+        "H" => Some(gasdb::h_atom()),
+        "H+" => Some(gasdb::h_ion()),
+        "He" => Some(gasdb::helium()),
+        "C+" => Some(gasdb::c_ion()),
+        "C" => Some(gasdb::c_atom()),
+        _ => None,
+    }
+}
+
+fn q_el(sp: &Species, t: f64) -> f64 {
+    sp.electronic
+        .iter()
+        .map(|&(theta, g)| {
+            let x = theta / t;
+            if x > 600.0 {
+                0.0
+            } else {
+                f64::from(g) * (-x).exp()
+            }
+        })
+        .sum()
+}
+
+/// Active emitters for a sample: (line, n, q_el) and (system, n, q_el).
+struct Emitters {
+    lines: Vec<(AtomicLine, f64, f64)>,
+    systems: Vec<(BandSystem, f64, f64)>,
+}
+
+fn collect_emitters(sample: &GasSample) -> Emitters {
+    let mut lines = Vec::new();
+    for line in standard_lines() {
+        let n = sample.density_of(line.species);
+        if n > 0.0 {
+            if let Some(sp) = species_by_name(line.species) {
+                lines.push((line, n, q_el(&sp, sample.t_exc)));
+            }
+        }
+    }
+    let mut systems = Vec::new();
+    for sys in standard_systems() {
+        let n = sample.density_of(sys.species);
+        if n > 0.0 {
+            if let Some(sp) = species_by_name(sys.species) {
+                let q = q_el(&sp, sample.t_exc);
+                systems.push((sys, n, q));
+            }
+        }
+    }
+    Emitters { lines, systems }
+}
+
+/// Compute the spectrum of one homogeneous sample on `lambda` \[m\], with
+/// line profiles floored at `width_floor` \[m\] (0 for pure Doppler; set to
+/// the spectrometer resolution to mimic measured spectra).
+#[must_use]
+pub fn spectrum(sample: &GasSample, lambda: &[f64], width_floor: f64) -> Spectrum {
+    let em = collect_emitters(sample);
+    let (emission, absorption): (Vec<f64>, Vec<f64>) = lambda
+        .par_iter()
+        .map(|&lam| {
+            let mut j = 0.0;
+            for (line, n, q) in &em.lines {
+                j += line_emission(line, lam, *n, *q, sample.t, sample.t_exc, width_floor);
+            }
+            for (sys, n, q) in &em.systems {
+                j += system_emission(sys, lam, *n, *q, sample.t_exc);
+            }
+            let b = planck_lambda(lam, sample.t_exc);
+            let kappa = if b > 1e-30 { j / b } else { 0.0 };
+            (j, kappa)
+        })
+        .unzip();
+    Spectrum { lambda: lambda.to_vec(), emission, absorption }
+}
+
+/// Saha-equilibrium estimate of an ionized species' number density from its
+/// parent neutral:
+/// `n_ion·n_e/n_neutral = (Q_ion·Q_e/Q_neutral)·exp(−IP/T)` with the full
+/// partition functions of the species records. Used to estimate N₂⁺ behind
+/// strong shocks when the flow model carries only the 9-species set.
+#[must_use]
+pub fn saha_ion_density(
+    neutral: &Species,
+    ion: &Species,
+    n_neutral: f64,
+    n_electron: f64,
+    t: f64,
+) -> f64 {
+    if n_neutral <= 0.0 || n_electron <= 0.0 {
+        return 0.0;
+    }
+    let e = gasdb::electron();
+    // ln(n_ion) = φ_ion + φ_e − φ_neutral + ln n_neutral − ln n_e.
+    let ln_n = ion.ln_concentration_potential(t) + e.ln_concentration_potential(t)
+        - neutral.ln_concentration_potential(t)
+        + n_neutral.ln()
+        - n_electron.ln();
+    ln_n.clamp(-600.0, 600.0).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wavelength_grid;
+
+    fn hot_air_sample() -> GasSample {
+        GasSample {
+            t: 12_000.0,
+            t_exc: 12_000.0,
+            densities: vec![
+                ("N2".into(), 5e21),
+                ("N2+".into(), 5e18),
+                ("N".into(), 2e22),
+                ("O".into(), 6e21),
+            ],
+        }
+    }
+
+    #[test]
+    fn air_spectrum_peaks_in_violet() {
+        // N2+ first negative at ~0.39 μm dominates nonequilibrium air — the
+        // structure of the paper's Fig. 8.
+        let lam = wavelength_grid(0.25e-6, 1.0e-6, 1500);
+        let sp = spectrum(&hot_air_sample(), &lam, 2e-9);
+        let peak = sp.lambda[sp.peak_index()];
+        assert!(
+            peak > 0.33e-6 && peak < 0.43e-6,
+            "peak at {:.1} nm",
+            peak * 1e9
+        );
+    }
+
+    #[test]
+    fn atomic_lines_visible_in_nir() {
+        let lam = wavelength_grid(0.7e-6, 0.95e-6, 2000);
+        let sp = spectrum(&hot_air_sample(), &lam, 1e-9);
+        // The O 777 and N 821/868 features must rise above their local
+        // surroundings.
+        let j_at = |target: f64| -> f64 {
+            let i = lam
+                .iter()
+                .position(|&l| l >= target)
+                .unwrap();
+            sp.emission[i]
+        };
+        let line_jump = j_at(777.4e-9) / j_at(760.0e-9).max(1e-30);
+        assert!(line_jump > 3.0, "O 777 contrast = {line_jump}");
+    }
+
+    #[test]
+    fn absorption_consistent_with_kirchhoff() {
+        let lam = wavelength_grid(0.3e-6, 0.5e-6, 300);
+        let s = hot_air_sample();
+        let sp = spectrum(&s, &lam, 2e-9);
+        for i in 0..lam.len() {
+            let b = planck_lambda(lam[i], s.t_exc);
+            if b > 1e-30 && sp.emission[i] > 0.0 {
+                assert!(
+                    (sp.absorption[i] * b - sp.emission[i]).abs() < 1e-9 * sp.emission[i],
+                    "Kirchhoff violated at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cold_sample_emits_nothing() {
+        let lam = wavelength_grid(0.3e-6, 1.0e-6, 100);
+        let s = GasSample::equilibrium(300.0, vec![("N2".into(), 1e25)]);
+        let sp = spectrum(&s, &lam, 1e-9);
+        assert!(sp.total_emission() < 1e-20);
+    }
+
+    #[test]
+    fn titan_sample_shows_cn_violet() {
+        let lam = wavelength_grid(0.3e-6, 0.7e-6, 800);
+        let s = GasSample::equilibrium(
+            7000.0,
+            vec![("N2".into(), 1e23), ("CN".into(), 5e19)],
+        );
+        let sp = spectrum(&s, &lam, 2e-9);
+        let peak = sp.lambda[sp.peak_index()];
+        assert!(
+            (peak - 388.3e-9).abs() < 10e-9,
+            "CN violet head expected, peak at {:.1} nm",
+            peak * 1e9
+        );
+    }
+
+    #[test]
+    fn saha_estimate_behaves() {
+        let n2 = gasdb::n2();
+        let n2p = gasdb::n2_ion();
+        let lo = saha_ion_density(&n2, &n2p, 1e22, 1e20, 8_000.0);
+        let hi = saha_ion_density(&n2, &n2p, 1e22, 1e20, 14_000.0);
+        assert!(hi > lo, "ionization must grow with T");
+        assert!(lo >= 0.0 && hi.is_finite());
+        assert_eq!(saha_ion_density(&n2, &n2p, 0.0, 1e20, 10_000.0), 0.0);
+    }
+
+    #[test]
+    fn band_integral_partitions_total() {
+        let lam = wavelength_grid(0.25e-6, 1.0e-6, 900);
+        let sp = spectrum(&hot_air_sample(), &lam, 2e-9);
+        let total = sp.total_emission();
+        let left = sp.band_integral(0.25e-6, 0.5e-6);
+        let right = sp.band_integral(0.5e-6, 1.0e-6);
+        assert!(((left + right) - total).abs() < 1e-6 * total);
+        // The violet band carries most of this sample's emission.
+        assert!(left > right, "violet {left:.3e} vs red {right:.3e}");
+        // Out-of-range band is empty.
+        assert_eq!(sp.band_integral(2e-6, 3e-6), 0.0);
+    }
+
+    #[test]
+    fn nonequilibrium_exc_temperature_controls_emission() {
+        let lam = wavelength_grid(0.38e-6, 0.40e-6, 50);
+        let mut s = hot_air_sample();
+        s.t_exc = 6_000.0;
+        let cold_exc = spectrum(&s, &lam, 2e-9).total_emission();
+        s.t_exc = 12_000.0;
+        let hot_exc = spectrum(&s, &lam, 2e-9).total_emission();
+        assert!(hot_exc > cold_exc * 10.0);
+    }
+}

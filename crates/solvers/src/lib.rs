@@ -1,0 +1,40 @@
+//! The flow solvers of computational aerothermodynamics.
+//!
+//! The paper organizes CAT around four equation sets — full Navier-Stokes
+//! (NS), parabolized Navier-Stokes (PNS), Euler + boundary layer (E+BL), and
+//! viscous shock layer (VSL) — plus the one-dimensional kinetic studies that
+//! validate the real-gas models. Each has a module here:
+//!
+//! * [`shock`] — Rankine-Hugoniot jump relations (perfect gas, frozen
+//!   mixture, general [`aerothermo_gas::GasModel`]),
+//! * [`shock1d`] — post-shock thermochemical relaxation marching (the
+//!   shock-tube studies of the paper's Fig. 7),
+//! * [`blayer`] — self-similar boundary layers, Fay-Riddell stagnation
+//!   heating, Lees laminar heating distributions (the "BL" of E+BL),
+//! * [`vsl`] — stagnation-line viscous shock layer with equilibrium
+//!   chemistry and radiative loss (Figs. 2–3),
+//! * [`euler2d`] — axisymmetric/planar finite-volume Euler with AUSM+ fluxes
+//!   and MUSCL reconstruction (the "E" of E+BL; Fig. 4 shock shapes),
+//! * [`reacting`] — two-temperature nonequilibrium reacting Euler with
+//!   operator-split (loosely coupled) Park chemistry — the paper's "biggest
+//!   challenge" item,
+//! * [`ns2d`] — laminar Navier-Stokes extension of the same discretization
+//!   (Fig. 9),
+//! * [`pns`] — parabolized NS space marching with Vigneron pressure
+//!   splitting (Fig. 6 windward heating).
+#![warn(missing_docs)]
+// Indexed loops over parallel arrays are the clearest idiom for the
+// numerical kernels here; spelled-out spectroscopic constants keep their
+// literature precision.
+#![allow(clippy::needless_range_loop, clippy::excessive_precision, clippy::type_complexity)]
+
+
+pub mod blayer;
+pub mod euler2d;
+pub mod ns2d;
+pub mod pns;
+pub mod reacting;
+pub mod riemann;
+pub mod shock;
+pub mod shock1d;
+pub mod vsl;

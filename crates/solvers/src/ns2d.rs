@@ -1,0 +1,481 @@
+//! Laminar thin-layer Navier-Stokes solver.
+//!
+//! Extends the finite-volume Euler discretization of [`crate::euler2d`] with
+//! viscous fluxes in the body-normal (`j`) direction — the thin-layer
+//! approximation every production hypersonic NS code of the paper's era
+//! used, appropriate when the grid is wall-clustered and streamwise
+//! diffusion is negligible. The wall is no-slip and isothermal; wall heat
+//! flux (the quantity the paper's heating figures report) comes from the
+//! wall-normal temperature gradient.
+//!
+//! Molecular transport: Sutherland viscosity with constant Prandtl number
+//! by default, or any user closure `μ(T)`.
+
+use crate::euler2d::{BcSet, EulerOptions, EulerSolver, Primitive, NEQ};
+#[cfg(test)]
+use crate::euler2d::Bc;
+use aerothermo_gas::transport::sutherland_air;
+use aerothermo_gas::GasModel;
+use aerothermo_grid::StructuredGrid;
+use rayon::prelude::*;
+
+/// Molecular-transport closure.
+#[derive(Clone)]
+pub struct Transport {
+    /// Dynamic viscosity as a function of temperature \[Pa·s\].
+    pub viscosity: fn(f64) -> f64,
+    /// Prandtl number.
+    pub prandtl: f64,
+    /// Specific heat at constant pressure \[J/(kg·K)\] (for conductivity
+    /// from Pr).
+    pub cp: f64,
+}
+
+impl Transport {
+    /// Sutherland air with Pr = 0.72.
+    #[must_use]
+    pub fn air() -> Self {
+        Self { viscosity: sutherland_air, prandtl: 0.72, cp: 1004.5 }
+    }
+
+    /// Thermal conductivity \[W/(m·K)\] at `t`.
+    #[must_use]
+    pub fn conductivity(&self, t: f64) -> f64 {
+        (self.viscosity)(t) * self.cp / self.prandtl
+    }
+}
+
+/// Thin-layer NS solver: an Euler core plus wall-normal viscous fluxes.
+pub struct NsSolver<'a> {
+    /// The underlying inviscid discretization (owns the state).
+    pub inviscid: EulerSolver<'a>,
+    transport: Transport,
+    /// Isothermal wall temperature \[K\].
+    pub t_wall: f64,
+    steps: usize,
+    startup_steps: usize,
+    cfl: f64,
+}
+
+impl<'a> NsSolver<'a> {
+    /// Create a viscous solver. The `bc.j_lo` side is treated as the
+    /// no-slip isothermal wall (its inviscid flux remains the slip-wall
+    /// pressure flux, standard for cell-centered schemes).
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        grid: &'a StructuredGrid,
+        gas: &'a dyn GasModel,
+        bc: BcSet,
+        opts: EulerOptions,
+        freestream: (f64, f64, f64, f64),
+        transport: Transport,
+        t_wall: f64,
+    ) -> Self {
+        let startup_steps = opts.startup_steps;
+        let cfl = opts.cfl;
+        let inviscid = EulerSolver::new(grid, gas, bc, opts, freestream);
+        Self { inviscid, transport, t_wall, steps: 0, startup_steps, cfl }
+    }
+
+    /// Temperature of cell `(i, j)` \[K\].
+    #[must_use]
+    pub fn temperature(&self, i: usize, j: usize) -> f64 {
+        let q = self.inviscid.primitive(i, j);
+        let e = self.inviscid.internal_energy(i, j);
+        self.inviscid.gas().temperature(q.rho, e)
+    }
+
+    /// Viscous residual contribution of cell `(i, j)` (thin layer: j-faces
+    /// only; wall face handled with one-sided differences against the
+    /// no-slip isothermal wall).
+    fn viscous_residual(&self, i: usize, j: usize) -> [f64; NEQ] {
+        let mut res = [0.0; NEQ];
+        let m = self.inviscid.grid_metrics();
+        let ncj = self.inviscid.ncj();
+
+        // Flux through a j-face given the two states and geometric data.
+        // Returns the viscous flux vector (momentum, energy) · area, oriented
+        // along the +j normal.
+        let face_flux = |ql: &Primitive,
+                         tl: f64,
+                         qr: &Primitive,
+                         tr: f64,
+                         dn: f64,
+                         sx: f64,
+                         sr: f64,
+                         u_face: Option<(f64, f64)>|
+         -> [f64; NEQ] {
+            let area = (sx * sx + sr * sr).sqrt().max(1e-300);
+            let nx = sx / area;
+            let nr = sr / area;
+            let t_face = 0.5 * (tl + tr);
+            let mu = (self.transport.viscosity)(t_face);
+            let k = self.transport.conductivity(t_face);
+            let dudn = (qr.ux - ql.ux) / dn;
+            let dvdn = (qr.ur - ql.ur) / dn;
+            let dtdn = (tr - tl) / dn;
+            // Thin-layer stress: τ·n = μ[∂u/∂n + (1/3)·n·∂(u·n)/∂n].
+            let dundn = dudn * nx + dvdn * nr;
+            let tau_x = mu * (dudn + dundn * nx / 3.0);
+            let tau_r = mu * (dvdn + dundn * nr / 3.0);
+            let (u_face_x, u_face_r) =
+                u_face.unwrap_or((0.5 * (ql.ux + qr.ux), 0.5 * (ql.ur + qr.ur)));
+            let q_heat = k * dtdn;
+            [
+                0.0,
+                tau_x * area,
+                tau_r * area,
+                (tau_x * u_face_x + tau_r * u_face_r + q_heat) * area,
+            ]
+        };
+
+        let qc = self.inviscid.primitive(i, j);
+        let tc = self.temperature(i, j);
+
+        // Bottom face (j): flux in (+ when oriented +j into the cell).
+        {
+            let sx = m.sj_x[(i, j)];
+            let sr = m.sj_r[(i, j)];
+            let f = if j == 0 {
+                // No-slip isothermal wall: one-sided difference from the
+                // wall-face midpoint to the cell center.
+                let area = (sx * sx + sr * sr).sqrt().max(1e-300);
+                let nx = sx / area;
+                let nr = sr / area;
+                // Distance from wall face to cell center along the normal.
+                let gx = m.xc[(i, 0)];
+                let gr = m.rc[(i, 0)];
+                // Wall-face midpoint ≈ centroid minus normal projection: use
+                // the projection of (cell center − any wall node) onto n.
+                let dn = ((gx - self.wall_x(i)) * nx + (gr - self.wall_r(i)) * nr).abs().max(1e-12);
+                let wall = Primitive { ux: 0.0, ur: 0.0, ..qc };
+                // No-slip: the stress does no work on the stationary wall.
+                face_flux(&wall, self.t_wall, &qc, tc, dn, sx, sr, Some((0.0, 0.0)))
+            } else {
+                let ql = self.inviscid.primitive(i, j - 1);
+                let tl = self.temperature(i, j - 1);
+                let area = (sx * sx + sr * sr).sqrt().max(1e-300);
+                let nx = sx / area;
+                let nr = sr / area;
+                let dn = ((m.xc[(i, j)] - m.xc[(i, j - 1)]) * nx
+                    + (m.rc[(i, j)] - m.rc[(i, j - 1)]) * nr)
+                    .abs()
+                    .max(1e-12);
+                face_flux(&ql, tl, &qc, tc, dn, sx, sr, None)
+            };
+            // Viscous terms enter with the opposite sign of the convective
+            // flux: dU/dt·V = −∮F_inv·n̂ dA + ∮G_visc·n̂ dA. For the bottom
+            // face the outward normal is −n_j, so the contribution is −G.
+            for k in 0..NEQ {
+                res[k] -= f[k];
+            }
+        }
+        // Top face (j+1): same flux evaluated there, leaving the cell.
+        {
+            let sx = m.sj_x[(i, j + 1)];
+            let sr = m.sj_r[(i, j + 1)];
+            if j + 1 == ncj {
+                // Outer boundary: no viscous flux (freestream).
+            } else {
+                let qr = self.inviscid.primitive(i, j + 1);
+                let tr = self.temperature(i, j + 1);
+                let area = (sx * sx + sr * sr).sqrt().max(1e-300);
+                let nx = sx / area;
+                let nr = sr / area;
+                let dn = ((m.xc[(i, j + 1)] - m.xc[(i, j)]) * nx
+                    + (m.rc[(i, j + 1)] - m.rc[(i, j)]) * nr)
+                    .abs()
+                    .max(1e-12);
+                let f = face_flux(&qc, tc, &qr, tr, dn, sx, sr, None);
+                for k in 0..NEQ {
+                    res[k] += f[k];
+                }
+            }
+        }
+        res
+    }
+
+    fn wall_x(&self, i: usize) -> f64 {
+        // Midpoint of the wall face of cell column i (nodes (i,0)-(i+1,0)).
+        0.5 * (self.grid_node_x(i, 0) + self.grid_node_x(i + 1, 0))
+    }
+
+    fn wall_r(&self, i: usize) -> f64 {
+        0.5 * (self.grid_node_r(i, 0) + self.grid_node_r(i + 1, 0))
+    }
+
+    fn grid_node_x(&self, i: usize, j: usize) -> f64 {
+        self.inviscid.grid().x[(i, j)]
+    }
+
+    fn grid_node_r(&self, i: usize, j: usize) -> f64 {
+        self.inviscid.grid().r[(i, j)]
+    }
+
+    /// One explicit step; returns the density-residual norm.
+    pub fn step(&mut self) -> f64 {
+        let first_order = self.steps < self.startup_steps;
+        let cfl = if first_order { 0.4 * self.cfl } else { self.cfl };
+        let nci = self.inviscid.nci();
+        let ncj = self.inviscid.ncj();
+
+        let updates: Vec<([f64; NEQ], f64)> = (0..nci * ncj)
+            .into_par_iter()
+            .map(|idx| {
+                let i = idx / ncj;
+                let j = idx % ncj;
+                let mut res = self.inviscid.cell_residual(i, j, first_order);
+                let v = self.viscous_residual(i, j);
+                for k in 0..NEQ {
+                    res[k] += v[k];
+                }
+                let dt = self.viscous_dt(i, j, cfl);
+                (res, dt)
+            })
+            .collect();
+
+        let m_vol: Vec<f64> = {
+            let m = self.inviscid.grid_metrics();
+            (0..nci * ncj).map(|idx| m.volume[(idx / ncj, idx % ncj)]).collect()
+        };
+        let mut resnorm = 0.0;
+        for (idx, (res, dt)) in updates.into_iter().enumerate() {
+            let i = idx / ncj;
+            let j = idx % ncj;
+            let v = m_vol[idx];
+            let cell = self.inviscid.u.vector_mut(i, j);
+            for k in 0..NEQ {
+                cell[k] += dt / v * res[k];
+            }
+            if cell[0] < 1e-12 {
+                cell[0] = 1e-12;
+            }
+            let r = res[0] / v;
+            resnorm += r * r;
+        }
+        self.steps += 1;
+        (resnorm / (nci * ncj) as f64).sqrt()
+    }
+
+    /// Time step with the viscous spectral radius added.
+    fn viscous_dt(&self, i: usize, j: usize, cfl: f64) -> f64 {
+        let m = self.inviscid.grid_metrics();
+        let q = self.inviscid.primitive(i, j);
+        let t = self.temperature(i, j);
+        let mu = (self.transport.viscosity)(t);
+        let spectral = |sx: f64, sr: f64| -> f64 {
+            let area = (sx * sx + sr * sr).sqrt();
+            (q.ux * sx + q.ur * sr).abs() + q.a * area
+        };
+        let lam_c = spectral(m.si_x[(i, j)], m.si_r[(i, j)])
+            + spectral(m.si_x[(i + 1, j)], m.si_r[(i + 1, j)])
+            + spectral(m.sj_x[(i, j)], m.sj_r[(i, j)])
+            + spectral(m.sj_x[(i, j + 1)], m.sj_r[(i, j + 1)]);
+        let area_j = {
+            let sx = m.sj_x[(i, j)];
+            let sr = m.sj_r[(i, j)];
+            (sx * sx + sr * sr).sqrt()
+        };
+        let vol = m.volume[(i, j)];
+        let lam_v = 4.0 * mu / q.rho * area_j * area_j / vol;
+        cfl * vol / (lam_c + lam_v).max(1e-300)
+    }
+
+    /// Run to steady state; returns `(steps, residual ratio)`.
+    pub fn run(&mut self, max_steps: usize, tol: f64) -> (usize, f64) {
+        let mut reference = f64::NAN;
+        let mut last = 1.0;
+        for n in 0..max_steps {
+            let r = self.step();
+            if n == self.startup_steps {
+                reference = r.max(1e-300);
+            }
+            if reference.is_finite() {
+                last = r / reference;
+                if last < tol {
+                    return (n + 1, last);
+                }
+            }
+        }
+        (max_steps, last)
+    }
+
+    /// Wall heat flux \[W/m²\] at cell column `i` (positive = into the
+    /// wall), from the one-sided wall-normal temperature gradient.
+    #[must_use]
+    pub fn wall_heat_flux(&self, i: usize) -> f64 {
+        let m = self.inviscid.grid_metrics();
+        let sx = m.sj_x[(i, 0)];
+        let sr = m.sj_r[(i, 0)];
+        let area = (sx * sx + sr * sr).sqrt().max(1e-300);
+        let nx = sx / area;
+        let nr = sr / area;
+        let dn = ((m.xc[(i, 0)] - self.wall_x(i)) * nx + (m.rc[(i, 0)] - self.wall_r(i)) * nr)
+            .abs()
+            .max(1e-12);
+        let t1 = self.temperature(i, 0);
+        let t_face = 0.5 * (t1 + self.t_wall);
+        let k = self.transport.conductivity(t_face);
+        k * (t1 - self.t_wall) / dn
+    }
+
+    /// Wall shear stress magnitude \[Pa\] at cell column `i`.
+    #[must_use]
+    pub fn wall_shear(&self, i: usize) -> f64 {
+        let m = self.inviscid.grid_metrics();
+        let sx = m.sj_x[(i, 0)];
+        let sr = m.sj_r[(i, 0)];
+        let area = (sx * sx + sr * sr).sqrt().max(1e-300);
+        let nx = sx / area;
+        let nr = sr / area;
+        let dn = ((m.xc[(i, 0)] - self.wall_x(i)) * nx + (m.rc[(i, 0)] - self.wall_r(i)) * nr)
+            .abs()
+            .max(1e-12);
+        let q = self.inviscid.primitive(i, 0);
+        // Tangential component of the first-cell velocity.
+        let un = q.ux * nx + q.ur * nr;
+        let utx = q.ux - un * nx;
+        let utr = q.ur - un * nr;
+        let ut = (utx * utx + utr * utr).sqrt();
+        let t_face = 0.5 * (self.temperature(i, 0) + self.t_wall);
+        (self.transport.viscosity)(t_face) * ut / dn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blayer::{fay_riddell, newtonian_velocity_gradient, FayRiddellInputs};
+    use aerothermo_gas::IdealGas;
+    use aerothermo_grid::bodies::Hemisphere;
+    use aerothermo_grid::{stretch, Geometry, StructuredGrid};
+
+    #[test]
+    fn quiescent_gas_cools_toward_wall_temperature() {
+        // Closed box of hot gas between cold isothermal walls (j_lo) and a
+        // symmetry top: conduction must cool the near-wall gas, heat flux
+        // into the wall positive.
+        let gas = IdealGas::air();
+        let grid = StructuredGrid::rectangle(4, 20, 0.1, 0.01, Geometry::Planar);
+        let bc = BcSet {
+            i_lo: Bc::SlipWall,
+            i_hi: Bc::SlipWall,
+            j_lo: Bc::SlipWall,
+            j_hi: Bc::SlipWall,
+        };
+        let opts = EulerOptions { startup_steps: 0, cfl: 0.3, ..EulerOptions::default() };
+        // Gas at 600 K, wall at 300 K.
+        let rho = 101_325.0 / (287.05 * 600.0);
+        let mut solver = NsSolver::new(
+            &grid,
+            &gas,
+            bc,
+            opts,
+            (rho, 0.0, 0.0, 101_325.0),
+            Transport::air(),
+            300.0,
+        );
+        let t0 = solver.temperature(1, 0);
+        let q0 = solver.wall_heat_flux(1);
+        assert!(q0 > 0.0, "heat must flow into the cold wall: {q0}");
+        for _ in 0..2000 {
+            solver.step();
+        }
+        let t1 = solver.temperature(1, 0);
+        assert!(t1 < t0 - 1.0, "near-wall gas should cool: {t0} -> {t1}");
+    }
+
+    #[test]
+    fn hemisphere_viscous_stagnation_heating_vs_fay_riddell() {
+        // Mach 8 over a 0.1 m hemisphere at wind-tunnel-like conditions;
+        // the NS wall heat flux at the stagnation point should agree with
+        // Fay-Riddell within a factor ~2 on this coarse grid.
+        let gas = IdealGas::air();
+        let rn = 0.1;
+        let body = Hemisphere::new(rn);
+        let dist = stretch::tanh_one_sided(61, 4.0);
+        let grid =
+            StructuredGrid::blunt_body(&body, 21, 61, &|sb| (0.035 + 0.03 * sb) * rn / 0.1, &dist);
+        let t_inf = 220.0;
+        let p_inf = 500.0;
+        let rho_inf = p_inf / (287.05 * t_inf);
+        let a_inf = (1.4_f64 * 287.05 * t_inf).sqrt();
+        let v_inf = 8.0 * a_inf;
+        let fs = (rho_inf, v_inf, 0.0, p_inf);
+        let bc = BcSet {
+            i_lo: Bc::SlipWall,
+            i_hi: Bc::Outflow,
+            j_lo: Bc::SlipWall,
+            j_hi: Bc::Inflow { rho: fs.0, ux: fs.1, ur: fs.2, p: fs.3 },
+        };
+        let t_wall = 300.0;
+        let opts = EulerOptions { cfl: 0.4, startup_steps: 500, ..EulerOptions::default() };
+        let mut solver =
+            NsSolver::new(&grid, &gas, bc, opts, fs, Transport::air(), t_wall);
+        // The diffusive near-wall layer converges slowly under local time
+        // stepping; average the flux over the tail of the run to smooth the
+        // residual limit cycle.
+        solver.run(15_000, 1e-9);
+        let mut q_ns = 0.0;
+        for _ in 0..5 {
+            solver.run(1_000, 1e-9);
+            q_ns += solver.wall_heat_flux(0) / 5.0;
+        }
+
+        // Fay-Riddell reference.
+        let (p_ratio, rho_ratio, t_ratio, _) = crate::shock::perfect_gas_jump(8.0, 1.4);
+        let p_e = p_inf * p_ratio * 1.094; // post-shock + isentropic recompression ≈ pitot
+        let t_e = t_inf * t_ratio * 1.02;
+        let rho_e = rho_inf * rho_ratio * p_e / (p_inf * p_ratio) * t_inf * t_ratio / t_e;
+        let mu_e = sutherland_air(t_e);
+        let rho_w = p_e / (287.05 * t_wall);
+        let q_fr = fay_riddell(&FayRiddellInputs {
+            rho_e,
+            mu_e,
+            rho_w,
+            mu_w: sutherland_air(t_wall),
+            due_dx: newtonian_velocity_gradient(rn, p_e, p_inf, rho_e),
+            h0e: 1004.5 * t_inf + 0.5 * v_inf * v_inf,
+            hw: 1004.5 * t_wall,
+            pr: 0.72,
+            lewis: 1.0,
+            h_d_frac: 0.0,
+        });
+        let ratio = q_ns / q_fr;
+        assert!(
+            ratio > 0.4 && ratio < 3.0,
+            "q_NS = {q_ns:.3e}, q_FR = {q_fr:.3e}, ratio = {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn wall_shear_positive_downstream_of_stagnation() {
+        let gas = IdealGas::air();
+        let rn = 0.1;
+        let body = Hemisphere::new(rn);
+        let dist = stretch::tanh_one_sided(41, 3.5);
+        let grid =
+            StructuredGrid::blunt_body(&body, 17, 41, &|sb| (0.035 + 0.03 * sb) * rn / 0.1, &dist);
+        let t_inf = 220.0;
+        let p_inf = 500.0;
+        let rho_inf = p_inf / (287.05 * t_inf);
+        let v_inf = 6.0 * (1.4_f64 * 287.05 * t_inf).sqrt();
+        let fs = (rho_inf, v_inf, 0.0, p_inf);
+        let bc = BcSet {
+            i_lo: Bc::SlipWall,
+            i_hi: Bc::Outflow,
+            j_lo: Bc::SlipWall,
+            j_hi: Bc::Inflow { rho: fs.0, ux: fs.1, ur: fs.2, p: fs.3 },
+        };
+        let opts = EulerOptions { cfl: 0.4, startup_steps: 400, ..EulerOptions::default() };
+        let mut solver =
+            NsSolver::new(&grid, &gas, bc, opts, fs, Transport::air(), 300.0);
+        solver.run(3000, 1e-2);
+        // Shear grows away from the stagnation point then stays positive.
+        let tau_stag = solver.wall_shear(0);
+        let tau_mid = solver.wall_shear(8);
+        assert!(tau_mid > tau_stag, "{tau_stag} vs {tau_mid}");
+        assert!(tau_mid > 0.0);
+    }
+}

@@ -1,0 +1,625 @@
+//! Parabolized Navier-Stokes (PNS) space marching.
+//!
+//! When the inviscid streamwise flow is supersonic and there is no flow
+//! reversal, the steady equations parabolize: the solution can be *marched*
+//! station by station along the body at a fraction of the cost of a full NS
+//! relaxation — the paper's slender-body workhorse (its Fig. 6 windward
+//! heating came from such a code). Two classic ingredients:
+//!
+//! * **Vigneron splitting** — inside the subsonic wall layer only the
+//!   fraction `ω = min(1, σγM_ξ²/(1+(γ−1)M_ξ²))` of the streamwise pressure
+//!   is retained in the marching flux, keeping the march well-posed,
+//! * **station relaxation** — each cross-flow column is converged by local
+//!   pseudo-time iteration with the upstream column frozen (single sweep).
+//!
+//! The cross-flow (j) discretization reuses the AUSM+ machinery of
+//! [`crate::euler2d`] plus thin-layer viscous terms, so PNS heating is
+//! directly comparable with the full-NS result.
+
+use crate::euler2d::{EulerOptions, Primitive, NEQ};
+use crate::ns2d::Transport;
+use aerothermo_gas::GasModel;
+use aerothermo_grid::{Geometry, Metrics, StructuredGrid};
+use aerothermo_numerics::Field3;
+
+/// PNS options.
+#[derive(Debug, Clone)]
+pub struct PnsOptions {
+    /// Pseudo-time CFL for the station relaxation.
+    pub cfl: f64,
+    /// Maximum pseudo-time iterations per station.
+    pub max_station_iters: usize,
+    /// Relative residual drop per station.
+    pub station_tol: f64,
+    /// Vigneron safety factor σ.
+    pub sigma: f64,
+    /// Isothermal wall temperature \[K\]; `None` = inviscid march.
+    pub t_wall: Option<f64>,
+}
+
+impl Default for PnsOptions {
+    fn default() -> Self {
+        Self {
+            cfl: 0.35,
+            max_station_iters: 4000,
+            station_tol: 1e-6,
+            sigma: 0.85,
+            t_wall: None,
+        }
+    }
+}
+
+/// Result of a PNS march.
+#[derive(Debug, Clone)]
+pub struct PnsSolution {
+    /// Arc-length-ish station coordinate: x of the wall-cell centroid.
+    pub station_x: Vec<f64>,
+    /// Wall pressure per station \[Pa\].
+    pub wall_pressure: Vec<f64>,
+    /// Wall heat flux per station \[W/m²\] (0 for inviscid marches).
+    pub wall_heat_flux: Vec<f64>,
+    /// Iterations used per station.
+    pub iterations: Vec<usize>,
+}
+
+/// PNS marching solver bound to a grid and gas model.
+pub struct PnsSolver<'a> {
+    grid: &'a StructuredGrid,
+    metrics: Metrics,
+    gas: &'a dyn GasModel,
+    transport: Transport,
+    opts: PnsOptions,
+    freestream: (f64, f64, f64, f64),
+    /// Conserved state for all cells (station columns filled as the march
+    /// proceeds).
+    pub u: Field3<f64>,
+}
+
+impl<'a> PnsSolver<'a> {
+    /// Create a marching solver; all columns start at the freestream
+    /// `(ρ, u_x, u_r, p)` (the usual sharp-body starter).
+    #[must_use]
+    pub fn new(
+        grid: &'a StructuredGrid,
+        gas: &'a dyn GasModel,
+        opts: PnsOptions,
+        freestream: (f64, f64, f64, f64),
+    ) -> Self {
+        let (rho, ux, ur, p) = freestream;
+        let e = gas.energy(rho, p);
+        let mut u = Field3::zeros(grid.nci(), grid.ncj(), NEQ);
+        for i in 0..grid.nci() {
+            for j in 0..grid.ncj() {
+                let c = u.vector_mut(i, j);
+                c[0] = rho;
+                c[1] = rho * ux;
+                c[2] = rho * ur;
+                c[3] = rho * (e + 0.5 * (ux * ux + ur * ur));
+            }
+        }
+        let metrics = Metrics::new(grid);
+        Self {
+            grid,
+            metrics,
+            gas,
+            transport: Transport::air(),
+            opts,
+            freestream,
+            u,
+        }
+    }
+
+    /// Replace the starter column at station `i` with primitive states (one
+    /// per j cell) — e.g. extracted from a nose NS/VSL solution.
+    ///
+    /// # Panics
+    /// Panics when the column length mismatches.
+    pub fn set_station(&mut self, i: usize, column: &[Primitive]) {
+        assert_eq!(column.len(), self.grid.ncj());
+        for (j, q) in column.iter().enumerate() {
+            let e = self.gas.energy(q.rho, q.p);
+            let c = self.u.vector_mut(i, j);
+            c[0] = q.rho;
+            c[1] = q.rho * q.ux;
+            c[2] = q.rho * q.ur;
+            c[3] = q.rho * (e + 0.5 * (q.ux * q.ux + q.ur * q.ur));
+        }
+    }
+
+    fn primitive_of(&self, c: &[f64]) -> Primitive {
+        let rho = c[0].max(1e-12);
+        let ux = c[1] / rho;
+        let ur = c[2] / rho;
+        let e_tot = c[3] / rho;
+        let e = (e_tot - 0.5 * (ux * ux + ur * ur)).max(1e-6 * e_tot.abs().max(1e-300));
+        let p = self.gas.pressure(rho, e).max(1e-8);
+        let a = self.gas.sound_speed(rho, e).max(1.0);
+        Primitive { rho, ux, ur, p, a, h0: e + p / rho + 0.5 * (ux * ux + ur * ur) }
+    }
+
+    /// Primitive state of a cell.
+    #[must_use]
+    pub fn primitive(&self, i: usize, j: usize) -> Primitive {
+        self.primitive_of(self.u.vector(i, j))
+    }
+
+    fn temperature(&self, q: &Primitive) -> f64 {
+        let e = self.gas.energy(q.rho, q.p);
+        self.gas.temperature(q.rho, e)
+    }
+
+    /// Vigneron-weighted streamwise flux through an i-face with
+    /// area-weighted normal `(sx, sr)`, fully upwinded on the given state.
+    fn vigneron_flux(&self, q: &Primitive, sx: f64, sr: f64) -> [f64; NEQ] {
+        let area = (sx * sx + sr * sr).sqrt().max(1e-300);
+        let nx = sx / area;
+        let nr = sr / area;
+        let un = q.ux * nx + q.ur * nr;
+        let m_xi = un / q.a;
+        let gamma = self.gas.gamma_eff(q.rho, self.gas.energy(q.rho, q.p));
+        let omega = if m_xi >= 1.0 {
+            1.0
+        } else {
+            (self.opts.sigma * gamma * m_xi * m_xi
+                / (1.0 + (gamma - 1.0) * m_xi * m_xi))
+                .min(1.0)
+        };
+        let pv = omega * q.p;
+        let mdot = q.rho * un;
+        [
+            mdot * area,
+            (mdot * q.ux + pv * nx) * area,
+            (mdot * q.ur + pv * nr) * area,
+            (mdot * q.h0) * area,
+        ]
+    }
+
+    /// AUSM+ cross-flow flux (delegates to the Euler solver's kernel shape;
+    /// reimplemented here to avoid borrowing gymnastics).
+    fn ausm_flux(left: &Primitive, right: &Primitive, sx: f64, sr: f64) -> [f64; NEQ] {
+        // Same AUSM+ as euler2d.
+        let area = (sx * sx + sr * sr).sqrt().max(1e-300);
+        let nx = sx / area;
+        let nr = sr / area;
+        let unl = left.ux * nx + left.ur * nr;
+        let unr = right.ux * nx + right.ur * nr;
+        let a_half = 0.5 * (left.a + right.a);
+        let ml = unl / a_half;
+        let mr = unr / a_half;
+        let m4p = |m: f64| {
+            if m.abs() >= 1.0 {
+                0.5 * (m + m.abs())
+            } else {
+                let s = m * m - 1.0;
+                0.25 * (m + 1.0) * (m + 1.0) + 0.125 * s * s
+            }
+        };
+        let m4m = |m: f64| {
+            if m.abs() >= 1.0 {
+                0.5 * (m - m.abs())
+            } else {
+                let s = m * m - 1.0;
+                -0.25 * (m - 1.0) * (m - 1.0) - 0.125 * s * s
+            }
+        };
+        let p5p = |m: f64| {
+            if m.abs() >= 1.0 {
+                0.5 * (1.0 + m.signum())
+            } else {
+                let s = m * m - 1.0;
+                0.25 * (m + 1.0) * (m + 1.0) * (2.0 - m) + 0.1875 * m * s * s
+            }
+        };
+        let p5m = |m: f64| {
+            if m.abs() >= 1.0 {
+                0.5 * (1.0 - m.signum())
+            } else {
+                let s = m * m - 1.0;
+                0.25 * (m - 1.0) * (m - 1.0) * (2.0 + m) - 0.1875 * m * s * s
+            }
+        };
+        let m_half = m4p(ml) + m4m(mr);
+        let p_half = p5p(ml) * left.p + p5m(mr) * right.p;
+        let mdot = a_half * (m_half.max(0.0) * left.rho + m_half.min(0.0) * right.rho);
+        let psi = if mdot >= 0.0 {
+            [1.0, left.ux, left.ur, left.h0]
+        } else {
+            [1.0, right.ux, right.ur, right.h0]
+        };
+        [
+            mdot * psi[0] * area,
+            (mdot * psi[1] + p_half * nx) * area,
+            (mdot * psi[2] + p_half * nr) * area,
+            mdot * psi[3] * area,
+        ]
+    }
+
+    /// Residual of cell (i, j) during the station-i relaxation: upstream
+    /// i-flux frozen from column i−1, downstream i-flux upwinded on the
+    /// local cell, AUSM + viscous in j.
+    #[allow(clippy::too_many_lines)]
+    fn station_residual(&self, i: usize, j: usize, col: &[Primitive]) -> [f64; NEQ] {
+        let m = &self.metrics;
+        let ncj = self.grid.ncj();
+        let mut res = [0.0; NEQ];
+        let qc = col[j];
+
+        // Upstream face (i): Vigneron flux of the frozen upstream cell.
+        {
+            let sx = m.si_x[(i, j)];
+            let sr = m.si_r[(i, j)];
+            let qu = self.primitive(i - 1, j);
+            let f = self.vigneron_flux(&qu, sx, sr);
+            for k in 0..NEQ {
+                res[k] += f[k];
+            }
+        }
+        // Downstream face (i+1): Vigneron flux of the current cell.
+        {
+            let sx = m.si_x[(i + 1, j)];
+            let sr = m.si_r[(i + 1, j)];
+            let f = self.vigneron_flux(&qc, sx, sr);
+            for k in 0..NEQ {
+                res[k] -= f[k];
+            }
+        }
+        // Cross-flow faces.
+        {
+            let sx = m.sj_x[(i, j)];
+            let sr = m.sj_r[(i, j)];
+            let f = if j == 0 {
+                // Slip wall for the inviscid part.
+                let area = (sx * sx + sr * sr).sqrt().max(1e-300);
+                let nx = -sx / area;
+                let nr = -sr / area;
+                let un = qc.ux * nx + qc.ur * nr;
+                let ghost = Primitive {
+                    ux: qc.ux - 2.0 * un * nx,
+                    ur: qc.ur - 2.0 * un * nr,
+                    ..qc
+                };
+                Self::ausm_flux(&ghost, &qc, sx, sr)
+            } else {
+                Self::ausm_flux(&col[j - 1], &qc, sx, sr)
+            };
+            for k in 0..NEQ {
+                res[k] += f[k];
+            }
+        }
+        {
+            let sx = m.sj_x[(i, j + 1)];
+            let sr = m.sj_r[(i, j + 1)];
+            let f = if j + 1 == ncj {
+                // Outer boundary: freestream inflow.
+                let (rho, ux, ur, p) = self.freestream;
+                let e = self.gas.energy(rho, p);
+                let ghost = Primitive {
+                    rho,
+                    ux,
+                    ur,
+                    p,
+                    a: self.gas.sound_speed(rho, e).max(1.0),
+                    h0: e + p / rho + 0.5 * (ux * ux + ur * ur),
+                };
+                Self::ausm_flux(&qc, &ghost, sx, sr)
+            } else {
+                Self::ausm_flux(&qc, &col[j + 1], sx, sr)
+            };
+            for k in 0..NEQ {
+                res[k] -= f[k];
+            }
+        }
+
+        // Thin-layer viscous terms in j (only when a wall temperature is
+        // set). Signs: dU/dt·V = −∮F·n̂ + ∮G·n̂.
+        if let Some(t_wall) = self.opts.t_wall {
+            let face_g = |ql: &Primitive,
+                          tl: f64,
+                          qr: &Primitive,
+                          tr: f64,
+                          dn: f64,
+                          sx: f64,
+                          sr: f64,
+                          u_face: Option<(f64, f64)>|
+             -> [f64; NEQ] {
+                let area = (sx * sx + sr * sr).sqrt().max(1e-300);
+                let nx = sx / area;
+                let nr = sr / area;
+                let t_face = 0.5 * (tl + tr);
+                let mu = (self.transport.viscosity)(t_face);
+                let kcond = self.transport.conductivity(t_face);
+                let dudn = (qr.ux - ql.ux) / dn;
+                let dvdn = (qr.ur - ql.ur) / dn;
+                let dtdn = (tr - tl) / dn;
+                let dundn = dudn * nx + dvdn * nr;
+                let tau_x = mu * (dudn + dundn * nx / 3.0);
+                let tau_r = mu * (dvdn + dundn * nr / 3.0);
+                let (ufx, ufr) =
+                    u_face.unwrap_or((0.5 * (ql.ux + qr.ux), 0.5 * (ql.ur + qr.ur)));
+                [
+                    0.0,
+                    tau_x * area,
+                    tau_r * area,
+                    (tau_x * ufx + tau_r * ufr + kcond * dtdn) * area,
+                ]
+            };
+            let tc = self.temperature(&qc);
+            // Bottom face.
+            {
+                let sx = m.sj_x[(i, j)];
+                let sr = m.sj_r[(i, j)];
+                let g = if j == 0 {
+                    let area = (sx * sx + sr * sr).sqrt().max(1e-300);
+                    let nx = sx / area;
+                    let nr = sr / area;
+                    let wx = 0.5 * (self.grid.x[(i, 0)] + self.grid.x[(i + 1, 0)]);
+                    let wr = 0.5 * (self.grid.r[(i, 0)] + self.grid.r[(i + 1, 0)]);
+                    let dn = ((m.xc[(i, 0)] - wx) * nx + (m.rc[(i, 0)] - wr) * nr)
+                        .abs()
+                        .max(1e-12);
+                    let wall = Primitive { ux: 0.0, ur: 0.0, ..qc };
+                    face_g(&wall, t_wall, &qc, tc, dn, sx, sr, Some((0.0, 0.0)))
+                } else {
+                    let ql = col[j - 1];
+                    let tl = self.temperature(&ql);
+                    let area = (sx * sx + sr * sr).sqrt().max(1e-300);
+                    let nx = sx / area;
+                    let nr = sr / area;
+                    let dn = ((m.xc[(i, j)] - m.xc[(i, j - 1)]) * nx
+                        + (m.rc[(i, j)] - m.rc[(i, j - 1)]) * nr)
+                        .abs()
+                        .max(1e-12);
+                    face_g(&ql, tl, &qc, tc, dn, sx, sr, None)
+                };
+                for k in 0..NEQ {
+                    res[k] -= g[k];
+                }
+            }
+            // Top face.
+            if j + 1 < ncj {
+                let sx = m.sj_x[(i, j + 1)];
+                let sr = m.sj_r[(i, j + 1)];
+                let qr = col[j + 1];
+                let tr = self.temperature(&qr);
+                let area = (sx * sx + sr * sr).sqrt().max(1e-300);
+                let nx = sx / area;
+                let nr = sr / area;
+                let dn = ((m.xc[(i, j + 1)] - m.xc[(i, j)]) * nx
+                    + (m.rc[(i, j + 1)] - m.rc[(i, j)]) * nr)
+                    .abs()
+                    .max(1e-12);
+                let g = face_g(&qc, tc, &qr, tr, dn, sx, sr, None);
+                for k in 0..NEQ {
+                    res[k] += g[k];
+                }
+            }
+        }
+
+        if self.grid.geometry == Geometry::Axisymmetric {
+            res[2] += qc.p * m.plane_area[(i, j)];
+        }
+        res
+    }
+
+    /// Relax station `i` to convergence; returns iterations used.
+    fn relax_station(&mut self, i: usize) -> usize {
+        let ncj = self.grid.ncj();
+        let mut ref_res = f64::NAN;
+        for it in 0..self.opts.max_station_iters {
+            let col: Vec<Primitive> = (0..ncj).map(|j| self.primitive(i, j)).collect();
+            let mut resnorm = 0.0_f64;
+            let mut updates = Vec::with_capacity(ncj);
+            for j in 0..ncj {
+                let res = self.station_residual(i, j, &col);
+                // Local pseudo-time step.
+                let q = &col[j];
+                let m = &self.metrics;
+                let spectral = |sx: f64, sr: f64| -> f64 {
+                    let area = (sx * sx + sr * sr).sqrt();
+                    (q.ux * sx + q.ur * sr).abs() + q.a * area
+                };
+                let mut lam = spectral(m.si_x[(i, j)], m.si_r[(i, j)])
+                    + spectral(m.si_x[(i + 1, j)], m.si_r[(i + 1, j)])
+                    + spectral(m.sj_x[(i, j)], m.sj_r[(i, j)])
+                    + spectral(m.sj_x[(i, j + 1)], m.sj_r[(i, j + 1)]);
+                if self.opts.t_wall.is_some() {
+                    let t = self.temperature(q);
+                    let mu = (self.transport.viscosity)(t);
+                    let sj = {
+                        let sx = m.sj_x[(i, j)];
+                        let sr = m.sj_r[(i, j)];
+                        (sx * sx + sr * sr).sqrt()
+                    };
+                    lam += 4.0 * mu / q.rho * sj * sj / m.volume[(i, j)];
+                }
+                let dt = self.opts.cfl * m.volume[(i, j)] / lam.max(1e-300);
+                resnorm += (res[0] / m.volume[(i, j)]).powi(2);
+                updates.push((res, dt));
+            }
+            for (j, (res, dt)) in updates.into_iter().enumerate() {
+                let v = self.metrics.volume[(i, j)];
+                let cell = self.u.vector_mut(i, j);
+                for k in 0..NEQ {
+                    cell[k] += dt / v * res[k];
+                }
+                if cell[0] < 1e-12 {
+                    cell[0] = 1e-12;
+                }
+            }
+            let resnorm = (resnorm / ncj as f64).sqrt();
+            if it == 10 {
+                ref_res = resnorm.max(1e-300);
+            }
+            if ref_res.is_finite() && resnorm / ref_res < self.opts.station_tol {
+                return it + 1;
+            }
+        }
+        self.opts.max_station_iters
+    }
+
+    /// March stations `i_start..nci`, columns before `i_start` taken as
+    /// given (freestream or user starter). Returns per-station wall data.
+    pub fn march(&mut self, i_start: usize) -> PnsSolution {
+        let nci = self.grid.nci();
+        let mut out = PnsSolution {
+            station_x: Vec::new(),
+            wall_pressure: Vec::new(),
+            wall_heat_flux: Vec::new(),
+            iterations: Vec::new(),
+        };
+        for i in i_start.max(1)..nci {
+            // Initialize from the upstream column (marching continuation).
+            for j in 0..self.grid.ncj() {
+                let up: Vec<f64> = self.u.vector(i - 1, j).to_vec();
+                self.u.vector_mut(i, j).copy_from_slice(&up);
+            }
+            let iters = self.relax_station(i);
+            let q0 = self.primitive(i, 0);
+            out.station_x.push(self.metrics.xc[(i, 0)]);
+            out.wall_pressure.push(q0.p);
+            out.wall_heat_flux.push(self.wall_heat_flux(i));
+            out.iterations.push(iters);
+        }
+        out
+    }
+
+    /// Wall heat flux at station `i` \[W/m²\] (0 for inviscid marches).
+    #[must_use]
+    pub fn wall_heat_flux(&self, i: usize) -> f64 {
+        let Some(t_wall) = self.opts.t_wall else { return 0.0 };
+        let m = &self.metrics;
+        let sx = m.sj_x[(i, 0)];
+        let sr = m.sj_r[(i, 0)];
+        let area = (sx * sx + sr * sr).sqrt().max(1e-300);
+        let nx = sx / area;
+        let nr = sr / area;
+        let wx = 0.5 * (self.grid.x[(i, 0)] + self.grid.x[(i + 1, 0)]);
+        let wr = 0.5 * (self.grid.r[(i, 0)] + self.grid.r[(i + 1, 0)]);
+        let dn = ((m.xc[(i, 0)] - wx) * nx + (m.rc[(i, 0)] - wr) * nr).abs().max(1e-12);
+        let q = self.primitive(i, 0);
+        let t1 = self.temperature(&q);
+        let k = self.transport.conductivity(0.5 * (t1 + t_wall));
+        k * (t1 - t_wall) / dn
+    }
+
+    /// Extract a starter column from an Euler/NS field at station `i` of a
+    /// matching grid.
+    #[must_use]
+    pub fn column_from_euler(solver: &crate::euler2d::EulerSolver<'_>, i: usize) -> Vec<Primitive> {
+        (0..solver.ncj()).map(|j| solver.primitive(i, j)).collect()
+    }
+
+    /// Default Euler-style options bridge (CFL reuse).
+    #[must_use]
+    pub fn options_from_euler(opts: &EulerOptions) -> PnsOptions {
+        PnsOptions { cfl: opts.cfl, ..PnsOptions::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aerothermo_gas::IdealGas;
+    use aerothermo_grid::bodies::SphereCone;
+    use aerothermo_grid::stretch;
+
+    fn cone_grid(half_angle_deg: f64, length: f64, ni: usize, nj: usize) -> StructuredGrid {
+        let body = SphereCone {
+            rn: 0.01,
+            half_angle: half_angle_deg.to_radians(),
+            length,
+        };
+        let dist = stretch::tanh_one_sided(nj, 2.5);
+        StructuredGrid::blunt_body(&body, ni, nj, &|sb| 0.02 + 0.35 * sb * length, &dist)
+    }
+
+    #[test]
+    fn cone_surface_pressure_near_taylor_maccoll() {
+        // 15° sharp-ish cone at M∞ = 8: Taylor-Maccoll gives β = 17.93°,
+        // p_c/p∞ = 7.55, surface Cp = 0.1461 (computed by integrating the
+        // Taylor-Maccoll equation for these exact conditions).
+        let gas = IdealGas::air();
+        let t_inf = 220.0;
+        let p_inf = 500.0;
+        let rho_inf = p_inf / (287.05 * t_inf);
+        let a_inf = (1.4_f64 * 287.05 * t_inf).sqrt();
+        let v_inf = 8.0 * a_inf;
+        let grid = cone_grid(15.0, 1.5, 90, 40);
+        let mut solver = PnsSolver::new(
+            &grid,
+            &gas,
+            PnsOptions { t_wall: None, ..PnsOptions::default() },
+            (rho_inf, v_inf, 0.0, p_inf),
+        );
+        let sol = solver.march(6);
+        // Use the last quarter of stations (conical asymptote).
+        let nst = sol.wall_pressure.len();
+        let p_cone: f64 =
+            sol.wall_pressure[3 * nst / 4..].iter().sum::<f64>() / (nst - 3 * nst / 4) as f64;
+        let cp = (p_cone - p_inf) / (0.5 * rho_inf * v_inf * v_inf);
+        assert!(
+            (cp - 0.1461).abs() < 0.015,
+            "cone Cp = {cp:.4} (Taylor-Maccoll = 0.1461)"
+        );
+    }
+
+    #[test]
+    fn march_is_cheap_per_station() {
+        // The whole point of PNS: station cost bounded; iterations should
+        // decay once the conical flow is established.
+        let gas = IdealGas::air();
+        let t_inf = 220.0;
+        let p_inf = 500.0;
+        let rho_inf = p_inf / (287.05 * t_inf);
+        let v_inf = 8.0 * (1.4_f64 * 287.05 * t_inf).sqrt();
+        let grid = cone_grid(15.0, 1.0, 50, 30);
+        let mut solver = PnsSolver::new(
+            &grid,
+            &gas,
+            PnsOptions { t_wall: None, ..PnsOptions::default() },
+            (rho_inf, v_inf, 0.0, p_inf),
+        );
+        let sol = solver.march(6);
+        let tail_iters = *sol.iterations.last().unwrap();
+        assert!(
+            tail_iters < solver.opts.max_station_iters,
+            "station failed to converge"
+        );
+    }
+
+    #[test]
+    fn viscous_cone_heating_decays_downstream() {
+        // Laminar cone heating ~ s^{-1/2}: the PNS wall heat flux must decay
+        // monotonically (after the start-up stations) along the cone.
+        let gas = IdealGas::air();
+        let t_inf = 220.0;
+        let p_inf = 2000.0;
+        let rho_inf = p_inf / (287.05 * t_inf);
+        let v_inf = 8.0 * (1.4_f64 * 287.05 * t_inf).sqrt();
+        let grid = cone_grid(10.0, 1.2, 70, 44);
+        let mut solver = PnsSolver::new(
+            &grid,
+            &gas,
+            PnsOptions { t_wall: Some(300.0), ..PnsOptions::default() },
+            (rho_inf, v_inf, 0.0, p_inf),
+        );
+        let sol = solver.march(8);
+        let n = sol.wall_heat_flux.len();
+        let q_quarter = sol.wall_heat_flux[n / 4];
+        let q_end = sol.wall_heat_flux[n - 1];
+        assert!(q_quarter > 0.0 && q_end > 0.0, "heating must be positive");
+        assert!(
+            q_end < q_quarter,
+            "heating should decay: {q_quarter:.3e} -> {q_end:.3e}"
+        );
+        // x^-1/2 scaling between the two probes, loosely.
+        let x_q = sol.station_x[n / 4];
+        let x_e = sol.station_x[n - 1];
+        let expected = (x_q / x_e).sqrt(); // q ∝ x^{-1/2}
+        let actual = q_end / q_quarter;
+        assert!(
+            (actual / expected - 1.0).abs() < 0.3,
+            "decay exponent off: actual ratio {actual:.3}, x^-1/2 gives {expected:.3}"
+        );
+    }
+}

@@ -1,0 +1,268 @@
+//! Exact Riemann solver for a calorically perfect gas (Toro's method).
+//!
+//! Supplies closed-form reference solutions for the shock-capturing
+//! verification problems (Sod tube and friends) and for the numerics
+//! ablation study: limiter and order choices are graded against the exact
+//! self-similar solution rather than against another discretization.
+
+/// A constant state (ρ, u, p).
+#[derive(Debug, Clone, Copy)]
+pub struct RiemannState {
+    /// Density \[kg/m³\].
+    pub rho: f64,
+    /// Velocity \[m/s\].
+    pub u: f64,
+    /// Pressure \[Pa\].
+    pub p: f64,
+}
+
+/// The exact solution structure of a Riemann problem.
+#[derive(Debug, Clone, Copy)]
+pub struct RiemannSolution {
+    /// Left input state.
+    pub left: RiemannState,
+    /// Right input state.
+    pub right: RiemannState,
+    /// Ratio of specific heats.
+    pub gamma: f64,
+    /// Star-region pressure.
+    pub p_star: f64,
+    /// Star-region (contact) velocity.
+    pub u_star: f64,
+}
+
+fn sound_speed(s: &RiemannState, gamma: f64) -> f64 {
+    (gamma * s.p / s.rho).sqrt()
+}
+
+/// Pressure function f_K(p) and its derivative (Toro §4.2).
+fn f_k(p: f64, s: &RiemannState, gamma: f64) -> (f64, f64) {
+    let a = sound_speed(s, gamma);
+    if p > s.p {
+        // Shock branch.
+        let ak = 2.0 / ((gamma + 1.0) * s.rho);
+        let bk = (gamma - 1.0) / (gamma + 1.0) * s.p;
+        let q = (ak / (p + bk)).sqrt();
+        let f = (p - s.p) * q;
+        let df = q * (1.0 - 0.5 * (p - s.p) / (p + bk));
+        (f, df)
+    } else {
+        // Rarefaction branch.
+        let pr = p / s.p;
+        let g1 = (gamma - 1.0) / (2.0 * gamma);
+        let f = 2.0 * a / (gamma - 1.0) * (pr.powf(g1) - 1.0);
+        let df = 1.0 / (s.rho * a) * pr.powf(-(gamma + 1.0) / (2.0 * gamma));
+        (f, df)
+    }
+}
+
+/// Solve the Riemann problem for `(left, right, γ)`.
+///
+/// # Panics
+/// Panics if a vacuum forms (the pressure positivity condition fails).
+#[must_use]
+pub fn solve(left: RiemannState, right: RiemannState, gamma: f64) -> RiemannSolution {
+    let al = sound_speed(&left, gamma);
+    let ar = sound_speed(&right, gamma);
+    let du = right.u - left.u;
+    assert!(
+        2.0 * (al + ar) / (gamma - 1.0) > du,
+        "vacuum-generating Riemann data"
+    );
+
+    // Newton on p_star with a positivity-preserving update; initial guess
+    // from the two-rarefaction approximation.
+    let g1 = (gamma - 1.0) / (2.0 * gamma);
+    let p0 = ((al + ar - 0.5 * (gamma - 1.0) * du)
+        / (al / left.p.powf(g1) + ar / right.p.powf(g1)))
+    .powf(1.0 / g1)
+    .max(1e-10 * left.p.min(right.p));
+    let mut p = p0;
+    for _ in 0..100 {
+        let (fl, dfl) = f_k(p, &left, gamma);
+        let (fr, dfr) = f_k(p, &right, gamma);
+        let f = fl + fr + du;
+        let step = f / (dfl + dfr);
+        let mut p_new = p - step;
+        if p_new <= 0.0 {
+            p_new = 0.5 * p;
+        }
+        if (p_new - p).abs() < 1e-12 * p {
+            p = p_new;
+            break;
+        }
+        p = p_new;
+    }
+    let (fl, _) = f_k(p, &left, gamma);
+    let (fr, _) = f_k(p, &right, gamma);
+    let u_star = 0.5 * (left.u + right.u) + 0.5 * (fr - fl);
+    RiemannSolution { left, right, gamma, p_star: p, u_star }
+}
+
+impl RiemannSolution {
+    /// Sample the self-similar solution at `xi = x/t`.
+    #[must_use]
+    #[allow(clippy::many_single_char_names)]
+    pub fn sample(&self, xi: f64) -> RiemannState {
+        let g = self.gamma;
+        let gm = g - 1.0;
+        let gp = g + 1.0;
+        if xi <= self.u_star {
+            // Left of the contact.
+            let s = &self.left;
+            let a = sound_speed(s, g);
+            if self.p_star > s.p {
+                // Left shock.
+                let ps = self.p_star / s.p;
+                let shock_speed = s.u - a * (gp / (2.0 * g) * ps + gm / (2.0 * g)).sqrt();
+                if xi < shock_speed {
+                    *s
+                } else {
+                    let rho = s.rho * (ps + gm / gp) / (gm / gp * ps + 1.0);
+                    RiemannState { rho, u: self.u_star, p: self.p_star }
+                }
+            } else {
+                // Left rarefaction.
+                let a_star = a * (self.p_star / s.p).powf(gm / (2.0 * g));
+                let head = s.u - a;
+                let tail = self.u_star - a_star;
+                if xi < head {
+                    *s
+                } else if xi > tail {
+                    let rho = s.rho * (self.p_star / s.p).powf(1.0 / g);
+                    RiemannState { rho, u: self.u_star, p: self.p_star }
+                } else {
+                    // Inside the fan.
+                    let u = 2.0 / gp * (a + gm / 2.0 * s.u + xi);
+                    let afan = 2.0 / gp * (a + gm / 2.0 * (s.u - xi));
+                    let rho = s.rho * (afan / a).powf(2.0 / gm);
+                    let p = s.p * (afan / a).powf(2.0 * g / gm);
+                    RiemannState { rho, u, p }
+                }
+            }
+        } else {
+            // Right of the contact (mirror).
+            let s = &self.right;
+            let a = sound_speed(s, g);
+            if self.p_star > s.p {
+                let ps = self.p_star / s.p;
+                let shock_speed = s.u + a * (gp / (2.0 * g) * ps + gm / (2.0 * g)).sqrt();
+                if xi > shock_speed {
+                    *s
+                } else {
+                    let rho = s.rho * (ps + gm / gp) / (gm / gp * ps + 1.0);
+                    RiemannState { rho, u: self.u_star, p: self.p_star }
+                }
+            } else {
+                let a_star = a * (self.p_star / s.p).powf(gm / (2.0 * g));
+                let head = s.u + a;
+                let tail = self.u_star + a_star;
+                if xi > head {
+                    *s
+                } else if xi < tail {
+                    let rho = s.rho * (self.p_star / s.p).powf(1.0 / g);
+                    RiemannState { rho, u: self.u_star, p: self.p_star }
+                } else {
+                    let u = 2.0 / gp * (-a + gm / 2.0 * s.u + xi);
+                    let afan = 2.0 / gp * (a - gm / 2.0 * (s.u - xi));
+                    let rho = s.rho * (afan / a).powf(2.0 / gm);
+                    let p = s.p * (afan / a).powf(2.0 * g / gm);
+                    RiemannState { rho, u, p }
+                }
+            }
+        }
+    }
+}
+
+/// The classic Sod problem `(ρ,u,p) = (1,0,1) | (0.125,0,0.1)`, γ = 1.4.
+///
+/// ```
+/// let sol = aerothermo_solvers::riemann::sod();
+/// assert!((sol.p_star - 0.30313).abs() < 1e-3);
+/// let post_shock = sol.sample(1.2);
+/// assert!((post_shock.rho - 0.26557).abs() < 1e-3);
+/// ```
+#[must_use]
+pub fn sod() -> RiemannSolution {
+    solve(
+        RiemannState { rho: 1.0, u: 0.0, p: 1.0 },
+        RiemannState { rho: 0.125, u: 0.0, p: 0.1 },
+        1.4,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sod_star_state_reference() {
+        // Toro's reference: p* = 0.30313, u* = 0.92745.
+        let s = sod();
+        assert!((s.p_star - 0.30313).abs() < 1e-4, "p* = {}", s.p_star);
+        assert!((s.u_star - 0.92745).abs() < 1e-4, "u* = {}", s.u_star);
+    }
+
+    #[test]
+    fn sod_sampled_regions() {
+        let s = sod();
+        // Left undisturbed.
+        let l = s.sample(-2.0);
+        assert!((l.rho - 1.0).abs() < 1e-12);
+        // Post-shock density: 0.26557 at t=0.2, x between contact & shock.
+        let ps = s.sample(1.2); // shock at ~1.75, contact at 0.927
+        assert!((ps.rho - 0.26557).abs() < 1e-4, "rho = {}", ps.rho);
+        // Star-left density: 0.42632.
+        let sl = s.sample(0.5);
+        assert!((sl.rho - 0.42632).abs() < 1e-4, "rho = {}", sl.rho);
+        // Right undisturbed.
+        let r = s.sample(3.0);
+        assert!((r.rho - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_collision_is_symmetric() {
+        // Two equal streams colliding: u* = 0, p* > inputs, mirror states.
+        let s = solve(
+            RiemannState { rho: 1.0, u: 100.0, p: 1e5 },
+            RiemannState { rho: 1.0, u: -100.0, p: 1e5 },
+            1.4,
+        );
+        assert!(s.u_star.abs() < 1e-8);
+        assert!(s.p_star > 1e5);
+        let a = s.sample(-50.0);
+        let b = s.sample(50.0);
+        assert!((a.rho - b.rho).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expansion_into_low_pressure() {
+        // Strong rarefaction: star pressure below both inputs.
+        let s = solve(
+            RiemannState { rho: 1.0, u: -200.0, p: 1e5 },
+            RiemannState { rho: 1.0, u: 200.0, p: 1e5 },
+            1.4,
+        );
+        assert!(s.p_star < 1e5);
+        assert!(s.u_star.abs() < 1e-8);
+    }
+
+    #[test]
+    fn entropy_across_sampled_shock() {
+        let s = sod();
+        let pre = s.sample(3.0);
+        let post = s.sample(1.2);
+        let entropy = |st: &RiemannState| st.p / st.rho.powf(1.4);
+        assert!(entropy(&post) > entropy(&pre), "entropy must rise across the shock");
+    }
+
+    #[test]
+    #[should_panic(expected = "vacuum")]
+    fn vacuum_detected() {
+        let _ = solve(
+            RiemannState { rho: 1.0, u: -2000.0, p: 100.0 },
+            RiemannState { rho: 1.0, u: 2000.0, p: 100.0 },
+            1.4,
+        );
+    }
+}

@@ -1,0 +1,319 @@
+//! Normal-shock jump relations.
+//!
+//! Three levels of gas model, mirroring the paper's hierarchy:
+//!
+//! * perfect gas — closed-form relations,
+//! * frozen mixture — composition and (optionally) vibrational energy held
+//!   at their upstream values while translation/rotation equilibrate: the
+//!   state immediately behind a strong shock, the initial condition of the
+//!   relaxation solver,
+//! * general [`GasModel`] — iterate the Rankine-Hugoniot system against any
+//!   `(ρ, e)` equation of state, which covers tabulated equilibrium air.
+
+use aerothermo_gas::thermo::Mixture;
+use aerothermo_gas::GasModel;
+use aerothermo_numerics::roots::{brent, RootError};
+
+
+/// Jump state behind a normal shock.
+#[derive(Debug, Clone, Copy)]
+pub struct ShockState {
+    /// Density \[kg/m³\].
+    pub rho: f64,
+    /// Pressure \[Pa\].
+    pub p: f64,
+    /// Flow speed in the shock frame \[m/s\].
+    pub u: f64,
+    /// Temperature \[K\].
+    pub t: f64,
+    /// Specific internal energy \[J/kg\] (model reference).
+    pub e: f64,
+}
+
+/// Perfect-gas normal-shock relations for upstream Mach number `m1`.
+/// Returns (p2/p1, ρ2/ρ1, T2/T1, M2).
+///
+/// # Panics
+/// Panics for `m1 <= 1`.
+#[must_use]
+pub fn perfect_gas_jump(m1: f64, gamma: f64) -> (f64, f64, f64, f64) {
+    assert!(m1 > 1.0, "shock requires supersonic upstream");
+    let g = gamma;
+    let p_ratio = 1.0 + 2.0 * g / (g + 1.0) * (m1 * m1 - 1.0);
+    let rho_ratio = (g + 1.0) * m1 * m1 / ((g - 1.0) * m1 * m1 + 2.0);
+    let t_ratio = p_ratio / rho_ratio;
+    let m2 = (((g - 1.0) * m1 * m1 + 2.0) / (2.0 * g * m1 * m1 - (g - 1.0))).sqrt();
+    (p_ratio, rho_ratio, t_ratio, m2)
+}
+
+/// Normal shock against a general `(ρ, e)` equation of state.
+///
+/// Given upstream `(rho1, p1, u1)` (shock frame), finds the downstream state
+/// satisfying mass/momentum/energy conservation with `model`'s EOS, by a
+/// bracketed solve on the density ratio.
+///
+/// # Errors
+/// Fails when no density ratio in `[1.01, 50]` satisfies the system (e.g.
+/// subsonic upstream).
+pub fn normal_shock(
+    model: &dyn GasModel,
+    rho1: f64,
+    p1: f64,
+    u1: f64,
+) -> Result<ShockState, RootError> {
+    let e1 = model.energy(rho1, p1);
+    let h1 = e1 + p1 / rho1;
+    let mdot = rho1 * u1;
+    let ptot = p1 + rho1 * u1 * u1;
+    let htot = h1 + 0.5 * u1 * u1;
+
+    // Residual in the density ratio r = ρ2/ρ1: from mass+momentum, p2 and
+    // u2 follow; energy closes with the EOS enthalpy at (ρ2, e2).
+    let f = |r: f64| -> f64 {
+        let rho2 = rho1 * r;
+        let u2 = u1 / r;
+        let p2 = ptot - mdot * u2;
+        let h2_target = htot - 0.5 * u2 * u2;
+        let e2 = h2_target - p2 / rho2;
+        // EOS pressure at (rho2, e2) must equal the momentum pressure.
+        model.pressure(rho2, e2) - p2
+    };
+    let r = brent(f, 1.01, 50.0, 1e-10)?;
+    let rho2 = rho1 * r;
+    let u2 = u1 / r;
+    let p2 = ptot - mdot * u2;
+    let e2 = (htot - 0.5 * u2 * u2) - p2 / rho2;
+    Ok(ShockState { rho: rho2, p: p2, u: u2, t: model.temperature(rho2, e2), e: e2 })
+}
+
+/// Oblique-shock relations for a perfect gas: given upstream Mach `m1` and
+/// shock angle `beta`, returns `(deflection θ, p2/p1, ρ2/ρ1, M2)`.
+///
+/// # Panics
+/// Panics when the normal Mach component is subsonic (no shock at this β).
+#[must_use]
+pub fn oblique_shock(m1: f64, beta: f64, gamma: f64) -> (f64, f64, f64, f64) {
+    let mn1 = m1 * beta.sin();
+    assert!(mn1 > 1.0, "normal Mach {mn1} subsonic: no shock at this angle");
+    let (p_ratio, rho_ratio, _, mn2) = perfect_gas_jump(mn1, gamma);
+    let theta = (2.0 / beta.tan() * (m1 * m1 * beta.sin() * beta.sin() - 1.0)
+        / (m1 * m1 * (gamma + (2.0 * beta).cos()) + 2.0))
+        .atan();
+    let m2 = mn2 / (beta - theta).sin();
+    (theta, p_ratio, rho_ratio, m2)
+}
+
+/// Weak-solution shock angle β for a given flow deflection θ at Mach `m1`
+/// (the attached-shock branch), found by bisection between the Mach angle
+/// and the maximum-deflection angle.
+///
+/// # Errors
+/// Fails when θ exceeds the maximum deflection (detached shock).
+pub fn beta_from_theta(m1: f64, theta: f64, gamma: f64) -> Result<f64, RootError> {
+    let beta_min = (1.0 / m1).asin() + 1e-9;
+    // Find the β of maximum deflection by golden-section-ish scan.
+    let mut beta_max_defl = beta_min;
+    let mut max_defl = -1.0;
+    let n = 400;
+    for k in 0..=n {
+        let b = beta_min
+            + (std::f64::consts::FRAC_PI_2 - 1e-9 - beta_min) * f64::from(k) / f64::from(n);
+        let (th, ..) = oblique_shock(m1, b, gamma);
+        if th > max_defl {
+            max_defl = th;
+            beta_max_defl = b;
+        }
+    }
+    if theta > max_defl {
+        return Err(RootError::NoBracket { fa: theta, fb: max_defl });
+    }
+    brent(
+        |b| oblique_shock(m1, b, gamma).0 - theta,
+        beta_min,
+        beta_max_defl,
+        1e-12,
+    )
+}
+
+/// Frozen-chemistry, frozen-vibration shock jump for a mixture.
+///
+/// Composition `y` and the vibrational/electronic energy (held at the
+/// upstream `t1`) pass through unchanged; translation and rotation jump.
+/// This is the classic "frozen shock" initial condition for two-temperature
+/// relaxation: the translational temperature immediately behind a 10 km/s
+/// shock is enormous while T_v still equals the freestream temperature.
+///
+/// Returns the jump state; its `t` is the translational-rotational
+/// temperature, with T_v = `t1` implied.
+///
+/// # Errors
+/// Fails when the jump system has no solution in range.
+pub fn frozen_shock(
+    mix: &Mixture,
+    y: &[f64],
+    t1: f64,
+    p1: f64,
+    u1: f64,
+) -> Result<ShockState, RootError> {
+    let r_gas = mix.gas_constant(y);
+    let rho1 = p1 / (r_gas * t1);
+    let mdot = rho1 * u1;
+    let ptot = p1 + rho1 * u1 * u1;
+    // Frozen enthalpy: trans+rot at T, vib+elec frozen at t1.
+    let h_frozen = |t: f64| -> f64 {
+        let mut h = 0.0;
+        for (sp, yi) in mix.species().iter().zip(y) {
+            h += yi
+                * (sp.e_trans(t)
+                    + sp.e_rot(t)
+                    + sp.e_vib(t1)
+                    + sp.e_elec(t1)
+                    + sp.e_formation()
+                    + sp.gas_constant() * t);
+        }
+        h
+    };
+    let htot = h_frozen(t1) + 0.5 * u1 * u1;
+
+    let f = |r: f64| -> f64 {
+        let rho2 = rho1 * r;
+        let u2 = u1 / r;
+        let p2 = ptot - mdot * u2;
+        let t2 = p2 / (rho2 * r_gas);
+        h_frozen(t2) + 0.5 * u2 * u2 - htot
+    };
+    let r = brent(f, 1.05, 25.0, 1e-11)?;
+    let rho2 = rho1 * r;
+    let u2 = u1 / r;
+    let p2 = ptot - mdot * u2;
+    let t2 = p2 / (rho2 * r_gas);
+    let e2 = h_frozen(t2) - p2 / rho2 - 0.0;
+    Ok(ShockState { rho: rho2, p: p2, u: u2, t: t2, e: e2 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aerothermo_gas::species::{n2, o2};
+    use aerothermo_gas::IdealGas;
+
+    #[test]
+    fn perfect_gas_textbook_values() {
+        // M1 = 2, γ = 1.4: p2/p1 = 4.5, ρ2/ρ1 = 2.6667, M2 = 0.5774.
+        let (p, r, t, m2) = perfect_gas_jump(2.0, 1.4);
+        assert!((p - 4.5).abs() < 1e-12);
+        assert!((r - 8.0 / 3.0).abs() < 1e-12);
+        assert!((t - 4.5 / (8.0 / 3.0)).abs() < 1e-12);
+        assert!((m2 - 0.577_350_269).abs() < 1e-8);
+    }
+
+    #[test]
+    fn strong_shock_density_limit() {
+        // ρ2/ρ1 → (γ+1)/(γ−1) = 6 as M → ∞ for γ = 1.4.
+        let (_, r, _, _) = perfect_gas_jump(200.0, 1.4);
+        assert!((r - 6.0).abs() < 0.001, "r = {r}");
+    }
+
+    #[test]
+    fn general_model_matches_closed_form_for_ideal_gas() {
+        let gas = IdealGas::air();
+        let t1 = 250.0;
+        let p1 = 1000.0;
+        let rho1 = p1 / (gas.r * t1);
+        let a1 = (gas.gamma * gas.r * t1).sqrt();
+        let m1 = 8.0;
+        let st = normal_shock(&gas, rho1, p1, m1 * a1).unwrap();
+        let (p_ratio, rho_ratio, t_ratio, _) = perfect_gas_jump(m1, 1.4);
+        assert!((st.p / p1 - p_ratio).abs() / p_ratio < 1e-6);
+        assert!((st.rho / rho1 - rho_ratio).abs() / rho_ratio < 1e-6);
+        assert!((st.t / t1 - t_ratio).abs() / t_ratio < 1e-6);
+    }
+
+    #[test]
+    fn mass_momentum_energy_conserved_across_general_shock() {
+        let gas = IdealGas::effective_gamma(1.2);
+        let rho1 = 1e-3;
+        let p1 = 50.0;
+        let u1 = 6000.0;
+        let st = normal_shock(&gas, rho1, p1, u1).unwrap();
+        assert!((rho1 * u1 - st.rho * st.u).abs() / (rho1 * u1) < 1e-9);
+        let mom1 = p1 + rho1 * u1 * u1;
+        let mom2 = st.p + st.rho * st.u * st.u;
+        assert!((mom1 - mom2).abs() / mom1 < 1e-9);
+        let h1 = gas.enthalpy(rho1, gas.energy(rho1, p1)) + 0.5 * u1 * u1;
+        let h2 = st.e + st.p / st.rho + 0.5 * st.u * st.u;
+        assert!((h1 - h2).abs() / h1 < 1e-9);
+    }
+
+    #[test]
+    fn frozen_shock_huge_translational_temperature() {
+        // 10 km/s into 300 K air at 13.3 Pa (the paper's Fig. 7 condition):
+        // frozen T2 is tens of thousands of kelvin.
+        let mix = Mixture::new(vec![n2(), o2()]);
+        let y = [0.767, 0.233];
+        let st = frozen_shock(&mix, &y, 300.0, 13.3, 10_000.0).unwrap();
+        assert!(st.t > 35_000.0 && st.t < 70_000.0, "T2 = {}", st.t);
+        // Density ratio approaches the γ_eff limit ~6.
+        let rho1 = 13.3 / (mix.gas_constant(&y) * 300.0);
+        let r = st.rho / rho1;
+        assert!(r > 5.0 && r < 8.0, "rho ratio = {r}");
+    }
+
+    #[test]
+    fn frozen_shock_conserves_fluxes() {
+        let mix = Mixture::new(vec![n2(), o2()]);
+        let y = [0.767, 0.233];
+        let t1 = 300.0;
+        let p1 = 13.3;
+        let u1 = 10_000.0;
+        let rho1 = p1 / (mix.gas_constant(&y) * t1);
+        let st = frozen_shock(&mix, &y, t1, p1, u1).unwrap();
+        assert!((rho1 * u1 - st.rho * st.u).abs() / (rho1 * u1) < 1e-8);
+        let mom1 = p1 + rho1 * u1 * u1;
+        assert!((mom1 - st.p - st.rho * st.u * st.u).abs() / mom1 < 1e-8);
+    }
+
+    #[test]
+    fn oblique_shock_textbook_case() {
+        // M1 = 3, β = 40°, γ = 1.4: θ ≈ 22°, M2 ≈ 1.9 (NACA 1135 charts).
+        let (theta, p_ratio, _, m2) = oblique_shock(3.0, 40f64.to_radians(), 1.4);
+        assert!((theta.to_degrees() - 22.0).abs() < 0.5, "θ = {}", theta.to_degrees());
+        assert!((m2 - 1.9).abs() < 0.07, "M2 = {m2}");
+        // Normal-component pressure ratio at Mn1 = 3 sin40° = 1.928: 4.17.
+        assert!((p_ratio - 4.17).abs() < 0.05, "p2/p1 = {p_ratio}");
+    }
+
+    #[test]
+    fn beta_theta_roundtrip() {
+        for (m1, theta_deg) in [(2.0, 10.0), (5.0, 20.0), (10.0, 30.0)] {
+            let theta = (theta_deg as f64).to_radians();
+            let beta = beta_from_theta(m1, theta, 1.4).unwrap();
+            let (th_back, ..) = oblique_shock(m1, beta, 1.4);
+            assert!((th_back - theta).abs() < 1e-9, "M{m1} θ{theta_deg}");
+            // Weak solution: β below ~65° for these cases.
+            assert!(beta < 70f64.to_radians());
+        }
+    }
+
+    #[test]
+    fn detached_shock_detected() {
+        // 50° wedge at Mach 2 exceeds the max deflection (~23°).
+        assert!(beta_from_theta(2.0, 50f64.to_radians(), 1.4).is_err());
+    }
+
+    #[test]
+    fn mach_angle_limit() {
+        // As θ → 0 the weak shock tends to the Mach wave: β → asin(1/M).
+        let beta = beta_from_theta(4.0, 0.001f64.to_radians(), 1.4).unwrap();
+        assert!((beta - (1.0_f64 / 4.0).asin()).abs() < 0.01, "β = {beta}");
+    }
+
+    #[test]
+    fn subsonic_upstream_rejected() {
+        let gas = IdealGas::air();
+        let rho1 = 1.2;
+        let p1 = 101_325.0;
+        // u = 100 m/s ≪ a: no shock solution.
+        assert!(normal_shock(&gas, rho1, p1, 100.0).is_err());
+    }
+}

@@ -1,0 +1,359 @@
+//! Post-shock thermochemical relaxation (the paper's Fig. 7).
+//!
+//! Steady one-dimensional flow in the shock-fixed frame: immediately behind
+//! the (frozen) shock the translational temperature is enormous while the
+//! vibrational temperature still holds its freestream value; finite-rate
+//! chemistry and Landau-Teller energy exchange then relax the gas toward
+//! equilibrium over a distance set by the binary-collision scaling.
+//!
+//! Mass, momentum, and total enthalpy are algebraic invariants of the
+//! steady flow, so the marched unknowns are only the species mass fractions
+//! and the vibronic energy; at each station the flow speed (hence ρ, p, T)
+//! is recovered by a bracketed scalar solve. The stiff system is integrated
+//! with the adaptive backward-Euler marcher from `aerothermo-numerics`.
+
+use crate::shock::frozen_shock;
+use aerothermo_gas::kinetics::ReactionSet;
+use aerothermo_gas::relaxation::RelaxationModel;
+use aerothermo_numerics::constants::K_BOLTZMANN;
+use aerothermo_numerics::ode::{stiff_integrate, AdaptiveOptions};
+use aerothermo_numerics::roots::brent_expanding;
+use std::cell::Cell;
+
+/// Upstream (freestream, shock-frame) conditions and composition.
+#[derive(Debug, Clone)]
+pub struct RelaxationProblem {
+    /// Shock speed = upstream flow speed in the shock frame \[m/s\].
+    pub u1: f64,
+    /// Upstream temperature \[K\].
+    pub t1: f64,
+    /// Upstream pressure \[Pa\].
+    pub p1: f64,
+    /// Upstream mass fractions (mixture order).
+    pub y1: Vec<f64>,
+    /// Marching distance behind the shock \[m\].
+    pub x_end: f64,
+}
+
+/// One station of the relaxation solution.
+#[derive(Debug, Clone)]
+pub struct RelaxationPoint {
+    /// Distance behind the shock \[m\].
+    pub x: f64,
+    /// Translational-rotational temperature \[K\].
+    pub t: f64,
+    /// Vibrational-electronic temperature \[K\].
+    pub tv: f64,
+    /// Flow speed (shock frame) \[m/s\].
+    pub u: f64,
+    /// Density \[kg/m³\].
+    pub rho: f64,
+    /// Pressure \[Pa\].
+    pub p: f64,
+    /// Species mass fractions.
+    pub y: Vec<f64>,
+    /// Species mole fractions.
+    pub x_mole: Vec<f64>,
+    /// Total number density \[1/m³\].
+    pub n_total: f64,
+    /// Marched vibronic energy \[J/kg\].
+    pub ev: f64,
+    /// Total-enthalpy conservation residual, relative.
+    pub h_residual: f64,
+}
+
+/// Solution of a relaxation march.
+#[derive(Debug, Clone)]
+pub struct RelaxationSolution {
+    /// Stations, ordered in x.
+    pub points: Vec<RelaxationPoint>,
+    /// The frozen post-shock translational temperature \[K\].
+    pub t_frozen: f64,
+}
+
+impl RelaxationSolution {
+    /// Station nearest to `x`.
+    ///
+    /// # Panics
+    /// Panics if the solution is empty.
+    #[must_use]
+    pub fn at(&self, x: f64) -> &RelaxationPoint {
+        self.points
+            .iter()
+            .min_by(|a, b| (a.x - x).abs().total_cmp(&(b.x - x).abs()))
+            .expect("empty solution")
+    }
+
+    /// Distance at which T and T_v first agree within `frac` (relative).
+    #[must_use]
+    pub fn equilibration_distance(&self, frac: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| (p.t - p.tv).abs() < frac * p.t)
+            .map(|p| p.x)
+    }
+}
+
+/// Solve the relaxation problem for a mechanism (mixture order defines `y`).
+///
+/// # Errors
+/// Propagates shock-jump or integration failures with context.
+#[allow(clippy::too_many_lines)]
+pub fn solve(
+    reactions: &ReactionSet,
+    relaxation: &RelaxationModel,
+    problem: &RelaxationProblem,
+) -> Result<RelaxationSolution, String> {
+    let mix = reactions.mixture();
+    let ns = mix.len();
+    if problem.y1.len() != ns {
+        return Err("y1 length mismatch".into());
+    }
+
+    // Frozen jump sets the flux invariants and the initial condition.
+    let jump = frozen_shock(mix, &problem.y1, problem.t1, problem.p1, problem.u1)
+        .map_err(|e| format!("frozen shock failed: {e}"))?;
+    let rho1 = problem.p1 / (mix.gas_constant(&problem.y1) * problem.t1);
+    let mdot = rho1 * problem.u1;
+    let ptot = problem.p1 + rho1 * problem.u1 * problem.u1;
+    let h1 = {
+        // Full equilibrium-mode enthalpy at upstream conditions (T = Tv).
+        mix.h_total(problem.t1, &problem.y1)
+    };
+    let htot = h1 + 0.5 * problem.u1 * problem.u1;
+
+    // Frozen-mode enthalpy: translation/rotation/formation at T plus the RT
+    // pressure term; the vibronic pool enters as the *marched* energy `ev`
+    // directly, so total enthalpy is conserved exactly even when the
+    // ev → T_v inversion saturates (T_v is only needed for rates).
+    let h_with_ev = |t: f64, y: &[f64], ev: f64| -> f64 {
+        let mut h = ev;
+        for (sp, yi) in mix.species().iter().zip(y) {
+            if sp.name == "e-" {
+                h += yi * sp.e_formation();
+            } else {
+                h += yi * (sp.e_trans(t) + sp.e_rot(t) + sp.e_formation());
+            }
+        }
+        h + mix.gas_constant(y) * t
+    };
+
+    // Warm-start caches for the algebraic closures.
+    let u_cache = Cell::new(jump.u);
+    let tv_cache = Cell::new(problem.t1);
+
+    // Closure: from marched state (y, ev) recover (u, rho, p, T, Tv).
+    let close = |y: &[f64], ev: f64| -> Result<(f64, f64, f64, f64, f64), String> {
+        let tv = mix
+            .tv_from_vibronic_energy(ev.max(0.0), y, tv_cache.get())
+            .unwrap_or(200_000.0);
+        tv_cache.set(tv.min(150_000.0));
+        let r_gas = mix.gas_constant(y);
+        let u_max = 0.999 * ptot / mdot;
+        let f = |u: f64| -> f64 {
+            let p = ptot - mdot * u;
+            let t = u * p / (mdot * r_gas);
+            h_with_ev(t, y, ev) + 0.5 * u * u - htot
+        };
+        let u = brent_expanding(f, u_cache.get(), 0.05 * u_cache.get(), 1.0, u_max, 1e-9, 60)
+            .map_err(|e| format!("u closure: {e}"))?;
+        u_cache.set(u);
+        let rho = mdot / u;
+        let p = ptot - mdot * u;
+        let t = p / (rho * r_gas);
+        Ok((u, rho, p, t, tv))
+    };
+
+    // Marched state: z = [y_0..y_{ns-1}, ev].
+    let rhs = |_x: f64, z: &[f64], dz: &mut [f64]| {
+        let y = &z[..ns];
+        let ev = z[ns];
+        let Ok((u, rho, p, t, tv)) = close(y, ev) else {
+            dz.fill(0.0);
+            return;
+        };
+        let mut wdot = vec![0.0; ns];
+        reactions.mass_production(t, tv, rho, y, &mut wdot);
+        let n_total = p / (K_BOLTZMANN * t);
+        let q_tv = relaxation.q_trans_vib(rho, y, t, tv, p, n_total);
+        // Vibronic energy carried by produced/destroyed species.
+        let mut q_chem = 0.0;
+        for (s, sp) in mix.species().iter().enumerate() {
+            let evs = if sp.name == "e-" {
+                sp.e_trans(tv)
+            } else {
+                sp.e_vib(tv) + sp.e_elec(tv)
+            };
+            q_chem += wdot[s] * evs;
+        }
+        // Electron-impact reactions draw their formation energy from the
+        // electron (vibronic) pool — the sink that self-limits the
+        // ionization avalanche by cooling T_e.
+        let conc: Vec<f64> = (0..ns)
+            .map(|s| rho * y[s].max(0.0) / mix.species()[s].molar_mass)
+            .collect();
+        let mut rates = vec![0.0; reactions.reactions().len()];
+        reactions.net_reaction_rates(t, tv, &conc, &mut rates);
+        let mut q_eii = 0.0;
+        for (r, rate) in reactions.reactions().iter().zip(&rates) {
+            if r.rate_t == aerothermo_gas::kinetics::RateTemperature::ElectronTv {
+                q_eii -= rate * reactions.reaction_energy(r);
+            }
+        }
+        let rho_u = rho * u;
+        for s in 0..ns {
+            dz[s] = wdot[s] / rho_u;
+        }
+        dz[ns] = (q_tv + q_chem + q_eii) / rho_u;
+    };
+
+    // Initial condition: frozen composition, vibronic energy at t1.
+    let mut z = problem.y1.clone();
+    z.push(mix.e_vibronic(problem.t1, &problem.y1));
+
+    let mut raw: Vec<(f64, Vec<f64>)> = Vec::new();
+    stiff_integrate(
+        &rhs,
+        0.0,
+        problem.x_end,
+        &mut z,
+        &AdaptiveOptions {
+            rtol: 1e-5,
+            atol: 1e-10,
+            h0: 1e-9,
+            hmin: 1e-16,
+            hmax: problem.x_end / 50.0,
+            max_steps: 200_000,
+        },
+        |x, state| raw.push((x, state.to_vec())),
+    )
+    .map_err(|e| format!("relaxation march: {e}"))?;
+
+    // Convert the raw march to flow states.
+    u_cache.set(jump.u);
+    tv_cache.set(problem.t1);
+    let mut points = Vec::with_capacity(raw.len());
+    for (x, state) in raw {
+        let y = state[..ns].to_vec();
+        let ev = state[ns];
+        let (u, rho, p, t, tv) = close(&y, ev)?;
+        let x_mole = mix.mass_to_mole(&y);
+        let n_total = p / (K_BOLTZMANN * t);
+        let h_residual = (h_with_ev(t, &y, ev) + 0.5 * u * u - htot) / htot;
+        points.push(RelaxationPoint { x, t, tv, u, rho, p, y, x_mole, n_total, ev, h_residual });
+    }
+
+    Ok(RelaxationSolution { points, t_frozen: jump.t })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aerothermo_gas::equilibrium::air9_equilibrium;
+    use aerothermo_gas::kinetics::park_air9;
+    use aerothermo_gas::relaxation::RelaxationModel;
+
+    fn park_problem() -> (ReactionSet, RelaxationModel, RelaxationProblem) {
+        let gas = air9_equilibrium();
+        let set = park_air9(gas.mixture());
+        let relax = RelaxationModel::new(gas.mixture().clone());
+        let mut y1 = vec![0.0; gas.mixture().len()];
+        y1[0] = 0.767; // N2
+        y1[1] = 0.233; // O2
+        let problem = RelaxationProblem {
+            u1: 10_000.0,
+            t1: 300.0,
+            p1: 13.3, // 0.1 torr
+            y1,
+            x_end: 0.05,
+        };
+        (set, relax, problem)
+    }
+
+    #[test]
+    fn park_fig7_structure() {
+        // The qualitative structure of the paper's Fig. 7: T starts huge,
+        // T_v starts cold, they approach each other downstream while N2
+        // dissociates.
+        let (set, relax, problem) = park_problem();
+        let sol = solve(&set, &relax, &problem).unwrap();
+        assert!(sol.points.len() > 50);
+
+        let first = &sol.points[1];
+        assert!(first.t > 30_000.0, "frozen T = {}", first.t);
+        assert!(first.tv < 2_000.0, "initial Tv = {}", first.tv);
+
+        let last = sol.points.last().unwrap();
+        assert!(
+            (last.t - last.tv).abs() < 0.25 * last.t,
+            "T and Tv should approach: T={} Tv={}",
+            last.t,
+            last.tv
+        );
+        // Temperature relaxes downward as dissociation absorbs energy.
+        assert!(last.t < 0.6 * sol.t_frozen, "T_end = {}", last.t);
+
+        // N2 dissociates substantially.
+        let n2_end = last.y[0];
+        assert!(n2_end < 0.6, "y_N2 = {n2_end}");
+        // O2 goes almost completely.
+        assert!(last.y[1] < 0.02, "y_O2 = {}", last.y[1]);
+        // Electrons appear.
+        let ye = last.y[8];
+        assert!(ye > 0.0, "no ionization: {ye}");
+    }
+
+    #[test]
+    fn mass_fractions_stay_normalized() {
+        let (set, relax, mut problem) = park_problem();
+        problem.x_end = 0.01;
+        let sol = solve(&set, &relax, &problem).unwrap();
+        for p in &sol.points {
+            let s: f64 = p.y.iter().sum();
+            assert!((s - 1.0).abs() < 1e-4, "Σy = {s} at x = {}", p.x);
+            assert!(p.y.iter().all(|v| *v > -1e-8), "negative y at {}", p.x);
+        }
+    }
+
+    #[test]
+    fn invariants_conserved_along_march() {
+        let (set, relax, mut problem) = park_problem();
+        problem.x_end = 0.01;
+        let sol = solve(&set, &relax, &problem).unwrap();
+        let rho1 = 13.3 / (set.mixture().gas_constant(&problem.y1) * 300.0);
+        let mdot = rho1 * 10_000.0;
+        let ptot = 13.3 + rho1 * 1e8;
+        for p in sol.points.iter().step_by(10) {
+            assert!((p.rho * p.u - mdot).abs() / mdot < 1e-6, "mass at {}", p.x);
+            let mom = p.p + p.rho * p.u * p.u;
+            assert!((mom - ptot).abs() / ptot < 1e-6, "momentum at {}", p.x);
+        }
+    }
+
+    #[test]
+    fn tv_rises_monotonically_early() {
+        let (set, relax, mut problem) = park_problem();
+        problem.x_end = 0.002;
+        let sol = solve(&set, &relax, &problem).unwrap();
+        // In the early relaxation zone Tv must climb toward T.
+        let early: Vec<f64> = sol.points.iter().take(20).map(|p| p.tv).collect();
+        assert!(early.windows(2).all(|w| w[1] >= w[0] - 1.0), "{early:?}");
+    }
+
+    #[test]
+    fn binary_scaling_relaxation_length() {
+        // Doubling the upstream pressure should roughly halve the
+        // equilibration distance (binary collision scaling).
+        let (set, relax, mut problem) = park_problem();
+        problem.x_end = 0.03;
+        let sol_lo = solve(&set, &relax, &problem).unwrap();
+        problem.p1 *= 2.0;
+        let sol_hi = solve(&set, &relax, &problem).unwrap();
+        let d_lo = sol_lo.equilibration_distance(0.05);
+        let d_hi = sol_hi.equilibration_distance(0.05);
+        if let (Some(lo), Some(hi)) = (d_lo, d_hi) {
+            let ratio = lo / hi;
+            assert!(ratio > 1.3 && ratio < 3.5, "scaling ratio = {ratio}");
+        }
+    }
+}

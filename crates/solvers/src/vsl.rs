@@ -1,0 +1,899 @@
+//! Stagnation-line viscous shock layer (VSL) with equilibrium chemistry and
+//! radiative loss — the solver class behind the paper's Figs. 2–3 (Titan
+//! probe heating environment and species profiles).
+//!
+//! The full shock layer between body and bow shock is solved on the
+//! stagnation line of an axisymmetric blunt body. With `u = x·U(y)` the
+//! exact stagnation-line reduction of the (thin) shock-layer equations is
+//!
+//! ```text
+//! continuity :  (ρv)' = −2ρU
+//! momentum   :  ρvU' + ρU² = ρ_δ a²  + (μU')'          a = du_e/dx
+//! energy     :  ρv h'      = (Γ h')' + S_rad            Γ = μ/Pr  (Le = 1)
+//! ```
+//!
+//! with no-slip/isothermal wall BCs and Rankine-Hugoniot edge conditions at
+//! `y = δ`; the shock standoff `δ` is the eigenvalue fixed by the mass
+//! balance `2∫ρU dy = ρ∞u∞`. The gas is in local thermochemical
+//! equilibrium: all properties come from the element-potential solver at
+//! the (constant) stagnation pressure, tabulated once per solve. The total
+//! enthalpy form with Le = 1 carries the reaction (diffusion) energy flux
+//! exactly as the era's VSL codes did.
+
+use aerothermo_gas::equilibrium::EquilibriumGas;
+use aerothermo_gas::transport::{mixture_conductivity, mixture_viscosity};
+use aerothermo_numerics::interp::MonotoneCubic;
+use aerothermo_numerics::tridiag::solve_tridiag;
+use rayon::prelude::*;
+
+/// VSL problem definition.
+#[derive(Debug, Clone)]
+pub struct VslProblem {
+    /// Freestream velocity \[m/s\].
+    pub u_inf: f64,
+    /// Freestream density \[kg/m³\].
+    pub rho_inf: f64,
+    /// Freestream temperature \[K\].
+    pub t_inf: f64,
+    /// Nose radius \[m\].
+    pub nose_radius: f64,
+    /// Wall temperature \[K\].
+    pub t_wall: f64,
+    /// Grid points across the layer.
+    pub n_points: usize,
+    /// Include the radiative source/loss term (thin emission approximation).
+    pub radiating: bool,
+}
+
+/// One station of the converged shock-layer profile.
+#[derive(Debug, Clone)]
+pub struct VslStation {
+    /// Distance from the wall \[m\].
+    pub y: f64,
+    /// Temperature \[K\].
+    pub temperature: f64,
+    /// Density \[kg/m³\].
+    pub density: f64,
+    /// Total enthalpy \[J/kg\].
+    pub enthalpy: f64,
+    /// Tangential velocity-gradient function U \[1/s\].
+    pub u_grad: f64,
+    /// Normal mass flux ρv \[kg/(m²·s)\] (negative toward the wall).
+    pub mass_flux: f64,
+    /// Equilibrium species mole fractions (mixture order).
+    pub mole_fractions: Vec<f64>,
+    /// Equilibrium species number densities \[1/m³\].
+    pub number_densities: Vec<f64>,
+}
+
+/// Converged VSL solution.
+#[derive(Debug, Clone)]
+pub struct VslSolution {
+    /// Shock standoff distance \[m\].
+    pub standoff: f64,
+    /// Stagnation (edge) pressure \[Pa\].
+    pub p_stag: f64,
+    /// Post-shock (edge) temperature \[K\].
+    pub t_edge: f64,
+    /// Convective wall heat flux \[W/m²\].
+    pub q_conv: f64,
+    /// Radiative wall heat flux (thin-emission half-volume estimate)
+    /// \[W/m²\]; 0 when `radiating` was off.
+    pub q_rad_thin: f64,
+    /// Stations from wall (first) to shock (last).
+    pub stations: Vec<VslStation>,
+    /// Species names (mixture order).
+    pub species_names: Vec<String>,
+}
+
+impl VslSolution {
+    /// Mole-fraction profile of species `name` as `(y/δ, x)` pairs.
+    #[must_use]
+    pub fn species_profile(&self, name: &str) -> Vec<(f64, f64)> {
+        let idx = self.species_names.iter().position(|n| n == name);
+        let Some(idx) = idx else { return Vec::new() };
+        self.stations
+            .iter()
+            .map(|s| (s.y / self.standoff, s.mole_fractions[idx]))
+            .collect()
+    }
+}
+
+/// Property tables at fixed pressure, parameterized by temperature.
+struct PropertyTable {
+    h_of_t: MonotoneCubic,
+    t_of_h: MonotoneCubic,
+    rho_of_t: MonotoneCubic,
+    mu_of_t: MonotoneCubic,
+    k_of_t: MonotoneCubic,
+    cp_of_t: MonotoneCubic,
+    /// Optically-thin volumetric radiative loss 4π·∫j_λdλ \[W/m³\] from the
+    /// full spectral model (atomic lines + molecular bands) on the
+    /// equilibrium composition at (T, p).
+    sink_of_t: MonotoneCubic,
+    t_min: f64,
+    t_max: f64,
+}
+
+impl PropertyTable {
+    fn build(gas: &EquilibriumGas, p: f64, t_min: f64, t_max: f64) -> Result<Self, String> {
+        let n = 96;
+        let ts: Vec<f64> = (0..n)
+            .map(|i| t_min * (t_max / t_min).powf(i as f64 / (n - 1) as f64))
+            .collect();
+        let names: Vec<String> = gas
+            .mixture()
+            .species()
+            .iter()
+            .map(|s| s.name.to_string())
+            .collect();
+        let lam = aerothermo_radiation::wavelength_grid(0.2e-6, 1.1e-6, 240);
+        let rows: Result<Vec<(f64, f64, f64, f64, f64)>, String> = ts
+            .par_iter()
+            .map(|&t| {
+                let st = gas.at_tp(t, p)?;
+                let mu = mixture_viscosity(gas.mixture(), t, &st.mass_fractions);
+                let k = mixture_conductivity(gas.mixture(), t, &st.mass_fractions);
+                let sample = aerothermo_radiation::GasSample::equilibrium(
+                    t,
+                    names
+                        .iter()
+                        .cloned()
+                        .zip(st.number_densities.iter().copied())
+                        .collect(),
+                );
+                let spec = aerothermo_radiation::spectra::spectrum(&sample, &lam, 2e-9);
+                let sink = 4.0 * std::f64::consts::PI * spec.total_emission();
+                Ok((st.enthalpy, st.density, mu, k, sink))
+            })
+            .collect();
+        let rows = rows?;
+        let h: Vec<f64> = rows.iter().map(|r| r.0).collect();
+        let rho: Vec<f64> = rows.iter().map(|r| r.1).collect();
+        let mu: Vec<f64> = rows.iter().map(|r| r.2).collect();
+        let k: Vec<f64> = rows.iter().map(|r| r.3).collect();
+        let sink: Vec<f64> = rows.iter().map(|r| r.4).collect();
+        // Equilibrium cp = dh/dT (finite differences on the table).
+        let mut cp = vec![0.0; n];
+        for i in 0..n {
+            let (i0, i1) = if i == 0 {
+                (0, 1)
+            } else if i == n - 1 {
+                (n - 2, n - 1)
+            } else {
+                (i - 1, i + 1)
+            };
+            cp[i] = (h[i1] - h[i0]) / (ts[i1] - ts[i0]);
+        }
+        Ok(Self {
+            h_of_t: MonotoneCubic::new(ts.clone(), h.clone()),
+            t_of_h: MonotoneCubic::new(h, ts.clone()),
+            rho_of_t: MonotoneCubic::new(ts.clone(), rho),
+            mu_of_t: MonotoneCubic::new(ts.clone(), mu),
+            k_of_t: MonotoneCubic::new(ts.clone(), k),
+            cp_of_t: MonotoneCubic::new(ts.clone(), cp),
+            sink_of_t: MonotoneCubic::new(ts, sink),
+            t_min,
+            t_max,
+        })
+    }
+
+    fn t(&self, h: f64) -> f64 {
+        self.t_of_h.eval(h).clamp(self.t_min, self.t_max)
+    }
+}
+
+/// Solve the stagnation-line VSL for an equilibrium gas.
+///
+/// # Errors
+/// Propagates shock-jump, property-table, and convergence failures.
+#[allow(clippy::too_many_lines)]
+pub fn solve(gas: &EquilibriumGas, problem: &VslProblem) -> Result<VslSolution, String> {
+    let p_inf = problem.rho_inf
+        * aerothermo_numerics::constants::R_UNIVERSAL
+        * problem.t_inf
+        / {
+            // Cold-gas molar mass. The composition is frozen molecular well
+            // below ~1000 K, so evaluate the equilibrium at a comfortable
+            // 600 K — same molar mass, far better conditioning than the
+            // 100–200 K freestream for C/H/N mixtures.
+            let cold = gas
+                .at_trho(problem.t_inf.max(600.0), problem.rho_inf)
+                .map_err(|e| format!("freestream state: {e}"))?;
+            cold.molar_mass
+        };
+
+    // Post-shock equilibrium edge state.
+    let jump = crate::shock::normal_shock(gas, problem.rho_inf, p_inf, problem.u_inf)
+        .map_err(|e| format!("equilibrium shock: {e}"))?;
+    // Stagnation pressure: post-shock static + dynamic recompression.
+    let p_stag = jump.p + 0.5 * jump.rho * jump.u * jump.u;
+    let t_edge = jump.t;
+
+    // The shock-layer temperatures live in [t_wall, t_edge]; the table floor
+    // only needs modest margin below the wall. Very low temperatures (< 250
+    // K) strain the equilibrium solver in C/H/N mixtures without being used.
+    let t_lo = (0.6 * problem.t_wall).max(250.0);
+    let t_hi = (t_edge * 1.35).min(45_000.0);
+    let table = PropertyTable::build(gas, p_stag, t_lo, t_hi)?;
+
+    // Newtonian edge velocity gradient.
+    let rho_edge = table.rho_of_t.eval(t_edge);
+    let a_grad =
+        (2.0 * (p_stag - p_inf).max(0.0) / rho_edge).sqrt() / problem.nose_radius;
+
+    let n = problem.n_points.max(12);
+    // Two-sided clustering: boundary layer at the wall, shock at the edge.
+    let xi = aerothermo_grid::stretch::tanh_two_sided(n, 2.2);
+
+    let h_wall = table.h_of_t.eval(problem.t_wall);
+    let h_edge = table.h_of_t.eval(t_edge);
+
+    // Initial guesses.
+    let mdot = problem.rho_inf * problem.u_inf;
+    let mut delta = 0.6 * mdot / (rho_edge * a_grad); // from 2∫ρU ≈ ρ_e·a·δ
+    let mut h: Vec<f64> = xi.iter().map(|&s| h_wall + (h_edge - h_wall) * s).collect();
+    let mut u_fn: Vec<f64> = xi.iter().map(|&s| a_grad * s).collect();
+
+    let mut q_conv = 0.0;
+    let mut converged = false;
+    let mut delta_prev = delta;
+    let mut mass_prev = f64::NAN;
+
+    for _outer in 0..40 {
+        // Inner Picard iterations at fixed δ.
+        let y: Vec<f64> = xi.iter().map(|&s| s * delta).collect();
+        for _inner in 0..60 {
+            let t: Vec<f64> = h.iter().map(|&hv| table.t(hv)).collect();
+            let rho: Vec<f64> = t.iter().map(|&tv| table.rho_of_t.eval(tv)).collect();
+            let mu: Vec<f64> = t.iter().map(|&tv| table.mu_of_t.eval(tv)).collect();
+            let gam: Vec<f64> = t
+                .iter()
+                .map(|&tv| table.k_of_t.eval(tv) / table.cp_of_t.eval(tv).max(1.0))
+                .collect();
+
+            // Continuity: ρv(y) = −2∫ρU dy.
+            let mut rv = vec![0.0; n];
+            for i in 1..n {
+                rv[i] = rv[i - 1]
+                    - (rho[i] * u_fn[i] + rho[i - 1] * u_fn[i - 1]) * (y[i] - y[i - 1]);
+            }
+
+            // Momentum tridiagonal for U.
+            let mut lo = vec![0.0; n];
+            let mut di = vec![0.0; n];
+            let mut up = vec![0.0; n];
+            let mut rhs = vec![0.0; n];
+            di[0] = 1.0;
+            rhs[0] = 0.0; // no-slip
+            di[n - 1] = 1.0;
+            rhs[n - 1] = a_grad; // shock edge
+            for i in 1..n - 1 {
+                let dym = y[i] - y[i - 1];
+                let dyp = y[i + 1] - y[i];
+                let mu_m = 0.5 * (mu[i] + mu[i - 1]);
+                let mu_p = 0.5 * (mu[i] + mu[i + 1]);
+                let wm = mu_m / dym;
+                let wp = mu_p / dyp;
+                let vol = 0.5 * (dym + dyp);
+                // diffusion
+                lo[i] = wm / vol;
+                up[i] = wp / vol;
+                di[i] = -(wm + wp) / vol;
+                // convection ρvU' (upwind on sign of rv: v < 0 → info from +y)
+                let conv = rv[i];
+                if conv >= 0.0 {
+                    di[i] -= conv / dym;
+                    lo[i] += conv / dym;
+                } else {
+                    di[i] += conv / dyp;
+                    up[i] -= conv / dyp;
+                }
+                // ρU² sink (Picard) and pressure source
+                di[i] -= rho[i] * u_fn[i].abs();
+                rhs[i] = -rho_edge * a_grad * a_grad;
+            }
+            let mut u_new = rhs.clone();
+            solve_tridiag(&lo, &di, &up, &mut u_new)
+                .map_err(|e| format!("VSL momentum solve: {e}"))?;
+
+            // Energy tridiagonal for h.
+            let mut lo2 = vec![0.0; n];
+            let mut di2 = vec![0.0; n];
+            let mut up2 = vec![0.0; n];
+            let mut rhs2 = vec![0.0; n];
+            di2[0] = 1.0;
+            rhs2[0] = h_wall;
+            di2[n - 1] = 1.0;
+            rhs2[n - 1] = h_edge;
+            for i in 1..n - 1 {
+                let dym = y[i] - y[i - 1];
+                let dyp = y[i + 1] - y[i];
+                let g_m = 0.5 * (gam[i] + gam[i - 1]);
+                let g_p = 0.5 * (gam[i] + gam[i + 1]);
+                let wm = g_m / dym;
+                let wp = g_p / dyp;
+                let vol = 0.5 * (dym + dyp);
+                lo2[i] = wm / vol;
+                up2[i] = wp / vol;
+                di2[i] = -(wm + wp) / vol;
+                let conv = rv[i];
+                if conv >= 0.0 {
+                    di2[i] -= conv / dym;
+                    lo2[i] += conv / dym;
+                } else {
+                    di2[i] += conv / dyp;
+                    up2[i] -= conv / dyp;
+                }
+                // Optically-thin radiative loss from the spectral model (the
+                // strongly self-absorbed band heads make this an upper
+                // bound; the refined tangent-slab transport runs in
+                // post-processing). Energy equation: (Γh')' − ρvh' = sink.
+                if problem.radiating {
+                    rhs2[i] += table.sink_of_t.eval(t[i]);
+                }
+            }
+            let mut h_new = rhs2.clone();
+            solve_tridiag(&lo2, &di2, &up2, &mut h_new)
+                .map_err(|e| format!("VSL energy solve: {e}"))?;
+
+            // Under-relaxed update; track convergence.
+            let mut du = 0.0_f64;
+            for i in 0..n {
+                let relax = 0.7;
+                let u_next = (1.0 - relax) * u_fn[i] + relax * u_new[i];
+                let h_next = (1.0 - relax) * h[i] + relax * h_new[i].clamp(
+                    table.h_of_t.eval(t_lo),
+                    table.h_of_t.eval(t_hi),
+                );
+                du = du.max((u_next - u_fn[i]).abs() / a_grad);
+                du = du.max((h_next - h[i]).abs() / h_edge.abs().max(1.0));
+                u_fn[i] = u_next;
+                h[i] = h_next;
+            }
+            if du < 1e-8 {
+                break;
+            }
+        }
+
+        // Mass-balance eigencondition on δ.
+        let t: Vec<f64> = h.iter().map(|&hv| table.t(hv)).collect();
+        let rho: Vec<f64> = t.iter().map(|&tv| table.rho_of_t.eval(tv)).collect();
+        let y: Vec<f64> = xi.iter().map(|&s| s * delta).collect();
+        let mut mass = 0.0;
+        for i in 1..n {
+            mass += (rho[i] * u_fn[i] + rho[i - 1] * u_fn[i - 1]) * (y[i] - y[i - 1]);
+        }
+        let resid = mass - mdot;
+        if resid.abs() < 1e-5 * mdot {
+            converged = true;
+            // Wall heat flux from the enthalpy gradient: q = Γ dh/dy.
+            let g0 = table.k_of_t.eval(problem.t_wall) / table.cp_of_t.eval(problem.t_wall);
+            q_conv = g0 * (h[1] - h[0]) / (y[1] - y[0]);
+            break;
+        }
+        // Secant / proportional update of δ (mass grows ~linearly with δ).
+        let new_delta = if mass_prev.is_finite() && (mass - mass_prev).abs() > 1e-12 {
+            let d = delta - resid * (delta - delta_prev) / (mass - mass_prev);
+            if d > 0.2 * delta && d < 5.0 * delta {
+                d
+            } else {
+                delta * (mdot / mass).clamp(0.5, 2.0)
+            }
+        } else {
+            delta * (mdot / mass).clamp(0.5, 2.0)
+        };
+        delta_prev = delta;
+        mass_prev = mass;
+        delta = new_delta;
+    }
+
+    if !converged {
+        return Err("VSL standoff iteration did not converge".into());
+    }
+
+    // Assemble stations with equilibrium compositions (parallel).
+    let y: Vec<f64> = xi.iter().map(|&s| s * delta).collect();
+    let t: Vec<f64> = h.iter().map(|&hv| table.t(hv)).collect();
+    let rho: Vec<f64> = t.iter().map(|&tv| table.rho_of_t.eval(tv)).collect();
+    let mut rv = vec![0.0; n];
+    for i in 1..n {
+        rv[i] = rv[i - 1] - (rho[i] * u_fn[i] + rho[i - 1] * u_fn[i - 1]) * (y[i] - y[i - 1]);
+    }
+    let stations: Result<Vec<VslStation>, String> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let st = gas.at_tp(t[i], p_stag)?;
+            Ok(VslStation {
+                y: y[i],
+                temperature: t[i],
+                density: rho[i],
+                enthalpy: h[i],
+                u_grad: u_fn[i],
+                mass_flux: rv[i],
+                mole_fractions: st.mole_fractions,
+                number_densities: st.number_densities,
+            })
+        })
+        .collect();
+    let stations = stations?;
+
+    // Thin-emission radiative wall flux: half of the volume emission reaches
+    // the wall (optically thin limit of the tangent slab).
+    let q_rad_thin = if problem.radiating {
+        let mut q = 0.0;
+        for i in 1..n {
+            let em = |k: usize| -> f64 { table.sink_of_t.eval(t[k]) };
+            // Half the (isotropic) volume emission reaches the wall.
+            q += 0.25 * (em(i) + em(i - 1)) * (y[i] - y[i - 1]);
+        }
+        q
+    } else {
+        0.0
+    };
+
+    Ok(VslSolution {
+        standoff: delta,
+        p_stag,
+        t_edge,
+        q_conv,
+        q_rad_thin,
+        stations,
+        species_names: gas
+            .mixture()
+            .species()
+            .iter()
+            .map(|s| s.name.to_string())
+            .collect(),
+    })
+}
+
+/// One station of a downstream VSL march.
+#[derive(Debug, Clone)]
+pub struct VslMarchStation {
+    /// Arc length from the stagnation point \[m\].
+    pub s: f64,
+    /// Local body radius \[m\].
+    pub r_body: f64,
+    /// Edge pressure \[Pa\] (modified Newtonian).
+    pub p_edge: f64,
+    /// Edge tangential velocity \[m/s\].
+    pub u_edge: f64,
+    /// Shock-layer thickness \[m\].
+    pub delta: f64,
+    /// Convective wall heat flux \[W/m²\].
+    pub q_conv: f64,
+    /// Optically-thin radiative wall flux \[W/m²\].
+    pub q_rad_thin: f64,
+}
+
+/// Windward-forebody VSL march: solves the shock layer at stations along an
+/// axisymmetric body in the local-similarity approximation — the mode in
+/// which the era's VSL codes produced whole-forebody heating environments.
+///
+/// At each station the normal momentum/energy two-point problem of the
+/// stagnation solver is re-solved with:
+///
+/// * modified-Newtonian edge pressure `p_e(s)` and the isentropic
+///   effective-γ edge velocity `u_e(s)`,
+/// * the streamwise-divergence continuity
+///   `ρv(y) = −Λ(s)·∫ρu dy`, `Λ = d ln(u_e·r_b)/ds` (axisymmetric growth),
+/// * the shock-swallowing mass balance `∫ρu dy = ρ∞·u∞·r_b/2` fixing the
+///   local layer thickness δ(s).
+///
+/// Equilibrium properties come from the stagnation-pressure table with
+/// ideal-gas pressure scaling of the density (composition shifts with
+/// pressure are second order across the windward layer).
+///
+/// # Errors
+/// Propagates shock and table failures; stations that fail to converge are
+/// skipped with their index reported in the error when all fail.
+#[allow(clippy::too_many_lines)]
+pub fn march(
+    gas: &EquilibriumGas,
+    problem: &VslProblem,
+    body: &dyn aerothermo_grid::bodies::Body,
+    n_stations: usize,
+) -> Result<Vec<VslMarchStation>, String> {
+    let p_inf = problem.rho_inf
+        * aerothermo_numerics::constants::R_UNIVERSAL
+        * problem.t_inf
+        / gas
+            .at_trho(problem.t_inf.max(600.0), problem.rho_inf)
+            .map_err(|e| format!("freestream state: {e}"))?
+            .molar_mass;
+    let jump = crate::shock::normal_shock(gas, problem.rho_inf, p_inf, problem.u_inf)
+        .map_err(|e| format!("equilibrium shock: {e}"))?;
+    let p_stag = jump.p + 0.5 * jump.rho * jump.u * jump.u;
+    let t_edge0 = jump.t;
+    let t_lo = (0.6 * problem.t_wall).max(250.0);
+    let t_hi = (t_edge0 * 1.35).min(45_000.0);
+    let table = PropertyTable::build(gas, p_stag, t_lo, t_hi)?;
+    let h0 = {
+        let e1 = jump.e + 0.5 * jump.u * jump.u; // total enthalpy − p/ρ terms folded below
+        let _ = e1;
+        // Total enthalpy from the freestream state directly.
+        gas.at_trho(problem.t_inf.max(600.0), problem.rho_inf)
+            .map(|st| st.enthalpy)
+            .unwrap_or(0.0)
+            + 0.5 * problem.u_inf * problem.u_inf
+    };
+    // Effective expansion exponent at the stagnation state.
+    let gamma_e = {
+        let rho_s = table.rho_of_t.eval(t_edge0);
+        let e_s = table.h_of_t.eval(t_edge0) - p_stag / rho_s;
+        1.0 + p_stag / (rho_s * e_s.max(1e3))
+    };
+
+    let smax = body.arc_length();
+    let n = problem.n_points.max(12);
+    let xi = aerothermo_grid::stretch::tanh_two_sided(n, 2.2);
+    let h_wall = table.h_of_t.eval(problem.t_wall);
+    let mdot_inf = problem.rho_inf * problem.u_inf;
+
+    let mut out = Vec::new();
+    for k in 1..=n_stations {
+        let s = smax * k as f64 / n_stations as f64;
+        let theta = body.body_angle(s);
+        let (_, r_b) = body.point(s);
+        if r_b < 1e-6 {
+            continue;
+        }
+        let p_e = p_inf + (p_stag - p_inf) * theta.sin().powi(2);
+        let u_e = (2.0
+            * h0
+            * (1.0 - (p_e / p_stag).powf((gamma_e - 1.0) / gamma_e)).max(0.0))
+        .sqrt();
+        if u_e < 1.0 {
+            continue;
+        }
+        let h_e = (h0 - 0.5 * u_e * u_e).max(h_wall * 1.05);
+        let t_e = table.t(h_e);
+        let p_scale = p_e / p_stag;
+
+        // Axisymmetric divergence rate Λ = d ln(u_e·r_b)/ds by differences.
+        let lambda = {
+            let ds = 1e-3 * smax;
+            let s2 = (s + ds).min(smax);
+            let th2 = body.body_angle(s2);
+            let (_, rb2) = body.point(s2);
+            let pe2 = p_inf + (p_stag - p_inf) * th2.sin().powi(2);
+            let ue2 = (2.0
+                * h0
+                * (1.0 - (pe2 / p_stag).powf((gamma_e - 1.0) / gamma_e)).max(0.0))
+            .sqrt();
+            ((ue2 * rb2).max(1e-30).ln() - (u_e * r_b).max(1e-30).ln()) / (s2 - s).max(1e-12)
+        }
+        .max(1e-6);
+
+        // Mass balance target: ∫ρu dy = ρ∞·u∞·r_b/2.
+        let mass_target = 0.5 * mdot_inf * r_b;
+
+        // Solve the station: unknowns u(y), h(y); thickness δ by secant.
+        let rho_e = table.rho_of_t.eval(t_e) * p_scale;
+        let mut delta = (mass_target / (0.5 * rho_e * u_e)).max(1e-6);
+        let mut u: Vec<f64> = xi.iter().map(|&z| u_e * z).collect();
+        let mut h: Vec<f64> = xi.iter().map(|&z| h_wall + (h_e - h_wall) * z).collect();
+        let mut converged = false;
+        let mut delta_prev = delta;
+        let mut mass_prev = f64::NAN;
+        let mut q_conv = 0.0;
+        let mut q_rad = 0.0;
+
+        'outer: for _pass in 0..40 {
+            let y: Vec<f64> = xi.iter().map(|&z| z * delta).collect();
+            for _inner in 0..50 {
+                let t: Vec<f64> = h.iter().map(|&hv| table.t(hv)).collect();
+                let rho: Vec<f64> =
+                    t.iter().map(|&tv| table.rho_of_t.eval(tv) * p_scale).collect();
+                let mu: Vec<f64> = t.iter().map(|&tv| table.mu_of_t.eval(tv)).collect();
+                let gam: Vec<f64> = t
+                    .iter()
+                    .map(|&tv| table.k_of_t.eval(tv) / table.cp_of_t.eval(tv).max(1.0))
+                    .collect();
+
+                // Continuity with streamwise divergence.
+                let mut rv = vec![0.0; n];
+                for i in 1..n {
+                    rv[i] = rv[i - 1]
+                        - 0.5 * lambda * (rho[i] * u[i] + rho[i - 1] * u[i - 1])
+                            * (y[i] - y[i - 1]);
+                }
+
+                // Tangential momentum (local similarity, dp/ds absorbed in
+                // the u_e edge condition).
+                let mut lo = vec![0.0; n];
+                let mut di = vec![0.0; n];
+                let mut up = vec![0.0; n];
+                let mut rhs = vec![0.0; n];
+                di[0] = 1.0;
+                rhs[0] = 0.0;
+                di[n - 1] = 1.0;
+                rhs[n - 1] = u_e;
+                for i in 1..n - 1 {
+                    let dym = y[i] - y[i - 1];
+                    let dyp = y[i + 1] - y[i];
+                    let wm = 0.5 * (mu[i] + mu[i - 1]) / dym;
+                    let wp = 0.5 * (mu[i] + mu[i + 1]) / dyp;
+                    let vol = 0.5 * (dym + dyp);
+                    lo[i] = wm / vol;
+                    up[i] = wp / vol;
+                    di[i] = -(wm + wp) / vol;
+                    let conv = rv[i];
+                    if conv >= 0.0 {
+                        di[i] -= conv / dym;
+                        lo[i] += conv / dym;
+                    } else {
+                        di[i] += conv / dyp;
+                        up[i] -= conv / dyp;
+                    }
+                }
+                let mut u_new = rhs.clone();
+                solve_tridiag(&lo, &di, &up, &mut u_new)
+                    .map_err(|e| format!("march momentum at s={s:.3}: {e}"))?;
+
+                // Total-enthalpy equation (Le = 1; dissipation folded via
+                // the Pr≈1 total-enthalpy form).
+                let mut lo2 = vec![0.0; n];
+                let mut di2 = vec![0.0; n];
+                let mut up2 = vec![0.0; n];
+                let mut rhs2 = vec![0.0; n];
+                di2[0] = 1.0;
+                rhs2[0] = h_wall;
+                di2[n - 1] = 1.0;
+                rhs2[n - 1] = h_e;
+                for i in 1..n - 1 {
+                    let dym = y[i] - y[i - 1];
+                    let dyp = y[i + 1] - y[i];
+                    let wm = 0.5 * (gam[i] + gam[i - 1]) / dym;
+                    let wp = 0.5 * (gam[i] + gam[i + 1]) / dyp;
+                    let vol = 0.5 * (dym + dyp);
+                    lo2[i] = wm / vol;
+                    up2[i] = wp / vol;
+                    di2[i] = -(wm + wp) / vol;
+                    let conv = rv[i];
+                    if conv >= 0.0 {
+                        di2[i] -= conv / dym;
+                        lo2[i] += conv / dym;
+                    } else {
+                        di2[i] += conv / dyp;
+                        up2[i] -= conv / dyp;
+                    }
+                    if problem.radiating {
+                        rhs2[i] += table.sink_of_t.eval(t[i]);
+                    }
+                }
+                let mut h_new = rhs2.clone();
+                solve_tridiag(&lo2, &di2, &up2, &mut h_new)
+                    .map_err(|e| format!("march energy at s={s:.3}: {e}"))?;
+
+                let mut du = 0.0_f64;
+                for i in 0..n {
+                    let relax = 0.7;
+                    let un = (1.0 - relax) * u[i] + relax * u_new[i];
+                    let hn = (1.0 - relax) * h[i]
+                        + relax
+                            * h_new[i].clamp(
+                                table.h_of_t.eval(t_lo),
+                                table.h_of_t.eval(t_hi),
+                            );
+                    du = du.max((un - u[i]).abs() / u_e.max(1.0));
+                    du = du.max((hn - h[i]).abs() / h_e.abs().max(1.0));
+                    u[i] = un;
+                    h[i] = hn;
+                }
+                if du < 1e-8 {
+                    break;
+                }
+            }
+
+            // Mass balance on δ.
+            let t: Vec<f64> = h.iter().map(|&hv| table.t(hv)).collect();
+            let rho: Vec<f64> =
+                t.iter().map(|&tv| table.rho_of_t.eval(tv) * p_scale).collect();
+            let y: Vec<f64> = xi.iter().map(|&z| z * delta).collect();
+            let mut mass = 0.0;
+            for i in 1..n {
+                mass += 0.5 * (rho[i] * u[i] + rho[i - 1] * u[i - 1]) * (y[i] - y[i - 1]);
+            }
+            let resid = mass - mass_target;
+            if resid.abs() < 1e-4 * mass_target {
+                let g0 =
+                    table.k_of_t.eval(problem.t_wall) / table.cp_of_t.eval(problem.t_wall);
+                q_conv = g0 * (h[1] - h[0]) / (y[1] - y[0]);
+                if problem.radiating {
+                    for i in 1..n {
+                        let em = 0.5
+                            * (table.sink_of_t.eval(t[i]) + table.sink_of_t.eval(t[i - 1]));
+                        q_rad += 0.5 * em * (y[i] - y[i - 1]) * 0.5;
+                    }
+                }
+                converged = true;
+                break 'outer;
+            }
+            let new_delta = if mass_prev.is_finite() && (mass - mass_prev).abs() > 1e-12 {
+                let d = delta - resid * (delta - delta_prev) / (mass - mass_prev);
+                if d > 0.2 * delta && d < 5.0 * delta {
+                    d
+                } else {
+                    delta * (mass_target / mass).clamp(0.5, 2.0)
+                }
+            } else {
+                delta * (mass_target / mass).clamp(0.5, 2.0)
+            };
+            delta_prev = delta;
+            mass_prev = mass;
+            delta = new_delta;
+        }
+
+        if converged {
+            out.push(VslMarchStation {
+                s,
+                r_body: r_b,
+                p_edge: p_e,
+                u_edge: u_e,
+                delta,
+                q_conv,
+                q_rad_thin: q_rad,
+            });
+        }
+    }
+    if out.is_empty() {
+        return Err("VSL march: no station converged".into());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aerothermo_gas::equilibrium::{air9_equilibrium, titan_equilibrium};
+
+    fn shuttle_problem() -> VslProblem {
+        VslProblem {
+            u_inf: 6700.0,
+            rho_inf: 1.6e-4,
+            t_inf: 230.0,
+            nose_radius: 0.6,
+            t_wall: 1200.0,
+            n_points: 48,
+            radiating: false,
+        }
+    }
+
+    #[test]
+    fn air_stagnation_layer_structure() {
+        let gas = air9_equilibrium();
+        let sol = solve(&gas, &shuttle_problem()).unwrap();
+        // Real-gas standoff on a sphere: δ/Rn ≈ 0.03–0.10.
+        let ratio = sol.standoff / 0.6;
+        assert!(ratio > 0.02 && ratio < 0.15, "δ/Rn = {ratio}");
+        // Edge temperature: equilibrium post-shock at 6.7 km/s ≈ 6000–7500 K.
+        assert!(
+            sol.t_edge > 5000.0 && sol.t_edge < 9000.0,
+            "T_edge = {}",
+            sol.t_edge
+        );
+        // Wall heat flux: 1e5–1e6 W/m² class.
+        assert!(
+            sol.q_conv > 2e4 && sol.q_conv < 2e6,
+            "q_conv = {:.3e}",
+            sol.q_conv
+        );
+        // Monotone temperature from wall to edge.
+        let t_mid = sol.stations[sol.stations.len() / 2].temperature;
+        assert!(t_mid > 1200.0 && t_mid < sol.t_edge * 1.05);
+    }
+
+    #[test]
+    fn air_vsl_matches_fay_riddell_class() {
+        let gas = air9_equilibrium();
+        let problem = shuttle_problem();
+        let sol = solve(&gas, &problem).unwrap();
+        let q_sg = crate::blayer::sutton_graves(
+            crate::blayer::SUTTON_GRAVES_EARTH,
+            problem.rho_inf,
+            problem.nose_radius,
+            problem.u_inf,
+        );
+        let ratio = sol.q_conv / q_sg;
+        assert!(ratio > 0.3 && ratio < 3.0, "q_VSL/q_SG = {ratio}");
+    }
+
+    #[test]
+    fn species_recombine_at_cool_wall() {
+        // Equilibrium chemistry: dissociated at the hot edge, recombined N2
+        // near the 1200 K wall — the structure of the paper's Fig. 3.
+        let gas = air9_equilibrium();
+        let sol = solve(&gas, &shuttle_problem()).unwrap();
+        let profile = sol.species_profile("N2");
+        let x_wall = profile.first().unwrap().1;
+        let x_edge = profile.last().unwrap().1;
+        assert!(x_wall > 0.5, "N2 at wall: {x_wall}");
+        // At 6.7 km/s the edge is hot enough to dissociate O2 fully and N2
+        // partially.
+        let o2 = sol.species_profile("O2");
+        assert!(o2.last().unwrap().1 < 0.02, "O2 at edge: {}", o2.last().unwrap().1);
+        assert!(x_edge < x_wall, "N2 must be depleted at the edge");
+    }
+
+    #[test]
+    fn mass_balance_closed() {
+        let gas = air9_equilibrium();
+        let p = shuttle_problem();
+        let sol = solve(&gas, &p).unwrap();
+        // Recompute 2∫ρU dy from the stations.
+        let mut mass = 0.0;
+        for w in sol.stations.windows(2) {
+            mass += (w[1].density * w[1].u_grad + w[0].density * w[0].u_grad)
+                * (w[1].y - w[0].y);
+        }
+        let mdot = p.rho_inf * p.u_inf;
+        assert!((mass - mdot).abs() / mdot < 1e-3, "mass defect: {mass} vs {mdot}");
+    }
+
+    #[test]
+    fn titan_entry_layer_produces_cn() {
+        // Titan probe at 12 km/s entry peak-heating-like condition: the
+        // shock layer must contain CN (the paper's Fig. 3 radiator).
+        let gas = titan_equilibrium(0.05);
+        let problem = VslProblem {
+            u_inf: 12_000.0,
+            rho_inf: 4.0e-5,
+            t_inf: 160.0,
+            nose_radius: 0.6,
+            t_wall: 1500.0,
+            n_points: 40,
+            radiating: true,
+        };
+        let sol = solve(&gas, &problem).unwrap();
+        let cn = sol.species_profile("CN");
+        let cn_max = cn.iter().map(|(_, x)| *x).fold(0.0, f64::max);
+        assert!(cn_max > 1e-4, "CN peak mole fraction: {cn_max}");
+        assert!(sol.q_rad_thin > 0.0);
+        assert!(sol.standoff > 0.005 && sol.standoff < 0.2, "δ = {}", sol.standoff);
+    }
+
+    #[test]
+    fn march_heating_tracks_lees_distribution() {
+        // The downstream march over a hemisphere must reproduce the Lees
+        // laminar heating falloff within engineering accuracy.
+        let gas = air9_equilibrium();
+        let problem = shuttle_problem();
+        let body = aerothermo_grid::bodies::Hemisphere::new(problem.nose_radius);
+        let stations = march(&gas, &problem, &body, 10).unwrap();
+        assert!(stations.len() >= 7, "stations converged: {}", stations.len());
+
+        let stag = solve(&gas, &problem).unwrap();
+        for st in &stations {
+            let theta = st.s / problem.nose_radius;
+            if theta > 1.3 {
+                continue; // Newtonian pressure degrades near the shoulder
+            }
+            let lees = crate::blayer::lees_hemisphere_ratio(theta);
+            let ratio = st.q_conv / stag.q_conv;
+            assert!(
+                (ratio - lees).abs() < 0.35,
+                "θ = {theta:.2}: march q/q0 = {ratio:.3}, Lees = {lees:.3}"
+            );
+        }
+        // Layer thickens away from the stagnation point.
+        assert!(
+            stations.last().unwrap().delta > stations[0].delta,
+            "δ must grow downstream"
+        );
+        // Edge velocity grows toward the shoulder.
+        assert!(stations.last().unwrap().u_edge > stations[0].u_edge);
+    }
+
+    #[test]
+    fn thicker_layer_for_larger_nose() {
+        let gas = air9_equilibrium();
+        let mut p = shuttle_problem();
+        let sol1 = solve(&gas, &p).unwrap();
+        p.nose_radius = 1.2;
+        let sol2 = solve(&gas, &p).unwrap();
+        let r = sol2.standoff / sol1.standoff;
+        assert!((r - 2.0).abs() < 0.4, "standoff should scale with Rn: {r}");
+    }
+}

@@ -1,0 +1,62 @@
+//! Quickstart: the 60-second tour of the CAT toolkit.
+//!
+//! Computes what a mission engineer asks for first at one entry-trajectory
+//! point: the equilibrium-air state behind the bow shock, the stagnation
+//! conditions, and the stagnation-point convective heat flux.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use aerothermo::atmosphere::us76::Us76;
+use aerothermo::atmosphere::Atmosphere;
+use aerothermo::core::heating::convective_fay_riddell_equilibrium;
+use aerothermo::core::stagnation::{stagnation_state, standoff_estimate};
+use aerothermo::gas::eq_table::air9_table;
+use aerothermo::gas::{air9_equilibrium, GasModel};
+
+fn main() {
+    // Flight point: 6.7 km/s at 65.5 km on the US76 atmosphere.
+    let atm = Us76;
+    let h = 65_500.0;
+    let v = 6_700.0;
+    let rho = atm.density(h);
+    let p = atm.pressure(h);
+    let t = atm.temperature(h);
+    println!("freestream: h = {:.1} km, V = {v} m/s", h / 1000.0);
+    println!("            rho = {rho:.3e} kg/m³, p = {p:.2} Pa, T = {t:.1} K");
+    println!("            Mach = {:.1}", v / atm.sound_speed(h));
+
+    // Equilibrium air: both the exact solver and the fast table.
+    let gas = air9_equilibrium();
+    let table = air9_table();
+
+    // Post-shock and stagnation conditions with real-gas chemistry.
+    let st = stagnation_state(table, rho, p, v).expect("stagnation state");
+    println!("\npost-shock (equilibrium air):");
+    println!("            T2 = {:.0} K, p2 = {:.0} Pa, rho2/rho∞ = {:.1}", st.t_shock, st.p_shock, st.density_ratio);
+    println!("stagnation: T0 = {:.0} K, p0 = {:.0} Pa", st.t_stag, st.p_stag);
+
+    // What is the gas made of at the stagnation point?
+    let state = gas.at_tp(st.t_stag, st.p_stag).expect("composition");
+    println!("\nstagnation composition (mole fractions):");
+    for (sp, x) in gas.mixture().species().iter().zip(&state.mole_fractions) {
+        if *x > 1e-4 {
+            println!("            {:<4} {x:.4}", sp.name);
+        }
+    }
+
+    // Shock standoff and stagnation heating for a 0.6 m nose.
+    let rn = 0.6;
+    let delta = standoff_estimate(rn, st.density_ratio);
+    let q = convective_fay_riddell_equilibrium(&gas, table, rho, p, v, rn, 1200.0, 1.4)
+        .expect("Fay-Riddell");
+    println!("\nfor a {rn} m nose radius:");
+    println!("            shock standoff ≈ {:.1} mm", delta * 1000.0);
+    println!("            stagnation heating ≈ {:.1} W/cm² (Fay-Riddell, equilibrium)", q / 1e4);
+
+    // The ideal-gas answer would be very different:
+    let e = table.energy(rho, p);
+    println!(
+        "\nreal-gas effect: γ_eff at the stagnation state = {:.3} (ideal air: 1.4)",
+        table.gamma_eff(st.rho_stag, e.max(1e5) + 0.5 * v * v)
+    );
+}

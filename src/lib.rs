@@ -1,0 +1,36 @@
+//! `aerothermo` — a computational aerothermodynamics (CAT) toolkit.
+//!
+//! This umbrella crate re-exports the whole workspace so that applications
+//! (and the `examples/` directory) can depend on a single crate:
+//!
+//! ```
+//! use aerothermo::numerics::constants::R_UNIVERSAL;
+//! assert!(R_UNIVERSAL > 8314.0);
+//! ```
+//!
+//! The subsystems, bottom-up:
+//!
+//! * [`numerics`] — dense fields, linear algebra, ODE integrators, interpolation.
+//! * [`gas`] — high-temperature thermochemistry: species data, equilibrium,
+//!   finite-rate kinetics, two-temperature models, transport properties.
+//! * [`atmosphere`] — planetary atmospheres and entry trajectories.
+//! * [`grid`] — body-fitted structured grids for blunt bodies.
+//! * [`radiation`] — spectral shock-layer radiation and tangent-slab transport.
+//! * [`solvers`] — the four CAT equation sets (NS, PNS, Euler+BL, VSL) plus the
+//!   1-D post-shock relaxation solver.
+//! * [`core`] — the unified front end: problem setup, heating correlations,
+//!   solver dispatch, result tables.
+//!
+//! The design follows Deiwert & Green, *Computational Aerothermodynamics*,
+//! NASA TM-89450 (1987); see `DESIGN.md` and `EXPERIMENTS.md` at the
+//! repository root for the paper-to-code map.
+#![warn(missing_docs)]
+
+
+pub use aerothermo_atmosphere as atmosphere;
+pub use aerothermo_core as core;
+pub use aerothermo_gas as gas;
+pub use aerothermo_grid as grid;
+pub use aerothermo_numerics as numerics;
+pub use aerothermo_radiation as radiation;
+pub use aerothermo_solvers as solvers;

