@@ -41,19 +41,37 @@ impl Vehicle {
     /// A Titan-probe-like blunt capsule (Ref. 15 class).
     #[must_use]
     pub fn titan_probe() -> Self {
-        Self { mass: 250.0, area: std::f64::consts::PI * 0.675 * 0.675, cd: 1.5, ld: 0.0, nose_radius: 0.6 }
+        Self {
+            mass: 250.0,
+            area: std::f64::consts::PI * 0.675 * 0.675,
+            cd: 1.5,
+            ld: 0.0,
+            nose_radius: 0.6,
+        }
     }
 
     /// A Shuttle-Orbiter-like lifting entry vehicle.
     #[must_use]
     pub fn shuttle_like() -> Self {
-        Self { mass: 92_000.0, area: 250.0, cd: 0.84, ld: 1.1, nose_radius: 0.6 }
+        Self {
+            mass: 92_000.0,
+            area: 250.0,
+            cd: 0.84,
+            ld: 1.1,
+            nose_radius: 0.6,
+        }
     }
 
     /// An AOTV-class high-drag aerobrake.
     #[must_use]
     pub fn aotv_like() -> Self {
-        Self { mass: 13_000.0, area: 120.0, cd: 1.5, ld: 0.3, nose_radius: 6.0 }
+        Self {
+            mass: 13_000.0,
+            area: 120.0,
+            cd: 1.5,
+            ld: 0.3,
+            nose_radius: 6.0,
+        }
     }
 }
 
@@ -104,7 +122,11 @@ pub struct StopConditions {
 
 impl Default for StopConditions {
     fn default() -> Self {
-        Self { min_altitude: 1_000.0, min_velocity: 200.0, max_time: 4_000.0 }
+        Self {
+            min_altitude: 1_000.0,
+            min_velocity: 200.0,
+            max_time: 4_000.0,
+        }
     }
 }
 
@@ -196,7 +218,13 @@ mod tests {
 
     #[test]
     fn ballistic_coefficient() {
-        let v = Vehicle { mass: 100.0, area: 2.0, cd: 1.0, ld: 0.0, nose_radius: 0.5 };
+        let v = Vehicle {
+            mass: 100.0,
+            area: 2.0,
+            cd: 1.0,
+            ld: 0.0,
+            nose_radius: 0.5,
+        };
         assert!((v.ballistic_coefficient() - 50.0).abs() < 1e-12);
     }
 
@@ -206,7 +234,11 @@ mod tests {
         let traj = fly(
             &atm,
             &Vehicle::titan_probe(),
-            EntryConditions { altitude: 500_000.0, velocity: 12_000.0, gamma: -30f64.to_radians() },
+            EntryConditions {
+                altitude: 500_000.0,
+                velocity: 12_000.0,
+                gamma: -30f64.to_radians(),
+            },
             StopConditions::default(),
         );
         assert!(traj.len() > 50);
@@ -233,8 +265,18 @@ mod tests {
         );
         let traj = fly(
             &atm,
-            &Vehicle { mass: 500.0, area: 1.0, cd: 1.0, ld: 0.0, nose_radius: 0.3 },
-            EntryConditions { altitude: 120_000.0, velocity: 7_000.0, gamma: -30f64.to_radians() },
+            &Vehicle {
+                mass: 500.0,
+                area: 1.0,
+                cd: 1.0,
+                ld: 0.0,
+                nose_radius: 0.3,
+            },
+            EntryConditions {
+                altitude: 120_000.0,
+                velocity: 7_000.0,
+                gamma: -30f64.to_radians(),
+            },
             StopConditions::default(),
         );
         let peak = peak_deceleration(&traj).unwrap();
@@ -247,8 +289,15 @@ mod tests {
         let traj = fly(
             &Us76,
             &Vehicle::shuttle_like(),
-            EntryConditions { altitude: 120_000.0, velocity: 7_800.0, gamma: -1.2f64.to_radians() },
-            StopConditions { max_time: 2_500.0, ..StopConditions::default() },
+            EntryConditions {
+                altitude: 120_000.0,
+                velocity: 7_800.0,
+                gamma: -1.2f64.to_radians(),
+            },
+            StopConditions {
+                max_time: 2_500.0,
+                ..StopConditions::default()
+            },
         );
         // A lifting entry stays high for a long time: altitude at 300 s
         // should still be above 55 km.
@@ -262,7 +311,11 @@ mod tests {
         let traj = fly(
             &atm,
             &Vehicle::titan_probe(),
-            EntryConditions { altitude: 400_000.0, velocity: 12_000.0, gamma: -25f64.to_radians() },
+            EntryConditions {
+                altitude: 400_000.0,
+                velocity: 12_000.0,
+                gamma: -25f64.to_radians(),
+            },
             StopConditions::default(),
         );
         // Specific mechanical energy must decrease monotonically (drag only

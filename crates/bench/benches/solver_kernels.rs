@@ -22,7 +22,12 @@ fn bc(fs: (f64, f64, f64, f64)) -> BcSet {
         i_lo: Bc::SlipWall,
         i_hi: Bc::Outflow,
         j_lo: Bc::SlipWall,
-        j_hi: Bc::Inflow { rho: fs.0, ux: fs.1, ur: fs.2, p: fs.3 },
+        j_hi: Bc::Inflow {
+            rho: fs.0,
+            ux: fs.1,
+            ur: fs.2,
+            p: fs.3,
+        },
     }
 }
 

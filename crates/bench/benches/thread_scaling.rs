@@ -34,7 +34,10 @@ fn bench_ns_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("ns_step_threads");
     for &n in &thread_counts() {
         group.bench_function(format!("threads_{n}"), |b| {
-            let pool = rayon::ThreadPoolBuilder::new().num_threads(n).build().unwrap();
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .unwrap();
             let gas = IdealGas::air();
             let body = Hemisphere::new(0.15);
             let dist = stretch::tanh_one_sided(65, 3.0);
@@ -49,7 +52,12 @@ fn bench_ns_scaling(c: &mut Criterion) {
                 i_lo: Bc::SlipWall,
                 i_hi: Bc::Outflow,
                 j_lo: Bc::SlipWall,
-                j_hi: Bc::Inflow { rho: fs.0, ux: fs.1, ur: fs.2, p: fs.3 },
+                j_hi: Bc::Inflow {
+                    rho: fs.0,
+                    ux: fs.1,
+                    ur: fs.2,
+                    p: fs.3,
+                },
             };
             let mut solver = NsSolver::new(
                 &grid,
@@ -86,7 +94,10 @@ fn bench_radiation_scaling(c: &mut Criterion) {
     let lam = wavelength_grid(0.2e-6, 1.0e-6, 4000);
     for &n in &thread_counts() {
         group.bench_function(format!("threads_{n}"), |b| {
-            let pool = rayon::ThreadPoolBuilder::new().num_threads(n).build().unwrap();
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .unwrap();
             b.iter(|| pool.install(|| black_box(spectrum(&sample, &lam, 1e-9).total_emission())));
         });
     }

@@ -11,7 +11,7 @@
 //!   answer is limiter-robust — the property that lets production codes
 //!   pick the dissipative-but-safe choice).
 
-use aerothermo_bench::{emit, output_mode};
+use aerothermo_bench::{emit, output_mode, Report};
 use aerothermo_core::tables::Table;
 use aerothermo_gas::IdealGas;
 use aerothermo_grid::bodies::Hemisphere;
@@ -21,7 +21,10 @@ use aerothermo_solvers::euler2d::{Bc, BcSet, EulerOptions, EulerSolver};
 use aerothermo_solvers::riemann::sod;
 
 fn sod_l1_error(limiter: Limiter, ncells: usize) -> f64 {
-    let gas = IdealGas { gamma: 1.4, r: 287.0 };
+    let gas = IdealGas {
+        gamma: 1.4,
+        r: 287.0,
+    };
     let grid = StructuredGrid::rectangle(ncells + 1, 3, 1.0, 0.02, Geometry::Planar);
     let bc = BcSet {
         i_lo: Bc::Outflow,
@@ -29,7 +32,12 @@ fn sod_l1_error(limiter: Limiter, ncells: usize) -> f64 {
         j_lo: Bc::SlipWall,
         j_hi: Bc::SlipWall,
     };
-    let opts = EulerOptions { startup_steps: 0, cfl: 0.4, limiter, ..EulerOptions::default() };
+    let opts = EulerOptions {
+        startup_steps: 0,
+        cfl: 0.4,
+        limiter,
+        ..EulerOptions::default()
+    };
     let mut solver = EulerSolver::new(&grid, &gas, bc, opts, (1.0, 0.0, 0.0, 1.0));
     for i in ncells / 2..ncells {
         for j in 0..2 {
@@ -78,16 +86,27 @@ fn bow_standoff(limiter: Limiter) -> f64 {
         i_lo: Bc::SlipWall,
         i_hi: Bc::Outflow,
         j_lo: Bc::SlipWall,
-        j_hi: Bc::Inflow { rho: fs.0, ux: fs.1, ur: fs.2, p: fs.3 },
+        j_hi: Bc::Inflow {
+            rho: fs.0,
+            ux: fs.1,
+            ur: fs.2,
+            p: fs.3,
+        },
     };
-    let opts = EulerOptions { cfl: 0.4, startup_steps: 300, limiter, ..EulerOptions::default() };
+    let opts = EulerOptions {
+        cfl: 0.4,
+        startup_steps: 300,
+        limiter,
+        ..EulerOptions::default()
+    };
     let mut solver = EulerSolver::new(&grid, &gas, bc, opts, fs);
-    solver.run(3000, 1e-3);
+    solver.run(3000, 1e-3).expect("stable run");
     solver.standoff(rho_inf).unwrap_or(f64::NAN)
 }
 
 fn main() {
     let mode = output_mode();
+    let mut report = Report::new("ablation_numerics");
 
     let limiters = [
         ("first-order", Limiter::FirstOrder),
@@ -111,7 +130,11 @@ fn main() {
             format!("{order:.2}"),
         ]);
     }
-    emit("Ablation: Sod-tube L1 density error vs exact solution", &sod_table, mode);
+    emit(
+        "Ablation: Sod-tube L1 density error vs exact solution",
+        &sod_table,
+        mode,
+    );
 
     // --- Bow-shock standoff sensitivity --------------------------------------
     let mut shock_table = Table::new(&["scheme", "standoff_mm"]);
@@ -121,31 +144,58 @@ fn main() {
         standoffs.push((name, d));
         shock_table.row(&[name.to_string(), format!("{:.2}", d * 1000.0)]);
     }
-    emit("Ablation: M8 hemisphere standoff vs limiter", &shock_table, mode);
+    emit(
+        "Ablation: M8 hemisphere standoff vs limiter",
+        &shock_table,
+        mode,
+    );
 
     // --- Checks ----------------------------------------------------------------
     let e_first = errs[0].1;
     let e_minmod = errs[1].1;
     let e_vl = errs[2].1;
+    report.metric("sod_l1_first_order_200", e_first);
+    report.metric("sod_l1_minmod_200", e_minmod);
+    report.metric("sod_l1_van_leer_200", e_vl);
     assert!(
-        e_minmod < 0.8 * e_first,
+        report.check(
+            "second_order_beats_first",
+            e_minmod < 0.8 * e_first,
+            format!("minmod {e_minmod:.3e} vs first-order {e_first:.3e}"),
+        ),
         "second order must beat first: {e_minmod:.3e} vs {e_first:.3e}"
     );
     assert!(
-        e_vl <= e_minmod * 1.05,
+        report.check(
+            "van_leer_at_least_minmod",
+            e_vl <= e_minmod * 1.05,
+            format!("van Leer {e_vl:.3e} vs minmod {e_minmod:.3e}"),
+        ),
         "van Leer should be at least as accurate as minmod"
     );
     // Convergence: every scheme improves under refinement.
     for (name, e200, e400, _) in &errs {
-        assert!(e400 < e200, "{name} did not converge: {e200:.3e} -> {e400:.3e}");
+        assert!(
+            report.check(
+                &format!("grid_convergence_{}", name.replace([' ', '-'], "_")),
+                e400 < e200,
+                format!("{e200:.3e} -> {e400:.3e}"),
+            ),
+            "{name} did not converge: {e200:.3e} -> {e400:.3e}"
+        );
     }
     // Standoff robust to the limiter (±15%).
     let d_ref = standoffs[1].1;
     for (name, d) in &standoffs[1..] {
         assert!(
-            (d - d_ref).abs() < 0.15 * d_ref,
+            report.check(
+                &format!("standoff_robust_{}", name.replace(' ', "_")),
+                (d - d_ref).abs() < 0.15 * d_ref,
+                format!("{name} standoff {d:.4} vs minmod {d_ref:.4}"),
+            ),
             "{name} standoff {d:.4} vs minmod {d_ref:.4}"
         );
     }
+    report.finish();
     println!("PASS: order/limiter hierarchy and steady-state robustness measured");
 }

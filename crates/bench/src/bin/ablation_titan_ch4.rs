@@ -11,13 +11,14 @@
 //! CH₄ fraction while convective heating stays nearly unchanged — the
 //! reason the composition uncertainty mattered for TPS design.
 
-use aerothermo_bench::{emit, output_mode};
+use aerothermo_bench::{emit, output_mode, Report};
 use aerothermo_core::tables::Table;
 use aerothermo_gas::titan_equilibrium;
 use aerothermo_solvers::vsl::{solve, VslProblem};
 
 fn main() {
     let mode = output_mode();
+    let mut report = Report::new("ablation_titan_ch4");
     let fractions = [0.02, 0.04, 0.06, 0.08];
     let mut table = Table::new(&[
         "x_CH4",
@@ -60,6 +61,8 @@ fn main() {
     );
 
     // --- Checks ----------------------------------------------------------------
+    let cn_monotone = results.windows(2).all(|w| w[1].1 > w[0].1);
+    let rad_no_collapse = results.windows(2).all(|w| w[1].3 >= 0.8 * w[0].3);
     for w in results.windows(2) {
         assert!(
             w[1].1 > w[0].1,
@@ -72,21 +75,46 @@ fn main() {
             "radiative flux should not collapse with more CH4"
         );
     }
+    report.check(
+        "cn_grows_with_ch4",
+        cn_monotone,
+        format!(
+            "CN peak {:.3e} -> {:.3e}",
+            results[0].1,
+            results[results.len() - 1].1
+        ),
+    );
+    report.check(
+        "rad_no_collapse",
+        rad_no_collapse,
+        "q_rad_thin never drops below 0.8x",
+    );
     let (_, _, q_conv_lo, q_rad_lo, _) = results[0];
     let (_, _, q_conv_hi, q_rad_hi, _) = results[results.len() - 1];
     let conv_change = (q_conv_hi / q_conv_lo - 1.0).abs();
     let rad_change = q_rad_hi / q_rad_lo;
+    report.metric("conv_change_frac", conv_change);
+    report.metric("rad_growth_ratio", rad_change);
     println!(
         "CH4 2% → 8%: convective changes {:.0}%, radiative grows {rad_change:.2}×",
         conv_change * 100.0
     );
     assert!(
-        conv_change < 0.30,
+        report.check(
+            "convective_composition_insensitive",
+            conv_change < 0.30,
+            format!("conv change = {:.1}% (require < 30%)", conv_change * 100.0),
+        ),
         "convective heating should be composition-insensitive: {conv_change}"
     );
     assert!(
-        rad_change > 1.5,
+        report.check(
+            "radiative_ch4_sensitive",
+            rad_change > 1.5,
+            format!("rad growth = {rad_change:.2}x (require > 1.5x)"),
+        ),
         "radiative environment must be CH4-sensitive: {rad_change}"
     );
+    report.finish();
     println!("PASS: CH4-abundance sensitivity of the Titan radiative environment measured");
 }

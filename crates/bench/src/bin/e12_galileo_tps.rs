@@ -21,7 +21,7 @@
 
 use aerothermo_atmosphere::planets::ExponentialAtmosphere;
 use aerothermo_atmosphere::trajectory::{fly, EntryConditions, StopConditions, Vehicle};
-use aerothermo_bench::{emit, output_mode};
+use aerothermo_bench::{emit, output_mode, Report};
 use aerothermo_core::ablation::{pulse_recession, steady_ablation, Ablator};
 use aerothermo_core::tables::Table;
 use aerothermo_gas::jupiter_equilibrium;
@@ -29,6 +29,7 @@ use aerothermo_solvers::vsl::{solve as vsl_solve, VslProblem};
 
 fn main() {
     let mode = output_mode();
+    let mut report = Report::new("e12_galileo_tps");
     let atm = ExponentialAtmosphere::jupiter();
     // Galileo-class probe: 339 kg, 1.26 m diameter, Rn = 0.22 m.
     let probe = Vehicle {
@@ -46,18 +47,26 @@ fn main() {
             velocity: 47_500.0,
             gamma: -8.5f64.to_radians(),
         },
-        StopConditions { min_velocity: 3_000.0, max_time: 600.0, ..StopConditions::default() },
+        StopConditions {
+            min_velocity: 3_000.0,
+            max_time: 600.0,
+            ..StopConditions::default()
+        },
     );
-    println!("trajectory: {} points; final V = {:.1} km/s at h = {:.0} km",
+    println!(
+        "trajectory: {} points; final V = {:.1} km/s at h = {:.0} km",
         traj.len(),
         traj.last().unwrap().velocity / 1000.0,
-        traj.last().unwrap().altitude / 1000.0);
+        traj.last().unwrap().altitude / 1000.0
+    );
 
     // Anchor the aerothermal environment at points spanning the pulse.
     let gas = jupiter_equilibrium(0.11);
     let peak_qdyn = traj
         .iter()
-        .max_by(|a, b| (a.density * a.velocity.powi(3)).total_cmp(&(b.density * b.velocity.powi(3))))
+        .max_by(|a, b| {
+            (a.density * a.velocity.powi(3)).total_cmp(&(b.density * b.velocity.powi(3)))
+        })
         .unwrap();
     let anchors: Vec<&aerothermo_atmosphere::trajectory::TrajectoryPoint> = {
         let t_peak = peak_qdyn.time;
@@ -66,7 +75,9 @@ fn main() {
             .map(|dt| {
                 traj.iter()
                     .min_by(|a, b| {
-                        (a.time - (t_peak + dt)).abs().total_cmp(&(b.time - (t_peak + dt)).abs())
+                        (a.time - (t_peak + dt))
+                            .abs()
+                            .total_cmp(&(b.time - (t_peak + dt)).abs())
                     })
                     .unwrap()
             })
@@ -74,7 +85,12 @@ fn main() {
     };
 
     let mut table = Table::new(&[
-        "t_s", "V_km_s", "rho_kg_m3", "q_conv_kW_cm2", "q_rad_kW_cm2", "T_edge_K",
+        "t_s",
+        "V_km_s",
+        "rho_kg_m3",
+        "q_conv_kW_cm2",
+        "q_rad_kW_cm2",
+        "T_edge_K",
     ]);
     let mut pulse: Vec<(f64, f64, f64)> = Vec::new();
     let mut peak_conv = 0.0_f64;
@@ -114,15 +130,22 @@ fn main() {
             Err(e) => eprintln!("# anchor at t = {:.1}s skipped: {e}", p.time),
         }
     }
-    emit("E12: Galileo-probe stagnation environment (VSL + spectral slab)", &table, mode);
+    emit(
+        "E12: Galileo-probe stagnation environment (VSL + spectral slab)",
+        &table,
+        mode,
+    );
 
     // TPS response.
     let ablator = Ablator::carbon_phenolic();
     let (recession, mass_loss) = pulse_recession(&ablator, &pulse);
     let peak_total = pulse.iter().map(|p| p.1).fold(0.0, f64::max);
     let at_peak = steady_ablation(&ablator, peak_total, 0.5 * 42.0e3 * 42.0e3);
-    println!("peak environment: q_conv = {:.1} kW/cm², q_rad = {:.1} kW/cm²",
-        peak_conv / 1e7, peak_rad / 1e7);
+    println!(
+        "peak environment: q_conv = {:.1} kW/cm², q_rad = {:.1} kW/cm²",
+        peak_conv / 1e7,
+        peak_rad / 1e7
+    );
     println!(
         "carbon-phenolic response at peak: ṁ = {:.2} kg/m²s, ṡ = {:.2} mm/s",
         at_peak.mdot,
@@ -135,18 +158,42 @@ fn main() {
     );
 
     // --- Shape checks -------------------------------------------------------
-    assert!(pulse.len() >= 4, "need anchors across the pulse");
+    report.metric("peak_q_conv_w_m2", peak_conv);
+    report.metric("peak_q_rad_w_m2", peak_rad);
+    report.metric("recession_m", recession);
+    report.metric("mass_loss_kg_m2", mass_loss);
     assert!(
-        peak_rad > peak_conv,
+        report.check(
+            "anchors_across_pulse",
+            pulse.len() >= 4,
+            format!("{} anchors solved", pulse.len()),
+        ),
+        "need anchors across the pulse"
+    );
+    assert!(
+        report.check(
+            "radiation_dominated",
+            peak_rad > peak_conv,
+            format!("q_rad {peak_rad:.3e} vs q_conv {peak_conv:.3e} W/m²"),
+        ),
         "Galileo environment must be radiation-dominated: {peak_rad:.3e} vs {peak_conv:.3e}"
     );
     assert!(
-        peak_rad > 5e7,
+        report.check(
+            "kw_cm2_class_radiation",
+            peak_rad > 5e7,
+            format!("peak q_rad = {peak_rad:.3e} W/m² (require > 5e7)"),
+        ),
         "kW/cm²-class radiative heating expected: {peak_rad:.3e} W/m²"
     );
     assert!(
-        recession > 2e-3 && recession < 0.2,
+        report.check(
+            "recession_centimeter_class",
+            recession > 2e-3 && recession < 0.2,
+            format!("recession = {:.1} mm", recession * 1000.0),
+        ),
         "carbon-phenolic recession out of class: {recession} m"
     );
+    report.finish();
     println!("PASS: Galileo radiative-dominated TPS pipeline reproduced (paper §VSL)");
 }

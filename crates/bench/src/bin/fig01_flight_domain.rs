@@ -10,7 +10,7 @@
 use aerothermo_atmosphere::freestream::{freestream, reynolds};
 use aerothermo_atmosphere::trajectory::{fly, EntryConditions, StopConditions, Vehicle};
 use aerothermo_atmosphere::us76::Us76;
-use aerothermo_bench::{emit, output_mode};
+use aerothermo_bench::{emit, output_mode, Report};
 use aerothermo_core::tables::Table;
 
 struct FacilityBox {
@@ -21,11 +21,31 @@ struct FacilityBox {
 
 fn facility_boxes() -> Vec<FacilityBox> {
     vec![
-        FacilityBox { name: "conventional wind tunnels", mach: (0.1, 10.0), log_re: (5.0, 8.5) },
-        FacilityBox { name: "hypersonic tunnels", mach: (5.0, 14.0), log_re: (5.5, 7.5) },
-        FacilityBox { name: "shock tunnels", mach: (6.0, 25.0), log_re: (4.5, 7.0) },
-        FacilityBox { name: "ballistic ranges", mach: (2.0, 20.0), log_re: (4.0, 7.5) },
-        FacilityBox { name: "arc jets (enthalpy match)", mach: (2.0, 8.0), log_re: (3.0, 6.0) },
+        FacilityBox {
+            name: "conventional wind tunnels",
+            mach: (0.1, 10.0),
+            log_re: (5.0, 8.5),
+        },
+        FacilityBox {
+            name: "hypersonic tunnels",
+            mach: (5.0, 14.0),
+            log_re: (5.5, 7.5),
+        },
+        FacilityBox {
+            name: "shock tunnels",
+            mach: (6.0, 25.0),
+            log_re: (4.5, 7.0),
+        },
+        FacilityBox {
+            name: "ballistic ranges",
+            mach: (2.0, 20.0),
+            log_re: (4.0, 7.5),
+        },
+        FacilityBox {
+            name: "arc jets (enthalpy match)",
+            mach: (2.0, 8.0),
+            log_re: (3.0, 6.0),
+        },
     ]
 }
 
@@ -34,6 +54,7 @@ type Corridor = (&'static str, Vec<(f64, f64)>, f64);
 
 fn main() {
     let mode = output_mode();
+    let mut report = Report::new("fig01_flight_domain");
     let atm = Us76;
 
     // --- Flight corridors -------------------------------------------------
@@ -49,7 +70,10 @@ fn main() {
                         velocity: 7_800.0,
                         gamma: -1.2f64.to_radians(),
                     },
-                    StopConditions { max_time: 2_200.0, ..StopConditions::default() },
+                    StopConditions {
+                        max_time: 2_200.0,
+                        ..StopConditions::default()
+                    },
                 );
                 traj.iter().map(|p| (p.altitude, p.velocity)).collect()
             },
@@ -85,7 +109,13 @@ fn main() {
             {
                 let traj = fly(
                     &atm,
-                    &Vehicle { mass: 300.0, area: 0.8, cd: 1.2, ld: 0.0, nose_radius: 0.3 },
+                    &Vehicle {
+                        mass: 300.0,
+                        area: 0.8,
+                        cd: 1.2,
+                        ld: 0.0,
+                        nose_radius: 0.3,
+                    },
                     EntryConditions {
                         altitude: 120_000.0,
                         velocity: 11_000.0,
@@ -109,9 +139,9 @@ fn main() {
             let re = reynolds(&fs, *length).max(1.0);
             let lre = re.log10();
             total_pts += 1;
-            let covered = boxes
-                .iter()
-                .any(|b| fs.mach >= b.mach.0 && fs.mach <= b.mach.1 && lre >= b.log_re.0 && lre <= b.log_re.1);
+            let covered = boxes.iter().any(|b| {
+                fs.mach >= b.mach.0 && fs.mach <= b.mach.1 && lre >= b.log_re.0 && lre <= b.log_re.1
+            });
             if !covered && fs.mach > 10.0 {
                 outside_all += 1;
             }
@@ -126,7 +156,13 @@ fn main() {
     }
     emit("Fig. 1: flight corridors (Mach, Reynolds)", &table, mode);
 
-    let mut ftable = Table::new(&["facility", "Mach_min", "Mach_max", "log10Re_min", "log10Re_max"]);
+    let mut ftable = Table::new(&[
+        "facility",
+        "Mach_min",
+        "Mach_max",
+        "log10Re_min",
+        "log10Re_max",
+    ]);
     for b in &boxes {
         ftable.row(&[
             b.name.to_string(),
@@ -141,9 +177,16 @@ fn main() {
     println!(
         "check: {outside_all} of {total_pts} sampled corridor points at M > 10 lie outside every facility box"
     );
+    report.metric("points_outside_all_facilities", outside_all as f64);
+    report.metric("points_sampled", total_pts as f64);
     assert!(
-        outside_all > 0,
+        report.check(
+            "facility_coverage_gap",
+            outside_all > 0,
+            format!("{outside_all} of {total_pts} M>10 points uncovered"),
+        ),
         "the paper's gap — hypervelocity flight beyond facility coverage — must appear"
     );
+    report.finish();
     println!("PASS: facility-coverage gap reproduced (paper Fig. 1)");
 }

@@ -11,13 +11,14 @@
 //! with maxima inside the layer; CH₄ is destroyed (absent at any
 //! significant level); the wall-adjacent cool layer recombines.
 
-use aerothermo_bench::{emit, output_mode};
+use aerothermo_bench::{emit, output_mode, Report};
 use aerothermo_core::tables::Table;
 use aerothermo_gas::titan_equilibrium;
 use aerothermo_solvers::vsl::{solve, VslProblem};
 
 fn main() {
     let mode = output_mode();
+    let mut report = Report::new("fig03_species_profiles");
     let gas = titan_equilibrium(0.05);
     // Peak-heating condition of the 12 km/s entry (from the Fig. 2
     // trajectory: V ≈ 10.1 km/s at ρ∞ ≈ 4.6e-4 kg/m³).
@@ -57,8 +58,7 @@ fn main() {
         "N",
         "C",
     ]);
-    let profiles: Vec<Vec<(f64, f64)>> =
-        species.iter().map(|s| sol.species_profile(s)).collect();
+    let profiles: Vec<Vec<(f64, f64)>> = species.iter().map(|s| sol.species_profile(s)).collect();
     for (k, st) in sol.stations.iter().enumerate() {
         if k % 2 != 0 {
             continue;
@@ -91,20 +91,65 @@ fn main() {
     // much stronger self-consistent radiative cooling, stays more
     // molecular — see EXPERIMENTS.md E3 for the deviation discussion.
     let n2_wall = sol.species_profile("N2")[1].1;
-    assert!(n2_wall > 0.5, "N2 must dominate at the cool wall: {n2_wall}");
+    assert!(
+        report.check(
+            "n2_dominates_wall",
+            n2_wall > 0.5,
+            format!("x_N2(wall) = {n2_wall:.3}")
+        ),
+        "N2 must dominate at the cool wall: {n2_wall}"
+    );
     let n_edge = sol.species_profile("N").last().unwrap().1;
-    assert!(n_edge > 0.3, "atomic N dominates the hot edge: {n_edge}");
+    assert!(
+        report.check(
+            "atomic_n_hot_edge",
+            n_edge > 0.3,
+            format!("x_N(edge) = {n_edge:.3}")
+        ),
+        "atomic N dominates the hot edge: {n_edge}"
+    );
     let cn_max = max_of("CN");
-    assert!(cn_max > 1e-4 && cn_max < 0.2, "CN minor-species band: {cn_max}");
+    assert!(
+        report.check(
+            "cn_minor_species_band",
+            cn_max > 1e-4 && cn_max < 0.2,
+            format!("peak x_CN = {cn_max:.3e}"),
+        ),
+        "CN minor-species band: {cn_max}"
+    );
     let h_max = max_of("H");
-    assert!(h_max > 1e-3, "atomic H from CH4 cracking: {h_max}");
+    assert!(
+        report.check(
+            "h_from_ch4_cracking",
+            h_max > 1e-3,
+            format!("peak x_H = {h_max:.3e}")
+        ),
+        "atomic H from CH4 cracking: {h_max}"
+    );
     let ch4_like = max_of("CH4");
-    assert!(ch4_like < 1e-3, "CH4 must be destroyed in the hot layer");
+    assert!(
+        report.check(
+            "ch4_destroyed",
+            ch4_like < 1e-3,
+            format!("peak x_CH4 = {ch4_like:.3e}")
+        ),
+        "CH4 must be destroyed in the hot layer"
+    );
     // δ in the paper's few-centimeter class.
     assert!(
-        sol.standoff > 0.005 && sol.standoff < 0.08,
+        report.check(
+            "standoff_centimeter_class",
+            sol.standoff > 0.005 && sol.standoff < 0.08,
+            format!("δ = {:.2} cm (paper: 2.24 cm)", sol.standoff * 100.0),
+        ),
         "δ = {} m out of class",
         sol.standoff
     );
+    report.metric("standoff_m", sol.standoff);
+    report.metric("t_edge_k", sol.t_edge);
+    report.metric("q_conv_w_m2", sol.q_conv);
+    report.metric("q_rad_thin_w_m2", sol.q_rad_thin);
+    report.absorb_telemetry("vsl", &sol.telemetry);
+    report.finish();
     println!("PASS: Fig. 3 species-profile structure reproduced");
 }

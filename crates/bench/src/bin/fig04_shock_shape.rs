@@ -13,7 +13,9 @@
 //! substantially closer to the body — the real-gas density ratio (~12 vs 6)
 //! halves the standoff.
 
-use aerothermo_bench::{emit, orbiter_equivalent_body, orbiter_fig4_condition, output_mode};
+use aerothermo_bench::{
+    emit, orbiter_equivalent_body, orbiter_fig4_condition, output_mode, Report,
+};
 use aerothermo_core::tables::Table;
 use aerothermo_gas::eq_table::air9_table;
 use aerothermo_gas::{GasModel, IdealGas};
@@ -27,17 +29,33 @@ struct ShockTrace {
     standoff: f64,
 }
 
-fn run_case(gas: &dyn GasModel, grid: &StructuredGrid, fs: (f64, f64, f64, f64)) -> ShockTrace {
+fn run_case(
+    gas: &dyn GasModel,
+    grid: &StructuredGrid,
+    fs: (f64, f64, f64, f64),
+    report: &mut Report,
+    label: &str,
+) -> ShockTrace {
     let bc = BcSet {
         i_lo: Bc::SlipWall,
         i_hi: Bc::Outflow,
         j_lo: Bc::SlipWall,
-        j_hi: Bc::Inflow { rho: fs.0, ux: fs.1, ur: fs.2, p: fs.3 },
+        j_hi: Bc::Inflow {
+            rho: fs.0,
+            ux: fs.1,
+            ur: fs.2,
+            p: fs.3,
+        },
     };
-    let opts = EulerOptions { cfl: 0.4, startup_steps: 500, ..EulerOptions::default() };
+    let opts = EulerOptions {
+        cfl: 0.4,
+        startup_steps: 500,
+        ..EulerOptions::default()
+    };
     let mut solver = EulerSolver::new(grid, gas, bc, opts, fs);
-    let (steps, ratio) = solver.run(6000, 5e-3);
+    let (steps, ratio) = solver.run(6000, 5e-3).expect("stable Euler run");
     eprintln!("#   converged in {steps} steps (residual ratio {ratio:.2e})");
+    report.absorb_telemetry(label, &solver.telemetry);
 
     let m = solver.grid_metrics();
     let mut x = Vec::new();
@@ -51,11 +69,17 @@ fn run_case(gas: &dyn GasModel, grid: &StructuredGrid, fs: (f64, f64, f64, f64))
         }
     }
     let standoff = solver.standoff(fs.0).unwrap_or(f64::NAN);
-    ShockTrace { x, r_body, r_shock, standoff }
+    ShockTrace {
+        x,
+        r_body,
+        r_shock,
+        standoff,
+    }
 }
 
 fn main() {
     let mode = output_mode();
+    let mut report = Report::new("fig04_shock_shape");
     let (rho, v, p, t) = orbiter_fig4_condition();
     eprintln!("# freestream: rho = {rho:.3e} kg/m³, V = {v} m/s, p = {p:.3} Pa, T = {t:.1} K");
     let fs = (rho, v, 0.0, p);
@@ -66,18 +90,13 @@ fn main() {
 
     eprintln!("# reacting (equilibrium air) case:");
     let table_eq = air9_table();
-    let reacting = run_case(table_eq, &grid, fs);
+    let reacting = run_case(table_eq, &grid, fs, &mut report, "euler_reacting");
 
     eprintln!("# ideal gas (γ = 1.4) case:");
     let ideal = IdealGas::air();
-    let ideal_trace = run_case(&ideal, &grid, fs);
+    let ideal_trace = run_case(&ideal, &grid, fs, &mut report, "euler_ideal");
 
-    let mut table = Table::new(&[
-        "x_m",
-        "r_body_m",
-        "r_shock_reacting_m",
-        "r_shock_ideal_m",
-    ]);
+    let mut table = Table::new(&["x_m", "r_body_m", "r_shock_reacting_m", "r_shock_ideal_m"]);
     let npts = reacting.x.len().min(ideal_trace.x.len());
     for k in (0..npts).step_by(2) {
         table.row(&[
@@ -97,8 +116,17 @@ fn main() {
     );
 
     // --- Shape checks -------------------------------------------------------
+    report.metric("standoff_reacting_m", reacting.standoff);
+    report.metric("standoff_ideal_m", ideal_trace.standoff);
     assert!(
-        reacting.standoff < 0.8 * ideal_trace.standoff,
+        report.check(
+            "reacting_standoff_compressed",
+            reacting.standoff < 0.8 * ideal_trace.standoff,
+            format!(
+                "reacting {:.3} m vs ideal {:.3} m",
+                reacting.standoff, ideal_trace.standoff
+            ),
+        ),
         "reacting shock must sit much closer to the body: {} vs {}",
         reacting.standoff,
         ideal_trace.standoff
@@ -111,8 +139,13 @@ fn main() {
         }
     }
     assert!(
-        inside as f64 > 0.85 * npts as f64,
+        report.check(
+            "reacting_layer_thinner_downstream",
+            inside as f64 > 0.85 * npts as f64,
+            format!("{inside}/{npts} stations inside the ideal shock"),
+        ),
         "reacting shock layer must be thinner along the body ({inside}/{npts})"
     );
+    report.finish();
     println!("PASS: real-gas shock-shape compression reproduced (paper Fig. 4)");
 }

@@ -8,12 +8,13 @@
 //! local body angle, and curvature scale, together with the reference
 //! Orbiter dimensions the equivalence preserves.
 
-use aerothermo_bench::{emit, orbiter_equivalent_body, output_mode};
+use aerothermo_bench::{emit, orbiter_equivalent_body, output_mode, Report};
 use aerothermo_core::tables::Table;
 use aerothermo_grid::bodies::Body;
 
 fn main() {
     let mode = output_mode();
+    let mut report = Report::new("fig05_geometry");
 
     let mut reference = Table::new(&["quantity", "value"]);
     for (k, v) in [
@@ -26,7 +27,11 @@ fn main() {
     ] {
         reference.row(&[k.to_string(), v.to_string()]);
     }
-    emit("Fig. 5: Orbiter reference data and equivalence", &reference, mode);
+    emit(
+        "Fig. 5: Orbiter reference data and equivalence",
+        &reference,
+        mode,
+    );
 
     for alpha in [30.0, 40.0] {
         let body = orbiter_equivalent_body(alpha);
@@ -52,15 +57,27 @@ fn main() {
         let (x1, r1) = body.point(0.01 * smax.min(1.0));
         let r_expect = (2.0 * body.nose_radius() * x1).sqrt();
         assert!(
-            (r1 - r_expect).abs() / r_expect < 0.05,
+            report.check(
+                &format!("nose_parabola_alpha{alpha:.0}"),
+                (r1 - r_expect).abs() / r_expect < 0.05,
+                format!("r = {r1:.4} m vs parabola {r_expect:.4} m"),
+            ),
             "nose parabola violated: {r1} vs {r_expect}"
         );
         let tail_angle = body.body_angle(smax * 0.99).to_degrees();
         assert!(
-            (tail_angle - (alpha - 5.0)).abs() < 3.0,
+            report.check(
+                &format!("asymptote_angle_alpha{alpha:.0}"),
+                (tail_angle - (alpha - 5.0)).abs() < 3.0,
+                format!(
+                    "tail angle {tail_angle:.2} deg vs target {:.1} deg",
+                    alpha - 5.0
+                ),
+            ),
             "asymptote {tail_angle} vs {}",
             alpha - 5.0
         );
     }
+    report.finish();
     println!("PASS: equivalent-body geometry generated (paper Fig. 5)");
 }

@@ -20,24 +20,25 @@
 //! predictions with the flight points below the fully-catalytic prediction
 //! over the tile region (the catalysis story of the paper's Ref. 17).
 
-use aerothermo_bench::{emit, orbiter_equivalent_body, output_mode, sts3_fig6_condition};
+use aerothermo_bench::{emit, orbiter_equivalent_body, output_mode, sts3_fig6_condition, Report};
 use aerothermo_core::catalysis::{heating_ratio, WallCatalysis};
 use aerothermo_core::heating::convective_fay_riddell_equilibrium;
 use aerothermo_core::stagnation::stagnation_state;
 use aerothermo_core::tables::Table;
 use aerothermo_gas::eq_table::air9_table;
+use aerothermo_gas::transport::sutherland_air;
 use aerothermo_gas::{air9_equilibrium, IdealGas};
+use aerothermo_grid::bodies::Body;
 use aerothermo_solvers::blayer::{
     fay_riddell, lees_distribution, newtonian_velocity_gradient, FayRiddellInputs,
 };
 use aerothermo_solvers::vsl::{march as vsl_march, VslProblem};
-use aerothermo_gas::transport::sutherland_air;
-use aerothermo_grid::bodies::Body;
 
 const ORBITER_LENGTH: f64 = 32.8;
 
 fn main() {
     let mode = output_mode();
+    let mut report = Report::new("fig06_windward_heating");
     let (rho_inf, v_inf, p_inf, t_inf) = sts3_fig6_condition();
     eprintln!(
         "# STS-3 point: rho = {rho_inf:.3e} kg/m³, V = {v_inf} m/s, p = {p_inf:.3} Pa, T = {t_inf:.1} K"
@@ -49,14 +50,7 @@ fn main() {
     let gas_eq = air9_equilibrium();
     let table_eq = air9_table();
     let q0_eq = convective_fay_riddell_equilibrium(
-        &gas_eq,
-        table_eq,
-        rho_inf,
-        p_inf,
-        v_inf,
-        body.rn,
-        t_wall,
-        1.4,
+        &gas_eq, table_eq, rho_inf, p_inf, v_inf, body.rn, t_wall, 1.4,
     )
     .expect("equilibrium stagnation anchor");
 
@@ -147,11 +141,19 @@ fn main() {
             format!("{x:.3}"),
             format!("{:.2}", qe / 1e4),
             format!("{:.2}", qi / 1e4),
-            if qv.is_finite() { format!("{:.2}", qv / 1e4) } else { "-".into() },
+            if qv.is_finite() {
+                format!("{:.2}", qv / 1e4)
+            } else {
+                "-".into()
+            },
             format!("{:.2}", qr / 1e4),
         ]);
     }
-    emit("Fig. 6: windward centerline heating (STS-3 condition)", &table, mode);
+    emit(
+        "Fig. 6: windward centerline heating (STS-3 condition)",
+        &table,
+        mode,
+    );
 
     println!(
         "stagnation anchors: equilibrium air {:.1} W/cm², ideal γ=1.2 {:.1} W/cm² (ratio {:.2})",
@@ -162,8 +164,15 @@ fn main() {
     println!("catalysis factor applied to flight reference: {cat:.2}");
 
     // --- Shape checks --------------------------------------------------------
+    report.metric("q0_equilibrium_w_m2", q0_eq);
+    report.metric("q0_ideal_g12_w_m2", q0_id);
+    report.metric("catalysis_factor", cat);
     assert!(
-        (q0_eq / q0_id - 1.0).abs() < 0.5,
+        report.check(
+            "gamma12_mimics_equilibrium",
+            (q0_eq / q0_id - 1.0).abs() < 0.5,
+            format!("stagnation ratio = {:.2}", q0_eq / q0_id),
+        ),
         "γ=1.2 should mimic equilibrium air at stagnation: ratio {}",
         q0_eq / q0_id
     );
@@ -174,16 +183,34 @@ fn main() {
         }
     }
     assert!(
-        close as f64 > 0.8 * rows.len() as f64,
+        report.check(
+            "curves_track_along_body",
+            close as f64 > 0.8 * rows.len() as f64,
+            format!("{close}/{} stations within 35%", rows.len()),
+        ),
         "equilibrium and γ=1.2 curves must track each other ({close}/{})",
         rows.len()
     );
     // Monotone decay beyond the nose region.
     let q_nose = rows[1].1;
     let q_tail = rows.last().unwrap().1;
-    assert!(q_tail < 0.6 * q_nose, "heating must decay along the body");
+    assert!(
+        report.check(
+            "heating_decays_along_body",
+            q_tail < 0.6 * q_nose,
+            format!("q_tail/q_nose = {:.2}", q_tail / q_nose),
+        ),
+        "heating must decay along the body"
+    );
     // Stagnation heating in the STS class (tens of W/cm²).
-    assert!(q0_eq > 1e5 && q0_eq < 1.5e6, "q0 = {q0_eq:.3e} W/m²");
+    assert!(
+        report.check(
+            "stagnation_heating_sts_class",
+            q0_eq > 1e5 && q0_eq < 1.5e6,
+            format!("q0 = {q0_eq:.3e} W/m²"),
+        ),
+        "q0 = {q0_eq:.3e} W/m²"
+    );
     // VSL march and E+BL agree within a factor ~2 over the mid-body where
     // both are valid.
     if !vsl_stations.is_empty() {
@@ -199,10 +226,17 @@ fn main() {
             }
         }
         assert!(
-            total == 0 || agree * 10 >= total * 7,
+            report.check(
+                "vsl_march_crosscheck",
+                total == 0 || agree * 10 >= total * 7,
+                format!("{agree}/{total} mid-body stations within 0.4-2.5x"),
+            ),
             "VSL march vs E+BL disagreement: {agree}/{total}"
         );
-        println!("VSL-march cross-check: {agree}/{total} mid-body stations within 0.4–2.5× of E+BL");
+        println!(
+            "VSL-march cross-check: {agree}/{total} mid-body stations within 0.4–2.5× of E+BL"
+        );
     }
+    report.finish();
     println!("PASS: windward-heating comparison reproduced (paper Fig. 6)");
 }

@@ -11,7 +11,7 @@
 //! O₂ dissociates first, then N₂; NO spikes and decays; ionization rises
 //! with T_v; the relaxation completes within the plotted distance.
 
-use aerothermo_bench::{emit, output_mode, shock_tube_fig7_condition};
+use aerothermo_bench::{emit, output_mode, shock_tube_fig7_condition, Report};
 use aerothermo_core::tables::Table;
 use aerothermo_gas::equilibrium::air9_equilibrium;
 use aerothermo_gas::kinetics::park_air9;
@@ -20,6 +20,7 @@ use aerothermo_solvers::shock1d::{solve, RelaxationProblem};
 
 fn main() {
     let mode = output_mode();
+    let mut report = Report::new("fig07_shock_relaxation");
     let (u1, t1, p1) = shock_tube_fig7_condition();
     let gas = air9_equilibrium();
     let set = park_air9(gas.mixture());
@@ -27,7 +28,13 @@ fn main() {
     let mut y1 = vec![0.0; gas.mixture().len()];
     y1[0] = 0.767;
     y1[1] = 0.233;
-    let problem = RelaxationProblem { u1, t1, p1, y1, x_end: 0.05 };
+    let problem = RelaxationProblem {
+        u1,
+        t1,
+        p1,
+        y1,
+        x_end: 0.05,
+    };
     let sol = solve(&set, &relax, &problem).expect("relaxation march");
 
     println!(
@@ -72,16 +79,42 @@ fn main() {
     // --- Shape checks -------------------------------------------------------
     let first = &sol.points[1];
     let last = sol.points.last().unwrap();
-    assert!(sol.t_frozen > 40_000.0, "frozen T = {}", sol.t_frozen);
-    assert!(first.tv < 2_000.0, "Tv starts cold");
+    report.metric("t_frozen_k", sol.t_frozen);
+    report.metric("t_final_k", last.t);
+    report.metric("tv_final_k", last.tv);
     assert!(
-        (last.t - last.tv).abs() < 0.15 * last.t,
+        report.check(
+            "frozen_shock_hot",
+            sol.t_frozen > 40_000.0,
+            format!("T_frozen = {:.0} K", sol.t_frozen)
+        ),
+        "frozen T = {}",
+        sol.t_frozen
+    );
+    assert!(
+        report.check(
+            "tv_starts_cold",
+            first.tv < 2_000.0,
+            format!("Tv(0+) = {:.0} K", first.tv)
+        ),
+        "Tv starts cold"
+    );
+    assert!(
+        report.check(
+            "temperatures_merge",
+            (last.t - last.tv).abs() < 0.15 * last.t,
+            format!("T = {:.0} K vs Tv = {:.0} K", last.t, last.tv),
+        ),
         "T and Tv must merge: {} vs {}",
         last.t,
         last.tv
     );
     assert!(
-        last.t > 7_000.0 && last.t < 13_000.0,
+        report.check(
+            "equilibrium_plateau",
+            last.t > 7_000.0 && last.t < 13_000.0,
+            format!("T_eq = {:.0} K", last.t),
+        ),
         "equilibrium plateau out of class: {}",
         last.t
     );
@@ -92,13 +125,34 @@ fn main() {
     let x_o2_gone = x_when(&|p| p.x_mole[1] < 0.01).expect("O2 must dissociate");
     let x_n2_half = x_when(&|p| p.x_mole[0] < 0.35).expect("N2 must dissociate");
     assert!(
-        x_o2_gone < x_n2_half,
+        report.check(
+            "o2_dissociates_first",
+            x_o2_gone < x_n2_half,
+            format!("x(O2 gone) = {x_o2_gone:.2e} m, x(N2 half) = {x_n2_half:.2e} m"),
+        ),
         "O2 ({x_o2_gone:.2e} m) must precede N2 ({x_n2_half:.2e} m)"
     );
     // NO overshoot: max well above the final value.
     let no_max = sol.points.iter().map(|p| p.x_mole[2]).fold(0.0, f64::max);
-    assert!(no_max > 3.0 * last.x_mole[2], "NO spike: {no_max} vs {}", last.x_mole[2]);
+    assert!(
+        report.check(
+            "no_overshoot",
+            no_max > 3.0 * last.x_mole[2],
+            format!("peak x_NO = {no_max:.3e} vs final {:.3e}", last.x_mole[2]),
+        ),
+        "NO spike: {no_max} vs {}",
+        last.x_mole[2]
+    );
     // Ionization grows monotonically to a finite level.
-    assert!(last.x_mole[8] > 1e-4, "electron fraction: {}", last.x_mole[8]);
+    assert!(
+        report.check(
+            "ionization_registers",
+            last.x_mole[8] > 1e-4,
+            format!("x_e(final) = {:.3e}", last.x_mole[8]),
+        ),
+        "electron fraction: {}",
+        last.x_mole[8]
+    );
+    report.finish();
     println!("PASS: Fig. 7 relaxation structure reproduced");
 }

@@ -13,7 +13,7 @@
 //! 0.39 μm; the N₂ second positive populates the near UV and the N/O lines
 //! the near IR; computed and "measured" agree in the band-integrated sense.
 
-use aerothermo_bench::{emit, output_mode, shock_tube_fig7_condition};
+use aerothermo_bench::{emit, output_mode, shock_tube_fig7_condition, Report};
 use aerothermo_core::tables::Table;
 use aerothermo_gas::equilibrium::air9_equilibrium;
 use aerothermo_gas::kinetics::park_air9;
@@ -26,6 +26,7 @@ use aerothermo_solvers::shock1d::{solve, RelaxationProblem};
 
 fn main() {
     let mode = output_mode();
+    let mut report = Report::new("fig08_spectra");
     let (u1, t1, p1) = shock_tube_fig7_condition();
     let gas = air9_equilibrium();
     let set = park_air9(gas.mixture());
@@ -33,8 +34,18 @@ fn main() {
     let mut y1 = vec![0.0; gas.mixture().len()];
     y1[0] = 0.767;
     y1[1] = 0.233;
-    let sol = solve(&set, &relax, &RelaxationProblem { u1, t1, p1, y1, x_end: 0.03 })
-        .expect("relaxation march");
+    let sol = solve(
+        &set,
+        &relax,
+        &RelaxationProblem {
+            u1,
+            t1,
+            p1,
+            y1,
+            x_end: 0.03,
+        },
+    )
+    .expect("relaxation march");
 
     // Build slab layers from the relaxing flowfield. The 9-species model
     // lacks N2+; estimate it by Saha balance at the local T_v (the
@@ -61,13 +72,20 @@ fn main() {
         dens.push(("N2+".to_string(), n_n2p.min(0.01 * n_n2)));
         layers.push(Layer {
             thickness: dx,
-            sample: GasSample { t: p.t, t_exc: p.tv, densities: dens },
+            sample: GasSample {
+                t: p.t,
+                t_exc: p.tv,
+                densities: dens,
+            },
         });
     }
     println!("slab layers: {}", layers.len());
 
     let lam = wavelength_grid(0.2e-6, 1.0e-6, 1600);
-    let spectra: Vec<_> = layers.iter().map(|l| spectrum(&l.sample, &lam, 1.5e-9)).collect();
+    let spectra: Vec<_> = layers
+        .iter()
+        .map(|l| spectrum(&l.sample, &lam, 1.5e-9))
+        .collect();
     let computed = solve_slab(&layers, &spectra);
 
     // Synthetic "experiment": perturb each layer's emitters via a band-dependent
@@ -94,8 +112,7 @@ fn main() {
         .map(|i| {
             let lo = i.saturating_sub(half);
             let hi = (i + half + 1).min(lam.len());
-            let avg: f64 =
-                measured_raw.radiance[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+            let avg: f64 = measured_raw.radiance[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
             avg * (1.0 + 0.05 * ((i as f64) * 0.83).sin())
         })
         .collect();
@@ -125,15 +142,27 @@ fn main() {
         .0;
     let peak_lam = lam[peak_i] * 1e9;
     println!("computed peak at {peak_lam:.1} nm");
+    report.metric("peak_wavelength_nm", peak_lam);
     assert!(
-        (300.0..430.0).contains(&peak_lam),
+        report.check(
+            "violet_system_dominates",
+            (300.0..430.0).contains(&peak_lam),
+            format!("peak at {peak_lam:.1} nm"),
+        ),
         "violet system must dominate: peak at {peak_lam} nm"
     );
     // N2+ 1- (0,0) head visible: local contrast around 391 nm.
     let i391 = idx(391.0e-9);
     let i450 = idx(450.0e-9);
     assert!(
-        computed.radiance[i391] > 3.0 * computed.radiance[i450],
+        report.check(
+            "n2plus_391nm_head",
+            computed.radiance[i391] > 3.0 * computed.radiance[i450],
+            format!(
+                "I(391) = {:.3e} vs I(450) = {:.3e}",
+                computed.radiance[i391], computed.radiance[i450]
+            ),
+        ),
         "391 nm head contrast: {:.3e} vs {:.3e}",
         computed.radiance[i391],
         computed.radiance[i450]
@@ -142,7 +171,14 @@ fn main() {
     let i777 = idx(777.4e-9);
     let i760 = idx(760.0e-9);
     assert!(
-        computed.radiance[i777] > 2.0 * computed.radiance[i760],
+        report.check(
+            "o_777_line",
+            computed.radiance[i777] > 2.0 * computed.radiance[i760],
+            format!(
+                "I(777) = {:.3e} vs I(760) = {:.3e}",
+                computed.radiance[i777], computed.radiance[i760]
+            ),
+        ),
         "O 777 line must stand out"
     );
     // Band-integrated agreement with the synthetic measurement within 30%.
@@ -150,9 +186,15 @@ fn main() {
     let total_m: f64 = measured.iter().sum();
     let ratio = total_c / total_m;
     println!("band-integrated computed/measured = {ratio:.3}");
+    report.metric("band_integrated_ratio", ratio);
     assert!(
-        (0.7..1.4).contains(&ratio),
+        report.check(
+            "band_integrated_agreement",
+            (0.7..1.4).contains(&ratio),
+            format!("computed/measured = {ratio:.3}"),
+        ),
         "integrated spectra must agree: {ratio}"
     );
+    report.finish();
     println!("PASS: Fig. 8 spectral comparison reproduced");
 }

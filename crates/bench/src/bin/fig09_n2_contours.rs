@@ -13,7 +13,7 @@
 
 use aerothermo_atmosphere::us76::Us76;
 use aerothermo_atmosphere::Atmosphere;
-use aerothermo_bench::{emit, output_mode};
+use aerothermo_bench::{emit, output_mode, Report};
 use aerothermo_core::tables::Table;
 use aerothermo_gas::eq_table::air9_table;
 use aerothermo_grid::bodies::Hemisphere;
@@ -23,6 +23,7 @@ use aerothermo_solvers::ns2d::{NsSolver, Transport};
 
 fn main() {
     let mode = output_mode();
+    let mut report = Report::new("fig09_n2_contours");
     let atm = Us76;
     let h = 20_000.0;
     let t_inf = atm.temperature(h);
@@ -45,12 +46,22 @@ fn main() {
         i_lo: Bc::SlipWall,
         i_hi: Bc::Outflow,
         j_lo: Bc::SlipWall,
-        j_hi: Bc::Inflow { rho: fs.0, ux: fs.1, ur: fs.2, p: fs.3 },
+        j_hi: Bc::Inflow {
+            rho: fs.0,
+            ux: fs.1,
+            ur: fs.2,
+            p: fs.3,
+        },
     };
-    let opts = EulerOptions { cfl: 0.35, startup_steps: 600, ..EulerOptions::default() };
+    let opts = EulerOptions {
+        cfl: 0.35,
+        startup_steps: 600,
+        ..EulerOptions::default()
+    };
     let mut solver = NsSolver::new(&grid, table_eq, bc, opts, fs, Transport::air(), 2000.0);
-    let (steps, ratio) = solver.run(9000, 1e-3);
+    let (steps, ratio) = solver.run(9000, 1e-3).expect("stable Euler run");
     eprintln!("# converged in {steps} steps (residual ratio {ratio:.2e})");
+    report.absorb_telemetry("ns_m20", &solver.inviscid.telemetry);
 
     // N2 mole-fraction field along selected body-normal lines.
     let molar: Vec<f64> = table_eq
@@ -87,7 +98,11 @@ fn main() {
             ]);
         }
     }
-    emit("Fig. 9: N2 mole fraction along body-normal lines", &table, mode);
+    emit(
+        "Fig. 9: N2 mole fraction along body-normal lines",
+        &table,
+        mode,
+    );
 
     // Contour-level crossings on the stagnation line (the paper's levels).
     let levels = [0.50, 0.55, 0.60, 0.65, 0.70, 0.75];
@@ -111,25 +126,53 @@ fn main() {
         }
         ctable.row(&[format!("{lev:.2}"), format!("{y_cross:.4}")]);
     }
-    emit("Fig. 9: contour-level crossings (stagnation line)", &ctable, mode);
+    emit(
+        "Fig. 9: contour-level crossings (stagnation line)",
+        &ctable,
+        mode,
+    );
 
     // --- Shape checks -------------------------------------------------------
-    let standoff = solver.inviscid.standoff(rho_inf).expect("shock not captured");
+    let standoff = solver
+        .inviscid
+        .standoff(rho_inf)
+        .expect("shock not captured");
     let d_ratio = standoff / rn;
     println!("shock standoff Δ/Rn = {d_ratio:.3}");
+    report.metric("standoff_over_rn", d_ratio);
     assert!(
-        d_ratio > 0.03 && d_ratio < 0.14,
+        report.check(
+            "real_gas_standoff_class",
+            d_ratio > 0.03 && d_ratio < 0.14,
+            format!("Δ/Rn = {d_ratio:.3}"),
+        ),
         "real-gas standoff class violated: {d_ratio}"
     );
     // Stagnation-region dissociation: N2 well below freestream level.
     let x_n2_stag = x_n2_at(0, 0);
     println!("stagnation-point x_N2 = {x_n2_stag:.3}");
-    assert!(x_n2_stag < 0.55, "N2 must dissociate at M20: {x_n2_stag}");
+    report.metric("x_n2_stagnation", x_n2_stag);
+    assert!(
+        report.check(
+            "n2_dissociated_at_stagnation",
+            x_n2_stag < 0.55,
+            format!("x_N2(stag) = {x_n2_stag:.3}"),
+        ),
+        "N2 must dissociate at M20: {x_n2_stag}"
+    );
     // Freestream side intact.
     let x_n2_free = x_n2_at(0, ncj - 1);
-    assert!(x_n2_free > 0.74, "freestream N2: {x_n2_free}");
+    assert!(
+        report.check(
+            "freestream_n2_intact",
+            x_n2_free > 0.74,
+            format!("x_N2(freestream) = {x_n2_free:.3}"),
+        ),
+        "freestream N2: {x_n2_free}"
+    );
     // Monotone nesting of the contour crossings.
     let mut prev = -1.0;
+    let mut nested = true;
     for &lev in &levels {
         let mut y_cross = f64::NAN;
         for j in 1..ncj {
@@ -141,9 +184,18 @@ fn main() {
             }
         }
         if y_cross.is_finite() {
-            assert!(y_cross >= prev, "contours must nest outward");
+            nested = nested && y_cross >= prev;
             prev = y_cross;
         }
     }
+    assert!(
+        report.check(
+            "contours_nest_outward",
+            nested,
+            "crossings monotone shock -> body"
+        ),
+        "contours must nest outward"
+    );
+    report.finish();
     println!("PASS: Fig. 9 dissociation field reproduced");
 }

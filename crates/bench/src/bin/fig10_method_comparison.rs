@@ -15,16 +15,14 @@
 //! cost ordering VSL < E+BL < PNS < NS with NS at least an order of
 //! magnitude above VSL.
 
-use aerothermo_bench::{emit, output_mode};
+use aerothermo_bench::{emit, output_mode, Report};
 use aerothermo_core::tables::Table;
 use aerothermo_gas::air9_equilibrium;
 use aerothermo_gas::transport::sutherland_air;
 use aerothermo_gas::{GasModel, IdealGas};
 use aerothermo_grid::bodies::{Hemisphere, SphereCone};
 use aerothermo_grid::{stretch, StructuredGrid};
-use aerothermo_solvers::blayer::{
-    fay_riddell, newtonian_velocity_gradient, FayRiddellInputs,
-};
+use aerothermo_solvers::blayer::{fay_riddell, newtonian_velocity_gradient, FayRiddellInputs};
 use aerothermo_solvers::euler2d::{Bc, BcSet, EulerOptions, EulerSolver};
 use aerothermo_solvers::ns2d::{NsSolver, Transport};
 use aerothermo_solvers::pns::{PnsOptions, PnsSolver};
@@ -40,6 +38,7 @@ struct CaseResult {
 
 fn main() {
     let mode = output_mode();
+    let mut report = Report::new("fig10_method_comparison");
 
     // Common condition: Mach 8 sphere, wind-tunnel-class density.
     let t_inf = 230.0;
@@ -84,17 +83,26 @@ fn main() {
         let start = Instant::now();
         let body = Hemisphere::new(rn);
         let dist = stretch::uniform(41);
-        let grid =
-            StructuredGrid::blunt_body(&body, 21, 41, &|sb| (0.3 + 0.2 * sb) * rn, &dist);
+        let grid = StructuredGrid::blunt_body(&body, 21, 41, &|sb| (0.3 + 0.2 * sb) * rn, &dist);
         let bc = BcSet {
             i_lo: Bc::SlipWall,
             i_hi: Bc::Outflow,
             j_lo: Bc::SlipWall,
-            j_hi: Bc::Inflow { rho: fs.0, ux: fs.1, ur: fs.2, p: fs.3 },
+            j_hi: Bc::Inflow {
+                rho: fs.0,
+                ux: fs.1,
+                ur: fs.2,
+                p: fs.3,
+            },
         };
-        let opts = EulerOptions { cfl: 0.4, startup_steps: 300, ..EulerOptions::default() };
+        let opts = EulerOptions {
+            cfl: 0.4,
+            startup_steps: 300,
+            ..EulerOptions::default()
+        };
         let mut euler = EulerSolver::new(&grid, &gas, bc, opts, fs);
-        euler.run(2500, 1e-2);
+        euler.run(2500, 1e-2).expect("stable Euler run");
+        report.absorb_telemetry("euler_ebl", &euler.telemetry);
         let p_stag = euler.primitive(0, 0).p;
         let e_stag = euler.internal_energy(0, 0);
         let t_stag = gas.temperature(euler.primitive(0, 0).rho, e_stag);
@@ -126,17 +134,30 @@ fn main() {
         // march and report its wall time plus the stagnation anchor cost
         // (Fay-Riddell, negligible).
         let start = Instant::now();
-        let body = SphereCone { rn, half_angle: 20f64.to_radians(), length: 10.0 * rn };
+        let body = SphereCone {
+            rn,
+            half_angle: 20f64.to_radians(),
+            length: 10.0 * rn,
+        };
         let dist = stretch::tanh_one_sided(41, 2.5);
         let grid = StructuredGrid::blunt_body(&body, 70, 41, &|sb| (0.25 + 0.8 * sb) * rn, &dist);
         let mut pns = PnsSolver::new(
             &grid,
             &gas,
-            PnsOptions { t_wall: Some(t_wall), ..PnsOptions::default() },
+            PnsOptions {
+                t_wall: Some(t_wall),
+                ..PnsOptions::default()
+            },
             fs,
         );
-        let sol = pns.march(10);
-        let q_first = sol.wall_heat_flux.iter().copied().find(|q| *q > 0.0).unwrap_or(0.0);
+        let sol = pns.march(10).expect("clean PNS march");
+        report.absorb_telemetry("pns", &pns.telemetry);
+        let q_first = sol
+            .wall_heat_flux
+            .iter()
+            .copied()
+            .find(|q| *q > 0.0)
+            .unwrap_or(0.0);
         results.push(CaseResult {
             name: "PNS",
             seconds: start.elapsed().as_secs_f64(),
@@ -150,17 +171,26 @@ fn main() {
         let start = Instant::now();
         let body = Hemisphere::new(rn);
         let dist = stretch::tanh_one_sided(57, 3.5);
-        let grid =
-            StructuredGrid::blunt_body(&body, 21, 57, &|sb| (0.3 + 0.2 * sb) * rn, &dist);
+        let grid = StructuredGrid::blunt_body(&body, 21, 57, &|sb| (0.3 + 0.2 * sb) * rn, &dist);
         let bc = BcSet {
             i_lo: Bc::SlipWall,
             i_hi: Bc::Outflow,
             j_lo: Bc::SlipWall,
-            j_hi: Bc::Inflow { rho: fs.0, ux: fs.1, ur: fs.2, p: fs.3 },
+            j_hi: Bc::Inflow {
+                rho: fs.0,
+                ux: fs.1,
+                ur: fs.2,
+                p: fs.3,
+            },
         };
-        let opts = EulerOptions { cfl: 0.4, startup_steps: 500, ..EulerOptions::default() };
+        let opts = EulerOptions {
+            cfl: 0.4,
+            startup_steps: 500,
+            ..EulerOptions::default()
+        };
         let mut ns = NsSolver::new(&grid, &gas, bc, opts, fs, Transport::air(), t_wall);
-        ns.run(16_000, 1e-9);
+        ns.run(16_000, 1e-9).expect("stable NS run");
+        report.absorb_telemetry("ns", &ns.inviscid.telemetry);
         results.push(CaseResult {
             name: "NS",
             seconds: start.elapsed().as_secs_f64(),
@@ -178,23 +208,54 @@ fn main() {
             r.note.clone(),
         ]);
     }
-    emit("E10: equation-set cost and heating comparison", &table, mode);
+    emit(
+        "E10: equation-set cost and heating comparison",
+        &table,
+        mode,
+    );
 
     // --- Checks --------------------------------------------------------------
     let time_of = |n: &str| results.iter().find(|r| r.name == n).unwrap().seconds;
     let q_of = |n: &str| results.iter().find(|r| r.name == n).unwrap().q_stag;
+    for r in &results {
+        report.metric(
+            &format!("wall_time_s_{}", r.name.replace('+', "_")),
+            r.seconds,
+        );
+        report.metric(
+            &format!("q_stag_w_m2_{}", r.name.replace('+', "_")),
+            r.q_stag,
+        );
+    }
     assert!(
-        time_of("VSL") < time_of("NS") && time_of("E+BL") < time_of("NS"),
+        report.check(
+            "ns_most_expensive",
+            time_of("VSL") < time_of("NS") && time_of("E+BL") < time_of("NS"),
+            format!(
+                "VSL {:.3}s, E+BL {:.3}s, NS {:.3}s",
+                time_of("VSL"),
+                time_of("E+BL"),
+                time_of("NS")
+            ),
+        ),
         "NS must be the most expensive"
     );
     assert!(
-        time_of("NS") > 10.0 * time_of("VSL"),
+        report.check(
+            "ns_order_of_magnitude_over_vsl",
+            time_of("NS") > 10.0 * time_of("VSL"),
+            format!("NS/VSL time ratio = {:.1}", time_of("NS") / time_of("VSL")),
+        ),
         "NS should cost ≥ 10× VSL: {:.3}s vs {:.3}s",
         time_of("NS"),
         time_of("VSL")
     );
     assert!(
-        time_of("PNS") < time_of("NS"),
+        report.check(
+            "pns_undercuts_ns",
+            time_of("PNS") < time_of("NS"),
+            format!("PNS {:.3}s vs NS {:.3}s", time_of("PNS"), time_of("NS")),
+        ),
         "PNS must undercut full NS on marchable problems"
     );
     // All heating estimates agree within a factor ~3 (different fidelity,
@@ -203,9 +264,14 @@ fn main() {
     for name in ["E+BL", "NS"] {
         let r = q_of(name) / q_vsl;
         assert!(
-            (0.3..3.5).contains(&r),
+            report.check(
+                &format!("heating_agreement_{}", name.replace('+', "_")),
+                (0.3..3.5).contains(&r),
+                format!("q/q_VSL = {r:.2}"),
+            ),
             "{name} heating ratio vs VSL: {r:.2}"
         );
     }
+    report.finish();
     println!("PASS: cost hierarchy VSL/E+BL < PNS < NS reproduced (paper's method taxonomy)");
 }

@@ -11,10 +11,15 @@
 // Indexed loops over parallel arrays are the clearest idiom for the
 // numerical kernels here; spelled-out spectroscopic constants keep their
 // literature precision.
-#![allow(clippy::needless_range_loop, clippy::excessive_precision, clippy::type_complexity)]
-
+#![allow(
+    clippy::needless_range_loop,
+    clippy::excessive_precision,
+    clippy::type_complexity
+)]
 
 use aerothermo_core::tables::Table;
+use aerothermo_numerics::telemetry::{CounterSnapshot, RunTelemetry};
+use std::time::Instant;
 
 /// Output mode parsed from the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +37,195 @@ pub fn output_mode() -> OutputMode {
         OutputMode::Csv
     } else {
         OutputMode::Text
+    }
+}
+
+/// Destination for the machine-readable run report, parsed from
+/// `--report` (default `run-report.json`) or `--report=PATH`.
+#[must_use]
+pub fn report_path() -> Option<String> {
+    for a in std::env::args() {
+        if a == "--report" {
+            return Some("run-report.json".to_string());
+        }
+        if let Some(p) = a.strip_prefix("--report=") {
+            return Some(p.to_string());
+        }
+    }
+    None
+}
+
+/// Machine-readable run summary for a figure binary.
+///
+/// Collects qualitative-check verdicts, named scalar metrics, kernel
+/// counter deltas, solver phase timings, and residual histories; `finish`
+/// writes them as JSON when `--report[=PATH]` was passed (CI parses and
+/// gates on this file).
+pub struct Report {
+    figure: String,
+    started: Instant,
+    counters_at_start: CounterSnapshot,
+    checks: Vec<(String, bool, String)>,
+    metrics: Vec<(String, f64)>,
+    phases: Vec<(String, f64)>,
+    histories: Vec<(String, Vec<f64>)>,
+}
+
+impl Report {
+    /// Start a report scope for the named figure (snapshots the global
+    /// kernel counters).
+    #[must_use]
+    pub fn new(figure: &str) -> Self {
+        Self {
+            figure: figure.to_string(),
+            started: Instant::now(),
+            counters_at_start: CounterSnapshot::take(),
+            checks: Vec::new(),
+            metrics: Vec::new(),
+            phases: Vec::new(),
+            histories: Vec::new(),
+        }
+    }
+
+    /// Record a qualitative check; returns `passed` so the caller can keep
+    /// its hard `assert!(report.check(..))` behavior.
+    pub fn check(&mut self, name: &str, passed: bool, detail: impl Into<String>) -> bool {
+        self.checks.push((name.to_string(), passed, detail.into()));
+        passed
+    }
+
+    /// Record a named scalar metric.
+    pub fn metric(&mut self, name: &str, value: f64) {
+        self.metrics.push((name.to_string(), value));
+    }
+
+    /// Fold a solver's [`RunTelemetry`] into the report: its phases and
+    /// residual histories, prefixed with `label`.
+    pub fn absorb_telemetry(&mut self, label: &str, telemetry: &RunTelemetry) {
+        for (name, secs) in telemetry.phases() {
+            self.phases.push((format!("{label}.{name}"), *secs));
+        }
+        for (name, hist) in telemetry.histories() {
+            self.histories
+                .push((format!("{label}.{name}"), hist.clone()));
+        }
+    }
+
+    /// True when every recorded check passed.
+    #[must_use]
+    pub fn all_green(&self) -> bool {
+        self.checks.iter().all(|(_, ok, _)| *ok)
+    }
+
+    /// Serialize to JSON (counters are deltas since the report started).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"figure\": {},\n", json_string(&self.figure)));
+        s.push_str(&format!(
+            "  \"elapsed_secs\": {},\n",
+            json_f64(self.started.elapsed().as_secs_f64())
+        ));
+        s.push_str(&format!("  \"all_green\": {},\n", self.all_green()));
+        s.push_str("  \"checks\": [");
+        for (k, (name, ok, detail)) in self.checks.iter().enumerate() {
+            if k > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"name\": {}, \"passed\": {}, \"detail\": {}}}",
+                json_string(name),
+                ok,
+                json_string(detail)
+            ));
+        }
+        s.push_str("\n  ],\n");
+        let counters = CounterSnapshot::take().delta_since(&self.counters_at_start);
+        s.push_str("  \"counters\": {");
+        for (k, (name, v)) in counters.iter().enumerate() {
+            if k > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\n    {}: {v}", json_string(name)));
+        }
+        s.push_str("\n  },\n");
+        s.push_str("  \"metrics\": {");
+        for (k, (name, v)) in self.metrics.iter().enumerate() {
+            if k > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\n    {}: {}", json_string(name), json_f64(*v)));
+        }
+        s.push_str("\n  },\n");
+        s.push_str("  \"phases\": {");
+        for (k, (name, v)) in self.phases.iter().enumerate() {
+            if k > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\n    {}: {}", json_string(name), json_f64(*v)));
+        }
+        s.push_str("\n  },\n");
+        s.push_str("  \"histories\": {");
+        for (k, (name, hist)) in self.histories.iter().enumerate() {
+            if k > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\n    {}: [", json_string(name)));
+            for (m, v) in hist.iter().enumerate() {
+                if m > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&json_f64(*v));
+            }
+            s.push(']');
+        }
+        s.push_str("\n  }\n}\n");
+        s
+    }
+
+    /// Write the JSON report when `--report[=PATH]` was passed; always a
+    /// no-op otherwise. Returns [`Report::all_green`].
+    ///
+    /// # Panics
+    /// Panics when the report file cannot be written (CI must fail loudly,
+    /// not silently skip its gate).
+    pub fn finish(self) -> bool {
+        if let Some(path) = report_path() {
+            std::fs::write(&path, self.to_json())
+                .unwrap_or_else(|e| panic!("cannot write report {path}: {e}"));
+            eprintln!("# run report written to {path}");
+        }
+        self.all_green()
+    }
+}
+
+/// JSON string literal with minimal escaping.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Finite floats as shortest-roundtrip decimals; NaN/Inf (illegal in JSON)
+/// as `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -101,6 +295,29 @@ mod tests {
         assert!(rho6 < rho, "71.3 km is thinner than 65.5 km");
         let (u1, t1, p1) = shock_tube_fig7_condition();
         assert!(u1 == 10_000.0 && t1 == 300.0 && (p1 - 13.33).abs() < 0.1);
+    }
+
+    #[test]
+    fn report_json_well_formed() {
+        let mut r = Report::new("test_fig");
+        r.metric("peak", 1.5e6);
+        r.metric("bad", f64::NAN);
+        assert!(r.check("positive", true, "peak = 1.5e6"));
+        assert!(!r.check("quoted \"name\"", false, "line\nbreak"));
+        r.histories
+            .push(("res".to_string(), vec![1.0, 0.5, f64::INFINITY]));
+        let json = r.to_json();
+        assert!(json.contains("\"figure\": \"test_fig\""));
+        assert!(json.contains("\"all_green\": false"));
+        assert!(json.contains("\"bad\": null"));
+        assert!(json.contains("\\\"name\\\""));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("[1, 0.5, null]"));
+        assert!(json.contains("\"newton_solves\""));
+        // Balanced braces/brackets (cheap well-formedness proxy).
+        let open = json.matches(['{', '[']).count();
+        let close = json.matches(['}', ']']).count();
+        assert_eq!(open, close);
     }
 
     #[test]

@@ -173,10 +173,9 @@ mod tests {
     fn radiative_equilibrium_shuttle_tile() {
         // 45 W/cm² with hot-wall correction: tile equilibrium near 1400 K.
         let h0 = 2.3e7;
-        let t = radiative_equilibrium_wall(0.85, 3000.0, |tw| {
-            4.5e5 * hot_wall_factor(tw, 1005.0, h0)
-        })
-        .unwrap();
+        let t =
+            radiative_equilibrium_wall(0.85, 3000.0, |tw| 4.5e5 * hot_wall_factor(tw, 1005.0, h0))
+                .unwrap();
         assert!(t > 1200.0 && t < 1800.0, "T_w = {t}");
         // Energy balance closes.
         let q = 4.5e5 * hot_wall_factor(t, 1005.0, h0);
@@ -205,7 +204,11 @@ mod tests {
             st.recession_rate
         );
         // Blocking + reradiation + ablation must absorb the input.
-        assert!(st.q_conducted.abs() < 1e-3 * 1.5e8, "residual {}", st.q_conducted);
+        assert!(
+            st.q_conducted.abs() < 1e-3 * 1.5e8,
+            "residual {}",
+            st.q_conducted
+        );
     }
 
     #[test]
@@ -248,7 +251,10 @@ mod tests {
             })
             .collect();
         let (recession, mass) = pulse_recession(&ab, &pulse);
-        assert!(recession > 1e-3 && recession < 0.2, "recession = {recession}");
+        assert!(
+            recession > 1e-3 && recession < 0.2,
+            "recession = {recession}"
+        );
         assert!((mass / 1450.0 - recession).abs() < 1e-9);
     }
 }

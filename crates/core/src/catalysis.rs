@@ -29,7 +29,13 @@ pub enum WallCatalysis {
 /// `φ = γ_w·√(R_atom·T_w/(2π)) · ρ_w / C_m`, where `C_m` is the mass-transfer
 /// conductance `≈ q_conv/(h_0 − h_w)` of the boundary layer.
 #[must_use]
-pub fn catalytic_efficiency(gamma_w: f64, r_atom: f64, t_wall: f64, rho_wall: f64, c_m: f64) -> f64 {
+pub fn catalytic_efficiency(
+    gamma_w: f64,
+    r_atom: f64,
+    t_wall: f64,
+    rho_wall: f64,
+    c_m: f64,
+) -> f64 {
     if gamma_w <= 0.0 {
         return 0.0;
     }

@@ -138,4 +138,71 @@ mod tests {
         assert_eq!(EquationSet::Vsl.name(), "VSL");
         assert_eq!(EquationSet::Ns.name(), "NS");
     }
+
+    #[test]
+    fn separation_overrides_every_cheaper_claim() {
+        // Conflicting flags: a separated flow trumps all cheaper-set
+        // eligibility claims, however the rest of the class is filled in.
+        let contradictory = ProblemClass {
+            separated_flow: true,
+            large_subsonic_region: false,
+            windward_forebody_only: true,
+            streamwise_supersonic: true,
+            weak_interaction: true,
+        };
+        assert_eq!(recommend(&contradictory), EquationSet::Ns);
+    }
+
+    #[test]
+    fn subsonic_region_overrides_cheaper_claims() {
+        let blunt_low_mach = ProblemClass {
+            separated_flow: false,
+            large_subsonic_region: true,
+            windward_forebody_only: true,
+            streamwise_supersonic: true,
+            weak_interaction: true,
+        };
+        assert_eq!(recommend(&blunt_low_mach), EquationSet::Ns);
+    }
+
+    #[test]
+    fn windward_forebody_beats_weak_interaction_and_pns() {
+        // When the windward forebody is all that's asked for, VSL is the
+        // cheapest valid set even if E+BL and PNS would also apply.
+        let forebody = ProblemClass {
+            separated_flow: false,
+            large_subsonic_region: false,
+            windward_forebody_only: true,
+            streamwise_supersonic: true,
+            weak_interaction: true,
+        };
+        assert_eq!(recommend(&forebody), EquationSet::Vsl);
+    }
+
+    #[test]
+    fn weak_interaction_beats_streamwise_supersonic() {
+        // Both E+BL and PNS apply; E+BL is cheaper and wins.
+        let slender_attached = ProblemClass {
+            separated_flow: false,
+            large_subsonic_region: false,
+            windward_forebody_only: false,
+            streamwise_supersonic: true,
+            weak_interaction: true,
+        };
+        assert_eq!(recommend(&slender_attached), EquationSet::EulerBl);
+    }
+
+    #[test]
+    fn no_claims_at_all_falls_back_to_ns() {
+        // Nothing asserted about the flow: only the full NS equations are
+        // unconditionally valid.
+        let unknown = ProblemClass {
+            separated_flow: false,
+            large_subsonic_region: false,
+            windward_forebody_only: false,
+            streamwise_supersonic: false,
+            weak_interaction: false,
+        };
+        assert_eq!(recommend(&unknown), EquationSet::Ns);
+    }
 }

@@ -6,13 +6,14 @@ use aerothermo_atmosphere::trajectory::TrajectoryPoint;
 use aerothermo_gas::equilibrium::EquilibriumGas;
 use aerothermo_gas::transport::{mixture_viscosity, sutherland_air};
 use aerothermo_gas::GasModel;
+use aerothermo_numerics::telemetry::SolverError;
 use aerothermo_radiation::tangent_slab::{solve_slab_samples, Layer};
 use aerothermo_radiation::{wavelength_grid, GasSample};
+#[cfg(test)]
+use aerothermo_solvers::blayer::SUTTON_GRAVES_EARTH;
 use aerothermo_solvers::blayer::{
     fay_riddell, newtonian_velocity_gradient, sutton_graves, FayRiddellInputs,
 };
-#[cfg(test)]
-use aerothermo_solvers::blayer::SUTTON_GRAVES_EARTH;
 use aerothermo_solvers::vsl::{solve as vsl_solve, VslProblem};
 
 /// One point of a stagnation heating history.
@@ -45,12 +46,12 @@ pub fn convective_sutton_graves(rho: f64, velocity: f64, nose_radius: f64, k: f6
 pub fn radiative_tauber_sutton_earth(rho: f64, velocity: f64, nose_radius: f64) -> f64 {
     // Tauber-Sutton Earth velocity function (V in km/s).
     const V_TAB: [f64; 17] = [
-        9.0, 9.25, 9.5, 9.75, 10.0, 10.25, 10.5, 10.75, 11.0, 11.5, 12.0, 12.5, 13.0, 13.5,
-        14.0, 15.0, 16.0,
+        9.0, 9.25, 9.5, 9.75, 10.0, 10.25, 10.5, 10.75, 11.0, 11.5, 12.0, 12.5, 13.0, 13.5, 14.0,
+        15.0, 16.0,
     ];
     const F_TAB: [f64; 17] = [
-        1.5, 4.3, 9.7, 19.5, 35.0, 55.0, 81.0, 115.0, 151.0, 238.0, 359.0, 495.0, 660.0,
-        850.0, 1065.0, 1550.0, 2220.0,
+        1.5, 4.3, 9.7, 19.5, 35.0, 55.0, 81.0, 115.0, 151.0, 238.0, 359.0, 495.0, 660.0, 850.0,
+        1065.0, 1550.0, 2220.0,
     ];
     let v_km = velocity / 1000.0;
     if v_km < 9.0 {
@@ -78,7 +79,7 @@ pub fn convective_fay_riddell_equilibrium(
     nose_radius: f64,
     t_wall: f64,
     lewis: f64,
-) -> Result<f64, String> {
+) -> Result<f64, SolverError> {
     let st = stagnation_state(model, rho_inf, p_inf, velocity)?;
     let edge = gas
         .at_tp(st.t_stag.max(300.0), st.p_stag)
@@ -124,8 +125,25 @@ pub fn radiative_tangent_slab(
     lambda_lo: f64,
     lambda_hi: f64,
     n_lambda: usize,
-) -> Result<f64, String> {
-    let sol = vsl_solve(gas, problem)?;
+) -> Result<f64, SolverError> {
+    radiative_tangent_slab_with_telemetry(gas, problem, lambda_lo, lambda_hi, n_lambda)
+        .map(|(q, _)| q)
+}
+
+/// [`radiative_tangent_slab`] that also returns the VSL solve's
+/// [`aerothermo_numerics::telemetry::RunTelemetry`] (phase timings and the
+/// standoff residual history) for run reports.
+///
+/// # Errors
+/// Propagates VSL failures.
+pub fn radiative_tangent_slab_with_telemetry(
+    gas: &EquilibriumGas,
+    problem: &VslProblem,
+    lambda_lo: f64,
+    lambda_hi: f64,
+    n_lambda: usize,
+) -> Result<(f64, aerothermo_numerics::telemetry::RunTelemetry), SolverError> {
+    let mut sol = vsl_solve(gas, problem)?;
     let lambda = wavelength_grid(lambda_lo, lambda_hi, n_lambda);
     let names: Vec<String> = sol.species_names.clone();
     // Layers from wall outward; thickness from station spacing.
@@ -143,10 +161,15 @@ pub fn radiative_tangent_slab(
                     .map(|(a, b)| 0.5 * (a + b)),
             )
             .collect();
-        layers.push(Layer { thickness, sample: GasSample::equilibrium(t, densities) });
+        layers.push(Layer {
+            thickness,
+            sample: GasSample::equilibrium(t, densities),
+        });
     }
-    let rad = solve_slab_samples(&layers, &lambda, 1e-9);
-    Ok(rad.total_wall_flux())
+    let rad = sol.telemetry.time_phase("tangent_slab", || {
+        solve_slab_samples(&layers, &lambda, 1e-9)
+    });
+    Ok((rad.total_wall_flux(), sol.telemetry))
 }
 
 /// Stagnation heating pulse along a flown trajectory using the engineering
@@ -211,7 +234,11 @@ mod tests {
         assert_eq!(radiative_tauber_sutton_earth(1e-4, 5000.0, 1.0), 0.0);
         let q10 = radiative_tauber_sutton_earth(5e-4, 10_000.0, 1.0);
         let q12 = radiative_tauber_sutton_earth(5e-4, 12_000.0, 1.0);
-        assert!((q12 / q10 - 359.0 / 35.0).abs() < 2.0, "f(V) ratio: {}", q12 / q10);
+        assert!(
+            (q12 / q10 - 359.0 / 35.0).abs() < 2.0,
+            "f(V) ratio: {}",
+            q12 / q10
+        );
         // Magnitude check: Stardust-class (12.6 km/s, ρ = 3e-4, Rn = 0.23 m)
         // radiative heating is in the 100 W/cm² class.
         let q_stardust = radiative_tauber_sutton_earth(3e-4, 12_600.0, 0.23);
@@ -225,10 +252,9 @@ mod tests {
     fn fay_riddell_equilibrium_magnitude() {
         let gas = air9_equilibrium();
         let table = aerothermo_gas::eq_table::air9_table();
-        let q = convective_fay_riddell_equilibrium(
-            &gas, table, 1.6e-4, 10.5, 6700.0, 0.6, 1200.0, 1.4,
-        )
-        .unwrap();
+        let q =
+            convective_fay_riddell_equilibrium(&gas, table, 1.6e-4, 10.5, 6700.0, 0.6, 1200.0, 1.4)
+                .unwrap();
         let q_sg = convective_sutton_graves(1.6e-4, 6700.0, 0.6, SUTTON_GRAVES_EARTH);
         let ratio = q / q_sg;
         assert!(ratio > 0.4 && ratio < 2.5, "FR/SG = {ratio} (q = {q:.3e})");

@@ -2,6 +2,7 @@
 //! recompression, for any [`GasModel`].
 
 use aerothermo_gas::GasModel;
+use aerothermo_numerics::telemetry::SolverError;
 use aerothermo_solvers::shock::normal_shock;
 
 /// Post-shock and stagnation conditions on the stagnation streamline.
@@ -41,9 +42,9 @@ pub fn stagnation_state(
     rho_inf: f64,
     p_inf: f64,
     v_inf: f64,
-) -> Result<StagnationState, String> {
-    let jump = normal_shock(gas, rho_inf, p_inf, v_inf)
-        .map_err(|e| format!("normal shock: {e}"))?;
+) -> Result<StagnationState, SolverError> {
+    let jump =
+        normal_shock(gas, rho_inf, p_inf, v_inf).map_err(|e| format!("normal shock: {e}"))?;
     let h2 = jump.e + jump.p / jump.rho;
     let h_stag = h2 + 0.5 * jump.u * jump.u;
     let p_stag = jump.p + 0.5 * jump.rho * jump.u * jump.u;
@@ -127,7 +128,11 @@ mod tests {
             st_eq.t_stag,
             st_id.t_stag
         );
-        assert!(st_eq.density_ratio > 8.0, "ρ ratio = {}", st_eq.density_ratio);
+        assert!(
+            st_eq.density_ratio > 8.0,
+            "ρ ratio = {}",
+            st_eq.density_ratio
+        );
         assert!(st_id.density_ratio < 6.2);
     }
 

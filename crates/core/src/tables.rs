@@ -21,7 +21,10 @@ impl Table {
     /// Start a table with the given column headers.
     #[must_use]
     pub fn new(headers: &[&str]) -> Self {
-        Self { headers: headers.iter().map(|s| (*s).to_string()).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row of preformatted cells.

@@ -16,6 +16,7 @@ use crate::equilibrium::EquilibriumGas;
 use crate::model::GasModel;
 use aerothermo_numerics::interp::BilinearTable;
 use aerothermo_numerics::roots::brent_expanding;
+use aerothermo_numerics::telemetry::{RunTelemetry, SolverError};
 use rayon::prelude::*;
 
 /// Resolution and range options for [`EqTable::build`].
@@ -71,7 +72,27 @@ impl EqTable {
     ///
     /// # Errors
     /// Propagates equilibrium-solver failures with the offending `(T, ρ)`.
-    pub fn build(gas: &EquilibriumGas, opts: &EqTableOptions) -> Result<Self, String> {
+    pub fn build(gas: &EquilibriumGas, opts: &EqTableOptions) -> Result<Self, SolverError> {
+        Self::build_with_telemetry(gas, opts).map(|(table, _)| table)
+    }
+
+    /// [`EqTable::build`] that also returns the run's telemetry: the
+    /// `eq_table_rows` phase timing and the equilibrium-state counter delta
+    /// attributable to the build.
+    ///
+    /// # Errors
+    /// Same as [`EqTable::build`].
+    pub fn build_with_telemetry(
+        gas: &EquilibriumGas,
+        opts: &EqTableOptions,
+    ) -> Result<(Self, RunTelemetry), SolverError> {
+        let mut telemetry = RunTelemetry::new();
+        if opts.n_rho < 2 || opts.n_e < 2 || opts.n_t < 2 {
+            return Err(SolverError::BadInput(format!(
+                "eq_table: need at least 2 nodes per axis (n_rho={}, n_e={}, n_t={})",
+                opts.n_rho, opts.n_e, opts.n_t
+            )));
+        }
         let ns = gas.mixture().len();
         let nr = opts.n_rho;
         let ne = opts.n_e;
@@ -95,49 +116,52 @@ impl EqTable {
             .collect();
 
         // Per-row result: (lnp, T, y[ns]) on the common energy axis.
-        let rows: Result<Vec<(Vec<f64>, Vec<f64>, Vec<Vec<f64>>)>, String> = ln_rho
-            .par_iter()
-            .map(|&lr| {
-                let rho = lr.exp();
-                // Sweep temperature, collect (ln e, ln p, T, y).
-                let mut se = Vec::with_capacity(opts.n_t);
-                let mut sp = Vec::with_capacity(opts.n_t);
-                let mut st = Vec::with_capacity(opts.n_t);
-                let mut sy = vec![Vec::with_capacity(opts.n_t); ns];
-                for &lt in &ln_t_sweep {
-                    let t = lt.exp();
-                    let state = gas
-                        .at_trho(t, rho)
-                        .map_err(|e| format!("table row rho={rho:.3e}, T={t:.1}: {e}"))?;
-                    // Guard: energy must increase along the sweep for the
-                    // reinterpolation to be well-posed.
-                    if let Some(&last) = se.last() {
-                        if state.energy.ln() <= last {
-                            continue;
+        type Row = (Vec<f64>, Vec<f64>, Vec<Vec<f64>>);
+        let rows: Result<Vec<Row>, String> = telemetry.time_phase("eq_table_rows", || {
+            ln_rho
+                .par_iter()
+                .map(|&lr| {
+                    let rho = lr.exp();
+                    // Sweep temperature, collect (ln e, ln p, T, y).
+                    let mut se = Vec::with_capacity(opts.n_t);
+                    let mut sp = Vec::with_capacity(opts.n_t);
+                    let mut st = Vec::with_capacity(opts.n_t);
+                    let mut sy = vec![Vec::with_capacity(opts.n_t); ns];
+                    for &lt in &ln_t_sweep {
+                        let t = lt.exp();
+                        let state = gas
+                            .at_trho(t, rho)
+                            .map_err(|e| format!("table row rho={rho:.3e}, T={t:.1}: {e}"))?;
+                        // Guard: energy must increase along the sweep for the
+                        // reinterpolation to be well-posed.
+                        if let Some(&last) = se.last() {
+                            if state.energy.ln() <= last {
+                                continue;
+                            }
+                        }
+                        se.push(state.energy.ln());
+                        sp.push(state.pressure.ln());
+                        st.push(state.temperature);
+                        for (s, ys) in sy.iter_mut().enumerate() {
+                            ys.push(state.mass_fractions[s]);
                         }
                     }
-                    se.push(state.energy.ln());
-                    sp.push(state.pressure.ln());
-                    st.push(state.temperature);
-                    for (s, ys) in sy.iter_mut().enumerate() {
-                        ys.push(state.mass_fractions[s]);
+                    // Reinterpolate onto the common ln_e axis (linear in ln e,
+                    // clamped at the sweep ends).
+                    let mut row_lnp = Vec::with_capacity(ne);
+                    let mut row_t = Vec::with_capacity(ne);
+                    let mut row_y = vec![Vec::with_capacity(ne); ns];
+                    for &le in &ln_e {
+                        row_lnp.push(aerothermo_numerics::interp::lerp(&se, &sp, le));
+                        row_t.push(aerothermo_numerics::interp::lerp(&se, &st, le));
+                        for (s, ys) in sy.iter().enumerate() {
+                            row_y[s].push(aerothermo_numerics::interp::lerp(&se, ys, le));
+                        }
                     }
-                }
-                // Reinterpolate onto the common ln_e axis (linear in ln e,
-                // clamped at the sweep ends).
-                let mut row_lnp = Vec::with_capacity(ne);
-                let mut row_t = Vec::with_capacity(ne);
-                let mut row_y = vec![Vec::with_capacity(ne); ns];
-                for &le in &ln_e {
-                    row_lnp.push(aerothermo_numerics::interp::lerp(&se, &sp, le));
-                    row_t.push(aerothermo_numerics::interp::lerp(&se, &st, le));
-                    for (s, ys) in sy.iter().enumerate() {
-                        row_y[s].push(aerothermo_numerics::interp::lerp(&se, ys, le));
-                    }
-                }
-                Ok((row_lnp, row_t, row_y))
-            })
-            .collect();
+                    Ok((row_lnp, row_t, row_y))
+                })
+                .collect()
+        });
         let rows = rows?;
 
         // Assemble row-major tables.
@@ -188,7 +212,7 @@ impl EqTable {
             .iter()
             .map(|s| s.name.to_string())
             .collect();
-        Ok(Self {
+        let table = Self {
             lnp: BilinearTable::new(ln_rho.clone(), ln_e.clone(), lnp_v),
             temp: BilinearTable::new(ln_rho.clone(), ln_e.clone(), t_v),
             a2: BilinearTable::new(ln_rho.clone(), ln_e.clone(), a2_v),
@@ -199,7 +223,8 @@ impl EqTable {
             species_names,
             e_range: opts.e_range,
             rho_range: opts.rho_range,
-        })
+        };
+        Ok((table, telemetry))
     }
 
     /// Species names, table order.

@@ -89,10 +89,9 @@ impl EquilibriumGas {
         let mut a = vec![0.0; ne * ns];
         for (s, sp) in mix.species().iter().enumerate() {
             for (el, count) in &sp.elements {
-                let e = elements
-                    .iter()
-                    .position(|x| x == el)
-                    .unwrap_or_else(|| panic!("species {} has element {el:?} with no abundance", sp.name));
+                let e = elements.iter().position(|x| x == el).unwrap_or_else(|| {
+                    panic!("species {} has element {el:?} with no abundance", sp.name)
+                });
                 a[e * ns + s] = f64::from(*count);
             }
         }
@@ -302,7 +301,6 @@ impl EquilibriumGas {
         lambda
     }
 
-
     /// One damped-Newton attempt on the potentials. When the charged species
     /// are numerically irrelevant at this temperature (their largest ln n is
     /// hundreds of units below the neutrals'), the charge potential is held
@@ -347,16 +345,15 @@ impl EquilibriumGas {
             lambda[..ne].copy_from_slice(&x);
             result.map(|_| ())
         } else {
-            newton_solve(
-                |x, f| self.residual(x, phi, t, closure, f),
-                lambda,
-                opts,
-            )
-            .map(|_| ())
+            newton_solve(|x, f| self.residual(x, phi, t, closure, f), lambda, opts).map(|_| ())
         }
     }
 
     fn solve(&self, t: f64, closure: Closure) -> Result<EqState, String> {
+        aerothermo_numerics::telemetry::counters::add(
+            aerothermo_numerics::telemetry::Counter::EquilibriumStates,
+            1,
+        );
         let ns = self.mix.len();
         let phi: Vec<f64> = self
             .mix
@@ -614,7 +611,13 @@ pub fn air11_equilibrium() -> EquilibriumGas {
 #[must_use]
 pub fn air5_equilibrium() -> EquilibriumGas {
     use crate::species as sp;
-    let mix = Mixture::new(vec![sp::n2(), sp::o2(), sp::no(), sp::n_atom(), sp::o_atom()]);
+    let mix = Mixture::new(vec![
+        sp::n2(),
+        sp::o2(),
+        sp::no(),
+        sp::n_atom(),
+        sp::o_atom(),
+    ]);
     EquilibriumGas::new(mix, &[(Element::N, 3.76), (Element::O, 1.0)])
 }
 
@@ -634,10 +637,7 @@ pub fn jupiter_equilibrium(he_mole_fraction: f64) -> EquilibriumGas {
     let xh2 = 1.0 - he_mole_fraction;
     EquilibriumGas::new(
         mix,
-        &[
-            (Element::H, 2.0 * xh2),
-            (Element::He, he_mole_fraction),
-        ],
+        &[(Element::H, 2.0 * xh2), (Element::He, he_mole_fraction)],
     )
 }
 
@@ -814,7 +814,10 @@ mod tests {
         assert!((x_he - 0.11).abs() < 0.01, "x_He = {x_he}");
         // 6000 K, low pressure: H2 dissociated to atoms.
         let warm = gas.at_tp(6000.0, 1e3).unwrap();
-        assert!(warm.mole_fractions[idx(&gas, "H")] > 0.5, "H should dominate");
+        assert!(
+            warm.mole_fractions[idx(&gas, "H")] > 0.5,
+            "H should dominate"
+        );
         // 20 000 K: strong ionization.
         let hot = gas.at_tp(20_000.0, 1e4).unwrap();
         let x_e = hot.mole_fractions[idx(&gas, "e-")];
@@ -845,6 +848,11 @@ mod tests {
         let gas = air9_equilibrium();
         let cold = gas.at_tp(1000.0, 101_325.0).unwrap();
         let hot = gas.at_tp(8000.0, 101_325.0).unwrap();
-        assert!(hot.molar_mass < cold.molar_mass - 3.0, "Mbar should drop: {} -> {}", cold.molar_mass, hot.molar_mass);
+        assert!(
+            hot.molar_mass < cold.molar_mass - 3.0,
+            "Mbar should drop: {} -> {}",
+            cold.molar_mass,
+            hot.molar_mass
+        );
     }
 }

@@ -47,7 +47,11 @@ impl Arrhenius {
     pub fn from_cgs(a_cgs: f64, n: f64, theta: f64, order: u32) -> Self {
         // 1 cm³/mol = 1e-3 m³/kmol.
         let factor = 1e-3_f64.powi(order as i32 - 1);
-        Self { a: a_cgs * factor, n, theta }
+        Self {
+            a: a_cgs * factor,
+            n,
+            theta,
+        }
     }
 
     /// `ln k(T)` — safe against under/overflow.
@@ -233,11 +237,13 @@ impl ReactionSet {
     pub fn reaction_energy(&self, reaction: &Reaction) -> f64 {
         let mut de = 0.0;
         for (i, nu) in &reaction.products {
-            de += nu * aerothermo_numerics::constants::R_UNIVERSAL
+            de += nu
+                * aerothermo_numerics::constants::R_UNIVERSAL
                 * self.mixture.species()[*i].theta_f;
         }
         for (i, nu) in &reaction.reactants {
-            de -= nu * aerothermo_numerics::constants::R_UNIVERSAL
+            de -= nu
+                * aerothermo_numerics::constants::R_UNIVERSAL
                 * self.mixture.species()[*i].theta_f;
         }
         de
@@ -325,7 +331,12 @@ pub fn park_air9(mix: &Mixture) -> ReactionSet {
             products: vec![(n, 2.0)],
             forward: Arrhenius::from_cgs(7.0e21, -1.6, 113_200.0, 2),
             third_body: Some(eff(
-                &[(n, 30.0 / 7.0), (o, 30.0 / 7.0), (nip, 30.0 / 7.0), (oip, 30.0 / 7.0)],
+                &[
+                    (n, 30.0 / 7.0),
+                    (o, 30.0 / 7.0),
+                    (nip, 30.0 / 7.0),
+                    (oip, 30.0 / 7.0),
+                ],
                 true,
             )),
             rate_t: RateTemperature::ParkTTv,
@@ -335,10 +346,7 @@ pub fn park_air9(mix: &Mixture) -> ReactionSet {
             reactants: vec![(o2, 1.0)],
             products: vec![(o, 2.0)],
             forward: Arrhenius::from_cgs(2.0e21, -1.5, 59_500.0, 2),
-            third_body: Some(eff(
-                &[(n, 5.0), (o, 5.0), (nip, 5.0), (oip, 5.0)],
-                true,
-            )),
+            third_body: Some(eff(&[(n, 5.0), (o, 5.0), (nip, 5.0), (oip, 5.0)], true)),
             rate_t: RateTemperature::ParkTTv,
         },
         Reaction {
@@ -424,7 +432,10 @@ mod tests {
             .zip(set.mixture().species())
             .map(|(w, s)| (w * s.molar_mass).abs())
             .sum();
-        assert!(mass_rate.abs() < 1e-8 * scale.max(1e-300), "mass leak {mass_rate} vs {scale}");
+        assert!(
+            mass_rate.abs() < 1e-8 * scale.max(1e-300),
+            "mass leak {mass_rate} vs {scale}"
+        );
         let charge_rate: f64 = wdot
             .iter()
             .zip(set.mixture().species())
@@ -445,11 +456,7 @@ mod tests {
         let gas = air9_equilibrium();
         let set = park_air9(gas.mixture());
         let st = gas.at_tp(8000.0, 101_325.0).unwrap();
-        let conc: Vec<f64> = st
-            .number_densities
-            .iter()
-            .map(|n| n / N_AVOGADRO)
-            .collect();
+        let conc: Vec<f64> = st.number_densities.iter().map(|n| n / N_AVOGADRO).collect();
         let mut wdot = vec![0.0; 9];
         set.production_rates(8000.0, 8000.0, &conc, &mut wdot);
 

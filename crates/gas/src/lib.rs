@@ -21,8 +21,11 @@
 // Indexed loops over parallel arrays are the clearest idiom for the
 // numerical kernels here; spelled-out spectroscopic constants keep their
 // literature precision.
-#![allow(clippy::needless_range_loop, clippy::excessive_precision, clippy::type_complexity)]
-
+#![allow(
+    clippy::needless_range_loop,
+    clippy::excessive_precision,
+    clippy::type_complexity
+)]
 
 pub mod eq_table;
 pub mod equilibrium;
@@ -34,8 +37,8 @@ pub mod thermo;
 pub mod transport;
 
 pub use equilibrium::{
-    air11_equilibrium, air5_equilibrium, air9_equilibrium, jupiter_equilibrium,
-    titan_equilibrium, EqState, EquilibriumGas,
+    air11_equilibrium, air5_equilibrium, air9_equilibrium, jupiter_equilibrium, titan_equilibrium,
+    EqState, EquilibriumGas,
 };
 pub use model::{GasModel, IdealGas};
 pub use species::{Element, Rotation, Species, ViscModel};

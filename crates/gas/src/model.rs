@@ -60,7 +60,10 @@ impl IdealGas {
     /// Cold air: γ = 1.4, R = 287.05 J/(kg·K).
     #[must_use]
     pub fn air() -> Self {
-        Self { gamma: 1.4, r: 287.05 }
+        Self {
+            gamma: 1.4,
+            r: 287.05,
+        }
     }
 
     /// The "effective γ" hypersonic ideal-gas model of the era's engineering

@@ -94,15 +94,7 @@ impl RelaxationModel {
     /// temperatures, `p` pressure, `n` total number density.
     #[must_use]
     #[allow(clippy::too_many_arguments)]
-    pub fn q_trans_vib(
-        &self,
-        rho: f64,
-        y: &[f64],
-        t: f64,
-        tv: f64,
-        p: f64,
-        n: f64,
-    ) -> f64 {
+    pub fn q_trans_vib(&self, rho: f64, y: &[f64], t: f64, tv: f64, p: f64, n: f64) -> f64 {
         let x = self.mix.mass_to_mole(y);
         let mut q = 0.0;
         for &s in &self.molecules {

@@ -140,11 +140,18 @@ pub fn n2() -> Species {
         molar_mass: 28.0134,
         charge: 0,
         theta_f: 0.0,
-        rot: Rotation::Linear { theta_r: 2.88, sigma: 2.0 },
+        rot: Rotation::Linear {
+            theta_r: 2.88,
+            sigma: 2.0,
+        },
         vib_modes: vec![(3393.5, 1)],
         electronic: vec![(0.0, 1)],
         elements: vec![(Element::N, 2)],
-        viscosity: ViscModel::Blottner { a: 0.026_814_2, b: 0.317_783_8, c: -11.315_551_3 },
+        viscosity: ViscModel::Blottner {
+            a: 0.026_814_2,
+            b: 0.317_783_8,
+            c: -11.315_551_3,
+        },
     }
 }
 
@@ -156,11 +163,18 @@ pub fn o2() -> Species {
         molar_mass: 31.9988,
         charge: 0,
         theta_f: 0.0,
-        rot: Rotation::Linear { theta_r: 2.08, sigma: 2.0 },
+        rot: Rotation::Linear {
+            theta_r: 2.08,
+            sigma: 2.0,
+        },
         vib_modes: vec![(2273.5, 1)],
         electronic: vec![(0.0, 3), (11_392.0, 2), (18_985.0, 1)],
         elements: vec![(Element::O, 2)],
-        viscosity: ViscModel::Blottner { a: 0.044_929_0, b: -0.082_615_8, c: -9.201_947_5 },
+        viscosity: ViscModel::Blottner {
+            a: 0.044_929_0,
+            b: -0.082_615_8,
+            c: -9.201_947_5,
+        },
     }
 }
 
@@ -173,11 +187,18 @@ pub fn no() -> Species {
         // E0(N) + E0(O) − D0(NO); D0 taken as 75 500 K (6.50 eV).
         theta_f: 10_850.0,
         charge: 0,
-        rot: Rotation::Linear { theta_r: 2.45, sigma: 1.0 },
+        rot: Rotation::Linear {
+            theta_r: 2.45,
+            sigma: 1.0,
+        },
         vib_modes: vec![(2739.7, 1)],
         electronic: vec![(0.0, 4)],
         elements: vec![(Element::N, 1), (Element::O, 1)],
-        viscosity: ViscModel::Blottner { a: 0.043_637_8, b: -0.033_551_1, c: -9.576_743_0 },
+        viscosity: ViscModel::Blottner {
+            a: 0.043_637_8,
+            b: -0.033_551_1,
+            c: -9.576_743_0,
+        },
     }
 }
 
@@ -193,7 +214,11 @@ pub fn n_atom() -> Species {
         vib_modes: vec![],
         electronic: vec![(0.0, 4), (27_658.0, 10), (41_495.0, 6)],
         elements: vec![(Element::N, 1)],
-        viscosity: ViscModel::Blottner { a: 0.011_557_2, b: 0.603_167_9, c: -12.432_749_5 },
+        viscosity: ViscModel::Blottner {
+            a: 0.011_557_2,
+            b: 0.603_167_9,
+            c: -12.432_749_5,
+        },
     }
 }
 
@@ -210,7 +235,11 @@ pub fn o_atom() -> Species {
         // The ³P fine-structure multiplet is lumped into g=9 at zero energy.
         electronic: vec![(0.0, 9), (22_830.0, 5), (48_620.0, 1)],
         elements: vec![(Element::O, 1)],
-        viscosity: ViscModel::Blottner { a: 0.020_314_4, b: 0.429_440_4, c: -11.603_140_3 },
+        viscosity: ViscModel::Blottner {
+            a: 0.020_314_4,
+            b: 0.429_440_4,
+            c: -11.603_140_3,
+        },
     }
 }
 
@@ -226,7 +255,11 @@ pub fn n_ion() -> Species {
         vib_modes: vec![],
         electronic: vec![(0.0, 9)],
         elements: vec![(Element::N, 1)],
-        viscosity: ViscModel::Blottner { a: 0.011_557_2, b: 0.603_167_9, c: -12.432_749_5 },
+        viscosity: ViscModel::Blottner {
+            a: 0.011_557_2,
+            b: 0.603_167_9,
+            c: -12.432_749_5,
+        },
     }
 }
 
@@ -242,7 +275,11 @@ pub fn o_ion() -> Species {
         vib_modes: vec![],
         electronic: vec![(0.0, 4)],
         elements: vec![(Element::O, 1)],
-        viscosity: ViscModel::Blottner { a: 0.020_314_4, b: 0.429_440_4, c: -11.603_140_3 },
+        viscosity: ViscModel::Blottner {
+            a: 0.020_314_4,
+            b: 0.429_440_4,
+            c: -11.603_140_3,
+        },
     }
 }
 
@@ -254,11 +291,18 @@ pub fn no_ion() -> Species {
         molar_mass: 30.005_551,
         charge: 1,
         theta_f: 118_350.0,
-        rot: Rotation::Linear { theta_r: 2.86, sigma: 1.0 },
+        rot: Rotation::Linear {
+            theta_r: 2.86,
+            sigma: 1.0,
+        },
         vib_modes: vec![(3419.0, 1)],
         electronic: vec![(0.0, 1)],
         elements: vec![(Element::N, 1), (Element::O, 1)],
-        viscosity: ViscModel::Blottner { a: 0.043_637_8, b: -0.033_551_1, c: -9.576_743_0 },
+        viscosity: ViscModel::Blottner {
+            a: 0.043_637_8,
+            b: -0.033_551_1,
+            c: -9.576_743_0,
+        },
     }
 }
 
@@ -272,11 +316,18 @@ pub fn n2_ion() -> Species {
         molar_mass: 28.012_851,
         charge: 1,
         theta_f: 180_800.0,
-        rot: Rotation::Linear { theta_r: 2.80, sigma: 2.0 },
+        rot: Rotation::Linear {
+            theta_r: 2.80,
+            sigma: 2.0,
+        },
         vib_modes: vec![(3175.0, 1)],
         electronic: vec![(0.0, 2), (13_190.0, 4), (36_800.0, 2)],
         elements: vec![(Element::N, 2)],
-        viscosity: ViscModel::Blottner { a: 0.026_814_2, b: 0.317_783_8, c: -11.315_551_3 },
+        viscosity: ViscModel::Blottner {
+            a: 0.026_814_2,
+            b: 0.317_783_8,
+            c: -11.315_551_3,
+        },
     }
 }
 
@@ -288,11 +339,18 @@ pub fn o2_ion() -> Species {
         molar_mass: 31.998_251,
         charge: 1,
         theta_f: 140_100.0,
-        rot: Rotation::Linear { theta_r: 2.40, sigma: 2.0 },
+        rot: Rotation::Linear {
+            theta_r: 2.40,
+            sigma: 2.0,
+        },
         vib_modes: vec![(2741.0, 1)],
         electronic: vec![(0.0, 4)],
         elements: vec![(Element::O, 2)],
-        viscosity: ViscModel::Blottner { a: 0.044_929_0, b: -0.082_615_8, c: -9.201_947_5 },
+        viscosity: ViscModel::Blottner {
+            a: 0.044_929_0,
+            b: -0.082_615_8,
+            c: -9.201_947_5,
+        },
     }
 }
 
@@ -310,7 +368,10 @@ pub fn electron() -> Species {
         elements: vec![],
         // Electron viscosity is negligible; a tiny LJ cross-section keeps the
         // Wilke mixing rule well-defined.
-        viscosity: ViscModel::LennardJones { sigma: 1.0, eps_k: 10.0 },
+        viscosity: ViscModel::LennardJones {
+            sigma: 1.0,
+            eps_k: 10.0,
+        },
     }
 }
 
@@ -326,11 +387,17 @@ pub fn ch4() -> Species {
         // ΔHf(0 K) = −66.9 kJ/mol → −8 047 K; consistent with E0(C)+4·E0(H)
         // minus the 0 K atomization energy.
         theta_f: -8_047.0,
-        rot: Rotation::Nonlinear { theta_abc: 7.54, sigma: 12.0 },
+        rot: Rotation::Nonlinear {
+            theta_abc: 7.54,
+            sigma: 12.0,
+        },
         vib_modes: vec![(4196.0, 1), (2207.0, 2), (4343.0, 3), (1879.0, 3)],
         electronic: vec![(0.0, 1)],
         elements: vec![(Element::C, 1), (Element::H, 4)],
-        viscosity: ViscModel::LennardJones { sigma: 3.758, eps_k: 148.6 },
+        viscosity: ViscModel::LennardJones {
+            sigma: 3.758,
+            eps_k: 148.6,
+        },
     }
 }
 
@@ -343,13 +410,19 @@ pub fn cn() -> Species {
         charge: 0,
         // ΔHf(0 K) ≈ 435 kJ/mol → 52 320 K.
         theta_f: 52_320.0,
-        rot: Rotation::Linear { theta_r: 2.73, sigma: 1.0 },
+        rot: Rotation::Linear {
+            theta_r: 2.73,
+            sigma: 1.0,
+        },
         vib_modes: vec![(2976.0, 1)],
         // X²Σ ground, A²Π (1.15 eV), B²Σ (3.19 eV — upper state of the violet
         // system).
         electronic: vec![(0.0, 2), (13_090.0, 4), (37_020.0, 2)],
         elements: vec![(Element::C, 1), (Element::N, 1)],
-        viscosity: ViscModel::LennardJones { sigma: 3.856, eps_k: 75.0 },
+        viscosity: ViscModel::LennardJones {
+            sigma: 3.856,
+            eps_k: 75.0,
+        },
     }
 }
 
@@ -362,11 +435,17 @@ pub fn hcn() -> Species {
         charge: 0,
         // ΔHf(0 K) ≈ 135 kJ/mol → 16 240 K.
         theta_f: 16_240.0,
-        rot: Rotation::Linear { theta_r: 2.13, sigma: 1.0 },
+        rot: Rotation::Linear {
+            theta_r: 2.13,
+            sigma: 1.0,
+        },
         vib_modes: vec![(4764.0, 1), (1024.0, 2), (3017.0, 1)],
         electronic: vec![(0.0, 1)],
         elements: vec![(Element::C, 1), (Element::H, 1), (Element::N, 1)],
-        viscosity: ViscModel::LennardJones { sigma: 3.63, eps_k: 569.0 },
+        viscosity: ViscModel::LennardJones {
+            sigma: 3.63,
+            eps_k: 569.0,
+        },
     }
 }
 
@@ -379,11 +458,17 @@ pub fn c2() -> Species {
         charge: 0,
         // ΔHf(0 K) ≈ 820 kJ/mol → 98 680 K.
         theta_f: 98_680.0,
-        rot: Rotation::Linear { theta_r: 2.61, sigma: 2.0 },
+        rot: Rotation::Linear {
+            theta_r: 2.61,
+            sigma: 2.0,
+        },
         vib_modes: vec![(2668.5, 1)],
         electronic: vec![(0.0, 1), (1030.0, 6)],
         elements: vec![(Element::C, 2)],
-        viscosity: ViscModel::LennardJones { sigma: 3.913, eps_k: 78.8 },
+        viscosity: ViscModel::LennardJones {
+            sigma: 3.913,
+            eps_k: 78.8,
+        },
     }
 }
 
@@ -395,11 +480,17 @@ pub fn h2() -> Species {
         molar_mass: 2.01588,
         charge: 0,
         theta_f: 0.0,
-        rot: Rotation::Linear { theta_r: 87.5, sigma: 2.0 },
+        rot: Rotation::Linear {
+            theta_r: 87.5,
+            sigma: 2.0,
+        },
         vib_modes: vec![(6332.0, 1)],
         electronic: vec![(0.0, 1)],
         elements: vec![(Element::H, 2)],
-        viscosity: ViscModel::LennardJones { sigma: 2.827, eps_k: 59.7 },
+        viscosity: ViscModel::LennardJones {
+            sigma: 2.827,
+            eps_k: 59.7,
+        },
     }
 }
 
@@ -415,7 +506,10 @@ pub fn h_atom() -> Species {
         vib_modes: vec![],
         electronic: vec![(0.0, 2)],
         elements: vec![(Element::H, 1)],
-        viscosity: ViscModel::LennardJones { sigma: 2.708, eps_k: 37.0 },
+        viscosity: ViscModel::LennardJones {
+            sigma: 2.708,
+            eps_k: 37.0,
+        },
     }
 }
 
@@ -431,7 +525,10 @@ pub fn c_ion() -> Species {
         vib_modes: vec![],
         electronic: vec![(0.0, 6)],
         elements: vec![(Element::C, 1)],
-        viscosity: ViscModel::LennardJones { sigma: 3.385, eps_k: 31.0 },
+        viscosity: ViscModel::LennardJones {
+            sigma: 3.385,
+            eps_k: 31.0,
+        },
     }
 }
 
@@ -447,7 +544,10 @@ pub fn h_ion() -> Species {
         vib_modes: vec![],
         electronic: vec![(0.0, 1)],
         elements: vec![(Element::H, 1)],
-        viscosity: ViscModel::LennardJones { sigma: 2.708, eps_k: 37.0 },
+        viscosity: ViscModel::LennardJones {
+            sigma: 2.708,
+            eps_k: 37.0,
+        },
     }
 }
 
@@ -464,7 +564,10 @@ pub fn helium() -> Species {
         vib_modes: vec![],
         electronic: vec![(0.0, 1)],
         elements: vec![(Element::He, 1)],
-        viscosity: ViscModel::LennardJones { sigma: 2.551, eps_k: 10.22 },
+        viscosity: ViscModel::LennardJones {
+            sigma: 2.551,
+            eps_k: 10.22,
+        },
     }
 }
 
@@ -480,7 +583,10 @@ pub fn c_atom() -> Species {
         vib_modes: vec![],
         electronic: vec![(0.0, 9), (14_640.0, 5), (31_060.0, 1)],
         elements: vec![(Element::C, 1)],
-        viscosity: ViscModel::LennardJones { sigma: 3.385, eps_k: 31.0 },
+        viscosity: ViscModel::LennardJones {
+            sigma: 3.385,
+            eps_k: 31.0,
+        },
     }
 }
 
@@ -548,8 +654,7 @@ mod tests {
         let d0_cn = c_atom().theta_f + n_atom().theta_f - cn().theta_f;
         assert!(d0_cn > 80_000.0 && d0_cn < 100_000.0, "D0(CN)={d0_cn}");
         // CH4 is bound relative to C + 4H.
-        let d_atomization =
-            c_atom().theta_f + 4.0 * h_atom().theta_f - ch4().theta_f;
+        let d_atomization = c_atom().theta_f + 4.0 * h_atom().theta_f - ch4().theta_f;
         assert!(d_atomization > 180_000.0, "CH4 atomization {d_atomization}");
     }
 }

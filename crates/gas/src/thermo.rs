@@ -180,8 +180,7 @@ impl Species {
             Rotation::None => 0.0,
             Rotation::Linear { theta_r, sigma } => rs * ((t / (sigma * theta_r)).ln() + 1.0),
             Rotation::Nonlinear { theta_abc, sigma } => {
-                rs * (((std::f64::consts::PI * (t / theta_abc).powi(3)).sqrt() / sigma).ln()
-                    + 1.5)
+                rs * (((std::f64::consts::PI * (t / theta_abc).powi(3)).sqrt() / sigma).ln() + 1.5)
             }
         };
         // Vibrational per mode: s/R = θ/T/(e^{θ/T}−1) − ln(1 − e^{−θ/T}).
@@ -395,12 +394,7 @@ impl Mixture {
     ///
     /// # Errors
     /// Returns `Err` with a message when no temperature in range matches.
-    pub fn temperature_from_energy(
-        &self,
-        e: f64,
-        y: &[f64],
-        t_guess: f64,
-    ) -> Result<f64, String> {
+    pub fn temperature_from_energy(&self, e: f64, y: &[f64], t_guess: f64) -> Result<f64, String> {
         brent_expanding(
             |t| self.e_total(t, y) - e,
             t_guess.max(20.0),
@@ -498,7 +492,11 @@ mod tests {
         // At 300 K vibration is frozen: cp → (7/2) R_s.
         let sp = n2();
         let cp = sp.cp(300.0);
-        assert!((cp / sp.gas_constant() - 3.5).abs() < 0.01, "cp/R = {}", cp / sp.gas_constant());
+        assert!(
+            (cp / sp.gas_constant() - 3.5).abs() < 0.01,
+            "cp/R = {}",
+            cp / sp.gas_constant()
+        );
     }
 
     #[test]
@@ -619,7 +617,10 @@ mod tests {
         assert!(sp.q_internal(2000.0) > sp.q_internal(300.0));
         // Rotational part alone at 300 K: T/(σθr) ≈ 52.
         let q300 = sp.q_internal(300.0);
-        assert!((q300 - 300.0 / (2.0 * 2.88)).abs() / q300 < 0.05, "q300={q300}");
+        assert!(
+            (q300 - 300.0 / (2.0 * 2.88)).abs() / q300 < 0.05,
+            "q300={q300}"
+        );
     }
 
     #[test]

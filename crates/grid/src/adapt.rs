@@ -33,7 +33,10 @@ pub fn shock_envelope(shock_distance: &[f64], margin: f64) -> Vec<f64> {
         if !filled[i].is_finite() {
             let mut k = 1;
             loop {
-                let lo = i.checked_sub(k).map(|m| filled[m]).filter(|v| v.is_finite());
+                let lo = i
+                    .checked_sub(k)
+                    .map(|m| filled[m])
+                    .filter(|v| v.is_finite());
                 let hi = filled.get(i + k).copied().filter(|v| v.is_finite());
                 if let Some(v) = lo.or(hi) {
                     filled[i] = v;
@@ -94,7 +97,11 @@ pub fn blunt_body_adapted(
             }
         }
     }
-    StructuredGrid { x, r, geometry: crate::structured::Geometry::Axisymmetric }
+    StructuredGrid {
+        x,
+        r,
+        geometry: crate::structured::Geometry::Axisymmetric,
+    }
 }
 
 /// Fraction of the normal extent occupied by the shock layer after

@@ -55,7 +55,10 @@ impl Hemisphere {
     /// Full hemisphere of radius `rn`.
     #[must_use]
     pub fn new(rn: f64) -> Self {
-        Self { rn, theta_max: std::f64::consts::FRAC_PI_2 }
+        Self {
+            rn,
+            theta_max: std::f64::consts::FRAC_PI_2,
+        }
     }
 }
 
@@ -189,7 +192,12 @@ impl Hyperboloid {
             s_of_x.push((s, x));
             prev = (x, r);
         }
-        Self { rn, asymptote, length, s_of_x }
+        Self {
+            rn,
+            asymptote,
+            length,
+            s_of_x,
+        }
     }
 
     fn r_of_x(&self, x: f64) -> f64 {
@@ -259,7 +267,11 @@ mod tests {
 
     #[test]
     fn sphere_cone_tangency_is_smooth() {
-        let b = SphereCone { rn: 0.3, half_angle: 20f64.to_radians(), length: 2.0 };
+        let b = SphereCone {
+            rn: 0.3,
+            half_angle: 20f64.to_radians(),
+            length: 2.0,
+        };
         let st = b.rn * b.tangency_angle();
         let t_before = b.tangent(st - 1e-9);
         let t_after = b.tangent(st + 1e-9);
@@ -272,7 +284,11 @@ mod tests {
 
     #[test]
     fn sphere_cone_reaches_length() {
-        let b = SphereCone { rn: 0.3, half_angle: 20f64.to_radians(), length: 2.0 };
+        let b = SphereCone {
+            rn: 0.3,
+            half_angle: 20f64.to_radians(),
+            length: 2.0,
+        };
         let (x_end, _) = b.point(b.arc_length());
         assert!((x_end - 2.0).abs() < 1e-6, "x_end = {x_end}");
     }
@@ -283,7 +299,10 @@ mod tests {
         // Near the nose, r ≈ √(2·rn·x).
         let (x, r) = b.point(0.01);
         let r_expect = (2.0 * 1.2 * x).sqrt();
-        assert!((r - r_expect).abs() / r_expect < 0.01, "r = {r} vs {r_expect}");
+        assert!(
+            (r - r_expect).abs() / r_expect < 0.01,
+            "r = {r} vs {r_expect}"
+        );
     }
 
     #[test]
@@ -302,7 +321,11 @@ mod tests {
         // Distance between nearby points ≈ Δs for all bodies.
         let bodies: Vec<Box<dyn Body>> = vec![
             Box::new(Hemisphere::new(0.7)),
-            Box::new(SphereCone { rn: 0.4, half_angle: 0.3, length: 3.0 }),
+            Box::new(SphereCone {
+                rn: 0.4,
+                half_angle: 0.3,
+                length: 3.0,
+            }),
             Box::new(Hyperboloid::new(1.0, 0.7, 10.0)),
         ];
         for b in &bodies {

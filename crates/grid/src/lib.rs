@@ -18,8 +18,11 @@
 // Indexed loops over parallel arrays are the clearest idiom for the
 // numerical kernels here; spelled-out spectroscopic constants keep their
 // literature precision.
-#![allow(clippy::needless_range_loop, clippy::excessive_precision, clippy::type_complexity)]
-
+#![allow(
+    clippy::needless_range_loop,
+    clippy::excessive_precision,
+    clippy::type_complexity
+)]
 
 pub mod adapt;
 pub mod bodies;

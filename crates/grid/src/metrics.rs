@@ -130,7 +130,16 @@ impl Metrics {
             }
         }
 
-        Self { si_x, si_r, sj_x, sj_r, volume, xc, rc, plane_area }
+        Self {
+            si_x,
+            si_r,
+            sj_x,
+            sj_r,
+            volume,
+            xc,
+            rc,
+            plane_area,
+        }
     }
 
     /// Geometric-conservation check: the face normals of cell `(i, j)` must

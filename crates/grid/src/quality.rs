@@ -77,15 +77,13 @@ pub fn assess(grid: &StructuredGrid) -> QualityReport {
                 let clen = (cx * cx + cr * cr).sqrt().max(1e-300);
                 let cosang = ((sx * cx + sr * cr) / (area * clen)).abs();
                 max_skew = max_skew.max(1.0 - cosang);
-                let vjump = (m.volume[(i + 1, j)] / m.volume[(i, j)]).max(
-                    m.volume[(i, j)] / m.volume[(i + 1, j)],
-                );
+                let vjump = (m.volume[(i + 1, j)] / m.volume[(i, j)])
+                    .max(m.volume[(i, j)] / m.volume[(i + 1, j)]);
                 max_volume_jump = max_volume_jump.max(vjump);
             }
             if j + 1 < ncj {
-                let vjump = (m.volume[(i, j + 1)] / m.volume[(i, j)]).max(
-                    m.volume[(i, j)] / m.volume[(i, j + 1)],
-                );
+                let vjump = (m.volume[(i, j + 1)] / m.volume[(i, j)])
+                    .max(m.volume[(i, j)] / m.volume[(i, j + 1)]);
                 max_volume_jump = max_volume_jump.max(vjump);
             }
         }

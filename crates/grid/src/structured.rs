@@ -104,7 +104,11 @@ impl StructuredGrid {
                 }
             }
         }
-        Self { x, r, geometry: Geometry::Axisymmetric }
+        Self {
+            x,
+            r,
+            geometry: Geometry::Axisymmetric,
+        }
     }
 
     /// Cell centroid (arithmetic mean of the four corner nodes).

@@ -75,7 +75,7 @@ mod tests {
 
     #[test]
     fn radiation_constants_positive() {
-        assert!(C1_RADIATION > 0.0 && C2_RADIATION > 0.0);
+        const { assert!(C1_RADIATION > 0.0 && C2_RADIATION > 0.0) };
         // c2 ~ 1.4388e-2 m K
         assert!((C2_RADIATION - 1.4388e-2).abs() < 1e-5);
     }

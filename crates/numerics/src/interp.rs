@@ -218,7 +218,9 @@ impl BilinearTable {
         let z01 = self.z[i * ny + j + 1];
         let z10 = self.z[(i + 1) * ny + j];
         let z11 = self.z[(i + 1) * ny + j + 1];
-        z00 * (1.0 - tx) * (1.0 - ty) + z10 * tx * (1.0 - ty) + z01 * (1.0 - tx) * ty
+        z00 * (1.0 - tx) * (1.0 - ty)
+            + z10 * tx * (1.0 - ty)
+            + z01 * (1.0 - tx) * ty
             + z11 * tx * ty
     }
 }

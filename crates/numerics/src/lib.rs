@@ -13,7 +13,10 @@
 //! * [`interp`] — linear / monotone-cubic interpolation and bilinear tables,
 //! * [`quadrature`] — trapezoid, Simpson, Gauss-Legendre quadrature,
 //! * [`limiters`] — TVD slope limiters for MUSCL reconstruction,
-//! * [`constants`] — physical constants in SI units.
+//! * [`constants`] — physical constants in SI units,
+//! * [`telemetry`] — solver observability: kernel counters, phase timers,
+//!   residual monitors with divergence detection, and the shared
+//!   [`telemetry::SolverError`] type.
 //!
 //! Everything is `f64`; the structured-grid solvers in `aerothermo-solvers`
 //! are written against these primitives rather than an external array crate so
@@ -22,8 +25,11 @@
 // Indexed loops over parallel arrays are the clearest idiom for the
 // numerical kernels here; spelled-out spectroscopic constants keep their
 // literature precision.
-#![allow(clippy::needless_range_loop, clippy::excessive_precision, clippy::type_complexity)]
-
+#![allow(
+    clippy::needless_range_loop,
+    clippy::excessive_precision,
+    clippy::type_complexity
+)]
 
 pub mod constants;
 pub mod field;
@@ -34,6 +40,7 @@ pub mod newton;
 pub mod ode;
 pub mod quadrature;
 pub mod roots;
+pub mod telemetry;
 pub mod tridiag;
 
 pub use field::{Field2, Field3};

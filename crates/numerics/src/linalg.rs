@@ -235,7 +235,9 @@ mod tests {
         // Deterministic LCG so the test is reproducible without rand.
         let mut state = 0x1234_5678_u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
         };
         for n in [1usize, 2, 5, 9, 16] {

@@ -6,6 +6,7 @@
 //! finite-difference Jacobian fallback.
 
 use crate::linalg::{solve_dense, LinalgError};
+use crate::telemetry::{counters, Counter};
 
 /// Outcome of a Newton solve.
 #[derive(Debug, Clone)]
@@ -89,6 +90,7 @@ pub fn newton_solve(
     x: &mut [f64],
     opts: &NewtonOptions,
 ) -> Result<NewtonResult, NewtonError> {
+    counters::add(Counter::NewtonSolves, 1);
     let n = x.len();
     let mut f = vec![0.0; n];
     let mut ftrial = vec![0.0; n];
@@ -102,7 +104,17 @@ pub fn newton_solve(
     }
     let mut fnorm = inf_norm(&f);
 
+    // Flushes the iteration count to the global counter on every exit path.
+    struct IterFlush(u64);
+    impl Drop for IterFlush {
+        fn drop(&mut self) {
+            counters::add(Counter::NewtonIterations, self.0);
+        }
+    }
+    let mut iter_flush = IterFlush(0);
+
     for it in 0..opts.max_iter {
+        iter_flush.0 = it as u64;
         if fnorm <= opts.tol {
             return Ok(NewtonResult {
                 iterations: it,
@@ -207,8 +219,12 @@ mod tests {
     #[test]
     fn scalar_quadratic() {
         let mut x = vec![3.0];
-        let r = newton_solve(|x, f| f[0] = x[0] * x[0] - 2.0, &mut x, &NewtonOptions::default())
-            .unwrap();
+        let r = newton_solve(
+            |x, f| f[0] = x[0] * x[0] - 2.0,
+            &mut x,
+            &NewtonOptions::default(),
+        )
+        .unwrap();
         assert!(r.converged);
         assert!((x[0] - std::f64::consts::SQRT_2).abs() < 1e-8);
     }

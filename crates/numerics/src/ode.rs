@@ -8,6 +8,34 @@
 //! post-shock state needs, and the step controller keeps the accuracy.
 
 use crate::linalg::solve_dense;
+use crate::telemetry::{counters, Counter};
+
+/// Local accept/reject tally flushed to the global counters on drop, so
+/// error returns are counted too and the hot loop pays no atomics.
+struct StepTally {
+    accepted: u64,
+    rejected: u64,
+}
+
+impl StepTally {
+    fn new() -> Self {
+        Self {
+            accepted: 0,
+            rejected: 0,
+        }
+    }
+}
+
+impl Drop for StepTally {
+    fn drop(&mut self) {
+        if self.accepted > 0 {
+            counters::add(Counter::OdeStepsAccepted, self.accepted);
+        }
+        if self.rejected > 0 {
+            counters::add(Counter::OdeStepsRejected, self.rejected);
+        }
+    }
+}
 
 /// Right-hand side of `dy/dx = f(x, y)`: writes the derivative into `dydx`.
 pub trait OdeSystem {
@@ -118,10 +146,23 @@ const RKF_A: [[f64; 5]; 5] = [
     [3.0 / 32.0, 9.0 / 32.0, 0.0, 0.0, 0.0],
     [1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0, 0.0, 0.0],
     [439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0, 0.0],
-    [-8.0 / 27.0, 2.0, -3544.0 / 2565.0, 1859.0 / 4104.0, -11.0 / 40.0],
+    [
+        -8.0 / 27.0,
+        2.0,
+        -3544.0 / 2565.0,
+        1859.0 / 4104.0,
+        -11.0 / 40.0,
+    ],
 ];
 const RKF_C: [f64; 6] = [0.0, 0.25, 3.0 / 8.0, 12.0 / 13.0, 1.0, 0.5];
-const RKF_B4: [f64; 6] = [25.0 / 216.0, 0.0, 1408.0 / 2565.0, 2197.0 / 4104.0, -1.0 / 5.0, 0.0];
+const RKF_B4: [f64; 6] = [
+    25.0 / 216.0,
+    0.0,
+    1408.0 / 2565.0,
+    2197.0 / 4104.0,
+    -1.0 / 5.0,
+    0.0,
+];
 const RKF_B5: [f64; 6] = [
     16.0 / 135.0,
     0.0,
@@ -155,6 +196,7 @@ pub fn rkf45_integrate(
 
     observer(x, y);
     let mut steps = 0;
+    let mut tally = StepTally::new();
     while (x1 - x) * dir > 1e-14 * x1.abs().max(1.0) {
         if steps >= opts.max_steps {
             return Err(OdeError::TooManySteps(x));
@@ -196,6 +238,9 @@ pub fn rkf45_integrate(
             x += h;
             y.copy_from_slice(&y5);
             observer(x, y);
+            tally.accepted += 1;
+        } else {
+            tally.rejected += 1;
         }
 
         // PI-free simple controller.
@@ -246,6 +291,7 @@ pub fn stiff_integrate(
 
     observer(x, y);
     let mut steps = 0;
+    let mut tally = StepTally::new();
     while (x1 - x) * dir > 1e-14 * x1.abs().max(1.0) {
         if steps >= opts.max_steps {
             return Err(OdeError::TooManySteps(x));
@@ -260,10 +306,11 @@ pub fn stiff_integrate(
         let ok_full = be_step(sys, x, &mut yfull, h);
         // Two half steps.
         yhalf.copy_from_slice(y);
-        let ok_half = be_step(sys, x, &mut yhalf, 0.5 * h)
-            && be_step(sys, x + 0.5 * h, &mut yhalf, 0.5 * h);
+        let ok_half =
+            be_step(sys, x, &mut yhalf, 0.5 * h) && be_step(sys, x + 0.5 * h, &mut yhalf, 0.5 * h);
 
         if !(ok_full && ok_half) {
+            tally.rejected += 1;
             h *= 0.25;
             if h.abs() < opts.hmin {
                 return Err(OdeError::NewtonFailure(x));
@@ -284,6 +331,9 @@ pub fn stiff_integrate(
                 y[i] = 2.0 * yhalf[i] - yfull[i];
             }
             observer(x, y);
+            tally.accepted += 1;
+        } else {
+            tally.rejected += 1;
         }
 
         let factor = if err > 0.0 {

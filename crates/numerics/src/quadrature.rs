@@ -25,7 +25,10 @@ pub fn trapz(xs: &[f64], ys: &[f64]) -> f64 {
 /// Panics when `n` is odd or zero.
 #[must_use]
 pub fn simpson(mut f: impl FnMut(f64) -> f64, a: f64, b: f64, n: usize) -> f64 {
-    assert!(n >= 2 && n.is_multiple_of(2), "simpson needs an even interval count");
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "simpson needs an even interval count"
+    );
     let h = (b - a) / n as f64;
     let mut s = f(a) + f(b);
     for i in 1..n {

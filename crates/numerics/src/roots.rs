@@ -35,7 +35,12 @@ impl std::error::Error for RootError {}
 ///
 /// # Errors
 /// [`RootError::NoBracket`] when `f(a)·f(b) > 0`.
-pub fn bisect(mut f: impl FnMut(f64) -> f64, mut a: f64, mut b: f64, tol: f64) -> Result<f64, RootError> {
+pub fn bisect(
+    mut f: impl FnMut(f64) -> f64,
+    mut a: f64,
+    mut b: f64,
+    tol: f64,
+) -> Result<f64, RootError> {
     let mut fa = f(a);
     let fb = f(b);
     if fa == 0.0 {
@@ -70,7 +75,12 @@ pub fn bisect(mut f: impl FnMut(f64) -> f64, mut a: f64, mut b: f64, tol: f64) -
 /// # Errors
 /// [`RootError::NoBracket`] when the endpoints do not bracket a root;
 /// [`RootError::MaxIterations`] if 100 iterations do not reach `tol`.
-pub fn brent(mut f: impl FnMut(f64) -> f64, mut a: f64, mut b: f64, tol: f64) -> Result<f64, RootError> {
+pub fn brent(
+    mut f: impl FnMut(f64) -> f64,
+    mut a: f64,
+    mut b: f64,
+    tol: f64,
+) -> Result<f64, RootError> {
     let mut fa = f(a);
     let mut fb = f(b);
     if fa == 0.0 {

@@ -1,0 +1,551 @@
+//! Solver telemetry and convergence observability.
+//!
+//! Dependency-free instrumentation threaded through every solver and hot
+//! kernel in the workspace:
+//!
+//! - [`counters`]: process-wide named counters (Newton iterations,
+//!   tridiagonal solves, chemistry substeps, rejected ODE steps, …) backed
+//!   by relaxed atomics — one integer add per *solve*, not per cell, so the
+//!   overhead on the solver kernels is unmeasurable.
+//! - [`RunTelemetry`]: a per-run sink collecting monotonic wall-clock phase
+//!   timings, residual convergence histories, and the counter deltas
+//!   attributable to the run.
+//! - [`ResidualMonitor`]: per-iteration residual recording with early
+//!   NaN/Inf detection and sliding-window divergence detection, so an
+//!   unstable run terminates with [`SolverError::Diverged`] instead of
+//!   spinning to the iteration cap.
+//! - [`SolverError`]: the typed error shared by all equation-set solvers,
+//!   replacing the previous bare `String` errors. `Display` output keeps
+//!   the wording of the old messages (lower-level `String` diagnostics pass
+//!   through [`SolverError::Numerical`] verbatim).
+
+use std::time::Instant;
+
+/// Named process-wide counters incremented by the numerical kernels.
+pub mod counters {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// The fixed set of instrumented kernel events.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    #[repr(usize)]
+    pub enum Counter {
+        /// Damped-Newton solves started ([`crate::newton::newton_solve`]).
+        NewtonSolves,
+        /// Total Newton iterations across all solves.
+        NewtonIterations,
+        /// Scalar tridiagonal (Thomas) solves.
+        TridiagSolves,
+        /// Block-tridiagonal solves.
+        BlockTridiagSolves,
+        /// Chemistry operator-split substeps (reacting solver).
+        ChemistrySubsteps,
+        /// Accepted adaptive ODE steps (RKF45 + stiff backward Euler).
+        OdeStepsAccepted,
+        /// Rejected (error-controlled retry) adaptive ODE steps.
+        OdeStepsRejected,
+        /// Equilibrium-composition state evaluations.
+        EquilibriumStates,
+        /// Spectrum wavelength-point evaluations (radiation).
+        SpectrumPoints,
+    }
+
+    /// Number of distinct counters.
+    pub const N_COUNTERS: usize = 9;
+
+    impl Counter {
+        /// Every counter, in declaration order.
+        pub const ALL: [Counter; N_COUNTERS] = [
+            Counter::NewtonSolves,
+            Counter::NewtonIterations,
+            Counter::TridiagSolves,
+            Counter::BlockTridiagSolves,
+            Counter::ChemistrySubsteps,
+            Counter::OdeStepsAccepted,
+            Counter::OdeStepsRejected,
+            Counter::EquilibriumStates,
+            Counter::SpectrumPoints,
+        ];
+
+        /// Stable snake_case name (used as the JSON report key).
+        #[must_use]
+        pub fn name(self) -> &'static str {
+            match self {
+                Counter::NewtonSolves => "newton_solves",
+                Counter::NewtonIterations => "newton_iterations",
+                Counter::TridiagSolves => "tridiag_solves",
+                Counter::BlockTridiagSolves => "block_tridiag_solves",
+                Counter::ChemistrySubsteps => "chemistry_substeps",
+                Counter::OdeStepsAccepted => "ode_steps_accepted",
+                Counter::OdeStepsRejected => "ode_steps_rejected",
+                Counter::EquilibriumStates => "equilibrium_states",
+                Counter::SpectrumPoints => "spectrum_points",
+            }
+        }
+    }
+
+    static COUNTERS: [AtomicU64; N_COUNTERS] = [
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+    ];
+
+    /// Add `n` to a counter (relaxed; safe from any thread).
+    #[inline]
+    pub fn add(counter: Counter, n: u64) {
+        COUNTERS[counter as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value of one counter.
+    #[must_use]
+    pub fn get(counter: Counter) -> u64 {
+        COUNTERS[counter as usize].load(Ordering::Relaxed)
+    }
+
+    /// Reset every counter to zero (tests and bench harnesses only).
+    pub fn reset_all() {
+        for c in &COUNTERS {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of all counters.
+    #[derive(Debug, Clone, Default, PartialEq, Eq)]
+    pub struct CounterSnapshot {
+        values: [u64; N_COUNTERS],
+    }
+
+    impl CounterSnapshot {
+        /// Snapshot the current counter values.
+        #[must_use]
+        pub fn take() -> Self {
+            let mut values = [0u64; N_COUNTERS];
+            for (v, c) in values.iter_mut().zip(&COUNTERS) {
+                *v = c.load(Ordering::Relaxed);
+            }
+            Self { values }
+        }
+
+        /// Counters accumulated since `earlier` (saturating).
+        #[must_use]
+        pub fn delta_since(&self, earlier: &Self) -> Self {
+            let mut values = [0u64; N_COUNTERS];
+            for i in 0..N_COUNTERS {
+                values[i] = self.values[i].saturating_sub(earlier.values[i]);
+            }
+            Self { values }
+        }
+
+        /// Value of one counter in this snapshot.
+        #[must_use]
+        pub fn get(&self, counter: Counter) -> u64 {
+            self.values[counter as usize]
+        }
+
+        /// Iterate `(name, value)` pairs in declaration order.
+        pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+            Counter::ALL
+                .iter()
+                .map(|&c| (c.name(), self.values[c as usize]))
+        }
+    }
+}
+
+pub use counters::{Counter, CounterSnapshot};
+
+/// Typed error shared by every equation-set solver and instrumented kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverError {
+    /// The residual grew past the divergence threshold; the run was cut
+    /// short instead of spinning to the iteration cap.
+    Diverged {
+        /// Iteration at which divergence was detected.
+        iter: usize,
+        /// Residual value at detection.
+        residual: f64,
+    },
+    /// A NaN/Inf appeared in the named field at cell `(i, j)` (for
+    /// residual-level detection without a cell, `i` is the iteration and
+    /// `j` is 0).
+    NonFinite {
+        /// Field or quantity that went non-finite.
+        field: &'static str,
+        /// First affected i-index (or iteration).
+        i: usize,
+        /// First affected j-index.
+        j: usize,
+    },
+    /// An iteration budget ran out without meeting the tolerance.
+    IterationLimit {
+        /// What was iterating (e.g. "VSL standoff iteration").
+        context: String,
+        /// The budget that was exhausted.
+        iters: usize,
+        /// Residual when the budget ran out (NaN if unknown).
+        residual: f64,
+    },
+    /// The problem specification itself is invalid.
+    BadInput(String),
+    /// A lower-level numerical routine failed; the message is preserved
+    /// verbatim (this is the compatibility path for the old `String`
+    /// errors).
+    Numerical(String),
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::Diverged { iter, residual } => {
+                write!(
+                    f,
+                    "solver diverged at iteration {iter} (residual {residual:.3e})"
+                )
+            }
+            SolverError::NonFinite { field, i, j } => {
+                write!(f, "non-finite {field} at ({i}, {j})")
+            }
+            SolverError::IterationLimit {
+                context,
+                iters,
+                residual,
+            } => {
+                if residual.is_finite() {
+                    write!(f, "{context} did not converge in {iters} iterations (residual {residual:.3e})")
+                } else {
+                    write!(f, "{context} did not converge in {iters} iterations")
+                }
+            }
+            SolverError::BadInput(msg) | SolverError::Numerical(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+impl From<String> for SolverError {
+    fn from(msg: String) -> Self {
+        SolverError::Numerical(msg)
+    }
+}
+
+impl From<&str> for SolverError {
+    fn from(msg: &str) -> Self {
+        SolverError::Numerical(msg.to_string())
+    }
+}
+
+/// Tuning for [`ResidualMonitor`]'s divergence detection.
+#[derive(Debug, Clone)]
+pub struct MonitorOptions {
+    /// Iterations ignored before divergence checks arm (startup transients
+    /// legitimately grow the residual while the flow field forms).
+    pub grace: usize,
+    /// Declare divergence when the residual exceeds `growth_ratio` × the
+    /// best residual seen so far (after `grace`).
+    pub growth_ratio: f64,
+    /// Sliding-window length: divergence also triggers when the residual
+    /// has grown monotonically across this many consecutive iterations by
+    /// at least `window_growth` overall.
+    pub window: usize,
+    /// Minimum overall growth across the window to call it divergence.
+    pub window_growth: f64,
+}
+
+impl Default for MonitorOptions {
+    fn default() -> Self {
+        Self {
+            grace: 50,
+            growth_ratio: 1e6,
+            window: 25,
+            window_growth: 1e3,
+        }
+    }
+}
+
+/// Per-iteration residual recorder with early NaN/Inf and divergence
+/// detection.
+///
+/// Feed it the residual each solver iteration already computes; it returns
+/// `Err` as soon as the history is demonstrably diverging so the caller can
+/// abort with a typed [`SolverError`] instead of running to the cap.
+#[derive(Debug, Clone)]
+pub struct ResidualMonitor {
+    history: Vec<f64>,
+    best: f64,
+    opts: MonitorOptions,
+}
+
+impl ResidualMonitor {
+    /// Monitor with default options.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_options(MonitorOptions::default())
+    }
+
+    /// Monitor with explicit divergence tuning.
+    #[must_use]
+    pub fn with_options(opts: MonitorOptions) -> Self {
+        Self {
+            history: Vec::new(),
+            best: f64::INFINITY,
+            opts,
+        }
+    }
+
+    /// Record one residual; `Err` on NaN/Inf or detected divergence.
+    ///
+    /// # Errors
+    /// [`SolverError::NonFinite`] when the residual is NaN/Inf (with `i` =
+    /// iteration index), [`SolverError::Diverged`] when the growth criteria
+    /// trip.
+    pub fn record(&mut self, residual: f64) -> Result<(), SolverError> {
+        let iter = self.history.len();
+        self.history.push(residual);
+        if !residual.is_finite() {
+            return Err(SolverError::NonFinite {
+                field: "residual",
+                i: iter,
+                j: 0,
+            });
+        }
+        if iter >= self.opts.grace {
+            if residual > self.opts.growth_ratio * self.best {
+                return Err(SolverError::Diverged { iter, residual });
+            }
+            let w = self.opts.window;
+            if iter + 1 >= w.max(2) {
+                let window = &self.history[iter + 1 - w..=iter];
+                let monotone = window.windows(2).all(|p| p[1] >= p[0]);
+                if monotone && residual > self.opts.window_growth * window[0].max(1e-300) {
+                    return Err(SolverError::Diverged { iter, residual });
+                }
+            }
+            // `best` deliberately excludes the grace window: impulsive
+            // starts from uniform flow begin at a near-zero residual that
+            // would make legitimate transient growth look like divergence.
+            self.best = self.best.min(residual);
+        }
+        Ok(())
+    }
+
+    /// Residual history so far (index = iteration).
+    #[must_use]
+    pub fn history(&self) -> &[f64] {
+        &self.history
+    }
+
+    /// Consume the monitor, returning the history.
+    #[must_use]
+    pub fn into_history(self) -> Vec<f64> {
+        self.history
+    }
+
+    /// Iterations recorded.
+    #[must_use]
+    pub fn iterations(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Best (smallest) finite residual seen.
+    #[must_use]
+    pub fn best(&self) -> f64 {
+        self.best
+    }
+}
+
+impl Default for ResidualMonitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-run telemetry sink: wall-clock phases, residual histories, and the
+/// counter deltas attributable to the run.
+#[derive(Debug, Clone)]
+pub struct RunTelemetry {
+    started: Instant,
+    counters_at_start: CounterSnapshot,
+    phases: Vec<(String, f64)>,
+    histories: Vec<(String, Vec<f64>)>,
+}
+
+impl RunTelemetry {
+    /// Start a telemetry scope now (snapshots the global counters).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            counters_at_start: CounterSnapshot::take(),
+            phases: Vec::new(),
+            histories: Vec::new(),
+        }
+    }
+
+    /// Time a phase with the monotonic clock and record it.
+    pub fn time_phase<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let out = f();
+        self.add_phase_secs(name, t0.elapsed().as_secs_f64());
+        out
+    }
+
+    /// Record a phase timing measured externally (accumulates on repeat).
+    pub fn add_phase_secs(&mut self, name: &str, secs: f64) {
+        if let Some(p) = self.phases.iter_mut().find(|(n, _)| n == name) {
+            p.1 += secs;
+        } else {
+            self.phases.push((name.to_string(), secs));
+        }
+    }
+
+    /// Attach a residual convergence history (replaces an existing history
+    /// of the same name — reruns overwrite, they don't append).
+    pub fn record_history(&mut self, name: &str, history: Vec<f64>) {
+        if let Some(h) = self.histories.iter_mut().find(|(n, _)| n == name) {
+            h.1 = history;
+        } else {
+            self.histories.push((name.to_string(), history));
+        }
+    }
+
+    /// Counter deltas accumulated since this scope started.
+    #[must_use]
+    pub fn counters(&self) -> CounterSnapshot {
+        CounterSnapshot::take().delta_since(&self.counters_at_start)
+    }
+
+    /// Wall-clock seconds since the scope started (monotonic).
+    #[must_use]
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Recorded `(name, seconds)` phases.
+    #[must_use]
+    pub fn phases(&self) -> &[(String, f64)] {
+        &self.phases
+    }
+
+    /// Recorded `(name, residuals)` histories.
+    #[must_use]
+    pub fn histories(&self) -> &[(String, Vec<f64>)] {
+        &self.histories
+    }
+}
+
+impl Default for RunTelemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot_deltas() {
+        let before = CounterSnapshot::take();
+        counters::add(Counter::TridiagSolves, 3);
+        counters::add(Counter::NewtonIterations, 7);
+        let delta = CounterSnapshot::take().delta_since(&before);
+        assert!(delta.get(Counter::TridiagSolves) >= 3);
+        assert!(delta.get(Counter::NewtonIterations) >= 7);
+        assert_eq!(delta.iter().count(), counters::N_COUNTERS);
+    }
+
+    #[test]
+    fn monitor_accepts_converging_history() {
+        let mut m = ResidualMonitor::new();
+        for k in 0..500 {
+            let r = 1.0 * (0.99_f64).powi(k);
+            m.record(r).unwrap();
+        }
+        assert_eq!(m.iterations(), 500);
+        assert!(m.best() < 1e-2);
+    }
+
+    #[test]
+    fn monitor_tolerates_startup_transient() {
+        // Residual grows 100x while the flow forms, then converges — the
+        // grace window must keep this from tripping as divergence.
+        let mut m = ResidualMonitor::new();
+        for k in 0..40 {
+            m.record(1e-3 * 1.2_f64.powi(k)).unwrap();
+        }
+        for k in 0..200 {
+            m.record(0.15 * 0.95_f64.powi(k)).unwrap();
+        }
+    }
+
+    #[test]
+    fn monitor_detects_nan() {
+        let mut m = ResidualMonitor::new();
+        m.record(1.0).unwrap();
+        let err = m.record(f64::NAN).unwrap_err();
+        assert!(matches!(
+            err,
+            SolverError::NonFinite {
+                field: "residual",
+                i: 1,
+                j: 0
+            }
+        ));
+    }
+
+    #[test]
+    fn monitor_detects_explosive_growth() {
+        let mut m = ResidualMonitor::with_options(MonitorOptions {
+            grace: 10,
+            ..MonitorOptions::default()
+        });
+        let mut r = 1e-2;
+        let mut tripped = None;
+        for iter in 0..200 {
+            r *= 2.0;
+            if let Err(e) = m.record(r) {
+                tripped = Some((iter, e));
+                break;
+            }
+        }
+        let (iter, err) = tripped.expect("divergence not detected");
+        assert!(iter < 60, "detection too slow: iter {iter}");
+        assert!(matches!(err, SolverError::Diverged { .. }));
+    }
+
+    #[test]
+    fn solver_error_display_preserves_strings() {
+        let e: SolverError = String::from("freestream state: bad T").into();
+        assert_eq!(e.to_string(), "freestream state: bad T");
+        let d = SolverError::Diverged {
+            iter: 42,
+            residual: 3.0e9,
+        };
+        assert!(d.to_string().contains("iteration 42"));
+        let nf = SolverError::NonFinite {
+            field: "rho",
+            i: 3,
+            j: 9,
+        };
+        assert_eq!(nf.to_string(), "non-finite rho at (3, 9)");
+    }
+
+    #[test]
+    fn telemetry_records_phases_and_histories() {
+        let mut t = RunTelemetry::new();
+        let x = t.time_phase("setup", || 41 + 1);
+        assert_eq!(x, 42);
+        t.add_phase_secs("setup", 0.0);
+        t.record_history("res", vec![1.0, 0.5]);
+        t.record_history("res", vec![1.0, 0.5, 0.25]);
+        assert_eq!(t.phases().len(), 1);
+        assert_eq!(t.histories().len(), 1);
+        assert_eq!(t.histories()[0].1.len(), 3);
+        assert!(t.elapsed_secs() >= 0.0);
+    }
+}

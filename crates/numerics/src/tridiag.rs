@@ -7,6 +7,7 @@
 //! [`crate::linalg`].
 
 use crate::linalg::{lu_factor, lu_solve, LinalgError};
+use crate::telemetry::{counters, Counter};
 
 /// Solve a scalar tridiagonal system
 /// `a[i]·x[i-1] + b[i]·x[i] + c[i]·x[i+1] = d[i]` in place; the solution
@@ -23,12 +24,8 @@ use crate::linalg::{lu_factor, lu_solve, LinalgError};
 /// # Errors
 /// [`LinalgError::Singular`] when forward elimination hits a ~0 pivot, and
 /// [`LinalgError::Dimension`] on length mismatch.
-pub fn solve_tridiag(
-    a: &[f64],
-    b: &[f64],
-    c: &[f64],
-    d: &mut [f64],
-) -> Result<(), LinalgError> {
+pub fn solve_tridiag(a: &[f64], b: &[f64], c: &[f64], d: &mut [f64]) -> Result<(), LinalgError> {
+    counters::add(Counter::TridiagSolves, 1);
     let n = d.len();
     if a.len() != n || b.len() != n || c.len() != n {
         return Err(LinalgError::Dimension);
@@ -77,6 +74,7 @@ pub fn solve_block_tridiag(
     n: usize,
     m: usize,
 ) -> Result<(), LinalgError> {
+    counters::add(Counter::BlockTridiagSolves, 1);
     let mm = m * m;
     if a.len() != n * mm || b.len() != n * mm || c.len() != n * mm || d.len() != n * m {
         return Err(LinalgError::Dimension);

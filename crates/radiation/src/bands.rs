@@ -64,11 +64,26 @@ pub fn standard_systems() -> Vec<BandSystem> {
             tail_width: 6.0e-9,
             shading: Shading::Violet,
             bands: vec![
-                VibBand { lambda_head: 391.4e-9, weight: 1.0 },
-                VibBand { lambda_head: 427.8e-9, weight: 0.30 },
-                VibBand { lambda_head: 358.2e-9, weight: 0.25 },
-                VibBand { lambda_head: 470.9e-9, weight: 0.08 },
-                VibBand { lambda_head: 330.8e-9, weight: 0.05 },
+                VibBand {
+                    lambda_head: 391.4e-9,
+                    weight: 1.0,
+                },
+                VibBand {
+                    lambda_head: 427.8e-9,
+                    weight: 0.30,
+                },
+                VibBand {
+                    lambda_head: 358.2e-9,
+                    weight: 0.25,
+                },
+                VibBand {
+                    lambda_head: 470.9e-9,
+                    weight: 0.08,
+                },
+                VibBand {
+                    lambda_head: 330.8e-9,
+                    weight: 0.05,
+                },
             ],
         },
         // N2 second positive, C³Πu → B³Πg.
@@ -81,11 +96,26 @@ pub fn standard_systems() -> Vec<BandSystem> {
             tail_width: 5.0e-9,
             shading: Shading::Violet,
             bands: vec![
-                VibBand { lambda_head: 337.1e-9, weight: 1.0 },
-                VibBand { lambda_head: 357.7e-9, weight: 0.70 },
-                VibBand { lambda_head: 315.9e-9, weight: 0.50 },
-                VibBand { lambda_head: 380.5e-9, weight: 0.30 },
-                VibBand { lambda_head: 297.7e-9, weight: 0.15 },
+                VibBand {
+                    lambda_head: 337.1e-9,
+                    weight: 1.0,
+                },
+                VibBand {
+                    lambda_head: 357.7e-9,
+                    weight: 0.70,
+                },
+                VibBand {
+                    lambda_head: 315.9e-9,
+                    weight: 0.50,
+                },
+                VibBand {
+                    lambda_head: 380.5e-9,
+                    weight: 0.30,
+                },
+                VibBand {
+                    lambda_head: 297.7e-9,
+                    weight: 0.15,
+                },
             ],
         },
         // N2 first positive, B³Πg → A³Σu⁺ (red-shaded, 0.5–1.05 μm).
@@ -98,12 +128,30 @@ pub fn standard_systems() -> Vec<BandSystem> {
             tail_width: 15.0e-9,
             shading: Shading::Red,
             bands: vec![
-                VibBand { lambda_head: 1046.9e-9, weight: 0.5 },
-                VibBand { lambda_head: 891.2e-9, weight: 0.8 },
-                VibBand { lambda_head: 775.3e-9, weight: 1.0 },
-                VibBand { lambda_head: 687.5e-9, weight: 0.8 },
-                VibBand { lambda_head: 632.3e-9, weight: 0.6 },
-                VibBand { lambda_head: 580.4e-9, weight: 0.35 },
+                VibBand {
+                    lambda_head: 1046.9e-9,
+                    weight: 0.5,
+                },
+                VibBand {
+                    lambda_head: 891.2e-9,
+                    weight: 0.8,
+                },
+                VibBand {
+                    lambda_head: 775.3e-9,
+                    weight: 1.0,
+                },
+                VibBand {
+                    lambda_head: 687.5e-9,
+                    weight: 0.8,
+                },
+                VibBand {
+                    lambda_head: 632.3e-9,
+                    weight: 0.6,
+                },
+                VibBand {
+                    lambda_head: 580.4e-9,
+                    weight: 0.35,
+                },
             ],
         },
         // CN violet, B²Σ⁺ → X²Σ⁺ — the Titan-entry radiator (Figs. 2–3).
@@ -116,10 +164,22 @@ pub fn standard_systems() -> Vec<BandSystem> {
             tail_width: 5.0e-9,
             shading: Shading::Violet,
             bands: vec![
-                VibBand { lambda_head: 388.3e-9, weight: 1.0 },
-                VibBand { lambda_head: 421.6e-9, weight: 0.28 },
-                VibBand { lambda_head: 359.0e-9, weight: 0.33 },
-                VibBand { lambda_head: 460.6e-9, weight: 0.06 },
+                VibBand {
+                    lambda_head: 388.3e-9,
+                    weight: 1.0,
+                },
+                VibBand {
+                    lambda_head: 421.6e-9,
+                    weight: 0.28,
+                },
+                VibBand {
+                    lambda_head: 359.0e-9,
+                    weight: 0.33,
+                },
+                VibBand {
+                    lambda_head: 460.6e-9,
+                    weight: 0.06,
+                },
             ],
         },
         // CN red, A²Π → X²Σ⁺ (near IR, weaker).
@@ -132,9 +192,18 @@ pub fn standard_systems() -> Vec<BandSystem> {
             tail_width: 20.0e-9,
             shading: Shading::Red,
             bands: vec![
-                VibBand { lambda_head: 1090.0e-9, weight: 1.0 },
-                VibBand { lambda_head: 920.0e-9, weight: 0.8 },
-                VibBand { lambda_head: 790.0e-9, weight: 0.5 },
+                VibBand {
+                    lambda_head: 1090.0e-9,
+                    weight: 1.0,
+                },
+                VibBand {
+                    lambda_head: 920.0e-9,
+                    weight: 0.8,
+                },
+                VibBand {
+                    lambda_head: 790.0e-9,
+                    weight: 0.5,
+                },
             ],
         },
     ]

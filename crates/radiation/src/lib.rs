@@ -17,8 +17,11 @@
 // Indexed loops over parallel arrays are the clearest idiom for the
 // numerical kernels here; spelled-out spectroscopic constants keep their
 // literature precision.
-#![allow(clippy::needless_range_loop, clippy::excessive_precision, clippy::type_complexity)]
-
+#![allow(
+    clippy::needless_range_loop,
+    clippy::excessive_precision,
+    clippy::type_complexity
+)]
 
 pub mod bands;
 pub mod lines;
@@ -51,7 +54,11 @@ impl GasSample {
     /// An equilibrium sample (T_exc = T).
     #[must_use]
     pub fn equilibrium(t: f64, densities: Vec<(String, f64)>) -> Self {
-        Self { t, t_exc: t, densities }
+        Self {
+            t,
+            t_exc: t,
+            densities,
+        }
     }
 }
 
@@ -73,10 +80,7 @@ mod tests {
 
     #[test]
     fn gas_sample_lookup() {
-        let s = GasSample::equilibrium(
-            5000.0,
-            vec![("N2".into(), 1e22), ("CN".into(), 1e18)],
-        );
+        let s = GasSample::equilibrium(5000.0, vec![("N2".into(), 1e22), ("CN".into(), 1e18)]);
         assert_eq!(s.density_of("CN"), 1e18);
         assert_eq!(s.density_of("O2"), 0.0);
         assert_eq!(s.t_exc, s.t);

@@ -37,22 +37,113 @@ const M_H: f64 = 1.00794 / 6.022_140_76e26;
 pub fn standard_lines() -> Vec<AtomicLine> {
     vec![
         // N I 3s⁴P → 3p⁴S/⁴P/⁴D multiplets.
-        AtomicLine { species: "N", lambda: 746.8e-9, a_ul: 1.96e7, theta_u: 139_200.0, g_u: 6.0, mass: M_N },
-        AtomicLine { species: "N", lambda: 821.6e-9, a_ul: 2.27e7, theta_u: 137_400.0, g_u: 10.0, mass: M_N },
-        AtomicLine { species: "N", lambda: 868.0e-9, a_ul: 2.53e7, theta_u: 136_600.0, g_u: 10.0, mass: M_N },
-        AtomicLine { species: "N", lambda: 939.3e-9, a_ul: 1.07e7, theta_u: 139_600.0, g_u: 12.0, mass: M_N },
-        AtomicLine { species: "N", lambda: 493.5e-9, a_ul: 7.6e5, theta_u: 149_200.0, g_u: 4.0, mass: M_N },
+        AtomicLine {
+            species: "N",
+            lambda: 746.8e-9,
+            a_ul: 1.96e7,
+            theta_u: 139_200.0,
+            g_u: 6.0,
+            mass: M_N,
+        },
+        AtomicLine {
+            species: "N",
+            lambda: 821.6e-9,
+            a_ul: 2.27e7,
+            theta_u: 137_400.0,
+            g_u: 10.0,
+            mass: M_N,
+        },
+        AtomicLine {
+            species: "N",
+            lambda: 868.0e-9,
+            a_ul: 2.53e7,
+            theta_u: 136_600.0,
+            g_u: 10.0,
+            mass: M_N,
+        },
+        AtomicLine {
+            species: "N",
+            lambda: 939.3e-9,
+            a_ul: 1.07e7,
+            theta_u: 139_600.0,
+            g_u: 12.0,
+            mass: M_N,
+        },
+        AtomicLine {
+            species: "N",
+            lambda: 493.5e-9,
+            a_ul: 7.6e5,
+            theta_u: 149_200.0,
+            g_u: 4.0,
+            mass: M_N,
+        },
         // H I: Lyman-α (VUV — dominates hydrogen shock layers when the
         // spectral window reaches it) and the Balmer series.
-        AtomicLine { species: "H", lambda: 121.567e-9, a_ul: 4.699e8, theta_u: 118_352.0, g_u: 6.0, mass: M_H },
-        AtomicLine { species: "H", lambda: 656.28e-9, a_ul: 4.41e7, theta_u: 140_270.0, g_u: 18.0, mass: M_H },
-        AtomicLine { species: "H", lambda: 486.13e-9, a_ul: 8.42e6, theta_u: 147_220.0, g_u: 32.0, mass: M_H },
-        AtomicLine { species: "H", lambda: 434.05e-9, a_ul: 2.53e6, theta_u: 150_440.0, g_u: 50.0, mass: M_H },
+        AtomicLine {
+            species: "H",
+            lambda: 121.567e-9,
+            a_ul: 4.699e8,
+            theta_u: 118_352.0,
+            g_u: 6.0,
+            mass: M_H,
+        },
+        AtomicLine {
+            species: "H",
+            lambda: 656.28e-9,
+            a_ul: 4.41e7,
+            theta_u: 140_270.0,
+            g_u: 18.0,
+            mass: M_H,
+        },
+        AtomicLine {
+            species: "H",
+            lambda: 486.13e-9,
+            a_ul: 8.42e6,
+            theta_u: 147_220.0,
+            g_u: 32.0,
+            mass: M_H,
+        },
+        AtomicLine {
+            species: "H",
+            lambda: 434.05e-9,
+            a_ul: 2.53e6,
+            theta_u: 150_440.0,
+            g_u: 50.0,
+            mass: M_H,
+        },
         // O I 777.4 quintet and 844.6 triplet.
-        AtomicLine { species: "O", lambda: 777.4e-9, a_ul: 3.69e7, theta_u: 125_300.0, g_u: 15.0, mass: M_O },
-        AtomicLine { species: "O", lambda: 844.6e-9, a_ul: 3.22e7, theta_u: 127_800.0, g_u: 9.0, mass: M_O },
-        AtomicLine { species: "O", lambda: 926.6e-9, a_ul: 4.45e7, theta_u: 128_900.0, g_u: 15.0, mass: M_O },
-        AtomicLine { species: "O", lambda: 615.8e-9, a_ul: 7.62e6, theta_u: 148_200.0, g_u: 15.0, mass: M_O },
+        AtomicLine {
+            species: "O",
+            lambda: 777.4e-9,
+            a_ul: 3.69e7,
+            theta_u: 125_300.0,
+            g_u: 15.0,
+            mass: M_O,
+        },
+        AtomicLine {
+            species: "O",
+            lambda: 844.6e-9,
+            a_ul: 3.22e7,
+            theta_u: 127_800.0,
+            g_u: 9.0,
+            mass: M_O,
+        },
+        AtomicLine {
+            species: "O",
+            lambda: 926.6e-9,
+            a_ul: 4.45e7,
+            theta_u: 128_900.0,
+            g_u: 15.0,
+            mass: M_O,
+        },
+        AtomicLine {
+            species: "O",
+            lambda: 615.8e-9,
+            a_ul: 7.62e6,
+            theta_u: 148_200.0,
+            g_u: 15.0,
+            mass: M_O,
+        },
     ]
 }
 
@@ -129,7 +220,10 @@ mod tests {
         let n_u = n * line.g_u * (-line.theta_u / t).exp() / q;
         let p_expect =
             n_u * line.a_ul * H_PLANCK * C_LIGHT / line.lambda / (4.0 * std::f64::consts::PI);
-        assert!((total - p_expect).abs() / p_expect < 1e-3, "{total:.3e} vs {p_expect:.3e}");
+        assert!(
+            (total - p_expect).abs() / p_expect < 1e-3,
+            "{total:.3e} vs {p_expect:.3e}"
+        );
     }
 
     #[test]

@@ -139,6 +139,10 @@ fn collect_emitters(sample: &GasSample) -> Emitters {
 /// the spectrometer resolution to mimic measured spectra).
 #[must_use]
 pub fn spectrum(sample: &GasSample, lambda: &[f64], width_floor: f64) -> Spectrum {
+    aerothermo_numerics::telemetry::counters::add(
+        aerothermo_numerics::telemetry::Counter::SpectrumPoints,
+        lambda.len() as u64,
+    );
     let em = collect_emitters(sample);
     let (emission, absorption): (Vec<f64>, Vec<f64>) = lambda
         .par_iter()
@@ -155,7 +159,11 @@ pub fn spectrum(sample: &GasSample, lambda: &[f64], width_floor: f64) -> Spectru
             (j, kappa)
         })
         .unzip();
-    Spectrum { lambda: lambda.to_vec(), emission, absorption }
+    Spectrum {
+        lambda: lambda.to_vec(),
+        emission,
+        absorption,
+    }
 }
 
 /// Saha-equilibrium estimate of an ionized species' number density from its
@@ -222,10 +230,7 @@ mod tests {
         // The O 777 and N 821/868 features must rise above their local
         // surroundings.
         let j_at = |target: f64| -> f64 {
-            let i = lam
-                .iter()
-                .position(|&l| l >= target)
-                .unwrap();
+            let i = lam.iter().position(|&l| l >= target).unwrap();
             sp.emission[i]
         };
         let line_jump = j_at(777.4e-9) / j_at(760.0e-9).max(1e-30);
@@ -259,10 +264,7 @@ mod tests {
     #[test]
     fn titan_sample_shows_cn_violet() {
         let lam = wavelength_grid(0.3e-6, 0.7e-6, 800);
-        let s = GasSample::equilibrium(
-            7000.0,
-            vec![("N2".into(), 1e23), ("CN".into(), 5e19)],
-        );
+        let s = GasSample::equilibrium(7000.0, vec![("N2".into(), 1e23), ("CN".into(), 5e19)]);
         let sp = spectrum(&s, &lam, 2e-9);
         let peak = sp.lambda[sp.peak_index()];
         assert!(

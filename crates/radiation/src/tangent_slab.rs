@@ -104,16 +104,16 @@ pub fn solve_slab(layers: &[Layer], spectra: &[Spectrum]) -> SlabRadiation {
         radiance[il] = i_out;
     }
 
-    SlabRadiation { lambda, wall_flux, radiance }
+    SlabRadiation {
+        lambda,
+        wall_flux,
+        radiance,
+    }
 }
 
 /// Convenience: compute per-layer spectra and solve the slab in one call.
 #[must_use]
-pub fn solve_slab_samples(
-    layers: &[Layer],
-    lambda: &[f64],
-    width_floor: f64,
-) -> SlabRadiation {
+pub fn solve_slab_samples(layers: &[Layer], lambda: &[f64], width_floor: f64) -> SlabRadiation {
     let spectra: Vec<Spectrum> = layers
         .iter()
         .map(|l| spectrum(&l.sample, lambda, width_floor))
@@ -176,7 +176,11 @@ mod tests {
             .unwrap()
             .0;
         let bb = std::f64::consts::PI * planck_lambda(lam[peak_i], t);
-        assert!(r.wall_flux[peak_i] > 0.3 * bb, "not saturating: {:.2e} vs {bb:.2e}", r.wall_flux[peak_i]);
+        assert!(
+            r.wall_flux[peak_i] > 0.3 * bb,
+            "not saturating: {:.2e} vs {bb:.2e}",
+            r.wall_flux[peak_i]
+        );
     }
 
     #[test]
@@ -190,7 +194,7 @@ mod tests {
             thickness: 1.0e3,
             sample: GasSample::equilibrium(2_000.0, vec![("N2+".into(), 1e20)]),
         };
-        let free = solve_slab_samples(&[hot.clone()], &lam, 2e-9);
+        let free = solve_slab_samples(std::slice::from_ref(&hot), &lam, 2e-9);
         let blocked = solve_slab_samples(&[cold, hot], &lam, 2e-9);
         // Compare at the 391.4 nm band head.
         let head_i = lam.iter().position(|&l| l >= 391.4e-9).unwrap();

@@ -10,6 +10,7 @@
 
 use aerothermo_numerics::ode::{rkf45_integrate, AdaptiveOptions};
 use aerothermo_numerics::roots::brent;
+use aerothermo_numerics::telemetry::SolverError;
 
 /// Similarity solution of `f''' + f·f'' + β(g − f'²) = 0`,
 /// `g'' + Pr·f·g' = 0` (Chapman-Rubesin C = 1), the Lees-Dorodnitsyn
@@ -28,7 +29,14 @@ pub struct SimilaritySolution {
     pub g: Vec<f64>,
 }
 
-fn integrate_profile(fpp0: f64, gp0: f64, beta: f64, pr: f64, g_wall: f64, eta_max: f64) -> (f64, f64, Vec<f64>, Vec<f64>, Vec<f64>) {
+fn integrate_profile(
+    fpp0: f64,
+    gp0: f64,
+    beta: f64,
+    pr: f64,
+    g_wall: f64,
+    eta_max: f64,
+) -> (f64, f64, Vec<f64>, Vec<f64>, Vec<f64>) {
     // State: [f, f', f'', g, g']
     let rhs = move |_x: f64, y: &[f64], d: &mut [f64]| {
         d[0] = y[1];
@@ -46,7 +54,13 @@ fn integrate_profile(fpp0: f64, gp0: f64, beta: f64, pr: f64, g_wall: f64, eta_m
         0.0,
         eta_max,
         &mut y,
-        &AdaptiveOptions { rtol: 1e-9, atol: 1e-11, h0: 1e-3, hmax: 0.1, ..AdaptiveOptions::default() },
+        &AdaptiveOptions {
+            rtol: 1e-9,
+            atol: 1e-11,
+            h0: 1e-3,
+            hmax: 0.1,
+            ..AdaptiveOptions::default()
+        },
         |x, s| {
             eta.push(x);
             fp.push(s[1]);
@@ -69,7 +83,7 @@ pub fn similarity_solve(
     beta: f64,
     pr: f64,
     g_wall: f64,
-) -> Result<SimilaritySolution, String> {
+) -> Result<SimilaritySolution, SolverError> {
     let eta_max = 8.0;
     // Inner: for a trial f''(0), find g'(0) with g(∞) = 1. The g-equation is
     // linear in g, so two probes suffice.
@@ -86,11 +100,17 @@ pub fn similarity_solve(
         let (fp_end, _, _, _, _) = integrate_profile(fpp0, gp0, beta, pr, g_wall, eta_max);
         fp_end - 1.0
     };
-    let fpp0 = brent(fp_residual, 0.05, 3.0, 1e-10)
-        .map_err(|e| format!("similarity shooting: {e}"))?;
+    let fpp0 =
+        brent(fp_residual, 0.05, 3.0, 1e-10).map_err(|e| format!("similarity shooting: {e}"))?;
     let (gp0, _) = solve_g(fpp0);
     let (_, _, eta, fprime, g) = integrate_profile(fpp0, gp0, beta, pr, g_wall, eta_max);
-    Ok(SimilaritySolution { fpp_wall: fpp0, gp_wall: gp0, eta, fprime, g })
+    Ok(SimilaritySolution {
+        fpp_wall: fpp0,
+        gp_wall: gp0,
+        eta,
+        fprime,
+        g,
+    })
 }
 
 /// Fay-Riddell stagnation-point convective heating \[W/m²\] (equilibrium
@@ -204,7 +224,9 @@ pub fn lees_distribution(
         let s = smax * t * t;
         let theta = body.body_angle(s);
         let p_e = p_inf + (p_stag - p_inf) * theta.sin().powi(2);
-        let u_e = (1.0 - (p_e / p_stag).powf((gamma_e - 1.0) / gamma_e)).max(0.0).sqrt();
+        let u_e = (1.0 - (p_e / p_stag).powf((gamma_e - 1.0) / gamma_e))
+            .max(0.0)
+            .sqrt();
         let (_, rb) = body.point(s);
         s_arr.push(s);
         g.push(p_e * u_e);
@@ -221,7 +243,8 @@ pub fn lees_distribution(
             // Δs/2 — using the trapezoid here skews the normalization by √2.
             integral += 0.25 * g[1] * r[1] * r[1] * (s_arr[1] - s_arr[0]);
         } else if k > 1 {
-            integral += 0.5 * (g[k] * r[k] * r[k] + g[k - 1] * r[k - 1] * r[k - 1])
+            integral += 0.5
+                * (g[k] * r[k] * r[k] + g[k - 1] * r[k - 1] * r[k - 1])
                 * (s_arr[k] - s_arr[k - 1]);
         }
         let f = if integral > 0.0 {

@@ -16,6 +16,7 @@
 use aerothermo_gas::GasModel;
 use aerothermo_grid::{Metrics, StructuredGrid};
 use aerothermo_numerics::limiters::Limiter;
+use aerothermo_numerics::telemetry::{MonitorOptions, ResidualMonitor, RunTelemetry, SolverError};
 use aerothermo_numerics::Field3;
 use rayon::prelude::*;
 
@@ -110,6 +111,8 @@ pub struct EulerSolver<'a> {
     /// Conserved variables, shape (nci, ncj, NEQ).
     pub u: Field3<f64>,
     steps_taken: usize,
+    /// Run observability: phase timings, residual histories, counter deltas.
+    pub telemetry: RunTelemetry,
 }
 
 impl<'a> EulerSolver<'a> {
@@ -138,7 +141,16 @@ impl<'a> EulerSolver<'a> {
             }
         }
         let metrics = Metrics::new(grid);
-        Self { grid, metrics, gas, bc, opts, u, steps_taken: 0 }
+        Self {
+            grid,
+            metrics,
+            gas,
+            bc,
+            opts,
+            u,
+            steps_taken: 0,
+            telemetry: RunTelemetry::new(),
+        }
     }
 
     /// Number of cells along i.
@@ -196,7 +208,14 @@ impl<'a> EulerSolver<'a> {
         let e = (e_tot - 0.5 * (ux * ux + ur * ur)).max(1e-6 * e_tot.abs().max(1e-300));
         let p = self.gas.pressure(rho, e).max(self.opts.p_floor);
         let a = self.gas.sound_speed(rho, e).max(1.0);
-        Primitive { rho, ux, ur, p, a, h0: e + p / rho + 0.5 * (ux * ux + ur * ur) }
+        Primitive {
+            rho,
+            ux,
+            ur,
+            p,
+            a,
+            h0: e + p / rho + 0.5 * (ux * ux + ur * ur),
+        }
     }
 
     /// Ghost primitive for a boundary face with outward unit normal
@@ -323,7 +342,11 @@ impl<'a> EulerSolver<'a> {
     /// Reconstructed states at the interior i-face `(iface, j)` between
     /// cells `(iface−1, j)` and `(iface, j)`.
     fn face_states_i(&self, iface: usize, j: usize, first_order: bool) -> (Primitive, Primitive) {
-        let lim = if first_order { Limiter::FirstOrder } else { self.opts.limiter };
+        let lim = if first_order {
+            Limiter::FirstOrder
+        } else {
+            self.opts.limiter
+        };
         let il = iface - 1;
         let ir = iface;
         let ql = self.primitive(il, j);
@@ -336,7 +359,13 @@ impl<'a> EulerSolver<'a> {
         };
         let right = if ir + 1 < self.nci() {
             let qrr = self.primitive(ir + 1, j);
-            self.recon(lim, &qr, Self::delta(&ql, &qr), Self::delta(&qr, &qrr), -1.0)
+            self.recon(
+                lim,
+                &qr,
+                Self::delta(&ql, &qr),
+                Self::delta(&qr, &qrr),
+                -1.0,
+            )
         } else {
             qr
         };
@@ -345,7 +374,11 @@ impl<'a> EulerSolver<'a> {
 
     /// Reconstructed states at the interior j-face `(i, jface)`.
     fn face_states_j(&self, i: usize, jface: usize, first_order: bool) -> (Primitive, Primitive) {
-        let lim = if first_order { Limiter::FirstOrder } else { self.opts.limiter };
+        let lim = if first_order {
+            Limiter::FirstOrder
+        } else {
+            self.opts.limiter
+        };
         let jl = jface - 1;
         let jr = jface;
         let ql = self.primitive(i, jl);
@@ -358,7 +391,13 @@ impl<'a> EulerSolver<'a> {
         };
         let right = if jr + 1 < self.ncj() {
             let qrr = self.primitive(i, jr + 1);
-            self.recon(lim, &qr, Self::delta(&ql, &qr), Self::delta(&qr, &qrr), -1.0)
+            self.recon(
+                lim,
+                &qr,
+                Self::delta(&ql, &qr),
+                Self::delta(&qr, &qrr),
+                -1.0,
+            )
         } else {
             qr
         };
@@ -463,7 +502,11 @@ impl<'a> EulerSolver<'a> {
     /// density-residual L2 norm (per cell).
     pub fn step(&mut self) -> f64 {
         let first_order = self.steps_taken < self.opts.startup_steps;
-        let cfl = if first_order { 0.4 * self.opts.cfl } else { self.opts.cfl };
+        let cfl = if first_order {
+            0.4 * self.opts.cfl
+        } else {
+            self.opts.cfl
+        };
         let nci = self.nci();
         let ncj = self.ncj();
 
@@ -474,7 +517,10 @@ impl<'a> EulerSolver<'a> {
             .map(|idx| {
                 let i = idx / ncj;
                 let j = idx % ncj;
-                (self.cell_residual(i, j, first_order), self.local_dt(i, j, cfl))
+                (
+                    self.cell_residual(i, j, first_order),
+                    self.local_dt(i, j, cfl),
+                )
             })
             .collect();
 
@@ -526,29 +572,78 @@ impl<'a> EulerSolver<'a> {
     /// Run until the density residual drops below `tol` relative to its
     /// value right after the startup phase, or `max_steps` elapse. Returns
     /// `(steps, final residual ratio)`.
-    pub fn run(&mut self, max_steps: usize, tol: f64) -> (usize, f64) {
+    ///
+    /// The full residual history and the `euler_run` phase timing land in
+    /// [`EulerSolver::telemetry`].
+    ///
+    /// # Errors
+    /// [`SolverError::Diverged`] when the residual grows past the monitor's
+    /// divergence window (instead of spinning to `max_steps`), and
+    /// [`SolverError::NonFinite`] with the first affected cell when NaN/Inf
+    /// contaminates the state.
+    pub fn run(&mut self, max_steps: usize, tol: f64) -> Result<(usize, f64), SolverError> {
+        let t0 = std::time::Instant::now();
+        let mut monitor = ResidualMonitor::with_options(MonitorOptions {
+            grace: self.opts.startup_steps + 25,
+            ..MonitorOptions::default()
+        });
         let mut reference = f64::NAN;
         let mut last_ratio = 1.0;
+        let mut steps = max_steps;
+        let mut failure: Option<SolverError> = None;
         for n in 0..max_steps {
             let r = self.step();
+            if let Err(e) = monitor.record(r) {
+                failure = Some(match e {
+                    SolverError::NonFinite { .. } => self.locate_nonfinite().unwrap_or(e),
+                    other => other,
+                });
+                break;
+            }
             if n == self.opts.startup_steps {
                 reference = r.max(1e-300);
             }
             if reference.is_finite() {
                 last_ratio = r / reference;
                 if last_ratio < tol {
-                    return (n + 1, last_ratio);
+                    steps = n + 1;
+                    break;
                 }
             }
         }
-        (max_steps, last_ratio)
+        self.telemetry
+            .add_phase_secs("euler_run", t0.elapsed().as_secs_f64());
+        self.telemetry
+            .record_history("density_residual", monitor.into_history());
+        match failure {
+            Some(e) => Err(e),
+            None => Ok((steps, last_ratio)),
+        }
+    }
+
+    /// First cell whose conserved state is non-finite, as a typed error.
+    pub(crate) fn locate_nonfinite(&self) -> Option<SolverError> {
+        const FIELD_NAMES: [&str; NEQ] = ["rho", "rho_ux", "rho_ur", "rho_E"];
+        for i in 0..self.grid.nci() {
+            for j in 0..self.grid.ncj() {
+                let cell = self.u.vector(i, j);
+                for (k, name) in FIELD_NAMES.iter().enumerate() {
+                    if !cell[k].is_finite() {
+                        return Some(SolverError::NonFinite { field: name, i, j });
+                    }
+                }
+            }
+        }
+        None
     }
 
     /// Outermost cell index along grid line `i` whose density exceeds
     /// `threshold × ρ∞` — the captured-shock location.
     #[must_use]
     pub fn shock_index(&self, i: usize, rho_inf: f64, threshold: f64) -> Option<usize> {
-        (0..self.ncj()).rev().find(|&j| self.primitive(i, j).rho > threshold * rho_inf)
+        (0..self.ncj())
+            .rev()
+            .find(|&j| self.primitive(i, j).rho > threshold * rho_inf)
     }
 
     /// Stagnation-line shock standoff distance (i = 0): distance from the
@@ -590,7 +685,12 @@ mod tests {
         let grid = StructuredGrid::rectangle(20, 10, 1.0, 0.5, Geometry::Planar);
         let fs = freestream_mach(&gas, 300.0, 1e4, 2.0);
         let bc = BcSet {
-            i_lo: Bc::Inflow { rho: fs.0, ux: fs.1, ur: fs.2, p: fs.3 },
+            i_lo: Bc::Inflow {
+                rho: fs.0,
+                ux: fs.1,
+                ur: fs.2,
+                p: fs.3,
+            },
             i_hi: Bc::Outflow,
             j_lo: Bc::SlipWall,
             j_hi: Bc::SlipWall,
@@ -602,7 +702,10 @@ mod tests {
         for i in 0..solver.nci() {
             for j in 0..solver.ncj() {
                 let q = solver.primitive(i, j);
-                assert!((q.rho - fs.0).abs() / fs.0 < 1e-10, "rho drifted at ({i},{j})");
+                assert!(
+                    (q.rho - fs.0).abs() / fs.0 < 1e-10,
+                    "rho drifted at ({i},{j})"
+                );
                 assert!((q.p - fs.3).abs() / fs.3 < 1e-9, "p drifted at ({i},{j})");
             }
         }
@@ -611,7 +714,10 @@ mod tests {
     #[test]
     fn sod_shock_tube_plateaus() {
         // Classic Sod problem run time-accurately on a pseudo-1D grid.
-        let gas = IdealGas { gamma: 1.4, r: 287.0 };
+        let gas = IdealGas {
+            gamma: 1.4,
+            r: 287.0,
+        };
         let grid = StructuredGrid::rectangle(201, 3, 1.0, 0.02, Geometry::Planar);
         let bc = BcSet {
             i_lo: Bc::Outflow,
@@ -619,7 +725,11 @@ mod tests {
             j_lo: Bc::SlipWall,
             j_hi: Bc::SlipWall,
         };
-        let opts = EulerOptions { startup_steps: 0, cfl: 0.4, ..EulerOptions::default() };
+        let opts = EulerOptions {
+            startup_steps: 0,
+            cfl: 0.4,
+            ..EulerOptions::default()
+        };
         let mut solver = EulerSolver::new(&grid, &gas, bc, opts, (1.0, 0.0, 0.0, 1.0));
         // Right half: rho = 0.125, p = 0.1.
         for i in 100..200 {
@@ -659,7 +769,10 @@ mod tests {
         // Shock near x = 0.85 at t = 0.2.
         let rho_l = solver.primitive(165, 1).rho;
         let rho_r = solver.primitive(180, 1).rho;
-        assert!(rho_l > 0.2 && rho_r < 0.14, "shock structure: {rho_l} {rho_r}");
+        assert!(
+            rho_l > 0.2 && rho_r < 0.14,
+            "shock structure: {rho_l} {rho_r}"
+        );
     }
 
     #[test]
@@ -675,11 +788,20 @@ mod tests {
             i_lo: Bc::SlipWall,
             i_hi: Bc::Outflow,
             j_lo: Bc::SlipWall,
-            j_hi: Bc::Inflow { rho: fs.0, ux: fs.1, ur: fs.2, p: fs.3 },
+            j_hi: Bc::Inflow {
+                rho: fs.0,
+                ux: fs.1,
+                ur: fs.2,
+                p: fs.3,
+            },
         };
-        let opts = EulerOptions { cfl: 0.4, startup_steps: 400, ..EulerOptions::default() };
+        let opts = EulerOptions {
+            cfl: 0.4,
+            startup_steps: 400,
+            ..EulerOptions::default()
+        };
         let mut solver = EulerSolver::new(&grid, &gas, bc, opts, fs);
-        let (_steps, ratio) = solver.run(4000, 1e-3);
+        let (_steps, ratio) = solver.run(4000, 1e-3).expect("stable run");
         assert!(ratio < 0.1, "poor convergence: ratio = {ratio}");
 
         let standoff = solver.standoff(fs.0).expect("no shock detected");
@@ -715,11 +837,20 @@ mod tests {
                 i_lo: Bc::SlipWall,
                 i_hi: Bc::Outflow,
                 j_lo: Bc::SlipWall,
-                j_hi: Bc::Inflow { rho: fs.0, ux: fs.1, ur: fs.2, p: fs.3 },
+                j_hi: Bc::Inflow {
+                    rho: fs.0,
+                    ux: fs.1,
+                    ur: fs.2,
+                    p: fs.3,
+                },
             };
-            let opts = EulerOptions { cfl: 0.4, startup_steps: 400, ..EulerOptions::default() };
+            let opts = EulerOptions {
+                cfl: 0.4,
+                startup_steps: 400,
+                ..EulerOptions::default()
+            };
             let mut solver = EulerSolver::new(&grid, &gas, bc, opts, fs);
-            solver.run(3000, 1e-3);
+            solver.run(3000, 1e-3).expect("stable run");
             solver.standoff(fs.0).unwrap()
         };
         let d14 = run(1.4);

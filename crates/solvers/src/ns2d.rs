@@ -11,12 +11,13 @@
 //! Molecular transport: Sutherland viscosity with constant Prandtl number
 //! by default, or any user closure `μ(T)`.
 
-use crate::euler2d::{BcSet, EulerOptions, EulerSolver, Primitive, NEQ};
 #[cfg(test)]
 use crate::euler2d::Bc;
+use crate::euler2d::{BcSet, EulerOptions, EulerSolver, Primitive, NEQ};
 use aerothermo_gas::transport::sutherland_air;
 use aerothermo_gas::GasModel;
 use aerothermo_grid::StructuredGrid;
+use aerothermo_numerics::telemetry::{MonitorOptions, ResidualMonitor, SolverError};
 use rayon::prelude::*;
 
 /// Molecular-transport closure.
@@ -35,7 +36,11 @@ impl Transport {
     /// Sutherland air with Pr = 0.72.
     #[must_use]
     pub fn air() -> Self {
-        Self { viscosity: sutherland_air, prandtl: 0.72, cp: 1004.5 }
+        Self {
+            viscosity: sutherland_air,
+            prandtl: 0.72,
+            cp: 1004.5,
+        }
     }
 
     /// Thermal conductivity \[W/(m·K)\] at `t`.
@@ -75,7 +80,14 @@ impl<'a> NsSolver<'a> {
         let startup_steps = opts.startup_steps;
         let cfl = opts.cfl;
         let inviscid = EulerSolver::new(grid, gas, bc, opts, freestream);
-        Self { inviscid, transport, t_wall, steps: 0, startup_steps, cfl }
+        Self {
+            inviscid,
+            transport,
+            t_wall,
+            steps: 0,
+            startup_steps,
+            cfl,
+        }
     }
 
     /// Temperature of cell `(i, j)` \[K\].
@@ -148,8 +160,14 @@ impl<'a> NsSolver<'a> {
                 let gr = m.rc[(i, 0)];
                 // Wall-face midpoint ≈ centroid minus normal projection: use
                 // the projection of (cell center − any wall node) onto n.
-                let dn = ((gx - self.wall_x(i)) * nx + (gr - self.wall_r(i)) * nr).abs().max(1e-12);
-                let wall = Primitive { ux: 0.0, ur: 0.0, ..qc };
+                let dn = ((gx - self.wall_x(i)) * nx + (gr - self.wall_r(i)) * nr)
+                    .abs()
+                    .max(1e-12);
+                let wall = Primitive {
+                    ux: 0.0,
+                    ur: 0.0,
+                    ..qc
+                };
                 // No-slip: the stress does no work on the stationary wall.
                 face_flux(&wall, self.t_wall, &qc, tc, dn, sx, sr, Some((0.0, 0.0)))
             } else {
@@ -216,7 +234,11 @@ impl<'a> NsSolver<'a> {
     /// One explicit step; returns the density-residual norm.
     pub fn step(&mut self) -> f64 {
         let first_order = self.steps < self.startup_steps;
-        let cfl = if first_order { 0.4 * self.cfl } else { self.cfl };
+        let cfl = if first_order {
+            0.4 * self.cfl
+        } else {
+            self.cfl
+        };
         let nci = self.inviscid.nci();
         let ncj = self.inviscid.ncj();
 
@@ -237,7 +259,9 @@ impl<'a> NsSolver<'a> {
 
         let m_vol: Vec<f64> = {
             let m = self.inviscid.grid_metrics();
-            (0..nci * ncj).map(|idx| m.volume[(idx / ncj, idx % ncj)]).collect()
+            (0..nci * ncj)
+                .map(|idx| m.volume[(idx / ncj, idx % ncj)])
+                .collect()
         };
         let mut resnorm = 0.0;
         for (idx, (res, dt)) in updates.into_iter().enumerate() {
@@ -283,22 +307,54 @@ impl<'a> NsSolver<'a> {
     }
 
     /// Run to steady state; returns `(steps, residual ratio)`.
-    pub fn run(&mut self, max_steps: usize, tol: f64) -> (usize, f64) {
+    ///
+    /// Residual history and the `ns_run` phase land in the underlying
+    /// [`EulerSolver::telemetry`] sink (`self.inviscid.telemetry`).
+    ///
+    /// # Errors
+    /// [`SolverError::Diverged`] on detected residual blow-up,
+    /// [`SolverError::NonFinite`] (with the first affected cell) on NaN/Inf
+    /// contamination.
+    pub fn run(&mut self, max_steps: usize, tol: f64) -> Result<(usize, f64), SolverError> {
+        let t0 = std::time::Instant::now();
+        let mut monitor = ResidualMonitor::with_options(MonitorOptions {
+            grace: self.startup_steps + 25,
+            ..MonitorOptions::default()
+        });
         let mut reference = f64::NAN;
         let mut last = 1.0;
+        let mut steps = max_steps;
+        let mut failure: Option<SolverError> = None;
         for n in 0..max_steps {
             let r = self.step();
+            if let Err(e) = monitor.record(r) {
+                failure = Some(match e {
+                    SolverError::NonFinite { .. } => self.inviscid.locate_nonfinite().unwrap_or(e),
+                    other => other,
+                });
+                break;
+            }
             if n == self.startup_steps {
                 reference = r.max(1e-300);
             }
             if reference.is_finite() {
                 last = r / reference;
                 if last < tol {
-                    return (n + 1, last);
+                    steps = n + 1;
+                    break;
                 }
             }
         }
-        (max_steps, last)
+        self.inviscid
+            .telemetry
+            .add_phase_secs("ns_run", t0.elapsed().as_secs_f64());
+        self.inviscid
+            .telemetry
+            .record_history("density_residual", monitor.into_history());
+        match failure {
+            Some(e) => Err(e),
+            None => Ok((steps, last)),
+        }
     }
 
     /// Wall heat flux \[W/m²\] at cell column `i` (positive = into the
@@ -364,7 +420,11 @@ mod tests {
             j_lo: Bc::SlipWall,
             j_hi: Bc::SlipWall,
         };
-        let opts = EulerOptions { startup_steps: 0, cfl: 0.3, ..EulerOptions::default() };
+        let opts = EulerOptions {
+            startup_steps: 0,
+            cfl: 0.3,
+            ..EulerOptions::default()
+        };
         // Gas at 600 K, wall at 300 K.
         let rho = 101_325.0 / (287.05 * 600.0);
         let mut solver = NsSolver::new(
@@ -407,19 +467,27 @@ mod tests {
             i_lo: Bc::SlipWall,
             i_hi: Bc::Outflow,
             j_lo: Bc::SlipWall,
-            j_hi: Bc::Inflow { rho: fs.0, ux: fs.1, ur: fs.2, p: fs.3 },
+            j_hi: Bc::Inflow {
+                rho: fs.0,
+                ux: fs.1,
+                ur: fs.2,
+                p: fs.3,
+            },
         };
         let t_wall = 300.0;
-        let opts = EulerOptions { cfl: 0.4, startup_steps: 500, ..EulerOptions::default() };
-        let mut solver =
-            NsSolver::new(&grid, &gas, bc, opts, fs, Transport::air(), t_wall);
+        let opts = EulerOptions {
+            cfl: 0.4,
+            startup_steps: 500,
+            ..EulerOptions::default()
+        };
+        let mut solver = NsSolver::new(&grid, &gas, bc, opts, fs, Transport::air(), t_wall);
         // The diffusive near-wall layer converges slowly under local time
         // stepping; average the flux over the tail of the run to smooth the
         // residual limit cycle.
-        solver.run(15_000, 1e-9);
+        solver.run(15_000, 1e-9).expect("stable run");
         let mut q_ns = 0.0;
         for _ in 0..5 {
-            solver.run(1_000, 1e-9);
+            solver.run(1_000, 1e-9).expect("stable run");
             q_ns += solver.wall_heat_flux(0) / 5.0;
         }
 
@@ -466,12 +534,20 @@ mod tests {
             i_lo: Bc::SlipWall,
             i_hi: Bc::Outflow,
             j_lo: Bc::SlipWall,
-            j_hi: Bc::Inflow { rho: fs.0, ux: fs.1, ur: fs.2, p: fs.3 },
+            j_hi: Bc::Inflow {
+                rho: fs.0,
+                ux: fs.1,
+                ur: fs.2,
+                p: fs.3,
+            },
         };
-        let opts = EulerOptions { cfl: 0.4, startup_steps: 400, ..EulerOptions::default() };
-        let mut solver =
-            NsSolver::new(&grid, &gas, bc, opts, fs, Transport::air(), 300.0);
-        solver.run(3000, 1e-2);
+        let opts = EulerOptions {
+            cfl: 0.4,
+            startup_steps: 400,
+            ..EulerOptions::default()
+        };
+        let mut solver = NsSolver::new(&grid, &gas, bc, opts, fs, Transport::air(), 300.0);
+        solver.run(3000, 1e-2).expect("stable run");
         // Shear grows away from the stagnation point then stays positive.
         let tau_stag = solver.wall_shear(0);
         let tau_mid = solver.wall_shear(8);

@@ -20,6 +20,7 @@ use crate::euler2d::{EulerOptions, Primitive, NEQ};
 use crate::ns2d::Transport;
 use aerothermo_gas::GasModel;
 use aerothermo_grid::{Geometry, Metrics, StructuredGrid};
+use aerothermo_numerics::telemetry::{RunTelemetry, SolverError};
 use aerothermo_numerics::Field3;
 
 /// PNS options.
@@ -73,6 +74,9 @@ pub struct PnsSolver<'a> {
     /// Conserved state for all cells (station columns filled as the march
     /// proceeds).
     pub u: Field3<f64>,
+    /// Run observability: phase timings, per-station iteration history,
+    /// counter deltas.
+    pub telemetry: RunTelemetry,
 }
 
 impl<'a> PnsSolver<'a> {
@@ -106,6 +110,7 @@ impl<'a> PnsSolver<'a> {
             opts,
             freestream,
             u,
+            telemetry: RunTelemetry::new(),
         }
     }
 
@@ -134,7 +139,14 @@ impl<'a> PnsSolver<'a> {
         let e = (e_tot - 0.5 * (ux * ux + ur * ur)).max(1e-6 * e_tot.abs().max(1e-300));
         let p = self.gas.pressure(rho, e).max(1e-8);
         let a = self.gas.sound_speed(rho, e).max(1.0);
-        Primitive { rho, ux, ur, p, a, h0: e + p / rho + 0.5 * (ux * ux + ur * ur) }
+        Primitive {
+            rho,
+            ux,
+            ur,
+            p,
+            a,
+            h0: e + p / rho + 0.5 * (ux * ux + ur * ur),
+        }
     }
 
     /// Primitive state of a cell.
@@ -160,9 +172,7 @@ impl<'a> PnsSolver<'a> {
         let omega = if m_xi >= 1.0 {
             1.0
         } else {
-            (self.opts.sigma * gamma * m_xi * m_xi
-                / (1.0 + (gamma - 1.0) * m_xi * m_xi))
-                .min(1.0)
+            (self.opts.sigma * gamma * m_xi * m_xi / (1.0 + (gamma - 1.0) * m_xi * m_xi)).min(1.0)
         };
         let pv = omega * q.p;
         let mdot = q.rho * un;
@@ -334,8 +344,7 @@ impl<'a> PnsSolver<'a> {
                 let dundn = dudn * nx + dvdn * nr;
                 let tau_x = mu * (dudn + dundn * nx / 3.0);
                 let tau_r = mu * (dvdn + dundn * nr / 3.0);
-                let (ufx, ufr) =
-                    u_face.unwrap_or((0.5 * (ql.ux + qr.ux), 0.5 * (ql.ur + qr.ur)));
+                let (ufx, ufr) = u_face.unwrap_or((0.5 * (ql.ux + qr.ux), 0.5 * (ql.ur + qr.ur)));
                 [
                     0.0,
                     tau_x * area,
@@ -357,7 +366,11 @@ impl<'a> PnsSolver<'a> {
                     let dn = ((m.xc[(i, 0)] - wx) * nx + (m.rc[(i, 0)] - wr) * nr)
                         .abs()
                         .max(1e-12);
-                    let wall = Primitive { ux: 0.0, ur: 0.0, ..qc };
+                    let wall = Primitive {
+                        ux: 0.0,
+                        ur: 0.0,
+                        ..qc
+                    };
                     face_g(&wall, t_wall, &qc, tc, dn, sx, sr, Some((0.0, 0.0)))
                 } else {
                     let ql = col[j - 1];
@@ -459,7 +472,16 @@ impl<'a> PnsSolver<'a> {
 
     /// March stations `i_start..nci`, columns before `i_start` taken as
     /// given (freestream or user starter). Returns per-station wall data.
-    pub fn march(&mut self, i_start: usize) -> PnsSolution {
+    ///
+    /// A station that merely exhausts its relaxation budget is tolerated
+    /// (the iteration count is recorded in the solution and telemetry); the
+    /// march only aborts on state contamination.
+    ///
+    /// # Errors
+    /// [`SolverError::NonFinite`] with the first affected cell when NaN/Inf
+    /// appears in a relaxed station column.
+    pub fn march(&mut self, i_start: usize) -> Result<PnsSolution, SolverError> {
+        let t0 = std::time::Instant::now();
         let nci = self.grid.nci();
         let mut out = PnsSolution {
             station_x: Vec::new(),
@@ -467,26 +489,48 @@ impl<'a> PnsSolver<'a> {
             wall_heat_flux: Vec::new(),
             iterations: Vec::new(),
         };
-        for i in i_start.max(1)..nci {
+        let mut failure: Option<SolverError> = None;
+        'stations: for i in i_start.max(1)..nci {
             // Initialize from the upstream column (marching continuation).
             for j in 0..self.grid.ncj() {
                 let up: Vec<f64> = self.u.vector(i - 1, j).to_vec();
                 self.u.vector_mut(i, j).copy_from_slice(&up);
             }
             let iters = self.relax_station(i);
+            const FIELD_NAMES: [&str; NEQ] = ["rho", "rho_ux", "rho_ur", "rho_E"];
+            for j in 0..self.grid.ncj() {
+                let cell = self.u.vector(i, j);
+                for (k, name) in FIELD_NAMES.iter().enumerate() {
+                    if !cell[k].is_finite() {
+                        failure = Some(SolverError::NonFinite { field: name, i, j });
+                        break 'stations;
+                    }
+                }
+            }
             let q0 = self.primitive(i, 0);
             out.station_x.push(self.metrics.xc[(i, 0)]);
             out.wall_pressure.push(q0.p);
             out.wall_heat_flux.push(self.wall_heat_flux(i));
             out.iterations.push(iters);
         }
-        out
+        self.telemetry
+            .add_phase_secs("pns_march", t0.elapsed().as_secs_f64());
+        self.telemetry.record_history(
+            "station_iterations",
+            out.iterations.iter().map(|&n| n as f64).collect(),
+        );
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
     }
 
     /// Wall heat flux at station `i` \[W/m²\] (0 for inviscid marches).
     #[must_use]
     pub fn wall_heat_flux(&self, i: usize) -> f64 {
-        let Some(t_wall) = self.opts.t_wall else { return 0.0 };
+        let Some(t_wall) = self.opts.t_wall else {
+            return 0.0;
+        };
         let m = &self.metrics;
         let sx = m.sj_x[(i, 0)];
         let sr = m.sj_r[(i, 0)];
@@ -495,7 +539,9 @@ impl<'a> PnsSolver<'a> {
         let nr = sr / area;
         let wx = 0.5 * (self.grid.x[(i, 0)] + self.grid.x[(i + 1, 0)]);
         let wr = 0.5 * (self.grid.r[(i, 0)] + self.grid.r[(i + 1, 0)]);
-        let dn = ((m.xc[(i, 0)] - wx) * nx + (m.rc[(i, 0)] - wr) * nr).abs().max(1e-12);
+        let dn = ((m.xc[(i, 0)] - wx) * nx + (m.rc[(i, 0)] - wr) * nr)
+            .abs()
+            .max(1e-12);
         let q = self.primitive(i, 0);
         let t1 = self.temperature(&q);
         let k = self.transport.conductivity(0.5 * (t1 + t_wall));
@@ -512,7 +558,10 @@ impl<'a> PnsSolver<'a> {
     /// Default Euler-style options bridge (CFL reuse).
     #[must_use]
     pub fn options_from_euler(opts: &EulerOptions) -> PnsOptions {
-        PnsOptions { cfl: opts.cfl, ..PnsOptions::default() }
+        PnsOptions {
+            cfl: opts.cfl,
+            ..PnsOptions::default()
+        }
     }
 }
 
@@ -548,10 +597,13 @@ mod tests {
         let mut solver = PnsSolver::new(
             &grid,
             &gas,
-            PnsOptions { t_wall: None, ..PnsOptions::default() },
+            PnsOptions {
+                t_wall: None,
+                ..PnsOptions::default()
+            },
             (rho_inf, v_inf, 0.0, p_inf),
         );
-        let sol = solver.march(6);
+        let sol = solver.march(6).expect("clean march");
         // Use the last quarter of stations (conical asymptote).
         let nst = sol.wall_pressure.len();
         let p_cone: f64 =
@@ -576,10 +628,13 @@ mod tests {
         let mut solver = PnsSolver::new(
             &grid,
             &gas,
-            PnsOptions { t_wall: None, ..PnsOptions::default() },
+            PnsOptions {
+                t_wall: None,
+                ..PnsOptions::default()
+            },
             (rho_inf, v_inf, 0.0, p_inf),
         );
-        let sol = solver.march(6);
+        let sol = solver.march(6).expect("clean march");
         let tail_iters = *sol.iterations.last().unwrap();
         assert!(
             tail_iters < solver.opts.max_station_iters,
@@ -600,10 +655,13 @@ mod tests {
         let mut solver = PnsSolver::new(
             &grid,
             &gas,
-            PnsOptions { t_wall: Some(300.0), ..PnsOptions::default() },
+            PnsOptions {
+                t_wall: Some(300.0),
+                ..PnsOptions::default()
+            },
             (rho_inf, v_inf, 0.0, p_inf),
         );
-        let sol = solver.march(8);
+        let sol = solver.march(8).expect("clean march");
         let n = sol.wall_heat_flux.len();
         let q_quarter = sol.wall_heat_flux[n / 4];
         let q_end = sol.wall_heat_flux[n - 1];

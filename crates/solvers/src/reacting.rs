@@ -30,6 +30,9 @@ use aerothermo_gas::thermo::Mixture;
 use aerothermo_grid::{Geometry, Metrics, StructuredGrid};
 use aerothermo_numerics::constants::K_BOLTZMANN;
 use aerothermo_numerics::ode::{stiff_integrate, AdaptiveOptions};
+use aerothermo_numerics::telemetry::{
+    counters, Counter, MonitorOptions, ResidualMonitor, RunTelemetry, SolverError,
+};
 use aerothermo_numerics::Field3;
 use rayon::prelude::*;
 use std::cell::Cell as StdCell;
@@ -88,7 +91,12 @@ pub struct ReactingOptions {
 
 impl Default for ReactingOptions {
     fn default() -> Self {
-        Self { cfl: 0.4, startup_steps: 300, frozen: false, rho_floor: 1e-14 }
+        Self {
+            cfl: 0.4,
+            startup_steps: 300,
+            frozen: false,
+            rho_floor: 1e-14,
+        }
     }
 }
 
@@ -131,6 +139,8 @@ pub struct ReactingSolver<'a> {
     /// Conserved state, shape (nci, ncj, ns + 4).
     pub u: Field3<f64>,
     steps: usize,
+    /// Run observability: phase timings, residual histories, counter deltas.
+    pub telemetry: RunTelemetry,
 }
 
 impl<'a> ReactingSolver<'a> {
@@ -171,6 +181,7 @@ impl<'a> ReactingSolver<'a> {
             neq,
             u,
             steps: 0,
+            telemetry: RunTelemetry::new(),
         }
     }
 
@@ -252,7 +263,18 @@ impl<'a> ReactingSolver<'a> {
         let gamma = 1.0 + r_gas / cv.max(1.0);
         let a = (gamma * p / rho).sqrt().max(1.0);
         let h0 = e + p / rho + ke;
-        ReactingPrimitive { y, rho, ux, ur, p, t, tv, ev, a, h0 }
+        ReactingPrimitive {
+            y,
+            rho,
+            ux,
+            ur,
+            p,
+            t,
+            tv,
+            ev,
+            a,
+            h0,
+        }
     }
 
     /// Primitive state of cell `(i, j)`.
@@ -261,7 +283,13 @@ impl<'a> ReactingSolver<'a> {
         self.primitive_of(self.u.vector(i, j), 3000.0)
     }
 
-    fn ghost(&self, bc: &ReactingBc, interior: &ReactingPrimitive, nx: f64, nr: f64) -> ReactingPrimitive {
+    fn ghost(
+        &self,
+        bc: &ReactingBc,
+        interior: &ReactingPrimitive,
+        nx: f64,
+        nr: f64,
+    ) -> ReactingPrimitive {
         match bc {
             ReactingBc::Inflow(fs) => {
                 let c = Self::conserved_from_freestream(self.mix, fs);
@@ -279,7 +307,13 @@ impl<'a> ReactingSolver<'a> {
     }
 
     /// AUSM+ flux for the reacting state vector.
-    fn ausm_flux(&self, left: &ReactingPrimitive, right: &ReactingPrimitive, sx: f64, sr: f64) -> Vec<f64> {
+    fn ausm_flux(
+        &self,
+        left: &ReactingPrimitive,
+        right: &ReactingPrimitive,
+        sx: f64,
+        sr: f64,
+    ) -> Vec<f64> {
         let ns = self.ns;
         let area = (sx * sx + sr * sr).sqrt().max(1e-300);
         let nx = sx / area;
@@ -521,7 +555,11 @@ impl<'a> ReactingSolver<'a> {
     /// the density residual norm.
     pub fn step(&mut self) -> f64 {
         let first = self.steps < self.opts.startup_steps;
-        let cfl = if first { 0.4 * self.opts.cfl } else { self.opts.cfl };
+        let cfl = if first {
+            0.4 * self.opts.cfl
+        } else {
+            self.opts.cfl
+        };
         let nci = self.grid.nci();
         let ncj = self.grid.ncj();
         let neq = self.neq;
@@ -564,6 +602,7 @@ impl<'a> ReactingSolver<'a> {
         // Chemistry substep (skipped while the startup transient rings or in
         // frozen mode), cell-parallel.
         if !first && !self.opts.frozen {
+            counters::add(Counter::ChemistrySubsteps, (nci * ncj) as u64);
             let slices: Vec<(usize, Vec<f64>)> = (0..nci * ncj)
                 .into_par_iter()
                 .map(|idx| {
@@ -586,12 +625,66 @@ impl<'a> ReactingSolver<'a> {
     }
 
     /// Run `n` steps; returns the last residual.
-    pub fn run(&mut self, n: usize) -> f64 {
+    ///
+    /// The residual history and the `reacting_run` phase land in
+    /// [`ReactingSolver::telemetry`].
+    ///
+    /// # Errors
+    /// [`SolverError::Diverged`] on detected residual blow-up,
+    /// [`SolverError::NonFinite`] with the first contaminated cell/field on
+    /// NaN/Inf.
+    pub fn run(&mut self, n: usize) -> Result<f64, SolverError> {
+        let t0 = std::time::Instant::now();
+        let mut monitor = ResidualMonitor::with_options(MonitorOptions {
+            grace: self.opts.startup_steps + 25,
+            ..MonitorOptions::default()
+        });
         let mut r = f64::NAN;
+        let mut failure: Option<SolverError> = None;
         for _ in 0..n {
             r = self.step();
+            if let Err(e) = monitor.record(r) {
+                failure = Some(match e {
+                    SolverError::NonFinite { .. } => self.locate_nonfinite().unwrap_or(e),
+                    other => other,
+                });
+                break;
+            }
         }
-        r
+        self.telemetry
+            .add_phase_secs("reacting_run", t0.elapsed().as_secs_f64());
+        self.telemetry
+            .record_history("density_residual", monitor.into_history());
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(r),
+        }
+    }
+
+    /// First cell whose conserved state is non-finite, as a typed error.
+    fn locate_nonfinite(&self) -> Option<SolverError> {
+        for i in 0..self.grid.nci() {
+            for j in 0..self.grid.ncj() {
+                let cell = self.u.vector(i, j);
+                for (k, v) in cell.iter().enumerate() {
+                    if !v.is_finite() {
+                        let field = if k < self.ns {
+                            "species_density"
+                        } else if k == self.ns {
+                            "rho_ux"
+                        } else if k == self.ns + 1 {
+                            "rho_ur"
+                        } else if k == self.ns + 2 {
+                            "rho_E"
+                        } else {
+                            "rho_ev"
+                        };
+                        return Some(SolverError::NonFinite { field, i, j });
+                    }
+                }
+            }
+        }
+        None
     }
 
     /// Stagnation-line profile: primitives of column i = 0, wall to outer.
@@ -613,7 +706,13 @@ mod tests {
         let mut y = vec![0.0; ns];
         y[0] = 0.767;
         y[1] = 0.233;
-        FreeStream { y, rho, ux: v, ur: 0.0, t }
+        FreeStream {
+            y,
+            rho,
+            ux: v,
+            ur: 0.0,
+            t,
+        }
     }
 
     #[test]
@@ -629,7 +728,11 @@ mod tests {
             j_lo: ReactingBc::SlipWall,
             j_hi: ReactingBc::SlipWall,
         };
-        let opts = ReactingOptions { frozen: true, startup_steps: 0, ..ReactingOptions::default() };
+        let opts = ReactingOptions {
+            frozen: true,
+            startup_steps: 0,
+            ..ReactingOptions::default()
+        };
         let mut solver = ReactingSolver::new(&grid, &set, &relax, bc, opts, &fs);
         for _ in 0..40 {
             solver.step();
@@ -660,9 +763,12 @@ mod tests {
             j_lo: ReactingBc::SlipWall,
             j_hi: ReactingBc::Inflow(fs.clone()),
         };
-        let opts = ReactingOptions { startup_steps: 150, ..ReactingOptions::default() };
+        let opts = ReactingOptions {
+            startup_steps: 150,
+            ..ReactingOptions::default()
+        };
         let mut solver = ReactingSolver::new(&grid, &set, &relax, bc, opts, &fs);
-        solver.run(320);
+        solver.run(320).expect("stable run");
 
         // Elemental N:O nuclei ratio must be 767/28.0134 : ... in every cell
         // regardless of how far chemistry has gone.
@@ -678,10 +784,8 @@ mod tests {
                 let mut n_nuc = 0.0;
                 let mut o_nuc = 0.0;
                 for (sp, y) in mix.species().iter().zip(&q.y) {
-                    n_nuc += f64::from(sp.atoms_of(aerothermo_gas::Element::N)) * y
-                        / sp.molar_mass;
-                    o_nuc += f64::from(sp.atoms_of(aerothermo_gas::Element::O)) * y
-                        / sp.molar_mass;
+                    n_nuc += f64::from(sp.atoms_of(aerothermo_gas::Element::N)) * y / sp.molar_mass;
+                    o_nuc += f64::from(sp.atoms_of(aerothermo_gas::Element::O)) * y / sp.molar_mass;
                 }
                 let ratio = n_nuc / o_nuc;
                 assert!(
@@ -711,9 +815,12 @@ mod tests {
             j_lo: ReactingBc::SlipWall,
             j_hi: ReactingBc::Inflow(fs.clone()),
         };
-        let opts = ReactingOptions { startup_steps: 200, ..ReactingOptions::default() };
+        let opts = ReactingOptions {
+            startup_steps: 200,
+            ..ReactingOptions::default()
+        };
         let mut solver = ReactingSolver::new(&grid, &set, &relax, bc, opts, &fs);
-        solver.run(520);
+        solver.run(520).expect("stable run");
 
         let line = solver.stagnation_line();
         // Find the shock: outermost cell with T > 2×T∞.

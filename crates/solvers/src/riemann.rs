@@ -96,7 +96,13 @@ pub fn solve(left: RiemannState, right: RiemannState, gamma: f64) -> RiemannSolu
     let (fl, _) = f_k(p, &left, gamma);
     let (fr, _) = f_k(p, &right, gamma);
     let u_star = 0.5 * (left.u + right.u) + 0.5 * (fr - fl);
-    RiemannSolution { left, right, gamma, p_star: p, u_star }
+    RiemannSolution {
+        left,
+        right,
+        gamma,
+        p_star: p,
+        u_star,
+    }
 }
 
 impl RiemannSolution {
@@ -119,7 +125,11 @@ impl RiemannSolution {
                     *s
                 } else {
                     let rho = s.rho * (ps + gm / gp) / (gm / gp * ps + 1.0);
-                    RiemannState { rho, u: self.u_star, p: self.p_star }
+                    RiemannState {
+                        rho,
+                        u: self.u_star,
+                        p: self.p_star,
+                    }
                 }
             } else {
                 // Left rarefaction.
@@ -130,7 +140,11 @@ impl RiemannSolution {
                     *s
                 } else if xi > tail {
                     let rho = s.rho * (self.p_star / s.p).powf(1.0 / g);
-                    RiemannState { rho, u: self.u_star, p: self.p_star }
+                    RiemannState {
+                        rho,
+                        u: self.u_star,
+                        p: self.p_star,
+                    }
                 } else {
                     // Inside the fan.
                     let u = 2.0 / gp * (a + gm / 2.0 * s.u + xi);
@@ -151,7 +165,11 @@ impl RiemannSolution {
                     *s
                 } else {
                     let rho = s.rho * (ps + gm / gp) / (gm / gp * ps + 1.0);
-                    RiemannState { rho, u: self.u_star, p: self.p_star }
+                    RiemannState {
+                        rho,
+                        u: self.u_star,
+                        p: self.p_star,
+                    }
                 }
             } else {
                 let a_star = a * (self.p_star / s.p).powf(gm / (2.0 * g));
@@ -161,7 +179,11 @@ impl RiemannSolution {
                     *s
                 } else if xi < tail {
                     let rho = s.rho * (self.p_star / s.p).powf(1.0 / g);
-                    RiemannState { rho, u: self.u_star, p: self.p_star }
+                    RiemannState {
+                        rho,
+                        u: self.u_star,
+                        p: self.p_star,
+                    }
                 } else {
                     let u = 2.0 / gp * (-a + gm / 2.0 * s.u + xi);
                     let afan = 2.0 / gp * (a - gm / 2.0 * (s.u - xi));
@@ -185,8 +207,16 @@ impl RiemannSolution {
 #[must_use]
 pub fn sod() -> RiemannSolution {
     solve(
-        RiemannState { rho: 1.0, u: 0.0, p: 1.0 },
-        RiemannState { rho: 0.125, u: 0.0, p: 0.1 },
+        RiemannState {
+            rho: 1.0,
+            u: 0.0,
+            p: 1.0,
+        },
+        RiemannState {
+            rho: 0.125,
+            u: 0.0,
+            p: 0.1,
+        },
         1.4,
     )
 }
@@ -224,8 +254,16 @@ mod tests {
     fn symmetric_collision_is_symmetric() {
         // Two equal streams colliding: u* = 0, p* > inputs, mirror states.
         let s = solve(
-            RiemannState { rho: 1.0, u: 100.0, p: 1e5 },
-            RiemannState { rho: 1.0, u: -100.0, p: 1e5 },
+            RiemannState {
+                rho: 1.0,
+                u: 100.0,
+                p: 1e5,
+            },
+            RiemannState {
+                rho: 1.0,
+                u: -100.0,
+                p: 1e5,
+            },
             1.4,
         );
         assert!(s.u_star.abs() < 1e-8);
@@ -239,8 +277,16 @@ mod tests {
     fn expansion_into_low_pressure() {
         // Strong rarefaction: star pressure below both inputs.
         let s = solve(
-            RiemannState { rho: 1.0, u: -200.0, p: 1e5 },
-            RiemannState { rho: 1.0, u: 200.0, p: 1e5 },
+            RiemannState {
+                rho: 1.0,
+                u: -200.0,
+                p: 1e5,
+            },
+            RiemannState {
+                rho: 1.0,
+                u: 200.0,
+                p: 1e5,
+            },
             1.4,
         );
         assert!(s.p_star < 1e5);
@@ -253,15 +299,26 @@ mod tests {
         let pre = s.sample(3.0);
         let post = s.sample(1.2);
         let entropy = |st: &RiemannState| st.p / st.rho.powf(1.4);
-        assert!(entropy(&post) > entropy(&pre), "entropy must rise across the shock");
+        assert!(
+            entropy(&post) > entropy(&pre),
+            "entropy must rise across the shock"
+        );
     }
 
     #[test]
     #[should_panic(expected = "vacuum")]
     fn vacuum_detected() {
         let _ = solve(
-            RiemannState { rho: 1.0, u: -2000.0, p: 100.0 },
-            RiemannState { rho: 1.0, u: 2000.0, p: 100.0 },
+            RiemannState {
+                rho: 1.0,
+                u: -2000.0,
+                p: 100.0,
+            },
+            RiemannState {
+                rho: 1.0,
+                u: 2000.0,
+                p: 100.0,
+            },
             1.4,
         );
     }

@@ -14,7 +14,6 @@ use aerothermo_gas::thermo::Mixture;
 use aerothermo_gas::GasModel;
 use aerothermo_numerics::roots::{brent, RootError};
 
-
 /// Jump state behind a normal shock.
 #[derive(Debug, Clone, Copy)]
 pub struct ShockState {
@@ -83,7 +82,13 @@ pub fn normal_shock(
     let u2 = u1 / r;
     let p2 = ptot - mdot * u2;
     let e2 = (htot - 0.5 * u2 * u2) - p2 / rho2;
-    Ok(ShockState { rho: rho2, p: p2, u: u2, t: model.temperature(rho2, e2), e: e2 })
+    Ok(ShockState {
+        rho: rho2,
+        p: p2,
+        u: u2,
+        t: model.temperature(rho2, e2),
+        e: e2,
+    })
 }
 
 /// Oblique-shock relations for a perfect gas: given upstream Mach `m1` and
@@ -94,7 +99,10 @@ pub fn normal_shock(
 #[must_use]
 pub fn oblique_shock(m1: f64, beta: f64, gamma: f64) -> (f64, f64, f64, f64) {
     let mn1 = m1 * beta.sin();
-    assert!(mn1 > 1.0, "normal Mach {mn1} subsonic: no shock at this angle");
+    assert!(
+        mn1 > 1.0,
+        "normal Mach {mn1} subsonic: no shock at this angle"
+    );
     let (p_ratio, rho_ratio, _, mn2) = perfect_gas_jump(mn1, gamma);
     let theta = (2.0 / beta.tan() * (m1 * m1 * beta.sin() * beta.sin() - 1.0)
         / (m1 * m1 * (gamma + (2.0 * beta).cos()) + 2.0))
@@ -125,7 +133,10 @@ pub fn beta_from_theta(m1: f64, theta: f64, gamma: f64) -> Result<f64, RootError
         }
     }
     if theta > max_defl {
-        return Err(RootError::NoBracket { fa: theta, fb: max_defl });
+        return Err(RootError::NoBracket {
+            fa: theta,
+            fb: max_defl,
+        });
     }
     brent(
         |b| oblique_shock(m1, b, gamma).0 - theta,
@@ -188,7 +199,13 @@ pub fn frozen_shock(
     let p2 = ptot - mdot * u2;
     let t2 = p2 / (rho2 * r_gas);
     let e2 = h_frozen(t2) - p2 / rho2 - 0.0;
-    Ok(ShockState { rho: rho2, p: p2, u: u2, t: t2, e: e2 })
+    Ok(ShockState {
+        rho: rho2,
+        p: p2,
+        u: u2,
+        t: t2,
+        e: e2,
+    })
 }
 
 #[cfg(test)]
@@ -277,7 +294,11 @@ mod tests {
     fn oblique_shock_textbook_case() {
         // M1 = 3, β = 40°, γ = 1.4: θ ≈ 22°, M2 ≈ 1.9 (NACA 1135 charts).
         let (theta, p_ratio, _, m2) = oblique_shock(3.0, 40f64.to_radians(), 1.4);
-        assert!((theta.to_degrees() - 22.0).abs() < 0.5, "θ = {}", theta.to_degrees());
+        assert!(
+            (theta.to_degrees() - 22.0).abs() < 0.5,
+            "θ = {}",
+            theta.to_degrees()
+        );
         assert!((m2 - 1.9).abs() < 0.07, "M2 = {m2}");
         // Normal-component pressure ratio at Mn1 = 3 sin40° = 1.928: 4.17.
         assert!((p_ratio - 4.17).abs() < 0.05, "p2/p1 = {p_ratio}");
@@ -285,8 +306,8 @@ mod tests {
 
     #[test]
     fn beta_theta_roundtrip() {
-        for (m1, theta_deg) in [(2.0, 10.0), (5.0, 20.0), (10.0, 30.0)] {
-            let theta = (theta_deg as f64).to_radians();
+        for (m1, theta_deg) in [(2.0, 10.0_f64), (5.0, 20.0), (10.0, 30.0)] {
+            let theta = theta_deg.to_radians();
             let beta = beta_from_theta(m1, theta, 1.4).unwrap();
             let (th_back, ..) = oblique_shock(m1, beta, 1.4);
             assert!((th_back - theta).abs() < 1e-9, "M{m1} θ{theta_deg}");

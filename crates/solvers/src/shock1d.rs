@@ -18,6 +18,7 @@ use aerothermo_gas::relaxation::RelaxationModel;
 use aerothermo_numerics::constants::K_BOLTZMANN;
 use aerothermo_numerics::ode::{stiff_integrate, AdaptiveOptions};
 use aerothermo_numerics::roots::brent_expanding;
+use aerothermo_numerics::telemetry::SolverError;
 use std::cell::Cell;
 
 /// Upstream (freestream, shock-frame) conditions and composition.
@@ -103,11 +104,11 @@ pub fn solve(
     reactions: &ReactionSet,
     relaxation: &RelaxationModel,
     problem: &RelaxationProblem,
-) -> Result<RelaxationSolution, String> {
+) -> Result<RelaxationSolution, SolverError> {
     let mix = reactions.mixture();
     let ns = mix.len();
     if problem.y1.len() != ns {
-        return Err("y1 length mismatch".into());
+        return Err(SolverError::BadInput("y1 length mismatch".to_string()));
     }
 
     // Frozen jump sets the flux invariants and the initial condition.
@@ -240,10 +241,25 @@ pub fn solve(
         let x_mole = mix.mass_to_mole(&y);
         let n_total = p / (K_BOLTZMANN * t);
         let h_residual = (h_with_ev(t, &y, ev) + 0.5 * u * u - htot) / htot;
-        points.push(RelaxationPoint { x, t, tv, u, rho, p, y, x_mole, n_total, ev, h_residual });
+        points.push(RelaxationPoint {
+            x,
+            t,
+            tv,
+            u,
+            rho,
+            p,
+            y,
+            x_mole,
+            n_total,
+            ev,
+            h_residual,
+        });
     }
 
-    Ok(RelaxationSolution { points, t_frozen: jump.t })
+    Ok(RelaxationSolution {
+        points,
+        t_frozen: jump.t,
+    })
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@
 use aerothermo_gas::equilibrium::EquilibriumGas;
 use aerothermo_gas::transport::{mixture_conductivity, mixture_viscosity};
 use aerothermo_numerics::interp::MonotoneCubic;
+use aerothermo_numerics::telemetry::{RunTelemetry, SolverError};
 use aerothermo_numerics::tridiag::solve_tridiag;
 use rayon::prelude::*;
 
@@ -84,6 +85,9 @@ pub struct VslSolution {
     pub stations: Vec<VslStation>,
     /// Species names (mixture order).
     pub species_names: Vec<String>,
+    /// Run observability: property-table / relaxation phase timings, the
+    /// standoff mass-balance residual history, and counter deltas.
+    pub telemetry: RunTelemetry,
 }
 
 impl VslSolution {
@@ -116,7 +120,7 @@ struct PropertyTable {
 }
 
 impl PropertyTable {
-    fn build(gas: &EquilibriumGas, p: f64, t_min: f64, t_max: f64) -> Result<Self, String> {
+    fn build(gas: &EquilibriumGas, p: f64, t_min: f64, t_max: f64) -> Result<Self, SolverError> {
         let n = 96;
         let ts: Vec<f64> = (0..n)
             .map(|i| t_min * (t_max / t_min).powf(i as f64 / (n - 1) as f64))
@@ -147,7 +151,7 @@ impl PropertyTable {
                 Ok((st.enthalpy, st.density, mu, k, sink))
             })
             .collect();
-        let rows = rows?;
+        let rows = rows.map_err(SolverError::from)?;
         let h: Vec<f64> = rows.iter().map(|r| r.0).collect();
         let rho: Vec<f64> = rows.iter().map(|r| r.1).collect();
         let mu: Vec<f64> = rows.iter().map(|r| r.2).collect();
@@ -185,23 +189,27 @@ impl PropertyTable {
 
 /// Solve the stagnation-line VSL for an equilibrium gas.
 ///
+/// The returned solution carries a [`RunTelemetry`] sink with the
+/// property-table and relaxation phase timings and the standoff
+/// mass-balance residual history.
+///
 /// # Errors
-/// Propagates shock-jump, property-table, and convergence failures.
+/// Propagates shock-jump, property-table, and convergence failures as
+/// typed [`SolverError`]s ([`SolverError::IterationLimit`] when the
+/// standoff iteration exhausts its budget).
 #[allow(clippy::too_many_lines)]
-pub fn solve(gas: &EquilibriumGas, problem: &VslProblem) -> Result<VslSolution, String> {
-    let p_inf = problem.rho_inf
-        * aerothermo_numerics::constants::R_UNIVERSAL
-        * problem.t_inf
-        / {
-            // Cold-gas molar mass. The composition is frozen molecular well
-            // below ~1000 K, so evaluate the equilibrium at a comfortable
-            // 600 K — same molar mass, far better conditioning than the
-            // 100–200 K freestream for C/H/N mixtures.
-            let cold = gas
-                .at_trho(problem.t_inf.max(600.0), problem.rho_inf)
-                .map_err(|e| format!("freestream state: {e}"))?;
-            cold.molar_mass
-        };
+pub fn solve(gas: &EquilibriumGas, problem: &VslProblem) -> Result<VslSolution, SolverError> {
+    let mut telemetry = RunTelemetry::new();
+    let p_inf = problem.rho_inf * aerothermo_numerics::constants::R_UNIVERSAL * problem.t_inf / {
+        // Cold-gas molar mass. The composition is frozen molecular well
+        // below ~1000 K, so evaluate the equilibrium at a comfortable
+        // 600 K — same molar mass, far better conditioning than the
+        // 100–200 K freestream for C/H/N mixtures.
+        let cold = gas
+            .at_trho(problem.t_inf.max(600.0), problem.rho_inf)
+            .map_err(|e| format!("freestream state: {e}"))?;
+        cold.molar_mass
+    };
 
     // Post-shock equilibrium edge state.
     let jump = crate::shock::normal_shock(gas, problem.rho_inf, p_inf, problem.u_inf)
@@ -215,12 +223,13 @@ pub fn solve(gas: &EquilibriumGas, problem: &VslProblem) -> Result<VslSolution, 
     // K) strain the equilibrium solver in C/H/N mixtures without being used.
     let t_lo = (0.6 * problem.t_wall).max(250.0);
     let t_hi = (t_edge * 1.35).min(45_000.0);
-    let table = PropertyTable::build(gas, p_stag, t_lo, t_hi)?;
+    let table = telemetry.time_phase("vsl_property_table", || {
+        PropertyTable::build(gas, p_stag, t_lo, t_hi)
+    })?;
 
     // Newtonian edge velocity gradient.
     let rho_edge = table.rho_of_t.eval(t_edge);
-    let a_grad =
-        (2.0 * (p_stag - p_inf).max(0.0) / rho_edge).sqrt() / problem.nose_radius;
+    let a_grad = (2.0 * (p_stag - p_inf).max(0.0) / rho_edge).sqrt() / problem.nose_radius;
 
     let n = problem.n_points.max(12);
     // Two-sided clustering: boundary layer at the wall, shock at the edge.
@@ -239,6 +248,8 @@ pub fn solve(gas: &EquilibriumGas, problem: &VslProblem) -> Result<VslSolution, 
     let mut converged = false;
     let mut delta_prev = delta;
     let mut mass_prev = f64::NAN;
+    let mut mass_resid_hist: Vec<f64> = Vec::new();
+    let relax_t0 = std::time::Instant::now();
 
     for _outer in 0..40 {
         // Inner Picard iterations at fixed δ.
@@ -255,8 +266,8 @@ pub fn solve(gas: &EquilibriumGas, problem: &VslProblem) -> Result<VslSolution, 
             // Continuity: ρv(y) = −2∫ρU dy.
             let mut rv = vec![0.0; n];
             for i in 1..n {
-                rv[i] = rv[i - 1]
-                    - (rho[i] * u_fn[i] + rho[i - 1] * u_fn[i - 1]) * (y[i] - y[i - 1]);
+                rv[i] =
+                    rv[i - 1] - (rho[i] * u_fn[i] + rho[i - 1] * u_fn[i - 1]) * (y[i] - y[i - 1]);
             }
 
             // Momentum tridiagonal for U.
@@ -342,10 +353,8 @@ pub fn solve(gas: &EquilibriumGas, problem: &VslProblem) -> Result<VslSolution, 
             for i in 0..n {
                 let relax = 0.7;
                 let u_next = (1.0 - relax) * u_fn[i] + relax * u_new[i];
-                let h_next = (1.0 - relax) * h[i] + relax * h_new[i].clamp(
-                    table.h_of_t.eval(t_lo),
-                    table.h_of_t.eval(t_hi),
-                );
+                let h_next = (1.0 - relax) * h[i]
+                    + relax * h_new[i].clamp(table.h_of_t.eval(t_lo), table.h_of_t.eval(t_hi));
                 du = du.max((u_next - u_fn[i]).abs() / a_grad);
                 du = du.max((h_next - h[i]).abs() / h_edge.abs().max(1.0));
                 u_fn[i] = u_next;
@@ -365,6 +374,7 @@ pub fn solve(gas: &EquilibriumGas, problem: &VslProblem) -> Result<VslSolution, 
             mass += (rho[i] * u_fn[i] + rho[i - 1] * u_fn[i - 1]) * (y[i] - y[i - 1]);
         }
         let resid = mass - mdot;
+        mass_resid_hist.push((resid / mdot).abs());
         if resid.abs() < 1e-5 * mdot {
             converged = true;
             // Wall heat flux from the enthalpy gradient: q = Γ dh/dy.
@@ -388,8 +398,14 @@ pub fn solve(gas: &EquilibriumGas, problem: &VslProblem) -> Result<VslSolution, 
         delta = new_delta;
     }
 
+    telemetry.add_phase_secs("vsl_relax", relax_t0.elapsed().as_secs_f64());
+    telemetry.record_history("standoff_mass_residual", mass_resid_hist.clone());
     if !converged {
-        return Err("VSL standoff iteration did not converge".into());
+        return Err(SolverError::IterationLimit {
+            context: "VSL standoff iteration".to_string(),
+            iters: 40,
+            residual: mass_resid_hist.last().copied().unwrap_or(f64::NAN),
+        });
     }
 
     // Assemble stations with equilibrium compositions (parallel).
@@ -445,6 +461,7 @@ pub fn solve(gas: &EquilibriumGas, problem: &VslProblem) -> Result<VslSolution, 
             .iter()
             .map(|s| s.name.to_string())
             .collect(),
+        telemetry,
     })
 }
 
@@ -494,10 +511,8 @@ pub fn march(
     problem: &VslProblem,
     body: &dyn aerothermo_grid::bodies::Body,
     n_stations: usize,
-) -> Result<Vec<VslMarchStation>, String> {
-    let p_inf = problem.rho_inf
-        * aerothermo_numerics::constants::R_UNIVERSAL
-        * problem.t_inf
+) -> Result<Vec<VslMarchStation>, SolverError> {
+    let p_inf = problem.rho_inf * aerothermo_numerics::constants::R_UNIVERSAL * problem.t_inf
         / gas
             .at_trho(problem.t_inf.max(600.0), problem.rho_inf)
             .map_err(|e| format!("freestream state: {e}"))?
@@ -540,10 +555,8 @@ pub fn march(
             continue;
         }
         let p_e = p_inf + (p_stag - p_inf) * theta.sin().powi(2);
-        let u_e = (2.0
-            * h0
-            * (1.0 - (p_e / p_stag).powf((gamma_e - 1.0) / gamma_e)).max(0.0))
-        .sqrt();
+        let u_e =
+            (2.0 * h0 * (1.0 - (p_e / p_stag).powf((gamma_e - 1.0) / gamma_e)).max(0.0)).sqrt();
         if u_e < 1.0 {
             continue;
         }
@@ -558,10 +571,8 @@ pub fn march(
             let th2 = body.body_angle(s2);
             let (_, rb2) = body.point(s2);
             let pe2 = p_inf + (p_stag - p_inf) * th2.sin().powi(2);
-            let ue2 = (2.0
-                * h0
-                * (1.0 - (pe2 / p_stag).powf((gamma_e - 1.0) / gamma_e)).max(0.0))
-            .sqrt();
+            let ue2 =
+                (2.0 * h0 * (1.0 - (pe2 / p_stag).powf((gamma_e - 1.0) / gamma_e)).max(0.0)).sqrt();
             ((ue2 * rb2).max(1e-30).ln() - (u_e * r_b).max(1e-30).ln()) / (s2 - s).max(1e-12)
         }
         .max(1e-6);
@@ -584,8 +595,10 @@ pub fn march(
             let y: Vec<f64> = xi.iter().map(|&z| z * delta).collect();
             for _inner in 0..50 {
                 let t: Vec<f64> = h.iter().map(|&hv| table.t(hv)).collect();
-                let rho: Vec<f64> =
-                    t.iter().map(|&tv| table.rho_of_t.eval(tv) * p_scale).collect();
+                let rho: Vec<f64> = t
+                    .iter()
+                    .map(|&tv| table.rho_of_t.eval(tv) * p_scale)
+                    .collect();
                 let mu: Vec<f64> = t.iter().map(|&tv| table.mu_of_t.eval(tv)).collect();
                 let gam: Vec<f64> = t
                     .iter()
@@ -596,7 +609,9 @@ pub fn march(
                 let mut rv = vec![0.0; n];
                 for i in 1..n {
                     rv[i] = rv[i - 1]
-                        - 0.5 * lambda * (rho[i] * u[i] + rho[i - 1] * u[i - 1])
+                        - 0.5
+                            * lambda
+                            * (rho[i] * u[i] + rho[i - 1] * u[i - 1])
                             * (y[i] - y[i - 1]);
                 }
 
@@ -672,11 +687,7 @@ pub fn march(
                     let relax = 0.7;
                     let un = (1.0 - relax) * u[i] + relax * u_new[i];
                     let hn = (1.0 - relax) * h[i]
-                        + relax
-                            * h_new[i].clamp(
-                                table.h_of_t.eval(t_lo),
-                                table.h_of_t.eval(t_hi),
-                            );
+                        + relax * h_new[i].clamp(table.h_of_t.eval(t_lo), table.h_of_t.eval(t_hi));
                     du = du.max((un - u[i]).abs() / u_e.max(1.0));
                     du = du.max((hn - h[i]).abs() / h_e.abs().max(1.0));
                     u[i] = un;
@@ -689,8 +700,10 @@ pub fn march(
 
             // Mass balance on δ.
             let t: Vec<f64> = h.iter().map(|&hv| table.t(hv)).collect();
-            let rho: Vec<f64> =
-                t.iter().map(|&tv| table.rho_of_t.eval(tv) * p_scale).collect();
+            let rho: Vec<f64> = t
+                .iter()
+                .map(|&tv| table.rho_of_t.eval(tv) * p_scale)
+                .collect();
             let y: Vec<f64> = xi.iter().map(|&z| z * delta).collect();
             let mut mass = 0.0;
             for i in 1..n {
@@ -698,13 +711,12 @@ pub fn march(
             }
             let resid = mass - mass_target;
             if resid.abs() < 1e-4 * mass_target {
-                let g0 =
-                    table.k_of_t.eval(problem.t_wall) / table.cp_of_t.eval(problem.t_wall);
+                let g0 = table.k_of_t.eval(problem.t_wall) / table.cp_of_t.eval(problem.t_wall);
                 q_conv = g0 * (h[1] - h[0]) / (y[1] - y[0]);
                 if problem.radiating {
                     for i in 1..n {
-                        let em = 0.5
-                            * (table.sink_of_t.eval(t[i]) + table.sink_of_t.eval(t[i - 1]));
+                        let em =
+                            0.5 * (table.sink_of_t.eval(t[i]) + table.sink_of_t.eval(t[i - 1]));
                         q_rad += 0.5 * em * (y[i] - y[i - 1]) * 0.5;
                     }
                 }
@@ -739,7 +751,9 @@ pub fn march(
         }
     }
     if out.is_empty() {
-        return Err("VSL march: no station converged".into());
+        return Err(SolverError::Numerical(
+            "VSL march: no station converged".to_string(),
+        ));
     }
     Ok(out)
 }
@@ -813,7 +827,11 @@ mod tests {
         // At 6.7 km/s the edge is hot enough to dissociate O2 fully and N2
         // partially.
         let o2 = sol.species_profile("O2");
-        assert!(o2.last().unwrap().1 < 0.02, "O2 at edge: {}", o2.last().unwrap().1);
+        assert!(
+            o2.last().unwrap().1 < 0.02,
+            "O2 at edge: {}",
+            o2.last().unwrap().1
+        );
         assert!(x_edge < x_wall, "N2 must be depleted at the edge");
     }
 
@@ -825,11 +843,13 @@ mod tests {
         // Recompute 2∫ρU dy from the stations.
         let mut mass = 0.0;
         for w in sol.stations.windows(2) {
-            mass += (w[1].density * w[1].u_grad + w[0].density * w[0].u_grad)
-                * (w[1].y - w[0].y);
+            mass += (w[1].density * w[1].u_grad + w[0].density * w[0].u_grad) * (w[1].y - w[0].y);
         }
         let mdot = p.rho_inf * p.u_inf;
-        assert!((mass - mdot).abs() / mdot < 1e-3, "mass defect: {mass} vs {mdot}");
+        assert!(
+            (mass - mdot).abs() / mdot < 1e-3,
+            "mass defect: {mass} vs {mdot}"
+        );
     }
 
     #[test]
@@ -851,7 +871,11 @@ mod tests {
         let cn_max = cn.iter().map(|(_, x)| *x).fold(0.0, f64::max);
         assert!(cn_max > 1e-4, "CN peak mole fraction: {cn_max}");
         assert!(sol.q_rad_thin > 0.0);
-        assert!(sol.standoff > 0.005 && sol.standoff < 0.2, "δ = {}", sol.standoff);
+        assert!(
+            sol.standoff > 0.005 && sol.standoff < 0.2,
+            "δ = {}",
+            sol.standoff
+        );
     }
 
     #[test]
@@ -862,7 +886,11 @@ mod tests {
         let problem = shuttle_problem();
         let body = aerothermo_grid::bodies::Hemisphere::new(problem.nose_radius);
         let stations = march(&gas, &problem, &body, 10).unwrap();
-        assert!(stations.len() >= 7, "stations converged: {}", stations.len());
+        assert!(
+            stations.len() >= 7,
+            "stations converged: {}",
+            stations.len()
+        );
 
         let stag = solve(&gas, &problem).unwrap();
         for st in &stations {

@@ -16,11 +16,20 @@ fn run(gas: &dyn GasModel, label: &str, grid: &StructuredGrid, fs: (f64, f64, f6
         i_lo: Bc::SlipWall,
         i_hi: Bc::Outflow,
         j_lo: Bc::SlipWall,
-        j_hi: Bc::Inflow { rho: fs.0, ux: fs.1, ur: fs.2, p: fs.3 },
+        j_hi: Bc::Inflow {
+            rho: fs.0,
+            ux: fs.1,
+            ur: fs.2,
+            p: fs.3,
+        },
     };
-    let opts = EulerOptions { cfl: 0.4, startup_steps: 400, ..EulerOptions::default() };
+    let opts = EulerOptions {
+        cfl: 0.4,
+        startup_steps: 400,
+        ..EulerOptions::default()
+    };
     let mut solver = EulerSolver::new(grid, gas, bc, opts, fs);
-    let (steps, ratio) = solver.run(5000, 1e-3);
+    let (steps, ratio) = solver.run(5000, 1e-3).expect("stable Euler run");
     let standoff = solver.standoff(fs.0).unwrap_or(f64::NAN);
     let q = solver.primitive(0, 0);
     println!(
@@ -39,9 +48,7 @@ fn main() {
     let a_inf = (1.4_f64 * 287.05 * t_inf).sqrt();
     let v_inf = 15.0 * a_inf;
     let fs = (rho_inf, v_inf, 0.0, p_inf);
-    println!(
-        "Mach 15 hemisphere, Rn = 0.25 m: rho∞ = {rho_inf:.3e} kg/m³, V = {v_inf:.0} m/s"
-    );
+    println!("Mach 15 hemisphere, Rn = 0.25 m: rho∞ = {rho_inf:.3e} kg/m³, V = {v_inf:.0} m/s");
 
     let rn = 0.25;
     let body = Hemisphere::new(rn);
@@ -57,7 +64,10 @@ fn main() {
     println!("\nshock standoff:");
     println!("  ideal gas      : Δ/Rn = {:.3}", d_ideal / rn);
     println!("  equilibrium air: Δ/Rn = {:.3}", d_eq / rn);
-    println!("  compression    : {:.0}% thinner", 100.0 * (1.0 - d_eq / d_ideal));
+    println!(
+        "  compression    : {:.0}% thinner",
+        100.0 * (1.0 - d_eq / d_ideal)
+    );
 
     // Compare against the density-ratio correlation.
     let st_eq = aerothermo::core::stagnation::stagnation_state(table, rho_inf, p_inf, v_inf)

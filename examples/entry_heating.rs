@@ -14,36 +14,63 @@ use aerothermo::atmosphere::trajectory::{
     fly, peak_deceleration, EntryConditions, StopConditions, Vehicle,
 };
 use aerothermo::atmosphere::us76::Us76;
-use aerothermo::core::heating::{
-    heat_load, heat_pulse, radiative_tauber_sutton_earth,
-};
+use aerothermo::core::heating::{heat_load, heat_pulse, radiative_tauber_sutton_earth};
 use aerothermo::solvers::blayer::SUTTON_GRAVES_EARTH;
 
 fn main() {
     // --- Earth sample-return capsule ---------------------------------------
     println!("== Earth return capsule: 11 km/s, γE = -9° ==");
-    let capsule = Vehicle { mass: 80.0, area: 0.72, cd: 1.1, ld: 0.0, nose_radius: 0.4 };
+    let capsule = Vehicle {
+        mass: 80.0,
+        area: 0.72,
+        cd: 1.1,
+        ld: 0.0,
+        nose_radius: 0.4,
+    };
     let traj = fly(
         &Us76,
         &capsule,
-        EntryConditions { altitude: 120_000.0, velocity: 11_000.0, gamma: -9f64.to_radians() },
+        EntryConditions {
+            altitude: 120_000.0,
+            velocity: 11_000.0,
+            gamma: -9f64.to_radians(),
+        },
         StopConditions::default(),
     );
     let pulse = heat_pulse(&traj, capsule.nose_radius, SUTTON_GRAVES_EARTH, |p| {
         radiative_tauber_sutton_earth(p.density, p.velocity, capsule.nose_radius)
     });
-    let peak_c = pulse.iter().max_by(|a, b| a.q_conv.total_cmp(&b.q_conv)).unwrap();
-    let peak_r = pulse.iter().max_by(|a, b| a.q_rad.total_cmp(&b.q_rad)).unwrap();
+    let peak_c = pulse
+        .iter()
+        .max_by(|a, b| a.q_conv.total_cmp(&b.q_conv))
+        .unwrap();
+    let peak_r = pulse
+        .iter()
+        .max_by(|a, b| a.q_rad.total_cmp(&b.q_rad))
+        .unwrap();
     let (load_c, load_r) = heat_load(&pulse);
     let peak_g = peak_deceleration(&traj).unwrap();
-    println!("  peak convective : {:8.1} W/cm² at t = {:.0} s (h = {:.1} km)",
-        peak_c.q_conv / 1e4, peak_c.time, peak_c.altitude / 1000.0);
-    println!("  peak radiative  : {:8.1} W/cm² at t = {:.0} s",
-        peak_r.q_rad / 1e4, peak_r.time);
-    println!("  heat loads      : {:.1} / {:.1} kJ/cm² (conv/rad)",
-        load_c / 1e7, load_r / 1e7);
-    println!("  peak load factor: {:.1} g at V = {:.2} km/s",
-        peak_g.deceleration / 9.81, peak_g.velocity / 1000.0);
+    println!(
+        "  peak convective : {:8.1} W/cm² at t = {:.0} s (h = {:.1} km)",
+        peak_c.q_conv / 1e4,
+        peak_c.time,
+        peak_c.altitude / 1000.0
+    );
+    println!(
+        "  peak radiative  : {:8.1} W/cm² at t = {:.0} s",
+        peak_r.q_rad / 1e4,
+        peak_r.time
+    );
+    println!(
+        "  heat loads      : {:.1} / {:.1} kJ/cm² (conv/rad)",
+        load_c / 1e7,
+        load_r / 1e7
+    );
+    println!(
+        "  peak load factor: {:.1} g at V = {:.2} km/s",
+        peak_g.deceleration / 9.81,
+        peak_g.velocity / 1000.0
+    );
 
     // --- Titan probe ---------------------------------------------------------
     println!("\n== Titan probe: 12 km/s, γE = -32° ==");
@@ -52,14 +79,29 @@ fn main() {
     let traj = fly(
         &atm,
         &probe,
-        EntryConditions { altitude: 450_000.0, velocity: 12_000.0, gamma: -32f64.to_radians() },
-        StopConditions { min_velocity: 500.0, ..StopConditions::default() },
+        EntryConditions {
+            altitude: 450_000.0,
+            velocity: 12_000.0,
+            gamma: -32f64.to_radians(),
+        },
+        StopConditions {
+            min_velocity: 500.0,
+            ..StopConditions::default()
+        },
     );
     let pulse = heat_pulse(&traj, probe.nose_radius, 1.7e-4, |_| 0.0);
-    let peak = pulse.iter().max_by(|a, b| a.q_conv.total_cmp(&b.q_conv)).unwrap();
+    let peak = pulse
+        .iter()
+        .max_by(|a, b| a.q_conv.total_cmp(&b.q_conv))
+        .unwrap();
     let (load, _) = heat_load(&pulse);
-    println!("  peak convective : {:8.1} W/cm² at t = {:.0} s (h = {:.0} km, V = {:.2} km/s)",
-        peak.q_conv / 1e4, peak.time, peak.altitude / 1000.0, peak.velocity / 1000.0);
+    println!(
+        "  peak convective : {:8.1} W/cm² at t = {:.0} s (h = {:.0} km, V = {:.2} km/s)",
+        peak.q_conv / 1e4,
+        peak.time,
+        peak.altitude / 1000.0,
+        peak.velocity / 1000.0
+    );
     println!("  heat load       : {:.1} kJ/cm²", load / 1e7);
     println!("  (the CN radiative pulse for this entry: see fig02_titan_heating)");
 

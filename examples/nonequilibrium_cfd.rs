@@ -30,7 +30,13 @@ fn main() {
     let mut y = vec![0.0; gas.mixture().len()];
     y[0] = 0.767;
     y[1] = 0.233;
-    let fs = FreeStream { y, rho: 1.5e-3, ux: 5500.0, ur: 0.0, t: 250.0 };
+    let fs = FreeStream {
+        y,
+        rho: 1.5e-3,
+        ux: 5500.0,
+        ur: 0.0,
+        t: 250.0,
+    };
     println!(
         "reacting Euler: hemisphere Rn = {rn} m, V = {} m/s, rho = {} kg/m³",
         fs.ux, fs.rho
@@ -42,10 +48,13 @@ fn main() {
         j_lo: ReactingBc::SlipWall,
         j_hi: ReactingBc::Inflow(fs.clone()),
     };
-    let opts = ReactingOptions { startup_steps: 200, ..ReactingOptions::default() };
+    let opts = ReactingOptions {
+        startup_steps: 200,
+        ..ReactingOptions::default()
+    };
     let mut solver = ReactingSolver::new(&grid, &set, &relax, bc, opts, &fs);
     for block in 0..4 {
-        let r = solver.run(130);
+        let r = solver.run(130).expect("stable run");
         println!("  after {} steps: residual {r:.3e}", (block + 1) * 130);
     }
 
@@ -62,7 +71,10 @@ fn main() {
     }
 
     let line = solver.stagnation_line();
-    let j_shock = (0..line.len()).rev().find(|&j| line[j].t > 500.0).unwrap_or(0);
+    let j_shock = (0..line.len())
+        .rev()
+        .find(|&j| line[j].t > 500.0)
+        .unwrap_or(0);
     let behind = &line[j_shock.saturating_sub(1)];
     println!(
         "\nbehind the shock: T = {:.0} K, Tv = {:.0} K  (thermal nonequilibrium: Tv lags)",

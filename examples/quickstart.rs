@@ -32,8 +32,14 @@ fn main() {
     // Post-shock and stagnation conditions with real-gas chemistry.
     let st = stagnation_state(table, rho, p, v).expect("stagnation state");
     println!("\npost-shock (equilibrium air):");
-    println!("            T2 = {:.0} K, p2 = {:.0} Pa, rho2/rho∞ = {:.1}", st.t_shock, st.p_shock, st.density_ratio);
-    println!("stagnation: T0 = {:.0} K, p0 = {:.0} Pa", st.t_stag, st.p_stag);
+    println!(
+        "            T2 = {:.0} K, p2 = {:.0} Pa, rho2/rho∞ = {:.1}",
+        st.t_shock, st.p_shock, st.density_ratio
+    );
+    println!(
+        "stagnation: T0 = {:.0} K, p0 = {:.0} Pa",
+        st.t_stag, st.p_stag
+    );
 
     // What is the gas made of at the stagnation point?
     let state = gas.at_tp(st.t_stag, st.p_stag).expect("composition");
@@ -51,7 +57,10 @@ fn main() {
         .expect("Fay-Riddell");
     println!("\nfor a {rn} m nose radius:");
     println!("            shock standoff ≈ {:.1} mm", delta * 1000.0);
-    println!("            stagnation heating ≈ {:.1} W/cm² (Fay-Riddell, equilibrium)", q / 1e4);
+    println!(
+        "            stagnation heating ≈ {:.1} W/cm² (Fay-Riddell, equilibrium)",
+        q / 1e4
+    );
 
     // The ideal-gas answer would be very different:
     let e = table.energy(rho, p);

@@ -26,7 +26,6 @@
 //! repository root for the paper-to-code map.
 #![warn(missing_docs)]
 
-
 pub use aerothermo_atmosphere as atmosphere;
 pub use aerothermo_core as core;
 pub use aerothermo_gas as gas;

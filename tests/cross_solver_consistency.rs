@@ -30,13 +30,23 @@ fn relaxation_reaches_equilibrium_shock_state() {
     let sol = relax_solve(
         &set,
         &relax,
-        &RelaxationProblem { u1, t1, p1, y1, x_end: 0.08 },
+        &RelaxationProblem {
+            u1,
+            t1,
+            p1,
+            y1,
+            x_end: 0.08,
+        },
     )
     .unwrap();
     let end = sol.points.last().unwrap();
 
     // Equilibrium jump for the same upstream state.
-    let rho1 = p1 / (gas.mixture().gas_constant(&[0.767, 0.233, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]) * t1);
+    let rho1 = p1
+        / (gas
+            .mixture()
+            .gas_constant(&[0.767, 0.233, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0])
+            * t1);
     let jump = normal_shock(&gas, rho1, p1, u1).unwrap();
 
     assert!(
@@ -84,11 +94,20 @@ fn euler_standoff_matches_correlation() {
         i_lo: Bc::SlipWall,
         i_hi: Bc::Outflow,
         j_lo: Bc::SlipWall,
-        j_hi: Bc::Inflow { rho: fs.0, ux: fs.1, ur: fs.2, p: fs.3 },
+        j_hi: Bc::Inflow {
+            rho: fs.0,
+            ux: fs.1,
+            ur: fs.2,
+            p: fs.3,
+        },
     };
-    let opts = EulerOptions { cfl: 0.4, startup_steps: 300, ..EulerOptions::default() };
+    let opts = EulerOptions {
+        cfl: 0.4,
+        startup_steps: 300,
+        ..EulerOptions::default()
+    };
     let mut solver = EulerSolver::new(&grid, &gas, bc, opts, fs);
-    solver.run(3500, 1e-3);
+    solver.run(3500, 1e-3).expect("stable run");
     let d_cfd = solver.standoff(rho_inf).unwrap();
 
     let st = stagnation_state(&gas, rho_inf, p_inf, v_inf).unwrap();

@@ -11,6 +11,71 @@ use aerothermo::solvers::shock1d::{solve as relax_solve, RelaxationProblem};
 use aerothermo::solvers::vsl::{solve as vsl_solve, VslProblem};
 
 #[test]
+fn unstable_cfl_reports_divergence_not_a_hang() {
+    use aerothermo::grid::bodies::Hemisphere;
+    use aerothermo::grid::{stretch, StructuredGrid};
+    use aerothermo::numerics::telemetry::SolverError;
+    use aerothermo::solvers::euler2d::{Bc, BcSet, EulerOptions, EulerSolver};
+
+    let gas = IdealGas::air();
+    let t_inf = 230.0;
+    let p_inf = 300.0;
+    let rho_inf = p_inf / (287.05 * t_inf);
+    let v_inf = 8.0 * (1.4_f64 * 287.05 * t_inf).sqrt();
+    let body = Hemisphere::new(0.2);
+    let dist = stretch::uniform(31);
+    let grid = StructuredGrid::blunt_body(&body, 9, 31, &|sb| (0.3 + 0.2 * sb) * 0.2, &dist);
+    let fs = (rho_inf, v_inf, 0.0, p_inf);
+    let bc = BcSet {
+        i_lo: Bc::SlipWall,
+        i_hi: Bc::Outflow,
+        j_lo: Bc::SlipWall,
+        j_hi: Bc::Inflow {
+            rho: fs.0,
+            ux: fs.1,
+            ur: fs.2,
+            p: fs.3,
+        },
+    };
+    // CFL 2.0 is beyond the explicit stability limit: the residual grows
+    // geometrically and the monitor's growth criterion must cut the run
+    // off — not spin to the iteration cap or grind on NaN fields. (Still
+    // higher CFL blows up to NaN before the growth test arms and returns
+    // `NonFinite` instead; 2.0 sits in the clean-divergence band.)
+    let opts = EulerOptions {
+        cfl: 2.0,
+        startup_steps: 0,
+        ..EulerOptions::default()
+    };
+    let mut solver = EulerSolver::new(&grid, &gas, bc, opts, fs);
+    let err = solver
+        .run(100_000, 1e-12)
+        .expect_err("CFL 2.0 cannot converge");
+    match err {
+        SolverError::Diverged { iter, residual } => {
+            assert!(
+                iter < 2_000,
+                "divergence must be detected early, not at iter {iter}"
+            );
+            assert!(
+                residual.is_finite(),
+                "Diverged carries the offending residual"
+            );
+        }
+        other => panic!("expected Diverged, got {other}"),
+    }
+    // Even a failed run leaves its residual history observable.
+    assert!(
+        solver
+            .telemetry
+            .histories()
+            .iter()
+            .any(|(name, h)| name == "density_residual" && !h.is_empty()),
+        "telemetry must retain the residual history of the failed run"
+    );
+}
+
+#[test]
 fn subsonic_freestream_rejected_by_shock_solver() {
     let gas = IdealGas::air();
     let err = normal_shock(&gas, 1.2, 101_325.0, 50.0);
@@ -31,7 +96,7 @@ fn vsl_rejects_subsonic_entry() {
     };
     let res = vsl_solve(&gas, &problem);
     assert!(res.is_err(), "VSL must refuse a subsonic freestream");
-    let msg = res.unwrap_err();
+    let msg = res.unwrap_err().to_string();
     assert!(msg.contains("shock"), "error should carry context: {msg}");
 }
 
@@ -109,7 +174,13 @@ fn stiff_integrator_reports_newton_failure_on_pathological_system() {
         0.0,
         10.0,
         &mut y,
-        &AdaptiveOptions { rtol: 1e-8, atol: 1e-12, h0: 1e-3, hmin: 1e-13, ..Default::default() },
+        &AdaptiveOptions {
+            rtol: 1e-8,
+            atol: 1e-12,
+            h0: 1e-3,
+            hmin: 1e-13,
+            ..Default::default()
+        },
         |_, _| {},
     );
     // y reaches the singularity at x = 0.5 (y = 1 − √(1−2x)): the marcher
@@ -117,7 +188,9 @@ fn stiff_integrator_reports_newton_failure_on_pathological_system() {
     assert!(
         matches!(
             res,
-            Err(OdeError::NewtonFailure(_) | OdeError::StepUnderflow(_) | OdeError::TooManySteps(_))
+            Err(OdeError::NewtonFailure(_)
+                | OdeError::StepUnderflow(_)
+                | OdeError::TooManySteps(_))
         ),
         "expected failure, got {res:?} with y = {y:?}"
     );

@@ -12,7 +12,11 @@ fn plate_grid(ni: usize, nj: usize, lx: f64, ly: f64, beta: f64) -> StructuredGr
     let ys = aerothermo::grid::stretch::tanh_one_sided(nj, beta);
     let x = Field2::from_fn(ni, nj, |i, _| lx * i as f64 / (ni - 1) as f64);
     let r = Field2::from_fn(ni, nj, |_, j| ly * ys[j]);
-    StructuredGrid { x, r, geometry: Geometry::Planar }
+    StructuredGrid {
+        x,
+        r,
+        geometry: Geometry::Planar,
+    }
 }
 
 #[test]
@@ -36,18 +40,32 @@ fn blasius_skin_friction_and_heating() {
     let grid = plate_grid(49, 49, lx, ly, 3.0);
     let fs = (rho_inf, v_inf, 0.0, p_inf);
     let bc = BcSet {
-        i_lo: Bc::Inflow { rho: fs.0, ux: fs.1, ur: fs.2, p: fs.3 },
+        i_lo: Bc::Inflow {
+            rho: fs.0,
+            ux: fs.1,
+            ur: fs.2,
+            p: fs.3,
+        },
         i_hi: Bc::Outflow,
         j_lo: Bc::SlipWall, // inviscid part; no-slip enters viscously
-        j_hi: Bc::Inflow { rho: fs.0, ux: fs.1, ur: fs.2, p: fs.3 },
+        j_hi: Bc::Inflow {
+            rho: fs.0,
+            ux: fs.1,
+            ur: fs.2,
+            p: fs.3,
+        },
     };
     // Near-adiabatic wall: recovery temperature at M2 ≈ T∞(1+0.18·M²)·…
     // use an isothermal wall at the recovery value so heating ≈ 0 and the
     // velocity profile is clean Blasius-with-Mach-2-correction.
     let t_wall = t_inf * (1.0 + 0.85 * 0.2 * m_inf * m_inf);
-    let opts = EulerOptions { cfl: 0.5, startup_steps: 400, ..EulerOptions::default() };
+    let opts = EulerOptions {
+        cfl: 0.5,
+        startup_steps: 400,
+        ..EulerOptions::default()
+    };
     let mut solver = NsSolver::new(&grid, &gas, bc, opts, fs, Transport::air(), t_wall);
-    solver.run(20_000, 1e-9);
+    solver.run(20_000, 1e-9).expect("stable run");
 
     // Skin-friction law: c_f·√Re_x = 0.664 (Blasius; compressibility at
     // M2 with C ≈ 1 changes this by ≲ 10%). Probe the mid-plate stations
@@ -103,7 +121,13 @@ fn blasius_skin_friction_and_heating() {
         let h_aw = 1004.5 * t_wall;
         let h_w = 1004.5 * 300.0;
         aerothermo::solvers::blayer::flat_plate_heating(
-            rho_inf, mu_inf, v_inf, m.xc[(24, 0)], h_aw, h_w, 0.72,
+            rho_inf,
+            mu_inf,
+            v_inf,
+            m.xc[(24, 0)],
+            h_aw,
+            h_w,
+            0.72,
         )
     };
     assert!(

@@ -37,15 +37,24 @@ fn adaptation_concentrates_points_in_shock_layer() {
         i_lo: Bc::SlipWall,
         i_hi: Bc::Outflow,
         j_lo: Bc::SlipWall,
-        j_hi: Bc::Inflow { rho: fs.0, ux: fs.1, ur: fs.2, p: fs.3 },
+        j_hi: Bc::Inflow {
+            rho: fs.0,
+            ux: fs.1,
+            ur: fs.2,
+            p: fs.3,
+        },
     };
-    let opts = EulerOptions { cfl: 0.4, startup_steps: 300, ..EulerOptions::default() };
+    let opts = EulerOptions {
+        cfl: 0.4,
+        startup_steps: 300,
+        ..EulerOptions::default()
+    };
 
     // Pass 1: generous (wasteful) envelope.
     let dist = stretch::uniform(41);
     let coarse = StructuredGrid::blunt_body(&body, 17, 41, &|sb| (0.5 + 0.3 * sb) * rn, &dist);
     let mut s1 = EulerSolver::new(&coarse, &gas, bc, opts.clone(), fs);
-    s1.run(3000, 1e-3);
+    s1.run(3000, 1e-3).expect("stable run");
     let d1 = shock_distances(&s1, rho_inf);
     let env1: Vec<f64> = (0..17)
         .map(|i| (0.5 + 0.3 * i as f64 / 16.0) * rn)
@@ -58,7 +67,7 @@ fn adaptation_concentrates_points_in_shock_layer() {
     let adapted = blunt_body_adapted(&body, &env2, &dist);
     assert!(assess(&adapted).acceptable(), "adapted grid quality");
     let mut s2 = EulerSolver::new(&adapted, &gas, bc, opts, fs);
-    s2.run(3000, 1e-3);
+    s2.run(3000, 1e-3).expect("stable run");
     let d2 = shock_distances(&s2, rho_inf);
     let fill2 = shock_layer_fill(&d2, &env2);
     let standoff2 = s2.standoff(rho_inf).expect("pass-2 shock");

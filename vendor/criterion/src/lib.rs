@@ -1,0 +1,216 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the benchmark surface the workspace uses: `black_box`,
+//! `Criterion::bench_function`, `benchmark_group`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is a plain wall-clock harness: calibrate the iteration count
+//! to a ~300 ms measurement window, run three batches, report min/mean/max
+//! per-iteration time. Passing `--test` or `--quick` (or setting
+//! `CRITERION_QUICK=1`) runs each benchmark once — that is what CI uses to
+//! smoke-test bench targets without paying measurement time.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-uses the std hint).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug)]
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick_arg = std::env::args().any(|a| a == "--test" || a == "--quick");
+        let quick_env = std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0");
+        Self {
+            quick: quick_arg || quick_env,
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_named(&id.into(), self.quick, &mut f);
+        self
+    }
+
+    /// Start a named group; member benchmarks print as `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            prefix: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.prefix, id.into());
+        run_named(&name, self.parent.quick, &mut f);
+        self
+    }
+
+    /// End the group (a no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_named<F: FnMut(&mut Bencher)>(name: &str, quick: bool, f: &mut F) {
+    let mut b = Bencher {
+        quick,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    match b.report() {
+        Some((min, mean, max)) if !quick => {
+            println!(
+                "{name:<44} time: [{} {} {}]",
+                fmt_ns(min),
+                fmt_ns(mean),
+                fmt_ns(max)
+            );
+        }
+        _ => println!("{name:<44} ok (quick mode)"),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Per-benchmark timing driver.
+#[derive(Debug)]
+pub struct Bencher {
+    quick: bool,
+    /// Per-batch mean nanoseconds per iteration.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time the closure: calibrated batches in normal mode, a single call in
+    /// quick mode.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.quick {
+            black_box(f());
+            return;
+        }
+        // Calibrate: grow the iteration count until one batch costs ≥ 25 ms.
+        let mut n: u64 = 1;
+        let batch_ns = loop {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(25) || n >= (1 << 24) {
+                break dt.as_nanos() as f64;
+            }
+            n *= 4;
+        };
+        self.samples.push(batch_ns / n as f64);
+        // Measure: three more batches sized to ~100 ms each.
+        let per_iter = (batch_ns / n as f64).max(0.1);
+        let m = ((100.0e6 / per_iter) as u64).clamp(1, 1 << 26);
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            for _ in 0..m {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed().as_nanos() as f64 / m as f64);
+        }
+    }
+
+    fn report(&self) -> Option<(f64, f64, f64)> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let min = self.samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = self.samples.iter().copied().fold(0.0_f64, f64::max);
+        let mean = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
+        Some((min, mean, max))
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bencher_runs_once() {
+        let mut b = Bencher {
+            quick: true,
+            samples: Vec::new(),
+        };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.report().is_none());
+    }
+
+    #[test]
+    fn group_names_compose() {
+        let mut c = Criterion { quick: true };
+        let mut g = c.benchmark_group("grp");
+        let mut ran = false;
+        g.bench_function("inner", |b| b.iter(|| ran = true));
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12.0e3).ends_with("µs"));
+        assert!(fmt_ns(12.0e6).ends_with("ms"));
+        assert!(fmt_ns(12.0e9).ends_with('s'));
+    }
+}

@@ -1,0 +1,277 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! supplies the slice of proptest the workspace uses: the `proptest!` macro
+//! with `#![proptest_config(...)]`, range strategies over floats and
+//! integers, and `prop_assert!`/`prop_assert_eq!`/`prop_assume!`.
+//!
+//! Sampling is deterministic: each case's inputs derive from a hash of the
+//! test's module path + name and the case index (splitmix64), so failures
+//! are exactly reproducible without persistence files. There is no
+//! shrinking — the failing inputs are printed verbatim instead.
+//!
+//! The `PROPTEST_CASES` environment variable **caps** the per-test case
+//! count: the effective count is `min(config.cases, PROPTEST_CASES)`. CI
+//! uses this to bound property-test wall-clock.
+
+/// Runner configuration and helpers (mirrors `proptest::test_runner`).
+pub mod test_runner {
+    /// Subset of proptest's `Config`, accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Unused; kept for struct-update compatibility with real proptest.
+        pub max_shrink_iters: u32,
+        /// Unused; kept for struct-update compatibility with real proptest.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self {
+                cases: 256,
+                max_shrink_iters: 1024,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// Assertion failure with its message.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject,
+    }
+}
+
+/// Effective case count: the configured count capped by `PROPTEST_CASES`.
+#[must_use]
+pub fn effective_cases(configured: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse::<u32>().ok())
+    {
+        Some(env_cap) => configured.min(env_cap.max(1)),
+        None => configured,
+    }
+}
+
+/// Deterministic per-case RNG (splitmix64 over an FNV-1a seed).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for `case` of the test identified by `name` (module path + fn).
+    #[must_use]
+    pub fn for_case(name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut rng = Self {
+            state: h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        };
+        // One warmup step decorrelates adjacent case indices.
+        let _ = rng.next_u64();
+        rng
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A value generator over a parameter space (subset of proptest's trait).
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start() + rng.next_f64() * (self.end() - self.start())
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = self.end.wrapping_sub(self.start) as u64;
+                if span == 0 {
+                    self.start
+                } else {
+                    self.start.wrapping_add((rng.next_u64() % span) as $t)
+                }
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(u64, usize, u32, i64, i32);
+
+/// Expands to one `#[test]` fn per property, looping over sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+/// Internal muncher for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let cases = $crate::effective_cases(config.cases);
+            for case in 0..cases {
+                let mut rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject,
+                    ) => {}
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(msg),
+                    ) => {
+                        panic!(
+                            "proptest case {}/{} failed: {}\n  inputs: {}",
+                            case + 1, cases, msg, inputs
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}
+
+/// Property assertion: on failure, returns an error carrying the message
+/// (the runner reports it with the sampled inputs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality property assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Skip the current case when its sampled inputs are out of scope.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The proptest prelude: macros, the strategy trait, and `ProptestConfig`.
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = crate::TestRng::for_case("x::y", 3);
+        let mut b = crate::TestRng::for_case("x::y", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::TestRng::for_case("x::y", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn effective_cases_respects_config_without_env() {
+        // The env var may be set by CI; only check the no-env lower bound.
+        assert!(crate::effective_cases(64) <= 64);
+        assert!(crate::effective_cases(64) >= 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn f64_range_in_bounds(x in 2.0_f64..5.0) {
+            prop_assert!((2.0..5.0).contains(&x), "x = {}", x);
+        }
+
+        #[test]
+        fn u64_range_in_bounds(n in 10u64..20) {
+            prop_assert!((10..20).contains(&n));
+            prop_assume!(n != 11);
+            prop_assert!(n != 11);
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Offline drop-in subset of the `rayon` API.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the small slice of rayon that the workspace actually uses:
+//! `par_iter`/`into_par_iter` + `map` + `collect`/`unzip`, and
+//! `ThreadPoolBuilder`/`ThreadPool::install` for the thread-scaling benches.
+//!
+//! Parallelism is real: work is chunked across `std::thread::scope` threads,
+//! one chunk per logical core (or per `ThreadPool` thread inside `install`),
+//! with order-preserving reassembly. Error-carrying collects
+//! (`collect::<Result<Vec<_>, E>>()`) short-circuit on the first `Err` in
+//! chunk order, matching rayon's deterministic collect semantics closely
+//! enough for this workspace.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+thread_local! {
+    /// Thread count override installed by [`ThreadPool::install`];
+    /// 0 means "use the global default".
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        Some(n) if n > 0 => n,
+        _ => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    }
+}
+
+/// Number of threads parallel operations will use on this thread right now.
+pub fn current_num_threads() -> usize {
+    let n = POOL_THREADS.with(Cell::get);
+    if n == 0 {
+        default_num_threads()
+    } else {
+        n
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type kept for API compatibility; building a pool cannot fail here.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// New builder with the default thread count.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the pool's thread count (0 = default).
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.
+    ///
+    /// # Errors
+    /// Never fails in this implementation; the `Result` mirrors rayon.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            default_num_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A "pool" that scopes the thread count used by parallel iterators
+/// executed inside [`ThreadPool::install`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+struct PoolGuard(usize);
+
+impl Drop for PoolGuard {
+    fn drop(&mut self) {
+        POOL_THREADS.with(|c| c.set(self.0));
+    }
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count governing nested parallel
+    /// iterators (panic-safe restore of the previous count).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(Cell::get);
+        POOL_THREADS.with(|c| c.set(self.num_threads));
+        let _guard = PoolGuard(prev);
+        f()
+    }
+
+    /// This pool's thread count.
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Order-preserving parallel map over owned items: split into one chunk per
+/// thread, run under `std::thread::scope`, reassemble in order.
+fn par_map_vec<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let len = items.len();
+    let nt = current_num_threads().clamp(1, len.max(1));
+    if nt <= 1 || len <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = len.div_ceil(nt);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(nt);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let outputs: Vec<Vec<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(len);
+    for chunk in outputs {
+        out.extend(chunk);
+    }
+    out
+}
+
+/// A materialized parallel iterator (the only base kind this subset needs).
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Map each item with `f`, to be executed in parallel on consumption.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator: terminal operations run the map in parallel.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    fn run<R>(self) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        par_map_vec(self.items, &self.f)
+    }
+
+    /// Collect mapped results, preserving input order. Supports any
+    /// `FromIterator` target, including `Result<Vec<_>, E>`.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        self.run().into_iter().collect()
+    }
+
+    /// Unzip mapped pairs into two collections, preserving input order.
+    pub fn unzip<A, B, CA, CB>(self) -> (CA, CB)
+    where
+        A: Send,
+        B: Send,
+        F: Fn(T) -> (A, B) + Sync,
+        CA: Default + Extend<A>,
+        CB: Default + Extend<B>,
+    {
+        self.run().into_iter().unzip()
+    }
+}
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Convert into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// `par_iter()` on slices (and, by deref, `Vec`).
+pub trait ParallelSliceRef<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<&T>;
+}
+
+impl<T: Sync> ParallelSliceRef<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The rayon prelude: glob-import the iterator traits.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSliceRef};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 1000);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i * 2);
+        }
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits() {
+        let r: Result<Vec<usize>, String> = (0..100)
+            .into_par_iter()
+            .map(|i| {
+                if i == 57 {
+                    Err(format!("bad {i}"))
+                } else {
+                    Ok(i)
+                }
+            })
+            .collect();
+        assert_eq!(r.unwrap_err(), "bad 57");
+        let ok: Result<Vec<usize>, String> = (0..100).into_par_iter().map(Ok).collect();
+        assert_eq!(ok.unwrap().len(), 100);
+    }
+
+    #[test]
+    fn par_iter_unzip() {
+        let xs = [1.0_f64, 2.0, 3.0];
+        let (a, b): (Vec<f64>, Vec<f64>) = xs.par_iter().map(|&x| (x, -x)).unzip();
+        assert_eq!(a, vec![1.0, 2.0, 3.0]);
+        assert_eq!(b, vec![-1.0, -2.0, -3.0]);
+    }
+
+    #[test]
+    fn pool_install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 3);
+        assert_ne!(POOL_THREADS.with(std::cell::Cell::get), 3);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let v: Vec<usize> = (0..0).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+        let w: Vec<usize> = (0..1).into_par_iter().map(|i| i + 7).collect();
+        assert_eq!(w, vec![7]);
+    }
+}
