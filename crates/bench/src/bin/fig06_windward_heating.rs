@@ -83,7 +83,7 @@ fn main() {
 
     // Independent cross-check: the windward-forebody VSL march on the same
     // equivalent body (the paper's VSL-code route to the same quantity).
-    let vsl_stations = vsl_march(
+    let vsl_sol = vsl_march(
         &gas_eq,
         &VslProblem {
             u_inf: v_inf,
@@ -98,6 +98,8 @@ fn main() {
         24,
     )
     .unwrap_or_default();
+    report.absorb_telemetry("vsl_march", &vsl_sol.telemetry);
+    let vsl_stations = vsl_sol.stations;
     let vsl_q_at = |x_over_l: f64| -> f64 {
         let target = x_over_l * ORBITER_LENGTH;
         vsl_stations
@@ -237,6 +239,9 @@ fn main() {
             "VSL-march cross-check: {agree}/{total} mid-body stations within 0.4–2.5× of E+BL"
         );
     }
-    report.finish();
+    assert!(
+        report.finish(),
+        "hard audit failure or failed check (see --report JSON)"
+    );
     println!("PASS: windward-heating comparison reproduced (paper Fig. 6)");
 }

@@ -1,0 +1,366 @@
+//! Deterministic performance snapshot of the workspace's hot kernels.
+//!
+//! Runs a fixed suite of the kernels the figure binaries spend their time
+//! in — tridiagonal and block-tridiagonal sweeps, damped-Newton solves,
+//! stiff chemistry integration, direct equilibrium-composition solves,
+//! spectrum integration, and Euler blunt-body steps — under the span
+//! profiler, and writes the merged span statistics plus kernel counter
+//! totals as `BENCH_<label>.json`.
+//!
+//! ```text
+//! perf_snapshot --label=baseline            # writes BENCH_baseline.json
+//! perf_snapshot --label=pr --out=new.json   # custom path
+//! perf_snapshot --compare BENCH_baseline.json new.json --tol=0.25
+//! ```
+//!
+//! Cross-machine comparability: every snapshot also times a fixed
+//! floating-point calibration loop (the `calibration` span); the
+//! comparator divides each span's fastest occurrence by its snapshot's
+//! fastest calibration loop, so a uniformly faster machine does not
+//! masquerade as a perf improvement, nor a slower one as a regression
+//! (minima, not means — preemption noise only ever inflates a timing).
+//! The comparison exits nonzero when any kernel's normalized minimum
+//! regresses beyond `--tol` (default 0.25), which is how CI gates on
+//! `BENCH_baseline.json`.
+
+use aerothermo_bench::json::{self, Value};
+use aerothermo_gas::eq_table::air9_table;
+use aerothermo_gas::equilibrium::air9_equilibrium;
+use aerothermo_grid::bodies::Hemisphere;
+use aerothermo_grid::{stretch, StructuredGrid};
+use aerothermo_numerics::newton::{newton_solve, NewtonOptions};
+use aerothermo_numerics::ode::{stiff_integrate, AdaptiveOptions};
+use aerothermo_numerics::telemetry::CounterSnapshot;
+use aerothermo_numerics::trace;
+use aerothermo_numerics::tridiag::{solve_block_tridiag, solve_tridiag};
+use aerothermo_radiation::spectra::spectrum;
+use aerothermo_radiation::GasSample;
+use aerothermo_solvers::euler2d::{Bc, BcSet, EulerOptions, EulerSolver};
+
+fn arg_value(prefix: &str) -> Option<String> {
+    std::env::args().find_map(|a| a.strip_prefix(prefix).map(str::to_string))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(k) = args.iter().position(|a| a == "--compare") {
+        let (Some(base), Some(cand)) = (args.get(k + 1), args.get(k + 2)) else {
+            eprintln!("usage: perf_snapshot --compare BASELINE.json CANDIDATE.json [--tol=0.25]");
+            std::process::exit(2);
+        };
+        let tol = arg_value("--tol=")
+            .and_then(|s| s.parse::<f64>().ok())
+            .unwrap_or(0.25);
+        std::process::exit(compare(base, cand, tol));
+    }
+
+    let label = arg_value("--label=").unwrap_or_else(|| "snapshot".to_string());
+    let out = arg_value("--out=").unwrap_or_else(|| format!("BENCH_{label}.json"));
+    let counters0 = CounterSnapshot::take();
+    trace::enable();
+    trace::reset();
+
+    run_suite();
+
+    let stats = trace::stats();
+    let counters = CounterSnapshot::take().delta_since(&counters0);
+    // The calibration reference is the *fastest* loop occurrence: minima
+    // are far more stable than means under scheduler noise, and the
+    // comparator uses the same estimator for every span.
+    let calib = stats
+        .iter()
+        .find(|s| s.label == "calibration")
+        .map_or(0, |s| s.min_ns);
+
+    let mut s = String::with_capacity(4096);
+    s.push_str("{\n");
+    s.push_str(&format!("  \"label\": \"{label}\",\n"));
+    s.push_str(&format!(
+        "  \"unix_time_secs\": {},\n",
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs())
+    ));
+    s.push_str(&format!(
+        "  \"machine\": {{\"os\": \"{}\", \"arch\": \"{}\", \"num_cpus\": {}}},\n",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    ));
+    s.push_str(&format!("  \"calibration_ns\": {calib},\n"));
+    s.push_str("  \"spans\": {");
+    for (k, st) in stats.iter().enumerate() {
+        if k > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    \"{}\": {{\"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \
+             \"max_ns\": {}, \"mean_ns\": {}}}",
+            st.label,
+            st.count,
+            st.total_ns,
+            st.min_ns,
+            st.max_ns,
+            st.mean_ns()
+        ));
+    }
+    s.push_str("\n  },\n");
+    s.push_str("  \"counters\": {");
+    for (k, (name, v)) in counters.iter().enumerate() {
+        if k > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\n    \"{name}\": {v}"));
+    }
+    s.push_str("\n  }\n}\n");
+
+    std::fs::write(&out, s).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("perf snapshot '{label}' written to {out}");
+    for st in &stats {
+        println!(
+            "  {:<24} count {:>8}  mean {:>10} ns  total {:>12} ns",
+            st.label,
+            st.count,
+            st.mean_ns(),
+            st.total_ns
+        );
+    }
+}
+
+/// The fixed kernel suite. Workloads are sized so the whole suite runs in
+/// a few seconds yet every span accumulates enough occurrences for a
+/// stable mean.
+fn run_suite() {
+    // Calibration: a fixed serial FP workload timed like any other span.
+    for _ in 0..8 {
+        let _sp = trace::span("calibration");
+        let mut acc = 0.0_f64;
+        for i in 1..2_000_000u64 {
+            #[allow(clippy::cast_precision_loss)]
+            let x = i as f64;
+            acc += (x.sqrt() + 1.0 / x).sin();
+        }
+        assert!(acc.is_finite());
+    }
+
+    // Scalar tridiagonal sweeps (Thomas algorithm), n = 2000.
+    {
+        let n = 2000;
+        let a = vec![-1.0; n];
+        let b = vec![2.5; n];
+        let c = vec![-1.0; n];
+        for _ in 0..200 {
+            let mut d = vec![1.0; n];
+            solve_tridiag(&a, &b, &c, &mut d).expect("tridiag");
+        }
+    }
+
+    // Block-tridiagonal sweeps, 200 blocks of 4×4.
+    {
+        let (n, m) = (200, 4);
+        let mut a = vec![0.0; n * m * m];
+        let mut b = vec![0.0; n * m * m];
+        let mut c = vec![0.0; n * m * m];
+        for i in 0..n {
+            for k in 0..m {
+                b[i * m * m + k * m + k] = 4.0;
+                a[i * m * m + k * m + k] = -1.0;
+                c[i * m * m + k * m + k] = -1.0;
+            }
+        }
+        for _ in 0..100 {
+            let mut d = vec![1.0; n * m];
+            solve_block_tridiag(&a, &b, &c, &mut d, n, m).expect("block tridiag");
+        }
+    }
+
+    // Damped-Newton solves of a 4-dimensional nonlinear system.
+    {
+        let opts = NewtonOptions::default();
+        for _ in 0..400 {
+            let mut x = [0.5, 0.5, 0.5, 0.5];
+            newton_solve(
+                |x, f| {
+                    // Mildly coupled contraction: a well-conditioned system
+                    // Newton polishes in a handful of iterations.
+                    f[0] = x[0] - 0.5 * x[1].cos();
+                    f[1] = x[1] - 0.4 * x[2].cos();
+                    f[2] = x[2] - 0.3 * x[3].cos();
+                    f[3] = x[3] - 0.2 * x[0].cos();
+                },
+                &mut x,
+                &opts,
+            )
+            .expect("newton");
+        }
+    }
+
+    // Stiff integration: a two-rate linear relaxation system (the shape of
+    // the chemistry operator-split substep).
+    {
+        let sys = |_x: f64, y: &[f64], dy: &mut [f64]| {
+            dy[0] = -1e4 * (y[0] - y[1]);
+            dy[1] = -1e2 * (y[1] - y[2]);
+            dy[2] = -y[2];
+        };
+        let opts = AdaptiveOptions {
+            rtol: 1e-6,
+            atol: 1e-10,
+            h0: 1e-6,
+            ..AdaptiveOptions::default()
+        };
+        for _ in 0..50 {
+            let mut y = [1.0, 0.5, 0.2];
+            stiff_integrate(&sys, 0.0, 0.1, &mut y, &opts, |_, _| {}).expect("stiff");
+        }
+    }
+
+    // Direct equilibrium-composition solves over a (T, p) sweep.
+    {
+        let gas = air9_equilibrium();
+        for kt in 0..24 {
+            for kp in 0..6 {
+                let t = 1500.0 + 450.0 * f64::from(kt);
+                let p = 100.0 * 10.0_f64.powf(0.5 * f64::from(kp));
+                let st = gas.at_tp(t, p).expect("equilibrium state");
+                assert!(st.density > 0.0);
+            }
+        }
+    }
+
+    // Spectrum integration on a 4000-point wavelength grid.
+    {
+        let sample = GasSample::equilibrium(
+            9000.0,
+            vec![
+                ("N2".into(), 1e22),
+                ("N".into(), 5e22),
+                ("O".into(), 2e22),
+                ("NO".into(), 1e20),
+                ("N2+".into(), 1e19),
+                ("e-".into(), 1e19),
+            ],
+        );
+        let lambda: Vec<f64> = (0..4000)
+            .map(|k| 200e-9 + 800e-9 * f64::from(k) / 4000.0)
+            .collect();
+        for _ in 0..3 {
+            let sp = spectrum(&sample, &lambda, 0.5e-9);
+            assert!(sp.total_emission() > 0.0);
+        }
+    }
+
+    // Euler blunt-body steps on the E10 hemisphere problem (ideal gas and
+    // equilibrium-table gas paths).
+    {
+        let t = 230.0;
+        let p = 300.0;
+        let rho = p / (287.05 * t);
+        let a = (1.4_f64 * 287.05 * t).sqrt();
+        let fs = (rho, 8.0 * a, 0.0, p);
+        let bc = BcSet {
+            i_lo: Bc::SlipWall,
+            i_hi: Bc::Outflow,
+            j_lo: Bc::SlipWall,
+            j_hi: Bc::Inflow {
+                rho: fs.0,
+                ux: fs.1,
+                ur: fs.2,
+                p: fs.3,
+            },
+        };
+        let body = Hemisphere::new(0.15);
+        let dist = stretch::uniform(49);
+        let grid = StructuredGrid::blunt_body(&body, 25, 49, &|sb| (0.3 + 0.2 * sb) * 0.15, &dist);
+        let gas = aerothermo_gas::IdealGas::air();
+        let mut solver = EulerSolver::new(&grid, &gas, bc, EulerOptions::default(), fs);
+        for _ in 0..150 {
+            solver.step();
+        }
+        let table = air9_table();
+        let mut solver_eq = EulerSolver::new(&grid, table, bc, EulerOptions::default(), fs);
+        for _ in 0..50 {
+            solver_eq.step();
+        }
+    }
+}
+
+/// Span labels whose baseline minimum is below this are skipped by the
+/// comparator: at sub-microsecond scales the span overhead itself and
+/// scheduler noise dominate any real change.
+const MIN_COMPARABLE_NS: f64 = 500.0;
+
+fn load_snapshot(path: &str) -> (f64, Vec<(String, f64)>) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read snapshot {path}: {e}"));
+    let doc = json::parse(&text).unwrap_or_else(|e| panic!("bad snapshot {path}: {e}"));
+    let calib = doc
+        .get("calibration_ns")
+        .and_then(Value::as_f64)
+        .filter(|c| *c > 0.0)
+        .unwrap_or_else(|| panic!("snapshot {path} has no usable calibration_ns"));
+    let mut spans = Vec::new();
+    if let Some(map) = doc.get("spans").and_then(Value::as_object) {
+        for (label, st) in map {
+            if label == "calibration" {
+                continue;
+            }
+            // Compare fastest occurrences (same estimator as the
+            // calibration reference): minima filter out preemption noise.
+            if let Some(min) = st.get("min_ns").and_then(Value::as_f64) {
+                spans.push((label.clone(), min));
+            }
+        }
+    }
+    (calib, spans)
+}
+
+/// Compare two snapshots; returns the process exit code (0 = within
+/// tolerance, 1 = regression).
+fn compare(base_path: &str, cand_path: &str, tol: f64) -> i32 {
+    let (base_calib, base_spans) = load_snapshot(base_path);
+    let (cand_calib, cand_spans) = load_snapshot(cand_path);
+    println!(
+        "perf comparison: {base_path} -> {cand_path} (tol {:.0}%, calibration {base_calib:.0} -> {cand_calib:.0} ns)",
+        tol * 100.0
+    );
+    let mut regressions = 0usize;
+    for (label, base_min) in &base_spans {
+        if *base_min < MIN_COMPARABLE_NS {
+            println!("  {label:<24} skipped (baseline min {base_min:.0} ns below noise floor)");
+            continue;
+        }
+        let Some((_, cand_min)) = cand_spans.iter().find(|(l, _)| l == label) else {
+            println!("  {label:<24} MISSING from candidate snapshot");
+            regressions += 1;
+            continue;
+        };
+        let ratio = (cand_min / cand_calib) / (base_min / base_calib);
+        let verdict = if ratio > 1.0 + tol {
+            regressions += 1;
+            "REGRESSION"
+        } else if ratio < 1.0 / (1.0 + tol) {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {label:<24} {base_min:>10.0} -> {cand_min:>10.0} ns  normalized x{ratio:.2}  {verdict}"
+        );
+    }
+    for (label, _) in &cand_spans {
+        if !base_spans.iter().any(|(l, _)| l == label) {
+            println!("  {label:<24} new span (no baseline; not gated)");
+        }
+    }
+    if regressions > 0 {
+        eprintln!(
+            "FAIL: {regressions} kernel(s) regressed beyond {:.0}%",
+            tol * 100.0
+        );
+        1
+    } else {
+        println!("PASS: no kernel regressed beyond {:.0}%", tol * 100.0);
+        0
+    }
+}

@@ -18,8 +18,10 @@
 )]
 
 use aerothermo_core::tables::Table;
-use aerothermo_numerics::telemetry::{CounterSnapshot, RunTelemetry};
+use aerothermo_numerics::telemetry::{AuditFinding, AuditSeverity, CounterSnapshot, RunTelemetry};
 use std::time::Instant;
+
+pub mod json;
 
 /// Output mode parsed from the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +57,36 @@ pub fn report_path() -> Option<String> {
     None
 }
 
+/// Destination for the Chrome trace-event profile, parsed from
+/// `--trace` (default `trace.json`) or `--trace=PATH`.
+#[must_use]
+pub fn trace_path() -> Option<String> {
+    for a in std::env::args() {
+        if a == "--trace" {
+            return Some("trace.json".to_string());
+        }
+        if let Some(p) = a.strip_prefix("--trace=") {
+            return Some(p.to_string());
+        }
+    }
+    None
+}
+
+/// In-situ physics-audit cadence, parsed from `--audit` (default: every
+/// 10 steps) or `--audit=N`. `None` means audits stay disabled.
+#[must_use]
+pub fn audit_cadence() -> Option<usize> {
+    for a in std::env::args() {
+        if a == "--audit" {
+            return Some(10);
+        }
+        if let Some(n) = a.strip_prefix("--audit=") {
+            return Some(n.parse().unwrap_or(10));
+        }
+    }
+    None
+}
+
 /// Machine-readable run summary for a figure binary.
 ///
 /// Collects qualitative-check verdicts, named scalar metrics, kernel
@@ -69,13 +101,23 @@ pub struct Report {
     metrics: Vec<(String, f64)>,
     phases: Vec<(String, f64)>,
     histories: Vec<(String, Vec<f64>)>,
+    audits: Vec<(String, AuditFinding)>,
 }
 
 impl Report {
     /// Start a report scope for the named figure (snapshots the global
-    /// kernel counters).
+    /// kernel counters). Honors the shared observability flags: `--trace`
+    /// enables the span profiler and `--audit` arms the in-situ physics
+    /// audits at the requested cadence, so every figure binary inherits
+    /// both without per-binary wiring.
     #[must_use]
     pub fn new(figure: &str) -> Self {
+        if trace_path().is_some() {
+            aerothermo_numerics::trace::enable();
+        }
+        if let Some(every) = audit_cadence() {
+            aerothermo_solvers::audit::enable(every);
+        }
         Self {
             figure: figure.to_string(),
             started: Instant::now(),
@@ -84,6 +126,7 @@ impl Report {
             metrics: Vec::new(),
             phases: Vec::new(),
             histories: Vec::new(),
+            audits: Vec::new(),
         }
     }
 
@@ -109,12 +152,25 @@ impl Report {
             self.histories
                 .push((format!("{label}.{name}"), hist.clone()));
         }
+        for finding in telemetry.audits() {
+            self.audits.push((label.to_string(), finding.clone()));
+        }
     }
 
-    /// True when every recorded check passed.
+    /// Number of absorbed audit findings at [`AuditSeverity::Fail`].
+    #[must_use]
+    pub fn hard_audit_failures(&self) -> usize {
+        self.audits
+            .iter()
+            .filter(|(_, f)| f.severity == AuditSeverity::Fail)
+            .count()
+    }
+
+    /// True when every recorded check passed and no absorbed audit finding
+    /// reached [`AuditSeverity::Fail`].
     #[must_use]
     pub fn all_green(&self) -> bool {
-        self.checks.iter().all(|(_, ok, _)| *ok)
+        self.checks.iter().all(|(_, ok, _)| *ok) && self.hard_audit_failures() == 0
     }
 
     /// Serialize to JSON (counters are deltas since the report started).
@@ -180,21 +236,81 @@ impl Report {
             }
             s.push(']');
         }
-        s.push_str("\n  }\n}\n");
+        s.push_str("\n  },\n");
+        // Per-history roll-up: `best` is the smallest finite value and is
+        // JSON null for histories that never recorded a finite residual —
+        // consumers must treat null as "no data", not as zero.
+        s.push_str("  \"history_summaries\": {");
+        for (k, (name, hist)) in self.histories.iter().enumerate() {
+            if k > 0 {
+                s.push(',');
+            }
+            let best = hist
+                .iter()
+                .copied()
+                .filter(|v| v.is_finite())
+                .fold(f64::INFINITY, f64::min);
+            let best = if best.is_finite() { best } else { f64::NAN };
+            let last = hist.last().copied().unwrap_or(f64::NAN);
+            s.push_str(&format!(
+                "\n    {}: {{\"len\": {}, \"best\": {}, \"last\": {}}}",
+                json_string(name),
+                hist.len(),
+                json_f64(best),
+                json_f64(last)
+            ));
+        }
+        s.push_str("\n  },\n");
+        s.push_str("  \"audits\": [");
+        for (k, (label, f)) in self.audits.iter().enumerate() {
+            if k > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"solver\": {}, \"audit\": {}, \"severity\": {}, \
+                 \"value\": {}, \"threshold\": {}, \"step\": {}, \"detail\": {}}}",
+                json_string(label),
+                json_string(f.audit),
+                json_string(f.severity.name()),
+                json_f64(f.value),
+                json_f64(f.threshold),
+                f.step,
+                json_string(&f.detail)
+            ));
+        }
+        s.push_str("\n  ],\n");
+        let count = |sev: AuditSeverity| {
+            self.audits
+                .iter()
+                .filter(|(_, f)| f.severity == sev)
+                .count()
+        };
+        s.push_str(&format!(
+            "  \"audit_summary\": {{\"pass\": {}, \"warn\": {}, \"fail\": {}}}\n}}\n",
+            count(AuditSeverity::Pass),
+            count(AuditSeverity::Warn),
+            count(AuditSeverity::Fail)
+        ));
         s
     }
 
-    /// Write the JSON report when `--report[=PATH]` was passed; always a
-    /// no-op otherwise. Returns [`Report::all_green`].
+    /// Write the JSON report when `--report[=PATH]` was passed and the
+    /// Chrome trace-event profile when `--trace[=PATH]` was passed; always
+    /// a no-op otherwise. Returns [`Report::all_green`].
     ///
     /// # Panics
-    /// Panics when the report file cannot be written (CI must fail loudly,
-    /// not silently skip its gate).
+    /// Panics when the report or trace file cannot be written (CI must
+    /// fail loudly, not silently skip its gate).
     pub fn finish(self) -> bool {
         if let Some(path) = report_path() {
             std::fs::write(&path, self.to_json())
                 .unwrap_or_else(|e| panic!("cannot write report {path}: {e}"));
             eprintln!("# run report written to {path}");
+        }
+        if let Some(path) = trace_path() {
+            std::fs::write(&path, aerothermo_numerics::trace::chrome_trace_json())
+                .unwrap_or_else(|e| panic!("cannot write trace {path}: {e}"));
+            eprintln!("# chrome trace written to {path} (load in Perfetto / chrome://tracing)");
         }
         self.all_green()
     }
@@ -314,10 +430,77 @@ mod tests {
         assert!(json.contains("\\n"));
         assert!(json.contains("[1, 0.5, null]"));
         assert!(json.contains("\"newton_solves\""));
-        // Balanced braces/brackets (cheap well-formedness proxy).
-        let open = json.matches(['{', '[']).count();
-        let close = json.matches(['}', ']']).count();
-        assert_eq!(open, close);
+        // The whole report must parse with the workspace JSON reader.
+        let doc = json::parse(&json).expect("report JSON parses");
+        assert_eq!(
+            doc.get("figure").and_then(json::Value::as_str),
+            Some("test_fig")
+        );
+        assert_eq!(doc.get("all_green"), Some(&json::Value::Bool(false)));
+    }
+
+    #[test]
+    fn report_history_summary_null_best_roundtrips() {
+        // A history that never recorded a finite residual must surface
+        // `best: null` (not 0, not +inf) — the machine-readable analogue
+        // of `ResidualMonitor::best() == None`.
+        let mut r = Report::new("test_fig");
+        let mut t = RunTelemetry::new();
+        t.record_history("never_finite", vec![f64::NAN, f64::INFINITY]);
+        t.record_history("empty", Vec::new());
+        t.record_history("ok", vec![3.0, 1.0, 2.0]);
+        r.absorb_telemetry("solver", &t);
+        let doc = json::parse(&r.to_json()).unwrap();
+        let summaries = doc.get("history_summaries").unwrap();
+        let nf = summaries.get("solver.never_finite").unwrap();
+        assert!(nf.get("best").unwrap().is_null());
+        assert!(nf.get("last").unwrap().is_null());
+        assert_eq!(nf.get("len").and_then(json::Value::as_f64), Some(2.0));
+        let empty = summaries.get("solver.empty").unwrap();
+        assert!(empty.get("best").unwrap().is_null());
+        let ok = summaries.get("solver.ok").unwrap();
+        assert_eq!(ok.get("best").and_then(json::Value::as_f64), Some(1.0));
+        assert_eq!(ok.get("last").and_then(json::Value::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn report_surfaces_audit_findings() {
+        use aerothermo_numerics::telemetry::AuditSeverity;
+        let mut r = Report::new("test_fig");
+        let mut t = RunTelemetry::new();
+        t.record_audit(AuditFinding {
+            audit: "mass_flux_budget",
+            severity: AuditSeverity::Warn,
+            value: 1e-2,
+            threshold: 5e-3,
+            step: 40,
+            detail: "net/gross during transient".to_string(),
+        });
+        r.absorb_telemetry("euler", &t);
+        assert!(r.all_green(), "warn findings must not flip the gate");
+        t.record_audit(AuditFinding {
+            audit: "density_positivity",
+            severity: AuditSeverity::Fail,
+            value: 1.0,
+            threshold: 0.0,
+            step: 41,
+            detail: "rho < 0 at (3, 4)".to_string(),
+        });
+        let mut r2 = Report::new("test_fig");
+        r2.absorb_telemetry("euler", &t);
+        assert_eq!(r2.hard_audit_failures(), 1);
+        assert!(!r2.all_green(), "a Fail audit must flip the gate");
+        let doc = json::parse(&r2.to_json()).unwrap();
+        assert_eq!(doc.get("all_green"), Some(&json::Value::Bool(false)));
+        let audits = doc.get("audits").unwrap().as_array().unwrap();
+        assert_eq!(audits.len(), 2);
+        assert_eq!(
+            audits[1].get("severity").and_then(json::Value::as_str),
+            Some("fail")
+        );
+        let summary = doc.get("audit_summary").unwrap();
+        assert_eq!(summary.get("warn").and_then(json::Value::as_f64), Some(1.0));
+        assert_eq!(summary.get("fail").and_then(json::Value::as_f64), Some(1.0));
     }
 
     #[test]

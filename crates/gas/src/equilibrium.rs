@@ -354,6 +354,7 @@ impl EquilibriumGas {
             aerothermo_numerics::telemetry::Counter::EquilibriumStates,
             1,
         );
+        let _sp = aerothermo_numerics::trace::span("equilibrium_state");
         let ns = self.mix.len();
         let phi: Vec<f64> = self
             .mix

@@ -31,6 +31,46 @@ pub enum Element {
     Ar,
 }
 
+impl Element {
+    /// Every tracked element, in declaration order.
+    pub const ALL: [Element; 6] = [
+        Element::N,
+        Element::O,
+        Element::C,
+        Element::H,
+        Element::He,
+        Element::Ar,
+    ];
+
+    /// Atomic molar mass \[kg/kmol\] (standard atomic weights; electron-mass
+    /// corrections in ionized species are below the conservation tolerances
+    /// the auditors use).
+    #[must_use]
+    pub fn molar_mass(self) -> f64 {
+        match self {
+            Element::N => 14.0067,
+            Element::O => 15.9994,
+            Element::C => 12.011,
+            Element::H => 1.008,
+            Element::He => 4.002_602,
+            Element::Ar => 39.948,
+        }
+    }
+
+    /// Element symbol.
+    #[must_use]
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Element::N => "N",
+            Element::O => "O",
+            Element::C => "C",
+            Element::H => "H",
+            Element::He => "He",
+            Element::Ar => "Ar",
+        }
+    }
+}
+
 /// Rotational structure of a species.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Rotation {

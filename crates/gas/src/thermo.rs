@@ -6,7 +6,7 @@
 //! translation/rotation at `T`, vibration/electronic/electron-translation at
 //! `Tv`).
 
-use crate::species::{Rotation, Species};
+use crate::species::{Element, Rotation, Species};
 use aerothermo_numerics::constants::{H_PLANCK, K_BOLTZMANN, R_UNIVERSAL};
 use aerothermo_numerics::roots::brent_expanding;
 
@@ -347,6 +347,39 @@ impl Mixture {
             .collect()
     }
 
+    /// Elemental mass fractions implied by species mass fractions `y`:
+    /// `(element, mass fraction of that element's nuclei)` for every
+    /// element present in the mixture, in [`Element::ALL`] order.
+    ///
+    /// Chemistry rearranges species but never transmutes nuclei, so this
+    /// vector is an exact invariant of any reacting solve — the
+    /// element-conservation auditor compares it before and after the
+    /// chemistry operator. Electrons carry (negligible) mass outside the
+    /// element ledger, so the fractions sum to ≈ 1, not exactly 1, for
+    /// ionized mixtures.
+    ///
+    /// # Panics
+    /// Panics if `y.len()` mismatches the species count.
+    #[must_use]
+    pub fn element_mass_fractions(&self, y: &[f64]) -> Vec<(Element, f64)> {
+        assert_eq!(y.len(), self.species.len());
+        Element::ALL
+            .iter()
+            .filter_map(|&el| {
+                let mut present = false;
+                let mut z = 0.0;
+                for (s, yi) in self.species.iter().zip(y) {
+                    let atoms = s.atoms_of(el);
+                    if atoms > 0 {
+                        present = true;
+                        z += yi * f64::from(atoms) * el.molar_mass() / s.molar_mass;
+                    }
+                }
+                present.then_some((el, z))
+            })
+            .collect()
+    }
+
     /// Mixture internal energy \[J/kg\] (thermal equilibrium, includes
     /// formation energies).
     #[must_use]
@@ -486,6 +519,26 @@ impl Mixture {
 mod tests {
     use super::*;
     use crate::species::*;
+
+    #[test]
+    fn element_mass_fractions_sum_to_one_and_survive_dissociation() {
+        let mix = Mixture::new(vec![n2(), o2(), no(), n_atom(), o_atom()]);
+        // Standard air by mass.
+        let y_air = [0.767, 0.233, 0.0, 0.0, 0.0];
+        let elems = mix.element_mass_fractions(&y_air);
+        let total: f64 = elems.iter().map(|(_, z)| z).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        let zn = elems.iter().find(|(e, _)| *e == Element::N).unwrap().1;
+        assert!((zn - 0.767).abs() < 1e-12);
+        // Fully dissociate: same nuclei, different species — the element
+        // vector must not move (up to the NO molar-mass roundoff).
+        let y_diss = [0.0, 0.0, 0.0, 0.767, 0.233];
+        let elems2 = mix.element_mass_fractions(&y_diss);
+        for ((e1, z1), (e2, z2)) in elems.iter().zip(&elems2) {
+            assert_eq!(e1, e2);
+            assert!((z1 - z2).abs() < 1e-6, "{e1:?}: {z1} vs {z2}");
+        }
+    }
 
     #[test]
     fn cold_diatomic_cp_is_seven_halves_r() {

@@ -15,8 +15,10 @@
 //! * [`limiters`] — TVD slope limiters for MUSCL reconstruction,
 //! * [`constants`] — physical constants in SI units,
 //! * [`telemetry`] — solver observability: kernel counters, phase timers,
-//!   residual monitors with divergence detection, and the shared
-//!   [`telemetry::SolverError`] type.
+//!   residual monitors with divergence detection, physics-audit findings,
+//!   and the shared [`telemetry::SolverError`] type,
+//! * [`trace`] — RAII hierarchical span profiler with Chrome trace-event
+//!   export (`chrome://tracing` / Perfetto).
 //!
 //! Everything is `f64`; the structured-grid solvers in `aerothermo-solvers`
 //! are written against these primitives rather than an external array crate so
@@ -41,6 +43,7 @@ pub mod ode;
 pub mod quadrature;
 pub mod roots;
 pub mod telemetry;
+pub mod trace;
 pub mod tridiag;
 
 pub use field::{Field2, Field3};

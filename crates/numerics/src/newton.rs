@@ -7,6 +7,7 @@
 
 use crate::linalg::{solve_dense, LinalgError};
 use crate::telemetry::{counters, Counter};
+use crate::trace;
 
 /// Outcome of a Newton solve.
 #[derive(Debug, Clone)]
@@ -91,6 +92,7 @@ pub fn newton_solve(
     opts: &NewtonOptions,
 ) -> Result<NewtonResult, NewtonError> {
     counters::add(Counter::NewtonSolves, 1);
+    let _sp = trace::span("newton_solve");
     let n = x.len();
     let mut f = vec![0.0; n];
     let mut ftrial = vec![0.0; n];

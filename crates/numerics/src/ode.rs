@@ -282,6 +282,7 @@ pub fn stiff_integrate(
     opts: &AdaptiveOptions,
     mut observer: impl FnMut(f64, &[f64]),
 ) -> Result<(), OdeError> {
+    let _sp = crate::trace::span("stiff_integrate");
     let dir = if x1 >= x0 { 1.0 } else { -1.0 };
     let mut x = x0;
     let mut h = opts.h0.abs().max(opts.hmin) * dir;

@@ -14,6 +14,10 @@
 //!   NaN/Inf detection and sliding-window divergence detection, so an
 //!   unstable run terminates with [`SolverError::Diverged`] instead of
 //!   spinning to the iteration cap.
+//! - [`AuditFinding`]: the record type produced by the in-situ physics
+//!   auditors in `aerothermo-solvers` (flux budgets, element conservation,
+//!   positivity, …) and surfaced in `--report` JSON; hard failures escalate
+//!   to [`SolverError::AuditFailed`].
 //! - [`SolverError`]: the typed error shared by all equation-set solvers,
 //!   replacing the previous bare `String` errors. `Display` output keeps
 //!   the wording of the old messages (lower-level `String` diagnostics pass
@@ -158,6 +162,73 @@ pub mod counters {
 
 pub use counters::{Counter, CounterSnapshot};
 
+/// Outcome class of one physics-audit evaluation.
+///
+/// The auditors in `aerothermo-solvers::audit` grade every invariant check
+/// into one of three bands: within tolerance, suspicious but survivable, or
+/// bad enough that continuing the solve would only propagate garbage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AuditSeverity {
+    /// The invariant holds within its soft tolerance.
+    Pass,
+    /// The invariant is violated beyond the soft tolerance but under the
+    /// hard threshold — recorded and surfaced, the solve continues.
+    Warn,
+    /// The invariant is violated beyond the hard threshold; the solve
+    /// aborts with [`SolverError::AuditFailed`].
+    Fail,
+}
+
+impl AuditSeverity {
+    /// Stable lowercase name (used as the JSON report value).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AuditSeverity::Pass => "pass",
+            AuditSeverity::Warn => "warn",
+            AuditSeverity::Fail => "fail",
+        }
+    }
+}
+
+/// One evaluated physics invariant: which audit ran, how badly the
+/// invariant was violated, and against what threshold.
+///
+/// `value` is always the *violation measure* (relative imbalance, deficit
+/// magnitude, …) so that `value <= threshold` ⇒ pass regardless of which
+/// physical quantity the audit inspects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditFinding {
+    /// Stable audit identifier, e.g. `"mass_flux_budget"`.
+    pub audit: &'static str,
+    /// Graded outcome.
+    pub severity: AuditSeverity,
+    /// Measured violation (dimensionless unless `detail` says otherwise).
+    pub value: f64,
+    /// The threshold the severity was graded against: the warn threshold
+    /// for `Pass`/`Warn` findings, the fail threshold for `Fail`.
+    pub threshold: f64,
+    /// Solver step (or station/point index) at which the audit ran.
+    pub step: usize,
+    /// Human-readable context: what was measured and where.
+    pub detail: String,
+}
+
+impl std::fmt::Display for AuditFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] {} at step {}: {:.3e} (threshold {:.3e}) — {}",
+            self.severity.name(),
+            self.audit,
+            self.step,
+            self.value,
+            self.threshold,
+            self.detail
+        )
+    }
+}
+
 /// Typed error shared by every equation-set solver and instrumented kernel.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SolverError {
@@ -189,6 +260,16 @@ pub enum SolverError {
         /// Residual when the budget ran out (NaN if unknown).
         residual: f64,
     },
+    /// A physics audit measured an invariant violation past its hard
+    /// threshold (mass leaking from the domain, negative temperatures, …).
+    AuditFailed {
+        /// Stable audit identifier, e.g. `"mass_flux_budget"`.
+        audit: String,
+        /// Measured violation.
+        value: f64,
+        /// Hard threshold that was exceeded.
+        threshold: f64,
+    },
     /// The problem specification itself is invalid.
     BadInput(String),
     /// A lower-level numerical routine failed; the message is preserved
@@ -207,7 +288,24 @@ impl std::fmt::Display for SolverError {
                 )
             }
             SolverError::NonFinite { field, i, j } => {
-                write!(f, "non-finite {field} at ({i}, {j})")
+                if *field == "residual" && *j == 0 {
+                    // Residual-level detection has no cell: `i` is the
+                    // iteration index, and printing it as a coordinate pair
+                    // misleads whoever reads the log.
+                    write!(f, "non-finite residual at iteration {i}")
+                } else {
+                    write!(f, "non-finite {field} at ({i}, {j})")
+                }
+            }
+            SolverError::AuditFailed {
+                audit,
+                value,
+                threshold,
+            } => {
+                write!(
+                    f,
+                    "physics audit '{audit}' failed: {value:.3e} exceeds hard threshold {threshold:.3e}"
+                )
             }
             SolverError::IterationLimit {
                 context,
@@ -276,7 +374,15 @@ impl Default for MonitorOptions {
 #[derive(Debug, Clone)]
 pub struct ResidualMonitor {
     history: Vec<f64>,
+    /// Divergence reference: best residual *after* the grace window (see
+    /// the comment in [`ResidualMonitor::record`]). Kept as a bare f64
+    /// sentinel because it is only ever compared against, never reported.
     best: f64,
+    /// Reporting value: best finite residual over the whole history, or
+    /// `None` when nothing finite was ever recorded. Kept separate from
+    /// `best` so that the JSON report never renders the `INFINITY`
+    /// sentinel as the invalid token `inf`.
+    best_finite: Option<f64>,
     opts: MonitorOptions,
 }
 
@@ -293,6 +399,7 @@ impl ResidualMonitor {
         Self {
             history: Vec::new(),
             best: f64::INFINITY,
+            best_finite: None,
             opts,
         }
     }
@@ -306,6 +413,12 @@ impl ResidualMonitor {
     pub fn record(&mut self, residual: f64) -> Result<(), SolverError> {
         let iter = self.history.len();
         self.history.push(residual);
+        if residual.is_finite() {
+            self.best_finite = Some(match self.best_finite {
+                Some(b) => b.min(residual),
+                None => residual,
+            });
+        }
         if !residual.is_finite() {
             return Err(SolverError::NonFinite {
                 field: "residual",
@@ -351,10 +464,16 @@ impl ResidualMonitor {
         self.history.len()
     }
 
-    /// Best (smallest) finite residual seen.
+    /// Best (smallest) finite residual seen, or `None` when no finite
+    /// residual was ever recorded.
+    ///
+    /// Previously this returned the raw `f64::INFINITY` sentinel for an
+    /// empty history, which downstream JSON writers rendered as the
+    /// invalid token `inf`; the `Option` makes "never recorded" a state
+    /// the type system forces callers to handle (reports emit `null`).
     #[must_use]
-    pub fn best(&self) -> f64 {
-        self.best
+    pub fn best(&self) -> Option<f64> {
+        self.best_finite
     }
 }
 
@@ -372,6 +491,7 @@ pub struct RunTelemetry {
     counters_at_start: CounterSnapshot,
     phases: Vec<(String, f64)>,
     histories: Vec<(String, Vec<f64>)>,
+    audits: Vec<AuditFinding>,
 }
 
 impl RunTelemetry {
@@ -383,6 +503,7 @@ impl RunTelemetry {
             counters_at_start: CounterSnapshot::take(),
             phases: Vec::new(),
             histories: Vec::new(),
+            audits: Vec::new(),
         }
     }
 
@@ -411,6 +532,25 @@ impl RunTelemetry {
         } else {
             self.histories.push((name.to_string(), history));
         }
+    }
+
+    /// Record a physics-audit finding (appends; a run accumulates findings
+    /// across its audit cadence).
+    pub fn record_audit(&mut self, finding: AuditFinding) {
+        self.audits.push(finding);
+    }
+
+    /// Recorded audit findings, in the order the auditors produced them.
+    #[must_use]
+    pub fn audits(&self) -> &[AuditFinding] {
+        &self.audits
+    }
+
+    /// Worst severity among recorded audit findings (`None` when no audit
+    /// has run).
+    #[must_use]
+    pub fn worst_audit_severity(&self) -> Option<AuditSeverity> {
+        self.audits.iter().map(|a| a.severity).max()
     }
 
     /// Counter deltas accumulated since this scope started.
@@ -467,7 +607,18 @@ mod tests {
             m.record(r).unwrap();
         }
         assert_eq!(m.iterations(), 500);
-        assert!(m.best() < 1e-2);
+        assert!(m.best().expect("finite residuals recorded") < 1e-2);
+    }
+
+    #[test]
+    fn monitor_best_is_none_until_a_finite_residual_arrives() {
+        let mut m = ResidualMonitor::new();
+        assert_eq!(m.best(), None, "fresh monitor has no best residual");
+        let _ = m.record(f64::INFINITY);
+        assert_eq!(m.best(), None, "Inf must not become the reported best");
+        let mut m2 = ResidualMonitor::new();
+        m2.record(0.25).unwrap();
+        assert_eq!(m2.best(), Some(0.25));
     }
 
     #[test]
@@ -533,6 +684,57 @@ mod tests {
             j: 9,
         };
         assert_eq!(nf.to_string(), "non-finite rho at (3, 9)");
+    }
+
+    #[test]
+    fn nonfinite_residual_display_names_the_iteration() {
+        // Residual-level NaN detection stores the iteration in `i`; the
+        // message must say so rather than printing a bogus cell pair.
+        let mut m = ResidualMonitor::new();
+        m.record(1.0).unwrap();
+        m.record(0.5).unwrap();
+        let err = m.record(f64::NAN).unwrap_err();
+        assert_eq!(err.to_string(), "non-finite residual at iteration 2");
+    }
+
+    #[test]
+    fn audit_failed_display_carries_measurement() {
+        let e = SolverError::AuditFailed {
+            audit: "mass_flux_budget".to_string(),
+            value: 0.5,
+            threshold: 0.1,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("mass_flux_budget"), "{msg}");
+        assert!(msg.contains("5.000e-1"), "{msg}");
+        assert!(msg.contains("1.000e-1"), "{msg}");
+    }
+
+    #[test]
+    fn telemetry_accumulates_audit_findings() {
+        let mut t = RunTelemetry::new();
+        assert_eq!(t.worst_audit_severity(), None);
+        t.record_audit(AuditFinding {
+            audit: "positivity",
+            severity: AuditSeverity::Pass,
+            value: 0.0,
+            threshold: 0.0,
+            step: 10,
+            detail: "all densities positive".to_string(),
+        });
+        t.record_audit(AuditFinding {
+            audit: "mass_flux_budget",
+            severity: AuditSeverity::Warn,
+            value: 3e-3,
+            threshold: 1e-3,
+            step: 10,
+            detail: "net/gross mass imbalance".to_string(),
+        });
+        assert_eq!(t.audits().len(), 2);
+        assert_eq!(t.worst_audit_severity(), Some(AuditSeverity::Warn));
+        let shown = t.audits()[1].to_string();
+        assert!(shown.contains("[warn]"), "{shown}");
+        assert!(shown.contains("mass_flux_budget"), "{shown}");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::linalg::{lu_factor, lu_solve, LinalgError};
 use crate::telemetry::{counters, Counter};
+use crate::trace;
 
 /// Solve a scalar tridiagonal system
 /// `a[i]·x[i-1] + b[i]·x[i] + c[i]·x[i+1] = d[i]` in place; the solution
@@ -26,6 +27,7 @@ use crate::telemetry::{counters, Counter};
 /// [`LinalgError::Dimension`] on length mismatch.
 pub fn solve_tridiag(a: &[f64], b: &[f64], c: &[f64], d: &mut [f64]) -> Result<(), LinalgError> {
     counters::add(Counter::TridiagSolves, 1);
+    let _sp = trace::span("tridiag_solve");
     let n = d.len();
     if a.len() != n || b.len() != n || c.len() != n {
         return Err(LinalgError::Dimension);
@@ -75,6 +77,7 @@ pub fn solve_block_tridiag(
     m: usize,
 ) -> Result<(), LinalgError> {
     counters::add(Counter::BlockTridiagSolves, 1);
+    let _sp = trace::span("block_tridiag_solve");
     let mm = m * m;
     if a.len() != n * mm || b.len() != n * mm || c.len() != n * mm || d.len() != n * m {
         return Err(LinalgError::Dimension);

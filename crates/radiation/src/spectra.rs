@@ -143,6 +143,7 @@ pub fn spectrum(sample: &GasSample, lambda: &[f64], width_floor: f64) -> Spectru
         aerothermo_numerics::telemetry::Counter::SpectrumPoints,
         lambda.len() as u64,
     );
+    let _sp = aerothermo_numerics::trace::span("spectrum_integration");
     let em = collect_emitters(sample);
     let (emission, absorption): (Vec<f64>, Vec<f64>) = lambda
         .par_iter()

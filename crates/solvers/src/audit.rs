@@ -1,0 +1,544 @@
+//! In-situ physical-invariant audits.
+//!
+//! The paper's credibility argument rests on conservation: mass, momentum,
+//! and energy budgets that close over the shock layer, elemental nuclei
+//! that survive chemistry, mass fractions that sum to one, radiative
+//! fluxes that never go negative. This module evaluates those invariants
+//! *while a solve runs*, at a configurable cadence, and grades each one:
+//!
+//! * [`AuditSeverity::Pass`] — the invariant holds within its soft
+//!   tolerance,
+//! * [`AuditSeverity::Warn`] — violated beyond the soft tolerance; the
+//!   finding is recorded on the solver's [`RunTelemetry`] and surfaced in
+//!   `--report` JSON, the solve continues,
+//! * [`AuditSeverity::Fail`] — violated beyond the hard threshold; the
+//!   solve aborts with [`SolverError::AuditFailed`].
+//!
+//! Auditing is **off by default** (a single relaxed atomic load per step)
+//! and enabled process-wide with [`enable`] — the same pattern as the
+//! kernel counters, so no solver `Options` struct grows a field. Flux
+//! budgets are graded leniently while a march is still ringing (the
+//! residual sum *is* the budget defect) and at full strictness once the
+//! solver reports convergence.
+//!
+//! The grading constructors ([`budget_finding`], [`graded`],
+//! [`positivity_finding`], …) are pure functions of their measurements, so
+//! they are directly testable with synthetic data — a mock flux that leaks
+//! mass, a field with a negative temperature — without running a solver.
+
+use crate::euler2d::{EulerSolver, NEQ};
+use crate::reacting::ReactingSolver;
+use aerothermo_numerics::telemetry::{AuditFinding, AuditSeverity, RunTelemetry, SolverError};
+use aerothermo_numerics::Field3;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Audit cadence in steps; 0 = auditing disabled.
+static CADENCE: AtomicUsize = AtomicUsize::new(0);
+
+/// Enable auditing every `every` steps (process-wide; 0 is coerced to 1).
+pub fn enable(every: usize) {
+    CADENCE.store(every.max(1), Ordering::Relaxed);
+}
+
+/// Disable auditing process-wide.
+pub fn disable() {
+    CADENCE.store(0, Ordering::Relaxed);
+}
+
+/// Current audit cadence in steps (0 = disabled).
+#[must_use]
+pub fn cadence() -> usize {
+    CADENCE.load(Ordering::Relaxed)
+}
+
+/// Whether the auditors should run at `step` under the current cadence.
+#[must_use]
+pub fn due(step: usize) -> bool {
+    let c = cadence();
+    c != 0 && step.is_multiple_of(c)
+}
+
+/// Soft tolerance on `|net|/gross` flux budgets.
+pub const BUDGET_WARN: f64 = 5e-3;
+/// Hard threshold on flux budgets — only enforced once converged.
+pub const BUDGET_FAIL: f64 = 5e-2;
+/// Soft tolerance on `|Σy − 1|`.
+pub const MASS_FRACTION_WARN: f64 = 1e-3;
+/// Hard threshold on `|Σy − 1|`.
+pub const MASS_FRACTION_FAIL: f64 = 5e-2;
+/// Soft tolerance on per-cell element mass-fraction drift vs freestream.
+pub const ELEMENT_WARN: f64 = 2e-2;
+/// Hard threshold on element mass-fraction drift.
+pub const ELEMENT_FAIL: f64 = 1e-1;
+/// Soft tolerance on the 1-D relaxation algebraic invariants (mass,
+/// momentum, total enthalpy — held to ~1e-6 by the bracketed closure).
+pub const INVARIANT_WARN: f64 = 1e-5;
+/// Hard threshold on the relaxation invariants.
+pub const INVARIANT_FAIL: f64 = 1e-2;
+
+/// Grade a dimensionless violation `value` against `warn`/`fail`
+/// thresholds. Non-finite values always fail.
+#[must_use]
+pub fn graded(
+    audit: &'static str,
+    value: f64,
+    warn: f64,
+    fail: f64,
+    step: usize,
+    detail: String,
+) -> AuditFinding {
+    let severity = if !value.is_finite() || value > fail {
+        AuditSeverity::Fail
+    } else if value > warn {
+        AuditSeverity::Warn
+    } else {
+        AuditSeverity::Pass
+    };
+    let threshold = if severity == AuditSeverity::Fail {
+        fail
+    } else {
+        warn
+    };
+    AuditFinding {
+        audit,
+        severity,
+        value,
+        threshold,
+        step,
+        detail,
+    }
+}
+
+/// Grade a global flux budget: `value = |net|/gross`. While the march is
+/// still transient the budget defect is just the unconverged residual sum,
+/// so the severity is capped at `Warn` until `converged`; non-finite
+/// budgets fail regardless.
+#[must_use]
+pub fn budget_finding(
+    audit: &'static str,
+    net: f64,
+    gross: f64,
+    step: usize,
+    converged: bool,
+) -> AuditFinding {
+    let value = net.abs() / gross.max(1e-300);
+    let detail = format!(
+        "net {net:.3e} over gross {gross:.3e}{}",
+        if converged { " (converged)" } else { "" }
+    );
+    let mut f = graded(audit, value, BUDGET_WARN, BUDGET_FAIL, step, detail);
+    if f.severity == AuditSeverity::Fail && !converged && value.is_finite() {
+        f.severity = AuditSeverity::Warn;
+        f.threshold = BUDGET_WARN;
+    }
+    f
+}
+
+/// Grade the positivity of a field whose minimum over the domain is
+/// `min_value` (at `cell`): any nonpositive or non-finite minimum fails.
+/// The reported `value` is the violation depth `max(0, −min)` (∞ for
+/// non-finite fields).
+#[must_use]
+pub fn positivity_finding(
+    audit: &'static str,
+    min_value: f64,
+    cell: (usize, usize),
+    step: usize,
+) -> AuditFinding {
+    let value = if min_value.is_finite() {
+        (-min_value).max(0.0)
+    } else {
+        f64::INFINITY
+    };
+    let severity = if !min_value.is_finite() || min_value <= 0.0 {
+        AuditSeverity::Fail
+    } else {
+        AuditSeverity::Pass
+    };
+    AuditFinding {
+        audit,
+        severity,
+        value,
+        threshold: 0.0,
+        step,
+        detail: format!("minimum {min_value:.3e} at cell ({}, {})", cell.0, cell.1),
+    }
+}
+
+/// Grade `max |Σy − 1|` over the domain (worst at `cell`).
+#[must_use]
+pub fn mass_fraction_sum_finding(max_dev: f64, cell: (usize, usize), step: usize) -> AuditFinding {
+    graded(
+        "mass_fraction_sum",
+        max_dev,
+        MASS_FRACTION_WARN,
+        MASS_FRACTION_FAIL,
+        step,
+        format!("max |Σy − 1| at cell ({}, {})", cell.0, cell.1),
+    )
+}
+
+/// Grade the drift of one element's mass fraction from its freestream
+/// value, `max |z − z∞|` over the domain (worst at `cell`). Nuclei never
+/// transmute, so any drift is pure numerical (or flux-scheme) error.
+#[must_use]
+pub fn element_conservation_finding(
+    symbol: &str,
+    max_dev: f64,
+    cell: (usize, usize),
+    step: usize,
+) -> AuditFinding {
+    graded(
+        "element_conservation",
+        max_dev,
+        ELEMENT_WARN,
+        ELEMENT_FAIL,
+        step,
+        format!(
+            "element {symbol}: max |z − z∞| at cell ({}, {})",
+            cell.0, cell.1
+        ),
+    )
+}
+
+/// Return the first `Fail` finding as a typed [`SolverError::AuditFailed`].
+///
+/// # Errors
+/// [`SolverError::AuditFailed`] carrying the first failing audit's
+/// identifier, measured value, and hard threshold.
+pub fn escalate(findings: &[AuditFinding]) -> Result<(), SolverError> {
+    for f in findings {
+        if f.severity == AuditSeverity::Fail {
+            return Err(SolverError::AuditFailed {
+                audit: f.audit.to_string(),
+                value: f.value,
+                threshold: f.threshold,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Record every finding on `telemetry`, then escalate the first `Fail`.
+///
+/// # Errors
+/// [`SolverError::AuditFailed`] on the first failing finding (all findings
+/// are recorded regardless, so the report still carries the evidence).
+pub fn apply(telemetry: &mut RunTelemetry, findings: Vec<AuditFinding>) -> Result<(), SolverError> {
+    let err = escalate(&findings).err();
+    for f in findings {
+        telemetry.record_audit(f);
+    }
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Positivity/finiteness of the raw conserved Euler state: density and
+/// specific internal energy straight from `u` (the `primitive()` decoder
+/// floors both, which would mask exactly the violations being audited).
+#[must_use]
+pub fn euler_positivity(s: &EulerSolver<'_>, step: usize) -> Vec<AuditFinding> {
+    let mut min_rho = f64::INFINITY;
+    let mut rho_cell = (0, 0);
+    let mut min_e = f64::INFINITY;
+    let mut e_cell = (0, 0);
+    let mut nonfinite: Option<(usize, usize)> = None;
+    for i in 0..s.nci() {
+        for j in 0..s.ncj() {
+            let c = s.u.vector(i, j);
+            if c.iter().any(|v| !v.is_finite()) {
+                nonfinite.get_or_insert((i, j));
+                continue;
+            }
+            let rho = c[0];
+            if rho < min_rho {
+                min_rho = rho;
+                rho_cell = (i, j);
+            }
+            if rho > 0.0 {
+                let ux = c[1] / rho;
+                let ur = c[2] / rho;
+                let e = c[3] / rho - 0.5 * (ux * ux + ur * ur);
+                if e < min_e {
+                    min_e = e;
+                    e_cell = (i, j);
+                }
+            }
+        }
+    }
+    if let Some(cell) = nonfinite {
+        min_rho = f64::NAN;
+        rho_cell = cell;
+        min_e = f64::NAN;
+        e_cell = cell;
+    }
+    vec![
+        positivity_finding("density_positivity", min_rho, rho_cell, step),
+        positivity_finding("internal_energy_positivity", min_e, e_cell, step),
+    ]
+}
+
+/// Positivity/finiteness of one station column `i` of a `[ρ, ρu_x, ρu_r,
+/// ρE]` conserved field — the per-station audit of the PNS march (the
+/// marching direction makes whole-domain audits meaningless before the
+/// march has visited the cells).
+#[must_use]
+pub fn station_positivity(u: &Field3<f64>, i: usize, step: usize) -> Vec<AuditFinding> {
+    let mut min_rho = f64::INFINITY;
+    let mut rho_cell = (i, 0);
+    let mut min_e = f64::INFINITY;
+    let mut e_cell = (i, 0);
+    let mut nonfinite: Option<(usize, usize)> = None;
+    for j in 0..u.nj() {
+        let c = u.vector(i, j);
+        if c.iter().any(|v| !v.is_finite()) {
+            nonfinite.get_or_insert((i, j));
+            continue;
+        }
+        let rho = c[0];
+        if rho < min_rho {
+            min_rho = rho;
+            rho_cell = (i, j);
+        }
+        if rho > 0.0 {
+            let ux = c[1] / rho;
+            let ur = c[2] / rho;
+            let e = c[3] / rho - 0.5 * (ux * ux + ur * ur);
+            if e < min_e {
+                min_e = e;
+                e_cell = (i, j);
+            }
+        }
+    }
+    if let Some(cell) = nonfinite {
+        min_rho = f64::NAN;
+        rho_cell = cell;
+        min_e = f64::NAN;
+        e_cell = cell;
+    }
+    vec![
+        positivity_finding("density_positivity", min_rho, rho_cell, step),
+        positivity_finding("internal_energy_positivity", min_e, e_cell, step),
+    ]
+}
+
+/// Full Euler audit: boundary flux budgets for all four conserved
+/// equations plus raw-state positivity.
+#[must_use]
+pub fn audit_euler(s: &EulerSolver<'_>, step: usize, converged: bool) -> Vec<AuditFinding> {
+    const BUDGETS: [&str; NEQ] = [
+        "mass_flux_budget",
+        "x_momentum_flux_budget",
+        "r_momentum_flux_budget",
+        "energy_flux_budget",
+    ];
+    let budget = s.boundary_flux_budget();
+    let mut out: Vec<AuditFinding> = BUDGETS
+        .iter()
+        .zip(budget.iter())
+        .map(|(name, &(net, gross))| budget_finding(name, net, gross, step, converged))
+        .collect();
+    out.extend(euler_positivity(s, step));
+    out
+}
+
+/// Navier-Stokes audit: the mass budget still closes with the inviscid
+/// boundary accounting (viscous fluxes carry no mass and the momentum /
+/// energy rows intentionally exchange with the no-slip wall), plus
+/// positivity.
+#[must_use]
+pub fn audit_ns(inviscid: &EulerSolver<'_>, step: usize, converged: bool) -> Vec<AuditFinding> {
+    let budget = inviscid.boundary_flux_budget();
+    let mut out = vec![budget_finding(
+        "mass_flux_budget",
+        budget[0].0,
+        budget[0].1,
+        step,
+        converged,
+    )];
+    out.extend(euler_positivity(inviscid, step));
+    out
+}
+
+/// Reacting-solver audit: positivity of partial densities and the vibronic
+/// pool, mass-fraction normalization, and per-element mass conservation
+/// against the freestream composition.
+#[must_use]
+pub fn audit_reacting(s: &ReactingSolver<'_>, step: usize) -> Vec<AuditFinding> {
+    let mix = s.mixture();
+    let ns = mix.len();
+    let mut min_partial = f64::INFINITY;
+    let mut partial_cell = (0, 0);
+    let mut min_ev = f64::INFINITY;
+    let mut max_ev = 0.0_f64;
+    let mut ev_cell = (0, 0);
+    let mut nonfinite: Option<(usize, usize)> = None;
+    let mut max_ysum = 0.0_f64;
+    let mut ysum_cell = (0, 0);
+    for i in 0..s.nci() {
+        for j in 0..s.ncj() {
+            let c = s.u.vector(i, j);
+            if c.iter().any(|v| !v.is_finite()) {
+                nonfinite.get_or_insert((i, j));
+                continue;
+            }
+            let rho: f64 = c[..ns].iter().sum();
+            for v in &c[..ns] {
+                // Audited quantity is ρ_s + ρ so a single trace-negative
+                // species is tolerated while outright negative mixture
+                // density is not.
+                if *v + rho < min_partial {
+                    min_partial = *v + rho;
+                    partial_cell = (i, j);
+                }
+            }
+            if c[ns + 3] < min_ev {
+                min_ev = c[ns + 3];
+                ev_cell = (i, j);
+            }
+            max_ev = max_ev.max(c[ns + 3]);
+            if rho > 0.0 {
+                let dev = (c[..ns].iter().map(|v| v.max(0.0)).sum::<f64>() / rho - 1.0).abs();
+                if dev > max_ysum {
+                    max_ysum = dev;
+                    ysum_cell = (i, j);
+                }
+            }
+        }
+    }
+    if let Some(cell) = nonfinite {
+        min_partial = f64::NAN;
+        partial_cell = cell;
+    }
+    let mut out = vec![
+        positivity_finding(
+            "species_density_positivity",
+            min_partial,
+            partial_cell,
+            step,
+        ),
+        graded(
+            "vibronic_energy_nonnegativity",
+            (-min_ev).max(0.0) / max_ev.max(1e-300),
+            1e-10,
+            1e-3,
+            step,
+            format!(
+                "min ρe_v {min_ev:.3e} at cell ({}, {})",
+                ev_cell.0, ev_cell.1
+            ),
+        ),
+        mass_fraction_sum_finding(max_ysum, ysum_cell, step),
+    ];
+
+    // Element conservation vs the inflow composition, when one exists.
+    if let Some(y_inf) = s.freestream_composition() {
+        let z_ref = mix.element_mass_fractions(&y_inf);
+        let mut worst = (0.0_f64, (0, 0), 0usize);
+        for i in 0..s.nci() {
+            for j in 0..s.ncj() {
+                let q = s.primitive(i, j);
+                let z = mix.element_mass_fractions(&q.y);
+                for (k, ((_, zv), (_, zr))) in z.iter().zip(&z_ref).enumerate() {
+                    let dev = (zv - zr).abs();
+                    if dev > worst.0 {
+                        worst = (dev, (i, j), k);
+                    }
+                }
+            }
+        }
+        let symbol = z_ref.get(worst.2).map_or("?", |(el, _)| el.symbol());
+        out.push(element_conservation_finding(symbol, worst.0, worst.1, step));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaking_mass_budget_fails_only_when_converged() {
+        // A mock boundary accounting that loses 10% of the throughput.
+        let net = -0.1;
+        let gross = 1.0;
+        let transient = budget_finding("mass_flux_budget", net, gross, 100, false);
+        assert_eq!(transient.severity, AuditSeverity::Warn);
+        let converged = budget_finding("mass_flux_budget", net, gross, 100, true);
+        assert_eq!(converged.severity, AuditSeverity::Fail);
+        assert!((converged.value - 0.1).abs() < 1e-12);
+        let err = escalate(&[converged]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("mass_flux_budget"), "{msg}");
+    }
+
+    #[test]
+    fn tight_budget_passes() {
+        let f = budget_finding("energy_flux_budget", 1e-6, 1.0, 5, true);
+        assert_eq!(f.severity, AuditSeverity::Pass);
+        assert!(escalate(&[f]).is_ok());
+    }
+
+    #[test]
+    fn negative_temperature_field_fails_positivity() {
+        let f = positivity_finding("temperature_positivity", -12.5, (3, 7), 42);
+        assert_eq!(f.severity, AuditSeverity::Fail);
+        assert!((f.value - 12.5).abs() < 1e-12);
+        assert!(f.detail.contains("(3, 7)"), "{}", f.detail);
+        let err = escalate(&[f]).unwrap_err();
+        assert!(matches!(err, SolverError::AuditFailed { .. }));
+    }
+
+    #[test]
+    fn nan_field_fails_positivity() {
+        let f = positivity_finding("density_positivity", f64::NAN, (0, 0), 0);
+        assert_eq!(f.severity, AuditSeverity::Fail);
+        assert!(f.value.is_infinite());
+    }
+
+    #[test]
+    fn cadence_gating() {
+        disable();
+        assert!(!due(0));
+        assert_eq!(cadence(), 0);
+        enable(50);
+        assert!(due(0));
+        assert!(!due(49));
+        assert!(due(100));
+        enable(0); // coerced to every step
+        assert_eq!(cadence(), 1);
+        assert!(due(17));
+        disable();
+    }
+
+    #[test]
+    fn apply_records_findings_before_escalating() {
+        let mut t = RunTelemetry::new();
+        let findings = vec![
+            graded(
+                "mass_fraction_sum",
+                2e-3,
+                MASS_FRACTION_WARN,
+                MASS_FRACTION_FAIL,
+                1,
+                String::new(),
+            ),
+            positivity_finding("density_positivity", -1.0, (0, 0), 1),
+        ];
+        let err = apply(&mut t, findings).unwrap_err();
+        assert!(matches!(err, SolverError::AuditFailed { .. }));
+        assert_eq!(t.audits().len(), 2);
+        assert_eq!(t.worst_audit_severity(), Some(AuditSeverity::Fail));
+    }
+
+    #[test]
+    fn element_drift_grading() {
+        let warn = element_conservation_finding("N", 5e-2, (1, 1), 9);
+        assert_eq!(warn.severity, AuditSeverity::Warn);
+        assert!(warn.detail.contains("element N"), "{}", warn.detail);
+        let fail = element_conservation_finding("O", 0.5, (1, 1), 9);
+        assert_eq!(fail.severity, AuditSeverity::Fail);
+    }
+}

@@ -22,6 +22,11 @@
 //!   (Fig. 9),
 //! * [`pns`] — parabolized NS space marching with Vigneron pressure
 //!   splitting (Fig. 6 windward heating).
+//!
+//! Cross-cutting observability: [`audit`] evaluates physical-invariant
+//! audits (flux budgets, element conservation, positivity, mass-fraction
+//! normalization) in-situ during any of the solves above, at a cadence set
+//! process-wide with [`audit::enable`].
 #![warn(missing_docs)]
 // Indexed loops over parallel arrays are the clearest idiom for the
 // numerical kernels here; spelled-out spectroscopic constants keep their
@@ -32,6 +37,7 @@
     clippy::type_complexity
 )]
 
+pub mod audit;
 pub mod blayer;
 pub mod euler2d;
 pub mod ns2d;

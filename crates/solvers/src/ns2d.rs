@@ -18,6 +18,7 @@ use aerothermo_gas::transport::sutherland_air;
 use aerothermo_gas::GasModel;
 use aerothermo_grid::StructuredGrid;
 use aerothermo_numerics::telemetry::{MonitorOptions, ResidualMonitor, SolverError};
+use aerothermo_numerics::trace;
 use rayon::prelude::*;
 
 /// Molecular-transport closure.
@@ -233,6 +234,7 @@ impl<'a> NsSolver<'a> {
 
     /// One explicit step; returns the density-residual norm.
     pub fn step(&mut self) -> f64 {
+        let _sp = trace::span("ns_step");
         let first_order = self.steps < self.startup_steps;
         let cfl = if first_order {
             0.4 * self.cfl
@@ -334,6 +336,13 @@ impl<'a> NsSolver<'a> {
                 });
                 break;
             }
+            if crate::audit::due(n) {
+                let findings = crate::audit::audit_ns(&self.inviscid, n, false);
+                if let Err(e) = crate::audit::apply(&mut self.inviscid.telemetry, findings) {
+                    failure = Some(e);
+                    break;
+                }
+            }
             if n == self.startup_steps {
                 reference = r.max(1e-300);
             }
@@ -343,6 +352,12 @@ impl<'a> NsSolver<'a> {
                     steps = n + 1;
                     break;
                 }
+            }
+        }
+        if failure.is_none() && crate::audit::cadence() != 0 {
+            let findings = crate::audit::audit_ns(&self.inviscid, steps, last < tol);
+            if let Err(e) = crate::audit::apply(&mut self.inviscid.telemetry, findings) {
+                failure = Some(e);
             }
         }
         self.inviscid

@@ -21,7 +21,7 @@ use crate::ns2d::Transport;
 use aerothermo_gas::GasModel;
 use aerothermo_grid::{Geometry, Metrics, StructuredGrid};
 use aerothermo_numerics::telemetry::{RunTelemetry, SolverError};
-use aerothermo_numerics::Field3;
+use aerothermo_numerics::{trace, Field3};
 
 /// PNS options.
 #[derive(Debug, Clone)]
@@ -416,6 +416,7 @@ impl<'a> PnsSolver<'a> {
 
     /// Relax station `i` to convergence; returns iterations used.
     fn relax_station(&mut self, i: usize) -> usize {
+        let _sp = trace::span("pns_station");
         let ncj = self.grid.ncj();
         let mut ref_res = f64::NAN;
         for it in 0..self.opts.max_station_iters {
@@ -505,6 +506,13 @@ impl<'a> PnsSolver<'a> {
                         failure = Some(SolverError::NonFinite { field: name, i, j });
                         break 'stations;
                     }
+                }
+            }
+            if crate::audit::due(i) {
+                let findings = crate::audit::station_positivity(&self.u, i, i);
+                if let Err(e) = crate::audit::apply(&mut self.telemetry, findings) {
+                    failure = Some(e);
+                    break 'stations;
                 }
             }
             let q0 = self.primitive(i, 0);

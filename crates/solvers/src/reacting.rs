@@ -33,7 +33,7 @@ use aerothermo_numerics::ode::{stiff_integrate, AdaptiveOptions};
 use aerothermo_numerics::telemetry::{
     counters, Counter, MonitorOptions, ResidualMonitor, RunTelemetry, SolverError,
 };
-use aerothermo_numerics::Field3;
+use aerothermo_numerics::{trace, Field3};
 use rayon::prelude::*;
 use std::cell::Cell as StdCell;
 
@@ -281,6 +281,37 @@ impl<'a> ReactingSolver<'a> {
     #[must_use]
     pub fn primitive(&self, i: usize, j: usize) -> ReactingPrimitive {
         self.primitive_of(self.u.vector(i, j), 3000.0)
+    }
+
+    /// Number of cells along i.
+    #[must_use]
+    pub fn nci(&self) -> usize {
+        self.grid.nci()
+    }
+
+    /// Number of cells along j.
+    #[must_use]
+    pub fn ncj(&self) -> usize {
+        self.grid.ncj()
+    }
+
+    /// The species mixture the solver was built on.
+    #[must_use]
+    pub fn mixture(&self) -> &Mixture {
+        self.mix
+    }
+
+    /// Mass fractions of the first inflow boundary, scanning i-lo, i-hi,
+    /// j-lo, j-hi — the reference composition for element-conservation
+    /// audits. `None` for closed (wall/outflow-only) problems.
+    #[must_use]
+    pub fn freestream_composition(&self) -> Option<Vec<f64>> {
+        [&self.bc.i_lo, &self.bc.i_hi, &self.bc.j_lo, &self.bc.j_hi]
+            .into_iter()
+            .find_map(|bc| match bc {
+                ReactingBc::Inflow(fs) => Some(fs.y.clone()),
+                _ => None,
+            })
     }
 
     fn ghost(
@@ -554,6 +585,7 @@ impl<'a> ReactingSolver<'a> {
     /// One explicit convective step with operator-split chemistry; returns
     /// the density residual norm.
     pub fn step(&mut self) -> f64 {
+        let _sp = trace::span("reacting_step");
         let first = self.steps < self.opts.startup_steps;
         let cfl = if first {
             0.4 * self.opts.cfl
@@ -602,6 +634,7 @@ impl<'a> ReactingSolver<'a> {
         // Chemistry substep (skipped while the startup transient rings or in
         // frozen mode), cell-parallel.
         if !first && !self.opts.frozen {
+            let _sp = trace::span("chemistry_substeps");
             counters::add(Counter::ChemistrySubsteps, (nci * ncj) as u64);
             let slices: Vec<(usize, Vec<f64>)> = (0..nci * ncj)
                 .into_par_iter()
@@ -641,7 +674,7 @@ impl<'a> ReactingSolver<'a> {
         });
         let mut r = f64::NAN;
         let mut failure: Option<SolverError> = None;
-        for _ in 0..n {
+        for k in 0..n {
             r = self.step();
             if let Err(e) = monitor.record(r) {
                 failure = Some(match e {
@@ -649,6 +682,19 @@ impl<'a> ReactingSolver<'a> {
                     other => other,
                 });
                 break;
+            }
+            if crate::audit::due(k) {
+                let findings = crate::audit::audit_reacting(self, k);
+                if let Err(e) = crate::audit::apply(&mut self.telemetry, findings) {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        if failure.is_none() && crate::audit::cadence() != 0 {
+            let findings = crate::audit::audit_reacting(self, n);
+            if let Err(e) = crate::audit::apply(&mut self.telemetry, findings) {
+                failure = Some(e);
             }
         }
         self.telemetry

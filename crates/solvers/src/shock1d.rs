@@ -18,7 +18,7 @@ use aerothermo_gas::relaxation::RelaxationModel;
 use aerothermo_numerics::constants::K_BOLTZMANN;
 use aerothermo_numerics::ode::{stiff_integrate, AdaptiveOptions};
 use aerothermo_numerics::roots::brent_expanding;
-use aerothermo_numerics::telemetry::SolverError;
+use aerothermo_numerics::telemetry::{RunTelemetry, SolverError};
 use std::cell::Cell;
 
 /// Upstream (freestream, shock-frame) conditions and composition.
@@ -70,6 +70,9 @@ pub struct RelaxationSolution {
     pub points: Vec<RelaxationPoint>,
     /// The frozen post-shock translational temperature \[K\].
     pub t_frozen: f64,
+    /// Run observability: the march phase timing and (when auditing is
+    /// enabled) the algebraic-invariant audit findings.
+    pub telemetry: RunTelemetry,
 }
 
 impl RelaxationSolution {
@@ -110,6 +113,8 @@ pub fn solve(
     if problem.y1.len() != ns {
         return Err(SolverError::BadInput("y1 length mismatch".to_string()));
     }
+    let mut telemetry = RunTelemetry::new();
+    let march_t0 = std::time::Instant::now();
 
     // Frozen jump sets the flux invariants and the initial condition.
     let jump = frozen_shock(mix, &problem.y1, problem.t1, problem.p1, problem.u1)
@@ -256,9 +261,64 @@ pub fn solve(
         });
     }
 
+    telemetry.add_phase_secs("shock1d_march", march_t0.elapsed().as_secs_f64());
+
+    // Algebraic-invariant audits over the assembled stations: the steady
+    // shock-frame flow conserves mdot, total pressure, and total enthalpy
+    // exactly; mass fractions stay normalized; the state stays positive.
+    if crate::audit::cadence() != 0 && !points.is_empty() {
+        let mut mass_dev = 0.0_f64;
+        let mut mom_dev = 0.0_f64;
+        let mut h_dev = 0.0_f64;
+        let mut ysum_dev = 0.0_f64;
+        let mut min_t = f64::INFINITY;
+        let mut min_t_at = 0usize;
+        for (k, pt) in points.iter().enumerate() {
+            mass_dev = mass_dev.max((pt.rho * pt.u - mdot).abs() / mdot);
+            mom_dev = mom_dev.max((pt.p + pt.rho * pt.u * pt.u - ptot).abs() / ptot);
+            h_dev = h_dev.max(pt.h_residual.abs());
+            ysum_dev = ysum_dev.max((pt.y.iter().sum::<f64>() - 1.0).abs());
+            if pt.t < min_t {
+                min_t = pt.t;
+                min_t_at = k;
+            }
+        }
+        let n_pts = points.len();
+        let findings = vec![
+            crate::audit::graded(
+                "mass_flux_invariant",
+                mass_dev,
+                crate::audit::INVARIANT_WARN,
+                crate::audit::INVARIANT_FAIL,
+                n_pts,
+                format!("max |ρu − mdot|/mdot over {n_pts} stations"),
+            ),
+            crate::audit::graded(
+                "momentum_flux_invariant",
+                mom_dev,
+                crate::audit::INVARIANT_WARN,
+                crate::audit::INVARIANT_FAIL,
+                n_pts,
+                format!("max |p + ρu² − ptot|/ptot over {n_pts} stations"),
+            ),
+            crate::audit::graded(
+                "total_enthalpy_invariant",
+                h_dev,
+                crate::audit::INVARIANT_WARN,
+                crate::audit::INVARIANT_FAIL,
+                n_pts,
+                format!("max |h₀ residual| over {n_pts} stations"),
+            ),
+            crate::audit::mass_fraction_sum_finding(ysum_dev, (0, 0), n_pts),
+            crate::audit::positivity_finding("temperature_positivity", min_t, (min_t_at, 0), n_pts),
+        ];
+        crate::audit::apply(&mut telemetry, findings)?;
+    }
+
     Ok(RelaxationSolution {
         points,
         t_frozen: jump.t,
+        telemetry,
     })
 }
 

@@ -448,6 +448,49 @@ pub fn solve(gas: &EquilibriumGas, problem: &VslProblem) -> Result<VslSolution, 
         0.0
     };
 
+    // Physics audits over the converged layer: mass-balance closure,
+    // radiative-sink nonnegativity, and state positivity.
+    if crate::audit::cadence() != 0 {
+        let mass_resid = mass_resid_hist.last().copied().unwrap_or(f64::NAN);
+        let mut min_t = f64::INFINITY;
+        let mut min_t_at = 0usize;
+        let mut min_sink = f64::INFINITY;
+        let mut max_sink = 0.0_f64;
+        for (i, &ti) in t.iter().enumerate() {
+            if ti < min_t {
+                min_t = ti;
+                min_t_at = i;
+            }
+            if problem.radiating {
+                let s = table.sink_of_t.eval(ti);
+                min_sink = min_sink.min(s);
+                max_sink = max_sink.max(s);
+            }
+        }
+        let mut findings = vec![
+            crate::audit::graded(
+                "standoff_mass_balance",
+                mass_resid,
+                1e-4,
+                1e-2,
+                mass_resid_hist.len(),
+                format!("relative 2∫ρU dy defect at δ = {delta:.4e} m"),
+            ),
+            crate::audit::positivity_finding("temperature_positivity", min_t, (min_t_at, 0), n),
+        ];
+        if problem.radiating {
+            findings.push(crate::audit::graded(
+                "radiative_flux_nonnegativity",
+                (-min_sink).max(0.0) / max_sink.max(1e-300),
+                1e-12,
+                1e-3,
+                n,
+                format!("min volumetric sink {min_sink:.3e} W/m³"),
+            ));
+        }
+        crate::audit::apply(&mut telemetry, findings)?;
+    }
+
     Ok(VslSolution {
         standoff: delta,
         p_stag,
@@ -484,6 +527,16 @@ pub struct VslMarchStation {
     pub q_rad_thin: f64,
 }
 
+/// Result of a windward-forebody VSL march: the converged stations plus the
+/// run telemetry (march phase timing and any audit findings).
+#[derive(Debug, Clone, Default)]
+pub struct VslMarchSolution {
+    /// Converged stations ordered by arc length (non-converged ones skipped).
+    pub stations: Vec<VslMarchStation>,
+    /// Phase timings, audit findings, and counter deltas for the march.
+    pub telemetry: RunTelemetry,
+}
+
 /// Windward-forebody VSL march: solves the shock layer at stations along an
 /// axisymmetric body in the local-similarity approximation — the mode in
 /// which the era's VSL codes produced whole-forebody heating environments.
@@ -511,7 +564,9 @@ pub fn march(
     problem: &VslProblem,
     body: &dyn aerothermo_grid::bodies::Body,
     n_stations: usize,
-) -> Result<Vec<VslMarchStation>, SolverError> {
+) -> Result<VslMarchSolution, SolverError> {
+    let mut telemetry = RunTelemetry::new();
+    let march_t0 = std::time::Instant::now();
     let p_inf = problem.rho_inf * aerothermo_numerics::constants::R_UNIVERSAL * problem.t_inf
         / gas
             .at_trho(problem.t_inf.max(600.0), problem.rho_inf)
@@ -548,6 +603,7 @@ pub fn march(
 
     let mut out = Vec::new();
     for k in 1..=n_stations {
+        let _sp = aerothermo_numerics::trace::span("vsl_station");
         let s = smax * k as f64 / n_stations as f64;
         let theta = body.body_angle(s);
         let (_, r_b) = body.point(s);
@@ -755,7 +811,63 @@ pub fn march(
             "VSL march: no station converged".to_string(),
         ));
     }
-    Ok(out)
+    telemetry.add_phase_secs("vsl_march", march_t0.elapsed().as_secs_f64());
+    telemetry.record_history(
+        "station_q_conv",
+        out.iter().map(|st| st.q_conv).collect::<Vec<_>>(),
+    );
+
+    // Physics audits over the converged stations: layer thickness and wall
+    // fluxes must stay positive (radiative flux nonnegative) everywhere.
+    if crate::audit::cadence() != 0 {
+        let mut min_delta = f64::INFINITY;
+        let mut min_delta_at = 0usize;
+        let mut min_q_conv = f64::INFINITY;
+        let mut min_q_conv_at = 0usize;
+        let mut min_q_rad = f64::INFINITY;
+        let mut max_q_rad = 0.0_f64;
+        for (k, st) in out.iter().enumerate() {
+            if st.delta < min_delta {
+                min_delta = st.delta;
+                min_delta_at = k;
+            }
+            if st.q_conv < min_q_conv {
+                min_q_conv = st.q_conv;
+                min_q_conv_at = k;
+            }
+            min_q_rad = min_q_rad.min(st.q_rad_thin);
+            max_q_rad = max_q_rad.max(st.q_rad_thin);
+        }
+        let mut findings = vec![
+            crate::audit::positivity_finding(
+                "layer_thickness_positivity",
+                min_delta,
+                (min_delta_at, 0),
+                out.len(),
+            ),
+            crate::audit::positivity_finding(
+                "convective_flux_positivity",
+                min_q_conv,
+                (min_q_conv_at, 0),
+                out.len(),
+            ),
+        ];
+        if problem.radiating {
+            findings.push(crate::audit::graded(
+                "radiative_flux_nonnegativity",
+                (-min_q_rad).max(0.0) / max_q_rad.max(1e-300),
+                1e-12,
+                1e-3,
+                out.len(),
+                format!("min station radiative wall flux {min_q_rad:.3e} W/m²"),
+            ));
+        }
+        crate::audit::apply(&mut telemetry, findings)?;
+    }
+    Ok(VslMarchSolution {
+        stations: out,
+        telemetry,
+    })
 }
 
 #[cfg(test)]
@@ -885,7 +997,7 @@ mod tests {
         let gas = air9_equilibrium();
         let problem = shuttle_problem();
         let body = aerothermo_grid::bodies::Hemisphere::new(problem.nose_radius);
-        let stations = march(&gas, &problem, &body, 10).unwrap();
+        let stations = march(&gas, &problem, &body, 10).unwrap().stations;
         assert!(
             stations.len() >= 7,
             "stations converged: {}",

@@ -1,0 +1,162 @@
+//! Integration tests for the in-situ physics auditors.
+//!
+//! The auditors' unit tests (crates/solvers/src/audit.rs) exercise the
+//! grading constructors on synthetic numbers; these tests drive the real
+//! audit entry points through real solvers: a uniform freestream must pass
+//! every audit at machine precision, a wall that swallows the incoming
+//! stream must trip the mass-flux budget, and a corrupted conserved state
+//! must trip the positivity audits.
+
+use aerothermo::numerics::telemetry::{AuditSeverity, SolverError};
+use aerothermo::solvers::audit;
+use aerothermo::solvers::euler2d::{Bc, BcSet, EulerOptions, EulerSolver};
+use aerothermo::{gas::IdealGas, grid::Geometry, grid::StructuredGrid};
+use proptest::prelude::*;
+
+fn uniform_solver(
+    grid: &StructuredGrid,
+    gas: &IdealGas,
+    fs: (f64, f64, f64, f64),
+    bc: BcSet,
+) -> EulerSolver<'static> {
+    // The solver borrows grid and gas; leak them so the helper can return
+    // it (tests only — a few hundred bytes per case).
+    let grid = Box::leak(Box::new(grid.clone()));
+    let gas = Box::leak(Box::new(*gas));
+    EulerSolver::new(grid, gas, bc, EulerOptions::default(), fs)
+}
+
+fn all_inflow(fs: (f64, f64, f64, f64)) -> BcSet {
+    let inflow = Bc::Inflow {
+        rho: fs.0,
+        ux: fs.1,
+        ur: fs.2,
+        p: fs.3,
+    };
+    BcSet {
+        i_lo: inflow,
+        i_hi: inflow,
+        j_lo: inflow,
+        j_hi: inflow,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// A uniform freestream on a uniform grid is an exact steady solution:
+    /// every flux budget must close to machine precision and every
+    /// positivity audit must pass, for any physically sensible state.
+    #[test]
+    fn uniform_freestream_passes_all_audits(
+        rho in 1e-3_f64..1.0,
+        u in 50.0_f64..3000.0,
+        log10_p in 1.0_f64..5.0,
+    ) {
+        let gas = IdealGas::air();
+        let grid = StructuredGrid::rectangle(9, 7, 1.0, 0.7, Geometry::Planar);
+        let fs = (rho, u, 0.3 * u, 10f64.powf(log10_p));
+        let solver = uniform_solver(&grid, &gas, fs, all_inflow(fs));
+
+        let findings = audit::audit_euler(&solver, 0, true);
+        prop_assert!(!findings.is_empty());
+        for f in &findings {
+            prop_assert!(
+                f.severity == AuditSeverity::Pass,
+                "audit {} graded {} (value {:.3e} > threshold {:.3e}): {}",
+                f.audit, f.severity.name(), f.value, f.threshold, f.detail
+            );
+            if f.audit.ends_with("_flux_budget") {
+                prop_assert!(
+                    f.value < 1e-12,
+                    "{} imbalance {:.3e} above machine precision",
+                    f.audit, f.value
+                );
+            }
+        }
+    }
+}
+
+/// A stream blown into a slip wall cannot leave the domain: the mass-flux
+/// budget must flag the imbalance — hard once the solve claims
+/// convergence, soft (Warn) while it is still a transient.
+#[test]
+fn swallowed_stream_trips_mass_budget() {
+    let gas = IdealGas::air();
+    let grid = StructuredGrid::rectangle(9, 7, 1.0, 0.7, Geometry::Planar);
+    let fs = (0.1, 800.0, 0.0, 5_000.0);
+    let bc = BcSet {
+        i_lo: Bc::Inflow {
+            rho: fs.0,
+            ux: fs.1,
+            ur: fs.2,
+            p: fs.3,
+        },
+        i_hi: Bc::SlipWall,
+        j_lo: Bc::SlipWall,
+        j_hi: Bc::SlipWall,
+    };
+    let solver = uniform_solver(&grid, &gas, fs, bc);
+
+    let converged = audit::audit_euler(&solver, 100, true);
+    let mass = converged
+        .iter()
+        .find(|f| f.audit == "mass_flux_budget")
+        .expect("mass budget audited");
+    assert_eq!(
+        mass.severity,
+        AuditSeverity::Fail,
+        "swallowed stream at convergence must hard-fail: value {:.3e}",
+        mass.value
+    );
+    assert!(mass.value > 0.05, "imbalance {:.3e}", mass.value);
+    assert!(matches!(
+        audit::escalate(&converged),
+        Err(SolverError::AuditFailed { ref audit, .. }) if audit == "mass_flux_budget"
+    ));
+
+    // The same imbalance during the transient is survivable: Warn, not Fail.
+    let transient = audit::audit_euler(&solver, 100, false);
+    let mass_t = transient
+        .iter()
+        .find(|f| f.audit == "mass_flux_budget")
+        .unwrap();
+    assert_eq!(mass_t.severity, AuditSeverity::Warn);
+    assert!(audit::escalate(&transient).is_ok());
+}
+
+/// Corrupting the conserved state must trip the positivity auditors on the
+/// raw variables (the primitive decoder floors exactly these violations).
+#[test]
+fn corrupted_state_trips_positivity() {
+    let gas = IdealGas::air();
+    let grid = StructuredGrid::rectangle(9, 7, 1.0, 0.7, Geometry::Planar);
+    let fs = (0.1, 800.0, 0.0, 5_000.0);
+
+    // Negative total energy ⇒ negative internal energy at that cell.
+    let mut solver = uniform_solver(&grid, &gas, fs, all_inflow(fs));
+    solver.u.vector_mut(3, 2)[3] = -1.0;
+    let findings = audit::audit_euler(&solver, 7, false);
+    let e = findings
+        .iter()
+        .find(|f| f.audit == "internal_energy_positivity")
+        .expect("internal energy audited");
+    assert_eq!(e.severity, AuditSeverity::Fail);
+    assert!(e.detail.contains("(3, 2)"), "detail: {}", e.detail);
+
+    // Negative density.
+    let mut solver = uniform_solver(&grid, &gas, fs, all_inflow(fs));
+    solver.u.vector_mut(1, 1)[0] = -1e-3;
+    let findings = audit::audit_euler(&solver, 7, false);
+    let rho = findings
+        .iter()
+        .find(|f| f.audit == "density_positivity")
+        .expect("density audited");
+    assert_eq!(rho.severity, AuditSeverity::Fail);
+
+    // Positivity failures escalate even during transients.
+    assert!(matches!(
+        audit::escalate(&findings),
+        Err(SolverError::AuditFailed { .. })
+    ));
+}
