@@ -82,10 +82,12 @@ fn main() {
             .map_or(0, |d| d.as_secs())
     ));
     s.push_str(&format!(
-        "  \"machine\": {{\"os\": \"{}\", \"arch\": \"{}\", \"num_cpus\": {}}},\n",
+        "  \"machine\": {{\"os\": \"{}\", \"arch\": \"{}\", \"num_cpus\": {}, \
+         \"rayon_threads\": {}}},\n",
         std::env::consts::OS,
         std::env::consts::ARCH,
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        rayon::current_num_threads()
     ));
     s.push_str(&format!("  \"calibration_ns\": {calib},\n"));
     s.push_str("  \"spans\": {");

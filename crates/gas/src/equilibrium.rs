@@ -18,11 +18,18 @@
 //! The same code path serves ionizing air and Titan N₂/CH₄ chemistry — the
 //! species set and element abundances are the only inputs.
 
+use crate::error::GasError;
 use crate::species::Element;
 use crate::thermo::Mixture;
 use aerothermo_numerics::constants::K_BOLTZMANN;
 use aerothermo_numerics::newton::{newton_solve, NewtonOptions};
 use aerothermo_numerics::roots::brent_expanding;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic id source distinguishing [`EquilibriumGas`] instances in the
+/// per-thread warm-start cache (clones share the id: same mixture and
+/// abundances means cached potentials stay valid).
+static NEXT_GAS_ID: AtomicU64 = AtomicU64::new(0);
 
 /// Closure condition for the equilibrium solve.
 #[derive(Debug, Clone, Copy)]
@@ -31,6 +38,139 @@ enum Closure {
     Pressure(f64),
     /// Fixed mass density \[kg/m³\].
     Density(f64),
+}
+
+/// Per-thread warm-start cache for the element-potential Newton iteration.
+///
+/// Successive equilibrium solves along a table row, a Brent inversion, or a
+/// body streamline differ by a few percent in `(T, closure)`; the converged
+/// potentials `λ` of the previous solve are then an excellent Newton seed
+/// that skips the 40-sweep fixed-point pre-balance entirely. Each entry
+/// stores the gas identity, closure kind, `ln T`, `ln` of the closure value
+/// (`p` or `ρ`), and the converged `λ`. A lookup accepts the nearest entry
+/// inside the quantization window ([`warm_cache::LN_T_WINDOW`] ×
+/// [`warm_cache::LN_V_WINDOW`] in ln-space); a state jumping outside the
+/// window bypasses the cache and takes the cold start.
+///
+/// The cache is `thread_local`, so rayon workers never contend nor share
+/// seeds — results stay deterministic for a fixed thread count, and the
+/// cold-start fallback guards robustness when a warm seed fails to
+/// converge.
+mod warm_cache {
+    use std::cell::RefCell;
+
+    /// Entries kept per thread (small: a lookup is a linear scan that must
+    /// stay negligible next to a ~10 µs solve).
+    const CAPACITY: usize = 16;
+    /// Quantization window in `ln T`: seeds farther than this in
+    /// temperature are stale enough that the cold start wins.
+    pub(super) const LN_T_WINDOW: f64 = 0.08;
+    /// Quantization window in `ln p` / `ln ρ`.
+    pub(super) const LN_V_WINDOW: f64 = 0.5;
+
+    struct Entry {
+        gas_id: u64,
+        kind: u8,
+        ln_t: f64,
+        ln_v: f64,
+        lambda: Vec<f64>,
+    }
+
+    /// Hit/miss totals for the current thread only (tests use these:
+    /// unlike the global telemetry counters they cannot be polluted by
+    /// concurrently running tests).
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub(super) struct ThreadStats {
+        /// Lookups that found a seed inside the window on this thread.
+        pub hits: u64,
+        /// Lookups that found no usable seed on this thread.
+        pub misses: u64,
+    }
+
+    thread_local! {
+        static CACHE: RefCell<Vec<Entry>> = const { RefCell::new(Vec::new()) };
+        static STATS: RefCell<ThreadStats> = const { RefCell::new(ThreadStats { hits: 0, misses: 0 }) };
+    }
+
+    /// Nearest cached potentials inside the quantization window, updating
+    /// hit/miss telemetry (global counters and per-thread stats).
+    pub(super) fn lookup(gas_id: u64, kind: u8, ln_t: f64, ln_v: f64) -> Option<Vec<f64>> {
+        use aerothermo_numerics::telemetry::{counters, Counter};
+        let found = CACHE.with(|c| {
+            let cache = c.borrow();
+            cache
+                .iter()
+                .filter(|e| {
+                    e.gas_id == gas_id
+                        && e.kind == kind
+                        && (e.ln_t - ln_t).abs() <= LN_T_WINDOW
+                        && (e.ln_v - ln_v).abs() <= LN_V_WINDOW
+                })
+                .min_by(|a, b| {
+                    let da = (a.ln_t - ln_t).abs() + (a.ln_v - ln_v).abs();
+                    let db = (b.ln_t - ln_t).abs() + (b.ln_v - ln_v).abs();
+                    da.total_cmp(&db)
+                })
+                .map(|e| e.lambda.clone())
+        });
+        STATS.with(|s| {
+            let mut st = s.borrow_mut();
+            if found.is_some() {
+                st.hits += 1;
+            } else {
+                st.misses += 1;
+            }
+        });
+        counters::add(
+            if found.is_some() {
+                Counter::EquilibriumCacheHits
+            } else {
+                Counter::EquilibriumCacheMisses
+            },
+            1,
+        );
+        found
+    }
+
+    /// Record converged potentials, replacing any entry already inside the
+    /// window (most-recent-first eviction beyond [`CAPACITY`]).
+    pub(super) fn store(gas_id: u64, kind: u8, ln_t: f64, ln_v: f64, lambda: &[f64]) {
+        CACHE.with(|c| {
+            let mut cache = c.borrow_mut();
+            if let Some(pos) = cache.iter().position(|e| {
+                e.gas_id == gas_id
+                    && e.kind == kind
+                    && (e.ln_t - ln_t).abs() <= LN_T_WINDOW
+                    && (e.ln_v - ln_v).abs() <= LN_V_WINDOW
+            }) {
+                cache.remove(pos);
+            }
+            cache.insert(
+                0,
+                Entry {
+                    gas_id,
+                    kind,
+                    ln_t,
+                    ln_v,
+                    lambda: lambda.to_vec(),
+                },
+            );
+            cache.truncate(CAPACITY);
+        });
+    }
+
+    /// Current thread's hit/miss totals.
+    #[cfg(test)]
+    pub(super) fn thread_stats() -> ThreadStats {
+        STATS.with(|s| *s.borrow())
+    }
+
+    /// Drop this thread's entries and zero its stats (tests only).
+    #[cfg(test)]
+    pub(super) fn clear_thread() {
+        CACHE.with(|c| c.borrow_mut().clear());
+        STATS.with(|s| *s.borrow_mut() = ThreadStats::default());
+    }
 }
 
 /// Result of an equilibrium-composition solve.
@@ -70,6 +210,8 @@ pub struct EquilibriumGas {
     q: Vec<f64>,
     /// Whether any species is charged (enables the λ_c unknown).
     has_charge: bool,
+    /// Cache identity (see [`NEXT_GAS_ID`]).
+    id: u64,
 }
 
 impl EquilibriumGas {
@@ -110,6 +252,7 @@ impl EquilibriumGas {
             a,
             q,
             has_charge,
+            id: NEXT_GAS_ID.fetch_add(1, Ordering::Relaxed),
         }
     }
 
@@ -349,7 +492,7 @@ impl EquilibriumGas {
         }
     }
 
-    fn solve(&self, t: f64, closure: Closure) -> Result<EqState, String> {
+    fn solve(&self, t: f64, closure: Closure) -> Result<EqState, GasError> {
         aerothermo_numerics::telemetry::counters::add(
             aerothermo_numerics::telemetry::Counter::EquilibriumStates,
             1,
@@ -363,7 +506,6 @@ impl EquilibriumGas {
             .map(|s| s.ln_concentration_potential(t))
             .collect();
 
-        let mut lambda = self.initial_lambda(&phi, t, closure);
         // The scale-free residuals make 1e-9 ample for composition work;
         // rank-deficient trace-species directions can stall the last decades
         // of a tighter tolerance (the newton solver also accepts 100× the
@@ -374,7 +516,40 @@ impl EquilibriumGas {
             fd_eps: 1e-7,
             min_lambda: 1e-6,
         };
-        let mut attempt = self.newton_attempt(&mut lambda, &phi, t, closure, &opts);
+        let (kind, ln_v) = match closure {
+            Closure::Pressure(p) => (0u8, p.ln()),
+            Closure::Density(rho) => (1u8, rho.ln()),
+        };
+        let ln_t = t.ln();
+        let mut lambda;
+        let mut attempt;
+        match warm_cache::lookup(self.id, kind, ln_t, ln_v) {
+            Some(seed) if seed.len() == self.n_unknowns() => {
+                aerothermo_numerics::telemetry::counters::add(
+                    aerothermo_numerics::telemetry::Counter::NewtonWarmStarts,
+                    1,
+                );
+                lambda = seed;
+                // A good warm seed converges in a handful of iterations;
+                // give it a short budget so a stale seed costs little
+                // before the cold-start fallback.
+                let warm_opts = NewtonOptions {
+                    max_iter: 25,
+                    ..opts
+                };
+                attempt = self.newton_attempt(&mut lambda, &phi, t, closure, &warm_opts);
+                if attempt.is_err() {
+                    // Stale warm seed: fall back to the cold start before
+                    // reaching for the continuation ladders.
+                    lambda = self.initial_lambda(&phi, t, closure);
+                    attempt = self.newton_attempt(&mut lambda, &phi, t, closure, &opts);
+                }
+            }
+            _ => {
+                lambda = self.initial_lambda(&phi, t, closure);
+                attempt = self.newton_attempt(&mut lambda, &phi, t, closure, &opts);
+            }
+        }
         if attempt.is_err() {
             // Continuation fallback: walk down from a hot, fully atomized
             // state — where the atom-anchored initial guess is excellent —
@@ -422,7 +597,11 @@ impl EquilibriumGas {
             }
             attempt = self.newton_attempt(&mut lambda, &phi, t, closure, &opts);
         }
-        attempt.map_err(|e| format!("equilibrium at T={t}: {e}"))?;
+        attempt.map_err(|e| GasError::EquilibriumNotConverged {
+            temperature: t,
+            detail: e.to_string(),
+        })?;
+        warm_cache::store(self.id, kind, ln_t, ln_v, &lambda);
 
         let mut lnn = vec![0.0; ns];
         self.ln_n(&lambda, &phi, &mut lnn);
@@ -463,16 +642,18 @@ impl EquilibriumGas {
     /// Equilibrium composition at fixed temperature and pressure.
     ///
     /// # Errors
-    /// Fails when the Newton iteration cannot converge.
-    pub fn at_tp(&self, t: f64, p: f64) -> Result<EqState, String> {
+    /// [`GasError::EquilibriumNotConverged`] when the Newton iteration
+    /// cannot converge.
+    pub fn at_tp(&self, t: f64, p: f64) -> Result<EqState, GasError> {
         self.solve(t, Closure::Pressure(p))
     }
 
     /// Equilibrium composition at fixed temperature and density.
     ///
     /// # Errors
-    /// Fails when the Newton iteration cannot converge.
-    pub fn at_trho(&self, t: f64, rho: f64) -> Result<EqState, String> {
+    /// [`GasError::EquilibriumNotConverged`] when the Newton iteration
+    /// cannot converge.
+    pub fn at_trho(&self, t: f64, rho: f64) -> Result<EqState, GasError> {
         self.solve(t, Closure::Density(rho))
     }
 
@@ -482,16 +663,21 @@ impl EquilibriumGas {
     /// makes every step; the table in [`crate::eq_table`] caches it.
     ///
     /// # Errors
-    /// Fails when no temperature in \[50 K, 100 000 K\] matches `e`.
-    pub fn at_rho_e(&self, rho: f64, e: f64) -> Result<EqState, String> {
+    /// [`GasError::InversionFailed`] when no temperature in
+    /// \[50 K, 100 000 K\] matches `e`.
+    pub fn at_rho_e(&self, rho: f64, e: f64) -> Result<EqState, GasError> {
         let f = |t: f64| -> f64 {
             match self.solve(t, Closure::Density(rho)) {
                 Ok(st) => st.energy - e,
                 Err(_) => f64::NAN,
             }
         };
-        let t = brent_expanding(f, 2000.0, 1500.0, 60.0, 90_000.0, 1e-4, 60)
-            .map_err(|err| format!("at_rho_e(rho={rho:.3e}, e={e:.3e}): {err}"))?;
+        let t = brent_expanding(f, 2000.0, 1500.0, 60.0, 90_000.0, 1e-4, 60).map_err(|err| {
+            GasError::InversionFailed {
+                context: format!("at_rho_e(rho={rho:.3e}, e={e:.3e})"),
+                detail: err.to_string(),
+            }
+        })?;
         self.solve(t, Closure::Density(rho))
     }
 
@@ -499,16 +685,21 @@ impl EquilibriumGas {
     /// stagnation-point analyses).
     ///
     /// # Errors
-    /// Fails when no temperature in range matches `h`.
-    pub fn at_ph(&self, p: f64, h: f64) -> Result<EqState, String> {
+    /// [`GasError::InversionFailed`] when no temperature in range
+    /// matches `h`.
+    pub fn at_ph(&self, p: f64, h: f64) -> Result<EqState, GasError> {
         let f = |t: f64| -> f64 {
             match self.solve(t, Closure::Pressure(p)) {
                 Ok(st) => st.enthalpy - h,
                 Err(_) => f64::NAN,
             }
         };
-        let t = brent_expanding(f, 2000.0, 1500.0, 60.0, 90_000.0, 1e-4, 60)
-            .map_err(|err| format!("at_ph(p={p:.3e}, h={h:.3e}): {err}"))?;
+        let t = brent_expanding(f, 2000.0, 1500.0, 60.0, 90_000.0, 1e-4, 60).map_err(|err| {
+            GasError::InversionFailed {
+                context: format!("at_ph(p={p:.3e}, h={h:.3e})"),
+                detail: err.to_string(),
+            }
+        })?;
         self.solve(t, Closure::Pressure(p))
     }
 }
@@ -840,6 +1031,91 @@ mod tests {
         let st = gas.at_tp(2000.0, 101_325.0).unwrap();
         assert!(st.enthalpy > st.energy);
         assert!((st.enthalpy - st.energy - st.pressure / st.density).abs() < 1.0);
+    }
+
+    #[test]
+    fn warm_start_hit_matches_cold_solve() {
+        // Run on a dedicated thread: the warm-start cache and its stats are
+        // thread-local, so parallel sibling tests cannot interfere.
+        let (cold, warm, hits, misses) = std::thread::spawn(|| {
+            let gas = air9_equilibrium();
+            warm_cache::clear_thread();
+            let s0 = warm_cache::thread_stats();
+            let _anchor = gas.at_tp(6000.0, 10_000.0).unwrap();
+            // 6050 K is well inside LN_T_WINDOW of the anchor: warm path.
+            let warm = gas.at_tp(6050.0, 10_000.0).unwrap();
+            let s1 = warm_cache::thread_stats();
+            // Cold reference for the identical state.
+            warm_cache::clear_thread();
+            let cold = gas.at_tp(6050.0, 10_000.0).unwrap();
+            (cold, warm, s1.hits - s0.hits, s1.misses - s0.misses)
+        })
+        .join()
+        .unwrap();
+        assert_eq!((hits, misses), (1, 1));
+        assert!((warm.density - cold.density).abs() < 1e-6 * cold.density);
+        assert!((warm.pressure - cold.pressure).abs() < 1e-6 * cold.pressure);
+        for (a, b) in warm.mole_fractions.iter().zip(&cold.mole_fractions) {
+            let scale = a.abs().max(b.abs());
+            assert!(
+                (a - b).abs() <= 1e-5 * scale + 1e-30,
+                "warm {a:e} vs cold {b:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_bypassed_when_state_jumps_outside_bucket() {
+        use aerothermo_numerics::telemetry::{counters, Counter};
+        let stats = std::thread::spawn(|| {
+            let gas = air9_equilibrium();
+            warm_cache::clear_thread();
+            gas.at_tp(1000.0, 101_325.0).unwrap();
+            // ln-T jump of 1.79 ≫ LN_T_WINDOW: bypass.
+            gas.at_tp(6000.0, 101_325.0).unwrap();
+            // ln-p jump of 4.6 ≫ LN_V_WINDOW at fixed T: bypass.
+            gas.at_tp(6000.0, 1000.0).unwrap();
+            warm_cache::thread_stats()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(stats.hits, 0, "far jumps must not warm-start");
+        assert_eq!(stats.misses, 3);
+        // The same lookups feed the global telemetry counters (other tests
+        // may add more in parallel, so only a floor is asserted).
+        assert!(counters::get(Counter::EquilibriumCacheMisses) >= 3);
+    }
+
+    #[test]
+    fn cache_is_per_thread_under_rayon_workers() {
+        use rayon::prelude::*;
+        let gas = air9_equilibrium();
+        // Prime the calling thread's cache with the probed state.
+        gas.at_tp(7000.0, 5000.0).unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let deltas: Vec<(u64, u64)> = pool.install(|| {
+            (0..2usize)
+                .into_par_iter()
+                .map(|_| {
+                    let s0 = warm_cache::thread_stats();
+                    gas.at_tp(7000.0, 5000.0).unwrap();
+                    gas.at_tp(7010.0, 5000.0).unwrap();
+                    let s1 = warm_cache::thread_stats();
+                    (s1.hits - s0.hits, s1.misses - s0.misses)
+                })
+                .collect()
+        });
+        assert_eq!(deltas.len(), 2);
+        for (hits, misses) in deltas {
+            // Workers are fresh threads: the first solve must NOT see the
+            // calling thread's seed (miss), the nearby second solve hits
+            // the worker's own fresh entry.
+            assert_eq!(misses, 1, "worker saw another thread's cache");
+            assert_eq!(hits, 1);
+        }
     }
 
     #[test]

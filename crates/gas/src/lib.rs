@@ -29,6 +29,7 @@
 
 pub mod eq_table;
 pub mod equilibrium;
+pub mod error;
 pub mod kinetics;
 pub mod model;
 pub mod relaxation;
@@ -40,6 +41,7 @@ pub use equilibrium::{
     air11_equilibrium, air5_equilibrium, air9_equilibrium, jupiter_equilibrium, titan_equilibrium,
     EqState, EquilibriumGas,
 };
+pub use error::GasError;
 pub use model::{GasModel, IdealGas};
 pub use species::{Element, Rotation, Species, ViscModel};
 pub use thermo::Mixture;

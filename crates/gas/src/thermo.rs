@@ -6,6 +6,7 @@
 //! translation/rotation at `T`, vibration/electronic/electron-translation at
 //! `Tv`).
 
+use crate::error::GasError;
 use crate::species::{Element, Rotation, Species};
 use aerothermo_numerics::constants::{H_PLANCK, K_BOLTZMANN, R_UNIVERSAL};
 use aerothermo_numerics::roots::brent_expanding;
@@ -316,35 +317,55 @@ impl Mixture {
     /// Convert mole fractions to mass fractions.
     #[must_use]
     pub fn mole_to_mass(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; x.len()];
+        self.mole_to_mass_into(x, &mut y);
+        y
+    }
+
+    /// Allocation-free [`Self::mole_to_mass`]: writes the mass fractions
+    /// into `y`.
+    ///
+    /// # Panics
+    /// Panics if `x.len()` or `y.len()` mismatches the species count.
+    pub fn mole_to_mass_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.species.len());
+        assert_eq!(y.len(), self.species.len());
         let mbar: f64 = self
             .species
             .iter()
             .zip(x)
             .map(|(s, xi)| xi * s.molar_mass)
             .sum();
-        self.species
-            .iter()
-            .zip(x)
-            .map(|(s, xi)| xi * s.molar_mass / mbar)
-            .collect()
+        for ((yi, s), xi) in y.iter_mut().zip(&self.species).zip(x) {
+            *yi = xi * s.molar_mass / mbar;
+        }
     }
 
     /// Convert mass fractions to mole fractions.
     #[must_use]
     pub fn mass_to_mole(&self, y: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; y.len()];
+        self.mass_to_mole_into(y, &mut x);
+        x
+    }
+
+    /// Allocation-free [`Self::mass_to_mole`]: writes the mole fractions
+    /// into `x`.
+    ///
+    /// # Panics
+    /// Panics if `y.len()` or `x.len()` mismatches the species count.
+    pub fn mass_to_mole_into(&self, y: &[f64], x: &mut [f64]) {
         assert_eq!(y.len(), self.species.len());
+        assert_eq!(x.len(), self.species.len());
         let inv_mbar: f64 = self
             .species
             .iter()
             .zip(y)
             .map(|(s, yi)| yi / s.molar_mass)
             .sum();
-        self.species
-            .iter()
-            .zip(y)
-            .map(|(s, yi)| (yi / s.molar_mass) / inv_mbar)
-            .collect()
+        for ((xi, s), yi) in x.iter_mut().zip(&self.species).zip(y) {
+            *xi = (yi / s.molar_mass) / inv_mbar;
+        }
     }
 
     /// Elemental mass fractions implied by species mass fractions `y`:
@@ -362,22 +383,34 @@ impl Mixture {
     /// Panics if `y.len()` mismatches the species count.
     #[must_use]
     pub fn element_mass_fractions(&self, y: &[f64]) -> Vec<(Element, f64)> {
+        let mut out = Vec::new();
+        self.element_mass_fractions_into(y, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Self::element_mass_fractions`]: clears `out` and
+    /// refills it (the spare capacity of a reused `Vec` is kept, so a
+    /// per-step scratch vector never reallocates after the first call).
+    ///
+    /// # Panics
+    /// Panics if `y.len()` mismatches the species count.
+    pub fn element_mass_fractions_into(&self, y: &[f64], out: &mut Vec<(Element, f64)>) {
         assert_eq!(y.len(), self.species.len());
-        Element::ALL
-            .iter()
-            .filter_map(|&el| {
-                let mut present = false;
-                let mut z = 0.0;
-                for (s, yi) in self.species.iter().zip(y) {
-                    let atoms = s.atoms_of(el);
-                    if atoms > 0 {
-                        present = true;
-                        z += yi * f64::from(atoms) * el.molar_mass() / s.molar_mass;
-                    }
+        out.clear();
+        for &el in &Element::ALL {
+            let mut present = false;
+            let mut z = 0.0;
+            for (s, yi) in self.species.iter().zip(y) {
+                let atoms = s.atoms_of(el);
+                if atoms > 0 {
+                    present = true;
+                    z += yi * f64::from(atoms) * el.molar_mass() / s.molar_mass;
                 }
-                present.then_some((el, z))
-            })
-            .collect()
+            }
+            if present {
+                out.push((el, z));
+            }
+        }
     }
 
     /// Mixture internal energy \[J/kg\] (thermal equilibrium, includes
@@ -426,8 +459,13 @@ impl Mixture {
     /// temperature in `[t_min, t_max]`.
     ///
     /// # Errors
-    /// Returns `Err` with a message when no temperature in range matches.
-    pub fn temperature_from_energy(&self, e: f64, y: &[f64], t_guess: f64) -> Result<f64, String> {
+    /// [`GasError::InversionFailed`] when no temperature in range matches.
+    pub fn temperature_from_energy(
+        &self,
+        e: f64,
+        y: &[f64],
+        t_guess: f64,
+    ) -> Result<f64, GasError> {
         brent_expanding(
             |t| self.e_total(t, y) - e,
             t_guess.max(20.0),
@@ -437,7 +475,10 @@ impl Mixture {
             1e-8,
             80,
         )
-        .map_err(|err| format!("temperature_from_energy: {err}"))
+        .map_err(|err| GasError::InversionFailed {
+            context: "temperature_from_energy".into(),
+            detail: err.to_string(),
+        })
     }
 
     /// Two-temperature mixture internal energy \[J/kg\]: heavy-particle
@@ -481,9 +522,21 @@ impl Mixture {
     /// term enters through each species seeing its own partial pressure).
     #[must_use]
     pub fn entropy(&self, t: f64, p: f64, y: &[f64]) -> f64 {
-        let x = self.mass_to_mole(y);
+        // Hot path (called per-station by the boundary-layer and VSL
+        // solvers): a stack buffer for the mole fractions avoids a per-call
+        // heap allocation for every realistic species count.
+        let ns = self.species.len();
+        let mut xbuf = [0.0_f64; 32];
+        let xvec;
+        let x: &[f64] = if ns <= xbuf.len() {
+            self.mass_to_mole_into(y, &mut xbuf[..ns]);
+            &xbuf[..ns]
+        } else {
+            xvec = self.mass_to_mole(y);
+            &xvec
+        };
         let mut s = 0.0;
-        for ((sp, yi), xi) in self.species().iter().zip(y).zip(&x) {
+        for ((sp, yi), xi) in self.species().iter().zip(y).zip(x) {
             if *yi > 1e-300 && *xi > 1e-300 {
                 s += yi * sp.entropy(t, p * xi);
             }
@@ -494,14 +547,14 @@ impl Mixture {
     /// Invert `e_vibronic(Tv) = ev` for Tv.
     ///
     /// # Errors
-    /// Returns `Err` when no vibrational temperature in range matches (e.g.
-    /// the mixture has no internal modes).
+    /// [`GasError::InversionFailed`] when no vibrational temperature in
+    /// range matches (e.g. the mixture has no internal modes).
     pub fn tv_from_vibronic_energy(
         &self,
         ev: f64,
         y: &[f64],
         tv_guess: f64,
-    ) -> Result<f64, String> {
+    ) -> Result<f64, GasError> {
         brent_expanding(
             |tv| self.e_vibronic(tv, y) - ev,
             tv_guess.max(20.0),
@@ -511,7 +564,10 @@ impl Mixture {
             1e-8,
             80,
         )
-        .map_err(|err| format!("tv_from_vibronic_energy: {err}"))
+        .map_err(|err| GasError::InversionFailed {
+            context: "tv_from_vibronic_energy".into(),
+            detail: err.to_string(),
+        })
     }
 }
 

@@ -51,10 +51,19 @@ pub mod counters {
         EquilibriumStates,
         /// Spectrum wavelength-point evaluations (radiation).
         SpectrumPoints,
+        /// Face fluxes evaluated by the face-based residual assembly.
+        FacesEvaluated,
+        /// Equilibrium solves seeded from the warm-start cache.
+        EquilibriumCacheHits,
+        /// Equilibrium solves with no usable cached neighbor.
+        EquilibriumCacheMisses,
+        /// Newton iterations started from a cached element-potential
+        /// vector instead of the cold pre-balance sweep.
+        NewtonWarmStarts,
     }
 
     /// Number of distinct counters.
-    pub const N_COUNTERS: usize = 9;
+    pub const N_COUNTERS: usize = 13;
 
     impl Counter {
         /// Every counter, in declaration order.
@@ -68,6 +77,10 @@ pub mod counters {
             Counter::OdeStepsRejected,
             Counter::EquilibriumStates,
             Counter::SpectrumPoints,
+            Counter::FacesEvaluated,
+            Counter::EquilibriumCacheHits,
+            Counter::EquilibriumCacheMisses,
+            Counter::NewtonWarmStarts,
         ];
 
         /// Stable snake_case name (used as the JSON report key).
@@ -83,11 +96,19 @@ pub mod counters {
                 Counter::OdeStepsRejected => "ode_steps_rejected",
                 Counter::EquilibriumStates => "equilibrium_states",
                 Counter::SpectrumPoints => "spectrum_points",
+                Counter::FacesEvaluated => "faces_evaluated",
+                Counter::EquilibriumCacheHits => "equilibrium_cache_hits",
+                Counter::EquilibriumCacheMisses => "equilibrium_cache_misses",
+                Counter::NewtonWarmStarts => "newton_warm_starts",
             }
         }
     }
 
     static COUNTERS: [AtomicU64; N_COUNTERS] = [
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
         AtomicU64::new(0),
         AtomicU64::new(0),
         AtomicU64::new(0),

@@ -17,12 +17,40 @@ use crate::audit;
 use aerothermo_gas::GasModel;
 use aerothermo_grid::{Metrics, StructuredGrid};
 use aerothermo_numerics::limiters::Limiter;
-use aerothermo_numerics::telemetry::{MonitorOptions, ResidualMonitor, RunTelemetry, SolverError};
+use aerothermo_numerics::telemetry::{
+    counters, Counter, MonitorOptions, ResidualMonitor, RunTelemetry, SolverError,
+};
 use aerothermo_numerics::{trace, Field3};
 use rayon::prelude::*;
 
 /// Number of conserved variables.
 pub const NEQ: usize = 4;
+
+/// Zero-filled placeholder used to size the primitive scratch buffer.
+const PRIM_ZERO: Primitive = Primitive {
+    rho: 0.0,
+    ux: 0.0,
+    ur: 0.0,
+    p: 0.0,
+    a: 0.0,
+    h0: 0.0,
+};
+
+/// Reusable face-based-assembly scratch owned by the solver: cached cell
+/// primitives and the single-sweep face fluxes. Allocated on the first
+/// step, reused (never reallocated) afterwards — the step loop itself is
+/// allocation-free.
+#[derive(Debug, Default)]
+pub(crate) struct EulerScratch {
+    /// Cell primitives, row-major `i * ncj + j`.
+    pub(crate) prim: Vec<Primitive>,
+    /// i-face fluxes, laid out `iface * ncj + j` (each i-face column is a
+    /// contiguous, independently writable chunk).
+    pub(crate) fi: Vec<[f64; NEQ]>,
+    /// j-face fluxes, laid out `i * (ncj + 1) + jface` (each cell row's
+    /// faces are contiguous).
+    pub(crate) fj: Vec<[f64; NEQ]>,
+}
 
 /// Primitive state at a cell.
 #[derive(Debug, Clone, Copy)]
@@ -114,6 +142,8 @@ pub struct EulerSolver<'a> {
     steps_taken: usize,
     /// Run observability: phase timings, residual histories, counter deltas.
     pub telemetry: RunTelemetry,
+    /// Face-based-assembly buffers (see [`EulerScratch`]).
+    pub(crate) scratch: EulerScratch,
 }
 
 impl<'a> EulerSolver<'a> {
@@ -151,6 +181,7 @@ impl<'a> EulerSolver<'a> {
             u,
             steps_taken: 0,
             telemetry: RunTelemetry::new(),
+            scratch: EulerScratch::default(),
         }
     }
 
@@ -405,8 +436,225 @@ impl<'a> EulerSolver<'a> {
         (left, right)
     }
 
+    /// [`Self::face_states_i`] reading the per-step primitive cache instead
+    /// of re-deriving primitives from the conserved state (bit-identical:
+    /// [`Self::primitive_of`] is deterministic).
+    fn face_states_i_cached(
+        &self,
+        prim: &[Primitive],
+        iface: usize,
+        j: usize,
+        first_order: bool,
+    ) -> (Primitive, Primitive) {
+        let ncj = self.ncj();
+        let lim = if first_order {
+            Limiter::FirstOrder
+        } else {
+            self.opts.limiter
+        };
+        let il = iface - 1;
+        let ir = iface;
+        let ql = prim[il * ncj + j];
+        let qr = prim[ir * ncj + j];
+        let left = if il >= 1 {
+            let qll = prim[(il - 1) * ncj + j];
+            self.recon(lim, &ql, Self::delta(&qll, &ql), Self::delta(&ql, &qr), 1.0)
+        } else {
+            ql
+        };
+        let right = if ir + 1 < self.nci() {
+            let qrr = prim[(ir + 1) * ncj + j];
+            self.recon(
+                lim,
+                &qr,
+                Self::delta(&ql, &qr),
+                Self::delta(&qr, &qrr),
+                -1.0,
+            )
+        } else {
+            qr
+        };
+        (left, right)
+    }
+
+    /// [`Self::face_states_j`] reading the per-step primitive cache.
+    fn face_states_j_cached(
+        &self,
+        prim: &[Primitive],
+        i: usize,
+        jface: usize,
+        first_order: bool,
+    ) -> (Primitive, Primitive) {
+        let ncj = self.ncj();
+        let lim = if first_order {
+            Limiter::FirstOrder
+        } else {
+            self.opts.limiter
+        };
+        let jl = jface - 1;
+        let jr = jface;
+        let ql = prim[i * ncj + jl];
+        let qr = prim[i * ncj + jr];
+        let left = if jl >= 1 {
+            let qll = prim[i * ncj + jl - 1];
+            self.recon(lim, &ql, Self::delta(&qll, &ql), Self::delta(&ql, &qr), 1.0)
+        } else {
+            ql
+        };
+        let right = if jr + 1 < ncj {
+            let qrr = prim[i * ncj + jr + 1];
+            self.recon(
+                lim,
+                &qr,
+                Self::delta(&ql, &qr),
+                Self::delta(&qr, &qrr),
+                -1.0,
+            )
+        } else {
+            qr
+        };
+        (left, right)
+    }
+
+    /// Flux through i-face `(iface, j)` from cached primitives, including
+    /// the boundary ghost faces; the per-face arithmetic is exactly that of
+    /// [`Self::cell_residual`].
+    fn i_face_flux(
+        &self,
+        prim: &[Primitive],
+        iface: usize,
+        j: usize,
+        first_order: bool,
+    ) -> [f64; NEQ] {
+        let m = &self.metrics;
+        let ncj = self.ncj();
+        let sx = m.si_x[(iface, j)];
+        let sr = m.si_r[(iface, j)];
+        if iface == 0 {
+            let qc = prim[j];
+            let area = (sx * sx + sr * sr).sqrt().max(1e-300);
+            let ghost = self.ghost(self.bc.i_lo, &qc, -sx / area, -sr / area);
+            Self::ausm_flux(&ghost, &qc, sx, sr)
+        } else if iface == self.nci() {
+            let qc = prim[(iface - 1) * ncj + j];
+            let area = (sx * sx + sr * sr).sqrt().max(1e-300);
+            let ghost = self.ghost(self.bc.i_hi, &qc, sx / area, sr / area);
+            Self::ausm_flux(&qc, &ghost, sx, sr)
+        } else {
+            let (l, r) = self.face_states_i_cached(prim, iface, j, first_order);
+            Self::ausm_flux(&l, &r, sx, sr)
+        }
+    }
+
+    /// Flux through j-face `(i, jface)` from cached primitives.
+    fn j_face_flux(
+        &self,
+        prim: &[Primitive],
+        i: usize,
+        jface: usize,
+        first_order: bool,
+    ) -> [f64; NEQ] {
+        let m = &self.metrics;
+        let ncj = self.ncj();
+        let sx = m.sj_x[(i, jface)];
+        let sr = m.sj_r[(i, jface)];
+        if jface == 0 {
+            let qc = prim[i * ncj];
+            let area = (sx * sx + sr * sr).sqrt().max(1e-300);
+            let ghost = self.ghost(self.bc.j_lo, &qc, -sx / area, -sr / area);
+            Self::ausm_flux(&ghost, &qc, sx, sr)
+        } else if jface == ncj {
+            let qc = prim[i * ncj + jface - 1];
+            let area = (sx * sx + sr * sr).sqrt().max(1e-300);
+            let ghost = self.ghost(self.bc.j_hi, &qc, sx / area, sr / area);
+            Self::ausm_flux(&qc, &ghost, sx, sr)
+        } else {
+            let (l, r) = self.face_states_j_cached(prim, i, jface, first_order);
+            Self::ausm_flux(&l, &r, sx, sr)
+        }
+    }
+
+    /// Fill the scratch buffers for the current state: cache every cell's
+    /// primitives once, then sweep each i-face and j-face exactly once
+    /// (row-parallel over disjoint chunks, so race-free and deterministic) —
+    /// half the flux arithmetic of the cell-centered sweep, which evaluated
+    /// every interior face twice.
+    pub(crate) fn assemble_faces(&self, scratch: &mut EulerScratch, first_order: bool) {
+        let nci = self.nci();
+        let ncj = self.ncj();
+        scratch.prim.resize(nci * ncj, PRIM_ZERO);
+        scratch.fi.resize((nci + 1) * ncj, [0.0; NEQ]);
+        scratch.fj.resize(nci * (ncj + 1), [0.0; NEQ]);
+
+        scratch
+            .prim
+            .par_chunks_mut(ncj)
+            .enumerate()
+            .for_each(|(i, row)| {
+                for (j, q) in row.iter_mut().enumerate() {
+                    *q = self.primitive_of(self.u.vector(i, j));
+                }
+            });
+
+        let prim: &[Primitive] = &scratch.prim;
+        scratch
+            .fi
+            .par_chunks_mut(ncj)
+            .enumerate()
+            .for_each(|(iface, col)| {
+                for (j, f) in col.iter_mut().enumerate() {
+                    *f = self.i_face_flux(prim, iface, j, first_order);
+                }
+            });
+        scratch
+            .fj
+            .par_chunks_mut(ncj + 1)
+            .enumerate()
+            .for_each(|(i, row)| {
+                for (jface, f) in row.iter_mut().enumerate() {
+                    *f = self.j_face_flux(prim, i, jface, first_order);
+                }
+            });
+        counters::add(
+            Counter::FacesEvaluated,
+            ((nci + 1) * ncj + nci * (ncj + 1)) as u64,
+        );
+    }
+
+    /// Net residual of cell (i, j) gathered from the assembled face fluxes,
+    /// in the same floating-point accumulation order as
+    /// [`Self::cell_residual`] (+left i, −right i, +bottom j, −top j,
+    /// axisymmetric source last) so states and residual norms match the
+    /// cell-centered reference bit-for-bit.
+    #[inline]
+    pub(crate) fn gather_residual(&self, scratch: &EulerScratch, i: usize, j: usize) -> [f64; NEQ] {
+        let ncj = self.ncj();
+        let fl = &scratch.fi[i * ncj + j];
+        let fr = &scratch.fi[(i + 1) * ncj + j];
+        let fb = &scratch.fj[i * (ncj + 1) + j];
+        let ft = &scratch.fj[i * (ncj + 1) + j + 1];
+        let mut res = [0.0; NEQ];
+        for k in 0..NEQ {
+            let mut r = fl[k];
+            r -= fr[k];
+            r += fb[k];
+            r -= ft[k];
+            res[k] = r;
+        }
+        if self.grid.geometry == aerothermo_grid::Geometry::Axisymmetric {
+            res[2] += scratch.prim[i * ncj + j].p * self.metrics.plane_area[(i, j)];
+        }
+        res
+    }
+
     /// Inviscid residual (net flux into the cell, `dU/dt·V`) of cell (i, j).
-    pub(crate) fn cell_residual(&self, i: usize, j: usize, first_order: bool) -> [f64; NEQ] {
+    ///
+    /// Retained as the cell-centered reference implementation: it evaluates
+    /// every interior face twice and is used by the Sod test and the
+    /// property/regression tests that pin the face-based assembly to it.
+    /// The step loops use [`Self::assemble_faces`] +
+    /// [`Self::gather_residual`] instead.
+    pub fn cell_residual(&self, i: usize, j: usize, first_order: bool) -> [f64; NEQ] {
         let m = &self.metrics;
         let mut res = [0.0; NEQ];
         let qc = self.primitive(i, j);
@@ -484,9 +732,8 @@ impl<'a> EulerSolver<'a> {
         res
     }
 
-    /// Local time step of cell (i, j).
-    fn local_dt(&self, i: usize, j: usize, cfl: f64) -> f64 {
-        let q = self.primitive(i, j);
+    /// Local time step of cell (i, j) given its primitives.
+    fn local_dt(&self, q: &Primitive, i: usize, j: usize, cfl: f64) -> f64 {
         let m = &self.metrics;
         let spectral = |sx: f64, sr: f64| -> f64 {
             let area = (sx * sx + sr * sr).sqrt();
@@ -512,36 +759,30 @@ impl<'a> EulerSolver<'a> {
         let nci = self.nci();
         let ncj = self.ncj();
 
-        // Residuals cell-parallel: each face is evaluated twice — redundant
-        // arithmetic, zero synchronization.
-        let updates: Vec<([f64; NEQ], f64)> = (0..nci * ncj)
-            .into_par_iter()
-            .map(|idx| {
-                let i = idx / ncj;
-                let j = idx % ncj;
-                (
-                    self.cell_residual(i, j, first_order),
-                    self.local_dt(i, j, cfl),
-                )
-            })
-            .collect();
+        // Face-based assembly into solver-owned scratch: primitives cached
+        // once, each face swept once, no per-step allocation after warmup.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.assemble_faces(&mut scratch, first_order);
 
         let mut resnorm = 0.0;
-        for (idx, (res, dt)) in updates.into_iter().enumerate() {
-            let i = idx / ncj;
-            let j = idx % ncj;
-            let v = self.metrics.volume[(i, j)];
-            let cell = self.u.vector_mut(i, j);
-            let scale = dt / v;
-            for k in 0..NEQ {
-                cell[k] += scale * res[k];
+        for i in 0..nci {
+            for j in 0..ncj {
+                let res = self.gather_residual(&scratch, i, j);
+                let dt = self.local_dt(&scratch.prim[i * ncj + j], i, j, cfl);
+                let v = self.metrics.volume[(i, j)];
+                let cell = self.u.vector_mut(i, j);
+                let scale = dt / v;
+                for k in 0..NEQ {
+                    cell[k] += scale * res[k];
+                }
+                if cell[0] < self.opts.rho_floor {
+                    cell[0] = self.opts.rho_floor;
+                }
+                let r = res[0] / v;
+                resnorm += r * r;
             }
-            if cell[0] < self.opts.rho_floor {
-                cell[0] = self.opts.rho_floor;
-            }
-            let r = res[0] / v;
-            resnorm += r * r;
         }
+        self.scratch = scratch;
         self.steps_taken += 1;
         (resnorm / (nci * ncj) as f64).sqrt()
     }
@@ -552,22 +793,22 @@ impl<'a> EulerSolver<'a> {
         let first_order = self.steps_taken < self.opts.startup_steps;
         let nci = self.nci();
         let ncj = self.ncj();
-        let updates: Vec<[f64; NEQ]> = (0..nci * ncj)
-            .into_par_iter()
-            .map(|idx| self.cell_residual(idx / ncj, idx % ncj, first_order))
-            .collect();
-        for (idx, res) in updates.into_iter().enumerate() {
-            let i = idx / ncj;
-            let j = idx % ncj;
-            let v = self.metrics.volume[(i, j)];
-            let cell = self.u.vector_mut(i, j);
-            for k in 0..NEQ {
-                cell[k] += dt / v * res[k];
-            }
-            if cell[0] < self.opts.rho_floor {
-                cell[0] = self.opts.rho_floor;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.assemble_faces(&mut scratch, first_order);
+        for i in 0..nci {
+            for j in 0..ncj {
+                let res = self.gather_residual(&scratch, i, j);
+                let v = self.metrics.volume[(i, j)];
+                let cell = self.u.vector_mut(i, j);
+                for k in 0..NEQ {
+                    cell[k] += dt / v * res[k];
+                }
+                if cell[0] < self.opts.rho_floor {
+                    cell[0] = self.opts.rho_floor;
+                }
             }
         }
+        self.scratch = scratch;
         self.steps_taken += 1;
     }
 
@@ -951,5 +1192,213 @@ mod tests {
             d12 < 0.8 * d14,
             "γ=1.2 standoff {d12} should be well below γ=1.4 {d14}"
         );
+    }
+
+    /// Build a solver whose state is the freestream plus deterministic
+    /// per-cell perturbations (admissible: positive density and pressure).
+    fn perturbed_solver<'a>(
+        grid: &'a StructuredGrid,
+        gas: &'a IdealGas,
+        mach: f64,
+        amp: f64,
+        seed: u64,
+    ) -> EulerSolver<'a> {
+        let t = 250.0;
+        let p0 = 2000.0;
+        let rho0 = p0 / (gas.r * t);
+        let a0 = (gas.gamma * gas.r * t).sqrt();
+        let v0 = mach * a0;
+        let fs = (rho0, v0, 0.0, p0);
+        let bc = BcSet {
+            i_lo: Bc::Inflow {
+                rho: fs.0,
+                ux: fs.1,
+                ur: fs.2,
+                p: fs.3,
+            },
+            i_hi: Bc::Outflow,
+            j_lo: Bc::SlipWall,
+            j_hi: Bc::Inflow {
+                rho: fs.0,
+                ux: fs.1,
+                ur: fs.2,
+                p: fs.3,
+            },
+        };
+        let opts = EulerOptions {
+            startup_steps: 0,
+            ..EulerOptions::default()
+        };
+        let mut solver = EulerSolver::new(grid, gas, bc, opts, fs);
+        let mut state = seed | 1;
+        let mut noise = move || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        };
+        for i in 0..grid.nci() {
+            for j in 0..grid.ncj() {
+                let rho = rho0 * (1.0 + amp * noise());
+                let p = p0 * (1.0 + amp * noise());
+                let ux = v0 * (1.0 + amp * noise());
+                let ur = 0.3 * v0 * amp * noise();
+                let e = gas.energy(rho, p);
+                let cell = solver.u.vector_mut(i, j);
+                cell[0] = rho;
+                cell[1] = rho * ux;
+                cell[2] = rho * ur;
+                cell[3] = rho * (e + 0.5 * (ux * ux + ur * ur));
+            }
+        }
+        solver
+    }
+
+    /// Maximum relative difference between the face-based assembly and the
+    /// cell-centered reference residuals over all cells and equations.
+    fn max_face_vs_cell_rel_diff(solver: &EulerSolver, first_order: bool) -> f64 {
+        let mut scratch = EulerScratch::default();
+        solver.assemble_faces(&mut scratch, first_order);
+        let mut worst = 0.0_f64;
+        for i in 0..solver.nci() {
+            for j in 0..solver.ncj() {
+                let fb = solver.gather_residual(&scratch, i, j);
+                let cc = solver.cell_residual(i, j, first_order);
+                let scale = cc.iter().fold(1e-300_f64, |m, v| m.max(v.abs()));
+                for k in 0..NEQ {
+                    worst = worst.max((fb[k] - cc[k]).abs() / cc[k].abs().max(scale));
+                }
+            }
+        }
+        worst
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig {
+            cases: 24,
+            ..proptest::test_runner::ProptestConfig::default()
+        })]
+
+        /// The face-based residual assembly agrees with the cell-centered
+        /// reference on randomized admissible states — both reconstruction
+        /// orders, both geometries.
+        #[test]
+        fn face_based_matches_cell_centered_residuals(
+            mach in 0.5_f64..5.0,
+            amp in 0.01_f64..0.15,
+            seed in 0_u64..1_000_000,
+        ) {
+            let gas = IdealGas::air();
+            for geometry in [Geometry::Planar, Geometry::Axisymmetric] {
+                let grid = StructuredGrid::rectangle(9, 7, 0.5, 0.3, geometry);
+                let solver = perturbed_solver(&grid, &gas, mach, amp, seed);
+                for first_order in [true, false] {
+                    let d = max_face_vs_cell_rel_diff(&solver, first_order);
+                    proptest::prop_assert!(
+                        d <= 1e-13,
+                        "rel diff {d:.3e} ({geometry:?}, first_order = {first_order})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Pre-refactor `step()`: cell-centered residuals, per-cell `local_dt`,
+    /// identical update/floor/resnorm arithmetic. The regression test below
+    /// pins the face-based step's residual history to this.
+    fn reference_step(solver: &mut EulerSolver) -> f64 {
+        let first_order = solver.steps_taken < solver.opts.startup_steps;
+        let cfl = if first_order {
+            0.4 * solver.opts.cfl
+        } else {
+            solver.opts.cfl
+        };
+        let nci = solver.nci();
+        let ncj = solver.ncj();
+        let updates: Vec<([f64; NEQ], f64)> = (0..nci * ncj)
+            .map(|idx| {
+                let i = idx / ncj;
+                let j = idx % ncj;
+                let q = solver.primitive(i, j);
+                (
+                    solver.cell_residual(i, j, first_order),
+                    solver.local_dt(&q, i, j, cfl),
+                )
+            })
+            .collect();
+        let mut resnorm = 0.0;
+        for (idx, (res, dt)) in updates.into_iter().enumerate() {
+            let i = idx / ncj;
+            let j = idx % ncj;
+            let v = solver.metrics.volume[(i, j)];
+            let cell = solver.u.vector_mut(i, j);
+            let scale = dt / v;
+            for k in 0..NEQ {
+                cell[k] += scale * res[k];
+            }
+            if cell[0] < solver.opts.rho_floor {
+                cell[0] = solver.opts.rho_floor;
+            }
+            let r = res[0] / v;
+            resnorm += r * r;
+        }
+        solver.steps_taken += 1;
+        (resnorm / (nci * ncj) as f64).sqrt()
+    }
+
+    #[test]
+    fn residual_history_matches_cell_centered_reference() {
+        // First 50 residuals of a hemisphere run: face-based step vs the
+        // pre-refactor cell-centered step, on identical twin solvers.
+        let gas = IdealGas::air();
+        let body = Hemisphere::new(1.0);
+        let dist = stretch::uniform(31);
+        let grid = StructuredGrid::blunt_body(&body, 13, 31, &|sb| 0.35 + 0.3 * sb, &dist);
+        let t = 220.0;
+        let p = 100.0;
+        let rho = p / (gas.r * t);
+        let a = (gas.gamma * gas.r * t).sqrt();
+        let fs = (rho, 8.0 * a, 0.0, p);
+        let bc = BcSet {
+            i_lo: Bc::SlipWall,
+            i_hi: Bc::Outflow,
+            j_lo: Bc::SlipWall,
+            j_hi: Bc::Inflow {
+                rho: fs.0,
+                ux: fs.1,
+                ur: fs.2,
+                p: fs.3,
+            },
+        };
+        // startup_steps = 30 so the compared window crosses the first-order
+        // → second-order switch.
+        let opts = EulerOptions {
+            cfl: 0.4,
+            startup_steps: 30,
+            ..EulerOptions::default()
+        };
+        let mut fast = EulerSolver::new(&grid, &gas, bc, opts.clone(), fs);
+        let mut reference = EulerSolver::new(&grid, &gas, bc, opts, fs);
+        for n in 0..50 {
+            let rf = fast.step();
+            let rr = reference_step(&mut reference);
+            assert!(
+                (rf - rr).abs() <= 1e-12 * rr.abs().max(1e-300),
+                "residual diverged at step {n}: face {rf:.17e} vs reference {rr:.17e}"
+            );
+        }
+        // The states themselves must agree too.
+        for i in 0..fast.nci() {
+            for j in 0..fast.ncj() {
+                let a = fast.u.vector(i, j);
+                let b = reference.u.vector(i, j);
+                for k in 0..NEQ {
+                    assert!(
+                        (a[k] - b[k]).abs() <= 1e-12 * b[k].abs().max(1e-300),
+                        "state diverged at ({i},{j})[{k}]"
+                    );
+                }
+            }
+        }
     }
 }

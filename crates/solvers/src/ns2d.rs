@@ -17,9 +17,23 @@ use crate::euler2d::{BcSet, EulerOptions, EulerSolver, Primitive, NEQ};
 use aerothermo_gas::transport::sutherland_air;
 use aerothermo_gas::GasModel;
 use aerothermo_grid::StructuredGrid;
-use aerothermo_numerics::telemetry::{MonitorOptions, ResidualMonitor, SolverError};
+use aerothermo_numerics::telemetry::{
+    counters, Counter, MonitorOptions, ResidualMonitor, SolverError,
+};
 use aerothermo_numerics::trace;
 use rayon::prelude::*;
+
+/// Reusable viscous-assembly scratch: per-cell temperatures and the
+/// once-per-face thin-layer j-fluxes. Allocated on the first step, reused
+/// afterwards.
+#[derive(Debug, Default)]
+struct NsScratch {
+    /// Cell temperatures \[K\], row-major `i * ncj + j`.
+    temp: Vec<f64>,
+    /// Viscous j-face fluxes, laid out `i * (ncj + 1) + jface`; the outer
+    /// boundary face (`jface == ncj`) carries zero flux (freestream).
+    fv: Vec<[f64; NEQ]>,
+}
 
 /// Molecular-transport closure.
 #[derive(Clone)]
@@ -61,6 +75,7 @@ pub struct NsSolver<'a> {
     steps: usize,
     startup_steps: usize,
     cfl: f64,
+    vscratch: NsScratch,
 }
 
 impl<'a> NsSolver<'a> {
@@ -88,6 +103,7 @@ impl<'a> NsSolver<'a> {
             steps: 0,
             startup_steps,
             cfl,
+            vscratch: NsScratch::default(),
         }
     }
 
@@ -99,17 +115,56 @@ impl<'a> NsSolver<'a> {
         self.inviscid.gas().temperature(q.rho, e)
     }
 
+    /// Viscous flux through a j-face given the two states and geometric
+    /// data: the thin-layer flux vector (momentum, energy) · area, oriented
+    /// along the +j normal.
+    #[allow(clippy::too_many_arguments)]
+    fn visc_flux(
+        &self,
+        ql: &Primitive,
+        tl: f64,
+        qr: &Primitive,
+        tr: f64,
+        dn: f64,
+        sx: f64,
+        sr: f64,
+        u_face: Option<(f64, f64)>,
+    ) -> [f64; NEQ] {
+        let area = (sx * sx + sr * sr).sqrt().max(1e-300);
+        let nx = sx / area;
+        let nr = sr / area;
+        let t_face = 0.5 * (tl + tr);
+        let mu = (self.transport.viscosity)(t_face);
+        let k = self.transport.conductivity(t_face);
+        let dudn = (qr.ux - ql.ux) / dn;
+        let dvdn = (qr.ur - ql.ur) / dn;
+        let dtdn = (tr - tl) / dn;
+        // Thin-layer stress: τ·n = μ[∂u/∂n + (1/3)·n·∂(u·n)/∂n].
+        let dundn = dudn * nx + dvdn * nr;
+        let tau_x = mu * (dudn + dundn * nx / 3.0);
+        let tau_r = mu * (dvdn + dundn * nr / 3.0);
+        let (u_face_x, u_face_r) = u_face.unwrap_or((0.5 * (ql.ux + qr.ux), 0.5 * (ql.ur + qr.ur)));
+        let q_heat = k * dtdn;
+        [
+            0.0,
+            tau_x * area,
+            tau_r * area,
+            (tau_x * u_face_x + tau_r * u_face_r + q_heat) * area,
+        ]
+    }
+
     /// Viscous residual contribution of cell `(i, j)` (thin layer: j-faces
     /// only; wall face handled with one-sided differences against the
     /// no-slip isothermal wall).
-    fn viscous_residual(&self, i: usize, j: usize) -> [f64; NEQ] {
+    ///
+    /// Retained as the per-cell reference implementation (it evaluates every
+    /// interior viscous face twice); the step loop uses the face-based
+    /// scratch assembly, and the property tests pin that assembly to this
+    /// function.
+    pub fn viscous_residual(&self, i: usize, j: usize) -> [f64; NEQ] {
         let mut res = [0.0; NEQ];
         let m = self.inviscid.grid_metrics();
         let ncj = self.inviscid.ncj();
-
-        // Flux through a j-face given the two states and geometric data.
-        // Returns the viscous flux vector (momentum, energy) · area, oriented
-        // along the +j normal.
         let face_flux = |ql: &Primitive,
                          tl: f64,
                          qr: &Primitive,
@@ -117,30 +172,8 @@ impl<'a> NsSolver<'a> {
                          dn: f64,
                          sx: f64,
                          sr: f64,
-                         u_face: Option<(f64, f64)>|
-         -> [f64; NEQ] {
-            let area = (sx * sx + sr * sr).sqrt().max(1e-300);
-            let nx = sx / area;
-            let nr = sr / area;
-            let t_face = 0.5 * (tl + tr);
-            let mu = (self.transport.viscosity)(t_face);
-            let k = self.transport.conductivity(t_face);
-            let dudn = (qr.ux - ql.ux) / dn;
-            let dvdn = (qr.ur - ql.ur) / dn;
-            let dtdn = (tr - tl) / dn;
-            // Thin-layer stress: τ·n = μ[∂u/∂n + (1/3)·n·∂(u·n)/∂n].
-            let dundn = dudn * nx + dvdn * nr;
-            let tau_x = mu * (dudn + dundn * nx / 3.0);
-            let tau_r = mu * (dvdn + dundn * nr / 3.0);
-            let (u_face_x, u_face_r) =
-                u_face.unwrap_or((0.5 * (ql.ux + qr.ux), 0.5 * (ql.ur + qr.ur)));
-            let q_heat = k * dtdn;
-            [
-                0.0,
-                tau_x * area,
-                tau_r * area,
-                (tau_x * u_face_x + tau_r * u_face_r + q_heat) * area,
-            ]
+                         u_face: Option<(f64, f64)>| {
+            self.visc_flux(ql, tl, qr, tr, dn, sx, sr, u_face)
         };
 
         let qc = self.inviscid.primitive(i, j);
@@ -215,6 +248,91 @@ impl<'a> NsSolver<'a> {
         res
     }
 
+    /// Viscous flux through j-face `(i, jface)` from cached primitives and
+    /// temperatures; matches the per-face arithmetic of
+    /// [`Self::viscous_residual`] exactly. The outer boundary face carries
+    /// no viscous flux (freestream).
+    fn viscous_face_flux(
+        &self,
+        prim: &[Primitive],
+        temp: &[f64],
+        i: usize,
+        jface: usize,
+    ) -> [f64; NEQ] {
+        let m = self.inviscid.grid_metrics();
+        let ncj = self.inviscid.ncj();
+        if jface == ncj {
+            return [0.0; NEQ];
+        }
+        let sx = m.sj_x[(i, jface)];
+        let sr = m.sj_r[(i, jface)];
+        let area = (sx * sx + sr * sr).sqrt().max(1e-300);
+        let nx = sx / area;
+        let nr = sr / area;
+        if jface == 0 {
+            // No-slip isothermal wall: one-sided difference from the
+            // wall-face midpoint to the cell center.
+            let qc = prim[i * ncj];
+            let tc = temp[i * ncj];
+            let gx = m.xc[(i, 0)];
+            let gr = m.rc[(i, 0)];
+            let dn = ((gx - self.wall_x(i)) * nx + (gr - self.wall_r(i)) * nr)
+                .abs()
+                .max(1e-12);
+            let wall = Primitive {
+                ux: 0.0,
+                ur: 0.0,
+                ..qc
+            };
+            // No-slip: the stress does no work on the stationary wall.
+            self.visc_flux(&wall, self.t_wall, &qc, tc, dn, sx, sr, Some((0.0, 0.0)))
+        } else {
+            let ql = prim[i * ncj + jface - 1];
+            let tl = temp[i * ncj + jface - 1];
+            let qr = prim[i * ncj + jface];
+            let tr = temp[i * ncj + jface];
+            let dn = ((m.xc[(i, jface)] - m.xc[(i, jface - 1)]) * nx
+                + (m.rc[(i, jface)] - m.rc[(i, jface - 1)]) * nr)
+                .abs()
+                .max(1e-12);
+            self.visc_flux(&ql, tl, &qr, tr, dn, sx, sr, None)
+        }
+    }
+
+    /// Fill the viscous scratch: cache every cell temperature once, then
+    /// sweep each viscous j-face exactly once (row-parallel, race-free).
+    fn assemble_viscous(&self, prim: &[Primitive], scratch: &mut NsScratch) {
+        let nci = self.inviscid.nci();
+        let ncj = self.inviscid.ncj();
+        scratch.temp.resize(nci * ncj, 0.0);
+        scratch.fv.resize(nci * (ncj + 1), [0.0; NEQ]);
+
+        scratch
+            .temp
+            .par_chunks_mut(ncj)
+            .enumerate()
+            .for_each(|(i, row)| {
+                for (j, t) in row.iter_mut().enumerate() {
+                    *t = self
+                        .inviscid
+                        .gas()
+                        .temperature(prim[i * ncj + j].rho, self.inviscid.internal_energy(i, j));
+                }
+            });
+
+        let temp: &[f64] = &scratch.temp;
+        scratch
+            .fv
+            .par_chunks_mut(ncj + 1)
+            .enumerate()
+            .for_each(|(i, row)| {
+                for (jface, f) in row.iter_mut().enumerate() {
+                    *f = self.viscous_face_flux(prim, temp, i, jface);
+                }
+            });
+        counters::add(Counter::FacesEvaluated, (nci * ncj) as u64);
+    }
+
     fn wall_x(&self, i: usize) -> f64 {
         // Midpoint of the wall face of cell column i (nodes (i,0)-(i+1,0)).
         0.5 * (self.grid_node_x(i, 0) + self.grid_node_x(i + 1, 0))
@@ -244,51 +362,52 @@ impl<'a> NsSolver<'a> {
         let nci = self.inviscid.nci();
         let ncj = self.inviscid.ncj();
 
-        let updates: Vec<([f64; NEQ], f64)> = (0..nci * ncj)
-            .into_par_iter()
-            .map(|idx| {
-                let i = idx / ncj;
-                let j = idx % ncj;
-                let mut res = self.inviscid.cell_residual(i, j, first_order);
-                let v = self.viscous_residual(i, j);
-                for k in 0..NEQ {
-                    res[k] += v[k];
-                }
-                let dt = self.viscous_dt(i, j, cfl);
-                (res, dt)
-            })
-            .collect();
+        // Face-based assembly: inviscid faces through the Euler scratch,
+        // viscous j-faces through the NS scratch — each face evaluated once,
+        // no per-step allocation after warmup.
+        let mut esc = std::mem::take(&mut self.inviscid.scratch);
+        self.inviscid.assemble_faces(&mut esc, first_order);
+        let mut vsc = std::mem::take(&mut self.vscratch);
+        self.assemble_viscous(&esc.prim, &mut vsc);
 
-        let m_vol: Vec<f64> = {
-            let m = self.inviscid.grid_metrics();
-            (0..nci * ncj)
-                .map(|idx| m.volume[(idx / ncj, idx % ncj)])
-                .collect()
-        };
         let mut resnorm = 0.0;
-        for (idx, (res, dt)) in updates.into_iter().enumerate() {
-            let i = idx / ncj;
-            let j = idx % ncj;
-            let v = m_vol[idx];
-            let cell = self.inviscid.u.vector_mut(i, j);
-            for k in 0..NEQ {
-                cell[k] += dt / v * res[k];
+        for i in 0..nci {
+            for j in 0..ncj {
+                let idx = i * ncj + j;
+                let mut res = self.inviscid.gather_residual(&esc, i, j);
+                // Viscous gather in viscous_residual's accumulation order:
+                // −bottom face, +top face.
+                let fb = &vsc.fv[i * (ncj + 1) + j];
+                let ft = &vsc.fv[i * (ncj + 1) + j + 1];
+                for k in 0..NEQ {
+                    let mut vv = 0.0;
+                    vv -= fb[k];
+                    vv += ft[k];
+                    res[k] += vv;
+                }
+                let dt = self.viscous_dt(&esc.prim[idx], vsc.temp[idx], i, j, cfl);
+                let v = self.inviscid.grid_metrics().volume[(i, j)];
+                let cell = self.inviscid.u.vector_mut(i, j);
+                for k in 0..NEQ {
+                    cell[k] += dt / v * res[k];
+                }
+                if cell[0] < 1e-12 {
+                    cell[0] = 1e-12;
+                }
+                let r = res[0] / v;
+                resnorm += r * r;
             }
-            if cell[0] < 1e-12 {
-                cell[0] = 1e-12;
-            }
-            let r = res[0] / v;
-            resnorm += r * r;
         }
+        self.inviscid.scratch = esc;
+        self.vscratch = vsc;
         self.steps += 1;
         (resnorm / (nci * ncj) as f64).sqrt()
     }
 
-    /// Time step with the viscous spectral radius added.
-    fn viscous_dt(&self, i: usize, j: usize, cfl: f64) -> f64 {
+    /// Time step with the viscous spectral radius added, given the cell's
+    /// cached primitives and temperature.
+    fn viscous_dt(&self, q: &Primitive, t: f64, i: usize, j: usize, cfl: f64) -> f64 {
         let m = self.inviscid.grid_metrics();
-        let q = self.inviscid.primitive(i, j);
-        let t = self.temperature(i, j);
         let mu = (self.transport.viscosity)(t);
         let spectral = |sx: f64, sr: f64| -> f64 {
             let area = (sx * sx + sr * sr).sqrt();
@@ -418,9 +537,134 @@ impl<'a> NsSolver<'a> {
 mod tests {
     use super::*;
     use crate::blayer::{fay_riddell, newtonian_velocity_gradient, FayRiddellInputs};
+    use crate::euler2d::EulerScratch;
     use aerothermo_gas::IdealGas;
     use aerothermo_grid::bodies::Hemisphere;
     use aerothermo_grid::{stretch, Geometry, StructuredGrid};
+
+    /// Viscous wall flow with deterministic per-cell perturbations of the
+    /// freestream (admissible: positive density and pressure).
+    fn perturbed_ns_solver<'a>(
+        grid: &'a StructuredGrid,
+        gas: &'a IdealGas,
+        mach: f64,
+        amp: f64,
+        seed: u64,
+    ) -> NsSolver<'a> {
+        let t = 250.0;
+        let p0 = 2000.0;
+        let rho0 = p0 / (287.05 * t);
+        let a0 = (1.4_f64 * 287.05 * t).sqrt();
+        let v0 = mach * a0;
+        let fs = (rho0, v0, 0.0, p0);
+        let bc = BcSet {
+            i_lo: Bc::Inflow {
+                rho: fs.0,
+                ux: fs.1,
+                ur: fs.2,
+                p: fs.3,
+            },
+            i_hi: Bc::Outflow,
+            j_lo: Bc::SlipWall,
+            j_hi: Bc::Inflow {
+                rho: fs.0,
+                ux: fs.1,
+                ur: fs.2,
+                p: fs.3,
+            },
+        };
+        let opts = EulerOptions {
+            startup_steps: 0,
+            ..EulerOptions::default()
+        };
+        let mut solver = NsSolver::new(grid, gas, bc, opts, fs, Transport::air(), 300.0);
+        let mut state = seed | 1;
+        let mut noise = move || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        };
+        for i in 0..grid.nci() {
+            for j in 0..grid.ncj() {
+                let rho = rho0 * (1.0 + amp * noise());
+                let p = p0 * (1.0 + amp * noise());
+                let ux = v0 * (1.0 + amp * noise());
+                let ur = 0.3 * v0 * amp * noise();
+                let e = gas.energy(rho, p);
+                let cell = solver.inviscid.u.vector_mut(i, j);
+                cell[0] = rho;
+                cell[1] = rho * ux;
+                cell[2] = rho * ur;
+                cell[3] = rho * (e + 0.5 * (ux * ux + ur * ur));
+            }
+        }
+        solver
+    }
+
+    /// Maximum relative difference between the face-based (inviscid +
+    /// viscous) assembly and the per-cell reference residuals.
+    fn max_face_vs_cell_rel_diff(solver: &NsSolver, first_order: bool) -> f64 {
+        let ncj = solver.inviscid.ncj();
+        let mut esc = EulerScratch::default();
+        solver.inviscid.assemble_faces(&mut esc, first_order);
+        let mut vsc = NsScratch::default();
+        solver.assemble_viscous(&esc.prim, &mut vsc);
+        let mut worst = 0.0_f64;
+        for i in 0..solver.inviscid.nci() {
+            for j in 0..ncj {
+                let mut fb = solver.inviscid.gather_residual(&esc, i, j);
+                let flo = &vsc.fv[i * (ncj + 1) + j];
+                let fhi = &vsc.fv[i * (ncj + 1) + j + 1];
+                for k in 0..NEQ {
+                    let mut vv = 0.0;
+                    vv -= flo[k];
+                    vv += fhi[k];
+                    fb[k] += vv;
+                }
+                let mut cc = solver.inviscid.cell_residual(i, j, first_order);
+                let vc = solver.viscous_residual(i, j);
+                for k in 0..NEQ {
+                    cc[k] += vc[k];
+                }
+                let scale = cc.iter().fold(1e-300_f64, |m, v| m.max(v.abs()));
+                for k in 0..NEQ {
+                    worst = worst.max((fb[k] - cc[k]).abs() / cc[k].abs().max(scale));
+                }
+            }
+        }
+        worst
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig {
+            cases: 24,
+            ..proptest::test_runner::ProptestConfig::default()
+        })]
+
+        /// The face-based viscous+inviscid assembly agrees with the per-cell
+        /// reference on randomized admissible states — both reconstruction
+        /// orders, both geometries.
+        #[test]
+        fn face_based_matches_cell_centered_ns_residuals(
+            mach in 0.5_f64..4.0,
+            amp in 0.01_f64..0.12,
+            seed in 0_u64..1_000_000,
+        ) {
+            let gas = IdealGas::air();
+            for geometry in [Geometry::Planar, Geometry::Axisymmetric] {
+                let grid = StructuredGrid::rectangle(7, 9, 0.2, 0.1, geometry);
+                let solver = perturbed_ns_solver(&grid, &gas, mach, amp, seed);
+                for first_order in [true, false] {
+                    let d = max_face_vs_cell_rel_diff(&solver, first_order);
+                    proptest::prop_assert!(
+                        d <= 1e-13,
+                        "rel diff {d:.3e} ({geometry:?}, first_order = {first_order})"
+                    );
+                }
+            }
+        }
+    }
 
     #[test]
     fn quiescent_gas_cools_toward_wall_temperature() {

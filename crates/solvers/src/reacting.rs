@@ -101,7 +101,7 @@ impl Default for ReactingOptions {
 }
 
 /// Primitive state of a reacting cell.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ReactingPrimitive {
     /// Mass fractions.
     pub y: Vec<f64>,
@@ -125,6 +125,24 @@ pub struct ReactingPrimitive {
     pub h0: f64,
 }
 
+/// Reusable face-based-assembly scratch for the reacting solver: cached
+/// cell primitives (their `y` vectors are reused across steps) and flat
+/// face-flux buffers with stride `neq`. Allocated on the first step, reused
+/// afterwards — the interior of the step loop is allocation-free.
+#[derive(Debug, Default)]
+struct ReactingScratch {
+    /// Cell primitives, row-major `i * ncj + j`.
+    prim: Vec<ReactingPrimitive>,
+    /// i-face fluxes, flat `(iface * ncj + j) * neq`.
+    fi: Vec<f64>,
+    /// j-face fluxes, flat `(i * (ncj + 1) + jface) * neq`.
+    fj: Vec<f64>,
+    /// Per-cell local time steps (consumed by the chemistry substep).
+    dts: Vec<f64>,
+    /// Per-cell residual gather buffer (`neq` wide).
+    res: Vec<f64>,
+}
+
 /// The reacting finite-volume solver.
 pub struct ReactingSolver<'a> {
     grid: &'a StructuredGrid,
@@ -141,6 +159,7 @@ pub struct ReactingSolver<'a> {
     steps: usize,
     /// Run observability: phase timings, residual histories, counter deltas.
     pub telemetry: RunTelemetry,
+    scratch: ReactingScratch,
 }
 
 impl<'a> ReactingSolver<'a> {
@@ -182,6 +201,7 @@ impl<'a> ReactingSolver<'a> {
             u,
             steps: 0,
             telemetry: RunTelemetry::new(),
+            scratch: ReactingScratch::default(),
         }
     }
 
@@ -230,26 +250,38 @@ impl<'a> ReactingSolver<'a> {
 
     /// Decode a conserved vector (with warm-started T_v inversion).
     fn primitive_of(&self, c: &[f64], tv_guess: f64) -> ReactingPrimitive {
+        let mut out = ReactingPrimitive::default();
+        self.primitive_into(c, tv_guess, &mut out);
+        out
+    }
+
+    /// [`Self::primitive_of`] writing into `out`, reusing its `y`
+    /// allocation — the form the per-step primitive cache uses.
+    fn primitive_into(&self, c: &[f64], tv_guess: f64, out: &mut ReactingPrimitive) {
         let ns = self.ns;
         let mut rho = 0.0;
         for s in 0..ns {
             rho += c[s].max(0.0);
         }
         let rho = rho.max(self.opts.rho_floor);
-        let y: Vec<f64> = (0..ns).map(|s| c[s].max(0.0) / rho).collect();
+        out.y.resize(ns, 0.0);
+        for s in 0..ns {
+            out.y[s] = c[s].max(0.0) / rho;
+        }
         let ux = c[ns] / rho;
         let ur = c[ns + 1] / rho;
         let ke = 0.5 * (ux * ux + ur * ur);
         let e = (c[ns + 2] / rho - ke).max(1e3);
         let ev = (c[ns + 3] / rho).max(0.0);
-        let cv_tr = self.cv_tr(&y).max(10.0);
-        let t = ((e - ev - self.e_formation(&y)) / cv_tr).clamp(20.0, 120_000.0);
+        let y = &out.y;
+        let cv_tr = self.cv_tr(y).max(10.0);
+        let t = ((e - ev - self.e_formation(y)) / cv_tr).clamp(20.0, 120_000.0);
         let tv = self
             .mix
-            .tv_from_vibronic_energy(ev, &y, tv_guess)
+            .tv_from_vibronic_energy(ev, y, tv_guess)
             .unwrap_or(tv_guess)
             .clamp(20.0, 120_000.0);
-        let r_gas = self.mix.gas_constant(&y);
+        let r_gas = self.mix.gas_constant(y);
         let p = (rho * r_gas * t).max(1e-8);
         // Frozen sound speed with the active vibrational capacity.
         let cv = cv_tr
@@ -257,24 +289,21 @@ impl<'a> ReactingSolver<'a> {
                 .mix
                 .species()
                 .iter()
-                .zip(&y)
+                .zip(y)
                 .map(|(sp, yi)| yi * sp.cv_vib(tv))
                 .sum::<f64>();
         let gamma = 1.0 + r_gas / cv.max(1.0);
         let a = (gamma * p / rho).sqrt().max(1.0);
         let h0 = e + p / rho + ke;
-        ReactingPrimitive {
-            y,
-            rho,
-            ux,
-            ur,
-            p,
-            t,
-            tv,
-            ev,
-            a,
-            h0,
-        }
+        out.rho = rho;
+        out.ux = ux;
+        out.ur = ur;
+        out.p = p;
+        out.t = t;
+        out.tv = tv;
+        out.ev = ev;
+        out.a = a;
+        out.h0 = h0;
     }
 
     /// Primitive state of cell `(i, j)`.
@@ -345,6 +374,21 @@ impl<'a> ReactingSolver<'a> {
         sx: f64,
         sr: f64,
     ) -> Vec<f64> {
+        let mut f = vec![0.0; self.neq];
+        self.ausm_flux_into(left, right, sx, sr, &mut f);
+        f
+    }
+
+    /// [`Self::ausm_flux`] writing into a caller-provided `neq`-wide slice —
+    /// the form the face-flux sweep uses (no per-face allocation).
+    fn ausm_flux_into(
+        &self,
+        left: &ReactingPrimitive,
+        right: &ReactingPrimitive,
+        sx: f64,
+        sr: f64,
+        f: &mut [f64],
+    ) {
         let ns = self.ns;
         let area = (sx * sx + sr * sr).sqrt().max(1e-300);
         let nx = sx / area;
@@ -391,7 +435,6 @@ impl<'a> ReactingSolver<'a> {
         let mdot = a_half * (m_half.max(0.0) * left.rho + m_half.min(0.0) * right.rho);
         let up = if mdot >= 0.0 { left } else { right };
 
-        let mut f = vec![0.0; self.neq];
         for s in 0..ns {
             f[s] = mdot * up.y[s] * area;
         }
@@ -399,12 +442,144 @@ impl<'a> ReactingSolver<'a> {
         f[ns + 1] = (mdot * up.ur + p_half * nr) * area;
         f[ns + 2] = mdot * up.h0 * area;
         f[ns + 3] = mdot * up.ev * area;
-        f
+    }
+
+    /// Flux through i-face `(iface, j)` from cached primitives, including
+    /// the boundary ghost faces; matches the per-face arithmetic of
+    /// [`Self::cell_residual`] exactly.
+    fn i_face_flux_into(&self, prim: &[ReactingPrimitive], iface: usize, j: usize, f: &mut [f64]) {
+        let m = &self.metrics;
+        let ncj = self.grid.ncj();
+        let sx = m.si_x[(iface, j)];
+        let sr = m.si_r[(iface, j)];
+        if iface == 0 {
+            let qc = &prim[j];
+            let area = (sx * sx + sr * sr).sqrt().max(1e-300);
+            let g = self.ghost(&self.bc.i_lo, qc, -sx / area, -sr / area);
+            self.ausm_flux_into(&g, qc, sx, sr, f);
+        } else if iface == self.grid.nci() {
+            let qc = &prim[(iface - 1) * ncj + j];
+            let area = (sx * sx + sr * sr).sqrt().max(1e-300);
+            let g = self.ghost(&self.bc.i_hi, qc, sx / area, sr / area);
+            self.ausm_flux_into(qc, &g, sx, sr, f);
+        } else {
+            self.ausm_flux_into(
+                &prim[(iface - 1) * ncj + j],
+                &prim[iface * ncj + j],
+                sx,
+                sr,
+                f,
+            );
+        }
+    }
+
+    /// Flux through j-face `(i, jface)` from cached primitives.
+    fn j_face_flux_into(&self, prim: &[ReactingPrimitive], i: usize, jface: usize, f: &mut [f64]) {
+        let m = &self.metrics;
+        let ncj = self.grid.ncj();
+        let sx = m.sj_x[(i, jface)];
+        let sr = m.sj_r[(i, jface)];
+        if jface == 0 {
+            let qc = &prim[i * ncj];
+            let area = (sx * sx + sr * sr).sqrt().max(1e-300);
+            let g = self.ghost(&self.bc.j_lo, qc, -sx / area, -sr / area);
+            self.ausm_flux_into(&g, qc, sx, sr, f);
+        } else if jface == ncj {
+            let qc = &prim[i * ncj + jface - 1];
+            let area = (sx * sx + sr * sr).sqrt().max(1e-300);
+            let g = self.ghost(&self.bc.j_hi, qc, sx / area, sr / area);
+            self.ausm_flux_into(qc, &g, sx, sr, f);
+        } else {
+            self.ausm_flux_into(
+                &prim[i * ncj + jface - 1],
+                &prim[i * ncj + jface],
+                sx,
+                sr,
+                f,
+            );
+        }
+    }
+
+    /// Fill the scratch buffers for the current state: decode every cell's
+    /// primitives once (reusing their allocations), then sweep each i- and
+    /// j-face exactly once, row-parallel over disjoint chunks.
+    fn assemble_faces(&self, scratch: &mut ReactingScratch) {
+        let nci = self.grid.nci();
+        let ncj = self.grid.ncj();
+        let neq = self.neq;
+        scratch
+            .prim
+            .resize_with(nci * ncj, ReactingPrimitive::default);
+        scratch.fi.resize((nci + 1) * ncj * neq, 0.0);
+        scratch.fj.resize(nci * (ncj + 1) * neq, 0.0);
+        scratch.dts.resize(nci * ncj, 0.0);
+        scratch.res.resize(neq, 0.0);
+
+        scratch
+            .prim
+            .par_chunks_mut(ncj)
+            .enumerate()
+            .for_each(|(i, row)| {
+                for (j, q) in row.iter_mut().enumerate() {
+                    self.primitive_into(self.u.vector(i, j), 3000.0, q);
+                }
+            });
+
+        let prim: &[ReactingPrimitive] = &scratch.prim;
+        scratch
+            .fi
+            .par_chunks_mut(ncj * neq)
+            .enumerate()
+            .for_each(|(iface, col)| {
+                for j in 0..ncj {
+                    self.i_face_flux_into(prim, iface, j, &mut col[j * neq..(j + 1) * neq]);
+                }
+            });
+        scratch
+            .fj
+            .par_chunks_mut((ncj + 1) * neq)
+            .enumerate()
+            .for_each(|(i, row)| {
+                for jface in 0..=ncj {
+                    self.j_face_flux_into(prim, i, jface, &mut row[jface * neq..(jface + 1) * neq]);
+                }
+            });
+        counters::add(
+            Counter::FacesEvaluated,
+            ((nci + 1) * ncj + nci * (ncj + 1)) as u64,
+        );
+    }
+
+    /// Net residual of cell (i, j) gathered from the assembled face fluxes,
+    /// in [`Self::cell_residual`]'s accumulation order (+i-lo, −i-hi,
+    /// +j-lo, −j-hi, axisymmetric source last).
+    fn gather_residual_into(&self, scratch: &ReactingScratch, i: usize, j: usize, res: &mut [f64]) {
+        let ncj = self.grid.ncj();
+        let neq = self.neq;
+        let fil = &scratch.fi[(i * ncj + j) * neq..(i * ncj + j + 1) * neq];
+        let fih = &scratch.fi[((i + 1) * ncj + j) * neq..((i + 1) * ncj + j + 1) * neq];
+        let base = i * (ncj + 1) + j;
+        let fjl = &scratch.fj[base * neq..(base + 1) * neq];
+        let fjh = &scratch.fj[(base + 1) * neq..(base + 2) * neq];
+        for k in 0..neq {
+            let mut r = fil[k];
+            r -= fih[k];
+            r += fjl[k];
+            r -= fjh[k];
+            res[k] = r;
+        }
+        if self.grid.geometry == Geometry::Axisymmetric {
+            res[self.ns + 1] += scratch.prim[i * ncj + j].p * self.metrics.plane_area[(i, j)];
+        }
     }
 
     /// Convective residual (first order; the strong shocks of the target
     /// problems are grid-aligned and the chemistry length scales dominate).
-    fn cell_residual(&self, i: usize, j: usize) -> Vec<f64> {
+    ///
+    /// Retained as the cell-centered reference implementation (it evaluates
+    /// every interior face twice); the step loop uses the face-based
+    /// scratch assembly, which the property tests pin to this function.
+    pub fn cell_residual(&self, i: usize, j: usize) -> Vec<f64> {
         let m = &self.metrics;
         let mut res = vec![0.0; self.neq];
         let qc = self.primitive(i, j);
@@ -475,8 +650,7 @@ impl<'a> ReactingSolver<'a> {
         res
     }
 
-    fn local_dt(&self, i: usize, j: usize, cfl: f64) -> f64 {
-        let q = self.primitive(i, j);
+    fn local_dt(&self, q: &ReactingPrimitive, i: usize, j: usize, cfl: f64) -> f64 {
         let m = &self.metrics;
         let spectral = |sx: f64, sr: f64| -> f64 {
             let area = (sx * sx + sr * sr).sqrt();
@@ -597,45 +771,46 @@ impl<'a> ReactingSolver<'a> {
         let neq = self.neq;
         let ns = self.ns;
 
-        let updates: Vec<(Vec<f64>, f64)> = (0..nci * ncj)
-            .into_par_iter()
-            .map(|idx| {
-                let i = idx / ncj;
-                let j = idx % ncj;
-                (self.cell_residual(i, j), self.local_dt(i, j, cfl))
-            })
-            .collect();
+        // Face-based assembly into solver-owned scratch: primitives decoded
+        // once per cell, each face swept once, flat flux buffers reused.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.assemble_faces(&mut scratch);
+        let mut res = std::mem::take(&mut scratch.res);
 
         // Convective update.
         let mut resnorm = 0.0;
-        let mut dts = vec![0.0; nci * ncj];
-        for (idx, (res, dt)) in updates.into_iter().enumerate() {
-            let i = idx / ncj;
-            let j = idx % ncj;
-            let v = self.metrics.volume[(i, j)];
-            dts[idx] = dt;
-            let cell = self.u.vector_mut(i, j);
-            for k in 0..neq {
-                cell[k] += dt / v * res[k];
-            }
-            for s in 0..ns {
-                if cell[s] < 0.0 {
-                    cell[s] = 0.0;
+        for i in 0..nci {
+            for j in 0..ncj {
+                let idx = i * ncj + j;
+                self.gather_residual_into(&scratch, i, j, &mut res);
+                let dt = self.local_dt(&scratch.prim[idx], i, j, cfl);
+                scratch.dts[idx] = dt;
+                let v = self.metrics.volume[(i, j)];
+                let cell = self.u.vector_mut(i, j);
+                for k in 0..neq {
+                    cell[k] += dt / v * res[k];
                 }
+                for s in 0..ns {
+                    if cell[s] < 0.0 {
+                        cell[s] = 0.0;
+                    }
+                }
+                let mut drho = 0.0;
+                for s in 0..ns {
+                    drho += res[s];
+                }
+                let r = drho / v;
+                resnorm += r * r;
             }
-            let mut drho = 0.0;
-            for s in 0..ns {
-                drho += res[s];
-            }
-            let r = drho / v;
-            resnorm += r * r;
         }
+        scratch.res = res;
 
         // Chemistry substep (skipped while the startup transient rings or in
         // frozen mode), cell-parallel.
         if !first && !self.opts.frozen {
             let _sp = trace::span("chemistry_substeps");
             counters::add(Counter::ChemistrySubsteps, (nci * ncj) as u64);
+            let dts = &scratch.dts;
             let slices: Vec<(usize, Vec<f64>)> = (0..nci * ncj)
                 .into_par_iter()
                 .map(|idx| {
@@ -653,6 +828,7 @@ impl<'a> ReactingSolver<'a> {
             }
         }
 
+        self.scratch = scratch;
         self.steps += 1;
         (resnorm / (nci * ncj) as f64).sqrt()
     }
@@ -905,5 +1081,69 @@ mod tests {
             stag.h0,
             h0_free
         );
+    }
+
+    #[test]
+    fn face_based_matches_cell_centered_reacting_residuals() {
+        let gas = air9_equilibrium();
+        let set = park_air9(gas.mixture());
+        let relax = RelaxationModel::new(gas.mixture().clone());
+        for geometry in [Geometry::Planar, Geometry::Axisymmetric] {
+            let grid = StructuredGrid::rectangle(9, 7, 0.4, 0.2, geometry);
+            let fs = air_freestream(1e-3, 2500.0, 300.0, gas.mixture().len());
+            let bc = ReactingBcSet {
+                i_lo: ReactingBc::Inflow(fs.clone()),
+                i_hi: ReactingBc::Outflow,
+                j_lo: ReactingBc::SlipWall,
+                j_hi: ReactingBc::Inflow(fs.clone()),
+            };
+            let opts = ReactingOptions {
+                frozen: true,
+                startup_steps: 0,
+                ..ReactingOptions::default()
+            };
+            let mut solver = ReactingSolver::new(&grid, &set, &relax, bc, opts, &fs);
+            // Deterministic multiplicative perturbation keeping the state
+            // admissible: densities scaled, momenta damped (internal energy
+            // only grows), energy bumped.
+            let neq = solver.neq;
+            let ns = solver.ns;
+            let mut state = 0x9e37_79b9_7f4a_7c15_u64;
+            let mut noise = move || {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+            };
+            for i in 0..grid.nci() {
+                for j in 0..grid.ncj() {
+                    let fr = 1.0 + 0.1 * noise();
+                    let fm = 0.95 + 0.05 * noise();
+                    let fe = 1.0 + 0.04 * noise().abs();
+                    let cell = solver.u.vector_mut(i, j);
+                    for v in cell.iter_mut().take(neq) {
+                        *v *= fr;
+                    }
+                    cell[ns] *= fm;
+                    cell[ns + 1] = cell[ns] * 0.05 * noise();
+                    cell[ns + 3] *= fe;
+                }
+            }
+            let mut scratch = ReactingScratch::default();
+            solver.assemble_faces(&mut scratch);
+            let mut fb = vec![0.0; neq];
+            let mut worst = 0.0_f64;
+            for i in 0..grid.nci() {
+                for j in 0..grid.ncj() {
+                    solver.gather_residual_into(&scratch, i, j, &mut fb);
+                    let cc = solver.cell_residual(i, j);
+                    let scale = cc.iter().fold(1e-300_f64, |m, v| m.max(v.abs()));
+                    for k in 0..neq {
+                        worst = worst.max((fb[k] - cc[k]).abs() / cc[k].abs().max(scale));
+                    }
+                }
+            }
+            assert!(worst <= 1e-13, "rel diff {worst:.3e} ({geometry:?})");
+        }
     }
 }

@@ -21,6 +21,7 @@
 //! exactly as the era's VSL codes did.
 
 use aerothermo_gas::equilibrium::EquilibriumGas;
+use aerothermo_gas::error::GasError;
 use aerothermo_gas::transport::{mixture_conductivity, mixture_viscosity};
 use aerothermo_numerics::interp::MonotoneCubic;
 use aerothermo_numerics::telemetry::{RunTelemetry, SolverError};
@@ -132,7 +133,7 @@ impl PropertyTable {
             .map(|s| s.name.to_string())
             .collect();
         let lam = aerothermo_radiation::wavelength_grid(0.2e-6, 1.1e-6, 240);
-        let rows: Result<Vec<(f64, f64, f64, f64, f64)>, String> = ts
+        let rows: Result<Vec<(f64, f64, f64, f64, f64)>, GasError> = ts
             .par_iter()
             .map(|&t| {
                 let st = gas.at_tp(t, p)?;
@@ -416,7 +417,7 @@ pub fn solve(gas: &EquilibriumGas, problem: &VslProblem) -> Result<VslSolution, 
     for i in 1..n {
         rv[i] = rv[i - 1] - (rho[i] * u_fn[i] + rho[i - 1] * u_fn[i - 1]) * (y[i] - y[i - 1]);
     }
-    let stations: Result<Vec<VslStation>, String> = (0..n)
+    let stations: Result<Vec<VslStation>, GasError> = (0..n)
         .into_par_iter()
         .map(|i| {
             let st = gas.at_tp(t[i], p_stag)?;

@@ -142,7 +142,10 @@ fn equilibrium_range_errors_are_reported_not_panicked() {
             // If it does converge, the result must still be sane.
             assert!(st.density.is_finite() && st.density > 0.0);
         }
-        Err(msg) => assert!(msg.contains("equilibrium"), "context: {msg}"),
+        Err(err) => {
+            let msg = err.to_string();
+            assert!(msg.contains("equilibrium"), "context: {msg}");
+        }
     }
 }
 

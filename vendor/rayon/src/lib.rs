@@ -176,6 +176,23 @@ impl<T: Send> ParIter<T> {
             f,
         }
     }
+
+    /// Pair each item with its index, mirroring rayon's
+    /// `IndexedParallelIterator::enumerate`.
+    #[must_use]
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Run `f` on every item in parallel, mirroring rayon's `for_each`.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        par_map_vec(self.items, &f);
+    }
 }
 
 /// A mapped parallel iterator: terminal operations run the map in parallel.
@@ -255,9 +272,26 @@ impl<T: Sync> ParallelSliceRef<T> for [T] {
     }
 }
 
+/// `par_chunks_mut()` on slices (and, by deref, `Vec`): disjoint mutable
+/// chunks processed in parallel, mirroring rayon's `ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks of
+    /// `chunk_size` elements (the last chunk may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk_size must be nonzero");
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
 /// The rayon prelude: glob-import the iterator traits.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, ParallelSliceRef};
+    pub use crate::{IntoParallelIterator, ParallelSliceMut, ParallelSliceRef};
 }
 
 #[cfg(test)]
@@ -306,6 +340,29 @@ mod tests {
         let seen = pool.install(current_num_threads);
         assert_eq!(seen, 3);
         assert_ne!(POOL_THREADS.with(std::cell::Cell::get), 3);
+    }
+
+    #[test]
+    fn enumerate_pairs_items_with_indices() {
+        let v: Vec<usize> = (10..20)
+            .into_par_iter()
+            .enumerate()
+            .map(|(i, x)| x - i)
+            .collect();
+        assert_eq!(v, vec![10; 10]);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_whole_slice_disjointly() {
+        let mut data = vec![0usize; 103];
+        data.par_chunks_mut(10).enumerate().for_each(|(ci, chunk)| {
+            for (k, x) in chunk.iter_mut().enumerate() {
+                *x = ci * 10 + k;
+            }
+        });
+        for (i, x) in data.iter().enumerate() {
+            assert_eq!(*x, i);
+        }
     }
 
     #[test]
