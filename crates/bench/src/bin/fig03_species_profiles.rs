@@ -11,10 +11,10 @@
 //! with maxima inside the layer; CH₄ is destroyed (absent at any
 //! significant level); the wall-adjacent cool layer recombines.
 
-use aerothermo_bench::{emit, output_mode, Report};
+use aerothermo_bench::{emit, max_retries, output_mode, Report};
 use aerothermo_core::tables::Table;
 use aerothermo_gas::titan_equilibrium;
-use aerothermo_solvers::vsl::{solve, VslProblem};
+use aerothermo_solvers::vsl::{solve_with_retry, VslProblem};
 
 fn main() {
     let mode = output_mode();
@@ -31,7 +31,12 @@ fn main() {
         n_points: 56,
         radiating: true,
     };
-    let sol = solve(&gas, &problem).expect("VSL solve");
+    // Single-shot stagnation solve under the shared retry policy: a
+    // recoverable failure reruns with reduced under-relaxation.
+    let retry = solve_with_retry(&gas, &problem, max_retries()).expect("VSL solve");
+    report.metric("vsl.retries", retry.retries as f64);
+    report.metric("vsl.final_relax_scale", retry.final_scale);
+    let sol = retry.value;
 
     println!(
         "shock standoff δ = {:.2} cm (paper: 2.24 cm), T_edge = {:.0} K, p_stag = {:.3e} Pa",

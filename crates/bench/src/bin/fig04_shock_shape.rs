@@ -14,13 +14,14 @@
 //! halves the standoff.
 
 use aerothermo_bench::{
-    emit, orbiter_equivalent_body, orbiter_fig4_condition, output_mode, Report,
+    emit, orbiter_equivalent_body, orbiter_fig4_condition, output_mode, run_options, Report,
 };
 use aerothermo_core::tables::Table;
 use aerothermo_gas::eq_table::air9_table;
 use aerothermo_gas::{GasModel, IdealGas};
 use aerothermo_grid::{stretch, StructuredGrid};
 use aerothermo_solvers::euler2d::{Bc, BcSet, EulerOptions, EulerSolver};
+use aerothermo_solvers::runctl::run_controlled;
 
 struct ShockTrace {
     x: Vec<f64>,
@@ -52,9 +53,25 @@ fn run_case(
         startup_steps: 500,
         ..EulerOptions::default()
     };
+    let nominal_cfl = opts.cfl;
+    let startup = opts.startup_steps;
     let mut solver = EulerSolver::new(grid, gas, bc, opts, fs);
-    let (steps, ratio) = solver.run(6000, 5e-3).expect("stable Euler run");
-    eprintln!("#   converged in {steps} steps (residual ratio {ratio:.2e})");
+    // The run controller owns the outer loop: checkpoint ring + rollback on
+    // divergence, with `--checkpoint`/`--restart`/`--max-retries` wired in
+    // (per-case restart files, keyed by `label`).
+    let run_opts = run_options(label, 6000, 5e-3, startup);
+    let outcome = run_controlled(&mut solver, &run_opts).expect("stable Euler run");
+    eprintln!(
+        "#   converged in {} steps (residual ratio {:.2e}, {} rollbacks)",
+        outcome.units, outcome.ratio, outcome.rollbacks
+    );
+    report.record_run_outcome(label, &outcome, nominal_cfl);
+    if outcome.halted {
+        // Defer the halt exit to the caller via the report path: fig04 runs
+        // two cases, so a mid-run halt stops at the first affected case.
+        eprintln!("#   halted mid-run (--halt-after)");
+        std::process::exit(aerothermo_bench::HALT_EXIT_CODE);
+    }
     report.absorb_telemetry(label, &solver.telemetry);
 
     let m = solver.grid_metrics();

@@ -20,7 +20,10 @@
 //! predictions with the flight points below the fully-catalytic prediction
 //! over the tile region (the catalysis story of the paper's Ref. 17).
 
-use aerothermo_bench::{emit, orbiter_equivalent_body, output_mode, sts3_fig6_condition, Report};
+use aerothermo_bench::{
+    emit, exit_if_halted, orbiter_equivalent_body, output_mode, run_options, sts3_fig6_condition,
+    Report,
+};
 use aerothermo_core::catalysis::{heating_ratio, WallCatalysis};
 use aerothermo_core::heating::convective_fay_riddell_equilibrium;
 use aerothermo_core::stagnation::stagnation_state;
@@ -32,7 +35,8 @@ use aerothermo_grid::bodies::Body;
 use aerothermo_solvers::blayer::{
     fay_riddell, lees_distribution, newtonian_velocity_gradient, FayRiddellInputs,
 };
-use aerothermo_solvers::vsl::{march as vsl_march, VslProblem};
+use aerothermo_solvers::runctl::run_controlled;
+use aerothermo_solvers::vsl::{VslMarcher, VslProblem};
 
 const ORBITER_LENGTH: f64 = 32.8;
 
@@ -82,22 +86,40 @@ fn main() {
     let dist_id = lees_distribution(&body, 1.2, st_id.p_stag, p_inf, 600);
 
     // Independent cross-check: the windward-forebody VSL march on the same
-    // equivalent body (the paper's VSL-code route to the same quantity).
-    let vsl_sol = vsl_march(
-        &gas_eq,
-        &VslProblem {
-            u_inf: v_inf,
-            rho_inf,
-            t_inf,
-            nose_radius: body.rn,
-            t_wall,
-            n_points: 40,
-            radiating: false,
-        },
-        &body,
-        24,
-    )
-    .unwrap_or_default();
+    // equivalent body (the paper's VSL-code route to the same quantity),
+    // driven through the run controller so `--checkpoint` / `--restart` /
+    // `--inject-nan` / `--halt-after` all apply to this figure.
+    const VSL_STATIONS: usize = 24;
+    const VSL_RELAX_NOMINAL: f64 = 0.7;
+    let vsl_problem = VslProblem {
+        u_inf: v_inf,
+        rho_inf,
+        t_inf,
+        nose_radius: body.rn,
+        t_wall,
+        n_points: 40,
+        radiating: false,
+    };
+    let vsl_sol = match VslMarcher::new(&gas_eq, &vsl_problem, &body, VSL_STATIONS) {
+        Ok(mut marcher) => {
+            let opts = run_options("fig06_windward_heating", VSL_STATIONS, 0.0, 0);
+            let outcome = run_controlled(&mut marcher, &opts)
+                .expect("VSL march unrecoverable (budget exhausted or hard error)");
+            report.record_run_outcome("vsl_march", &outcome, VSL_RELAX_NOMINAL);
+            report = exit_if_halted(&outcome, report);
+            match marcher.finish() {
+                Ok(sol) => sol,
+                Err(e) => {
+                    eprintln!("# VSL march produced no usable stations ({e}); cross-check skipped");
+                    Default::default()
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("# VSL march preamble failed ({e}); cross-check skipped");
+            Default::default()
+        }
+    };
     report.absorb_telemetry("vsl_march", &vsl_sol.telemetry);
     let vsl_stations = vsl_sol.stations;
     let vsl_q_at = |x_over_l: f64| -> f64 {

@@ -11,12 +11,12 @@
 //! O₂ dissociates first, then N₂; NO spikes and decays; ionization rises
 //! with T_v; the relaxation completes within the plotted distance.
 
-use aerothermo_bench::{emit, output_mode, shock_tube_fig7_condition, Report};
+use aerothermo_bench::{emit, max_retries, output_mode, shock_tube_fig7_condition, Report};
 use aerothermo_core::tables::Table;
 use aerothermo_gas::equilibrium::air9_equilibrium;
 use aerothermo_gas::kinetics::park_air9;
 use aerothermo_gas::relaxation::RelaxationModel;
-use aerothermo_solvers::shock1d::{solve, RelaxationProblem};
+use aerothermo_solvers::shock1d::{solve_with_retry, RelaxationProblem};
 
 fn main() {
     let mode = output_mode();
@@ -35,7 +35,12 @@ fn main() {
         y1,
         x_end: 0.05,
     };
-    let sol = solve(&set, &relax, &problem).expect("relaxation march");
+    // Single-shot march under the shared retry policy: a recoverable
+    // integration failure reruns with smaller adaptive steps.
+    let retry = solve_with_retry(&set, &relax, &problem, max_retries()).expect("relaxation march");
+    report.metric("relaxation.retries", retry.retries as f64);
+    report.metric("relaxation.final_step_scale", retry.final_scale);
+    let sol = retry.value;
 
     println!(
         "frozen post-shock T = {:.0} K; {} stations to x = {:.0} mm",

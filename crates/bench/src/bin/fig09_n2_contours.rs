@@ -13,13 +13,14 @@
 
 use aerothermo_atmosphere::us76::Us76;
 use aerothermo_atmosphere::Atmosphere;
-use aerothermo_bench::{emit, output_mode, Report};
+use aerothermo_bench::{emit, output_mode, run_options, Report};
 use aerothermo_core::tables::Table;
 use aerothermo_gas::eq_table::air9_table;
 use aerothermo_grid::bodies::Hemisphere;
 use aerothermo_grid::{stretch, StructuredGrid};
 use aerothermo_solvers::euler2d::{Bc, BcSet, EulerOptions};
 use aerothermo_solvers::ns2d::{NsSolver, Transport};
+use aerothermo_solvers::runctl::run_controlled;
 
 fn main() {
     let mode = output_mode();
@@ -58,9 +59,23 @@ fn main() {
         startup_steps: 600,
         ..EulerOptions::default()
     };
+    let nominal_cfl = opts.cfl;
+    let startup = opts.startup_steps;
     let mut solver = NsSolver::new(&grid, table_eq, bc, opts, fs, Transport::air(), 2000.0);
-    let (steps, ratio) = solver.run(9000, 1e-3).expect("stable Euler run");
-    eprintln!("# converged in {steps} steps (residual ratio {ratio:.2e})");
+    // Controller-owned outer loop: rollback on divergence plus the shared
+    // `--checkpoint`/`--restart`/`--max-retries` flags.
+    let run_opts = run_options("fig09_n2_contours", 9000, 1e-3, startup);
+    let outcome = run_controlled(&mut solver, &run_opts).expect("stable NS run");
+    eprintln!(
+        "# converged in {} steps (residual ratio {:.2e}, {} rollbacks)",
+        outcome.units, outcome.ratio, outcome.rollbacks
+    );
+    report.record_run_outcome("ns_m20", &outcome, nominal_cfl);
+    if outcome.halted {
+        eprintln!("# halted mid-run (--halt-after); resume with --restart");
+        report.finish();
+        std::process::exit(aerothermo_bench::HALT_EXIT_CODE);
+    }
     report.absorb_telemetry("ns_m20", &solver.inviscid.telemetry);
 
     // N2 mole-fraction field along selected body-normal lines.

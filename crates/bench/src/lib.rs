@@ -87,6 +87,106 @@ pub fn audit_cadence() -> Option<usize> {
     None
 }
 
+/// Checkpoint cadence in progress units, parsed from `--checkpoint`
+/// (default: every 100 units) or `--checkpoint=N`. `None` leaves on-disk
+/// checkpointing off (the in-memory rollback ring is always armed).
+#[must_use]
+pub fn checkpoint_every() -> Option<usize> {
+    for a in std::env::args() {
+        if a == "--checkpoint" {
+            return Some(100);
+        }
+        if let Some(n) = a.strip_prefix("--checkpoint=") {
+            return Some(n.parse().unwrap_or(100));
+        }
+    }
+    None
+}
+
+/// Restart-file destination for `--checkpoint`, parsed from
+/// `--checkpoint-file=PATH`; defaults to `<figure>-restart.atrc`.
+#[must_use]
+pub fn checkpoint_file(figure: &str) -> String {
+    for a in std::env::args() {
+        if let Some(p) = a.strip_prefix("--checkpoint-file=") {
+            return p.to_string();
+        }
+    }
+    format!("{figure}-restart.atrc")
+}
+
+/// Restart file to resume from, parsed from `--restart=PATH`.
+#[must_use]
+pub fn restart_path() -> Option<String> {
+    std::env::args().find_map(|a| a.strip_prefix("--restart=").map(ToString::to_string))
+}
+
+/// Rollback/retry budget, parsed from `--max-retries=K` (default 3).
+#[must_use]
+pub fn max_retries() -> usize {
+    std::env::args()
+        .find_map(|a| {
+            a.strip_prefix("--max-retries=")
+                .and_then(|n| n.parse().ok())
+        })
+        .unwrap_or(3)
+}
+
+/// Fault-injection unit, parsed from `--inject-nan=K` (`--inject-nan`
+/// alone injects after unit 10): poison the state once after unit K
+/// completes, exercising the rollback path end to end.
+#[must_use]
+pub fn inject_nan_at() -> Option<usize> {
+    for a in std::env::args() {
+        if a == "--inject-nan" {
+            return Some(10);
+        }
+        if let Some(n) = a.strip_prefix("--inject-nan=") {
+            return Some(n.parse().unwrap_or(10));
+        }
+    }
+    None
+}
+
+/// Deterministic mid-run halt, parsed from `--halt-after=K` (the CI
+/// kill/resume drill): the controlled run stops after unit K and the binary
+/// exits with [`HALT_EXIT_CODE`].
+#[must_use]
+pub fn halt_after() -> Option<usize> {
+    std::env::args().find_map(|a| a.strip_prefix("--halt-after=").and_then(|n| n.parse().ok()))
+}
+
+/// Exit code for a deliberate `--halt-after` stop, distinguishable from
+/// success (0) and panics (101) so CI can assert the drill actually halted.
+pub const HALT_EXIT_CODE: i32 = 3;
+
+/// Assemble [`aerothermo_solvers::runctl::RunOptions`] from the shared
+/// run-control flags plus the figure's loop parameters (`max_units`, the
+/// convergence tolerance, and the reference-residual grace period).
+#[must_use]
+pub fn run_options(
+    figure: &str,
+    max_units: usize,
+    tol: f64,
+    grace: usize,
+) -> aerothermo_solvers::runctl::RunOptions {
+    let mut opts = aerothermo_solvers::runctl::RunOptions {
+        max_units,
+        tol,
+        grace,
+        max_retries: max_retries(),
+        ..Default::default()
+    };
+    if let Some(every) = checkpoint_every() {
+        opts.checkpoint_every = every;
+        opts.checkpoint_path = Some(checkpoint_file(figure).into());
+    }
+    opts.restart_from = restart_path().map(Into::into);
+    opts.inject_nan_at = inject_nan_at();
+    opts.halt_after = halt_after();
+    opts
+}
+
 /// Machine-readable run summary for a figure binary.
 ///
 /// Collects qualitative-check verdicts, named scalar metrics, kernel
@@ -155,6 +255,25 @@ impl Report {
         for finding in telemetry.audits() {
             self.audits.push((label.to_string(), finding.clone()));
         }
+    }
+
+    /// Fold a controlled run's outcome into the report: progress units,
+    /// retry/rollback counts, and the final CFL (backoff scale × nominal) —
+    /// the resilience metrics CI gates on.
+    pub fn record_run_outcome(
+        &mut self,
+        label: &str,
+        outcome: &aerothermo_solvers::runctl::RunOutcome,
+        nominal_cfl: f64,
+    ) {
+        self.metric(&format!("{label}.run_units"), outcome.units as f64);
+        self.metric(&format!("{label}.retries"), outcome.retries as f64);
+        self.metric(&format!("{label}.rollbacks"), outcome.rollbacks as f64);
+        self.metric(&format!("{label}.final_cfl_scale"), outcome.final_cfl_scale);
+        self.metric(
+            &format!("{label}.final_cfl"),
+            outcome.final_cfl_scale * nominal_cfl,
+        );
     }
 
     /// Number of absorbed audit findings at [`AuditSeverity::Fail`].
@@ -314,6 +433,21 @@ impl Report {
         }
         self.all_green()
     }
+}
+
+/// Terminate the binary with [`HALT_EXIT_CODE`] when the controlled run
+/// stopped at `--halt-after`, writing the report/trace first so the resume
+/// drill has the restart file *and* a parseable partial report.
+pub fn exit_if_halted(outcome: &aerothermo_solvers::runctl::RunOutcome, report: Report) -> Report {
+    if outcome.halted {
+        eprintln!(
+            "# halted after {} units (--halt-after); resume with --restart",
+            outcome.units
+        );
+        report.finish();
+        std::process::exit(HALT_EXIT_CODE);
+    }
+    report
 }
 
 /// JSON string literal with minimal escaping.

@@ -147,7 +147,17 @@ impl EqTable {
                         }
                     }
                     // Reinterpolate onto the common ln_e axis (linear in ln e,
-                    // clamped at the sweep ends).
+                    // clamped at the sweep ends). A sweep that collapsed to
+                    // fewer than two monotone points (pathological range
+                    // options) would make the lookup panic; surface it as a
+                    // table-build error instead.
+                    if aerothermo_numerics::interp::try_bracket(&se, ln_e[0]).is_none() {
+                        return Err(format!(
+                            "table row rho={rho:.3e}: degenerate energy sweep \
+                             ({} monotone points; widen t_range)",
+                            se.len()
+                        ));
+                    }
                     let mut row_lnp = Vec::with_capacity(ne);
                     let mut row_t = Vec::with_capacity(ne);
                     let mut row_y = vec![Vec::with_capacity(ne); ns];
@@ -275,6 +285,10 @@ impl EqTable {
 }
 
 impl GasModel for EqTable {
+    fn describe(&self) -> String {
+        format!("eq-table({} species)", self.species_names.len())
+    }
+
     fn pressure(&self, rho: f64, e: f64) -> f64 {
         let lr = rho.clamp(self.rho_range.0, self.rho_range.1).ln();
         let le = e.clamp(self.e_range.0, self.e_range.1).ln();

@@ -37,6 +37,13 @@ pub trait GasModel: Send + Sync {
     fn enthalpy(&self, rho: f64, e: f64) -> f64 {
         e + self.pressure(rho, e) / rho
     }
+
+    /// Short human-readable identity, recorded in run-control restart-file
+    /// headers so a snapshot is only restored under the gas model that
+    /// produced it.
+    fn describe(&self) -> String {
+        "gas".to_string()
+    }
 }
 
 /// Calorically perfect gas with constant `γ` and gas constant `r`.
@@ -105,6 +112,10 @@ impl GasModel for IdealGas {
 
     fn gamma_eff(&self, _rho: f64, _e: f64) -> f64 {
         self.gamma
+    }
+
+    fn describe(&self) -> String {
+        format!("ideal(gamma={:.3},r={:.2})", self.gamma, self.r)
     }
 }
 

@@ -7,9 +7,15 @@
 
 /// Locate the interval index `i` with `xs[i] <= x < xs[i+1]`, clamped to the
 /// valid range. `xs` must be strictly increasing with at least 2 entries.
+///
+/// # Panics
+/// Panics when fewer than 2 knots are given — the same hard precondition
+/// [`lerp`] asserts (a `debug_assert!` here would index out of bounds or
+/// return garbage in release builds). Callers on a `Result` path should use
+/// [`try_bracket`] instead.
 #[must_use]
 pub fn bracket(xs: &[f64], x: f64) -> usize {
-    debug_assert!(xs.len() >= 2);
+    assert!(xs.len() >= 2, "need at least two points");
     if x <= xs[0] {
         return 0;
     }
@@ -28,6 +34,17 @@ pub fn bracket(xs: &[f64], x: f64) -> usize {
         }
     }
     lo
+}
+
+/// Fallible [`bracket`]: `None` when the table is degenerate (fewer than 2
+/// knots), for callers that can surface a table-lookup failure as an error
+/// instead of panicking.
+#[must_use]
+pub fn try_bracket(xs: &[f64], x: f64) -> Option<usize> {
+    if xs.len() < 2 {
+        return None;
+    }
+    Some(bracket(xs, x))
 }
 
 /// Piecewise-linear interpolation with constant extrapolation outside the
@@ -237,6 +254,22 @@ mod tests {
         assert_eq!(bracket(&xs, 1.0), 1);
         assert_eq!(bracket(&xs, 2.5), 2);
         assert_eq!(bracket(&xs, 99.0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least two points")]
+    fn bracket_rejects_degenerate_table_in_release_too() {
+        let _ = bracket(&[1.0], 0.5);
+    }
+
+    #[test]
+    fn try_bracket_surfaces_degenerate_tables() {
+        assert_eq!(try_bracket(&[], 0.5), None);
+        assert_eq!(try_bracket(&[1.0], 0.5), None);
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        for x in [-1.0, 0.5, 1.0, 2.5, 99.0] {
+            assert_eq!(try_bracket(&xs, x), Some(bracket(&xs, x)));
+        }
     }
 
     #[test]

@@ -60,10 +60,15 @@ pub mod counters {
         /// Newton iterations started from a cached element-potential
         /// vector instead of the cold pre-balance sweep.
         NewtonWarmStarts,
+        /// Run-control checkpoints serialized to disk.
+        CheckpointsWritten,
+        /// Run-control rollback/retry events (checkpoint restores and
+        /// single-shot backoff retries).
+        RunRollbacks,
     }
 
     /// Number of distinct counters.
-    pub const N_COUNTERS: usize = 13;
+    pub const N_COUNTERS: usize = 15;
 
     impl Counter {
         /// Every counter, in declaration order.
@@ -81,6 +86,8 @@ pub mod counters {
             Counter::EquilibriumCacheHits,
             Counter::EquilibriumCacheMisses,
             Counter::NewtonWarmStarts,
+            Counter::CheckpointsWritten,
+            Counter::RunRollbacks,
         ];
 
         /// Stable snake_case name (used as the JSON report key).
@@ -100,11 +107,15 @@ pub mod counters {
                 Counter::EquilibriumCacheHits => "equilibrium_cache_hits",
                 Counter::EquilibriumCacheMisses => "equilibrium_cache_misses",
                 Counter::NewtonWarmStarts => "newton_warm_starts",
+                Counter::CheckpointsWritten => "checkpoints_written",
+                Counter::RunRollbacks => "run_rollbacks",
             }
         }
     }
 
     static COUNTERS: [AtomicU64; N_COUNTERS] = [
+        AtomicU64::new(0),
+        AtomicU64::new(0),
         AtomicU64::new(0),
         AtomicU64::new(0),
         AtomicU64::new(0),

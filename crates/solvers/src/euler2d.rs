@@ -140,6 +140,11 @@ pub struct EulerSolver<'a> {
     /// Conserved variables, shape (nci, ncj, NEQ).
     pub u: Field3<f64>,
     steps_taken: usize,
+    /// Run-control CFL scale (1.0 = nominal; halved on rollback).
+    cfl_scale: f64,
+    /// Run-control safety mode: force first-order reconstruction
+    /// independent of the startup schedule.
+    force_first_order: bool,
     /// Run observability: phase timings, residual histories, counter deltas.
     pub telemetry: RunTelemetry,
     /// Face-based-assembly buffers (see [`EulerScratch`]).
@@ -180,6 +185,8 @@ impl<'a> EulerSolver<'a> {
             opts,
             u,
             steps_taken: 0,
+            cfl_scale: 1.0,
+            force_first_order: false,
             telemetry: RunTelemetry::new(),
             scratch: EulerScratch::default(),
         }
@@ -750,12 +757,12 @@ impl<'a> EulerSolver<'a> {
     /// density-residual L2 norm (per cell).
     pub fn step(&mut self) -> f64 {
         let _sp = trace::span("euler_step");
-        let first_order = self.steps_taken < self.opts.startup_steps;
-        let cfl = if first_order {
-            0.4 * self.opts.cfl
-        } else {
-            self.opts.cfl
-        };
+        let (startup, cfl) = crate::runctl::startup_schedule(
+            self.steps_taken,
+            self.opts.startup_steps,
+            self.cfl_scale * self.opts.cfl,
+        );
+        let first_order = startup || self.force_first_order;
         let nci = self.nci();
         let ncj = self.ncj();
 
@@ -790,7 +797,12 @@ impl<'a> EulerSolver<'a> {
     /// Advance one *time-accurate* step with a caller-supplied global time
     /// step (for unsteady verification problems like the Sod tube).
     pub fn step_global_dt(&mut self, dt: f64) {
-        let first_order = self.steps_taken < self.opts.startup_steps;
+        let first_order = crate::runctl::startup_schedule(
+            self.steps_taken,
+            self.opts.startup_steps,
+            self.opts.cfl,
+        )
+        .0 || self.force_first_order;
         let nci = self.nci();
         let ncj = self.ncj();
         let mut scratch = std::mem::take(&mut self.scratch);
@@ -994,6 +1006,107 @@ impl<'a> EulerSolver<'a> {
     #[must_use]
     pub fn wall_pressure(&self) -> Vec<f64> {
         (0..self.nci()).map(|i| self.primitive(i, 0).p).collect()
+    }
+
+    /// Snapshot the persistent state: the conserved field (exact bits), the
+    /// step counter (it drives the startup schedule), and the CFL scale.
+    /// Scratch buffers are recomputed every step and excluded, so restoring
+    /// and continuing is bitwise-identical to an uninterrupted run.
+    #[must_use]
+    pub fn save_state(&self) -> crate::runctl::Snapshot {
+        crate::runctl::Snapshot {
+            step: self.steps_taken,
+            cfl_scale: self.cfl_scale,
+            data: self.u.as_slice().to_vec(),
+        }
+    }
+
+    /// Restore a snapshot taken from an identically-shaped solver.
+    ///
+    /// # Errors
+    /// [`SolverError::BadInput`] on a payload-size mismatch.
+    pub fn restore_state(&mut self, snap: &crate::runctl::Snapshot) -> Result<(), SolverError> {
+        let want = self.u.as_slice().len();
+        if snap.data.len() != want {
+            return Err(SolverError::BadInput(format!(
+                "euler2d restore: state length {} != {want}",
+                snap.data.len()
+            )));
+        }
+        self.u.as_mut_slice().copy_from_slice(&snap.data);
+        self.steps_taken = snap.step;
+        self.cfl_scale = snap.cfl_scale;
+        Ok(())
+    }
+}
+
+impl crate::runctl::Steppable for EulerSolver<'_> {
+    fn advance(&mut self) -> Result<f64, SolverError> {
+        let n = self.steps_taken;
+        let r = self.step();
+        if !r.is_finite() {
+            return Err(self.locate_nonfinite().unwrap_or(SolverError::NonFinite {
+                field: "residual",
+                i: n,
+                j: 0,
+            }));
+        }
+        if audit::due(n) {
+            let findings = audit::audit_euler(self, n, false);
+            audit::apply(&mut self.telemetry, findings)?;
+        }
+        Ok(r)
+    }
+
+    fn progress(&self) -> usize {
+        self.steps_taken
+    }
+
+    fn save_state(&self) -> crate::runctl::Snapshot {
+        EulerSolver::save_state(self)
+    }
+
+    fn restore_state(&mut self, snap: &crate::runctl::Snapshot) -> Result<(), SolverError> {
+        EulerSolver::restore_state(self, snap)
+    }
+
+    fn cfl_scale(&self) -> f64 {
+        self.cfl_scale
+    }
+
+    fn set_cfl_scale(&mut self, scale: f64) {
+        self.cfl_scale = scale;
+    }
+
+    fn set_first_order_fallback(&mut self, on: bool) {
+        self.force_first_order = on;
+    }
+
+    fn meta(&self) -> crate::runctl::RunMeta {
+        crate::runctl::RunMeta {
+            tag: "euler2d".to_string(),
+            gas: self.gas.describe(),
+            shape: self.u.shape(),
+        }
+    }
+
+    fn telemetry_mut(&mut self) -> &mut RunTelemetry {
+        &mut self.telemetry
+    }
+
+    fn finalize(&mut self, converged: bool) -> Result<(), SolverError> {
+        // The converged-state audit the solver's own `run()` performs after
+        // its loop: flux budgets at full strictness once the march settled.
+        if audit::cadence() != 0 {
+            let findings = audit::audit_euler(self, self.steps_taken, converged);
+            audit::apply(&mut self.telemetry, findings)?;
+        }
+        Ok(())
+    }
+
+    fn poison(&mut self) {
+        let (i, j) = (self.nci() / 2, self.ncj() / 2);
+        self.u.vector_mut(i, j)[0] = f64::NAN;
     }
 }
 
@@ -1307,12 +1420,14 @@ mod tests {
     /// identical update/floor/resnorm arithmetic. The regression test below
     /// pins the face-based step's residual history to this.
     fn reference_step(solver: &mut EulerSolver) -> f64 {
-        let first_order = solver.steps_taken < solver.opts.startup_steps;
-        let cfl = if first_order {
-            0.4 * solver.opts.cfl
-        } else {
-            solver.opts.cfl
-        };
+        // Startup scheduling through the same shared helper the production
+        // step uses, so the parity tests exercise identical scheduling.
+        let (startup, cfl) = crate::runctl::startup_schedule(
+            solver.steps_taken,
+            solver.opts.startup_steps,
+            solver.cfl_scale * solver.opts.cfl,
+        );
+        let first_order = startup || solver.force_first_order;
         let nci = solver.nci();
         let ncj = solver.ncj();
         let updates: Vec<([f64; NEQ], f64)> = (0..nci * ncj)

@@ -44,6 +44,7 @@ pub mod ns2d;
 pub mod pns;
 pub mod reacting;
 pub mod riemann;
+pub mod runctl;
 pub mod shock;
 pub mod shock1d;
 pub mod vsl;

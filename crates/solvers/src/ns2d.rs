@@ -18,7 +18,7 @@ use aerothermo_gas::transport::sutherland_air;
 use aerothermo_gas::GasModel;
 use aerothermo_grid::StructuredGrid;
 use aerothermo_numerics::telemetry::{
-    counters, Counter, MonitorOptions, ResidualMonitor, SolverError,
+    counters, Counter, MonitorOptions, ResidualMonitor, RunTelemetry, SolverError,
 };
 use aerothermo_numerics::trace;
 use rayon::prelude::*;
@@ -75,6 +75,10 @@ pub struct NsSolver<'a> {
     steps: usize,
     startup_steps: usize,
     cfl: f64,
+    /// Run-control CFL scale (1.0 = nominal; halved on rollback).
+    cfl_scale: f64,
+    /// Run-control safety mode: force first-order reconstruction.
+    force_first_order: bool,
     vscratch: NsScratch,
 }
 
@@ -103,6 +107,8 @@ impl<'a> NsSolver<'a> {
             steps: 0,
             startup_steps,
             cfl,
+            cfl_scale: 1.0,
+            force_first_order: false,
             vscratch: NsScratch::default(),
         }
     }
@@ -353,12 +359,12 @@ impl<'a> NsSolver<'a> {
     /// One explicit step; returns the density-residual norm.
     pub fn step(&mut self) -> f64 {
         let _sp = trace::span("ns_step");
-        let first_order = self.steps < self.startup_steps;
-        let cfl = if first_order {
-            0.4 * self.cfl
-        } else {
-            self.cfl
-        };
+        let (startup, cfl) = crate::runctl::startup_schedule(
+            self.steps,
+            self.startup_steps,
+            self.cfl_scale * self.cfl,
+        );
+        let first_order = startup || self.force_first_order;
         let nci = self.inviscid.nci();
         let ncj = self.inviscid.ncj();
 
@@ -530,6 +536,107 @@ impl<'a> NsSolver<'a> {
         let ut = (utx * utx + utr * utr).sqrt();
         let t_face = 0.5 * (self.temperature(i, 0) + self.t_wall);
         (self.transport.viscosity)(t_face) * ut / dn
+    }
+
+    /// Snapshot the persistent state (the conserved field lives in the
+    /// inviscid core; the NS layer adds only its own step counter — both
+    /// scratch structs are recomputed every step).
+    #[must_use]
+    pub fn save_state(&self) -> crate::runctl::Snapshot {
+        crate::runctl::Snapshot {
+            step: self.steps,
+            cfl_scale: self.cfl_scale,
+            data: self.inviscid.u.as_slice().to_vec(),
+        }
+    }
+
+    /// Restore a snapshot taken from an identically-shaped solver.
+    ///
+    /// # Errors
+    /// [`SolverError::BadInput`] on a payload-size mismatch.
+    pub fn restore_state(&mut self, snap: &crate::runctl::Snapshot) -> Result<(), SolverError> {
+        let want = self.inviscid.u.as_slice().len();
+        if snap.data.len() != want {
+            return Err(SolverError::BadInput(format!(
+                "ns2d restore: state length {} != {want}",
+                snap.data.len()
+            )));
+        }
+        self.inviscid.u.as_mut_slice().copy_from_slice(&snap.data);
+        self.steps = snap.step;
+        self.cfl_scale = snap.cfl_scale;
+        Ok(())
+    }
+}
+
+impl crate::runctl::Steppable for NsSolver<'_> {
+    fn advance(&mut self) -> Result<f64, SolverError> {
+        let n = self.steps;
+        let r = self.step();
+        if !r.is_finite() {
+            return Err(self
+                .inviscid
+                .locate_nonfinite()
+                .unwrap_or(SolverError::NonFinite {
+                    field: "residual",
+                    i: n,
+                    j: 0,
+                }));
+        }
+        if crate::audit::due(n) {
+            let findings = crate::audit::audit_ns(&self.inviscid, n, false);
+            crate::audit::apply(&mut self.inviscid.telemetry, findings)?;
+        }
+        Ok(r)
+    }
+
+    fn progress(&self) -> usize {
+        self.steps
+    }
+
+    fn save_state(&self) -> crate::runctl::Snapshot {
+        NsSolver::save_state(self)
+    }
+
+    fn restore_state(&mut self, snap: &crate::runctl::Snapshot) -> Result<(), SolverError> {
+        NsSolver::restore_state(self, snap)
+    }
+
+    fn cfl_scale(&self) -> f64 {
+        self.cfl_scale
+    }
+
+    fn set_cfl_scale(&mut self, scale: f64) {
+        self.cfl_scale = scale;
+    }
+
+    fn set_first_order_fallback(&mut self, on: bool) {
+        self.force_first_order = on;
+    }
+
+    fn meta(&self) -> crate::runctl::RunMeta {
+        crate::runctl::RunMeta {
+            tag: "ns2d".to_string(),
+            gas: self.inviscid.gas().describe(),
+            shape: self.inviscid.u.shape(),
+        }
+    }
+
+    fn telemetry_mut(&mut self) -> &mut RunTelemetry {
+        &mut self.inviscid.telemetry
+    }
+
+    fn finalize(&mut self, converged: bool) -> Result<(), SolverError> {
+        if crate::audit::cadence() != 0 {
+            let findings = crate::audit::audit_ns(&self.inviscid, self.steps, converged);
+            crate::audit::apply(&mut self.inviscid.telemetry, findings)?;
+        }
+        Ok(())
+    }
+
+    fn poison(&mut self) {
+        let (i, j) = (self.inviscid.nci() / 2, self.inviscid.ncj() / 2);
+        self.inviscid.u.vector_mut(i, j)[0] = f64::NAN;
     }
 }
 

@@ -51,7 +51,7 @@ impl Default for PnsOptions {
 }
 
 /// Result of a PNS march.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct PnsSolution {
     /// Arc-length-ish station coordinate: x of the wall-cell centroid.
     pub station_x: Vec<f64>,
@@ -74,6 +74,12 @@ pub struct PnsSolver<'a> {
     /// Conserved state for all cells (station columns filled as the march
     /// proceeds).
     pub u: Field3<f64>,
+    /// Next station the march will relax (run-control cursor).
+    next_station: usize,
+    /// Wall data accumulated by the march so far.
+    solution: PnsSolution,
+    /// Run-control CFL scale (1.0 = nominal; halved on rollback).
+    cfl_scale: f64,
     /// Run observability: phase timings, per-station iteration history,
     /// counter deltas.
     pub telemetry: RunTelemetry,
@@ -110,6 +116,9 @@ impl<'a> PnsSolver<'a> {
             opts,
             freestream,
             u,
+            next_station: 1,
+            solution: PnsSolution::default(),
+            cfl_scale: 1.0,
             telemetry: RunTelemetry::new(),
         }
     }
@@ -446,7 +455,7 @@ impl<'a> PnsSolver<'a> {
                     };
                     lam += 4.0 * mu / q.rho * sj * sj / m.volume[(i, j)];
                 }
-                let dt = self.opts.cfl * m.volume[(i, j)] / lam.max(1e-300);
+                let dt = self.cfl_scale * self.opts.cfl * m.volume[(i, j)] / lam.max(1e-300);
                 resnorm += (res[0] / m.volume[(i, j)]).powi(2);
                 updates.push((res, dt));
             }
@@ -484,53 +493,115 @@ impl<'a> PnsSolver<'a> {
     pub fn march(&mut self, i_start: usize) -> Result<PnsSolution, SolverError> {
         let t0 = std::time::Instant::now();
         let nci = self.grid.nci();
-        let mut out = PnsSolution {
-            station_x: Vec::new(),
-            wall_pressure: Vec::new(),
-            wall_heat_flux: Vec::new(),
-            iterations: Vec::new(),
-        };
+        self.next_station = i_start.max(1);
+        self.solution = PnsSolution::default();
         let mut failure: Option<SolverError> = None;
-        'stations: for i in i_start.max(1)..nci {
-            // Initialize from the upstream column (marching continuation).
-            for j in 0..self.grid.ncj() {
-                let up: Vec<f64> = self.u.vector(i - 1, j).to_vec();
-                self.u.vector_mut(i, j).copy_from_slice(&up);
+        while self.next_station < nci {
+            if let Err(e) = self.advance_station() {
+                failure = Some(e);
+                break;
             }
-            let iters = self.relax_station(i);
-            const FIELD_NAMES: [&str; NEQ] = ["rho", "rho_ux", "rho_ur", "rho_E"];
-            for j in 0..self.grid.ncj() {
-                let cell = self.u.vector(i, j);
-                for (k, name) in FIELD_NAMES.iter().enumerate() {
-                    if !cell[k].is_finite() {
-                        failure = Some(SolverError::NonFinite { field: name, i, j });
-                        break 'stations;
-                    }
-                }
-            }
-            if crate::audit::due(i) {
-                let findings = crate::audit::station_positivity(&self.u, i, i);
-                if let Err(e) = crate::audit::apply(&mut self.telemetry, findings) {
-                    failure = Some(e);
-                    break 'stations;
-                }
-            }
-            let q0 = self.primitive(i, 0);
-            out.station_x.push(self.metrics.xc[(i, 0)]);
-            out.wall_pressure.push(q0.p);
-            out.wall_heat_flux.push(self.wall_heat_flux(i));
-            out.iterations.push(iters);
         }
         self.telemetry
             .add_phase_secs("pns_march", t0.elapsed().as_secs_f64());
         self.telemetry.record_history(
             "station_iterations",
-            out.iterations.iter().map(|&n| n as f64).collect(),
+            self.solution.iterations.iter().map(|&n| n as f64).collect(),
         );
         match failure {
             Some(e) => Err(e),
-            None => Ok(out),
+            None => Ok(self.solution.clone()),
         }
+    }
+
+    /// Relax the next station and append its wall data to the accumulated
+    /// solution. Returns the relaxation iteration count for the station.
+    ///
+    /// # Errors
+    /// [`SolverError::NonFinite`] on state contamination; audit failures as
+    /// surfaced by [`crate::audit::apply`].
+    pub fn advance_station(&mut self) -> Result<usize, SolverError> {
+        let i = self.next_station;
+        // Initialize from the upstream column (marching continuation).
+        for j in 0..self.grid.ncj() {
+            let up: Vec<f64> = self.u.vector(i - 1, j).to_vec();
+            self.u.vector_mut(i, j).copy_from_slice(&up);
+        }
+        let iters = self.relax_station(i);
+        const FIELD_NAMES: [&str; NEQ] = ["rho", "rho_ux", "rho_ur", "rho_E"];
+        for j in 0..self.grid.ncj() {
+            let cell = self.u.vector(i, j);
+            for (k, name) in FIELD_NAMES.iter().enumerate() {
+                if !cell[k].is_finite() {
+                    return Err(SolverError::NonFinite { field: name, i, j });
+                }
+            }
+        }
+        if crate::audit::due(i) {
+            let findings = crate::audit::station_positivity(&self.u, i, i);
+            crate::audit::apply(&mut self.telemetry, findings)?;
+        }
+        let q0 = self.primitive(i, 0);
+        self.solution.station_x.push(self.metrics.xc[(i, 0)]);
+        self.solution.wall_pressure.push(q0.p);
+        self.solution.wall_heat_flux.push(self.wall_heat_flux(i));
+        self.solution.iterations.push(iters);
+        self.next_station = i + 1;
+        Ok(iters)
+    }
+
+    /// Wall data accumulated by the march so far.
+    #[must_use]
+    pub fn solution(&self) -> &PnsSolution {
+        &self.solution
+    }
+
+    /// Snapshot the march state: the conserved field plus the accumulated
+    /// wall rows (4 values per completed station), cursor in `step`.
+    #[must_use]
+    pub fn save_state(&self) -> crate::runctl::Snapshot {
+        let mut data = self.u.as_slice().to_vec();
+        for k in 0..self.solution.station_x.len() {
+            data.push(self.solution.station_x[k]);
+            data.push(self.solution.wall_pressure[k]);
+            data.push(self.solution.wall_heat_flux[k]);
+            data.push(self.solution.iterations[k] as f64);
+        }
+        crate::runctl::Snapshot {
+            step: self.next_station,
+            cfl_scale: self.cfl_scale,
+            data,
+        }
+    }
+
+    /// Restore a snapshot taken by [`PnsSolver::save_state`].
+    ///
+    /// # Errors
+    /// [`SolverError::BadInput`] when the payload shape does not match this
+    /// solver's field plus a whole number of wall rows.
+    pub fn restore_state(&mut self, snap: &crate::runctl::Snapshot) -> Result<(), SolverError> {
+        let field_len = self.u.as_slice().len();
+        if snap.data.len() < field_len || !(snap.data.len() - field_len).is_multiple_of(4) {
+            return Err(SolverError::BadInput(format!(
+                "pns restore: state length {} incompatible with field length {field_len}",
+                snap.data.len()
+            )));
+        }
+        self.u
+            .as_mut_slice()
+            .copy_from_slice(&snap.data[..field_len]);
+        let rows = (snap.data.len() - field_len) / 4;
+        self.solution = PnsSolution::default();
+        for row in snap.data[field_len..].chunks_exact(4) {
+            self.solution.station_x.push(row[0]);
+            self.solution.wall_pressure.push(row[1]);
+            self.solution.wall_heat_flux.push(row[2]);
+            self.solution.iterations.push(row[3] as usize);
+        }
+        debug_assert_eq!(self.solution.station_x.len(), rows);
+        self.next_station = snap.step;
+        self.cfl_scale = snap.cfl_scale;
+        Ok(())
     }
 
     /// Wall heat flux at station `i` \[W/m²\] (0 for inviscid marches).
@@ -570,6 +641,71 @@ impl<'a> PnsSolver<'a> {
             cfl: opts.cfl,
             ..PnsOptions::default()
         }
+    }
+}
+
+impl crate::runctl::Steppable for PnsSolver<'_> {
+    fn advance(&mut self) -> Result<f64, SolverError> {
+        if self.next_station >= self.grid.nci() {
+            return Ok(0.0);
+        }
+        self.advance_station()?;
+        // Stations either converge or exhaust a bounded budget; the
+        // controller's progress unit is the station itself, so report a flat
+        // residual and let the non-finite/audit checks drive rollback.
+        Ok(1.0)
+    }
+
+    fn progress(&self) -> usize {
+        self.next_station
+    }
+
+    fn save_state(&self) -> crate::runctl::Snapshot {
+        self.save_state()
+    }
+
+    fn restore_state(&mut self, snap: &crate::runctl::Snapshot) -> Result<(), SolverError> {
+        self.restore_state(snap)
+    }
+
+    fn cfl_scale(&self) -> f64 {
+        self.cfl_scale
+    }
+
+    fn set_cfl_scale(&mut self, scale: f64) {
+        self.cfl_scale = scale;
+    }
+
+    fn meta(&self) -> crate::runctl::RunMeta {
+        crate::runctl::RunMeta {
+            tag: "pns".to_string(),
+            gas: self.gas.describe(),
+            shape: self.u.shape(),
+        }
+    }
+
+    fn telemetry_mut(&mut self) -> &mut RunTelemetry {
+        &mut self.telemetry
+    }
+
+    fn finalize(&mut self, _converged: bool) -> Result<(), SolverError> {
+        if crate::audit::cadence() != 0 && self.next_station > 1 {
+            let findings = crate::audit::station_positivity(&self.u, 1, self.next_station - 1);
+            crate::audit::apply(&mut self.telemetry, findings)?;
+        }
+        self.telemetry.record_history(
+            "station_iterations",
+            self.solution.iterations.iter().map(|&n| n as f64).collect(),
+        );
+        Ok(())
+    }
+
+    fn poison(&mut self) {
+        // Contaminate the upstream column the next station will copy from,
+        // so the very next advance trips the non-finite scan.
+        let i = self.next_station.saturating_sub(1);
+        let j = self.grid.ncj() / 2;
+        self.u.vector_mut(i, j)[0] = f64::NAN;
     }
 }
 

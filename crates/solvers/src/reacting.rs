@@ -157,6 +157,8 @@ pub struct ReactingSolver<'a> {
     /// Conserved state, shape (nci, ncj, ns + 4).
     pub u: Field3<f64>,
     steps: usize,
+    /// Run-control CFL scale (1.0 = nominal; halved on rollback).
+    cfl_scale: f64,
     /// Run observability: phase timings, residual histories, counter deltas.
     pub telemetry: RunTelemetry,
     scratch: ReactingScratch,
@@ -200,6 +202,7 @@ impl<'a> ReactingSolver<'a> {
             neq,
             u,
             steps: 0,
+            cfl_scale: 1.0,
             telemetry: RunTelemetry::new(),
             scratch: ReactingScratch::default(),
         }
@@ -760,12 +763,14 @@ impl<'a> ReactingSolver<'a> {
     /// the density residual norm.
     pub fn step(&mut self) -> f64 {
         let _sp = trace::span("reacting_step");
-        let first = self.steps < self.opts.startup_steps;
-        let cfl = if first {
-            0.4 * self.opts.cfl
-        } else {
-            self.opts.cfl
-        };
+        // Shared startup schedule: `first` also gates the chemistry substep
+        // (frozen through the startup transient), so the run-control
+        // first-order fallback intentionally does not apply here.
+        let (first, cfl) = crate::runctl::startup_schedule(
+            self.steps,
+            self.opts.startup_steps,
+            self.cfl_scale * self.opts.cfl,
+        );
         let nci = self.grid.nci();
         let ncj = self.grid.ncj();
         let neq = self.neq;
@@ -913,6 +918,99 @@ impl<'a> ReactingSolver<'a> {
     #[must_use]
     pub fn stagnation_line(&self) -> Vec<ReactingPrimitive> {
         (0..self.grid.ncj()).map(|j| self.primitive(0, j)).collect()
+    }
+
+    /// Snapshot the persistent state (conserved field, step counter, CFL
+    /// scale); scratch is recomputed every step and excluded.
+    #[must_use]
+    pub fn save_state(&self) -> crate::runctl::Snapshot {
+        crate::runctl::Snapshot {
+            step: self.steps,
+            cfl_scale: self.cfl_scale,
+            data: self.u.as_slice().to_vec(),
+        }
+    }
+
+    /// Restore a snapshot taken from an identically-shaped solver.
+    ///
+    /// # Errors
+    /// [`SolverError::BadInput`] on a payload-size mismatch.
+    pub fn restore_state(&mut self, snap: &crate::runctl::Snapshot) -> Result<(), SolverError> {
+        let want = self.u.as_slice().len();
+        if snap.data.len() != want {
+            return Err(SolverError::BadInput(format!(
+                "reacting restore: state length {} != {want}",
+                snap.data.len()
+            )));
+        }
+        self.u.as_mut_slice().copy_from_slice(&snap.data);
+        self.steps = snap.step;
+        self.cfl_scale = snap.cfl_scale;
+        Ok(())
+    }
+}
+
+impl crate::runctl::Steppable for ReactingSolver<'_> {
+    fn advance(&mut self) -> Result<f64, SolverError> {
+        let n = self.steps;
+        let r = self.step();
+        if !r.is_finite() {
+            return Err(self.locate_nonfinite().unwrap_or(SolverError::NonFinite {
+                field: "residual",
+                i: n,
+                j: 0,
+            }));
+        }
+        if crate::audit::due(n) {
+            let findings = crate::audit::audit_reacting(self, n);
+            crate::audit::apply(&mut self.telemetry, findings)?;
+        }
+        Ok(r)
+    }
+
+    fn progress(&self) -> usize {
+        self.steps
+    }
+
+    fn save_state(&self) -> crate::runctl::Snapshot {
+        ReactingSolver::save_state(self)
+    }
+
+    fn restore_state(&mut self, snap: &crate::runctl::Snapshot) -> Result<(), SolverError> {
+        ReactingSolver::restore_state(self, snap)
+    }
+
+    fn cfl_scale(&self) -> f64 {
+        self.cfl_scale
+    }
+
+    fn set_cfl_scale(&mut self, scale: f64) {
+        self.cfl_scale = scale;
+    }
+
+    fn meta(&self) -> crate::runctl::RunMeta {
+        crate::runctl::RunMeta {
+            tag: "reacting".to_string(),
+            gas: format!("mixture({} species)", self.ns),
+            shape: self.u.shape(),
+        }
+    }
+
+    fn telemetry_mut(&mut self) -> &mut RunTelemetry {
+        &mut self.telemetry
+    }
+
+    fn finalize(&mut self, _converged: bool) -> Result<(), SolverError> {
+        if crate::audit::cadence() != 0 {
+            let findings = crate::audit::audit_reacting(self, self.steps);
+            crate::audit::apply(&mut self.telemetry, findings)?;
+        }
+        Ok(())
+    }
+
+    fn poison(&mut self) {
+        let (i, j) = (self.grid.nci() / 2, self.grid.ncj() / 2);
+        self.u.vector_mut(i, j)[0] = f64::NAN;
     }
 }
 

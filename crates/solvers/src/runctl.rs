@@ -1,0 +1,920 @@
+//! Run control: checkpoint/restart snapshots and divergence-triggered
+//! rollback with adaptive-CFL backoff.
+//!
+//! The flight-regime cases the paper surveys (Shuttle windward heating,
+//! Titan probe, Mach-20 hemisphere) are long, stiff marches where a single
+//! transient — a startup shock overshoot, a stiff chemistry step — can
+//! destroy hours of integration. Production hypersonic codes therefore ship
+//! restart files and step-size recovery as core features. This module turns
+//! our *detection* layer (`ResidualMonitor`, typed [`SolverError`]s, graded
+//! audits) into *recovery*:
+//!
+//! * [`Snapshot`] — a versioned copy of a solver's persistent state (the
+//!   conserved field, the step counter that drives the startup schedule,
+//!   and the current CFL scale), held in an in-memory ring and optionally
+//!   serialized to an on-disk restart file with a checksummed header
+//!   ([`write_restart`] / [`read_restart`]).
+//! * [`Steppable`] — the contract a solver implements so the controller
+//!   can own its outer loop: advance one unit (a pseudo-time step or a
+//!   march station), save/restore state, and rescale CFL.
+//! * [`run_controlled`] — the outer loop itself: on a recoverable failure
+//!   (`NonFinite`, `AuditFailed`, residual divergence) it restores the last
+//!   good checkpoint, halves the CFL scale (exponential backoff down to a
+//!   floor), optionally drops to first-order reconstruction, retries up to
+//!   a budget, and re-ramps the CFL after a streak of clean units.
+//! * [`retry_with_backoff`] — the same policy for single-shot solvers
+//!   (the 1-D relaxation march, the stagnation VSL solve) that have no
+//!   incremental state to checkpoint.
+
+use aerothermo_numerics::telemetry::{
+    counters, Counter, MonitorOptions, ResidualMonitor, RunTelemetry, SolverError,
+};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// CFL reduction factor applied during the first-order startup phase.
+pub const STARTUP_CFL_FACTOR: f64 = 0.4;
+
+/// Startup scheduling shared by every explicit step loop — the face-based
+/// production paths *and* the retained cell-centered reference paths, so
+/// parity tests exercise identical scheduling. The first `startup_steps`
+/// steps run first-order at [`STARTUP_CFL_FACTOR`] × the nominal CFL
+/// (impulsive-start robustness).
+///
+/// Returns `(first_order, effective_cfl)`.
+#[must_use]
+pub fn startup_schedule(steps_taken: usize, startup_steps: usize, cfl: f64) -> (bool, f64) {
+    let first_order = steps_taken < startup_steps;
+    let eff = if first_order {
+        STARTUP_CFL_FACTOR * cfl
+    } else {
+        cfl
+    };
+    (first_order, eff)
+}
+
+/// A versioned copy of a solver's persistent state.
+///
+/// `data` is the solver-defined flat serialization of everything the next
+/// step reads: the conserved field (exact f64 bits) plus any march
+/// bookkeeping. Scratch buffers are recomputed each step and excluded, so
+/// restoring a snapshot and continuing is bitwise-identical to never having
+/// stopped.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Progress units completed when the snapshot was taken (pseudo-time
+    /// steps or march stations) — also drives the startup schedule.
+    pub step: usize,
+    /// CFL scale in effect (1.0 = nominal).
+    pub cfl_scale: f64,
+    /// Flat state payload.
+    pub data: Vec<f64>,
+}
+
+impl Snapshot {
+    /// FNV-1a checksum over the step counter, the CFL-scale bits, and the
+    /// payload bits — what the restart-file header records and verifies.
+    #[must_use]
+    pub fn checksum(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(self.step as u64);
+        eat(self.cfl_scale.to_bits());
+        for v in &self.data {
+            eat(v.to_bits());
+        }
+        h
+    }
+}
+
+/// Identity a restart file records so a snapshot is only ever restored into
+/// a compatible solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Solver tag (`"euler2d"`, `"ns2d"`, `"reacting"`, `"pns"`,
+    /// `"vsl_march"`).
+    pub tag: String,
+    /// Gas-model description.
+    pub gas: String,
+    /// Grid shape `(ni, nj, neq)` — march solvers record
+    /// `(stations, points, fields)`.
+    pub shape: (usize, usize, usize),
+}
+
+/// Restart file magic: "ATRC" = AeroThermo Restart Checkpoint.
+const RESTART_MAGIC: [u8; 4] = *b"ATRC";
+/// Restart format version.
+const RESTART_VERSION: u32 = 1;
+
+fn io_err(context: &str, e: &std::io::Error) -> SolverError {
+    SolverError::BadInput(format!("restart {context}: {e}"))
+}
+
+fn write_str(w: &mut impl Write, s: &str) -> std::io::Result<()> {
+    let bytes = s.as_bytes();
+    let len = u16::try_from(bytes.len().min(usize::from(u16::MAX))).unwrap_or(u16::MAX);
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&bytes[..usize::from(len)])
+}
+
+fn read_exact_buf<const N: usize>(r: &mut impl Read) -> std::io::Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+fn read_str(r: &mut impl Read) -> std::io::Result<String> {
+    let len = u16::from_le_bytes(read_exact_buf::<2>(r)?);
+    let mut buf = vec![0u8; usize::from(len)];
+    r.read_exact(&mut buf)?;
+    Ok(String::from_utf8_lossy(&buf).into_owned())
+}
+
+/// Serialize a snapshot to `path` with a self-describing, checksummed
+/// header (magic, version, solver tag, gas model, grid shape, step count).
+///
+/// # Errors
+/// [`SolverError::BadInput`] on any I/O failure, with the path in the
+/// message.
+pub fn write_restart(path: &Path, meta: &RunMeta, snap: &Snapshot) -> Result<(), SolverError> {
+    let ctx = format!("write {}", path.display());
+    let file = std::fs::File::create(path).map_err(|e| io_err(&ctx, &e))?;
+    let mut w = std::io::BufWriter::new(file);
+    let inner = |w: &mut std::io::BufWriter<std::fs::File>| -> std::io::Result<()> {
+        w.write_all(&RESTART_MAGIC)?;
+        w.write_all(&RESTART_VERSION.to_le_bytes())?;
+        write_str(w, &meta.tag)?;
+        write_str(w, &meta.gas)?;
+        for dim in [meta.shape.0, meta.shape.1, meta.shape.2, snap.step] {
+            w.write_all(&(dim as u64).to_le_bytes())?;
+        }
+        w.write_all(&snap.cfl_scale.to_bits().to_le_bytes())?;
+        w.write_all(&(snap.data.len() as u64).to_le_bytes())?;
+        w.write_all(&snap.checksum().to_le_bytes())?;
+        for v in &snap.data {
+            w.write_all(&v.to_bits().to_le_bytes())?;
+        }
+        w.flush()
+    };
+    inner(&mut w).map_err(|e| io_err(&ctx, &e))?;
+    counters::add(Counter::CheckpointsWritten, 1);
+    Ok(())
+}
+
+/// Deserialize a restart file; verifies magic, version, and the state
+/// checksum.
+///
+/// # Errors
+/// [`SolverError::BadInput`] on I/O failure, malformed/foreign files, or a
+/// checksum mismatch (truncated or corrupted state).
+pub fn read_restart(path: &Path) -> Result<(RunMeta, Snapshot), SolverError> {
+    let ctx = format!("read {}", path.display());
+    let file = std::fs::File::open(path).map_err(|e| io_err(&ctx, &e))?;
+    let mut r = std::io::BufReader::new(file);
+    let inner =
+        |r: &mut std::io::BufReader<std::fs::File>| -> std::io::Result<(RunMeta, Snapshot, u64)> {
+            let magic = read_exact_buf::<4>(r)?;
+            if magic != RESTART_MAGIC {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "bad magic (not a restart file)",
+                ));
+            }
+            let version = u32::from_le_bytes(read_exact_buf::<4>(r)?);
+            if version != RESTART_VERSION {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("unsupported restart version {version}"),
+                ));
+            }
+            let tag = read_str(r)?;
+            let gas = read_str(r)?;
+            let mut dims = [0usize; 4];
+            for d in &mut dims {
+                *d = u64::from_le_bytes(read_exact_buf::<8>(r)?) as usize;
+            }
+            let cfl_scale = f64::from_bits(u64::from_le_bytes(read_exact_buf::<8>(r)?));
+            let n_data = u64::from_le_bytes(read_exact_buf::<8>(r)?) as usize;
+            let checksum = u64::from_le_bytes(read_exact_buf::<8>(r)?);
+            let mut data = Vec::with_capacity(n_data);
+            for _ in 0..n_data {
+                data.push(f64::from_bits(u64::from_le_bytes(read_exact_buf::<8>(r)?)));
+            }
+            Ok((
+                RunMeta {
+                    tag,
+                    gas,
+                    shape: (dims[0], dims[1], dims[2]),
+                },
+                Snapshot {
+                    step: dims[3],
+                    cfl_scale,
+                    data,
+                },
+                checksum,
+            ))
+        };
+    let (meta, snap, checksum) = inner(&mut r).map_err(|e| io_err(&ctx, &e))?;
+    if snap.checksum() != checksum {
+        return Err(SolverError::BadInput(format!(
+            "restart {}: checksum mismatch (file truncated or corrupted)",
+            path.display()
+        )));
+    }
+    Ok((meta, snap))
+}
+
+/// The contract a solver implements so [`run_controlled`] can own its outer
+/// loop.
+pub trait Steppable {
+    /// Advance one progress unit (a pseudo-time step or a march station);
+    /// returns a residual-like scalar. Implementations surface state
+    /// contamination and hard audit failures as typed errors here, so the
+    /// controller can roll back instead of aborting.
+    ///
+    /// # Errors
+    /// [`SolverError::NonFinite`] on NaN/Inf contamination,
+    /// [`SolverError::AuditFailed`] on a hard in-situ audit failure.
+    fn advance(&mut self) -> Result<f64, SolverError>;
+
+    /// Progress units completed so far.
+    fn progress(&self) -> usize;
+
+    /// Snapshot the persistent state (see [`Snapshot`]).
+    fn save_state(&self) -> Snapshot;
+
+    /// Restore a snapshot taken from a compatible solver.
+    ///
+    /// # Errors
+    /// [`SolverError::BadInput`] when the payload shape does not match this
+    /// solver's state.
+    fn restore_state(&mut self, snap: &Snapshot) -> Result<(), SolverError>;
+
+    /// Current CFL scale (1.0 = nominal).
+    fn cfl_scale(&self) -> f64;
+
+    /// Rescale the effective CFL (march solvers rescale their relaxation
+    /// factor — the same role).
+    fn set_cfl_scale(&mut self, scale: f64);
+
+    /// Force first-order reconstruction independent of the startup schedule
+    /// (rollback safety mode). Default: no-op for solvers without a
+    /// reconstruction order to drop.
+    fn set_first_order_fallback(&mut self, _on: bool) {}
+
+    /// Identity recorded in restart-file headers and verified on restore.
+    fn meta(&self) -> RunMeta;
+
+    /// The telemetry sink the controller records its residual and CFL
+    /// histories into.
+    fn telemetry_mut(&mut self) -> &mut RunTelemetry;
+
+    /// Converged/terminal bookkeeping the solver's own `run()` would have
+    /// done after its loop (e.g. the full-strictness converged-state audit).
+    ///
+    /// # Errors
+    /// Propagates hard audit failures.
+    fn finalize(&mut self, _converged: bool) -> Result<(), SolverError> {
+        Ok(())
+    }
+
+    /// Corrupt the state with a NaN — the fault-injection hook used by the
+    /// rollback tests and the `--inject-nan` CI drill. Never called in
+    /// normal operation.
+    fn poison(&mut self);
+}
+
+/// Policy knobs for [`run_controlled`].
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Maximum progress units (steps / stations).
+    pub max_units: usize,
+    /// Convergence tolerance on the residual ratio relative to the
+    /// reference captured at unit [`RunOptions::grace`]; `0.0` disables the
+    /// convergence test (run all units — march mode).
+    pub tol: f64,
+    /// Unit at which the reference residual is captured (typically the
+    /// startup-step count); also extends the divergence monitor's grace.
+    pub grace: usize,
+    /// Checkpoint cadence in units; `0` keeps only the initial snapshot.
+    pub checkpoint_every: usize,
+    /// In-memory checkpoint-ring depth.
+    pub ring: usize,
+    /// Rollback/retry budget before the failure is surfaced.
+    pub max_retries: usize,
+    /// CFL-scale multiplier per rollback (exponential backoff).
+    pub backoff: f64,
+    /// CFL-scale floor.
+    pub min_cfl_scale: f64,
+    /// Clean units after which a backed-off CFL is re-ramped one backoff
+    /// notch toward nominal; `0` disables re-ramping.
+    pub reramp_after: usize,
+    /// Drop to first-order reconstruction while backed off.
+    pub first_order_fallback: bool,
+    /// Write an on-disk restart file at each checkpoint.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Restore from this restart file before the first unit.
+    pub restart_from: Option<PathBuf>,
+    /// Fault injection: poison the state once, after this unit completes.
+    pub inject_nan_at: Option<usize>,
+    /// Deterministic mid-run halt after this unit (the CI kill/resume
+    /// drill): the controller stops and reports `halted = true`.
+    pub halt_after: Option<usize>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            max_units: usize::MAX,
+            tol: 0.0,
+            grace: 0,
+            checkpoint_every: 0,
+            ring: 4,
+            max_retries: 3,
+            backoff: 0.5,
+            min_cfl_scale: 1.0 / 64.0,
+            reramp_after: 50,
+            first_order_fallback: false,
+            checkpoint_path: None,
+            restart_from: None,
+            inject_nan_at: None,
+            halt_after: None,
+        }
+    }
+}
+
+/// What a controlled run did.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Progress units completed.
+    pub units: usize,
+    /// Last raw residual.
+    pub residual: f64,
+    /// Last residual ratio relative to the grace-point reference (1.0 when
+    /// the convergence test is disabled).
+    pub ratio: f64,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+    /// Retry attempts consumed.
+    pub retries: usize,
+    /// Rollbacks performed (== retries; kept separate for reporting).
+    pub rollbacks: usize,
+    /// CFL scale in effect at the end.
+    pub final_cfl_scale: f64,
+    /// True when the run stopped at [`RunOptions::halt_after`].
+    pub halted: bool,
+}
+
+/// Whether an error is worth a rollback-and-retry (transient/state-local)
+/// rather than a hard abort (bad input, missing file).
+#[must_use]
+pub fn recoverable(e: &SolverError) -> bool {
+    matches!(
+        e,
+        SolverError::NonFinite { .. }
+            | SolverError::Diverged { .. }
+            | SolverError::AuditFailed { .. }
+            | SolverError::IterationLimit { .. }
+    )
+}
+
+fn fresh_monitor(opts: &RunOptions) -> ResidualMonitor {
+    ResidualMonitor::with_options(MonitorOptions {
+        grace: opts.grace + 25,
+        ..MonitorOptions::default()
+    })
+}
+
+/// Run a [`Steppable`] solver to convergence (or through all its units)
+/// under checkpoint/rollback control. See the module docs for the policy.
+///
+/// Records `runctl_residual` and `runctl_cfl_scale` histories and the
+/// `runctl` phase timing in the solver's telemetry.
+///
+/// # Errors
+/// Surfaces the underlying [`SolverError`] once the retry budget is
+/// exhausted or the failure is not [`recoverable`]; restart-file errors
+/// (missing, corrupt, or incompatible with this solver) are
+/// [`SolverError::BadInput`].
+#[allow(clippy::too_many_lines)]
+pub fn run_controlled<S: Steppable + ?Sized>(
+    solver: &mut S,
+    opts: &RunOptions,
+) -> Result<RunOutcome, SolverError> {
+    let t0 = std::time::Instant::now();
+
+    if let Some(path) = &opts.restart_from {
+        let (meta, snap) = read_restart(path)?;
+        let own = solver.meta();
+        if meta.tag != own.tag || meta.shape != own.shape {
+            return Err(SolverError::BadInput(format!(
+                "restart {}: incompatible header (file {}/{:?} vs solver {}/{:?})",
+                path.display(),
+                meta.tag,
+                meta.shape,
+                own.tag,
+                own.shape,
+            )));
+        }
+        solver.restore_state(&snap)?;
+    }
+
+    let ring_depth = opts.ring.max(1);
+    let mut ring: VecDeque<Snapshot> = VecDeque::with_capacity(ring_depth);
+    ring.push_back(solver.save_state());
+
+    let mut monitor = fresh_monitor(opts);
+    let mut residual_history: Vec<f64> = Vec::new();
+    let mut cfl_history: Vec<f64> = Vec::new();
+    let mut scale = solver.cfl_scale();
+    let mut inject = opts.inject_nan_at;
+    let mut reference = f64::NAN;
+    let mut last_res = f64::NAN;
+    let mut last_ratio = 1.0;
+    let mut converged = false;
+    let mut halted = false;
+    let mut retries = 0usize;
+    let mut rollbacks = 0usize;
+    let mut clean = 0usize;
+    let mut rolled_back = false;
+    let mut failure: Option<SolverError> = None;
+
+    while solver.progress() < opts.max_units {
+        let unit0 = solver.progress();
+        let outcome = match solver.advance() {
+            Ok(r) => monitor.record(r).map(|()| r),
+            Err(e) => Err(e),
+        };
+        match outcome {
+            Ok(r) => {
+                last_res = r;
+                clean += 1;
+                let unit = solver.progress();
+                cfl_history.push(scale);
+                // Checkpoint *before* any fault injection so neither the
+                // ring nor the restart file ever holds poisoned state.
+                if opts.checkpoint_every != 0 && unit.is_multiple_of(opts.checkpoint_every) {
+                    let snap = solver.save_state();
+                    if let Some(path) = &opts.checkpoint_path {
+                        write_restart(path, &solver.meta(), &snap)?;
+                    }
+                    if ring.len() == ring_depth {
+                        ring.pop_front();
+                    }
+                    ring.push_back(snap);
+                    rolled_back = false;
+                }
+                if inject == Some(unit) {
+                    solver.poison();
+                    inject = None;
+                }
+                if scale < 1.0 && opts.reramp_after != 0 && clean >= opts.reramp_after {
+                    scale = (scale / opts.backoff).min(1.0);
+                    solver.set_cfl_scale(scale);
+                    if scale >= 1.0 {
+                        solver.set_first_order_fallback(false);
+                    }
+                    clean = 0;
+                }
+                if opts.tol > 0.0 {
+                    if unit0 == opts.grace {
+                        reference = r.max(1e-300);
+                    }
+                    if reference.is_finite() {
+                        last_ratio = r / reference;
+                        if last_ratio < opts.tol {
+                            converged = true;
+                            break;
+                        }
+                    }
+                }
+                if opts.halt_after == Some(unit) {
+                    halted = true;
+                    break;
+                }
+            }
+            Err(e) => {
+                if !recoverable(&e) || retries >= opts.max_retries {
+                    failure = Some(e);
+                    break;
+                }
+                // If the newest checkpoint already failed to rescue the run
+                // (no clean checkpoint written since the last rollback), it
+                // captured corrupted-but-finite state — e.g. a NaN laundered
+                // through a positivity floor before the blowup registered.
+                // Discard it and fall back one ring level.
+                if rolled_back && ring.len() > 1 {
+                    ring.pop_back();
+                }
+                // The back of the ring is the most recent good state; it
+                // always exists (the pre-run snapshot is never evicted
+                // without a replacement).
+                let snap = ring.back().expect("checkpoint ring is never empty");
+                solver.restore_state(snap)?;
+                scale = (scale * opts.backoff).max(opts.min_cfl_scale);
+                solver.set_cfl_scale(scale);
+                if opts.first_order_fallback {
+                    solver.set_first_order_fallback(true);
+                }
+                retries += 1;
+                rollbacks += 1;
+                clean = 0;
+                rolled_back = true;
+                counters::add(Counter::RunRollbacks, 1);
+                // Residual history restarts from the rolled-back state.
+                residual_history.extend(monitor.into_history());
+                monitor = fresh_monitor(opts);
+            }
+        }
+    }
+
+    if failure.is_none() && !halted {
+        if let Err(e) = solver.finalize(converged) {
+            failure = Some(e);
+        }
+    }
+
+    let units = solver.progress();
+    residual_history.extend(monitor.into_history());
+    let telemetry = solver.telemetry_mut();
+    telemetry.add_phase_secs("runctl", t0.elapsed().as_secs_f64());
+    telemetry.record_history("runctl_residual", residual_history);
+    telemetry.record_history("runctl_cfl_scale", cfl_history);
+
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(RunOutcome {
+            units,
+            residual: last_res,
+            ratio: last_ratio,
+            converged,
+            retries,
+            rollbacks,
+            final_cfl_scale: scale,
+            halted,
+        }),
+    }
+}
+
+/// Outcome of [`retry_with_backoff`].
+#[derive(Debug, Clone)]
+pub struct RetryOutcome<T> {
+    /// The successful attempt's value.
+    pub value: T,
+    /// Attempts retried before success.
+    pub retries: usize,
+    /// Scale the successful attempt ran at.
+    pub final_scale: f64,
+}
+
+/// Rollback policy for single-shot solvers with no incremental state: call
+/// `attempt(scale)` starting at scale 1.0; on a [`recoverable`] error,
+/// multiply the scale by `backoff` (clamped at `min_scale`) and retry, up
+/// to `max_retries` times. Solvers interpret the scale as a relaxation /
+/// step-size reduction.
+///
+/// # Errors
+/// The last attempt's error once the budget is exhausted, or immediately
+/// for non-recoverable errors.
+pub fn retry_with_backoff<T>(
+    max_retries: usize,
+    backoff: f64,
+    min_scale: f64,
+    mut attempt: impl FnMut(f64) -> Result<T, SolverError>,
+) -> Result<RetryOutcome<T>, SolverError> {
+    let mut scale = 1.0_f64;
+    let mut retries = 0usize;
+    loop {
+        match attempt(scale) {
+            Ok(value) => {
+                return Ok(RetryOutcome {
+                    value,
+                    retries,
+                    final_scale: scale,
+                })
+            }
+            Err(e) if retries < max_retries && recoverable(&e) => {
+                retries += 1;
+                scale = (scale * backoff).max(min_scale);
+                counters::add(Counter::RunRollbacks, 1);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scalar relaxation toward 0 that becomes unstable at full CFL after
+    /// a configurable step, and is cured by any backed-off scale — the
+    /// smallest system with a genuine rollback story.
+    struct ToyRelax {
+        x: f64,
+        steps: usize,
+        cfl_scale: f64,
+        unstable_at: Option<usize>,
+        telemetry: RunTelemetry,
+        finalized: Option<bool>,
+    }
+
+    impl ToyRelax {
+        fn new(unstable_at: Option<usize>) -> Self {
+            Self {
+                x: 1.0,
+                steps: 0,
+                cfl_scale: 1.0,
+                unstable_at,
+                telemetry: RunTelemetry::new(),
+                finalized: None,
+            }
+        }
+    }
+
+    impl Steppable for ToyRelax {
+        fn advance(&mut self) -> Result<f64, SolverError> {
+            if self.unstable_at == Some(self.steps) && self.cfl_scale >= 1.0 {
+                self.x = f64::NAN;
+            }
+            self.x *= 1.0 - 0.5 * self.cfl_scale;
+            self.steps += 1;
+            if !self.x.is_finite() {
+                return Err(SolverError::NonFinite {
+                    field: "x",
+                    i: self.steps,
+                    j: 0,
+                });
+            }
+            Ok(self.x.abs().max(1e-30))
+        }
+        fn progress(&self) -> usize {
+            self.steps
+        }
+        fn save_state(&self) -> Snapshot {
+            Snapshot {
+                step: self.steps,
+                cfl_scale: self.cfl_scale,
+                data: vec![self.x],
+            }
+        }
+        fn restore_state(&mut self, snap: &Snapshot) -> Result<(), SolverError> {
+            if snap.data.len() != 1 {
+                return Err(SolverError::BadInput("toy payload".into()));
+            }
+            self.x = snap.data[0];
+            self.steps = snap.step;
+            self.cfl_scale = snap.cfl_scale;
+            Ok(())
+        }
+        fn cfl_scale(&self) -> f64 {
+            self.cfl_scale
+        }
+        fn set_cfl_scale(&mut self, scale: f64) {
+            self.cfl_scale = scale;
+        }
+        fn meta(&self) -> RunMeta {
+            RunMeta {
+                tag: "toy".into(),
+                gas: "none".into(),
+                shape: (1, 1, 1),
+            }
+        }
+        fn telemetry_mut(&mut self) -> &mut RunTelemetry {
+            &mut self.telemetry
+        }
+        fn finalize(&mut self, converged: bool) -> Result<(), SolverError> {
+            self.finalized = Some(converged);
+            Ok(())
+        }
+        fn poison(&mut self) {
+            self.x = f64::NAN;
+        }
+    }
+
+    #[test]
+    fn startup_schedule_matches_inline_policy() {
+        for steps in [0usize, 10, 199, 200, 5000] {
+            let (fo, cfl) = startup_schedule(steps, 200, 0.5);
+            assert_eq!(fo, steps < 200);
+            let want: f64 = if steps < 200 { 0.4 * 0.5 } else { 0.5 };
+            assert_eq!(cfl.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn clean_run_never_rolls_back() {
+        let mut toy = ToyRelax::new(None);
+        let out = run_controlled(
+            &mut toy,
+            &RunOptions {
+                max_units: 60,
+                tol: 1e-6,
+                checkpoint_every: 10,
+                ..RunOptions::default()
+            },
+        )
+        .expect("clean run");
+        assert!(out.converged);
+        assert_eq!(out.retries, 0);
+        assert_eq!(out.rollbacks, 0);
+        assert_eq!(out.final_cfl_scale.to_bits(), 1.0_f64.to_bits());
+        assert_eq!(toy.finalized, Some(true));
+        assert!(toy
+            .telemetry
+            .histories()
+            .iter()
+            .any(|(name, _)| name == "runctl_residual"));
+    }
+
+    #[test]
+    fn instability_rolls_back_and_backs_off() {
+        let mut toy = ToyRelax::new(Some(23));
+        let out = run_controlled(
+            &mut toy,
+            &RunOptions {
+                max_units: 200,
+                tol: 1e-9,
+                checkpoint_every: 5,
+                reramp_after: 0,
+                ..RunOptions::default()
+            },
+        )
+        .expect("recovered run");
+        assert!(out.converged, "backed-off run should converge");
+        assert_eq!(out.retries, 1);
+        assert_eq!(out.rollbacks, 1);
+        assert!(out.final_cfl_scale < 1.0);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_surfaces_the_error() {
+        // Unstable at step 0 regardless of checkpoints, budget 0: the error
+        // must surface unchanged.
+        let mut toy = ToyRelax::new(Some(0));
+        let err = run_controlled(
+            &mut toy,
+            &RunOptions {
+                max_units: 10,
+                max_retries: 0,
+                ..RunOptions::default()
+            },
+        )
+        .expect_err("no budget");
+        assert!(matches!(err, SolverError::NonFinite { .. }));
+    }
+
+    #[test]
+    fn injected_nan_is_rolled_back() {
+        let mut toy = ToyRelax::new(None);
+        let out = run_controlled(
+            &mut toy,
+            &RunOptions {
+                max_units: 80,
+                tol: 1e-9,
+                checkpoint_every: 4,
+                inject_nan_at: Some(14),
+                reramp_after: 0,
+                ..RunOptions::default()
+            },
+        )
+        .expect("recovered from injected NaN");
+        assert!(out.retries >= 1);
+        assert!(out.converged);
+        assert!(toy.x.is_finite());
+    }
+
+    #[test]
+    fn halt_after_stops_mid_run() {
+        let mut toy = ToyRelax::new(None);
+        let out = run_controlled(
+            &mut toy,
+            &RunOptions {
+                max_units: 100,
+                halt_after: Some(7),
+                ..RunOptions::default()
+            },
+        )
+        .expect("halted run");
+        assert!(out.halted);
+        assert_eq!(out.units, 7);
+        assert_eq!(toy.finalized, None, "finalize must not run on a halt");
+    }
+
+    #[test]
+    fn restart_file_roundtrip_is_bitwise() {
+        let dir = std::env::temp_dir().join(format!("runctl-rt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.restart");
+        let snap = Snapshot {
+            step: 41,
+            cfl_scale: 0.25,
+            data: vec![1.0, -0.0, f64::MIN_POSITIVE, 3.5e200, f64::NAN],
+        };
+        let meta = RunMeta {
+            tag: "toy".into(),
+            gas: "ideal air".into(),
+            shape: (3, 7, 4),
+        };
+        write_restart(&path, &meta, &snap).expect("write");
+        let (meta2, snap2) = read_restart(&path).expect("read");
+        assert_eq!(meta, meta2);
+        assert_eq!(snap2.step, snap.step);
+        assert_eq!(snap2.cfl_scale.to_bits(), snap.cfl_scale.to_bits());
+        assert_eq!(snap2.data.len(), snap.data.len());
+        for (a, b) in snap.data.iter().zip(&snap2.data) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_restart_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("runctl-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.restart");
+        let snap = Snapshot {
+            step: 5,
+            cfl_scale: 1.0,
+            data: vec![1.0; 16],
+        };
+        let meta = RunMeta {
+            tag: "toy".into(),
+            gas: "none".into(),
+            shape: (4, 4, 1),
+        };
+        write_restart(&path, &meta, &snap).expect("write");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 3;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_restart(&path).expect_err("corruption must be caught");
+        assert!(format!("{err}").contains("checksum"), "got: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn incompatible_restart_header_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("runctl-hdr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("other.restart");
+        let snap = Snapshot {
+            step: 2,
+            cfl_scale: 1.0,
+            data: vec![0.5],
+        };
+        let meta = RunMeta {
+            tag: "somethingelse".into(),
+            gas: "none".into(),
+            shape: (9, 9, 9),
+        };
+        write_restart(&path, &meta, &snap).expect("write");
+        let mut toy = ToyRelax::new(None);
+        let err = run_controlled(
+            &mut toy,
+            &RunOptions {
+                max_units: 5,
+                restart_from: Some(path),
+                ..RunOptions::default()
+            },
+        )
+        .expect_err("foreign restart");
+        assert!(format!("{err}").contains("incompatible"), "got: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retry_with_backoff_halves_until_success() {
+        let out = retry_with_backoff(5, 0.5, 1e-3, |scale| {
+            if scale > 0.3 {
+                Err(SolverError::IterationLimit {
+                    context: "toy".into(),
+                    iters: 1,
+                    residual: 1.0,
+                })
+            } else {
+                Ok(scale)
+            }
+        })
+        .expect("eventually succeeds");
+        assert_eq!(out.retries, 2);
+        assert_eq!(out.final_scale.to_bits(), 0.25_f64.to_bits());
+    }
+
+    #[test]
+    fn retry_with_backoff_passes_through_hard_errors() {
+        let err = retry_with_backoff(5, 0.5, 1e-3, |_| -> Result<(), SolverError> {
+            Err(SolverError::BadInput("nope".into()))
+        })
+        .expect_err("bad input is not retried");
+        assert!(matches!(err, SolverError::BadInput(_)));
+    }
+}

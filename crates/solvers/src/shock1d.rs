@@ -79,7 +79,9 @@ impl RelaxationSolution {
     /// Station nearest to `x`.
     ///
     /// # Panics
-    /// Panics if the solution is empty.
+    /// Panics if the solution is empty — unreachable for solutions produced
+    /// by [`solve`], which errors rather than returning an empty march (the
+    /// integrator records the x = 0 state before its first step).
     #[must_use]
     pub fn at(&self, x: f64) -> &RelaxationPoint {
         self.points
@@ -102,11 +104,42 @@ impl RelaxationSolution {
 ///
 /// # Errors
 /// Propagates shock-jump or integration failures with context.
-#[allow(clippy::too_many_lines)]
 pub fn solve(
     reactions: &ReactionSet,
     relaxation: &RelaxationModel,
     problem: &RelaxationProblem,
+) -> Result<RelaxationSolution, SolverError> {
+    solve_scaled(reactions, relaxation, problem, 1.0)
+}
+
+/// [`solve`] under the shared retry/backoff policy
+/// ([`crate::runctl::retry_with_backoff`]): a recoverable integration
+/// failure is retried with the adaptive step sizes scaled down. The returned
+/// [`crate::runctl::RetryOutcome`] carries the solution plus the retries
+/// consumed and the scale that succeeded.
+///
+/// # Errors
+/// The last attempt's error once the budget is exhausted, or immediately
+/// for non-recoverable failures (bad upstream state, mechanism mismatch).
+pub fn solve_with_retry(
+    reactions: &ReactionSet,
+    relaxation: &RelaxationModel,
+    problem: &RelaxationProblem,
+    max_retries: usize,
+) -> Result<crate::runctl::RetryOutcome<RelaxationSolution>, SolverError> {
+    crate::runctl::retry_with_backoff(max_retries, 0.5, 1.0 / 64.0, |scale| {
+        solve_scaled(reactions, relaxation, problem, scale)
+    })
+}
+
+/// Relaxation march at a given step-size scale (1.0 = nominal adaptive
+/// steps; backoff shrinks the initial and maximum step).
+#[allow(clippy::too_many_lines)]
+fn solve_scaled(
+    reactions: &ReactionSet,
+    relaxation: &RelaxationModel,
+    problem: &RelaxationProblem,
+    step_scale: f64,
 ) -> Result<RelaxationSolution, SolverError> {
     let mix = reactions.mixture();
     let ns = mix.len();
@@ -150,6 +183,9 @@ pub fn solve(
 
     // Closure: from marched state (y, ev) recover (u, rho, p, T, Tv).
     let close = |y: &[f64], ev: f64| -> Result<(f64, f64, f64, f64, f64), String> {
+        // The Tv inversion can only fail above the vibronic-energy ceiling of
+        // its bracketing search; cap at 200 kK (beyond any post-shock state
+        // here) and let the outer algebraic closure iterate back down.
         let tv = mix
             .tv_from_vibronic_energy(ev.max(0.0), y, tv_cache.get())
             .unwrap_or(200_000.0);
@@ -226,9 +262,9 @@ pub fn solve(
         &AdaptiveOptions {
             rtol: 1e-5,
             atol: 1e-10,
-            h0: 1e-9,
+            h0: 1e-9 * step_scale,
             hmin: 1e-16,
-            hmax: problem.x_end / 50.0,
+            hmax: problem.x_end / 50.0 * step_scale,
             max_steps: 200_000,
         },
         |x, state| raw.push((x, state.to_vec())),

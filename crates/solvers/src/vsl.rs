@@ -198,8 +198,38 @@ impl PropertyTable {
 /// Propagates shock-jump, property-table, and convergence failures as
 /// typed [`SolverError`]s ([`SolverError::IterationLimit`] when the
 /// standoff iteration exhausts its budget).
-#[allow(clippy::too_many_lines)]
 pub fn solve(gas: &EquilibriumGas, problem: &VslProblem) -> Result<VslSolution, SolverError> {
+    solve_scaled(gas, problem, 1.0)
+}
+
+/// [`solve`] under the shared retry/backoff policy
+/// ([`crate::runctl::retry_with_backoff`]): on a recoverable failure (the
+/// standoff iteration exhausting its budget, non-finite contamination) the
+/// under-relaxation factor is scaled down and the solve repeated. The
+/// returned [`crate::runctl::RetryOutcome`] carries the solution plus the
+/// retries consumed and the scale that succeeded.
+///
+/// # Errors
+/// The last attempt's error once the budget is exhausted, or immediately
+/// for non-recoverable failures (bad inputs, table construction).
+pub fn solve_with_retry(
+    gas: &EquilibriumGas,
+    problem: &VslProblem,
+    max_retries: usize,
+) -> Result<crate::runctl::RetryOutcome<VslSolution>, SolverError> {
+    crate::runctl::retry_with_backoff(max_retries, 0.5, 1.0 / 64.0, |scale| {
+        solve_scaled(gas, problem, scale)
+    })
+}
+
+/// Stagnation solve at a given under-relaxation scale (1.0 = the nominal
+/// 0.7 factor; backoff multiplies it down).
+#[allow(clippy::too_many_lines)]
+fn solve_scaled(
+    gas: &EquilibriumGas,
+    problem: &VslProblem,
+    relax_scale: f64,
+) -> Result<VslSolution, SolverError> {
     let mut telemetry = RunTelemetry::new();
     let p_inf = problem.rho_inf * aerothermo_numerics::constants::R_UNIVERSAL * problem.t_inf / {
         // Cold-gas molar mass. The composition is frozen molecular well
@@ -352,7 +382,9 @@ pub fn solve(gas: &EquilibriumGas, problem: &VslProblem) -> Result<VslSolution, 
             // Under-relaxed update; track convergence.
             let mut du = 0.0_f64;
             for i in 0..n {
-                let relax = 0.7;
+                // Nominal 0.7, rescaled by the retry policy's backoff
+                // (exactly 0.7 at scale 1.0).
+                let relax = 0.7 * relax_scale;
                 let u_next = (1.0 - relax) * u_fn[i] + relax * u_new[i];
                 let h_next = (1.0 - relax) * h[i]
                     + relax * h_new[i].clamp(table.h_of_t.eval(t_lo), table.h_of_t.eval(t_hi));
@@ -538,84 +570,136 @@ pub struct VslMarchSolution {
     pub telemetry: RunTelemetry,
 }
 
-/// Windward-forebody VSL march: solves the shock layer at stations along an
-/// axisymmetric body in the local-similarity approximation — the mode in
-/// which the era's VSL codes produced whole-forebody heating environments.
+/// Station-stepped form of the windward-forebody VSL march (see [`march`]).
 ///
-/// At each station the normal momentum/energy two-point problem of the
-/// stagnation solver is re-solved with:
-///
-/// * modified-Newtonian edge pressure `p_e(s)` and the isentropic
-///   effective-γ edge velocity `u_e(s)`,
-/// * the streamwise-divergence continuity
-///   `ρv(y) = −Λ(s)·∫ρu dy`, `Λ = d ln(u_e·r_b)/ds` (axisymmetric growth),
-/// * the shock-swallowing mass balance `∫ρu dy = ρ∞·u∞·r_b/2` fixing the
-///   local layer thickness δ(s).
-///
-/// Equilibrium properties come from the stagnation-pressure table with
-/// ideal-gas pressure scaling of the density (composition shifts with
-/// pressure are second order across the windward layer).
-///
-/// # Errors
-/// Propagates shock and table failures; stations that fail to converge are
-/// skipped with their index reported in the error when all fail.
-#[allow(clippy::too_many_lines)]
-pub fn march(
-    gas: &EquilibriumGas,
-    problem: &VslProblem,
-    body: &dyn aerothermo_grid::bodies::Body,
+/// The station-independent preamble (freestream state, equilibrium shock
+/// jump, property table, stagnation quantities) is computed once in
+/// [`VslMarcher::new`]; each call to [`VslMarcher::advance_station`] then
+/// solves one station, so the run controller can checkpoint, roll back, and
+/// rescale the under-relaxation between stations.
+pub struct VslMarcher<'a> {
+    problem: VslProblem,
+    body: &'a dyn aerothermo_grid::bodies::Body,
     n_stations: usize,
-) -> Result<VslMarchSolution, SolverError> {
-    let mut telemetry = RunTelemetry::new();
-    let march_t0 = std::time::Instant::now();
-    let p_inf = problem.rho_inf * aerothermo_numerics::constants::R_UNIVERSAL * problem.t_inf
-        / gas
+    gas_desc: String,
+    // Station-independent preamble.
+    p_inf: f64,
+    p_stag: f64,
+    table: PropertyTable,
+    h0: f64,
+    gamma_e: f64,
+    smax: f64,
+    n: usize,
+    xi: Vec<f64>,
+    h_wall: f64,
+    t_lo: f64,
+    t_hi: f64,
+    mdot_inf: f64,
+    // Run-control state.
+    next_station: usize,
+    relax_scale: f64,
+    stations: Vec<VslMarchStation>,
+    telemetry: RunTelemetry,
+    march_t0: std::time::Instant,
+}
+
+impl<'a> VslMarcher<'a> {
+    /// Compute the station-independent preamble and position the march at
+    /// station 1.
+    ///
+    /// # Errors
+    /// Propagates freestream-state, equilibrium-shock, and property-table
+    /// failures.
+    pub fn new(
+        gas: &EquilibriumGas,
+        problem: &VslProblem,
+        body: &'a dyn aerothermo_grid::bodies::Body,
+        n_stations: usize,
+    ) -> Result<Self, SolverError> {
+        let march_t0 = std::time::Instant::now();
+        // One freestream evaluation serves both the cold-gas molar mass and
+        // the total enthalpy below (the latter used to silently fall back to
+        // 0.0 on a second, failable evaluation).
+        let fs = gas
             .at_trho(problem.t_inf.max(600.0), problem.rho_inf)
-            .map_err(|e| format!("freestream state: {e}"))?
-            .molar_mass;
-    let jump = crate::shock::normal_shock(gas, problem.rho_inf, p_inf, problem.u_inf)
-        .map_err(|e| format!("equilibrium shock: {e}"))?;
-    let p_stag = jump.p + 0.5 * jump.rho * jump.u * jump.u;
-    let t_edge0 = jump.t;
-    let t_lo = (0.6 * problem.t_wall).max(250.0);
-    let t_hi = (t_edge0 * 1.35).min(45_000.0);
-    let table = PropertyTable::build(gas, p_stag, t_lo, t_hi)?;
-    let h0 = {
-        let e1 = jump.e + 0.5 * jump.u * jump.u; // total enthalpy − p/ρ terms folded below
-        let _ = e1;
+            .map_err(|e| format!("freestream state: {e}"))?;
+        let p_inf = problem.rho_inf * aerothermo_numerics::constants::R_UNIVERSAL * problem.t_inf
+            / fs.molar_mass;
+        let jump = crate::shock::normal_shock(gas, problem.rho_inf, p_inf, problem.u_inf)
+            .map_err(|e| format!("equilibrium shock: {e}"))?;
+        let p_stag = jump.p + 0.5 * jump.rho * jump.u * jump.u;
+        let t_edge0 = jump.t;
+        let t_lo = (0.6 * problem.t_wall).max(250.0);
+        let t_hi = (t_edge0 * 1.35).min(45_000.0);
+        let table = PropertyTable::build(gas, p_stag, t_lo, t_hi)?;
         // Total enthalpy from the freestream state directly.
-        gas.at_trho(problem.t_inf.max(600.0), problem.rho_inf)
-            .map(|st| st.enthalpy)
-            .unwrap_or(0.0)
-            + 0.5 * problem.u_inf * problem.u_inf
-    };
-    // Effective expansion exponent at the stagnation state.
-    let gamma_e = {
-        let rho_s = table.rho_of_t.eval(t_edge0);
-        let e_s = table.h_of_t.eval(t_edge0) - p_stag / rho_s;
-        1.0 + p_stag / (rho_s * e_s.max(1e3))
-    };
+        let h0 = fs.enthalpy + 0.5 * problem.u_inf * problem.u_inf;
+        // Effective expansion exponent at the stagnation state.
+        let gamma_e = {
+            let rho_s = table.rho_of_t.eval(t_edge0);
+            let e_s = table.h_of_t.eval(t_edge0) - p_stag / rho_s;
+            1.0 + p_stag / (rho_s * e_s.max(1e3))
+        };
 
-    let smax = body.arc_length();
-    let n = problem.n_points.max(12);
-    let xi = aerothermo_grid::stretch::tanh_two_sided(n, 2.2);
-    let h_wall = table.h_of_t.eval(problem.t_wall);
-    let mdot_inf = problem.rho_inf * problem.u_inf;
+        let smax = body.arc_length();
+        let n = problem.n_points.max(12);
+        let xi = aerothermo_grid::stretch::tanh_two_sided(n, 2.2);
+        let h_wall = table.h_of_t.eval(problem.t_wall);
+        let mdot_inf = problem.rho_inf * problem.u_inf;
+        Ok(Self {
+            problem: problem.clone(),
+            body,
+            n_stations,
+            gas_desc: format!("equilibrium({} species)", gas.mixture().species().len()),
+            p_inf,
+            p_stag,
+            table,
+            h0,
+            gamma_e,
+            smax,
+            n,
+            xi,
+            h_wall,
+            t_lo,
+            t_hi,
+            mdot_inf,
+            next_station: 1,
+            relax_scale: 1.0,
+            stations: Vec::new(),
+            telemetry: RunTelemetry::new(),
+            march_t0,
+        })
+    }
 
-    let mut out = Vec::new();
-    for k in 1..=n_stations {
+    /// Stations converged so far.
+    #[must_use]
+    pub fn stations(&self) -> &[VslMarchStation] {
+        &self.stations
+    }
+
+    /// Solve one station's shock-layer two-point problem. `Ok(None)` when
+    /// the station is geometrically degenerate or fails to converge (the
+    /// march skips it, matching the original loop's semantics).
+    #[allow(clippy::too_many_lines)]
+    fn solve_station(&self, k: usize) -> Result<Option<VslMarchStation>, SolverError> {
         let _sp = aerothermo_numerics::trace::span("vsl_station");
+        let (problem, body, table) = (&self.problem, self.body, &self.table);
+        let (p_inf, p_stag, h0, gamma_e) = (self.p_inf, self.p_stag, self.h0, self.gamma_e);
+        let (smax, n, h_wall, mdot_inf) = (self.smax, self.n, self.h_wall, self.mdot_inf);
+        let (t_lo, t_hi) = (self.t_lo, self.t_hi);
+        let xi = &self.xi;
+        let n_stations = self.n_stations;
         let s = smax * k as f64 / n_stations as f64;
         let theta = body.body_angle(s);
         let (_, r_b) = body.point(s);
         if r_b < 1e-6 {
-            continue;
+            return Ok(None);
         }
         let p_e = p_inf + (p_stag - p_inf) * theta.sin().powi(2);
         let u_e =
             (2.0 * h0 * (1.0 - (p_e / p_stag).powf((gamma_e - 1.0) / gamma_e)).max(0.0)).sqrt();
         if u_e < 1.0 {
-            continue;
+            return Ok(None);
         }
         let h_e = (h0 - 0.5 * u_e * u_e).max(h_wall * 1.05);
         let t_e = table.t(h_e);
@@ -741,7 +825,9 @@ pub fn march(
 
                 let mut du = 0.0_f64;
                 for i in 0..n {
-                    let relax = 0.7;
+                    // Nominal 0.7, rescaled by the run controller's backoff
+                    // (exactly 0.7 at scale 1.0).
+                    let relax = 0.7 * self.relax_scale;
                     let un = (1.0 - relax) * u[i] + relax * u_new[i];
                     let hn = (1.0 - relax) * h[i]
                         + relax * h_new[i].clamp(table.h_of_t.eval(t_lo), table.h_of_t.eval(t_hi));
@@ -796,7 +882,7 @@ pub fn march(
         }
 
         if converged {
-            out.push(VslMarchStation {
+            Ok(Some(VslMarchStation {
                 s,
                 r_body: r_b,
                 p_edge: p_e,
@@ -804,71 +890,249 @@ pub fn march(
                 delta,
                 q_conv,
                 q_rad_thin: q_rad,
-            });
+            }))
+        } else {
+            Ok(None)
         }
     }
-    if out.is_empty() {
-        return Err(SolverError::Numerical(
-            "VSL march: no station converged".to_string(),
-        ));
-    }
-    telemetry.add_phase_secs("vsl_march", march_t0.elapsed().as_secs_f64());
-    telemetry.record_history(
-        "station_q_conv",
-        out.iter().map(|st| st.q_conv).collect::<Vec<_>>(),
-    );
 
-    // Physics audits over the converged stations: layer thickness and wall
-    // fluxes must stay positive (radiative flux nonnegative) everywhere.
-    if crate::audit::cadence() != 0 {
-        let mut min_delta = f64::INFINITY;
-        let mut min_delta_at = 0usize;
-        let mut min_q_conv = f64::INFINITY;
-        let mut min_q_conv_at = 0usize;
-        let mut min_q_rad = f64::INFINITY;
-        let mut max_q_rad = 0.0_f64;
-        for (k, st) in out.iter().enumerate() {
-            if st.delta < min_delta {
-                min_delta = st.delta;
-                min_delta_at = k;
+    /// Solve the next station and record it if it converged; skipped
+    /// stations advance the cursor without adding a record. Returns whether
+    /// the station converged.
+    ///
+    /// # Errors
+    /// Propagates tridiagonal-solve failures at the station.
+    pub fn advance_station(&mut self) -> Result<bool, SolverError> {
+        let k = self.next_station;
+        let station = self.solve_station(k)?;
+        self.next_station = k + 1;
+        match station {
+            Some(st) => {
+                self.stations.push(st);
+                Ok(true)
             }
-            if st.q_conv < min_q_conv {
-                min_q_conv = st.q_conv;
-                min_q_conv_at = k;
-            }
-            min_q_rad = min_q_rad.min(st.q_rad_thin);
-            max_q_rad = max_q_rad.max(st.q_rad_thin);
+            None => Ok(false),
         }
-        let mut findings = vec![
-            crate::audit::positivity_finding(
-                "layer_thickness_positivity",
-                min_delta,
-                (min_delta_at, 0),
-                out.len(),
-            ),
-            crate::audit::positivity_finding(
-                "convective_flux_positivity",
-                min_q_conv,
-                (min_q_conv_at, 0),
-                out.len(),
-            ),
-        ];
-        if problem.radiating {
-            findings.push(crate::audit::graded(
-                "radiative_flux_nonnegativity",
-                (-min_q_rad).max(0.0) / max_q_rad.max(1e-300),
-                1e-12,
-                1e-3,
-                out.len(),
-                format!("min station radiative wall flux {min_q_rad:.3e} W/m²"),
+    }
+
+    /// Close out the march: phase timing, heating history, and the physics
+    /// audits over the converged stations.
+    ///
+    /// # Errors
+    /// [`SolverError::Numerical`] when no station converged; hard audit
+    /// failures from [`crate::audit::apply`].
+    pub fn finish(mut self) -> Result<VslMarchSolution, SolverError> {
+        let out = std::mem::take(&mut self.stations);
+        if out.is_empty() {
+            return Err(SolverError::Numerical(
+                "VSL march: no station converged".to_string(),
             ));
         }
-        crate::audit::apply(&mut telemetry, findings)?;
+        self.telemetry
+            .add_phase_secs("vsl_march", self.march_t0.elapsed().as_secs_f64());
+        self.telemetry.record_history(
+            "station_q_conv",
+            out.iter().map(|st| st.q_conv).collect::<Vec<_>>(),
+        );
+
+        // Physics audits over the converged stations: layer thickness and
+        // wall fluxes must stay positive (radiative flux nonnegative)
+        // everywhere.
+        if crate::audit::cadence() != 0 {
+            let mut min_delta = f64::INFINITY;
+            let mut min_delta_at = 0usize;
+            let mut min_q_conv = f64::INFINITY;
+            let mut min_q_conv_at = 0usize;
+            let mut min_q_rad = f64::INFINITY;
+            let mut max_q_rad = 0.0_f64;
+            for (k, st) in out.iter().enumerate() {
+                if st.delta < min_delta {
+                    min_delta = st.delta;
+                    min_delta_at = k;
+                }
+                if st.q_conv < min_q_conv {
+                    min_q_conv = st.q_conv;
+                    min_q_conv_at = k;
+                }
+                min_q_rad = min_q_rad.min(st.q_rad_thin);
+                max_q_rad = max_q_rad.max(st.q_rad_thin);
+            }
+            let mut findings = vec![
+                crate::audit::positivity_finding(
+                    "layer_thickness_positivity",
+                    min_delta,
+                    (min_delta_at, 0),
+                    out.len(),
+                ),
+                crate::audit::positivity_finding(
+                    "convective_flux_positivity",
+                    min_q_conv,
+                    (min_q_conv_at, 0),
+                    out.len(),
+                ),
+            ];
+            if self.problem.radiating {
+                findings.push(crate::audit::graded(
+                    "radiative_flux_nonnegativity",
+                    (-min_q_rad).max(0.0) / max_q_rad.max(1e-300),
+                    1e-12,
+                    1e-3,
+                    out.len(),
+                    format!("min station radiative wall flux {min_q_rad:.3e} W/m²"),
+                ));
+            }
+            crate::audit::apply(&mut self.telemetry, findings)?;
+        }
+        Ok(VslMarchSolution {
+            stations: out,
+            telemetry: self.telemetry,
+        })
     }
-    Ok(VslMarchSolution {
-        stations: out,
-        telemetry,
-    })
+}
+
+impl crate::runctl::Steppable for VslMarcher<'_> {
+    fn advance(&mut self) -> Result<f64, SolverError> {
+        // Detect contaminated station records (fault injection / upstream
+        // table pathologies) before doing more work on top of them.
+        for (k, st) in self.stations.iter().enumerate() {
+            if !(st.q_conv.is_finite() && st.delta.is_finite() && st.u_edge.is_finite()) {
+                return Err(SolverError::NonFinite {
+                    field: "q_conv",
+                    i: k,
+                    j: 0,
+                });
+            }
+        }
+        if self.next_station > self.n_stations {
+            return Ok(0.0);
+        }
+        self.advance_station()?;
+        // Stations converge or are skipped outright; the progress unit is
+        // the station, so report a flat residual and let the non-finite
+        // checks drive rollback.
+        Ok(1.0)
+    }
+
+    fn progress(&self) -> usize {
+        self.next_station - 1
+    }
+
+    fn save_state(&self) -> crate::runctl::Snapshot {
+        let mut data = Vec::with_capacity(7 * self.stations.len());
+        for st in &self.stations {
+            data.extend_from_slice(&[
+                st.s,
+                st.r_body,
+                st.p_edge,
+                st.u_edge,
+                st.delta,
+                st.q_conv,
+                st.q_rad_thin,
+            ]);
+        }
+        crate::runctl::Snapshot {
+            step: self.next_station,
+            cfl_scale: self.relax_scale,
+            data,
+        }
+    }
+
+    fn restore_state(&mut self, snap: &crate::runctl::Snapshot) -> Result<(), SolverError> {
+        if !snap.data.len().is_multiple_of(7) {
+            return Err(SolverError::BadInput(format!(
+                "vsl_march restore: state length {} is not a whole number of stations",
+                snap.data.len()
+            )));
+        }
+        self.stations = snap
+            .data
+            .chunks_exact(7)
+            .map(|row| VslMarchStation {
+                s: row[0],
+                r_body: row[1],
+                p_edge: row[2],
+                u_edge: row[3],
+                delta: row[4],
+                q_conv: row[5],
+                q_rad_thin: row[6],
+            })
+            .collect();
+        self.next_station = snap.step;
+        self.relax_scale = snap.cfl_scale;
+        Ok(())
+    }
+
+    fn cfl_scale(&self) -> f64 {
+        self.relax_scale
+    }
+
+    fn set_cfl_scale(&mut self, scale: f64) {
+        self.relax_scale = scale;
+    }
+
+    fn meta(&self) -> crate::runctl::RunMeta {
+        crate::runctl::RunMeta {
+            tag: "vsl_march".to_string(),
+            gas: self.gas_desc.clone(),
+            shape: (self.n_stations, self.n, 7),
+        }
+    }
+
+    fn telemetry_mut(&mut self) -> &mut RunTelemetry {
+        &mut self.telemetry
+    }
+
+    fn poison(&mut self) {
+        match self.stations.last_mut() {
+            Some(st) => st.q_conv = f64::NAN,
+            None => self.stations.push(VslMarchStation {
+                s: 0.0,
+                r_body: 0.0,
+                p_edge: 0.0,
+                u_edge: 0.0,
+                delta: 0.0,
+                q_conv: f64::NAN,
+                q_rad_thin: 0.0,
+            }),
+        }
+    }
+}
+
+/// Windward-forebody VSL march: solves the shock layer at stations along an
+/// axisymmetric body in the local-similarity approximation — the mode in
+/// which the era's VSL codes produced whole-forebody heating environments.
+///
+/// At each station the normal momentum/energy two-point problem of the
+/// stagnation solver is re-solved with:
+///
+/// * modified-Newtonian edge pressure `p_e(s)` and the isentropic
+///   effective-γ edge velocity `u_e(s)`,
+/// * the streamwise-divergence continuity
+///   `ρv(y) = −Λ(s)·∫ρu dy`, `Λ = d ln(u_e·r_b)/ds` (axisymmetric growth),
+/// * the shock-swallowing mass balance `∫ρu dy = ρ∞·u∞·r_b/2` fixing the
+///   local layer thickness δ(s).
+///
+/// Equilibrium properties come from the stagnation-pressure table with
+/// ideal-gas pressure scaling of the density (composition shifts with
+/// pressure are second order across the windward layer).
+///
+/// Delegates to [`VslMarcher`]; drive the marcher directly (or through
+/// [`crate::runctl::run_controlled`]) for checkpoint/rollback control.
+///
+/// # Errors
+/// Propagates shock and table failures; stations that fail to converge are
+/// skipped with their index reported in the error when all fail.
+pub fn march(
+    gas: &EquilibriumGas,
+    problem: &VslProblem,
+    body: &dyn aerothermo_grid::bodies::Body,
+    n_stations: usize,
+) -> Result<VslMarchSolution, SolverError> {
+    let mut marcher = VslMarcher::new(gas, problem, body, n_stations)?;
+    while marcher.next_station <= n_stations {
+        marcher.advance_station()?;
+    }
+    marcher.finish()
 }
 
 #[cfg(test)]
