@@ -105,6 +105,7 @@ fn bow_standoff(limiter: Limiter) -> f64 {
 }
 
 fn main() {
+    aerothermo_bench::cli::announce("ablation_numerics");
     let mode = output_mode();
     let mut report = Report::new("ablation_numerics");
 

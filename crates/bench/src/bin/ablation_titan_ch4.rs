@@ -17,6 +17,7 @@ use aerothermo_gas::titan_equilibrium;
 use aerothermo_solvers::vsl::{solve, VslProblem};
 
 fn main() {
+    aerothermo_bench::cli::announce("ablation_titan_ch4");
     let mode = output_mode();
     let mut report = Report::new("ablation_titan_ch4");
     let fractions = [0.02, 0.04, 0.06, 0.08];

@@ -28,6 +28,7 @@ use aerothermo_gas::jupiter_equilibrium;
 use aerothermo_solvers::vsl::{solve as vsl_solve, VslProblem};
 
 fn main() {
+    aerothermo_bench::cli::announce("e12_galileo_tps");
     let mode = output_mode();
     let mut report = Report::new("e12_galileo_tps");
     let atm = ExponentialAtmosphere::jupiter();

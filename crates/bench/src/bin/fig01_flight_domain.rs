@@ -53,6 +53,7 @@ fn facility_boxes() -> Vec<FacilityBox> {
 type Corridor = (&'static str, Vec<(f64, f64)>, f64);
 
 fn main() {
+    aerothermo_bench::cli::announce("fig01_flight_domain");
     let mode = output_mode();
     let mut report = Report::new("fig01_flight_domain");
     let atm = Us76;

@@ -8,6 +8,11 @@
 //! transport of the CN-dominated shock layer, evaluated at anchor points
 //! and scaled between them with the local ρ-V correlation exponents.
 //!
+//! The per-condition solves run through the sweep engine: the preset
+//! [`titan_fig02_plan`] (strided correlation cases + the radiating VSL
+//! anchor) executes on the worker pool (`--workers=N`), and this binary
+//! reads the anchor flux and the sampled pulse from the case outcomes.
+//!
 //! Checks: both pulses peak near the same altitude band; the radiative
 //! pulse is narrower and peaks slightly earlier (higher velocity); at this
 //! entry speed radiation is competitive with convection — the reason the
@@ -15,14 +20,15 @@
 
 use aerothermo_atmosphere::planets::ExponentialAtmosphere;
 use aerothermo_atmosphere::trajectory::{fly, EntryConditions, StopConditions, Vehicle};
-use aerothermo_bench::{emit, output_mode, Report};
-use aerothermo_core::heating::{heat_pulse, radiative_tangent_slab_with_telemetry};
+use aerothermo_bench::{cli, emit, Report};
+use aerothermo_core::heating::{convective_sutton_graves, heat_pulse};
 use aerothermo_core::tables::Table;
-use aerothermo_gas::titan_equilibrium;
-use aerothermo_solvers::vsl::VslProblem;
+use aerothermo_sweep::plan::titan_fig02_plan;
+use aerothermo_sweep::{run_sweep, SweepOptions};
 
 fn main() {
-    let mode = output_mode();
+    cli::announce("fig02_titan_heating");
+    let mode = cli::output_mode();
     let mut report = Report::new("fig02_titan_heating");
     let atm = ExponentialAtmosphere::titan();
     let vehicle = Vehicle::titan_probe();
@@ -41,7 +47,8 @@ fn main() {
         },
     );
 
-    // Convective pulse (Sutton-Graves, k for N2 atmospheres ≈ Earth's).
+    // Convective pulse (Sutton-Graves, k for N2 atmospheres ≈ Earth's),
+    // dense in time for the peak scan and the printed figure.
     let k_sg = 1.7e-4;
     let pulse = heat_pulse(&traj, vehicle.nose_radius, k_sg, |_| 0.0);
     let peak_conv = pulse
@@ -49,39 +56,94 @@ fn main() {
         .max_by(|a, b| a.q_conv.total_cmp(&b.q_conv))
         .expect("empty pulse");
 
-    // Radiative anchor: full VSL + tangent slab at the convective peak
-    // condition.
-    let gas = titan_equilibrium(0.05);
-    let anchor_problem = VslProblem {
-        u_inf: peak_conv.velocity,
-        rho_inf: traj
-            .iter()
-            .min_by(|a, b| {
-                (a.time - peak_conv.time)
-                    .abs()
-                    .total_cmp(&(b.time - peak_conv.time).abs())
-            })
-            .map_or(3e-5, |p| p.density),
-        t_inf: 165.0,
-        nose_radius: vehicle.nose_radius,
-        t_wall: 1800.0,
-        n_points: 40,
-        radiating: true,
-    };
-    let (q_rad_anchor, vsl_telemetry) =
-        radiative_tangent_slab_with_telemetry(&gas, &anchor_problem, 0.25e-6, 1.0e-6, 400)
-            .expect("anchor radiative solve");
-    report.absorb_telemetry("vsl_anchor", &vsl_telemetry);
+    // Plan-based execution: strided correlation cases along the trajectory
+    // plus the radiating VSL + tangent-slab anchor at the convective-peak
+    // condition, run on the sweep engine's worker pool.
+    let plan = titan_fig02_plan(&traj, 8, vehicle.nose_radius);
+    let sweep = run_sweep(
+        &plan,
+        &SweepOptions {
+            workers: cli::workers(),
+            ..SweepOptions::default()
+        },
+    )
+    .expect("fig02 sweep");
+    assert!(
+        report.check(
+            "sweep_all_green",
+            sweep.all_green(),
+            format!(
+                "{} failed / {} timed out of {} cases",
+                sweep.counts().failed,
+                sweep.counts().timed_out,
+                sweep.planned
+            ),
+        ),
+        "every fig02 sweep case must complete"
+    );
+    report.metric("sweep_elapsed_secs", sweep.elapsed_secs);
+    report.metric("sweep_workers", sweep.workers as f64);
+
+    // The sweep's correlation cases must agree bitwise with the direct
+    // kernel call at the same condition — the engine adds orchestration,
+    // not physics.
+    let anchor_case = plan
+        .cases
+        .iter()
+        .find(|c| c.id == "titan-vsl-anchor")
+        .expect("preset plan carries the anchor");
+    let mut sweep_consistent = true;
+    for case in plan.cases.iter().filter(|c| {
+        matches!(
+            c.level,
+            aerothermo_sweep::spec::LevelSpec::Correlation { .. }
+        )
+    }) {
+        let direct = convective_sutton_graves(
+            case.flow.rho_inf,
+            case.flow.u_inf,
+            case.flow.nose_radius,
+            k_sg,
+        );
+        let swept = sweep
+            .outcome(&case.id)
+            .and_then(|o| o.metric("q_conv_w_m2"))
+            .unwrap_or(f64::NAN);
+        sweep_consistent &= swept.to_bits() == direct.to_bits();
+    }
+    assert!(
+        report.check(
+            "sweep_matches_direct_correlation",
+            sweep_consistent,
+            "per-case q_conv bitwise equals the direct Sutton-Graves call",
+        ),
+        "sweep-executed correlation must be bitwise identical to the direct call"
+    );
+
+    // Radiative anchor flux from the sweep outcome; kernel counters the
+    // pool attributed to that single case become anchor metrics.
+    let anchor = sweep.outcome("titan-vsl-anchor").expect("anchor outcome");
+    let q_rad_anchor = anchor
+        .metric("q_rad_w_m2")
+        .expect("anchor records the tangent-slab flux");
+    for (name, v) in &anchor.counters {
+        report.metric(&format!("vsl_anchor.{name}"), *v as f64);
+    }
     eprintln!(
-        "# radiative anchor: V = {:.0} m/s, rho = {:.3e} kg/m³ -> q_rad = {:.3e} W/m²",
-        anchor_problem.u_inf, anchor_problem.rho_inf, q_rad_anchor
+        "# radiative anchor: V = {:.0} m/s, rho = {:.3e} kg/m³ -> q_rad = {:.3e} W/m² \
+         ({:.3} s on worker {})",
+        anchor_case.flow.u_inf,
+        anchor_case.flow.rho_inf,
+        q_rad_anchor,
+        anchor.wall_secs,
+        anchor.worker
     );
 
     // Radiative scaling about the anchor: q_r ∝ ρ^1.2·V^8 (Titan CN-layer
     // exponents of the engineering literature; the steep V dependence is the
     // Boltzmann factor of the CN B-state at post-shock temperatures).
-    let rho_a = anchor_problem.rho_inf;
-    let v_a = anchor_problem.u_inf;
+    let rho_a = anchor_case.flow.rho_inf;
+    let v_a = anchor_case.flow.u_inf;
     let q_rad_of = |rho: f64, v: f64| -> f64 {
         if v < 4_000.0 {
             return 0.0;
@@ -93,12 +155,7 @@ fn main() {
     let mut peak_rad_t = 0.0;
     let mut peak_rad = 0.0;
     for (rows, p) in traj.iter().enumerate() {
-        let q_c = aerothermo_core::heating::convective_sutton_graves(
-            p.density,
-            p.velocity,
-            vehicle.nose_radius,
-            k_sg,
-        );
+        let q_c = convective_sutton_graves(p.density, p.velocity, vehicle.nose_radius, k_sg);
         let q_r = q_rad_of(p.density, p.velocity);
         if q_r > peak_rad {
             peak_rad = q_r;

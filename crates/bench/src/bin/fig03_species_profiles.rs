@@ -17,6 +17,7 @@ use aerothermo_gas::titan_equilibrium;
 use aerothermo_solvers::vsl::{solve_with_retry, VslProblem};
 
 fn main() {
+    aerothermo_bench::cli::announce("fig03_species_profiles");
     let mode = output_mode();
     let mut report = Report::new("fig03_species_profiles");
     let gas = titan_equilibrium(0.05);

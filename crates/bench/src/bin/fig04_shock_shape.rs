@@ -95,6 +95,7 @@ fn run_case(
 }
 
 fn main() {
+    aerothermo_bench::cli::announce("fig04_shock_shape");
     let mode = output_mode();
     let mut report = Report::new("fig04_shock_shape");
     let (rho, v, p, t) = orbiter_fig4_condition();

@@ -13,6 +13,7 @@ use aerothermo_core::tables::Table;
 use aerothermo_grid::bodies::Body;
 
 fn main() {
+    aerothermo_bench::cli::announce("fig05_geometry");
     let mode = output_mode();
     let mut report = Report::new("fig05_geometry");
 

@@ -41,6 +41,7 @@ use aerothermo_solvers::vsl::{VslMarcher, VslProblem};
 const ORBITER_LENGTH: f64 = 32.8;
 
 fn main() {
+    aerothermo_bench::cli::announce("fig06_windward_heating");
     let mode = output_mode();
     let mut report = Report::new("fig06_windward_heating");
     let (rho_inf, v_inf, p_inf, t_inf) = sts3_fig6_condition();

@@ -19,6 +19,7 @@ use aerothermo_gas::relaxation::RelaxationModel;
 use aerothermo_solvers::shock1d::{solve_with_retry, RelaxationProblem};
 
 fn main() {
+    aerothermo_bench::cli::announce("fig07_shock_relaxation");
     let mode = output_mode();
     let mut report = Report::new("fig07_shock_relaxation");
     let (u1, t1, p1) = shock_tube_fig7_condition();

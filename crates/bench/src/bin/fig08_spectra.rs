@@ -25,6 +25,7 @@ use aerothermo_radiation::{wavelength_grid, GasSample};
 use aerothermo_solvers::shock1d::{solve, RelaxationProblem};
 
 fn main() {
+    aerothermo_bench::cli::announce("fig08_spectra");
     let mode = output_mode();
     let mut report = Report::new("fig08_spectra");
     let (u1, t1, p1) = shock_tube_fig7_condition();

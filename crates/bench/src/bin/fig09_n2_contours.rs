@@ -23,6 +23,7 @@ use aerothermo_solvers::ns2d::{NsSolver, Transport};
 use aerothermo_solvers::runctl::run_controlled;
 
 fn main() {
+    aerothermo_bench::cli::announce("fig09_n2_contours");
     let mode = output_mode();
     let mut report = Report::new("fig09_n2_contours");
     let atm = Us76;

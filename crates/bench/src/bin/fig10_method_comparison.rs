@@ -11,202 +11,83 @@
 //! * PNS  — downstream march (plus the nose anchor it needs),
 //! * NS   — full viscous relaxation.
 //!
+//! The matrix executes as the preset sweep plan [`method_matrix_plan`] in
+//! plan order on a single worker, so the per-case wall clocks are honest
+//! serial costs (the sweep engine's per-case timing replaces the old
+//! hand-rolled `Instant` bracketing).
+//!
 //! Reported: wall-clock time and stagnation heat flux; the check is the
 //! cost ordering VSL < E+BL < PNS < NS with NS at least an order of
 //! magnitude above VSL.
 
-use aerothermo_bench::{emit, output_mode, Report};
+use aerothermo_bench::{cli, emit, Report};
 use aerothermo_core::tables::Table;
-use aerothermo_gas::air9_equilibrium;
-use aerothermo_gas::transport::sutherland_air;
-use aerothermo_gas::{GasModel, IdealGas};
-use aerothermo_grid::bodies::{Hemisphere, SphereCone};
-use aerothermo_grid::{stretch, StructuredGrid};
-use aerothermo_solvers::blayer::{fay_riddell, newtonian_velocity_gradient, FayRiddellInputs};
-use aerothermo_solvers::euler2d::{Bc, BcSet, EulerOptions, EulerSolver};
-use aerothermo_solvers::ns2d::{NsSolver, Transport};
-use aerothermo_solvers::pns::{PnsOptions, PnsSolver};
-use aerothermo_solvers::vsl::{solve as vsl_solve, VslProblem};
-use std::time::Instant;
+use aerothermo_sweep::plan::method_matrix_plan;
+use aerothermo_sweep::{run_sweep, CaseOutcome, ScheduleOrder, SweepOptions};
 
-struct CaseResult {
-    name: &'static str,
-    seconds: f64,
-    q_stag: f64,
-    note: String,
-}
+/// Sweep-case ID and display name per method row.
+const METHODS: &[(&str, &str)] = &[
+    ("vsl", "VSL"),
+    ("euler_bl", "E+BL"),
+    ("pns", "PNS"),
+    ("ns", "NS"),
+];
 
 fn main() {
-    let mode = output_mode();
+    cli::announce("fig10_method_comparison");
+    let mode = cli::output_mode();
     let mut report = Report::new("fig10_method_comparison");
 
-    // Common condition: Mach 8 sphere, wind-tunnel-class density.
-    let t_inf = 230.0;
-    let p_inf = 300.0;
-    let rho_inf = p_inf / (287.05 * t_inf);
-    let a_inf = (1.4_f64 * 287.05 * t_inf).sqrt();
-    let v_inf = 8.0 * a_inf;
-    let rn = 0.15;
-    let t_wall = 300.0;
-    let gas = IdealGas::air();
-    let fs = (rho_inf, v_inf, 0.0, p_inf);
+    // Plan order + one worker: each case gets the whole machine, so wall
+    // clocks are comparable serial costs.
+    let plan = method_matrix_plan();
+    let sweep = run_sweep(
+        &plan,
+        &SweepOptions {
+            workers: 1,
+            order: ScheduleOrder::PlanOrder,
+            ..SweepOptions::default()
+        },
+    )
+    .expect("fig10 sweep");
+    assert!(
+        report.check(
+            "sweep_all_green",
+            sweep.all_green(),
+            format!(
+                "{} failed / {} timed out of {} cases",
+                sweep.counts().failed,
+                sweep.counts().timed_out,
+                sweep.planned
+            ),
+        ),
+        "every method case must complete"
+    );
 
-    let mut results: Vec<CaseResult> = Vec::new();
-
-    // --- VSL ---------------------------------------------------------------
-    {
-        let start = Instant::now();
-        let eq = air9_equilibrium();
-        let sol = vsl_solve(
-            &eq,
-            &VslProblem {
-                u_inf: v_inf,
-                rho_inf,
-                t_inf,
-                nose_radius: rn,
-                t_wall,
-                n_points: 40,
-                radiating: false,
-            },
-        )
-        .expect("VSL");
-        results.push(CaseResult {
-            name: "VSL",
-            seconds: start.elapsed().as_secs_f64(),
-            q_stag: sol.q_conv,
-            note: format!("δ/Rn = {:.3}", sol.standoff / rn),
-        });
-    }
-
-    // --- E+BL --------------------------------------------------------------
-    {
-        let start = Instant::now();
-        let body = Hemisphere::new(rn);
-        let dist = stretch::uniform(41);
-        let grid = StructuredGrid::blunt_body(&body, 21, 41, &|sb| (0.3 + 0.2 * sb) * rn, &dist);
-        let bc = BcSet {
-            i_lo: Bc::SlipWall,
-            i_hi: Bc::Outflow,
-            j_lo: Bc::SlipWall,
-            j_hi: Bc::Inflow {
-                rho: fs.0,
-                ux: fs.1,
-                ur: fs.2,
-                p: fs.3,
-            },
-        };
-        let opts = EulerOptions {
-            cfl: 0.4,
-            startup_steps: 300,
-            ..EulerOptions::default()
-        };
-        let mut euler = EulerSolver::new(&grid, &gas, bc, opts, fs);
-        euler.run(2500, 1e-2).expect("stable Euler run");
-        report.absorb_telemetry("euler_ebl", &euler.telemetry);
-        let p_stag = euler.primitive(0, 0).p;
-        let e_stag = euler.internal_energy(0, 0);
-        let t_stag = gas.temperature(euler.primitive(0, 0).rho, e_stag);
-        let rho_stag = euler.primitive(0, 0).rho;
-        let q = fay_riddell(&FayRiddellInputs {
-            rho_e: rho_stag,
-            mu_e: sutherland_air(t_stag),
-            rho_w: p_stag / (287.05 * t_wall),
-            mu_w: sutherland_air(t_wall),
-            due_dx: newtonian_velocity_gradient(rn, p_stag, p_inf, rho_stag),
-            h0e: 1004.5 * t_inf + 0.5 * v_inf * v_inf,
-            hw: 1004.5 * t_wall,
-            pr: 0.71,
-            lewis: 1.0,
-            h_d_frac: 0.0,
-        });
-        results.push(CaseResult {
-            name: "E+BL",
-            seconds: start.elapsed().as_secs_f64(),
-            q_stag: q,
-            note: format!("p0/p∞ = {:.1}", p_stag / p_inf),
-        });
-    }
-
-    // --- PNS ---------------------------------------------------------------
-    {
-        // PNS cannot march the subsonic nose; its honest cost on this class
-        // of problem is the downstream sweep. Use the sphere-cone afterbody
-        // march and report its wall time plus the stagnation anchor cost
-        // (Fay-Riddell, negligible).
-        let start = Instant::now();
-        let body = SphereCone {
-            rn,
-            half_angle: 20f64.to_radians(),
-            length: 10.0 * rn,
-        };
-        let dist = stretch::tanh_one_sided(41, 2.5);
-        let grid = StructuredGrid::blunt_body(&body, 70, 41, &|sb| (0.25 + 0.8 * sb) * rn, &dist);
-        let mut pns = PnsSolver::new(
-            &grid,
-            &gas,
-            PnsOptions {
-                t_wall: Some(t_wall),
-                ..PnsOptions::default()
-            },
-            fs,
-        );
-        let sol = pns.march(10).expect("clean PNS march");
-        report.absorb_telemetry("pns", &pns.telemetry);
-        let q_first = sol
-            .wall_heat_flux
-            .iter()
-            .copied()
-            .find(|q| *q > 0.0)
-            .unwrap_or(0.0);
-        results.push(CaseResult {
-            name: "PNS",
-            seconds: start.elapsed().as_secs_f64(),
-            q_stag: q_first,
-            note: format!("{} stations marched", sol.station_x.len()),
-        });
-    }
-
-    // --- NS ----------------------------------------------------------------
-    {
-        let start = Instant::now();
-        let body = Hemisphere::new(rn);
-        let dist = stretch::tanh_one_sided(57, 3.5);
-        let grid = StructuredGrid::blunt_body(&body, 21, 57, &|sb| (0.3 + 0.2 * sb) * rn, &dist);
-        let bc = BcSet {
-            i_lo: Bc::SlipWall,
-            i_hi: Bc::Outflow,
-            j_lo: Bc::SlipWall,
-            j_hi: Bc::Inflow {
-                rho: fs.0,
-                ux: fs.1,
-                ur: fs.2,
-                p: fs.3,
-            },
-        };
-        let opts = EulerOptions {
-            cfl: 0.4,
-            startup_steps: 500,
-            ..EulerOptions::default()
-        };
-        let mut ns = NsSolver::new(&grid, &gas, bc, opts, fs, Transport::air(), t_wall);
-        ns.run(16_000, 1e-9).expect("stable NS run");
-        report.absorb_telemetry("ns", &ns.inviscid.telemetry);
-        results.push(CaseResult {
-            name: "NS",
-            seconds: start.elapsed().as_secs_f64(),
-            q_stag: ns.wall_heat_flux(0),
-            note: "full viscous relaxation".to_string(),
-        });
-    }
-
+    let outcome = |id: &str| -> &CaseOutcome {
+        sweep
+            .outcome(id)
+            .unwrap_or_else(|| panic!("case '{id}' ran"))
+    };
     let mut table = Table::new(&["method", "wall_time_s", "q_stag_W_cm2", "notes"]);
-    for r in &results {
+    for (id, name) in METHODS {
+        let o = outcome(id);
+        let q = o.metric("q_stag_w_m2").unwrap_or(f64::NAN);
         table.row(&[
-            r.name.to_string(),
-            format!("{:.3}", r.seconds),
-            format!("{:.2}", r.q_stag / 1e4),
-            r.note.clone(),
+            (*name).to_string(),
+            format!("{:.3}", o.wall_secs),
+            format!("{:.2}", q / 1e4),
+            o.note.clone(),
         ]);
+        report.metric(
+            &format!("wall_time_s_{}", name.replace('+', "_")),
+            o.wall_secs,
+        );
+        report.metric(&format!("q_stag_w_m2_{}", name.replace('+', "_")), q);
+        // Kernel counters the pool attributed to exactly this case.
+        for (counter, v) in &o.counters {
+            report.metric(&format!("{id}.{counter}"), *v as f64);
+        }
     }
     emit(
         "E10: equation-set cost and heating comparison",
@@ -215,27 +96,17 @@ fn main() {
     );
 
     // --- Checks --------------------------------------------------------------
-    let time_of = |n: &str| results.iter().find(|r| r.name == n).unwrap().seconds;
-    let q_of = |n: &str| results.iter().find(|r| r.name == n).unwrap().q_stag;
-    for r in &results {
-        report.metric(
-            &format!("wall_time_s_{}", r.name.replace('+', "_")),
-            r.seconds,
-        );
-        report.metric(
-            &format!("q_stag_w_m2_{}", r.name.replace('+', "_")),
-            r.q_stag,
-        );
-    }
+    let time_of = |id: &str| outcome(id).wall_secs;
+    let q_of = |id: &str| outcome(id).metric("q_stag_w_m2").unwrap_or(f64::NAN);
     assert!(
         report.check(
             "ns_most_expensive",
-            time_of("VSL") < time_of("NS") && time_of("E+BL") < time_of("NS"),
+            time_of("vsl") < time_of("ns") && time_of("euler_bl") < time_of("ns"),
             format!(
                 "VSL {:.3}s, E+BL {:.3}s, NS {:.3}s",
-                time_of("VSL"),
-                time_of("E+BL"),
-                time_of("NS")
+                time_of("vsl"),
+                time_of("euler_bl"),
+                time_of("ns")
             ),
         ),
         "NS must be the most expensive"
@@ -243,26 +114,26 @@ fn main() {
     assert!(
         report.check(
             "ns_order_of_magnitude_over_vsl",
-            time_of("NS") > 10.0 * time_of("VSL"),
-            format!("NS/VSL time ratio = {:.1}", time_of("NS") / time_of("VSL")),
+            time_of("ns") > 10.0 * time_of("vsl"),
+            format!("NS/VSL time ratio = {:.1}", time_of("ns") / time_of("vsl")),
         ),
         "NS should cost ≥ 10× VSL: {:.3}s vs {:.3}s",
-        time_of("NS"),
-        time_of("VSL")
+        time_of("ns"),
+        time_of("vsl")
     );
     assert!(
         report.check(
             "pns_undercuts_ns",
-            time_of("PNS") < time_of("NS"),
-            format!("PNS {:.3}s vs NS {:.3}s", time_of("PNS"), time_of("NS")),
+            time_of("pns") < time_of("ns"),
+            format!("PNS {:.3}s vs NS {:.3}s", time_of("pns"), time_of("ns")),
         ),
         "PNS must undercut full NS on marchable problems"
     );
     // All heating estimates agree within a factor ~3 (different fidelity,
     // same physics).
-    let q_vsl = q_of("VSL");
-    for name in ["E+BL", "NS"] {
-        let r = q_of(name) / q_vsl;
+    let q_vsl = q_of("vsl");
+    for (id, name) in [("euler_bl", "E+BL"), ("ns", "NS")] {
+        let r = q_of(id) / q_vsl;
         assert!(
             report.check(
                 &format!("heating_agreement_{}", name.replace('+', "_")),

@@ -42,6 +42,7 @@ fn arg_value(prefix: &str) -> Option<String> {
 }
 
 fn main() {
+    aerothermo_bench::cli::announce("perf_snapshot");
     let args: Vec<String> = std::env::args().collect();
     if let Some(k) = args.iter().position(|a| a == "--compare") {
         let (Some(base), Some(cand)) = (args.get(k + 1), args.get(k + 2)) else {

@@ -18,142 +18,22 @@
 )]
 
 use aerothermo_core::tables::Table;
+use aerothermo_numerics::json::{write_f64 as json_f64, write_string};
 use aerothermo_numerics::telemetry::{AuditFinding, AuditSeverity, CounterSnapshot, RunTelemetry};
 use std::time::Instant;
 
-pub mod json;
+pub mod cli;
 
-/// Output mode parsed from the command line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum OutputMode {
-    /// Aligned text tables.
-    Text,
-    /// CSV.
-    Csv,
-}
+pub use aerothermo_numerics::json;
+pub use cli::{
+    audit_cadence, checkpoint_every, checkpoint_file, halt_after, inject_nan_at, max_retries,
+    output_mode, report_path, restart_path, trace_path, OutputMode,
+};
 
-/// Parse `--csv` from the process arguments.
-#[must_use]
-pub fn output_mode() -> OutputMode {
-    if std::env::args().any(|a| a == "--csv") {
-        OutputMode::Csv
-    } else {
-        OutputMode::Text
-    }
-}
-
-/// Destination for the machine-readable run report, parsed from
-/// `--report` (default `run-report.json`) or `--report=PATH`.
-#[must_use]
-pub fn report_path() -> Option<String> {
-    for a in std::env::args() {
-        if a == "--report" {
-            return Some("run-report.json".to_string());
-        }
-        if let Some(p) = a.strip_prefix("--report=") {
-            return Some(p.to_string());
-        }
-    }
-    None
-}
-
-/// Destination for the Chrome trace-event profile, parsed from
-/// `--trace` (default `trace.json`) or `--trace=PATH`.
-#[must_use]
-pub fn trace_path() -> Option<String> {
-    for a in std::env::args() {
-        if a == "--trace" {
-            return Some("trace.json".to_string());
-        }
-        if let Some(p) = a.strip_prefix("--trace=") {
-            return Some(p.to_string());
-        }
-    }
-    None
-}
-
-/// In-situ physics-audit cadence, parsed from `--audit` (default: every
-/// 10 steps) or `--audit=N`. `None` means audits stay disabled.
-#[must_use]
-pub fn audit_cadence() -> Option<usize> {
-    for a in std::env::args() {
-        if a == "--audit" {
-            return Some(10);
-        }
-        if let Some(n) = a.strip_prefix("--audit=") {
-            return Some(n.parse().unwrap_or(10));
-        }
-    }
-    None
-}
-
-/// Checkpoint cadence in progress units, parsed from `--checkpoint`
-/// (default: every 100 units) or `--checkpoint=N`. `None` leaves on-disk
-/// checkpointing off (the in-memory rollback ring is always armed).
-#[must_use]
-pub fn checkpoint_every() -> Option<usize> {
-    for a in std::env::args() {
-        if a == "--checkpoint" {
-            return Some(100);
-        }
-        if let Some(n) = a.strip_prefix("--checkpoint=") {
-            return Some(n.parse().unwrap_or(100));
-        }
-    }
-    None
-}
-
-/// Restart-file destination for `--checkpoint`, parsed from
-/// `--checkpoint-file=PATH`; defaults to `<figure>-restart.atrc`.
-#[must_use]
-pub fn checkpoint_file(figure: &str) -> String {
-    for a in std::env::args() {
-        if let Some(p) = a.strip_prefix("--checkpoint-file=") {
-            return p.to_string();
-        }
-    }
-    format!("{figure}-restart.atrc")
-}
-
-/// Restart file to resume from, parsed from `--restart=PATH`.
-#[must_use]
-pub fn restart_path() -> Option<String> {
-    std::env::args().find_map(|a| a.strip_prefix("--restart=").map(ToString::to_string))
-}
-
-/// Rollback/retry budget, parsed from `--max-retries=K` (default 3).
-#[must_use]
-pub fn max_retries() -> usize {
-    std::env::args()
-        .find_map(|a| {
-            a.strip_prefix("--max-retries=")
-                .and_then(|n| n.parse().ok())
-        })
-        .unwrap_or(3)
-}
-
-/// Fault-injection unit, parsed from `--inject-nan=K` (`--inject-nan`
-/// alone injects after unit 10): poison the state once after unit K
-/// completes, exercising the rollback path end to end.
-#[must_use]
-pub fn inject_nan_at() -> Option<usize> {
-    for a in std::env::args() {
-        if a == "--inject-nan" {
-            return Some(10);
-        }
-        if let Some(n) = a.strip_prefix("--inject-nan=") {
-            return Some(n.parse().unwrap_or(10));
-        }
-    }
-    None
-}
-
-/// Deterministic mid-run halt, parsed from `--halt-after=K` (the CI
-/// kill/resume drill): the controlled run stops after unit K and the binary
-/// exits with [`HALT_EXIT_CODE`].
-#[must_use]
-pub fn halt_after() -> Option<usize> {
-    std::env::args().find_map(|a| a.strip_prefix("--halt-after=").and_then(|n| n.parse().ok()))
+/// JSON string literal with minimal escaping (the numerics writer, by its
+/// historical local name).
+fn json_string(s: &str) -> String {
+    write_string(s)
 }
 
 /// Exit code for a deliberate `--halt-after` stop, distinguishable from
@@ -448,35 +328,6 @@ pub fn exit_if_halted(outcome: &aerothermo_solvers::runctl::RunOutcome, report: 
         std::process::exit(HALT_EXIT_CODE);
     }
     report
-}
-
-/// JSON string literal with minimal escaping.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// Finite floats as shortest-roundtrip decimals; NaN/Inf (illegal in JSON)
-/// as `null`.
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
-    }
 }
 
 /// Print a table in the selected mode with a heading.

@@ -144,6 +144,21 @@ pub fn radiative_tangent_slab_with_telemetry(
     n_lambda: usize,
 ) -> Result<(f64, aerothermo_numerics::telemetry::RunTelemetry), SolverError> {
     let mut sol = vsl_solve(gas, problem)?;
+    let q = tangent_slab_over_stations(&mut sol, lambda_lo, lambda_hi, n_lambda);
+    Ok((q, sol.telemetry))
+}
+
+/// Spectral tangent-slab wall flux \[W/m²\] over an already-converged VSL
+/// layer. The transport cost lands in the solution's own telemetry as the
+/// `tangent_slab` phase, so callers that solved the layer themselves (e.g.
+/// via `solve_with_retry`) don't pay for a second VSL solve the way the
+/// [`radiative_tangent_slab`] convenience entry does.
+pub fn tangent_slab_over_stations(
+    sol: &mut aerothermo_solvers::vsl::VslSolution,
+    lambda_lo: f64,
+    lambda_hi: f64,
+    n_lambda: usize,
+) -> f64 {
     let lambda = wavelength_grid(lambda_lo, lambda_hi, n_lambda);
     let names: Vec<String> = sol.species_names.clone();
     // Layers from wall outward; thickness from station spacing.
@@ -169,7 +184,7 @@ pub fn radiative_tangent_slab_with_telemetry(
     let rad = sol.telemetry.time_phase("tangent_slab", || {
         solve_slab_samples(&layers, &lambda, 1e-9)
     });
-    Ok((rad.total_wall_flux(), sol.telemetry))
+    rad.total_wall_flux()
 }
 
 /// Stagnation heating pulse along a flown trajectory using the engineering

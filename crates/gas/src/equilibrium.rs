@@ -165,12 +165,23 @@ mod warm_cache {
         STATS.with(|s| *s.borrow())
     }
 
-    /// Drop this thread's entries and zero its stats (tests only).
-    #[cfg(test)]
+    /// Drop this thread's entries and zero its stats.
     pub(super) fn clear_thread() {
         CACHE.with(|c| c.borrow_mut().clear());
         STATS.with(|s| *s.borrow_mut() = ThreadStats::default());
     }
+}
+
+/// Drop the calling thread's warm-start cache entries.
+///
+/// The cache makes successive solves *on one thread* seed each other, so
+/// a solve's converged-to-tolerance result can depend on what ran on the
+/// thread before it. Batch executors that promise per-case determinism
+/// regardless of scheduling (the sweep engine's worker pool) call this at
+/// every case boundary so each case starts from the cold-start seed no
+/// matter which worker it landed on or what that worker ran previously.
+pub fn reset_thread_warm_cache() {
+    warm_cache::clear_thread();
 }
 
 /// Result of an equilibrium-composition solve.

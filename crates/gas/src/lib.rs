@@ -38,8 +38,8 @@ pub mod thermo;
 pub mod transport;
 
 pub use equilibrium::{
-    air11_equilibrium, air5_equilibrium, air9_equilibrium, jupiter_equilibrium, titan_equilibrium,
-    EqState, EquilibriumGas,
+    air11_equilibrium, air5_equilibrium, air9_equilibrium, jupiter_equilibrium,
+    reset_thread_warm_cache, titan_equilibrium, EqState, EquilibriumGas,
 };
 pub use error::GasError;
 pub use model::{GasModel, IdealGas};

@@ -1,15 +1,54 @@
-//! Minimal recursive-descent JSON parser.
+//! Minimal recursive-descent JSON parser and writer primitives.
 //!
 //! The workspace emits all of its machine-readable artifacts (run reports,
-//! perf snapshots, Chrome traces) with hand-rolled writers; this is the
-//! matching reader, used by the perf-snapshot comparator and the report
-//! regression tests. It supports the full JSON grammar the writers produce
-//! — objects, arrays, strings with escapes, numbers, booleans, `null` —
-//! and nothing more exotic (no comments, no trailing commas, no NaN
-//! literals; non-finite floats are written as `null`).
+//! perf snapshots, sweep result streams, Chrome traces) with hand-rolled
+//! writers; this is the matching reader, used by the perf-snapshot
+//! comparator, the sweep resume path, and the report regression tests. It
+//! supports the full JSON grammar the writers produce — objects, arrays,
+//! strings with escapes, numbers, booleans, `null` — and nothing more
+//! exotic (no comments, no trailing commas, no NaN literals; non-finite
+//! floats are written as `null`).
+//!
+//! The writer side is deliberately tiny: [`write_string`] and [`write_f64`]
+//! are the two primitives every hand-rolled emitter in the workspace needs
+//! to agree on (escaping, and the NaN/Inf → `null` convention the parser
+//! round-trips).
 
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// Serialize a string as a JSON string literal with minimal escaping
+/// (quotes, backslashes, and control characters).
+#[must_use]
+pub fn write_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Serialize a float: finite values as shortest-roundtrip decimals,
+/// NaN/Inf (illegal in JSON) as `null` — the convention [`parse`] maps
+/// back to [`Value::Null`].
+#[must_use]
+pub fn write_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -360,6 +399,20 @@ mod tests {
         let err = parse("[1, @]").unwrap_err();
         assert_eq!(err.offset, 4);
         assert!(err.to_string().contains("byte 4"));
+    }
+
+    #[test]
+    fn writer_primitives_roundtrip_through_parse() {
+        let s = write_string("a \"quoted\"\nline\t\u{1}");
+        let v = parse(&s).unwrap();
+        assert_eq!(v.as_str(), Some("a \"quoted\"\nline\t\u{1}"));
+        assert_eq!(write_f64(1.5e-12), "1.5e-12");
+        assert_eq!(write_f64(f64::NAN), "null");
+        assert_eq!(write_f64(f64::INFINITY), "null");
+        let doc = format!("[{}, {}]", write_f64(0.25), write_f64(f64::NAN));
+        let arr = parse(&doc).unwrap();
+        assert_eq!(arr.as_array().unwrap()[0].as_f64(), Some(0.25));
+        assert!(arr.as_array().unwrap()[1].is_null());
     }
 
     #[test]

@@ -36,6 +36,7 @@
 pub mod constants;
 pub mod field;
 pub mod interp;
+pub mod json;
 pub mod limiters;
 pub mod linalg;
 pub mod newton;

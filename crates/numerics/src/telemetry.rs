@@ -131,10 +131,40 @@ pub mod counters {
         AtomicU64::new(0),
     ];
 
-    /// Add `n` to a counter (relaxed; safe from any thread).
+    thread_local! {
+        /// Per-thread mirror of the global counters, incremented alongside
+        /// them. This is what makes honest *per-case* attribution possible
+        /// when many solver runs share the process (the sweep engine):
+        /// the global atomics interleave counts from concurrent cases,
+        /// while each thread's mirror only ever sees the work that
+        /// executed on that thread.
+        static THREAD_COUNTERS: [std::cell::Cell<u64>; N_COUNTERS] =
+            std::array::from_fn(|_| std::cell::Cell::new(0));
+    }
+
+    /// Add `n` to a counter (relaxed; safe from any thread). The calling
+    /// thread's mirror is incremented too (see [`super::TelemetryScope`]).
     #[inline]
     pub fn add(counter: Counter, n: u64) {
         COUNTERS[counter as usize].fetch_add(n, Ordering::Relaxed);
+        // try_with: silently skip the mirror during TLS teardown.
+        let _ = THREAD_COUNTERS.try_with(|t| {
+            let c = &t[counter as usize];
+            c.set(c.get().wrapping_add(n));
+        });
+    }
+
+    /// Snapshot the *calling thread's* counter mirror (counts attributed
+    /// to kernels that executed on this thread since it started).
+    #[must_use]
+    pub fn thread_snapshot() -> CounterSnapshot {
+        let mut values = [0u64; N_COUNTERS];
+        let _ = THREAD_COUNTERS.try_with(|t| {
+            for (v, c) in values.iter_mut().zip(t.iter()) {
+                *v = c.get();
+            }
+        });
+        CounterSnapshot { values }
     }
 
     /// Current value of one counter.
@@ -193,6 +223,54 @@ pub mod counters {
 }
 
 pub use counters::{Counter, CounterSnapshot};
+
+/// Thread-scoped counter window for per-run attribution.
+///
+/// The kernel counters are process-global atomics, so two solver runs
+/// executing concurrently (sweep-engine cases, parallel tests) interleave
+/// their counts and a global before/after delta lies about both. A
+/// `TelemetryScope` instead deltas the calling thread's *thread-local
+/// counter mirror*, which only ever accumulates work executed on that
+/// thread.
+///
+/// # Attribution semantics
+///
+/// Counts are attributed to the thread that *executes* the instrumented
+/// kernel, not the thread that requested it. Work a solver offloads to
+/// rayon pool threads therefore lands on those threads' mirrors and is
+/// **not** folded back into the calling scope. Callers that need complete
+/// attribution must pin the run to the calling thread — e.g. wrap it in
+/// `rayon::ThreadPoolBuilder::new().num_threads(1)...install(..)`, which
+/// is exactly what the sweep engine's worker pool does: inter-case
+/// parallelism comes from the pool's workers, each case runs its kernels
+/// single-threaded, and every count lands in the case's scope.
+///
+/// Scopes on the same thread may nest (each holds its own baseline), and
+/// the global counters are untouched — process-wide totals and per-scope
+/// windows coexist.
+#[derive(Debug, Clone)]
+pub struct TelemetryScope {
+    baseline: CounterSnapshot,
+}
+
+impl TelemetryScope {
+    /// Open a scope: snapshot the calling thread's counter mirror.
+    #[must_use]
+    pub fn begin() -> Self {
+        Self {
+            baseline: counters::thread_snapshot(),
+        }
+    }
+
+    /// Counters accumulated *on this thread* since [`TelemetryScope::begin`].
+    /// Call from the same thread that opened the scope; from any other
+    /// thread the delta is against that thread's unrelated mirror and is
+    /// meaningless.
+    #[must_use]
+    pub fn thread_delta(&self) -> CounterSnapshot {
+        counters::thread_snapshot().delta_since(&self.baseline)
+    }
+}
 
 /// Outcome class of one physics-audit evaluation.
 ///
@@ -629,6 +707,46 @@ mod tests {
         assert!(delta.get(Counter::TridiagSolves) >= 3);
         assert!(delta.get(Counter::NewtonIterations) >= 7);
         assert_eq!(delta.iter().count(), counters::N_COUNTERS);
+    }
+
+    #[test]
+    fn telemetry_scope_counts_only_this_thread() {
+        // Two threads, each with its own scope and a distinct add pattern:
+        // each scope must see exactly its own thread's counts no matter
+        // how the adds interleave — the property the global atomics cannot
+        // provide and the sweep engine's per-case attribution relies on.
+        let handles: Vec<_> = (1..=2u64)
+            .map(|k| {
+                std::thread::spawn(move || {
+                    let scope = TelemetryScope::begin();
+                    for _ in 0..10 * k {
+                        counters::add(Counter::ChemistrySubsteps, 1);
+                    }
+                    counters::add(Counter::SpectrumPoints, 100 * k);
+                    scope.thread_delta()
+                })
+            })
+            .collect();
+        let deltas: Vec<CounterSnapshot> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for (k, delta) in (1..=2u64).zip(&deltas) {
+            assert_eq!(delta.get(Counter::ChemistrySubsteps), 10 * k);
+            assert_eq!(delta.get(Counter::SpectrumPoints), 100 * k);
+            assert_eq!(delta.get(Counter::NewtonSolves), 0);
+        }
+    }
+
+    #[test]
+    fn telemetry_scopes_nest_on_one_thread() {
+        std::thread::spawn(|| {
+            let outer = TelemetryScope::begin();
+            counters::add(Counter::TridiagSolves, 2);
+            let inner = TelemetryScope::begin();
+            counters::add(Counter::TridiagSolves, 5);
+            assert_eq!(inner.thread_delta().get(Counter::TridiagSolves), 5);
+            assert_eq!(outer.thread_delta().get(Counter::TridiagSolves), 7);
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

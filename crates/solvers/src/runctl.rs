@@ -611,6 +611,20 @@ pub fn retry_with_backoff<T>(
     }
 }
 
+// The sweep engine runs `run_controlled` concurrently on worker threads,
+// one solver per thread: the control-layer types must stay shareable across
+// threads even though individual solvers are not. Compile-time guards so a
+// future non-Send field (Rc, RefCell, raw pointer) fails here, not in a
+// distant crate.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<RunOptions>();
+    assert_send_sync::<RunOutcome>();
+    assert_send_sync::<Snapshot>();
+    assert_send_sync::<RetryOutcome<()>>();
+    assert_send_sync::<aerothermo_numerics::telemetry::SolverError>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,50 @@
+//! Batched case-sweep orchestration: declarative case specs, a bounded
+//! worker pool with per-case fault isolation, and an append-only result
+//! store with aggregated telemetry.
+//!
+//! The paper's figures are *envelopes*, not single runs: heating and
+//! shock-shape results computed across trajectory points, solver levels
+//! (NS / PNS / E+BL / VSL), and gas models, then compared. This crate
+//! makes that batch shape a first-class subsystem instead of serial
+//! process re-launches:
+//!
+//! * [`spec`] — the declarative [`spec::CaseSpec`] model: solver level ×
+//!   gas model × freestream point × grid size, JSON-round-trippable.
+//! * [`plan`] — [`plan::SweepPlan`] builders: cartesian product, zip,
+//!   and adapters from `aerothermo_atmosphere::trajectory` points, plus
+//!   the built-in fig02/fig10 preset plans the driver binary ships.
+//! * [`runner`] — maps a case spec onto the actual solver stack
+//!   (correlations, VSL, Euler+boundary-layer, PNS, NS), delegating
+//!   retry/rollback to `aerothermo_solvers::runctl`.
+//! * [`pool`] — the scheduler: N worker threads pulling from a
+//!   priority-ordered queue, per-case wall-clock timeout, and panic
+//!   isolation via `catch_unwind` so one diverging case degrades to a
+//!   [`pool::CaseStatus::Failed`] record instead of killing the sweep.
+//! * [`store`] — crash-safe JSONL result stream (one flushed line per
+//!   finished case) with resume support: completed case IDs found in an
+//!   existing stream are skipped on restart.
+//! * [`report`] — the end-of-sweep aggregate report, schema-compatible
+//!   with the figure binaries' `--report` JSON (checks / counters /
+//!   metrics), plus the `--strict` exit-code policy.
+//!
+//! # Determinism
+//!
+//! Cases are bitwise-deterministic regardless of worker count or
+//! scheduling order: each case runs its kernels pinned to one thread
+//! (`rayon::ThreadPool::install(1)`) and starts from a cold per-thread
+//! equilibrium warm-start cache
+//! ([`aerothermo_gas::reset_thread_warm_cache`]), so no case's numbers
+//! depend on which worker it landed on or what ran there before.
+
+#![warn(missing_docs)]
+
+pub mod plan;
+pub mod pool;
+pub mod report;
+pub mod runner;
+pub mod spec;
+pub mod store;
+
+pub use plan::SweepPlan;
+pub use pool::{run_sweep, CaseOutcome, CaseStatus, ScheduleOrder, SweepOptions, SweepReport};
+pub use spec::{CaseSpec, FlowSpec, GasSpec, LevelSpec};

@@ -1,0 +1,490 @@
+//! The sweep scheduler: a bounded pool of worker threads pulling cases
+//! from a priority-ordered queue, with per-case fault isolation (panics
+//! become [`CaseStatus::Failed`] records), per-case wall-clock timeouts,
+//! and crash-safe incremental recording through [`crate::store`].
+
+use crate::plan::SweepPlan;
+pub use crate::report::SweepReport;
+use crate::runner::run_case;
+use crate::spec::CaseSpec;
+use crate::store::{completed_ids, load_records, JsonlWriter};
+pub use crate::store::{CaseOutcome, CaseStatus};
+use aerothermo_gas::reset_thread_warm_cache;
+use aerothermo_numerics::telemetry::{SolverError, TelemetryScope};
+use rayon::ThreadPoolBuilder;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::Instant;
+
+/// How the queue is ordered before workers start pulling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScheduleOrder {
+    /// Cheapest cases first (by [`CaseSpec::cost_estimate`], plan order as
+    /// the tiebreak): early results stream out while the expensive tail
+    /// saturates the pool.
+    #[default]
+    CheapestFirst,
+    /// Exactly the plan's order.
+    PlanOrder,
+}
+
+/// Sweep execution policy.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Worker threads (cases in flight at once). Clamped to ≥ 1.
+    pub workers: usize,
+    /// Queue ordering.
+    pub order: ScheduleOrder,
+    /// JSONL result-store path; `None` keeps results in memory only.
+    pub store_path: Option<String>,
+    /// Skip cases already completed in an existing store at `store_path`
+    /// (their prior records enter the report as [`CaseStatus::Resumed`]).
+    pub resume: bool,
+    /// Default per-case timeout \[s\] for cases that don't set their own;
+    /// NaN or ≤ 0 means none.
+    pub default_timeout_secs: f64,
+    /// Deterministic kill drill: stop pulling new cases once this many
+    /// records have been written this run (in-flight cases still finish,
+    /// so with several workers a few extra records may land).
+    pub halt_after_cases: Option<usize>,
+    /// Thread budget for *within*-case kernel parallelism. The default of
+    /// 1 pins each case to its worker thread, which is what makes per-case
+    /// counter attribution exact and results scheduling-independent; raise
+    /// it only for single-worker sweeps of big CFD cases.
+    pub intra_case_threads: usize,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            order: ScheduleOrder::CheapestFirst,
+            store_path: None,
+            resume: false,
+            default_timeout_secs: f64::NAN,
+            halt_after_cases: None,
+            intra_case_threads: 1,
+        }
+    }
+}
+
+enum PinnedFailure {
+    Solver { error: String, retries: usize },
+    Panic(String),
+}
+
+type PinnedOut = (
+    Result<crate::runner::CaseResult, PinnedFailure>,
+    Vec<(&'static str, u64)>,
+);
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_string())
+}
+
+/// Run one case pinned to the calling thread: nested `par_iter` work stays
+/// here (`ThreadPool::install`), the equilibrium warm-start cache is reset
+/// so results don't depend on what ran on this thread before, and the
+/// thread-scoped counter delta attributes kernel work to exactly this case.
+fn run_pinned(case: &CaseSpec, intra_threads: usize) -> PinnedOut {
+    let pool = ThreadPoolBuilder::new()
+        .num_threads(intra_threads.max(1))
+        .build()
+        .expect("vendored pool build cannot fail");
+    pool.install(|| {
+        reset_thread_warm_cache();
+        let scope = TelemetryScope::begin();
+        let res = catch_unwind(AssertUnwindSafe(|| run_case(case)));
+        let counters: Vec<(&'static str, u64)> = scope.thread_delta().iter().collect();
+        let res = match res {
+            Ok(Ok(r)) => Ok(r),
+            Ok(Err(f)) => Err(PinnedFailure::Solver {
+                error: f.error.to_string(),
+                retries: f.retries,
+            }),
+            Err(payload) => Err(PinnedFailure::Panic(panic_message(payload.as_ref()))),
+        };
+        (res, counters)
+    })
+}
+
+fn effective_timeout(case: &CaseSpec, opts: &SweepOptions) -> Option<std::time::Duration> {
+    case.timeout().or_else(|| {
+        if opts.default_timeout_secs.is_finite() && opts.default_timeout_secs > 0.0 {
+            Some(std::time::Duration::from_secs_f64(
+                opts.default_timeout_secs,
+            ))
+        } else {
+            None
+        }
+    })
+}
+
+fn execute_case(case: &CaseSpec, worker: usize, opts: &SweepOptions) -> CaseOutcome {
+    let t0 = Instant::now();
+    let pinned = match effective_timeout(case, opts) {
+        None => run_pinned(case, opts.intra_case_threads),
+        Some(limit) => {
+            let (tx, rx) = mpsc::channel();
+            let case2 = case.clone();
+            let intra = opts.intra_case_threads;
+            let spawned = std::thread::Builder::new()
+                .name(format!("sweep-{}", case.id))
+                .spawn(move || {
+                    let _ = tx.send(run_pinned(&case2, intra));
+                });
+            match spawned {
+                Err(e) => (
+                    Err(PinnedFailure::Solver {
+                        error: format!("could not spawn case thread: {e}"),
+                        retries: 0,
+                    }),
+                    Vec::new(),
+                ),
+                // The timed-out solve thread is abandoned, not killed (Rust
+                // has no safe thread cancellation); it dies with the process.
+                // Its counter work is unattributable, so counters stay empty.
+                Ok(_detached) => match rx.recv_timeout(limit) {
+                    Ok(out) => out,
+                    Err(_) => {
+                        return CaseOutcome {
+                            id: case.id.clone(),
+                            status: CaseStatus::TimedOut,
+                            wall_secs: t0.elapsed().as_secs_f64(),
+                            retries: 0,
+                            worker,
+                            note: String::new(),
+                            error: Some(format!("timed out after {:.3} s", limit.as_secs_f64())),
+                            metrics: Vec::new(),
+                            counters: Vec::new(),
+                        }
+                    }
+                },
+            }
+        }
+    };
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let (res, counters) = pinned;
+    match res {
+        Ok(r) => CaseOutcome {
+            id: case.id.clone(),
+            status: CaseStatus::Completed,
+            wall_secs,
+            retries: r.retries,
+            worker,
+            note: r.note,
+            error: None,
+            metrics: r.metrics,
+            counters,
+        },
+        Err(PinnedFailure::Solver { error, retries }) => CaseOutcome {
+            id: case.id.clone(),
+            status: CaseStatus::Failed,
+            wall_secs,
+            retries,
+            worker,
+            note: String::new(),
+            error: Some(error),
+            metrics: Vec::new(),
+            counters,
+        },
+        Err(PinnedFailure::Panic(msg)) => CaseOutcome {
+            id: case.id.clone(),
+            status: CaseStatus::Failed,
+            wall_secs,
+            retries: 0,
+            worker,
+            note: String::new(),
+            error: Some(format!("panic: {msg}")),
+            metrics: Vec::new(),
+            counters,
+        },
+    }
+}
+
+/// Run every case of `plan` under `opts` and return the aggregate report.
+///
+/// Failures degrade, they don't abort: a diverging, panicking, or
+/// timed-out case becomes a [`CaseStatus::Failed`] / `TimedOut` record and
+/// the sweep continues. Only infrastructure problems (invalid plan,
+/// unwritable store) surface as `Err`.
+///
+/// # Errors
+/// [`SolverError::BadInput`] for plan validation and store I/O failures.
+pub fn run_sweep(plan: &SweepPlan, opts: &SweepOptions) -> Result<SweepReport, SolverError> {
+    plan.validate()?;
+    let t0 = Instant::now();
+
+    // Resume bookkeeping: prior completed records re-enter the report as
+    // Resumed (metrics preserved) and are not re-run or re-written.
+    let mut prior: HashMap<String, CaseOutcome> = HashMap::new();
+    if opts.resume {
+        if let Some(path) = &opts.store_path {
+            for rec in load_records(path)? {
+                prior.insert(rec.id.clone(), rec);
+            }
+        }
+    }
+    let done = completed_ids(&prior.values().cloned().collect::<Vec<_>>());
+
+    let mut order: Vec<usize> = (0..plan.cases.len())
+        .filter(|&i| !done.contains(&plan.cases[i].id))
+        .collect();
+    if opts.order == ScheduleOrder::CheapestFirst {
+        order.sort_by(|&a, &b| {
+            plan.cases[a]
+                .cost_estimate()
+                .total_cmp(&plan.cases[b].cost_estimate())
+                .then(a.cmp(&b))
+        });
+    }
+
+    let queue = Mutex::new(VecDeque::from(order));
+    let writer = match &opts.store_path {
+        Some(path) => Some(Mutex::new(JsonlWriter::append(path)?)),
+        None => None,
+    };
+    let ran: Mutex<Vec<CaseOutcome>> = Mutex::new(Vec::new());
+    let infra_errors: Mutex<Vec<SolverError>> = Mutex::new(Vec::new());
+    let recorded = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let workers = opts.workers.max(1);
+
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let queue = &queue;
+            let writer = &writer;
+            let ran = &ran;
+            let infra_errors = &infra_errors;
+            let recorded = &recorded;
+            let stop = &stop;
+            s.spawn(move || loop {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Some(idx) = queue.lock().unwrap().pop_front() else {
+                    break;
+                };
+                let outcome = execute_case(&plan.cases[idx], w, opts);
+                if let Some(wr) = writer {
+                    if let Err(e) = wr.lock().unwrap().record(&outcome) {
+                        infra_errors.lock().unwrap().push(e);
+                        stop.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                }
+                ran.lock().unwrap().push(outcome);
+                let n = recorded.fetch_add(1, Ordering::SeqCst) + 1;
+                if opts.halt_after_cases.is_some_and(|k| n >= k) {
+                    stop.store(true, Ordering::SeqCst);
+                }
+            });
+        }
+    });
+
+    if let Some(e) = infra_errors.into_inner().unwrap().into_iter().next() {
+        return Err(e);
+    }
+
+    // Assemble plan-order outcomes: executed this run, or resumed from the
+    // prior store. Cases never reached (halt drill) are simply absent.
+    let ran = ran.into_inner().unwrap();
+    let by_id: HashMap<&str, &CaseOutcome> = ran.iter().map(|o| (o.id.as_str(), o)).collect();
+    let mut outcomes = Vec::with_capacity(plan.cases.len());
+    for case in &plan.cases {
+        if let Some(o) = by_id.get(case.id.as_str()) {
+            outcomes.push((*o).clone());
+        } else if let Some(p) = prior.get(&case.id) {
+            if done.contains(&case.id) {
+                let mut o = p.clone();
+                o.status = CaseStatus::Resumed;
+                outcomes.push(o);
+            }
+        }
+    }
+
+    Ok(SweepReport {
+        figure: plan.name.clone(),
+        elapsed_secs: t0.elapsed().as_secs_f64(),
+        workers,
+        halted: opts.halt_after_cases.is_some() && stop.load(Ordering::SeqCst),
+        planned: plan.cases.len(),
+        outcomes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{FlowSpec, GasSpec, LevelSpec};
+
+    fn synthetic_plan(n: usize, outcome: &str) -> SweepPlan {
+        let mut plan = SweepPlan::new("pool_test");
+        for k in 0..n {
+            plan.push(CaseSpec::new(
+                format!("s{k:02}"),
+                GasSpec::IdealAir,
+                LevelSpec::Synthetic {
+                    work_ms: 1.0,
+                    outcome: outcome.to_string(),
+                },
+                FlowSpec::new(1e-4, 7000.0, 200.0, 10.0, 0.5, 1500.0),
+            ));
+        }
+        plan
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("sweep-pool-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn all_ok_cases_complete_on_any_worker_count() {
+        for workers in [1, 3] {
+            let report = run_sweep(
+                &synthetic_plan(6, "ok"),
+                &SweepOptions {
+                    workers,
+                    ..SweepOptions::default()
+                },
+            )
+            .expect("sweep");
+            assert_eq!(report.outcomes.len(), 6);
+            assert!(report
+                .outcomes
+                .iter()
+                .all(|o| o.status == CaseStatus::Completed));
+            assert!(report.all_green());
+            assert_eq!(report.exit_code(true), 0);
+            // Plan-order assembly regardless of scheduling.
+            let ids: Vec<&str> = report.outcomes.iter().map(|o| o.id.as_str()).collect();
+            assert_eq!(ids, ["s00", "s01", "s02", "s03", "s04", "s05"]);
+        }
+    }
+
+    #[test]
+    fn panics_are_isolated_to_their_case() {
+        let mut plan = synthetic_plan(3, "ok");
+        plan.cases[1].level = LevelSpec::Synthetic {
+            work_ms: 0.0,
+            outcome: "panic".to_string(),
+        };
+        let report = run_sweep(
+            &plan,
+            &SweepOptions {
+                workers: 2,
+                ..SweepOptions::default()
+            },
+        )
+        .expect("sweep survives a panicking case");
+        let bad = &report.outcomes[1];
+        assert_eq!(bad.status, CaseStatus::Failed);
+        assert!(bad.error.as_deref().unwrap().contains("panic"), "{bad:?}");
+        assert_eq!(report.counts().failed, 1);
+        assert_eq!(report.counts().completed, 2);
+        assert!(!report.all_green());
+        assert_eq!(report.exit_code(false), 0, "degrade, don't abort");
+        assert_eq!(report.exit_code(true), crate::report::STRICT_EXIT_CODE);
+    }
+
+    #[test]
+    fn timeout_is_enforced_per_case() {
+        let mut plan = synthetic_plan(2, "ok");
+        plan.cases[0].level = LevelSpec::Synthetic {
+            work_ms: 30_000.0,
+            outcome: "ok".to_string(),
+        };
+        plan.cases[0].timeout_secs = 0.05;
+        let t0 = Instant::now();
+        let report = run_sweep(&plan, &SweepOptions::default()).expect("sweep");
+        assert!(
+            t0.elapsed().as_secs_f64() < 10.0,
+            "timeout must not wait out the case"
+        );
+        assert_eq!(report.outcomes[0].status, CaseStatus::TimedOut);
+        assert!(report.outcomes[0]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("timed out"));
+        assert_eq!(report.outcomes[1].status, CaseStatus::Completed);
+    }
+
+    #[test]
+    fn store_resume_skips_completed_cases() {
+        let path = tmp("resume.jsonl");
+        std::fs::remove_file(&path).ok();
+        let plan = synthetic_plan(5, "ok");
+        // First run: halt after 2 records (the deterministic kill drill).
+        let report = run_sweep(
+            &plan,
+            &SweepOptions {
+                store_path: Some(path.clone()),
+                halt_after_cases: Some(2),
+                ..SweepOptions::default()
+            },
+        )
+        .expect("halted sweep");
+        assert!(report.halted);
+        assert_eq!(report.outcomes.len(), 2);
+        // Second run resumes: the 2 recorded cases come back as Resumed,
+        // the remaining 3 actually run.
+        let report = run_sweep(
+            &plan,
+            &SweepOptions {
+                store_path: Some(path.clone()),
+                resume: true,
+                ..SweepOptions::default()
+            },
+        )
+        .expect("resumed sweep");
+        assert_eq!(report.outcomes.len(), 5);
+        let resumed = report
+            .outcomes
+            .iter()
+            .filter(|o| o.status == CaseStatus::Resumed)
+            .count();
+        assert_eq!(resumed, 2);
+        assert!(report.all_green(), "resumed cases don't flip the gate");
+        // The store now holds all 5 (2 from run one, 3 from run two).
+        let records = load_records(&path).unwrap();
+        assert_eq!(records.len(), 5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cheapest_first_orders_the_queue() {
+        // One expensive case first in the plan; with CheapestFirst and one
+        // worker the cheap ones must be *recorded* before it.
+        let mut plan = synthetic_plan(3, "ok");
+        plan.cases[0].level = LevelSpec::Synthetic {
+            work_ms: 50.0,
+            outcome: "ok".to_string(),
+        };
+        let path = tmp("order.jsonl");
+        std::fs::remove_file(&path).ok();
+        run_sweep(
+            &plan,
+            &SweepOptions {
+                store_path: Some(path.clone()),
+                ..SweepOptions::default()
+            },
+        )
+        .expect("sweep");
+        let ids: Vec<String> = load_records(&path)
+            .unwrap()
+            .into_iter()
+            .map(|r| r.id)
+            .collect();
+        assert_eq!(ids, ["s01", "s02", "s00"], "store is in execution order");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,393 @@
+//! Append-only JSONL result store: one flushed line per finished case, so
+//! a killed sweep loses at most the case in flight, and a restart can skip
+//! everything already on disk.
+
+use aerothermo_numerics::json::{self, write_f64, write_string, Value};
+use aerothermo_numerics::telemetry::SolverError;
+use std::io::Write;
+
+/// Terminal state of one case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseStatus {
+    /// Ran to completion (possibly after retries).
+    Completed,
+    /// Exhausted its retry budget, hit a hard error, or panicked.
+    Failed,
+    /// Exceeded its wall-clock timeout; the result (if any) was discarded.
+    TimedOut,
+    /// Skipped this run: an earlier run's store already has it completed.
+    Resumed,
+}
+
+impl CaseStatus {
+    /// Stable tag used in the JSONL stream.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CaseStatus::Completed => "completed",
+            CaseStatus::Failed => "failed",
+            CaseStatus::TimedOut => "timed_out",
+            CaseStatus::Resumed => "resumed",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, SolverError> {
+        match s {
+            "completed" => Ok(CaseStatus::Completed),
+            "failed" => Ok(CaseStatus::Failed),
+            "timed_out" => Ok(CaseStatus::TimedOut),
+            "resumed" => Ok(CaseStatus::Resumed),
+            other => Err(SolverError::BadInput(format!(
+                "unknown case status '{other}'"
+            ))),
+        }
+    }
+}
+
+/// One finished case, as recorded in the JSONL stream.
+#[derive(Debug, Clone)]
+pub struct CaseOutcome {
+    /// The case's plan ID.
+    pub id: String,
+    /// Terminal state.
+    pub status: CaseStatus,
+    /// Wall-clock seconds the case took on its worker.
+    pub wall_secs: f64,
+    /// Retry attempts the control layer consumed.
+    pub retries: usize,
+    /// Worker index (0-based) that ran the case.
+    pub worker: usize,
+    /// Short human note from the runner.
+    pub note: String,
+    /// Terminal error display, for failed/timed-out cases.
+    pub error: Option<String>,
+    /// Named scalar results.
+    pub metrics: Vec<(String, f64)>,
+    /// Thread-attributed telemetry counter deltas (name → count); see
+    /// `aerothermo_numerics::telemetry::TelemetryScope`.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+impl CaseOutcome {
+    /// Look up a metric by name.
+    #[must_use]
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Serialize to one JSONL line (no trailing newline).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"id\": ");
+        out.push_str(&write_string(&self.id));
+        out.push_str(", \"status\": ");
+        out.push_str(&write_string(self.status.name()));
+        out.push_str(&format!(
+            ", \"wall_secs\": {}, \"retries\": {}, \"worker\": {}, \"note\": {}, \"error\": ",
+            write_f64(self.wall_secs),
+            self.retries,
+            self.worker,
+            write_string(&self.note)
+        ));
+        match &self.error {
+            Some(e) => out.push_str(&write_string(e)),
+            None => out.push_str("null"),
+        }
+        out.push_str(", \"metrics\": {");
+        for (k, (name, v)) in self.metrics.iter().enumerate() {
+            if k > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{}: {}", write_string(name), write_f64(*v)));
+        }
+        out.push_str("}, \"counters\": {");
+        let mut wrote = 0;
+        for (name, v) in &self.counters {
+            if *v == 0 {
+                continue; // elide zeros: most levels touch a few counters
+            }
+            if wrote > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{}: {v}", write_string(name)));
+            wrote += 1;
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parse one JSONL line.
+    ///
+    /// # Errors
+    /// [`SolverError::BadInput`] on malformed lines.
+    pub fn parse(line: &str) -> Result<Self, SolverError> {
+        let v =
+            json::parse(line).map_err(|e| SolverError::BadInput(format!("record JSON: {e}")))?;
+        let req_str = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_str)
+                .ok_or_else(|| SolverError::BadInput(format!("record missing string '{key}'")))
+        };
+        let req_count = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_f64)
+                .filter(|x| x.fract() == 0.0 && *x >= 0.0)
+                .map(|x| x as usize)
+                .ok_or_else(|| SolverError::BadInput(format!("record missing count '{key}'")))
+        };
+        let metrics = match v.get("metrics").and_then(Value::as_object) {
+            Some(pairs) => pairs
+                .iter()
+                .map(|(name, mv)| (name.clone(), mv.as_f64().unwrap_or(f64::NAN)))
+                .collect(),
+            None => Vec::new(),
+        };
+        let counters = match v.get("counters").and_then(Value::as_object) {
+            Some(pairs) => pairs
+                .iter()
+                .filter_map(|(name, cv)| {
+                    // Counter names are a closed set; map back to the
+                    // static strs so record and live outcomes compare equal.
+                    let name = aerothermo_numerics::telemetry::Counter::ALL
+                        .iter()
+                        .map(|c| c.name())
+                        .find(|n| n == name)?;
+                    Some((name, cv.as_f64()? as u64))
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        Ok(Self {
+            id: req_str("id")?.to_string(),
+            status: CaseStatus::parse(req_str("status")?)?,
+            wall_secs: v
+                .get("wall_secs")
+                .and_then(Value::as_f64)
+                .unwrap_or(f64::NAN),
+            retries: req_count("retries")?,
+            worker: req_count("worker")?,
+            note: req_str("note").map(str::to_string).unwrap_or_default(),
+            error: v
+                .get("error")
+                .filter(|e| !e.is_null())
+                .and_then(Value::as_str)
+                .map(str::to_string),
+            metrics,
+            counters,
+        })
+    }
+}
+
+/// Append-only JSONL writer: every record is written and flushed as one
+/// line, so the stream is valid after a kill at any instant (except at most
+/// one truncated trailing line, which [`load_records`] tolerates).
+#[derive(Debug)]
+pub struct JsonlWriter {
+    file: std::fs::File,
+    path: String,
+    written: usize,
+}
+
+impl JsonlWriter {
+    /// Open for appending (creating the file if needed). An existing file
+    /// whose final line was torn by a kill mid-write is truncated back to
+    /// its last complete record first, so new records never concatenate
+    /// onto the torn tail (and later loads never see it as corruption).
+    ///
+    /// # Errors
+    /// [`SolverError::BadInput`] on I/O failure.
+    pub fn append(path: &str) -> Result<Self, SolverError> {
+        let io = |e: std::io::Error| SolverError::BadInput(format!("opening store '{path}': {e}"));
+        if let Ok(bytes) = std::fs::read(path) {
+            if !bytes.is_empty() && bytes.last() != Some(&b'\n') {
+                let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1) as u64;
+                std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(path)
+                    .and_then(|f| f.set_len(keep))
+                    .map_err(io)?;
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(io)?;
+        Ok(Self {
+            file,
+            path: path.to_string(),
+            written: 0,
+        })
+    }
+
+    /// Write and flush one record.
+    ///
+    /// # Errors
+    /// [`SolverError::BadInput`] on I/O failure.
+    pub fn record(&mut self, outcome: &CaseOutcome) -> Result<(), SolverError> {
+        let mut line = outcome.to_json_line();
+        line.push('\n');
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.flush())
+            .map_err(|e| SolverError::BadInput(format!("writing store '{}': {e}", self.path)))?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Records written through this writer (excludes pre-existing lines).
+    #[must_use]
+    pub fn written(&self) -> usize {
+        self.written
+    }
+}
+
+/// Load all parseable records from a JSONL store. A truncated final line
+/// (the kill-mid-write case) is skipped silently; a missing file is an
+/// empty store. Interior garbage is an error — that's corruption, not a
+/// crash artifact.
+///
+/// # Errors
+/// [`SolverError::BadInput`] on unreadable files or malformed interior
+/// lines.
+pub fn load_records(path: &str) -> Result<Vec<CaseOutcome>, SolverError> {
+    let doc = match std::fs::read_to_string(path) {
+        Ok(doc) => doc,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => {
+            return Err(SolverError::BadInput(format!(
+                "reading store '{path}': {e}"
+            )))
+        }
+    };
+    let lines: Vec<&str> = doc.lines().filter(|l| !l.trim().is_empty()).collect();
+    let mut records = Vec::with_capacity(lines.len());
+    for (k, line) in lines.iter().enumerate() {
+        match CaseOutcome::parse(line) {
+            Ok(rec) => records.push(rec),
+            // Only the final line may be a torn write.
+            Err(_) if k + 1 == lines.len() && !doc.ends_with('\n') => {}
+            Err(e) => {
+                return Err(SolverError::BadInput(format!(
+                    "store '{path}' line {}: {e}",
+                    k + 1
+                )))
+            }
+        }
+    }
+    Ok(records)
+}
+
+/// The set of case IDs a resumed sweep can skip: those with a
+/// [`CaseStatus::Completed`] (or earlier-`Resumed`) record.
+#[must_use]
+pub fn completed_ids(records: &[CaseOutcome]) -> std::collections::HashSet<String> {
+    records
+        .iter()
+        .filter(|r| matches!(r.status, CaseStatus::Completed | CaseStatus::Resumed))
+        .map(|r| r.id.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(id: &str, status: CaseStatus) -> CaseOutcome {
+        CaseOutcome {
+            id: id.to_string(),
+            status,
+            wall_secs: 0.125,
+            retries: 2,
+            worker: 1,
+            note: "δ/Rn = 0.1".to_string(),
+            error: match status {
+                CaseStatus::Failed => Some("non-finite rho at (3, 4)".to_string()),
+                _ => None,
+            },
+            metrics: vec![
+                ("q_conv_w_m2".to_string(), 1.25e5),
+                ("nan".to_string(), f64::NAN),
+            ],
+            counters: vec![("newton_solves", 42), ("newton_iterations", 0)],
+        }
+    }
+
+    #[test]
+    fn record_roundtrips() {
+        for status in [CaseStatus::Completed, CaseStatus::Failed] {
+            let rec = sample("case-a", status);
+            let back = CaseOutcome::parse(&rec.to_json_line()).expect("roundtrip");
+            assert_eq!(back.id, rec.id);
+            assert_eq!(back.status, rec.status);
+            assert_eq!(back.retries, rec.retries);
+            assert_eq!(back.worker, rec.worker);
+            assert_eq!(back.note, rec.note);
+            assert_eq!(back.error, rec.error);
+            assert_eq!(back.metric("q_conv_w_m2"), Some(1.25e5));
+            assert!(back.metric("nan").unwrap().is_nan(), "NaN survives as null");
+            // Zero counters are elided on write.
+            assert_eq!(back.counters, vec![("newton_solves", 42)]);
+        }
+    }
+
+    #[test]
+    fn writer_appends_and_loader_tolerates_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("sweep-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("results.jsonl");
+        let path = path.to_str().unwrap();
+
+        assert!(
+            load_records(path).unwrap().is_empty(),
+            "missing file is empty"
+        );
+
+        let mut w = JsonlWriter::append(path).unwrap();
+        w.record(&sample("a", CaseStatus::Completed)).unwrap();
+        w.record(&sample("b", CaseStatus::Failed)).unwrap();
+        drop(w);
+        // Simulate a kill mid-write: a torn trailing line without newline.
+        let mut bytes = std::fs::read(path).unwrap();
+        bytes.extend_from_slice(b"{\"id\": \"c\", \"status\": \"comp");
+        std::fs::write(path, &bytes).unwrap();
+
+        let records = load_records(path).unwrap();
+        assert_eq!(records.len(), 2);
+        let done = completed_ids(&records);
+        assert!(done.contains("a"));
+        assert!(!done.contains("b"), "failed cases re-run on resume");
+
+        // Re-opening for append truncates the torn tail, so the resumed
+        // stream stays parseable end to end.
+        let mut w = JsonlWriter::append(path).unwrap();
+        w.record(&sample("d", CaseStatus::Completed)).unwrap();
+        let records = load_records(path).unwrap();
+        let ids: Vec<&str> = records.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, ["a", "b", "d"]);
+
+        // Interior garbage (not a torn tail) is corruption and is reported.
+        let mut bytes = std::fs::read(path).unwrap();
+        bytes.extend_from_slice(b"garbage line\n");
+        std::fs::write(path, &bytes).unwrap();
+        let err = load_records(path).expect_err("interior garbage is corruption");
+        assert!(err.to_string().contains("line 4"), "{err}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resumed_counts_as_completed() {
+        let records = vec![
+            sample("a", CaseStatus::Resumed),
+            sample("b", CaseStatus::TimedOut),
+        ];
+        let done = completed_ids(&records);
+        assert!(done.contains("a"));
+        assert!(!done.contains("b"));
+    }
+}
