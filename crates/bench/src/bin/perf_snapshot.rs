@@ -36,6 +36,7 @@ use aerothermo_numerics::tridiag::{solve_block_tridiag, solve_tridiag};
 use aerothermo_radiation::spectra::spectrum;
 use aerothermo_radiation::GasSample;
 use aerothermo_solvers::euler2d::{Bc, BcSet, EulerOptions, EulerSolver};
+use aerothermo_solvers::ns2d::{NsSolver, Transport};
 
 fn arg_value(prefix: &str) -> Option<String> {
     std::env::args().find_map(|a| a.strip_prefix(prefix).map(str::to_string))
@@ -82,9 +83,14 @@ fn main() {
             .duration_since(std::time::UNIX_EPOCH)
             .map_or(0, |d| d.as_secs())
     ));
+    let features = aerothermo_numerics::simd::active_features()
+        .iter()
+        .map(|f| format!("\"{f}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
     s.push_str(&format!(
         "  \"machine\": {{\"os\": \"{}\", \"arch\": \"{}\", \"num_cpus\": {}, \
-         \"rayon_threads\": {}}},\n",
+         \"rayon_threads\": {}, \"features\": [{features}]}},\n",
         std::env::consts::OS,
         std::env::consts::ARCH,
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
@@ -231,6 +237,22 @@ fn run_suite() {
         }
     }
 
+    // Micro-batched equilibrium solves: the same composition kernel driven
+    // through `at_trho_batch` (shared Newton scratch, 4-lane chunks) over
+    // density-major (T, rho) sweeps — the table-build access pattern.
+    {
+        let gas = air9_equilibrium();
+        for kr in 0..6 {
+            let rho = 1e-4 * 10.0_f64.powf(0.5 * f64::from(kr));
+            let states: Vec<(f64, f64)> = (0..24)
+                .map(|kt| (1500.0 + 450.0 * f64::from(kt), rho))
+                .collect();
+            for st in gas.at_trho_batch(&states) {
+                assert!(st.expect("equilibrium batch state").pressure > 0.0);
+            }
+        }
+    }
+
     // Spectrum integration on a 4000-point wavelength grid.
     {
         let sample = GasSample::equilibrium(
@@ -284,6 +306,45 @@ fn run_suite() {
         let mut solver_eq = EulerSolver::new(&grid, table, bc, EulerOptions::default(), fs);
         for _ in 0..50 {
             solver_eq.step();
+        }
+    }
+
+    // Navier-Stokes blunt-body steps (inviscid assembly + viscous j-face
+    // sweep + conduction wall) on a boundary-layer-stretched grid.
+    {
+        let t = 220.0;
+        let p = 500.0;
+        let rho = p / (287.05 * t);
+        let a = (1.4_f64 * 287.05 * t).sqrt();
+        let fs = (rho, 6.0 * a, 0.0, p);
+        let bc = BcSet {
+            i_lo: Bc::SlipWall,
+            i_hi: Bc::Outflow,
+            j_lo: Bc::SlipWall,
+            j_hi: Bc::Inflow {
+                rho: fs.0,
+                ux: fs.1,
+                ur: fs.2,
+                p: fs.3,
+            },
+        };
+        let rn = 0.1;
+        let body = Hemisphere::new(rn);
+        let dist = stretch::tanh_one_sided(33, 3.5);
+        let grid =
+            StructuredGrid::blunt_body(&body, 17, 33, &|sb| (0.035 + 0.03 * sb) * rn / 0.1, &dist);
+        let gas = aerothermo_gas::IdealGas::air();
+        let mut solver = NsSolver::new(
+            &grid,
+            &gas,
+            bc,
+            EulerOptions::default(),
+            fs,
+            Transport::air(),
+            300.0,
+        );
+        for _ in 0..120 {
+            solver.step();
         }
     }
 }

@@ -15,7 +15,6 @@
 use crate::equilibrium::EquilibriumGas;
 use crate::model::GasModel;
 use aerothermo_numerics::interp::BilinearTable;
-use aerothermo_numerics::roots::brent_expanding;
 use aerothermo_numerics::telemetry::{RunTelemetry, SolverError};
 use rayon::prelude::*;
 
@@ -50,12 +49,76 @@ impl Default for EqTableOptions {
     }
 }
 
+/// Direct inverse of the `ln p(ln ρ, ln e)` table: given `(ln ρ, ln p)`,
+/// recover `ln e` by bisecting the density-blended pressure row — an
+/// *exact* inversion of the bilinear forward lookup (the forward is
+/// piecewise linear in `ln e` at fixed `ln ρ` once the two bracketing
+/// density rows are blended), so it agrees with the bracketed root find it
+/// replaces without the per-call Brent iteration that dominated the MUSCL
+/// reconstruction cost of equilibrium-gas Euler steps.
+#[derive(Debug, Clone)]
+struct InvEnergyTable {
+    /// Density axis (`ln ρ`), ascending.
+    ln_rho: Vec<f64>,
+    /// Energy axis (`ln e`), ascending.
+    ln_e: Vec<f64>,
+    /// `ln p` values, row-major `[i_rho * ne + j_e]` (a copy of the
+    /// forward table's payload, kept so the inversion can blend rows
+    /// without re-deriving bilinear weights per probe).
+    lnp: Vec<f64>,
+}
+
+impl InvEnergyTable {
+    /// `ln e` such that the bilinear forward table gives `lnp` at
+    /// `(ln_rho, ln e)`, clamped to the energy axis when `lnp` falls
+    /// outside the blended row's span.
+    fn eval(&self, ln_rho: f64, lnp: f64) -> f64 {
+        let nr = self.ln_rho.len();
+        let ne = self.ln_e.len();
+        // Bracket the density axis exactly like the forward lookup.
+        let i = self
+            .ln_rho
+            .partition_point(|&x| x <= ln_rho)
+            .clamp(1, nr - 1)
+            - 1;
+        let f = ((ln_rho - self.ln_rho[i]) / (self.ln_rho[i + 1] - self.ln_rho[i])).clamp(0.0, 1.0);
+        let lo_row = &self.lnp[i * ne..(i + 1) * ne];
+        let hi_row = &self.lnp[(i + 1) * ne..(i + 2) * ne];
+        let blended = |j: usize| lo_row[j] + f * (hi_row[j] - lo_row[j]);
+        // The blended row is nondecreasing in energy (each source row is,
+        // up to clamp-flattened ends); clamp outside its span.
+        if lnp <= blended(0) {
+            return self.ln_e[0];
+        }
+        if lnp >= blended(ne - 1) {
+            return self.ln_e[ne - 1];
+        }
+        // Bisect for the segment with blended(lo) <= lnp < blended(hi).
+        let (mut lo, mut hi) = (0usize, ne - 1);
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if blended(mid) <= lnp {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let p0 = blended(lo);
+        let p1 = blended(hi);
+        // Flat (clamped) segments invert to their low-energy end.
+        let t = if p1 > p0 { (lnp - p0) / (p1 - p0) } else { 0.0 };
+        self.ln_e[lo] + t * (self.ln_e[hi] - self.ln_e[lo])
+    }
+}
+
 /// Tabulated equilibrium EOS implementing [`GasModel`].
 #[derive(Debug, Clone)]
 pub struct EqTable {
     lnp: BilinearTable,
     temp: BilinearTable,
     a2: BilinearTable,
+    /// Inverse lookup `ln e(ln ρ, ln p)` backing [`GasModel::energy`].
+    lne_inv: InvEnergyTable,
     /// One mass-fraction table per species (mixture order).
     y: Vec<BilinearTable>,
     species_names: Vec<String>,
@@ -122,15 +185,18 @@ impl EqTable {
                 .par_iter()
                 .map(|&lr| {
                     let rho = lr.exp();
-                    // Sweep temperature, collect (ln e, ln p, T, y).
+                    // Sweep temperature via the micro-batched solver (4-lane
+                    // chunks share scratch and warm-cache seeds; lanes stay
+                    // sequential so results match per-state solves bitwise),
+                    // then collect (ln e, ln p, T, y).
+                    let sweep: Vec<(f64, f64)> =
+                        ln_t_sweep.iter().map(|&lt| (lt.exp(), rho)).collect();
                     let mut se = Vec::with_capacity(opts.n_t);
                     let mut sp = Vec::with_capacity(opts.n_t);
                     let mut st = Vec::with_capacity(opts.n_t);
                     let mut sy = vec![Vec::with_capacity(opts.n_t); ns];
-                    for &lt in &ln_t_sweep {
-                        let t = lt.exp();
-                        let state = gas
-                            .at_trho(t, rho)
+                    for (&(t, _), result) in sweep.iter().zip(gas.at_trho_batch(&sweep)) {
+                        let state = result
                             .map_err(|e| format!("table row rho={rho:.3e}, T={t:.1}: {e}"))?;
                         // Guard: energy must increase along the sweep for the
                         // reinterpolation to be well-posed.
@@ -216,6 +282,15 @@ impl EqTable {
             }
         }
 
+        // Inverse energy lookup: keep a copy of the ln p payload and axes so
+        // `energy(ρ, p)` can bisect the density-blended pressure row — an
+        // exact inversion of the forward bilinear, with no per-call Brent.
+        let lne_inv = InvEnergyTable {
+            ln_rho: ln_rho.clone(),
+            ln_e: ln_e.clone(),
+            lnp: lnp_v.clone(),
+        };
+
         let species_names = gas
             .mixture()
             .species()
@@ -226,6 +301,7 @@ impl EqTable {
             lnp: BilinearTable::new(ln_rho.clone(), ln_e.clone(), lnp_v),
             temp: BilinearTable::new(ln_rho.clone(), ln_e.clone(), t_v),
             a2: BilinearTable::new(ln_rho.clone(), ln_e.clone(), a2_v),
+            lne_inv,
             y: y_v
                 .into_iter()
                 .map(|v| BilinearTable::new(ln_rho.clone(), ln_e.clone(), v))
@@ -308,19 +384,25 @@ impl GasModel for EqTable {
     }
 
     fn energy(&self, rho: f64, p: f64) -> f64 {
-        brent_expanding(
-            |e| self.pressure(rho, e) - p,
-            1e6,
-            8e5,
-            self.e_range.0,
-            self.e_range.1,
-            1e-3,
-            80,
+        // Direct lookup in the prebuilt ln e(ln ρ, ln p) inverse table;
+        // clamped to the table range like the root-find fallback was.
+        let lr = rho.clamp(self.rho_range.0, self.rho_range.1).ln();
+        let lp = p.max(1e-300).ln();
+        self.lne_inv
+            .eval(lr, lp)
+            .exp()
+            .clamp(self.e_range.0, self.e_range.1)
+    }
+
+    fn pressure_sound_speed(&self, rho: f64, e: f64) -> (f64, f64) {
+        // One clamp/ln per axis for both lookups; each expression matches
+        // the standalone method bit-for-bit.
+        let lr = rho.clamp(self.rho_range.0, self.rho_range.1).ln();
+        let le = e.clamp(self.e_range.0, self.e_range.1).ln();
+        (
+            self.lnp.eval(lr, le).exp(),
+            self.a2.eval(lr, le).max(0.0).sqrt(),
         )
-        .unwrap_or_else(|_| {
-            // Clamped fallback: perfect-gas estimate inside the table range.
-            (p / (0.4 * rho)).clamp(self.e_range.0, self.e_range.1)
-        })
     }
 }
 
@@ -404,6 +486,49 @@ mod tests {
         let p = table.pressure(rho, e);
         let e2 = table.energy(rho, p);
         assert!((e2 - e).abs() / e < 0.02, "e = {e} -> {e2}");
+    }
+
+    #[test]
+    fn energy_lookup_matches_root_solve() {
+        // The prebuilt inverse table must agree with a bracketed root find
+        // on the forward pressure table (the pre-lookup implementation).
+        let (_, table) = small_table();
+        for (rho, e_true) in [
+            (1.0, 3e5),
+            (0.05, 2e6),
+            (1e-3, 1.2e7),
+            (1e-5, 6e7),
+            (5.0, 8e5),
+        ] {
+            let p = table.pressure(rho, e_true);
+            let e_root = aerothermo_numerics::roots::brent_expanding(
+                |e| table.pressure(rho, e) - p,
+                1e6,
+                8e5,
+                1.0e5,
+                2.5e8,
+                1e-3,
+                80,
+            )
+            .unwrap();
+            let e_tab = table.energy(rho, p);
+            // The bisection inverts the same bilinear surface the root find
+            // probes, so agreement is limited only by the Brent tolerance.
+            assert!(
+                (e_tab - e_root).abs() / e_root < 1e-3,
+                "rho={rho} e={e_true}: lookup {e_tab} vs root {e_root}"
+            );
+        }
+    }
+
+    #[test]
+    fn pressure_sound_speed_pair_is_bitwise() {
+        let (_, table) = small_table();
+        for (rho, e) in [(1.0, 3e5), (0.01, 5e6), (1e-4, 4e7), (30.0, 5e4)] {
+            let (p, a) = table.pressure_sound_speed(rho, e);
+            assert_eq!(p.to_bits(), table.pressure(rho, e).to_bits());
+            assert_eq!(a.to_bits(), table.sound_speed(rho, e).to_bits());
+        }
     }
 
     #[test]

@@ -38,6 +38,36 @@ pub trait GasModel: Send + Sync {
         e + self.pressure(rho, e) / rho
     }
 
+    /// Pressure and sound speed together — the pair every primitive
+    /// decode needs. Models whose lookups share setup work (log-space
+    /// table coordinates, clamping) override this to do that work once;
+    /// the results must be bitwise identical to the individual calls.
+    fn pressure_sound_speed(&self, rho: f64, e: f64) -> (f64, f64) {
+        (self.pressure(rho, e), self.sound_speed(rho, e))
+    }
+
+    /// Four-lane [`GasModel::energy`], for the vectorized MUSCL
+    /// reconstruction. The default is a hand-unrolled per-lane loop, so
+    /// results are bitwise identical to four scalar calls by construction.
+    fn energy4(&self, rho: [f64; 4], p: [f64; 4]) -> [f64; 4] {
+        [
+            self.energy(rho[0], p[0]),
+            self.energy(rho[1], p[1]),
+            self.energy(rho[2], p[2]),
+            self.energy(rho[3], p[3]),
+        ]
+    }
+
+    /// Four-lane [`GasModel::sound_speed`] (see [`GasModel::energy4`]).
+    fn sound_speed4(&self, rho: [f64; 4], e: [f64; 4]) -> [f64; 4] {
+        [
+            self.sound_speed(rho[0], e[0]),
+            self.sound_speed(rho[1], e[1]),
+            self.sound_speed(rho[2], e[2]),
+            self.sound_speed(rho[3], e[3]),
+        ]
+    }
+
     /// Short human-readable identity, recorded in run-control restart-file
     /// headers so a snapshot is only restored under the gas model that
     /// produced it.

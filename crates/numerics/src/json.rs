@@ -44,7 +44,16 @@ pub fn write_string(s: &str) -> String {
 #[must_use]
 pub fn write_f64(v: f64) -> String {
     if v.is_finite() {
-        format!("{v}")
+        // `{}` always prints positionally ("0.0000000000015"); prefer the
+        // exponent form whenever it is strictly shorter (both are
+        // shortest-roundtrip digit-wise, and JSON accepts either).
+        let plain = format!("{v}");
+        let exp = format!("{v:e}");
+        if exp.len() < plain.len() {
+            exp
+        } else {
+            plain
+        }
     } else {
         "null".to_string()
     }

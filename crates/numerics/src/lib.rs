@@ -13,6 +13,9 @@
 //! * [`interp`] — linear / monotone-cubic interpolation and bilinear tables,
 //! * [`quadrature`] — trapezoid, Simpson, Gauss-Legendre quadrature,
 //! * [`limiters`] — TVD slope limiters for MUSCL reconstruction,
+//! * [`simd`] — four-wide `f64` lanes for the vectorized flux/limiter
+//!   kernels (SSE2 behind the `simd` feature, hand-unrolled scalar
+//!   fallback otherwise, bitwise-identical semantics either way),
 //! * [`constants`] — physical constants in SI units,
 //! * [`telemetry`] — solver observability: kernel counters, phase timers,
 //!   residual monitors with divergence detection, physics-audit findings,
@@ -43,6 +46,7 @@ pub mod newton;
 pub mod ode;
 pub mod quadrature;
 pub mod roots;
+pub mod simd;
 pub mod telemetry;
 pub mod trace;
 pub mod tridiag;

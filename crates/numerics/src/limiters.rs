@@ -3,6 +3,15 @@
 //! The upwind finite-volume solvers (`euler2d`, `ns2d`, `pns`) reconstruct
 //! interface states from cell averages; these limiters keep the
 //! reconstruction monotone through the captured bow shock.
+//!
+//! Each limiter exists in two forms: the scalar [`Limiter::slope`] used by
+//! the cell-centered reference paths, and the four-wide [`Limiter::slope4`]
+//! used by the vectorized face sweeps. The vector forms are op-for-op
+//! transcriptions of the scalar ones (same expression grouping, branchless
+//! via bitwise [`F64x4::select`] blends), so they agree bit-for-bit on every
+//! finite input.
+
+use crate::simd::F64x4;
 
 /// Which limiter a solver should apply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -28,6 +37,22 @@ impl Limiter {
             Limiter::Minmod => minmod(a, b),
             Limiter::VanLeer => van_leer(a, b),
             Limiter::Superbee => superbee(a, b),
+        }
+    }
+
+    /// Four-wide [`Self::slope`]: limited slopes for four faces at once.
+    ///
+    /// Bitwise identical to calling [`Self::slope`] on each lane for all
+    /// finite inputs (the branchless selects reproduce the scalar branch
+    /// structure exactly).
+    #[inline]
+    #[must_use]
+    pub fn slope4(self, a: F64x4, b: F64x4) -> F64x4 {
+        match self {
+            Limiter::FirstOrder => F64x4::splat(0.0),
+            Limiter::Minmod => minmod4(a, b),
+            Limiter::VanLeer => van_leer4(a, b),
+            Limiter::Superbee => superbee4(a, b),
         }
     }
 }
@@ -67,6 +92,41 @@ pub fn superbee(a: f64, b: f64) -> f64 {
     let aa = a.abs();
     let ab = b.abs();
     s * (aa.min(2.0 * ab)).max(ab.min(2.0 * aa))
+}
+
+/// Four-wide [`minmod`]: per lane, the smaller-magnitude slope when signs
+/// agree, else zero. The select order mirrors the scalar branch chain.
+#[inline]
+#[must_use]
+pub fn minmod4(a: F64x4, b: F64x4) -> F64x4 {
+    let zero = F64x4::splat(0.0);
+    let pick = F64x4::select(a.abs().lt(b.abs()), a, b);
+    F64x4::select((a * b).le(zero), zero, pick)
+}
+
+/// Four-wide [`van_leer`]. The harmonic mean is computed unconditionally;
+/// the bitwise blend discards the (possibly 0/0 = NaN) lanes where the
+/// slopes disagree in sign.
+#[inline]
+#[must_use]
+pub fn van_leer4(a: F64x4, b: F64x4) -> F64x4 {
+    let zero = F64x4::splat(0.0);
+    let harmonic = F64x4::splat(2.0) * a * b / (a + b);
+    F64x4::select((a * b).le(zero), zero, harmonic)
+}
+
+/// Four-wide [`superbee`]. `signum` is realized as a select (valid because
+/// the zero-slope lanes are discarded by the sign-agreement blend).
+#[inline]
+#[must_use]
+pub fn superbee4(a: F64x4, b: F64x4) -> F64x4 {
+    let zero = F64x4::splat(0.0);
+    let s = F64x4::select(a.lt(zero), F64x4::splat(-1.0), F64x4::splat(1.0));
+    let aa = a.abs();
+    let ab = b.abs();
+    let two = F64x4::splat(2.0);
+    let sb = s * (aa.min(two * ab)).max(ab.min(two * aa));
+    F64x4::select((a * b).le(zero), zero, sb)
 }
 
 #[cfg(test)]
@@ -120,6 +180,48 @@ mod tests {
             let v = van_leer(a, b);
             let s = superbee(a, b);
             assert!(m <= v + 1e-14 && v <= s + 1e-14, "a={a} b={b}: {m} {v} {s}");
+        }
+    }
+
+    #[test]
+    fn slope4_bitwise_matches_scalar() {
+        // Deterministic pseudo-random slope pairs covering sign changes,
+        // magnitude orderings, exact zeros, and tiny/huge scales.
+        let mut state = 0x9e3779b97f4a7c15_u64;
+        let mut noise = move || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 4.0
+        };
+        for lim in LIMITERS {
+            for round in 0..64 {
+                let mut a = [0.0; 4];
+                let mut b = [0.0; 4];
+                for k in 0..4 {
+                    a[k] = noise() * 10f64.powi((round % 7) - 3);
+                    b[k] = noise() * 10f64.powi((round % 5) - 2);
+                }
+                // Force exact-zero and equal-slope lanes periodically.
+                if round % 3 == 0 {
+                    a[1] = 0.0;
+                    b[2] = a[2];
+                }
+                let v = lim
+                    .slope4(F64x4::from_array(a), F64x4::from_array(b))
+                    .to_array();
+                for k in 0..4 {
+                    let s = lim.slope(a[k], b[k]);
+                    assert_eq!(
+                        v[k].to_bits(),
+                        s.to_bits(),
+                        "{lim:?} lane {k}: a={} b={} vector={} scalar={s}",
+                        a[k],
+                        b[k],
+                        v[k]
+                    );
+                }
+            }
         }
     }
 

@@ -65,10 +65,26 @@ pub mod counters {
         /// Run-control rollback/retry events (checkpoint restores and
         /// single-shot backoff retries).
         RunRollbacks,
+        /// Micro-batched equilibrium Newton passes (each covers 1–4 states).
+        EquilibriumBatches,
+        /// States evaluated through the micro-batched equilibrium path.
+        EquilibriumBatchStates,
+        /// Equilibrium batches that ran with exactly 1 lane.
+        EquilibriumBatchLanes1,
+        /// Equilibrium batches that ran with exactly 2 lanes.
+        EquilibriumBatchLanes2,
+        /// Equilibrium batches that ran with exactly 3 lanes.
+        EquilibriumBatchLanes3,
+        /// Equilibrium batches that ran with the full 4 lanes.
+        EquilibriumBatchLanes4,
+        /// Faces evaluated by the four-wide vectorized flux kernel (the
+        /// remainder of [`Counter::FacesEvaluated`] went through the scalar
+        /// boundary/tail path).
+        FluxSimdFaces,
     }
 
     /// Number of distinct counters.
-    pub const N_COUNTERS: usize = 15;
+    pub const N_COUNTERS: usize = 22;
 
     impl Counter {
         /// Every counter, in declaration order.
@@ -88,6 +104,13 @@ pub mod counters {
             Counter::NewtonWarmStarts,
             Counter::CheckpointsWritten,
             Counter::RunRollbacks,
+            Counter::EquilibriumBatches,
+            Counter::EquilibriumBatchStates,
+            Counter::EquilibriumBatchLanes1,
+            Counter::EquilibriumBatchLanes2,
+            Counter::EquilibriumBatchLanes3,
+            Counter::EquilibriumBatchLanes4,
+            Counter::FluxSimdFaces,
         ];
 
         /// Stable snake_case name (used as the JSON report key).
@@ -109,27 +132,20 @@ pub mod counters {
                 Counter::NewtonWarmStarts => "newton_warm_starts",
                 Counter::CheckpointsWritten => "checkpoints_written",
                 Counter::RunRollbacks => "run_rollbacks",
+                Counter::EquilibriumBatches => "equilibrium_batches",
+                Counter::EquilibriumBatchStates => "equilibrium_batch_states",
+                Counter::EquilibriumBatchLanes1 => "equilibrium_batch_lanes_1",
+                Counter::EquilibriumBatchLanes2 => "equilibrium_batch_lanes_2",
+                Counter::EquilibriumBatchLanes3 => "equilibrium_batch_lanes_3",
+                Counter::EquilibriumBatchLanes4 => "equilibrium_batch_lanes_4",
+                Counter::FluxSimdFaces => "flux_simd_faces",
             }
         }
     }
 
-    static COUNTERS: [AtomicU64; N_COUNTERS] = [
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-    ];
+    #[allow(clippy::declare_interior_mutable_const)]
+    const COUNTER_ZERO: AtomicU64 = AtomicU64::new(0);
+    static COUNTERS: [AtomicU64; N_COUNTERS] = [COUNTER_ZERO; N_COUNTERS];
 
     thread_local! {
         /// Per-thread mirror of the global counters, incremented alongside

@@ -17,6 +17,7 @@ use crate::audit;
 use aerothermo_gas::GasModel;
 use aerothermo_grid::{Metrics, StructuredGrid};
 use aerothermo_numerics::limiters::Limiter;
+use aerothermo_numerics::simd::F64x4;
 use aerothermo_numerics::telemetry::{
     counters, Counter, MonitorOptions, ResidualMonitor, RunTelemetry, SolverError,
 };
@@ -26,15 +27,118 @@ use rayon::prelude::*;
 /// Number of conserved variables.
 pub const NEQ: usize = 4;
 
-/// Zero-filled placeholder used to size the primitive scratch buffer.
-const PRIM_ZERO: Primitive = Primitive {
-    rho: 0.0,
-    ux: 0.0,
-    ur: 0.0,
-    p: 0.0,
-    a: 0.0,
-    h0: 0.0,
-};
+/// Structure-of-arrays cell primitives, row-major `i * ncj + j` per lane.
+///
+/// The flux kernels read each primitive component for four consecutive
+/// cells at a time; separate contiguous lanes turn those reads into plain
+/// vector loads ([`F64x4::load`]) instead of a gather over interleaved
+/// `Primitive` records. The layout is observable only through
+/// [`PrimSoA::get`]/[`PrimSoA::set`]: pack/unpack round-trips bitwise.
+#[derive(Debug, Default, Clone)]
+pub struct PrimSoA {
+    /// Density lane \[kg/m³\].
+    pub rho: Vec<f64>,
+    /// Axial-velocity lane \[m/s\].
+    pub ux: Vec<f64>,
+    /// Radial-velocity lane \[m/s\].
+    pub ur: Vec<f64>,
+    /// Pressure lane \[Pa\].
+    pub p: Vec<f64>,
+    /// Sound-speed lane \[m/s\].
+    pub a: Vec<f64>,
+    /// Total-enthalpy lane \[J/kg\].
+    pub h0: Vec<f64>,
+}
+
+impl PrimSoA {
+    /// Number of cells stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rho.len()
+    }
+
+    /// Whether the container is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rho.is_empty()
+    }
+
+    /// Resize every lane to `n` cells (new cells zero-filled).
+    pub fn resize(&mut self, n: usize) {
+        self.rho.resize(n, 0.0);
+        self.ux.resize(n, 0.0);
+        self.ur.resize(n, 0.0);
+        self.p.resize(n, 0.0);
+        self.a.resize(n, 0.0);
+        self.h0.resize(n, 0.0);
+    }
+
+    /// Gather the cell at flat index `idx` back into record form.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, idx: usize) -> Primitive {
+        Primitive {
+            rho: self.rho[idx],
+            ux: self.ux[idx],
+            ur: self.ur[idx],
+            p: self.p[idx],
+            a: self.a[idx],
+            h0: self.h0[idx],
+        }
+    }
+
+    /// Scatter a record into the lanes at flat index `idx`.
+    #[inline]
+    pub fn set(&mut self, idx: usize, q: Primitive) {
+        self.rho[idx] = q.rho;
+        self.ux[idx] = q.ux;
+        self.ur[idx] = q.ur;
+        self.p[idx] = q.p;
+        self.a[idx] = q.a;
+        self.h0[idx] = q.h0;
+    }
+
+    /// Build from a record slice (the AoS→SoA transpose).
+    #[must_use]
+    pub fn pack(prims: &[Primitive]) -> Self {
+        let mut soa = Self::default();
+        soa.resize(prims.len());
+        for (idx, q) in prims.iter().enumerate() {
+            soa.set(idx, *q);
+        }
+        soa
+    }
+
+    /// Recover the record vector (the SoA→AoS transpose).
+    #[must_use]
+    pub fn unpack(&self) -> Vec<Primitive> {
+        (0..self.len()).map(|idx| self.get(idx)).collect()
+    }
+
+    /// Vector load of cells `idx..idx + 4` into one register per lane.
+    #[inline]
+    fn load4(&self, idx: usize) -> Prim4 {
+        Prim4 {
+            rho: F64x4::load(&self.rho[idx..]),
+            ux: F64x4::load(&self.ux[idx..]),
+            ur: F64x4::load(&self.ur[idx..]),
+            p: F64x4::load(&self.p[idx..]),
+            a: F64x4::load(&self.a[idx..]),
+            h0: F64x4::load(&self.h0[idx..]),
+        }
+    }
+}
+
+/// Four primitive states, one per vector lane.
+#[derive(Debug, Clone, Copy)]
+struct Prim4 {
+    rho: F64x4,
+    ux: F64x4,
+    ur: F64x4,
+    p: F64x4,
+    a: F64x4,
+    h0: F64x4,
+}
 
 /// Reusable face-based-assembly scratch owned by the solver: cached cell
 /// primitives and the single-sweep face fluxes. Allocated on the first
@@ -42,8 +146,8 @@ const PRIM_ZERO: Primitive = Primitive {
 /// allocation-free.
 #[derive(Debug, Default)]
 pub(crate) struct EulerScratch {
-    /// Cell primitives, row-major `i * ncj + j`.
-    pub(crate) prim: Vec<Primitive>,
+    /// Cell primitives in structure-of-arrays layout (see [`PrimSoA`]).
+    pub(crate) prim: PrimSoA,
     /// i-face fluxes, laid out `iface * ncj + j` (each i-face column is a
     /// contiguous, independently writable chunk).
     pub(crate) fi: Vec<[f64; NEQ]>,
@@ -245,8 +349,11 @@ impl<'a> EulerSolver<'a> {
         let ur = c[2] / rho;
         let e_tot = c[3] / rho;
         let e = (e_tot - 0.5 * (ux * ux + ur * ur)).max(1e-6 * e_tot.abs().max(1e-300));
-        let p = self.gas.pressure(rho, e).max(self.opts.p_floor);
-        let a = self.gas.sound_speed(rho, e).max(1.0);
+        // The paired lookup shares the EOS setup work (table coordinates,
+        // clamps) and is bitwise identical to the two individual calls.
+        let (p_raw, a_raw) = self.gas.pressure_sound_speed(rho, e);
+        let p = p_raw.max(self.opts.p_floor);
+        let a = a_raw.max(1.0);
         Primitive {
             rho,
             ux,
@@ -378,6 +485,201 @@ impl<'a> EulerSolver<'a> {
         [b.rho - a.rho, b.ux - a.ux, b.ur - a.ur, b.p - a.p]
     }
 
+    /// Four-lane [`Self::delta`].
+    #[inline]
+    fn delta4(a: &Prim4, b: &Prim4) -> [F64x4; 4] {
+        [b.rho - a.rho, b.ux - a.ux, b.ur - a.ur, b.p - a.p]
+    }
+
+    /// Four-lane [`Self::recon`]: the same expressions transcribed onto
+    /// [`F64x4`] (identical association order and floor semantics, so each
+    /// lane matches the scalar reconstruction bit-for-bit; the EOS calls go
+    /// through [`GasModel::energy4`]/[`GasModel::sound_speed4`], which are
+    /// per-lane-identical by contract).
+    #[inline]
+    fn recon4(&self, lim: Limiter, c: &Prim4, dl: [F64x4; 4], du: [F64x4; 4], sign: f64) -> Prim4 {
+        let s0 = lim.slope4(dl[0], du[0]);
+        let s1 = lim.slope4(dl[1], du[1]);
+        let s2 = lim.slope4(dl[2], du[2]);
+        let s3 = lim.slope4(dl[3], du[3]);
+        // `sign` is ±1, so `sign * 0.5` is exact and the splat-multiply
+        // reproduces the scalar `sign * 0.5 * s` product order.
+        let half = F64x4::splat(sign * 0.5);
+        let rho = (c.rho + half * s0).max(F64x4::splat(self.opts.rho_floor));
+        let p = (c.p + half * s3).max(F64x4::splat(self.opts.p_floor));
+        let e = F64x4::from_array(self.gas.energy4(rho.to_array(), p.to_array()));
+        let ux = c.ux + half * s1;
+        let ur = c.ur + half * s2;
+        let a = F64x4::from_array(self.gas.sound_speed4(rho.to_array(), e.to_array()))
+            .max(F64x4::splat(1.0));
+        let h0 = e + p / rho + F64x4::splat(0.5) * (ux * ux + ur * ur);
+        Prim4 {
+            rho,
+            ux,
+            ur,
+            p,
+            a,
+            h0,
+        }
+    }
+
+    /// Four-lane [`Self::ausm_flux`]: branchless AUSM+ with the split
+    /// functions evaluated on all lanes and blended by [`F64x4::select`].
+    /// Every expression keeps the scalar association order, and the
+    /// select masks reproduce the scalar branch conditions exactly (the
+    /// discarded branch's lanes never leak: select is a bitwise blend).
+    #[inline]
+    fn ausm_flux4(left: &Prim4, right: &Prim4, sx: F64x4, sr: F64x4) -> [F64x4; NEQ] {
+        let one = F64x4::splat(1.0);
+        let zero = F64x4::splat(0.0);
+        let area = (sx * sx + sr * sr).sqrt().max(F64x4::splat(1e-300));
+        let nx = sx / area;
+        let nr = sr / area;
+        let unl = left.ux * nx + left.ur * nr;
+        let unr = right.ux * nx + right.ur * nr;
+        let a_half = F64x4::splat(0.5) * (left.a + right.a);
+        let ml = unl / a_half;
+        let mr = unr / a_half;
+
+        // AUSM+ split functions (β = 1/8, α = 3/16), supersonic/subsonic
+        // branches computed on all lanes and selected on |m| ≥ 1.
+        let signum = |m: F64x4| F64x4::select(m.lt(zero), F64x4::splat(-1.0), one);
+        let m4p = |m: F64x4| -> F64x4 {
+            let sup = F64x4::splat(0.5) * (m + m.abs());
+            let s = m * m - one;
+            let sub = F64x4::splat(0.25) * (m + one) * (m + one) + F64x4::splat(0.125) * s * s;
+            F64x4::select(m.abs().ge(one), sup, sub)
+        };
+        let m4m = |m: F64x4| -> F64x4 {
+            let sup = F64x4::splat(0.5) * (m - m.abs());
+            let s = m * m - one;
+            let sub = F64x4::splat(-0.25) * (m - one) * (m - one) - F64x4::splat(0.125) * s * s;
+            F64x4::select(m.abs().ge(one), sup, sub)
+        };
+        let p5p = |m: F64x4| -> F64x4 {
+            let sup = F64x4::splat(0.5) * (one + signum(m));
+            let s = m * m - one;
+            let sub = F64x4::splat(0.25) * (m + one) * (m + one) * (F64x4::splat(2.0) - m)
+                + F64x4::splat(0.1875) * m * s * s;
+            F64x4::select(m.abs().ge(one), sup, sub)
+        };
+        let p5m = |m: F64x4| -> F64x4 {
+            let sup = F64x4::splat(0.5) * (one - signum(m));
+            let s = m * m - one;
+            let sub = F64x4::splat(0.25) * (m - one) * (m - one) * (F64x4::splat(2.0) + m)
+                - F64x4::splat(0.1875) * m * s * s;
+            F64x4::select(m.abs().ge(one), sup, sub)
+        };
+
+        let m_half = m4p(ml) + m4m(mr);
+        let p_half = p5p(ml) * left.p + p5m(mr) * right.p;
+        let mdot = a_half * (m_half.max(zero) * left.rho + m_half.min(zero) * right.rho);
+
+        let upwind_left = mdot.ge(zero);
+        let psi1 = F64x4::select(upwind_left, left.ux, right.ux);
+        let psi2 = F64x4::select(upwind_left, left.ur, right.ur);
+        let psi3 = F64x4::select(upwind_left, left.h0, right.h0);
+        // ψ₀ = 1, and mdot·1 is exact, so the mass row folds to mdot·area.
+        [
+            mdot * area,
+            (mdot * psi1 + p_half * nx) * area,
+            (mdot * psi2 + p_half * nr) * area,
+            (mdot * psi3) * area,
+        ]
+    }
+
+    /// Transpose `[equation][lane]` vector fluxes into four `[f64; NEQ]`
+    /// face records.
+    #[inline]
+    fn store_flux4(f: &[F64x4; NEQ], out: &mut [[f64; NEQ]]) {
+        let rows = [
+            f[0].to_array(),
+            f[1].to_array(),
+            f[2].to_array(),
+            f[3].to_array(),
+        ];
+        for (lane, o) in out.iter_mut().enumerate().take(4) {
+            *o = [rows[0][lane], rows[1][lane], rows[2][lane], rows[3][lane]];
+        }
+    }
+
+    /// Vectorized flux for the four i-faces `(iface, j0..j0+4)`. Only valid
+    /// for fully interior columns (`2 ≤ iface ≤ nci−2`), where both sides
+    /// reconstruct: the i-stencil never moves in j, so all four lanes share
+    /// one code path and the cell loads are contiguous row segments.
+    fn i_face_flux4(
+        &self,
+        prim: &PrimSoA,
+        iface: usize,
+        j0: usize,
+        lim: Limiter,
+        out: &mut [[f64; NEQ]],
+    ) {
+        let ncj = self.ncj();
+        let il = iface - 1;
+        let ir = iface;
+        let qll = prim.load4((il - 1) * ncj + j0);
+        let ql = prim.load4(il * ncj + j0);
+        let qr = prim.load4(ir * ncj + j0);
+        let qrr = prim.load4((ir + 1) * ncj + j0);
+        let left = self.recon4(
+            lim,
+            &ql,
+            Self::delta4(&qll, &ql),
+            Self::delta4(&ql, &qr),
+            1.0,
+        );
+        let right = self.recon4(
+            lim,
+            &qr,
+            Self::delta4(&ql, &qr),
+            Self::delta4(&qr, &qrr),
+            -1.0,
+        );
+        let m = &self.metrics;
+        let sx = F64x4::load(&m.si_x.as_slice()[iface * ncj + j0..]);
+        let sr = F64x4::load(&m.si_r.as_slice()[iface * ncj + j0..]);
+        Self::store_flux4(&Self::ausm_flux4(&left, &right, sx, sr), out);
+    }
+
+    /// Vectorized flux for the four j-faces `(i, jf0..jf0+4)`. Only valid
+    /// when the whole chunk is fully interior (`2 ≤ jf0` and
+    /// `jf0+3 ≤ ncj−2`): the j-stencil slides along the row, so the four
+    /// lanes' cell loads are the same row segment shifted by −2…+1.
+    fn j_face_flux4(
+        &self,
+        prim: &PrimSoA,
+        i: usize,
+        jf0: usize,
+        lim: Limiter,
+        out: &mut [[f64; NEQ]],
+    ) {
+        let ncj = self.ncj();
+        let base = i * ncj;
+        let qll = prim.load4(base + jf0 - 2);
+        let ql = prim.load4(base + jf0 - 1);
+        let qr = prim.load4(base + jf0);
+        let qrr = prim.load4(base + jf0 + 1);
+        let left = self.recon4(
+            lim,
+            &ql,
+            Self::delta4(&qll, &ql),
+            Self::delta4(&ql, &qr),
+            1.0,
+        );
+        let right = self.recon4(
+            lim,
+            &qr,
+            Self::delta4(&ql, &qr),
+            Self::delta4(&qr, &qrr),
+            -1.0,
+        );
+        let m = &self.metrics;
+        let sx = F64x4::load(&m.sj_x.as_slice()[i * (ncj + 1) + jf0..]);
+        let sr = F64x4::load(&m.sj_r.as_slice()[i * (ncj + 1) + jf0..]);
+        Self::store_flux4(&Self::ausm_flux4(&left, &right, sx, sr), out);
+    }
+
     /// Reconstructed states at the interior i-face `(iface, j)` between
     /// cells `(iface−1, j)` and `(iface, j)`.
     fn face_states_i(&self, iface: usize, j: usize, first_order: bool) -> (Primitive, Primitive) {
@@ -448,7 +750,7 @@ impl<'a> EulerSolver<'a> {
     /// [`Self::primitive_of`] is deterministic).
     fn face_states_i_cached(
         &self,
-        prim: &[Primitive],
+        prim: &PrimSoA,
         iface: usize,
         j: usize,
         first_order: bool,
@@ -461,16 +763,16 @@ impl<'a> EulerSolver<'a> {
         };
         let il = iface - 1;
         let ir = iface;
-        let ql = prim[il * ncj + j];
-        let qr = prim[ir * ncj + j];
+        let ql = prim.get(il * ncj + j);
+        let qr = prim.get(ir * ncj + j);
         let left = if il >= 1 {
-            let qll = prim[(il - 1) * ncj + j];
+            let qll = prim.get((il - 1) * ncj + j);
             self.recon(lim, &ql, Self::delta(&qll, &ql), Self::delta(&ql, &qr), 1.0)
         } else {
             ql
         };
         let right = if ir + 1 < self.nci() {
-            let qrr = prim[(ir + 1) * ncj + j];
+            let qrr = prim.get((ir + 1) * ncj + j);
             self.recon(
                 lim,
                 &qr,
@@ -487,7 +789,7 @@ impl<'a> EulerSolver<'a> {
     /// [`Self::face_states_j`] reading the per-step primitive cache.
     fn face_states_j_cached(
         &self,
-        prim: &[Primitive],
+        prim: &PrimSoA,
         i: usize,
         jface: usize,
         first_order: bool,
@@ -500,16 +802,16 @@ impl<'a> EulerSolver<'a> {
         };
         let jl = jface - 1;
         let jr = jface;
-        let ql = prim[i * ncj + jl];
-        let qr = prim[i * ncj + jr];
+        let ql = prim.get(i * ncj + jl);
+        let qr = prim.get(i * ncj + jr);
         let left = if jl >= 1 {
-            let qll = prim[i * ncj + jl - 1];
+            let qll = prim.get(i * ncj + jl - 1);
             self.recon(lim, &ql, Self::delta(&qll, &ql), Self::delta(&ql, &qr), 1.0)
         } else {
             ql
         };
         let right = if jr + 1 < ncj {
-            let qrr = prim[i * ncj + jr + 1];
+            let qrr = prim.get(i * ncj + jr + 1);
             self.recon(
                 lim,
                 &qr,
@@ -526,24 +828,18 @@ impl<'a> EulerSolver<'a> {
     /// Flux through i-face `(iface, j)` from cached primitives, including
     /// the boundary ghost faces; the per-face arithmetic is exactly that of
     /// [`Self::cell_residual`].
-    fn i_face_flux(
-        &self,
-        prim: &[Primitive],
-        iface: usize,
-        j: usize,
-        first_order: bool,
-    ) -> [f64; NEQ] {
+    fn i_face_flux(&self, prim: &PrimSoA, iface: usize, j: usize, first_order: bool) -> [f64; NEQ] {
         let m = &self.metrics;
         let ncj = self.ncj();
         let sx = m.si_x[(iface, j)];
         let sr = m.si_r[(iface, j)];
         if iface == 0 {
-            let qc = prim[j];
+            let qc = prim.get(j);
             let area = (sx * sx + sr * sr).sqrt().max(1e-300);
             let ghost = self.ghost(self.bc.i_lo, &qc, -sx / area, -sr / area);
             Self::ausm_flux(&ghost, &qc, sx, sr)
         } else if iface == self.nci() {
-            let qc = prim[(iface - 1) * ncj + j];
+            let qc = prim.get((iface - 1) * ncj + j);
             let area = (sx * sx + sr * sr).sqrt().max(1e-300);
             let ghost = self.ghost(self.bc.i_hi, &qc, sx / area, sr / area);
             Self::ausm_flux(&qc, &ghost, sx, sr)
@@ -554,24 +850,18 @@ impl<'a> EulerSolver<'a> {
     }
 
     /// Flux through j-face `(i, jface)` from cached primitives.
-    fn j_face_flux(
-        &self,
-        prim: &[Primitive],
-        i: usize,
-        jface: usize,
-        first_order: bool,
-    ) -> [f64; NEQ] {
+    fn j_face_flux(&self, prim: &PrimSoA, i: usize, jface: usize, first_order: bool) -> [f64; NEQ] {
         let m = &self.metrics;
         let ncj = self.ncj();
         let sx = m.sj_x[(i, jface)];
         let sr = m.sj_r[(i, jface)];
         if jface == 0 {
-            let qc = prim[i * ncj];
+            let qc = prim.get(i * ncj);
             let area = (sx * sx + sr * sr).sqrt().max(1e-300);
             let ghost = self.ghost(self.bc.j_lo, &qc, -sx / area, -sr / area);
             Self::ausm_flux(&ghost, &qc, sx, sr)
         } else if jface == ncj {
-            let qc = prim[i * ncj + jface - 1];
+            let qc = prim.get(i * ncj + jface - 1);
             let area = (sx * sx + sr * sr).sqrt().max(1e-300);
             let ghost = self.ghost(self.bc.j_hi, &qc, sx / area, sr / area);
             Self::ausm_flux(&qc, &ghost, sx, sr)
@@ -589,28 +879,46 @@ impl<'a> EulerSolver<'a> {
     pub(crate) fn assemble_faces(&self, scratch: &mut EulerScratch, first_order: bool) {
         let nci = self.nci();
         let ncj = self.ncj();
-        scratch.prim.resize(nci * ncj, PRIM_ZERO);
+        scratch.prim.resize(nci * ncj);
         scratch.fi.resize((nci + 1) * ncj, [0.0; NEQ]);
         scratch.fj.resize(nci * (ncj + 1), [0.0; NEQ]);
 
-        scratch
-            .prim
-            .par_chunks_mut(ncj)
-            .enumerate()
-            .for_each(|(i, row)| {
-                for (j, q) in row.iter_mut().enumerate() {
-                    *q = self.primitive_of(self.u.vector(i, j));
-                }
-            });
+        for i in 0..nci {
+            for j in 0..ncj {
+                scratch
+                    .prim
+                    .set(i * ncj + j, self.primitive_of(self.u.vector(i, j)));
+            }
+        }
 
-        let prim: &[Primitive] = &scratch.prim;
+        let lim = if first_order {
+            Limiter::FirstOrder
+        } else {
+            self.opts.limiter
+        };
+        let prim: &PrimSoA = &scratch.prim;
+        let _sp = aerothermo_numerics::trace::span("flux_kernel_simd");
         scratch
             .fi
             .par_chunks_mut(ncj)
             .enumerate()
             .for_each(|(iface, col)| {
-                for (j, f) in col.iter_mut().enumerate() {
-                    *f = self.i_face_flux(prim, iface, j, first_order);
+                // Fully interior columns (both sides reconstruct) take the
+                // four-lane kernel over j; boundary-adjacent columns and the
+                // ragged tail fall back to the bitwise-identical scalar path.
+                if iface >= 2 && iface + 2 <= nci {
+                    let mut j0 = 0usize;
+                    while j0 + 4 <= ncj {
+                        self.i_face_flux4(prim, iface, j0, lim, &mut col[j0..j0 + 4]);
+                        j0 += 4;
+                    }
+                    for (j, f) in col.iter_mut().enumerate().skip(j0) {
+                        *f = self.i_face_flux(prim, iface, j, first_order);
+                    }
+                } else {
+                    for (j, f) in col.iter_mut().enumerate() {
+                        *f = self.i_face_flux(prim, iface, j, first_order);
+                    }
                 }
             });
         scratch
@@ -618,14 +926,32 @@ impl<'a> EulerSolver<'a> {
             .par_chunks_mut(ncj + 1)
             .enumerate()
             .for_each(|(i, row)| {
-                for (jface, f) in row.iter_mut().enumerate() {
-                    *f = self.j_face_flux(prim, i, jface, first_order);
+                let mut jf = 0usize;
+                while jf <= ncj {
+                    if jf >= 2 && jf + 3 <= ncj.saturating_sub(2) {
+                        self.j_face_flux4(prim, i, jf, lim, &mut row[jf..jf + 4]);
+                        jf += 4;
+                    } else {
+                        row[jf] = self.j_face_flux(prim, i, jf, first_order);
+                        jf += 1;
+                    }
                 }
             });
         counters::add(
             Counter::FacesEvaluated,
             ((nci + 1) * ncj + nci * (ncj + 1)) as u64,
         );
+        let simd_i = if nci >= 4 {
+            (nci - 3) * (ncj / 4) * 4
+        } else {
+            0
+        };
+        let simd_j = if ncj >= 7 {
+            nci * ((ncj - 3) / 4) * 4
+        } else {
+            0
+        };
+        counters::add(Counter::FluxSimdFaces, (simd_i + simd_j) as u64);
     }
 
     /// Net residual of cell (i, j) gathered from the assembled face fluxes,
@@ -649,7 +975,7 @@ impl<'a> EulerSolver<'a> {
             res[k] = r;
         }
         if self.grid.geometry == aerothermo_grid::Geometry::Axisymmetric {
-            res[2] += scratch.prim[i * ncj + j].p * self.metrics.plane_area[(i, j)];
+            res[2] += scratch.prim.p[i * ncj + j] * self.metrics.plane_area[(i, j)];
         }
         res
     }
@@ -775,7 +1101,7 @@ impl<'a> EulerSolver<'a> {
         for i in 0..nci {
             for j in 0..ncj {
                 let res = self.gather_residual(&scratch, i, j);
-                let dt = self.local_dt(&scratch.prim[i * ncj + j], i, j, cfl);
+                let dt = self.local_dt(&scratch.prim.get(i * ncj + j), i, j, cfl);
                 let v = self.metrics.volume[(i, j)];
                 let cell = self.u.vector_mut(i, j);
                 let scale = dt / v;
@@ -1391,6 +1717,54 @@ mod tests {
             cases: 24,
             ..proptest::test_runner::ProptestConfig::default()
         })]
+
+        /// The AoS→SoA→AoS transpose is lossless: every lane value survives
+        /// `pack`/`unpack` bit-for-bit, and indexed `get` agrees with the
+        /// source record at every cell.
+        #[test]
+        fn prim_soa_aos_roundtrip_is_bitwise(
+            seed in 0_u64..1_000_000,
+            n in 1_usize..40,
+        ) {
+            // Full-range bit patterns (including subnormals, infinities and
+            // NaNs rejected): the transpose is a pure data movement, so any
+            // representable f64 must survive.
+            let mut state = seed | 1;
+            let mut noise = move || {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                let v = f64::from_bits(state.rotate_left(17));
+                if v.is_nan() { 0.0 } else { v }
+            };
+            let aos: Vec<Primitive> = (0..n)
+                .map(|_| Primitive {
+                    rho: noise(),
+                    ux: noise(),
+                    ur: noise(),
+                    p: noise(),
+                    a: noise(),
+                    h0: noise(),
+                })
+                .collect();
+            let soa = PrimSoA::pack(&aos);
+            proptest::prop_assert_eq!(soa.len(), aos.len());
+            let back = soa.unpack();
+            for (idx, (orig, round)) in aos.iter().zip(&back).enumerate() {
+                let got = soa.get(idx);
+                for (x, y, z) in [
+                    (orig.rho, round.rho, got.rho),
+                    (orig.ux, round.ux, got.ux),
+                    (orig.ur, round.ur, got.ur),
+                    (orig.p, round.p, got.p),
+                    (orig.a, round.a, got.a),
+                    (orig.h0, round.h0, got.h0),
+                ] {
+                    proptest::prop_assert_eq!(x.to_bits(), y.to_bits());
+                    proptest::prop_assert_eq!(x.to_bits(), z.to_bits());
+                }
+            }
+        }
 
         /// The face-based residual assembly agrees with the cell-centered
         /// reference on randomized admissible states — both reconstruction

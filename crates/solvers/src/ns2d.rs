@@ -13,7 +13,7 @@
 
 #[cfg(test)]
 use crate::euler2d::Bc;
-use crate::euler2d::{BcSet, EulerOptions, EulerSolver, Primitive, NEQ};
+use crate::euler2d::{BcSet, EulerOptions, EulerSolver, PrimSoA, Primitive, NEQ};
 use aerothermo_gas::transport::sutherland_air;
 use aerothermo_gas::GasModel;
 use aerothermo_grid::StructuredGrid;
@@ -260,7 +260,7 @@ impl<'a> NsSolver<'a> {
     /// no viscous flux (freestream).
     fn viscous_face_flux(
         &self,
-        prim: &[Primitive],
+        prim: &PrimSoA,
         temp: &[f64],
         i: usize,
         jface: usize,
@@ -278,7 +278,7 @@ impl<'a> NsSolver<'a> {
         if jface == 0 {
             // No-slip isothermal wall: one-sided difference from the
             // wall-face midpoint to the cell center.
-            let qc = prim[i * ncj];
+            let qc = prim.get(i * ncj);
             let tc = temp[i * ncj];
             let gx = m.xc[(i, 0)];
             let gr = m.rc[(i, 0)];
@@ -293,9 +293,9 @@ impl<'a> NsSolver<'a> {
             // No-slip: the stress does no work on the stationary wall.
             self.visc_flux(&wall, self.t_wall, &qc, tc, dn, sx, sr, Some((0.0, 0.0)))
         } else {
-            let ql = prim[i * ncj + jface - 1];
+            let ql = prim.get(i * ncj + jface - 1);
             let tl = temp[i * ncj + jface - 1];
-            let qr = prim[i * ncj + jface];
+            let qr = prim.get(i * ncj + jface);
             let tr = temp[i * ncj + jface];
             let dn = ((m.xc[(i, jface)] - m.xc[(i, jface - 1)]) * nx
                 + (m.rc[(i, jface)] - m.rc[(i, jface - 1)]) * nr)
@@ -307,7 +307,7 @@ impl<'a> NsSolver<'a> {
 
     /// Fill the viscous scratch: cache every cell temperature once, then
     /// sweep each viscous j-face exactly once (row-parallel, race-free).
-    fn assemble_viscous(&self, prim: &[Primitive], scratch: &mut NsScratch) {
+    fn assemble_viscous(&self, prim: &PrimSoA, scratch: &mut NsScratch) {
         let nci = self.inviscid.nci();
         let ncj = self.inviscid.ncj();
         scratch.temp.resize(nci * ncj, 0.0);
@@ -322,7 +322,7 @@ impl<'a> NsSolver<'a> {
                     *t = self
                         .inviscid
                         .gas()
-                        .temperature(prim[i * ncj + j].rho, self.inviscid.internal_energy(i, j));
+                        .temperature(prim.rho[i * ncj + j], self.inviscid.internal_energy(i, j));
                 }
             });
 
@@ -391,7 +391,7 @@ impl<'a> NsSolver<'a> {
                     vv += ft[k];
                     res[k] += vv;
                 }
-                let dt = self.viscous_dt(&esc.prim[idx], vsc.temp[idx], i, j, cfl);
+                let dt = self.viscous_dt(&esc.prim.get(idx), vsc.temp[idx], i, j, cfl);
                 let v = self.inviscid.grid_metrics().volume[(i, j)];
                 let cell = self.inviscid.u.vector_mut(i, j);
                 for k in 0..NEQ {

@@ -125,14 +125,135 @@ pub struct ReactingPrimitive {
     pub h0: f64,
 }
 
+impl ReactingPrimitive {
+    /// Borrowed view of this primitive (the form the flux kernels take, so
+    /// cached SoA cells and owned ghost states share one code path).
+    fn as_view(&self) -> ReactingPrimRef<'_> {
+        ReactingPrimRef {
+            y: &self.y,
+            rho: self.rho,
+            ux: self.ux,
+            ur: self.ur,
+            p: self.p,
+            t: self.t,
+            tv: self.tv,
+            ev: self.ev,
+            a: self.a,
+            h0: self.h0,
+        }
+    }
+}
+
+/// Borrowed per-cell view into [`ReactingPrimSoA`] (or an owned
+/// [`ReactingPrimitive`] via [`ReactingPrimitive::as_view`]).
+#[derive(Debug, Clone, Copy)]
+struct ReactingPrimRef<'s> {
+    y: &'s [f64],
+    rho: f64,
+    ux: f64,
+    ur: f64,
+    p: f64,
+    t: f64,
+    tv: f64,
+    ev: f64,
+    a: f64,
+    h0: f64,
+}
+
+impl ReactingPrimRef<'_> {
+    /// Materialize an owned primitive (boundary ghost construction only —
+    /// the interior sweeps never allocate).
+    fn to_owned(self) -> ReactingPrimitive {
+        ReactingPrimitive {
+            y: self.y.to_vec(),
+            rho: self.rho,
+            ux: self.ux,
+            ur: self.ur,
+            p: self.p,
+            t: self.t,
+            tv: self.tv,
+            ev: self.ev,
+            a: self.a,
+            h0: self.h0,
+        }
+    }
+}
+
+/// Structure-of-arrays cache of every cell's reacting primitives: one flat
+/// lane per scalar field plus a cell-major mass-fraction matrix with stride
+/// `ns` — a handful of dense buffers instead of `nci·ncj` heap `y` vectors,
+/// so the per-step decode writes and the face-sweep reads stream linearly.
+#[derive(Debug, Default)]
+struct ReactingPrimSoA {
+    ns: usize,
+    /// Mass fractions, cell-major `idx * ns + s`.
+    y: Vec<f64>,
+    rho: Vec<f64>,
+    ux: Vec<f64>,
+    ur: Vec<f64>,
+    p: Vec<f64>,
+    t: Vec<f64>,
+    tv: Vec<f64>,
+    ev: Vec<f64>,
+    a: Vec<f64>,
+    h0: Vec<f64>,
+}
+
+impl ReactingPrimSoA {
+    fn resize(&mut self, n: usize, ns: usize) {
+        self.ns = ns;
+        self.y.resize(n * ns, 0.0);
+        self.rho.resize(n, 0.0);
+        self.ux.resize(n, 0.0);
+        self.ur.resize(n, 0.0);
+        self.p.resize(n, 0.0);
+        self.t.resize(n, 0.0);
+        self.tv.resize(n, 0.0);
+        self.ev.resize(n, 0.0);
+        self.a.resize(n, 0.0);
+        self.h0.resize(n, 0.0);
+    }
+
+    fn view(&self, idx: usize) -> ReactingPrimRef<'_> {
+        ReactingPrimRef {
+            y: &self.y[idx * self.ns..(idx + 1) * self.ns],
+            rho: self.rho[idx],
+            ux: self.ux[idx],
+            ur: self.ur[idx],
+            p: self.p[idx],
+            t: self.t[idx],
+            tv: self.tv[idx],
+            ev: self.ev[idx],
+            a: self.a[idx],
+            h0: self.h0[idx],
+        }
+    }
+
+    fn set(&mut self, idx: usize, q: &ReactingPrimitive) {
+        self.y[idx * self.ns..(idx + 1) * self.ns].copy_from_slice(&q.y);
+        self.rho[idx] = q.rho;
+        self.ux[idx] = q.ux;
+        self.ur[idx] = q.ur;
+        self.p[idx] = q.p;
+        self.t[idx] = q.t;
+        self.tv[idx] = q.tv;
+        self.ev[idx] = q.ev;
+        self.a[idx] = q.a;
+        self.h0[idx] = q.h0;
+    }
+}
+
 /// Reusable face-based-assembly scratch for the reacting solver: cached
 /// cell primitives (their `y` vectors are reused across steps) and flat
 /// face-flux buffers with stride `neq`. Allocated on the first step, reused
 /// afterwards — the interior of the step loop is allocation-free.
 #[derive(Debug, Default)]
 struct ReactingScratch {
-    /// Cell primitives, row-major `i * ncj + j`.
-    prim: Vec<ReactingPrimitive>,
+    /// Cell primitives, row-major `i * ncj + j`, in SoA layout.
+    prim: ReactingPrimSoA,
+    /// Reusable decode target for the primitive fill (keeps the per-cell
+    /// `y` allocation out of the loop).
+    tmp: ReactingPrimitive,
     /// i-face fluxes, flat `(iface * ncj + j) * neq`.
     fi: Vec<f64>,
     /// j-face fluxes, flat `(i * (ncj + 1) + jface) * neq`.
@@ -349,7 +470,7 @@ impl<'a> ReactingSolver<'a> {
     fn ghost(
         &self,
         bc: &ReactingBc,
-        interior: &ReactingPrimitive,
+        interior: ReactingPrimRef<'_>,
         nx: f64,
         nr: f64,
     ) -> ReactingPrimitive {
@@ -358,10 +479,10 @@ impl<'a> ReactingSolver<'a> {
                 let c = Self::conserved_from_freestream(self.mix, fs);
                 self.primitive_of(&c, fs.t)
             }
-            ReactingBc::Outflow => interior.clone(),
+            ReactingBc::Outflow => interior.to_owned(),
             ReactingBc::SlipWall => {
                 let un = interior.ux * nx + interior.ur * nr;
-                let mut g = interior.clone();
+                let mut g = interior.to_owned();
                 g.ux -= 2.0 * un * nx;
                 g.ur -= 2.0 * un * nr;
                 g
@@ -378,7 +499,7 @@ impl<'a> ReactingSolver<'a> {
         sr: f64,
     ) -> Vec<f64> {
         let mut f = vec![0.0; self.neq];
-        self.ausm_flux_into(left, right, sx, sr, &mut f);
+        self.ausm_flux_into(left.as_view(), right.as_view(), sx, sr, &mut f);
         f
     }
 
@@ -386,8 +507,8 @@ impl<'a> ReactingSolver<'a> {
     /// the form the face-flux sweep uses (no per-face allocation).
     fn ausm_flux_into(
         &self,
-        left: &ReactingPrimitive,
-        right: &ReactingPrimitive,
+        left: ReactingPrimRef<'_>,
+        right: ReactingPrimRef<'_>,
         sx: f64,
         sr: f64,
         f: &mut [f64],
@@ -436,7 +557,7 @@ impl<'a> ReactingSolver<'a> {
         let m_half = m4p(ml) + m4m(mr);
         let p_half = p5p(ml) * left.p + p5m(mr) * right.p;
         let mdot = a_half * (m_half.max(0.0) * left.rho + m_half.min(0.0) * right.rho);
-        let up = if mdot >= 0.0 { left } else { right };
+        let up = if mdot >= 0.0 { &left } else { &right };
 
         for s in 0..ns {
             f[s] = mdot * up.y[s] * area;
@@ -450,25 +571,25 @@ impl<'a> ReactingSolver<'a> {
     /// Flux through i-face `(iface, j)` from cached primitives, including
     /// the boundary ghost faces; matches the per-face arithmetic of
     /// [`Self::cell_residual`] exactly.
-    fn i_face_flux_into(&self, prim: &[ReactingPrimitive], iface: usize, j: usize, f: &mut [f64]) {
+    fn i_face_flux_into(&self, prim: &ReactingPrimSoA, iface: usize, j: usize, f: &mut [f64]) {
         let m = &self.metrics;
         let ncj = self.grid.ncj();
         let sx = m.si_x[(iface, j)];
         let sr = m.si_r[(iface, j)];
         if iface == 0 {
-            let qc = &prim[j];
+            let qc = prim.view(j);
             let area = (sx * sx + sr * sr).sqrt().max(1e-300);
             let g = self.ghost(&self.bc.i_lo, qc, -sx / area, -sr / area);
-            self.ausm_flux_into(&g, qc, sx, sr, f);
+            self.ausm_flux_into(g.as_view(), qc, sx, sr, f);
         } else if iface == self.grid.nci() {
-            let qc = &prim[(iface - 1) * ncj + j];
+            let qc = prim.view((iface - 1) * ncj + j);
             let area = (sx * sx + sr * sr).sqrt().max(1e-300);
             let g = self.ghost(&self.bc.i_hi, qc, sx / area, sr / area);
-            self.ausm_flux_into(qc, &g, sx, sr, f);
+            self.ausm_flux_into(qc, g.as_view(), sx, sr, f);
         } else {
             self.ausm_flux_into(
-                &prim[(iface - 1) * ncj + j],
-                &prim[iface * ncj + j],
+                prim.view((iface - 1) * ncj + j),
+                prim.view(iface * ncj + j),
                 sx,
                 sr,
                 f,
@@ -477,25 +598,25 @@ impl<'a> ReactingSolver<'a> {
     }
 
     /// Flux through j-face `(i, jface)` from cached primitives.
-    fn j_face_flux_into(&self, prim: &[ReactingPrimitive], i: usize, jface: usize, f: &mut [f64]) {
+    fn j_face_flux_into(&self, prim: &ReactingPrimSoA, i: usize, jface: usize, f: &mut [f64]) {
         let m = &self.metrics;
         let ncj = self.grid.ncj();
         let sx = m.sj_x[(i, jface)];
         let sr = m.sj_r[(i, jface)];
         if jface == 0 {
-            let qc = &prim[i * ncj];
+            let qc = prim.view(i * ncj);
             let area = (sx * sx + sr * sr).sqrt().max(1e-300);
             let g = self.ghost(&self.bc.j_lo, qc, -sx / area, -sr / area);
-            self.ausm_flux_into(&g, qc, sx, sr, f);
+            self.ausm_flux_into(g.as_view(), qc, sx, sr, f);
         } else if jface == ncj {
-            let qc = &prim[i * ncj + jface - 1];
+            let qc = prim.view(i * ncj + jface - 1);
             let area = (sx * sx + sr * sr).sqrt().max(1e-300);
             let g = self.ghost(&self.bc.j_hi, qc, sx / area, sr / area);
-            self.ausm_flux_into(qc, &g, sx, sr, f);
+            self.ausm_flux_into(qc, g.as_view(), sx, sr, f);
         } else {
             self.ausm_flux_into(
-                &prim[i * ncj + jface - 1],
-                &prim[i * ncj + jface],
+                prim.view(i * ncj + jface - 1),
+                prim.view(i * ncj + jface),
                 sx,
                 sr,
                 f,
@@ -510,25 +631,20 @@ impl<'a> ReactingSolver<'a> {
         let nci = self.grid.nci();
         let ncj = self.grid.ncj();
         let neq = self.neq;
-        scratch
-            .prim
-            .resize_with(nci * ncj, ReactingPrimitive::default);
+        scratch.prim.resize(nci * ncj, self.ns);
         scratch.fi.resize((nci + 1) * ncj * neq, 0.0);
         scratch.fj.resize(nci * (ncj + 1) * neq, 0.0);
         scratch.dts.resize(nci * ncj, 0.0);
         scratch.res.resize(neq, 0.0);
 
-        scratch
-            .prim
-            .par_chunks_mut(ncj)
-            .enumerate()
-            .for_each(|(i, row)| {
-                for (j, q) in row.iter_mut().enumerate() {
-                    self.primitive_into(self.u.vector(i, j), 3000.0, q);
-                }
-            });
+        for i in 0..nci {
+            for j in 0..ncj {
+                self.primitive_into(self.u.vector(i, j), 3000.0, &mut scratch.tmp);
+                scratch.prim.set(i * ncj + j, &scratch.tmp);
+            }
+        }
 
-        let prim: &[ReactingPrimitive] = &scratch.prim;
+        let prim: &ReactingPrimSoA = &scratch.prim;
         scratch
             .fi
             .par_chunks_mut(ncj * neq)
@@ -572,7 +688,7 @@ impl<'a> ReactingSolver<'a> {
             res[k] = r;
         }
         if self.grid.geometry == Geometry::Axisymmetric {
-            res[self.ns + 1] += scratch.prim[i * ncj + j].p * self.metrics.plane_area[(i, j)];
+            res[self.ns + 1] += scratch.prim.p[i * ncj + j] * self.metrics.plane_area[(i, j)];
         }
     }
 
@@ -598,7 +714,7 @@ impl<'a> ReactingSolver<'a> {
             let sr = m.si_r[(i, j)];
             let f = if i == 0 {
                 let area = (sx * sx + sr * sr).sqrt().max(1e-300);
-                let g = self.ghost(&self.bc.i_lo, &qc, -sx / area, -sr / area);
+                let g = self.ghost(&self.bc.i_lo, qc.as_view(), -sx / area, -sr / area);
                 self.ausm_flux(&g, &qc, sx, sr)
             } else {
                 let ql = self.primitive(i - 1, j);
@@ -611,7 +727,7 @@ impl<'a> ReactingSolver<'a> {
             let sr = m.si_r[(i + 1, j)];
             let f = if i + 1 == self.grid.nci() {
                 let area = (sx * sx + sr * sr).sqrt().max(1e-300);
-                let g = self.ghost(&self.bc.i_hi, &qc, sx / area, sr / area);
+                let g = self.ghost(&self.bc.i_hi, qc.as_view(), sx / area, sr / area);
                 self.ausm_flux(&qc, &g, sx, sr)
             } else {
                 let qr = self.primitive(i + 1, j);
@@ -625,7 +741,7 @@ impl<'a> ReactingSolver<'a> {
             let sr = m.sj_r[(i, j)];
             let f = if j == 0 {
                 let area = (sx * sx + sr * sr).sqrt().max(1e-300);
-                let g = self.ghost(&self.bc.j_lo, &qc, -sx / area, -sr / area);
+                let g = self.ghost(&self.bc.j_lo, qc.as_view(), -sx / area, -sr / area);
                 self.ausm_flux(&g, &qc, sx, sr)
             } else {
                 let ql = self.primitive(i, j - 1);
@@ -638,7 +754,7 @@ impl<'a> ReactingSolver<'a> {
             let sr = m.sj_r[(i, j + 1)];
             let f = if j + 1 == self.grid.ncj() {
                 let area = (sx * sx + sr * sr).sqrt().max(1e-300);
-                let g = self.ghost(&self.bc.j_hi, &qc, sx / area, sr / area);
+                let g = self.ghost(&self.bc.j_hi, qc.as_view(), sx / area, sr / area);
                 self.ausm_flux(&qc, &g, sx, sr)
             } else {
                 let qr = self.primitive(i, j + 1);
@@ -653,7 +769,7 @@ impl<'a> ReactingSolver<'a> {
         res
     }
 
-    fn local_dt(&self, q: &ReactingPrimitive, i: usize, j: usize, cfl: f64) -> f64 {
+    fn local_dt(&self, q: ReactingPrimRef<'_>, i: usize, j: usize, cfl: f64) -> f64 {
         let m = &self.metrics;
         let spectral = |sx: f64, sr: f64| -> f64 {
             let area = (sx * sx + sr * sr).sqrt();
@@ -788,7 +904,7 @@ impl<'a> ReactingSolver<'a> {
             for j in 0..ncj {
                 let idx = i * ncj + j;
                 self.gather_residual_into(&scratch, i, j, &mut res);
-                let dt = self.local_dt(&scratch.prim[idx], i, j, cfl);
+                let dt = self.local_dt(scratch.prim.view(idx), i, j, cfl);
                 scratch.dts[idx] = dt;
                 let v = self.metrics.volume[(i, j)];
                 let cell = self.u.vector_mut(i, j);
