@@ -28,6 +28,7 @@ use aerothermo_gas::eq_table::air9_table;
 use aerothermo_gas::equilibrium::air9_equilibrium;
 use aerothermo_grid::bodies::Hemisphere;
 use aerothermo_grid::{stretch, StructuredGrid};
+use aerothermo_numerics::metrics;
 use aerothermo_numerics::newton::{newton_solve, NewtonOptions};
 use aerothermo_numerics::ode::{stiff_integrate, AdaptiveOptions};
 use aerothermo_numerics::telemetry::CounterSnapshot;
@@ -61,6 +62,10 @@ fn main() {
     let counters0 = CounterSnapshot::take();
     trace::enable();
     trace::reset();
+    if aerothermo_bench::cli::no_metrics() {
+        metrics::disable();
+    }
+    metrics::reset_all();
 
     run_suite();
 
@@ -111,6 +116,35 @@ fn main() {
             st.min_ns,
             st.max_ns,
             st.mean_ns()
+        ));
+    }
+    s.push_str("\n  },\n");
+    // Sampled timing histograms from the metrics registry. Schema-additive:
+    // the ratchet comparator reads only calibration_ns/spans, so these
+    // quantiles inform without gating.
+    let msnap = metrics::snapshot();
+    s.push_str("  \"metrics_timings\": {");
+    let mut first = true;
+    for t in &msnap.timings {
+        if t.calls == 0 {
+            continue;
+        }
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        s.push_str(&format!(
+            "\n    \"{}\": {{\"calls\": {}, \"samples\": {}, \"p50_ns\": {}, \
+             \"p90_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"mean_ns\": {}, \"max_ns\": {}}}",
+            t.timer.name(),
+            t.calls,
+            t.hist.count,
+            t.hist.quantile_ns(0.50),
+            t.hist.quantile_ns(0.90),
+            t.hist.quantile_ns(0.95),
+            t.hist.quantile_ns(0.99),
+            t.hist.mean_ns(),
+            t.hist.max_ns
         ));
     }
     s.push_str("\n  },\n");

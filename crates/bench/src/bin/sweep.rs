@@ -83,6 +83,9 @@ fn main() {
         resume: cli::resume(),
         default_timeout_secs: cli::timeout_secs(),
         halt_after_cases: cli::halt_after_cases(),
+        events_path: cli::events_path(&plan.name),
+        trace_base: cli::trace_path(),
+        audit_every: cli::audit_cadence().unwrap_or(0),
         ..SweepOptions::default()
     };
     eprintln!(
@@ -92,6 +95,9 @@ fn main() {
         opts.workers,
         opts.store_path.as_deref().unwrap_or("-")
     );
+    if let Some(ev) = &opts.events_path {
+        eprintln!("# lifecycle events streaming to {ev}");
+    }
 
     let report = match run_sweep(&plan, &opts) {
         Ok(r) => r,

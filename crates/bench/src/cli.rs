@@ -175,6 +175,29 @@ pub fn halt_after_cases() -> Option<usize> {
     value_of("--halt-after-cases").and_then(|n| n.parse().ok())
 }
 
+/// Sweep lifecycle-event stream destination, parsed from `--events`
+/// (default `<plan>-events.jsonl` by the driver) or `--events=PATH`.
+#[must_use]
+pub fn events_path(figure: &str) -> Option<String> {
+    flag_or_value("--events", &format!("{figure}-events.jsonl"))
+}
+
+/// `--no-metrics`: disable the sampled timing-histogram registry (the
+/// overhead-measurement switch; metrics are on by default).
+#[must_use]
+pub fn no_metrics() -> bool {
+    flag("--no-metrics")
+}
+
+/// Flight-recorder black-box destination, parsed from `--blackbox=PATH`;
+/// defaults to `<figure>-blackbox.json`. The file is only written when a
+/// run actually dies (or `--inject-nan` fires), so the default is armed in
+/// every binary at no cost to clean runs.
+#[must_use]
+pub fn blackbox_file(figure: &str) -> String {
+    value_of("--blackbox").unwrap_or_else(|| format!("{figure}-blackbox.json"))
+}
+
 /// Every flag the shared vocabulary accepts, with its help line.
 const KNOWN_FLAGS: &[(&str, &str)] = &[
     ("--csv", "emit CSV tables instead of aligned text"),
@@ -221,6 +244,18 @@ const KNOWN_FLAGS: &[(&str, &str)] = &[
     (
         "--halt-after-cases",
         "=K stop the sweep after K case records",
+    ),
+    (
+        "--events",
+        "write sweep lifecycle events [=PATH, default <plan>-events.jsonl]",
+    ),
+    (
+        "--no-metrics",
+        "disable the sampled timing-histogram registry",
+    ),
+    (
+        "--blackbox",
+        "=PATH flight-recorder dump destination (default <figure>-blackbox.json)",
     ),
     (
         "--fig02-titan",
@@ -289,6 +324,9 @@ mod tests {
         assert!(halt_after_cases().is_none());
         assert_eq!(checkpoint_file("figX"), "figX-restart.atrc");
         assert_eq!(sweep_store_path("figX"), "figX-results.jsonl");
+        assert!(events_path("figX").is_none());
+        assert!(!no_metrics());
+        assert_eq!(blackbox_file("figX"), "figX-blackbox.json");
     }
 
     #[test]

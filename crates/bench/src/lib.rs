@@ -64,6 +64,10 @@ pub fn run_options(
     opts.restart_from = restart_path().map(Into::into);
     opts.inject_nan_at = inject_nan_at();
     opts.halt_after = halt_after();
+    // Arm the flight-recorder black box in every figure binary: the dump
+    // is only written when a run dies or --inject-nan fires, so a clean
+    // run never creates the file.
+    opts.blackbox_path = Some(cli::blackbox_file(figure).into());
     opts
 }
 
@@ -97,6 +101,9 @@ impl Report {
         }
         if let Some(every) = audit_cadence() {
             aerothermo_solvers::audit::enable(every);
+        }
+        if cli::no_metrics() {
+            aerothermo_numerics::metrics::disable();
         }
         Self {
             figure: figure.to_string(),
@@ -211,6 +218,33 @@ impl Report {
                 s.push(',');
             }
             s.push_str(&format!("\n    {}: {}", json_string(name), json_f64(*v)));
+        }
+        s.push_str("\n  },\n");
+        // Sampled timing histograms from the metrics registry (all shards
+        // merged); only timers that actually fired appear. Durations in ns.
+        let msnap = aerothermo_numerics::metrics::snapshot();
+        s.push_str("  \"timings\": {");
+        let mut first = true;
+        for t in &msnap.timings {
+            if t.calls == 0 {
+                continue;
+            }
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let (p50, p90, p99) = t.quantiles_ns();
+            s.push_str(&format!(
+                "\n    {}: {{\"calls\": {}, \"samples\": {}, \"p50_ns\": {p50}, \
+                 \"p90_ns\": {p90}, \"p99_ns\": {p99}, \"mean_ns\": {}, \"max_ns\": {}, \
+                 \"total_ns\": {}}}",
+                json_string(t.timer.name()),
+                t.calls,
+                t.hist.count,
+                t.hist.mean_ns(),
+                t.hist.max_ns,
+                t.hist.sum_ns
+            ));
         }
         s.push_str("\n  },\n");
         s.push_str("  \"phases\": {");
@@ -407,8 +441,14 @@ mod tests {
         assert!(!r.check("quoted \"name\"", false, "line\nbreak"));
         r.histories
             .push(("res".to_string(), vec![1.0, 0.5, f64::INFINITY]));
+        aerothermo_numerics::metrics::record_duration_ns(
+            aerothermo_numerics::metrics::Timer::EulerStep,
+            1_000,
+        );
         let json = r.to_json();
         assert!(json.contains("\"figure\": \"test_fig\""));
+        assert!(json.contains("\"timings\""));
+        assert!(json.contains("\"p50_ns\""));
         assert!(json.contains("\"all_green\": false"));
         assert!(json.contains("\"bad\": null"));
         assert!(json.contains("\\\"name\\\""));

@@ -560,6 +560,9 @@ impl EquilibriumGas {
             1,
         );
         let _sp = aerothermo_numerics::trace::span("equilibrium_state");
+        let _mt = aerothermo_numerics::metrics::time(
+            aerothermo_numerics::metrics::Timer::EquilibriumNewton,
+        );
         let ns = self.mix.len();
         let phi: Vec<f64> = self
             .mix

@@ -21,7 +21,10 @@
 //!   residual monitors with divergence detection, physics-audit findings,
 //!   and the shared [`telemetry::SolverError`] type,
 //! * [`trace`] — RAII hierarchical span profiler with Chrome trace-event
-//!   export (`chrome://tracing` / Perfetto).
+//!   export (`chrome://tracing` / Perfetto),
+//! * [`metrics`] — typed gauge and log-bucketed timing-histogram registry
+//!   with p50/p90/p99 summaries, JSON snapshots, and Prometheus-style
+//!   text exposition.
 //!
 //! Everything is `f64`; the structured-grid solvers in `aerothermo-solvers`
 //! are written against these primitives rather than an external array crate so
@@ -42,6 +45,7 @@ pub mod interp;
 pub mod json;
 pub mod limiters;
 pub mod linalg;
+pub mod metrics;
 pub mod newton;
 pub mod ode;
 pub mod quadrature;

@@ -196,6 +196,19 @@ pub mod counters {
         }
     }
 
+    /// Zero the *calling thread's* counter mirror. Mirrors are `Cell`s and
+    /// cannot be reached cross-thread; per-case attribution on other
+    /// threads is windowed through [`super::TelemetryScope`] baselines, so
+    /// only the thread running back-to-back `#[test]` functions needs
+    /// this.
+    pub fn reset_thread_mirror() {
+        let _ = THREAD_COUNTERS.try_with(|t| {
+            for c in t.iter() {
+                c.set(0);
+            }
+        });
+    }
+
     /// A point-in-time copy of all counters.
     #[derive(Debug, Clone, Default, PartialEq, Eq)]
     pub struct CounterSnapshot {
@@ -239,6 +252,20 @@ pub mod counters {
 }
 
 pub use counters::{Counter, CounterSnapshot};
+
+/// Reset *all* process-global observability state: kernel counters (global
+/// atomics plus the calling thread's mirror), every thread's trace buffer,
+/// and every thread's metrics shard (timing histograms and gauges).
+///
+/// This is the between-`#[test]` reset: the test runner reuses threads
+/// across `#[test]` functions, so thread-local state bleeds between tests
+/// unless cleared here. Not for use mid-run.
+pub fn reset_all() {
+    counters::reset_all();
+    counters::reset_thread_mirror();
+    crate::trace::reset();
+    crate::metrics::reset_all();
+}
 
 /// Thread-scoped counter window for per-run attribution.
 ///

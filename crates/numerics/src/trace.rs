@@ -232,6 +232,45 @@ pub fn stats() -> Vec<SpanStats> {
     merged
 }
 
+/// Drain the *calling thread's* recorded events into a standalone Chrome
+/// trace-event JSON document, clearing that thread's buffer (events,
+/// stats, dropped count). Returns `None` when the thread recorded nothing.
+///
+/// This is the per-case export the sweep engine uses for `--trace`: each
+/// case runs pinned to one thread, so at case end the calling thread's
+/// buffer holds exactly that case's spans, and draining it keeps the next
+/// case on the same worker from inheriting them.
+#[must_use]
+pub fn drain_thread_chrome_json() -> Option<String> {
+    LOCAL.with(|buf| {
+        let mut b = buf.lock().unwrap();
+        if b.events.is_empty() && b.stats.is_empty() {
+            return None;
+        }
+        let mut s = String::with_capacity(1 << 12);
+        s.push_str("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+        s.push_str(
+            "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \
+             \"args\": {\"name\": \"aerothermo\"}}",
+        );
+        for e in &b.events {
+            s.push_str(&format!(
+                ",\n{{\"name\": \"{}\", \"cat\": \"aerothermo\", \"ph\": \"X\", \
+                 \"ts\": {:.3}, \"dur\": {:.3}, \"pid\": 1, \"tid\": {}}}",
+                e.label,
+                e.start_ns as f64 / 1e3,
+                e.dur_ns as f64 / 1e3,
+                b.tid
+            ));
+        }
+        s.push_str("\n]}\n");
+        b.events.clear();
+        b.stats.clear();
+        b.dropped = 0;
+        Some(s)
+    })
+}
+
 /// Timeline events dropped because a thread hit its event cap.
 #[must_use]
 pub fn dropped_events() -> u64 {

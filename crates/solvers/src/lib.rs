@@ -26,7 +26,10 @@
 //! Cross-cutting observability: [`audit`] evaluates physical-invariant
 //! audits (flux budgets, element conservation, positivity, mass-fraction
 //! normalization) in-situ during any of the solves above, at a cadence set
-//! process-wide with [`audit::enable`].
+//! process-wide with [`audit::enable`]; [`flight`] is the solver flight
+//! recorder — a fixed-capacity ring of per-step records dumped as a
+//! post-mortem JSON black box when a controlled run dies (or an
+//! `--inject-nan` drill fires).
 #![warn(missing_docs)]
 // Indexed loops over parallel arrays are the clearest idiom for the
 // numerical kernels here; spelled-out spectroscopic constants keep their
@@ -40,6 +43,7 @@
 pub mod audit;
 pub mod blayer;
 pub mod euler2d;
+pub mod flight;
 pub mod ns2d;
 pub mod pns;
 pub mod reacting;

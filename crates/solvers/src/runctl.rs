@@ -26,6 +26,8 @@
 //!   (the 1-D relaxation march, the stagnation VSL solve) that have no
 //!   incremental state to checkpoint.
 
+use crate::flight;
+use aerothermo_numerics::metrics;
 use aerothermo_numerics::telemetry::{
     counters, Counter, MonitorOptions, ResidualMonitor, RunTelemetry, SolverError,
 };
@@ -328,6 +330,14 @@ pub struct RunOptions {
     /// Deterministic mid-run halt after this unit (the CI kill/resume
     /// drill): the controller stops and reports `halted = true`.
     pub halt_after: Option<usize>,
+    /// Flight-recorder ring capacity: how many of the most recent per-step
+    /// records survive into the post-mortem black box.
+    pub flight_ring: usize,
+    /// Where [`run_recorded`] writes the black-box JSON when a
+    /// [`SolverError`] escapes or the `--inject-nan` drill fires. `None`
+    /// still records (the sweep engine attaches the in-memory dump to
+    /// failed case records); only the file write is skipped.
+    pub blackbox_path: Option<PathBuf>,
 }
 
 impl Default for RunOptions {
@@ -347,6 +357,8 @@ impl Default for RunOptions {
             restart_from: None,
             inject_nan_at: None,
             halt_after: None,
+            flight_ring: crate::flight::DEFAULT_CAPACITY,
+            blackbox_path: None,
         }
     }
 }
@@ -404,10 +416,72 @@ fn fresh_monitor(opts: &RunOptions) -> ResidualMonitor {
 /// exhausted or the failure is not [`recoverable`]; restart-file errors
 /// (missing, corrupt, or incompatible with this solver) are
 /// [`SolverError::BadInput`].
-#[allow(clippy::too_many_lines)]
 pub fn run_controlled<S: Steppable + ?Sized>(
     solver: &mut S,
     opts: &RunOptions,
+) -> Result<RunOutcome, SolverError> {
+    run_recorded(solver, opts).0
+}
+
+/// [`run_controlled`] plus the flight recorder's verdict: when the run
+/// dies (or an `--inject-nan` drill fires) the second element is the
+/// post-mortem black box — the last `RunOptions::flight_ring` per-step
+/// records with residual/CFL history, rollback events, audit findings,
+/// and equilibrium-cache hit deltas. Written to
+/// [`RunOptions::blackbox_path`] when set; always returned in memory so
+/// the sweep engine can attach it to failed case records.
+pub fn run_recorded<S: Steppable + ?Sized>(
+    solver: &mut S,
+    opts: &RunOptions,
+) -> (Result<RunOutcome, SolverError>, Option<flight::PostMortem>) {
+    let mut recorder = flight::FlightRecorder::new(opts.flight_ring);
+    let mut ctl = FlightCtl {
+        recorder: &mut recorder,
+        injected: false,
+        retries: 0,
+    };
+    let result = run_inner(solver, opts, &mut ctl);
+    let injected = ctl.injected;
+    let retries = ctl.retries;
+    let pm = match &result {
+        Err(e) => Some(recorder.post_mortem(
+            &solver.meta().tag,
+            flight::Trigger::SolverError,
+            Some(e.to_string()),
+            solver.progress(),
+            retries,
+            solver.cfl_scale(),
+        )),
+        Ok(out) if injected => Some(recorder.post_mortem(
+            &solver.meta().tag,
+            flight::Trigger::NanInjection,
+            None,
+            out.units,
+            out.retries,
+            out.final_cfl_scale,
+        )),
+        Ok(_) => None,
+    };
+    if let (Some(pm), Some(path)) = (&pm, &opts.blackbox_path) {
+        pm.write(path);
+    }
+    (result, pm)
+}
+
+/// Mutable flight-recorder context threaded through [`run_inner`] so the
+/// wrapper can build a post-mortem even when the inner loop early-returns
+/// through `?`.
+struct FlightCtl<'a> {
+    recorder: &'a mut flight::FlightRecorder,
+    injected: bool,
+    retries: usize,
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_inner<S: Steppable + ?Sized>(
+    solver: &mut S,
+    opts: &RunOptions,
+    fl: &mut FlightCtl<'_>,
 ) -> Result<RunOutcome, SolverError> {
     let t0 = std::time::Instant::now();
 
@@ -449,6 +523,7 @@ pub fn run_controlled<S: Steppable + ?Sized>(
 
     while solver.progress() < opts.max_units {
         let unit0 = solver.progress();
+        fl.recorder.mark_step_start();
         let outcome = match solver.advance() {
             Ok(r) => monitor.record(r).map(|()| r),
             Err(e) => Err(e),
@@ -461,6 +536,7 @@ pub fn run_controlled<S: Steppable + ?Sized>(
                 cfl_history.push(scale);
                 // Checkpoint *before* any fault injection so neither the
                 // ring nor the restart file ever holds poisoned state.
+                let mut checkpointed = false;
                 if opts.checkpoint_every != 0 && unit.is_multiple_of(opts.checkpoint_every) {
                     let snap = solver.save_state();
                     if let Some(path) = &opts.checkpoint_path {
@@ -471,14 +547,32 @@ pub fn run_controlled<S: Steppable + ?Sized>(
                     }
                     ring.push_back(snap);
                     rolled_back = false;
+                    checkpointed = true;
                 }
+                let mut injected_now = false;
                 if inject == Some(unit) {
                     solver.poison();
                     inject = None;
+                    fl.injected = true;
+                    injected_now = true;
                 }
+                let event = if injected_now {
+                    flight::StepEvent::Inject
+                } else if checkpointed {
+                    flight::StepEvent::Checkpoint
+                } else {
+                    flight::StepEvent::Advance
+                };
+                let (audit_n, audit_worst) = {
+                    let t = solver.telemetry_mut();
+                    (t.audits().len(), t.worst_audit_severity())
+                };
+                fl.recorder
+                    .record(unit, r, scale, event, audit_n, audit_worst);
                 if scale < 1.0 && opts.reramp_after != 0 && clean >= opts.reramp_after {
                     scale = (scale / opts.backoff).min(1.0);
                     solver.set_cfl_scale(scale);
+                    metrics::set_gauge(metrics::Gauge::CflScale, scale);
                     if scale >= 1.0 {
                         solver.set_first_order_fallback(false);
                     }
@@ -502,10 +596,35 @@ pub fn run_controlled<S: Steppable + ?Sized>(
                 }
             }
             Err(e) => {
+                let (audit_n, audit_worst) = {
+                    let t = solver.telemetry_mut();
+                    (t.audits().len(), t.worst_audit_severity())
+                };
                 if !recoverable(&e) || retries >= opts.max_retries {
+                    fl.recorder.record(
+                        unit0,
+                        f64::NAN,
+                        scale,
+                        flight::StepEvent::Fatal {
+                            error: e.to_string(),
+                        },
+                        audit_n,
+                        audit_worst,
+                    );
                     failure = Some(e);
                     break;
                 }
+                fl.recorder.record(
+                    unit0,
+                    f64::NAN,
+                    scale,
+                    flight::StepEvent::Rollback {
+                        retry: retries + 1,
+                        error: e.to_string(),
+                    },
+                    audit_n,
+                    audit_worst,
+                );
                 // If the newest checkpoint already failed to rescue the run
                 // (no clean checkpoint written since the last rollback), it
                 // captured corrupted-but-finite state — e.g. a NaN laundered
@@ -521,10 +640,12 @@ pub fn run_controlled<S: Steppable + ?Sized>(
                 solver.restore_state(snap)?;
                 scale = (scale * opts.backoff).max(opts.min_cfl_scale);
                 solver.set_cfl_scale(scale);
+                metrics::set_gauge(metrics::Gauge::CflScale, scale);
                 if opts.first_order_fallback {
                     solver.set_first_order_fallback(true);
                 }
                 retries += 1;
+                fl.retries = retries;
                 rollbacks += 1;
                 clean = 0;
                 rolled_back = true;

@@ -1,0 +1,335 @@
+//! Live sweep event stream: append-only JSONL lifecycle events emitted by
+//! [`crate::pool::run_sweep`] to an `--events=PATH` sink.
+//!
+//! This is the stream a future `aerothermod` poll/stream API will serve:
+//! a dashboard (or CI gate) tails the file and sees the sweep's life as it
+//! happens — `plan_started`, per-case `case_started` / `case_retried` /
+//! `case_finished` / `case_failed`, periodic `heartbeat` lines with worker
+//! utilization and a completion ETA, and a terminal `plan_finished`
+//! summary. Every line is one self-contained JSON object with a
+//! monotonically increasing `seq`; the first line carries the stream
+//! schema tag (`aerothermo-sweep-events-v1`).
+//!
+//! # Determinism
+//!
+//! Like the result store, the stream is *order-normalized deterministic*:
+//! which events appear and what their payloads say about the cases is a
+//! pure function of the plan, while arrival order, `seq`, worker indices,
+//! wall-clock fields, and heartbeat cadence vary run to run.
+//! [`normalize`] projects a stream onto that deterministic core — drop
+//! heartbeats, drop timing/identity fields, sort case events by
+//! `(case id, lifecycle rank)` — and two normalized streams from the same
+//! plan are bitwise identical regardless of worker count (property-tested
+//! in `tests/sweep_determinism.rs`).
+//!
+//! Event emission is best-effort after the sink opens: a full disk must
+//! not kill a physics run, so write errors after creation are reported to
+//! stderr once and further writes are skipped.
+
+use aerothermo_numerics::json;
+use aerothermo_numerics::telemetry::SolverError;
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Schema tag carried by the `plan_started` line.
+pub const SCHEMA: &str = "aerothermo-sweep-events-v1";
+
+struct SinkInner {
+    file: Option<std::fs::File>,
+    seq: u64,
+}
+
+/// A thread-safe JSONL event sink (one flushed line per event).
+pub struct EventSink {
+    inner: Mutex<SinkInner>,
+    t0: Instant,
+}
+
+impl EventSink {
+    /// Create (truncating) the sink file.
+    ///
+    /// # Errors
+    /// [`SolverError::BadInput`] when the file cannot be created.
+    pub fn create(path: &str) -> Result<Self, SolverError> {
+        let file = std::fs::File::create(path)
+            .map_err(|e| SolverError::BadInput(format!("events sink {path}: {e}")))?;
+        Ok(Self {
+            inner: Mutex::new(SinkInner {
+                file: Some(file),
+                seq: 0,
+            }),
+            t0: Instant::now(),
+        })
+    }
+
+    /// Seconds since the sink was opened (the stream's time origin).
+    #[must_use]
+    pub fn elapsed_secs(&self) -> f64 {
+        self.t0.elapsed().as_secs_f64()
+    }
+
+    /// Emit one event: `body` is the inside of the JSON object after the
+    /// `"seq"` field (e.g. `"\"event\": \"heartbeat\", ..."`).
+    fn emit(&self, body: &str) {
+        let mut inner = self.inner.lock().unwrap();
+        let seq = inner.seq;
+        inner.seq += 1;
+        let Some(file) = inner.file.as_mut() else {
+            return;
+        };
+        let line = format!("{{\"seq\": {seq}, {body}}}\n");
+        let res = file.write_all(line.as_bytes()).and_then(|()| file.flush());
+        if let Err(e) = res {
+            eprintln!("warning: events sink write failed, disabling stream: {e}");
+            inner.file = None;
+        }
+    }
+
+    /// The sweep is starting: plan identity and scale.
+    pub fn plan_started(&self, plan: &str, cases: usize, workers: usize) {
+        self.emit(&format!(
+            "\"event\": \"plan_started\", \"schema\": \"{SCHEMA}\", \"plan\": {}, \
+             \"cases\": {cases}, \"workers\": {workers}",
+            json::write_string(plan)
+        ));
+    }
+
+    /// A worker picked up a case.
+    pub fn case_started(&self, id: &str, worker: usize) {
+        self.emit(&format!(
+            "\"event\": \"case_started\", \"id\": {}, \"worker\": {worker}, \"t_secs\": {}",
+            json::write_string(id),
+            json::write_f64(self.elapsed_secs()),
+        ));
+    }
+
+    /// A case consumed runctl retries (observable at case completion; one
+    /// event summarizing the count, emitted before the terminal event).
+    pub fn case_retried(&self, id: &str, retries: usize) {
+        self.emit(&format!(
+            "\"event\": \"case_retried\", \"id\": {}, \"retries\": {retries}",
+            json::write_string(id),
+        ));
+    }
+
+    /// A case finished cleanly (`completed`).
+    pub fn case_finished(&self, id: &str, status: &str, retries: usize, wall_secs: f64) {
+        self.emit(&format!(
+            "\"event\": \"case_finished\", \"id\": {}, \"status\": \"{status}\", \
+             \"retries\": {retries}, \"wall_secs\": {}",
+            json::write_string(id),
+            json::write_f64(wall_secs),
+        ));
+    }
+
+    /// A case died (`failed` / `timed_out`).
+    pub fn case_failed(&self, id: &str, status: &str, error: &str, wall_secs: f64) {
+        self.emit(&format!(
+            "\"event\": \"case_failed\", \"id\": {}, \"status\": \"{status}\", \
+             \"error\": {}, \"wall_secs\": {}",
+            json::write_string(id),
+            json::write_string(error),
+            json::write_f64(wall_secs),
+        ));
+    }
+
+    /// Periodic progress pulse: worker utilization and a naive ETA
+    /// (`elapsed / done * remaining`, `null` until the first case lands).
+    pub fn heartbeat(&self, busy: usize, workers: usize, done: usize, total: usize) {
+        let t = self.elapsed_secs();
+        let eta = if done > 0 && total >= done {
+            json::write_f64(t / done as f64 * (total - done) as f64)
+        } else {
+            "null".to_string()
+        };
+        self.emit(&format!(
+            "\"event\": \"heartbeat\", \"t_secs\": {}, \"busy\": {busy}, \
+             \"workers\": {workers}, \"done\": {done}, \"total\": {total}, \
+             \"utilization\": {}, \"eta_secs\": {eta}",
+            json::write_f64(t),
+            json::write_f64(busy as f64 / workers.max(1) as f64),
+        ));
+    }
+
+    /// Terminal summary line.
+    #[allow(clippy::too_many_arguments)]
+    pub fn plan_finished(
+        &self,
+        completed: usize,
+        failed: usize,
+        timed_out: usize,
+        resumed: usize,
+        halted: bool,
+        elapsed_secs: f64,
+    ) {
+        self.emit(&format!(
+            "\"event\": \"plan_finished\", \"completed\": {completed}, \"failed\": {failed}, \
+             \"timed_out\": {timed_out}, \"resumed\": {resumed}, \"halted\": {halted}, \
+             \"elapsed_secs\": {}",
+            json::write_f64(elapsed_secs),
+        ));
+    }
+}
+
+/// Lifecycle rank used by [`normalize`]'s per-case sort.
+fn rank(event: &str) -> u8 {
+    match event {
+        "plan_started" => 0,
+        "case_started" => 1,
+        "case_retried" => 2,
+        "case_finished" | "case_failed" => 3,
+        "plan_finished" => 5,
+        _ => 4,
+    }
+}
+
+/// Project an event stream onto its deterministic core: drop `heartbeat`
+/// lines, drop nondeterministic fields (`seq`, `worker`, `t_secs`,
+/// `wall_secs`, `elapsed_secs`, and `workers` on `plan_started`), and sort
+/// case events by `(case id, lifecycle rank)` with `plan_started` first
+/// and `plan_finished` last. Two runs of the same plan normalize to
+/// bitwise-identical text regardless of worker count.
+///
+/// # Errors
+/// [`SolverError::BadInput`] when a line is not valid JSON or lacks an
+/// `event` field.
+pub fn normalize(stream: &str) -> Result<String, SolverError> {
+    let mut keyed: Vec<(u8, String, String)> = Vec::new();
+    for (lineno, line) in stream.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line)
+            .map_err(|e| SolverError::BadInput(format!("events line {}: {e:?}", lineno + 1)))?;
+        let event = v
+            .get("event")
+            .and_then(|e| e.as_str())
+            .ok_or_else(|| {
+                SolverError::BadInput(format!("events line {}: missing event field", lineno + 1))
+            })?
+            .to_string();
+        if event == "heartbeat" {
+            continue;
+        }
+        let id = v
+            .get("id")
+            .and_then(|i| i.as_str())
+            .unwrap_or("")
+            .to_string();
+        let get_str = |k: &str| v.get(k).and_then(|x| x.as_str()).map(str::to_string);
+        let get_u = |k: &str| v.get(k).and_then(|x| x.as_f64()).map(|f| f as u64);
+        let canon = match event.as_str() {
+            "plan_started" => format!(
+                "{{\"event\": \"plan_started\", \"plan\": {}, \"cases\": {}}}",
+                json::write_string(&get_str("plan").unwrap_or_default()),
+                get_u("cases").unwrap_or(0),
+            ),
+            "case_started" => format!(
+                "{{\"event\": \"case_started\", \"id\": {}}}",
+                json::write_string(&id)
+            ),
+            "case_retried" => format!(
+                "{{\"event\": \"case_retried\", \"id\": {}, \"retries\": {}}}",
+                json::write_string(&id),
+                get_u("retries").unwrap_or(0),
+            ),
+            "case_finished" => format!(
+                "{{\"event\": \"case_finished\", \"id\": {}, \"status\": {}, \"retries\": {}}}",
+                json::write_string(&id),
+                json::write_string(&get_str("status").unwrap_or_default()),
+                get_u("retries").unwrap_or(0),
+            ),
+            "case_failed" => format!(
+                "{{\"event\": \"case_failed\", \"id\": {}, \"status\": {}, \"error\": {}}}",
+                json::write_string(&id),
+                json::write_string(&get_str("status").unwrap_or_default()),
+                json::write_string(&get_str("error").unwrap_or_default()),
+            ),
+            "plan_finished" => format!(
+                "{{\"event\": \"plan_finished\", \"completed\": {}, \"failed\": {}, \
+                 \"timed_out\": {}, \"resumed\": {}, \"halted\": {}}}",
+                get_u("completed").unwrap_or(0),
+                get_u("failed").unwrap_or(0),
+                get_u("timed_out").unwrap_or(0),
+                get_u("resumed").unwrap_or(0),
+                matches!(v.get("halted"), Some(json::Value::Bool(true))),
+            ),
+            other => format!("{{\"event\": {}}}", json::write_string(other)),
+        };
+        keyed.push((rank(&event), id, canon));
+    }
+    keyed.sort_by(|a, b| {
+        let ka = (u8::from(a.0 == 5), u8::from(a.0 != 0), &a.1, a.0);
+        let kb = (u8::from(b.0 == 5), u8::from(b.0 != 0), &b.1, b.0);
+        ka.cmp(&kb)
+    });
+    let mut out = String::with_capacity(stream.len());
+    for (_, _, line) in keyed {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_writes_parseable_lines_with_monotone_seq() {
+        let dir = std::env::temp_dir().join(format!("sweep-events-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.jsonl").to_str().unwrap().to_string();
+        let sink = EventSink::create(&path).unwrap();
+        sink.plan_started("p", 2, 1);
+        sink.case_started("a", 0);
+        sink.heartbeat(1, 1, 0, 2);
+        sink.case_finished("a", "completed", 0, 0.01);
+        sink.plan_finished(1, 0, 0, 0, false, 0.02);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut prev = -1i64;
+        for line in text.lines() {
+            let v = json::parse(line).expect("line parses");
+            let seq = v.get("seq").unwrap().as_f64().unwrap() as i64;
+            assert_eq!(seq, prev + 1, "seq must be dense and monotone");
+            prev = seq;
+            assert!(v.get("event").unwrap().as_str().is_some());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn normalize_drops_heartbeats_and_sorts_by_case() {
+        let a = r#"{"seq": 0, "event": "plan_started", "schema": "x", "plan": "p", "cases": 2, "workers": 4}
+{"seq": 1, "event": "case_started", "id": "b", "worker": 3, "t_secs": 0.1}
+{"seq": 2, "event": "heartbeat", "t_secs": 0.2, "busy": 1, "workers": 4, "done": 0, "total": 2, "utilization": 0.25, "eta_secs": null}
+{"seq": 3, "event": "case_started", "id": "a", "worker": 0, "t_secs": 0.15}
+{"seq": 4, "event": "case_finished", "id": "b", "status": "completed", "retries": 0, "wall_secs": 0.4}
+{"seq": 5, "event": "case_finished", "id": "a", "status": "completed", "retries": 0, "wall_secs": 0.2}
+{"seq": 6, "event": "plan_finished", "completed": 2, "failed": 0, "timed_out": 0, "resumed": 0, "halted": false, "elapsed_secs": 0.5}
+"#;
+        let b = r#"{"seq": 0, "event": "plan_started", "schema": "x", "plan": "p", "cases": 2, "workers": 1}
+{"seq": 1, "event": "case_started", "id": "a", "worker": 0, "t_secs": 0.0}
+{"seq": 2, "event": "case_finished", "id": "a", "status": "completed", "retries": 0, "wall_secs": 0.1}
+{"seq": 3, "event": "case_started", "id": "b", "worker": 0, "t_secs": 0.1}
+{"seq": 4, "event": "heartbeat", "t_secs": 0.15, "busy": 1, "workers": 1, "done": 1, "total": 2, "utilization": 1, "eta_secs": 0.15}
+{"seq": 5, "event": "case_finished", "id": "b", "status": "completed", "retries": 0, "wall_secs": 0.1}
+{"seq": 6, "event": "plan_finished", "completed": 2, "failed": 0, "timed_out": 0, "resumed": 0, "halted": false, "elapsed_secs": 0.3}
+"#;
+        let na = normalize(a).unwrap();
+        let nb = normalize(b).unwrap();
+        assert_eq!(na, nb, "4-worker and 1-worker streams normalize equal");
+        assert!(!na.contains("heartbeat"));
+        assert!(na.starts_with("{\"event\": \"plan_started\""));
+        assert!(na.trim_end().ends_with('}'));
+        let last = na.lines().last().unwrap();
+        assert!(last.contains("plan_finished"));
+    }
+
+    #[test]
+    fn normalize_rejects_garbage() {
+        assert!(normalize("not json\n").is_err());
+        assert!(normalize("{\"seq\": 0}\n").is_err());
+    }
+}

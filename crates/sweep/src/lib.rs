@@ -26,6 +26,9 @@
 //! * [`report`] — the end-of-sweep aggregate report, schema-compatible
 //!   with the figure binaries' `--report` JSON (checks / counters /
 //!   metrics), plus the `--strict` exit-code policy.
+//! * [`events`] — live JSONL lifecycle-event stream (`--events=PATH`):
+//!   plan/case start/finish/retry lines plus utilization heartbeats,
+//!   order-normalized deterministic across worker counts.
 //!
 //! # Determinism
 //!
@@ -38,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod plan;
 pub mod pool;
 pub mod report;

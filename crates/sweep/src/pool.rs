@@ -3,6 +3,7 @@
 //! become [`CaseStatus::Failed`] records), per-case wall-clock timeouts,
 //! and crash-safe incremental recording through [`crate::store`].
 
+use crate::events::EventSink;
 use crate::plan::SweepPlan;
 pub use crate::report::SweepReport;
 use crate::runner::run_case;
@@ -10,13 +11,16 @@ use crate::spec::CaseSpec;
 use crate::store::{completed_ids, load_records, JsonlWriter};
 pub use crate::store::{CaseOutcome, CaseStatus};
 use aerothermo_gas::reset_thread_warm_cache;
+use aerothermo_numerics::metrics::{set_gauge, Gauge};
 use aerothermo_numerics::telemetry::{SolverError, TelemetryScope};
+use aerothermo_numerics::trace;
+use aerothermo_solvers::audit;
 use rayon::ThreadPoolBuilder;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// How the queue is ordered before workers start pulling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -54,6 +58,20 @@ pub struct SweepOptions {
     /// counter attribution exact and results scheduling-independent; raise
     /// it only for single-worker sweeps of big CFD cases.
     pub intra_case_threads: usize,
+    /// JSONL lifecycle-event sink path (`--events=PATH`); `None` disables
+    /// the stream. See [`crate::events`] for the schema.
+    pub events_path: Option<String>,
+    /// Heartbeat cadence \[s\] for the event stream. One heartbeat is
+    /// always emitted at sweep start and one at sweep end, so even a sweep
+    /// shorter than the cadence gets a monotone pair.
+    pub heartbeat_secs: f64,
+    /// Chrome-trace export base path: each case writes its own span
+    /// timeline to `base-<case id>.ext` (`--trace=PATH` propagated from
+    /// the sweep driver). Enables the tracer for the sweep's duration.
+    pub trace_base: Option<String>,
+    /// Physics-audit cadence in steps propagated to every case
+    /// (`--audit=N`); 0 leaves the process-wide cadence untouched.
+    pub audit_every: usize,
 }
 
 impl Default for SweepOptions {
@@ -66,12 +84,33 @@ impl Default for SweepOptions {
             default_timeout_secs: f64::NAN,
             halt_after_cases: None,
             intra_case_threads: 1,
+            events_path: None,
+            heartbeat_secs: 0.25,
+            trace_base: None,
+            audit_every: 0,
         }
     }
 }
 
+/// `base-<id>.ext` (or `base-<id>` when `base` has no extension): the
+/// per-case suffixing used for `--trace` outputs.
+fn per_case_path(base: &str, id: &str) -> String {
+    let (dir, file) = match base.rfind('/') {
+        Some(k) => (&base[..=k], &base[k + 1..]),
+        None => ("", base),
+    };
+    match file.rfind('.') {
+        Some(k) if k > 0 => format!("{dir}{}-{id}{}", &file[..k], &file[k..]),
+        _ => format!("{base}-{id}"),
+    }
+}
+
 enum PinnedFailure {
-    Solver { error: String, retries: usize },
+    Solver {
+        error: String,
+        retries: usize,
+        postmortem: Option<String>,
+    },
     Panic(String),
 }
 
@@ -92,7 +131,10 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// here (`ThreadPool::install`), the equilibrium warm-start cache is reset
 /// so results don't depend on what ran on this thread before, and the
 /// thread-scoped counter delta attributes kernel work to exactly this case.
-fn run_pinned(case: &CaseSpec, intra_threads: usize) -> PinnedOut {
+/// When `trace_path` is set, the case's span timeline (accumulated in this
+/// thread's trace buffer) is drained into a standalone Chrome-trace file —
+/// draining also keeps spans from bleeding into the worker's next case.
+fn run_pinned(case: &CaseSpec, intra_threads: usize, trace_path: Option<&str>) -> PinnedOut {
     let pool = ThreadPoolBuilder::new()
         .num_threads(intra_threads.max(1))
         .build()
@@ -102,16 +144,66 @@ fn run_pinned(case: &CaseSpec, intra_threads: usize) -> PinnedOut {
         let scope = TelemetryScope::begin();
         let res = catch_unwind(AssertUnwindSafe(|| run_case(case)));
         let counters: Vec<(&'static str, u64)> = scope.thread_delta().iter().collect();
+        if let Some(path) = trace_path {
+            if let Some(json) = trace::drain_thread_chrome_json() {
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("warning: per-case trace {path}: {e}");
+                }
+            }
+        }
         let res = match res {
             Ok(Ok(r)) => Ok(r),
             Ok(Err(f)) => Err(PinnedFailure::Solver {
                 error: f.error.to_string(),
                 retries: f.retries,
+                postmortem: f.postmortem,
             }),
             Err(payload) => Err(PinnedFailure::Panic(panic_message(payload.as_ref()))),
         };
         (res, counters)
     })
+}
+
+/// Process-wide tracer/audit state is flipped for the sweep's duration
+/// (when the options ask for it) and restored on every exit path.
+struct ObsGuard {
+    trace_enabled_here: bool,
+    audit_prior: usize,
+    audit_changed: bool,
+}
+
+impl ObsGuard {
+    fn engage(opts: &SweepOptions) -> Self {
+        let trace_enabled_here = opts.trace_base.is_some() && !trace::is_enabled();
+        if trace_enabled_here {
+            trace::enable();
+        }
+        let audit_prior = audit::cadence();
+        let audit_changed = opts.audit_every > 0 && opts.audit_every != audit_prior;
+        if audit_changed {
+            audit::enable(opts.audit_every);
+        }
+        Self {
+            trace_enabled_here,
+            audit_prior,
+            audit_changed,
+        }
+    }
+}
+
+impl Drop for ObsGuard {
+    fn drop(&mut self) {
+        if self.trace_enabled_here {
+            trace::disable();
+        }
+        if self.audit_changed {
+            if self.audit_prior > 0 {
+                audit::enable(self.audit_prior);
+            } else {
+                audit::disable();
+            }
+        }
+    }
 }
 
 fn effective_timeout(case: &CaseSpec, opts: &SweepOptions) -> Option<std::time::Duration> {
@@ -128,22 +220,28 @@ fn effective_timeout(case: &CaseSpec, opts: &SweepOptions) -> Option<std::time::
 
 fn execute_case(case: &CaseSpec, worker: usize, opts: &SweepOptions) -> CaseOutcome {
     let t0 = Instant::now();
+    let trace_path = opts
+        .trace_base
+        .as_deref()
+        .map(|base| per_case_path(base, &case.id));
     let pinned = match effective_timeout(case, opts) {
-        None => run_pinned(case, opts.intra_case_threads),
+        None => run_pinned(case, opts.intra_case_threads, trace_path.as_deref()),
         Some(limit) => {
             let (tx, rx) = mpsc::channel();
             let case2 = case.clone();
             let intra = opts.intra_case_threads;
+            let tpath = trace_path.clone();
             let spawned = std::thread::Builder::new()
                 .name(format!("sweep-{}", case.id))
                 .spawn(move || {
-                    let _ = tx.send(run_pinned(&case2, intra));
+                    let _ = tx.send(run_pinned(&case2, intra, tpath.as_deref()));
                 });
             match spawned {
                 Err(e) => (
                     Err(PinnedFailure::Solver {
                         error: format!("could not spawn case thread: {e}"),
                         retries: 0,
+                        postmortem: None,
                     }),
                     Vec::new(),
                 ),
@@ -163,6 +261,7 @@ fn execute_case(case: &CaseSpec, worker: usize, opts: &SweepOptions) -> CaseOutc
                             error: Some(format!("timed out after {:.3} s", limit.as_secs_f64())),
                             metrics: Vec::new(),
                             counters: Vec::new(),
+                            postmortem: None,
                         }
                     }
                 },
@@ -182,8 +281,13 @@ fn execute_case(case: &CaseSpec, worker: usize, opts: &SweepOptions) -> CaseOutc
             error: None,
             metrics: r.metrics,
             counters,
+            postmortem: None,
         },
-        Err(PinnedFailure::Solver { error, retries }) => CaseOutcome {
+        Err(PinnedFailure::Solver {
+            error,
+            retries,
+            postmortem,
+        }) => CaseOutcome {
             id: case.id.clone(),
             status: CaseStatus::Failed,
             wall_secs,
@@ -193,6 +297,7 @@ fn execute_case(case: &CaseSpec, worker: usize, opts: &SweepOptions) -> CaseOutc
             error: Some(error),
             metrics: Vec::new(),
             counters,
+            postmortem,
         },
         Err(PinnedFailure::Panic(msg)) => CaseOutcome {
             id: case.id.clone(),
@@ -204,6 +309,7 @@ fn execute_case(case: &CaseSpec, worker: usize, opts: &SweepOptions) -> CaseOutc
             error: Some(format!("panic: {msg}")),
             metrics: Vec::new(),
             counters,
+            postmortem: None,
         },
     }
 }
@@ -220,6 +326,11 @@ fn execute_case(case: &CaseSpec, worker: usize, opts: &SweepOptions) -> CaseOutc
 pub fn run_sweep(plan: &SweepPlan, opts: &SweepOptions) -> Result<SweepReport, SolverError> {
     plan.validate()?;
     let t0 = Instant::now();
+    let sink = match &opts.events_path {
+        Some(path) => Some(EventSink::create(path)?),
+        None => None,
+    };
+    let _obs = ObsGuard::engage(opts);
 
     // Resume bookkeeping: prior completed records re-enter the report as
     // Resumed (metrics preserved) and are not re-run or re-written.
@@ -255,37 +366,114 @@ pub fn run_sweep(plan: &SweepPlan, opts: &SweepOptions) -> Result<SweepReport, S
     let recorded = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
     let workers = opts.workers.max(1);
+    let total = queue.lock().unwrap().len();
+    let busy = AtomicUsize::new(0);
+    let hb_stop = AtomicBool::new(false);
+    set_gauge(Gauge::SweepCasesTotal, total as f64);
+    set_gauge(Gauge::SweepCasesDone, 0.0);
+    set_gauge(Gauge::SweepWorkersBusy, 0.0);
+    if let Some(sink) = &sink {
+        sink.plan_started(&plan.name, plan.cases.len(), workers);
+    }
 
     std::thread::scope(|s| {
-        for w in 0..workers {
-            let queue = &queue;
-            let writer = &writer;
-            let ran = &ran;
-            let infra_errors = &infra_errors;
+        // Heartbeat pulse: one line immediately, one per cadence tick, and
+        // one final line after the workers drain, so even an instant sweep
+        // yields a monotone pair for the CI gate to check.
+        let hb = sink.as_ref().map(|sink| {
+            let busy = &busy;
             let recorded = &recorded;
-            let stop = &stop;
-            s.spawn(move || loop {
-                if stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Some(idx) = queue.lock().unwrap().pop_front() else {
-                    break;
-                };
-                let outcome = execute_case(&plan.cases[idx], w, opts);
-                if let Some(wr) = writer {
-                    if let Err(e) = wr.lock().unwrap().record(&outcome) {
-                        infra_errors.lock().unwrap().push(e);
-                        stop.store(true, Ordering::SeqCst);
-                        break;
+            let hb_stop = &hb_stop;
+            let period = opts.heartbeat_secs.max(0.01);
+            s.spawn(move || {
+                sink.heartbeat(
+                    busy.load(Ordering::SeqCst),
+                    workers,
+                    recorded.load(Ordering::SeqCst),
+                    total,
+                );
+                let mut last = Instant::now();
+                while !hb_stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(20));
+                    if last.elapsed().as_secs_f64() >= period {
+                        sink.heartbeat(
+                            busy.load(Ordering::SeqCst),
+                            workers,
+                            recorded.load(Ordering::SeqCst),
+                            total,
+                        );
+                        last = Instant::now();
                     }
                 }
-                ran.lock().unwrap().push(outcome);
-                let n = recorded.fetch_add(1, Ordering::SeqCst) + 1;
-                if opts.halt_after_cases.is_some_and(|k| n >= k) {
-                    stop.store(true, Ordering::SeqCst);
-                }
-            });
+                sink.heartbeat(0, workers, recorded.load(Ordering::SeqCst), total);
+            })
+        });
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let queue = &queue;
+                let writer = &writer;
+                let ran = &ran;
+                let infra_errors = &infra_errors;
+                let recorded = &recorded;
+                let stop = &stop;
+                let busy = &busy;
+                let sink = sink.as_ref();
+                s.spawn(move || loop {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Some(idx) = queue.lock().unwrap().pop_front() else {
+                        break;
+                    };
+                    let case = &plan.cases[idx];
+                    if let Some(sink) = sink {
+                        sink.case_started(&case.id, w);
+                    }
+                    let b = busy.fetch_add(1, Ordering::SeqCst) + 1;
+                    set_gauge(Gauge::SweepWorkersBusy, b as f64);
+                    let outcome = execute_case(case, w, opts);
+                    let b = busy.fetch_sub(1, Ordering::SeqCst) - 1;
+                    set_gauge(Gauge::SweepWorkersBusy, b as f64);
+                    if let Some(sink) = sink {
+                        if outcome.retries > 0 {
+                            sink.case_retried(&outcome.id, outcome.retries);
+                        }
+                        match outcome.status {
+                            CaseStatus::Completed | CaseStatus::Resumed => sink.case_finished(
+                                &outcome.id,
+                                outcome.status.name(),
+                                outcome.retries,
+                                outcome.wall_secs,
+                            ),
+                            CaseStatus::Failed | CaseStatus::TimedOut => sink.case_failed(
+                                &outcome.id,
+                                outcome.status.name(),
+                                outcome.error.as_deref().unwrap_or(""),
+                                outcome.wall_secs,
+                            ),
+                        }
+                    }
+                    if let Some(wr) = writer {
+                        if let Err(e) = wr.lock().unwrap().record(&outcome) {
+                            infra_errors.lock().unwrap().push(e);
+                            stop.store(true, Ordering::SeqCst);
+                            break;
+                        }
+                    }
+                    ran.lock().unwrap().push(outcome);
+                    let n = recorded.fetch_add(1, Ordering::SeqCst) + 1;
+                    set_gauge(Gauge::SweepCasesDone, n as f64);
+                    if opts.halt_after_cases.is_some_and(|k| n >= k) {
+                        stop.store(true, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            let _ = h.join();
         }
+        hb_stop.store(true, Ordering::SeqCst);
+        drop(hb); // scope joins it; the drop just documents the hand-off
     });
 
     if let Some(e) = infra_errors.into_inner().unwrap().into_iter().next() {
@@ -304,19 +492,34 @@ pub fn run_sweep(plan: &SweepPlan, opts: &SweepOptions) -> Result<SweepReport, S
             if done.contains(&case.id) {
                 let mut o = p.clone();
                 o.status = CaseStatus::Resumed;
+                if let Some(sink) = &sink {
+                    sink.case_finished(&o.id, o.status.name(), o.retries, o.wall_secs);
+                }
                 outcomes.push(o);
             }
         }
     }
 
-    Ok(SweepReport {
+    let report = SweepReport {
         figure: plan.name.clone(),
         elapsed_secs: t0.elapsed().as_secs_f64(),
         workers,
         halted: opts.halt_after_cases.is_some() && stop.load(Ordering::SeqCst),
         planned: plan.cases.len(),
         outcomes,
-    })
+    };
+    if let Some(sink) = &sink {
+        let c = report.counts();
+        sink.plan_finished(
+            c.completed,
+            c.failed,
+            c.timed_out,
+            c.resumed,
+            report.halted,
+            report.elapsed_secs,
+        );
+    }
+    Ok(report)
 }
 
 #[cfg(test)]

@@ -283,6 +283,7 @@ mod tests {
             },
             metrics: vec![("q_conv_w_m2".to_string(), 2e5)],
             counters: vec![("newton_solves", 7)],
+            postmortem: None,
         }
     }
 

@@ -15,9 +15,10 @@ use aerothermo_grid::{stretch, StructuredGrid};
 use aerothermo_numerics::telemetry::SolverError;
 use aerothermo_solvers::blayer::{fay_riddell, newtonian_velocity_gradient, FayRiddellInputs};
 use aerothermo_solvers::euler2d::{Bc, BcSet, EulerOptions, EulerSolver};
+use aerothermo_solvers::flight::{FlightRecorder, StepEvent, Trigger};
 use aerothermo_solvers::ns2d::{NsSolver, Transport};
 use aerothermo_solvers::pns::{PnsOptions, PnsSolver};
-use aerothermo_solvers::runctl::{retry_with_backoff, run_controlled, RunOptions, Steppable};
+use aerothermo_solvers::runctl::{retry_with_backoff, run_recorded, RunOptions, Steppable};
 use aerothermo_solvers::vsl::{solve_with_retry, VslProblem};
 
 /// Spectral band for the radiating-VSL tangent-slab transport: 0.25-1.0 µm
@@ -58,11 +59,24 @@ pub struct CaseFailure {
     pub error: SolverError,
     /// Retry attempts consumed before giving up.
     pub retries: usize,
+    /// Flight-recorder black box (`aerothermo-blackbox-v1` JSON) for
+    /// levels that run under `runctl`; `None` for levels with no
+    /// step-by-step history (correlations, single-shot solves).
+    pub postmortem: Option<String>,
 }
 
 impl CaseFailure {
     fn new(error: SolverError, retries: usize) -> Self {
-        Self { error, retries }
+        Self {
+            error,
+            retries,
+            postmortem: None,
+        }
+    }
+
+    fn with_postmortem(mut self, pm: Option<String>) -> Self {
+        self.postmortem = pm;
+        self
     }
 }
 
@@ -109,16 +123,41 @@ pub fn run_case(case: &CaseSpec) -> Result<CaseResult, CaseFailure> {
     if case.inject_fault {
         // The divergence drill: every attempt fails recoverably, so the
         // whole retry budget is consumed before the error surfaces — the
-        // worst-case path through the same policy real cases use.
-        let err = retry_with_backoff(case.max_retries, 0.5, 1.0 / 64.0, |_| {
-            Err::<(), _>(SolverError::NonFinite {
+        // worst-case path through the same policy real cases use. The
+        // drill also exercises the black-box path: each failed attempt
+        // becomes a flight-recorder rollback record.
+        let mut recorder = FlightRecorder::default();
+        let mut attempt = 0usize;
+        let err = retry_with_backoff(case.max_retries, 0.5, 1.0 / 64.0, |scale| {
+            attempt += 1;
+            let e = SolverError::NonFinite {
                 field: "injected",
                 i: 0,
                 j: 0,
-            })
+            };
+            recorder.record(
+                attempt,
+                f64::NAN,
+                scale,
+                StepEvent::Rollback {
+                    retry: attempt,
+                    error: e.to_string(),
+                },
+                0,
+                None,
+            );
+            Err::<(), _>(e)
         })
         .expect_err("injected fault never succeeds");
-        return Err(CaseFailure::new(err, case.max_retries));
+        let pm = recorder.post_mortem(
+            "inject_fault",
+            Trigger::SolverError,
+            Some(err.to_string()),
+            attempt,
+            case.max_retries,
+            f64::NAN,
+        );
+        return Err(CaseFailure::new(err, case.max_retries).with_postmortem(Some(pm.to_json())));
     }
     match &case.level {
         LevelSpec::Synthetic { work_ms, outcome } => run_synthetic(case, *work_ms, outcome),
@@ -304,8 +343,10 @@ fn run_euler_bl(
     };
     let mut euler = EulerSolver::new(&grid, gas.as_ref(), inflow_bc(fs), opts, fs);
     let run_opts = cfd_run_options(case, max_steps, tol, 300);
-    let out =
-        run_controlled(&mut euler, &run_opts).map_err(|e| CaseFailure::new(e, case.max_retries))?;
+    let (out, pm) = run_recorded(&mut euler, &run_opts);
+    let out = out.map_err(|e| {
+        CaseFailure::new(e, case.max_retries).with_postmortem(pm.map(|p| p.to_json()))
+    })?;
 
     let p_stag = euler.primitive(0, 0).p;
     let rho_stag = euler.primitive(0, 0).rho;
@@ -413,8 +454,10 @@ fn run_ns(
         f.t_wall,
     );
     let run_opts = cfd_run_options(case, max_steps, tol, 500);
-    let out =
-        run_controlled(&mut ns, &run_opts).map_err(|e| CaseFailure::new(e, case.max_retries))?;
+    let (out, pm) = run_recorded(&mut ns, &run_opts);
+    let out = out.map_err(|e| {
+        CaseFailure::new(e, case.max_retries).with_postmortem(pm.map(|p| p.to_json()))
+    })?;
     let mut res = CaseResult {
         retries: out.retries,
         note: "full viscous relaxation".into(),

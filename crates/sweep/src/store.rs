@@ -66,6 +66,10 @@ pub struct CaseOutcome {
     /// Thread-attributed telemetry counter deltas (name → count); see
     /// `aerothermo_numerics::telemetry::TelemetryScope`.
     pub counters: Vec<(&'static str, u64)>,
+    /// Flight-recorder black box for failed cases: the
+    /// `aerothermo-blackbox-v1` JSON document as a string (kept opaque so
+    /// the record schema is independent of the dump schema).
+    pub postmortem: Option<String>,
 }
 
 impl CaseOutcome {
@@ -116,7 +120,11 @@ impl CaseOutcome {
             out.push_str(&format!("{}: {v}", write_string(name)));
             wrote += 1;
         }
-        out.push_str("}}");
+        out.push('}');
+        if let Some(pm) = &self.postmortem {
+            out.push_str(&format!(", \"postmortem\": {}", write_string(pm)));
+        }
+        out.push('}');
         out
     }
 
@@ -178,6 +186,10 @@ impl CaseOutcome {
                 .map(str::to_string),
             metrics,
             counters,
+            postmortem: v
+                .get("postmortem")
+                .and_then(Value::as_str)
+                .map(str::to_string),
         })
     }
 }
@@ -314,6 +326,10 @@ mod tests {
                 ("nan".to_string(), f64::NAN),
             ],
             counters: vec![("newton_solves", 42), ("newton_iterations", 0)],
+            postmortem: match status {
+                CaseStatus::Failed => Some("{\"schema\": \"aerothermo-blackbox-v1\"}".to_string()),
+                _ => None,
+            },
         }
     }
 
@@ -332,6 +348,7 @@ mod tests {
             assert!(back.metric("nan").unwrap().is_nan(), "NaN survives as null");
             // Zero counters are elided on write.
             assert_eq!(back.counters, vec![("newton_solves", 42)]);
+            assert_eq!(back.postmortem, rec.postmortem);
         }
     }
 

@@ -20,6 +20,9 @@
 //!   1-D post-shock relaxation solver.
 //! * [`core`] — the unified front end: problem setup, heating correlations,
 //!   solver dispatch, result tables.
+//! * [`sweep`] — batched case-sweep orchestration: declarative case specs,
+//!   the bounded worker pool, the JSONL result store, and the live
+//!   lifecycle-event stream.
 //!
 //! The design follows Deiwert & Green, *Computational Aerothermodynamics*,
 //! NASA TM-89450 (1987); see `DESIGN.md` and `EXPERIMENTS.md` at the
@@ -33,3 +36,4 @@ pub use aerothermo_grid as grid;
 pub use aerothermo_numerics as numerics;
 pub use aerothermo_radiation as radiation;
 pub use aerothermo_solvers as solvers;
+pub use aerothermo_sweep as sweep;
