@@ -138,6 +138,20 @@ pub fn fly(
     entry: EntryConditions,
     stop: StopConditions,
 ) -> Vec<TrajectoryPoint> {
+    fly_observed(atmosphere, vehicle, entry, stop, |_| {})
+}
+
+/// [`fly`] with an observer invoked at every recorded sample as it is
+/// produced — lets heating-history resolvers (e.g. the surrogate fast
+/// path) ride the integration without a second pass over the output.
+/// The returned trajectory is bitwise identical to [`fly`]'s.
+pub fn fly_observed(
+    atmosphere: &dyn Atmosphere,
+    vehicle: &Vehicle,
+    entry: EntryConditions,
+    stop: StopConditions,
+    mut observer: impl FnMut(&TrajectoryPoint),
+) -> Vec<TrajectoryPoint> {
     let beta = vehicle.ballistic_coefficient();
     let rp = atmosphere.planet_radius();
 
@@ -170,11 +184,11 @@ pub fn fly(
         hmax: 1.0,
         ..AdaptiveOptions::default()
     };
-    let record = |t: f64, y: &[f64], pts: &mut Vec<TrajectoryPoint>| {
+    let make_point = |t: f64, y: &[f64]| {
         let h = y[2].max(0.0);
         let rho = atmosphere.density(h);
         let v = y[0];
-        pts.push(TrajectoryPoint {
+        TrajectoryPoint {
             time: t,
             altitude: h,
             velocity: v,
@@ -184,9 +198,11 @@ pub fn fly(
             temperature: atmosphere.temperature(h),
             deceleration: 0.5 * rho * v * v / beta,
             dynamic_pressure: 0.5 * rho * v * v,
-        });
+        }
     };
-    record(0.0, &y, &mut points);
+    let p0 = make_point(0.0, &y);
+    observer(&p0);
+    points.push(p0);
     while !done && t < stop.max_time {
         let t1 = t + window;
         let res = rkf45_integrate(&rhs, t, t1, &mut y, &opts, |_, _| {});
@@ -194,7 +210,9 @@ pub fn fly(
             break;
         }
         t = t1;
-        record(t, &y, &mut points);
+        let p = make_point(t, &y);
+        observer(&p);
+        points.push(p);
         if y[2] <= stop.min_altitude || y[0] <= stop.min_velocity || y[1] > 0.5 {
             done = true;
         }

@@ -23,7 +23,13 @@
 //! regresses beyond `--tol` (default 0.25), which is how CI gates on
 //! `BENCH_baseline.json`.
 
+use aerothermo_atmosphere::trajectory::{EntryConditions, StopConditions, Vehicle};
+use aerothermo_atmosphere::us76::Us76;
 use aerothermo_bench::json::{self, Value};
+use aerothermo_core::correlations::HeatingModel;
+use aerothermo_core::surrogate::{
+    fly_heating_history, ExactResponse, RadiativeModel, SurrogateBuilder, SurrogateQuery,
+};
 use aerothermo_gas::eq_table::air9_table;
 use aerothermo_gas::equilibrium::air9_equilibrium;
 use aerothermo_grid::bodies::Hemisphere;
@@ -340,6 +346,67 @@ fn run_suite() {
         let mut solver_eq = EulerSolver::new(&grid, table, bc, EulerOptions::default(), fs);
         for _ in 0..50 {
             solver_eq.step();
+        }
+    }
+
+    // Surrogate fast path: build the Earth heating response surfaces once
+    // (`surrogate_build`), then serve fixed 4096-point batches through the
+    // allocation-free query engine (`surrogate_query` — each occurrence is
+    // one whole batch, so queries/sec = 4096 / min_ns · 1e9), and resolve
+    // a full entry heating history through the table
+    // (`trajectory_history`).
+    {
+        let mut response = ExactResponse {
+            atmosphere: &Us76,
+            gas: air9_table(),
+            model: HeatingModel::earth_sutton_graves(),
+            radiative: RadiativeModel::TauberSuttonEarthSmooth,
+            nose_radius: 0.6,
+        };
+        let table = {
+            let _sp = trace::span("surrogate_build");
+            SurrogateBuilder::new((30_000.0, 90_000.0), (3_000.0, 13_000.0))
+                .initial_grid(25, 25)
+                .tolerance(0.02)
+                .build(&mut response)
+                .expect("surrogate build")
+        };
+
+        const BATCH: usize = 4096;
+        // Deterministic low-discrepancy scatter over the table domain.
+        let mut hs = vec![0.0f64; BATCH];
+        let mut vs = vec![0.0f64; BATCH];
+        for k in 0..BATCH {
+            #[allow(clippy::cast_precision_loss)]
+            let u = (k as f64 * 0.618_033_988_749_895).fract();
+            #[allow(clippy::cast_precision_loss)]
+            let w = (k as f64 * 0.754_877_666_246_693).fract();
+            hs[k] = 30_000.0 + 60_000.0 * u;
+            vs[k] = 3_000.0 + 10_000.0 * w;
+        }
+        let mut out = vec![SurrogateQuery::default(); BATCH];
+        let mut acc = 0.0f64;
+        for _ in 0..200 {
+            let _sp = trace::span("surrogate_query");
+            table.query_batch(&hs, &vs, &mut out);
+            acc += out[BATCH - 1].q_conv;
+        }
+        assert!(acc.is_finite() && acc > 0.0);
+
+        let entry = EntryConditions {
+            altitude: 90_000.0,
+            velocity: 7_800.0,
+            gamma: -1.2f64.to_radians(),
+        };
+        let stop = StopConditions {
+            min_velocity: 3_100.0,
+            max_time: 1_500.0,
+            ..StopConditions::default()
+        };
+        for _ in 0..10 {
+            let _sp = trace::span("trajectory_history");
+            let pulse = fly_heating_history(&Us76, &Vehicle::shuttle_like(), entry, stop, &table);
+            assert!(pulse.len() > 10);
         }
     }
 

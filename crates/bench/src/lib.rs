@@ -221,12 +221,14 @@ impl Report {
         }
         s.push_str("\n  },\n");
         // Sampled timing histograms from the metrics registry (all shards
-        // merged); only timers that actually fired appear. Durations in ns.
+        // merged); only timers with data appear — a call count from `time`
+        // guards or samples from explicit `record_duration_ns`. Durations
+        // in ns.
         let msnap = aerothermo_numerics::metrics::snapshot();
         s.push_str("  \"timings\": {");
         let mut first = true;
         for t in &msnap.timings {
-            if t.calls == 0 {
+            if t.calls == 0 && t.hist.count == 0 {
                 continue;
             }
             if !first {

@@ -3,8 +3,8 @@
 
 use crate::stagnation::stagnation_state;
 use aerothermo_atmosphere::trajectory::TrajectoryPoint;
-use aerothermo_gas::equilibrium::EquilibriumGas;
-use aerothermo_gas::transport::{mixture_viscosity, sutherland_air};
+use aerothermo_gas::equilibrium::{EqSolveScratch, EqState, EquilibriumGas};
+use aerothermo_gas::transport::{mixture_viscosity_with, sutherland_air};
 use aerothermo_gas::GasModel;
 use aerothermo_numerics::telemetry::SolverError;
 use aerothermo_radiation::tangent_slab::{solve_slab_samples, Layer};
@@ -32,6 +32,7 @@ pub struct HeatPulsePoint {
 }
 
 /// Convective stagnation heating by the Sutton-Graves correlation.
+#[inline]
 #[must_use]
 pub fn convective_sutton_graves(rho: f64, velocity: f64, nose_radius: f64, k: f64) -> f64 {
     sutton_graves(k, rho, nose_radius, velocity)
@@ -42,6 +43,10 @@ pub fn convective_sutton_graves(rho: f64, velocity: f64, nose_radius: f64, k: f6
 /// converted here), with `a = 1.072e6·V^{−1.88}·ρ^{−0.325}` and the
 /// published tabulated velocity function f(V). Valid V ≈ 9–16 km/s;
 /// returns 0 below 9 km/s where shock-layer radiation is negligible.
+/// Silently extrapolates the velocity table above 16 km/s — see
+/// [`crate::correlations::radiative_tauber_sutton_earth_checked`] for the
+/// guarded variant.
+#[inline]
 #[must_use]
 pub fn radiative_tauber_sutton_earth(rho: f64, velocity: f64, nose_radius: f64) -> f64 {
     // Tauber-Sutton Earth velocity function (V in km/s).
@@ -63,6 +68,39 @@ pub fn radiative_tauber_sutton_earth(rho: f64, velocity: f64, nose_radius: f64) 
     1e4 * 4.736e4 * nose_radius.powf(a) * rho.powf(1.22) * fv
 }
 
+/// Reusable work buffers for [`convective_fay_riddell_equilibrium_with`]:
+/// equilibrium Newton scratch, the edge/wall gas states, and the transport
+/// mixing buffers. One instance amortizes every allocation on the
+/// Fay-Riddell hot path across a sweep or surrogate table build.
+#[derive(Debug)]
+pub struct FayRiddellScratch {
+    eq: EqSolveScratch,
+    edge: EqState,
+    wall: EqState,
+    x: Vec<f64>,
+    phi: Vec<f64>,
+}
+
+impl Default for FayRiddellScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FayRiddellScratch {
+    /// Fresh (empty) scratch; buffers size themselves on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            eq: EqSolveScratch::default(),
+            edge: EqState::empty(),
+            wall: EqState::empty(),
+            x: Vec::new(),
+            phi: Vec::new(),
+        }
+    }
+}
+
 /// Fay-Riddell convective heating evaluated from first principles for an
 /// equilibrium gas: shock → stagnation state, Newtonian velocity gradient,
 /// real transport properties at edge and wall.
@@ -80,15 +118,65 @@ pub fn convective_fay_riddell_equilibrium(
     t_wall: f64,
     lewis: f64,
 ) -> Result<f64, SolverError> {
+    let mut scratch = FayRiddellScratch::new();
+    convective_fay_riddell_equilibrium_with(
+        gas,
+        model,
+        rho_inf,
+        p_inf,
+        velocity,
+        nose_radius,
+        t_wall,
+        lewis,
+        &mut scratch,
+    )
+}
+
+/// Allocation-free [`convective_fay_riddell_equilibrium`]: all per-call
+/// heap traffic lands in the caller's [`FayRiddellScratch`], so repeated
+/// evaluations (sweeps, surrogate table builds) run without touching the
+/// allocator. Results are bitwise identical to the plain entry.
+///
+/// # Errors
+/// Propagates shock/stagnation failures.
+#[allow(clippy::too_many_arguments)]
+pub fn convective_fay_riddell_equilibrium_with(
+    gas: &EquilibriumGas,
+    model: &dyn GasModel,
+    rho_inf: f64,
+    p_inf: f64,
+    velocity: f64,
+    nose_radius: f64,
+    t_wall: f64,
+    lewis: f64,
+    scratch: &mut FayRiddellScratch,
+) -> Result<f64, SolverError> {
     let st = stagnation_state(model, rho_inf, p_inf, velocity)?;
-    let edge = gas
-        .at_tp(st.t_stag.max(300.0), st.p_stag)
-        .map_err(|e| format!("edge state: {e}"))?;
-    let wall = gas
-        .at_tp(t_wall, st.p_stag)
+    gas.at_tp_into(
+        st.t_stag.max(300.0),
+        st.p_stag,
+        &mut scratch.eq,
+        &mut scratch.edge,
+    )
+    .map_err(|e| format!("edge state: {e}"))?;
+    gas.at_tp_into(t_wall, st.p_stag, &mut scratch.eq, &mut scratch.wall)
         .map_err(|e| format!("wall state: {e}"))?;
-    let mu_e = mixture_viscosity(gas.mixture(), st.t_stag, &edge.mass_fractions);
-    let mu_w = mixture_viscosity(gas.mixture(), t_wall, &wall.mass_fractions);
+    let edge = &scratch.edge;
+    let wall = &scratch.wall;
+    let mu_e = mixture_viscosity_with(
+        gas.mixture(),
+        st.t_stag,
+        &edge.mass_fractions,
+        &mut scratch.x,
+        &mut scratch.phi,
+    );
+    let mu_w = mixture_viscosity_with(
+        gas.mixture(),
+        t_wall,
+        &wall.mass_fractions,
+        &mut scratch.x,
+        &mut scratch.phi,
+    );
     // Dissociation enthalpy fraction: formation-enthalpy content of the
     // edge gas relative to total enthalpy.
     let h_d: f64 = gas

@@ -9,6 +9,12 @@
 //!   for any gas model,
 //! * [`heating`] — stagnation heating: Fay-Riddell/Sutton-Graves convective,
 //!   Tauber-Sutton and tangent-slab radiative, trajectory heat pulses,
+//! * [`correlations`] — the stagnation-correlation family (Kemp-Riddell,
+//!   Scala, Detra-Kemp-Riddell, Newtonian pressure) behind the
+//!   [`correlations::HeatingModel`] dispatch enum, with typed edge guards,
+//! * [`surrogate`] — precomputed bilinear heating response surfaces over
+//!   (altitude × velocity) with a batched allocation-free query engine and
+//!   a verified error bound (the trajectory-scale fast path),
 //! * [`catalysis`] — catalytic-wall effects on convective heating,
 //! * [`ablation`] — radiative-equilibrium walls and steady-state ablation
 //!   (the TPS balances the surveyed vehicles were sized with),
@@ -27,10 +33,14 @@
 
 pub mod ablation;
 pub mod catalysis;
+pub mod correlations;
 pub mod dispatch;
 pub mod heating;
 pub mod stagnation;
+pub mod surrogate;
 pub mod tables;
 
+pub use correlations::{CorrelationError, HeatingModel};
 pub use dispatch::{recommend, EquationSet, ProblemClass};
 pub use stagnation::{stagnation_state, StagnationState};
+pub use surrogate::{SurrogateBuilder, SurrogateQuery, SurrogateTable};

@@ -81,10 +81,39 @@ pub fn stagnation_state(
 /// Engineering estimate of the bow-shock standoff distance on a sphere from
 /// the shock density ratio ε = ρ∞/ρ₂ (Serbin/Lobb class correlation):
 /// `Δ/Rn ≈ ε / (1 + √(2ε))`.
+#[inline]
 #[must_use]
 pub fn standoff_estimate(nose_radius: f64, density_ratio: f64) -> f64 {
     let eps = 1.0 / density_ratio;
     nose_radius * eps / (1.0 + (2.0 * eps).sqrt())
+}
+
+/// [`standoff_estimate`] with typed input guards: a density ratio at or
+/// below 1 means no compression — the correlation's ε = 1/ratio would
+/// silently produce a standoff larger than the nose radius (or a negative
+/// one) instead of flagging the unphysical input.
+///
+/// # Errors
+/// [`crate::correlations::CorrelationError::NonPositive`] for a
+/// non-positive nose radius or a density ratio ≤ 1 (or NaN inputs).
+pub fn try_standoff_estimate(
+    nose_radius: f64,
+    density_ratio: f64,
+) -> Result<f64, crate::correlations::CorrelationError> {
+    use crate::correlations::CorrelationError;
+    if nose_radius.is_nan() || nose_radius <= 0.0 {
+        return Err(CorrelationError::NonPositive {
+            name: "nose_radius",
+            value: nose_radius,
+        });
+    }
+    if density_ratio.is_nan() || density_ratio <= 1.0 {
+        return Err(CorrelationError::NonPositive {
+            name: "density_ratio - 1",
+            value: density_ratio - 1.0,
+        });
+    }
+    Ok(standoff_estimate(nose_radius, density_ratio))
 }
 
 #[cfg(test)]
@@ -134,6 +163,17 @@ mod tests {
             st_eq.density_ratio
         );
         assert!(st_id.density_ratio < 6.2);
+    }
+
+    #[test]
+    fn try_standoff_rejects_unphysical_inputs() {
+        assert!(try_standoff_estimate(1.0, 0.9).is_err());
+        assert!(try_standoff_estimate(1.0, 1.0).is_err());
+        assert!(try_standoff_estimate(-0.5, 6.0).is_err());
+        assert!(try_standoff_estimate(f64::NAN, 6.0).is_err());
+        assert!(try_standoff_estimate(1.0, f64::NAN).is_err());
+        let d = try_standoff_estimate(1.0, 6.0).unwrap();
+        assert_eq!(d, standoff_estimate(1.0, 6.0));
     }
 
     #[test]

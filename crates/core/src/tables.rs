@@ -81,13 +81,30 @@ impl Table {
         out
     }
 
-    /// Render as CSV.
+    /// Render as CSV (RFC 4180): cells containing commas, double quotes,
+    /// or line breaks are quoted, with embedded quotes doubled. The numeric
+    /// output of [`Table::row_f64`] never needs quoting, so those tables
+    /// render byte-identically to the pre-quoting format.
     #[must_use]
     pub fn to_csv(&self) -> String {
-        let mut out = self.headers.join(",");
+        let quote = |cell: &str| -> String {
+            if cell.contains(',')
+                || cell.contains('"')
+                || cell.contains('\n')
+                || cell.contains('\r')
+            {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let join = |cells: &[String]| -> String {
+            cells.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+        };
+        let mut out = join(&self.headers);
         out.push('\n');
         for row in &self.rows {
-            out.push_str(&row.join(","));
+            out.push_str(&join(row));
             out.push('\n');
         }
         out
@@ -127,5 +144,46 @@ mod tests {
     fn wrong_arity_rejected() {
         let mut t = Table::new(&["only"]);
         t.row(&["a".into(), "b".into()]);
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = Table::new(&["name", "note"]);
+        t.row(&["a,b".into(), "plain".into()]);
+        t.row(&["say \"hi\"".into(), "line\nbreak".into()]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.split('\n').collect();
+        assert_eq!(lines[0], "name,note");
+        assert_eq!(lines[1], "\"a,b\",plain");
+        // Embedded quotes doubled, cell quoted; the newline cell keeps its
+        // break inside the quotes.
+        assert_eq!(lines[2], "\"say \"\"hi\"\"\",\"line");
+        assert_eq!(lines[3], "break\"");
+    }
+
+    #[test]
+    fn csv_quotes_header_with_comma() {
+        let t = Table::new(&["q [W/m2]", "rho, kg/m3"]);
+        assert_eq!(t.to_csv(), "q [W/m2],\"rho, kg/m3\"\n");
+    }
+
+    #[test]
+    fn empty_table_renders_headers_only() {
+        let t = Table::new(&["a", "b"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.to_csv(), "a,b\n");
+        let text = t.to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        // Header line + separator, no data rows.
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains('a') && lines[0].contains('b'));
+    }
+
+    #[test]
+    fn numeric_tables_unchanged_by_quoting() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row_f64(&[1.0, -2.5e-3], 3);
+        assert_eq!(t.to_csv(), "a,b\n1.000e0,-2.500e-3\n");
     }
 }

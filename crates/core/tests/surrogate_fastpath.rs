@@ -1,0 +1,137 @@
+//! Property tests for the trajectory-scale surrogate fast path (ISSUE-8):
+//! correlation monotonicity, the surrogate-vs-exact error bound at random
+//! off-grid points, and batch-vs-single bitwise equality.
+
+use std::sync::OnceLock;
+
+use aerothermo_atmosphere::us76::Us76;
+use aerothermo_core::correlations::{detra_kemp_riddell, kemp_riddell, scala, HeatingModel};
+use aerothermo_core::surrogate::{
+    ExactResponse, RadiativeModel, StagnationResponse, SurrogateBuilder, SurrogateQuery,
+    SurrogateTable, P_FLOOR, Q_FLOOR, T_FLOOR,
+};
+use aerothermo_gas::eq_table::air9_table;
+
+const H_RANGE: (f64, f64) = (42_000.0, 78_000.0);
+const V_RANGE: (f64, f64) = (4_000.0, 12_000.0);
+const NOSE_RADIUS: f64 = 0.6;
+
+/// Shared Earth-entry table: built once, reused by every proptest case so
+/// the refinement loop doesn't rerun per case.
+fn earth_table() -> &'static SurrogateTable {
+    static TABLE: OnceLock<SurrogateTable> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let atmosphere = Us76;
+        let mut exact = ExactResponse {
+            atmosphere: &atmosphere,
+            gas: air9_table(),
+            model: HeatingModel::earth_sutton_graves(),
+            radiative: RadiativeModel::TauberSuttonEarthSmooth,
+            nose_radius: NOSE_RADIUS,
+        };
+        SurrogateBuilder::new(H_RANGE, V_RANGE)
+            .initial_grid(17, 17)
+            .build(&mut exact)
+            .expect("earth surrogate table builds")
+    })
+}
+
+/// The builder's relative-error metric: per-channel error against floors
+/// that keep physically negligible channels from inflating the ratio.
+fn rel_err(s: &SurrogateQuery, e: &SurrogateQuery) -> f64 {
+    let p = (s.p_stag - e.p_stag).abs() / e.p_stag.abs().max(P_FLOOR);
+    let t = (s.t_stag - e.t_stag).abs() / e.t_stag.abs().max(T_FLOOR);
+    let qc = (s.q_conv - e.q_conv).abs() / e.q_conv.abs().max(Q_FLOOR);
+    let qr = (s.q_rad - e.q_rad).abs() / e.q_rad.abs().max(Q_FLOOR);
+    p.max(t).max(qc).max(qr)
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::test_runner::ProptestConfig {
+        cases: 48,
+        ..proptest::test_runner::ProptestConfig::default()
+    })]
+
+    /// Every convective correlation in the family grows monotonically with
+    /// freestream density and velocity — the ρ^½ V^n structure all of them
+    /// share.
+    #[test]
+    fn correlations_monotone_in_density_and_velocity(
+        rho_exp in -5.0_f64..-1.0,
+        v in 3_000.0_f64..11_000.0,
+        rho_bump in 1.05_f64..3.0,
+        v_bump in 1.02_f64..1.5,
+    ) {
+        let rho = 10.0_f64.powf(rho_exp);
+        let models: [&dyn Fn(f64, f64) -> f64; 4] = [
+            &|r, vel| kemp_riddell(r, vel, NOSE_RADIUS, 0.0),
+            &|r, vel| scala(r, vel, NOSE_RADIUS),
+            &|r, vel| detra_kemp_riddell(r, vel, NOSE_RADIUS),
+            &|r, vel| HeatingModel::earth_sutton_graves().q_stag(r, vel, NOSE_RADIUS),
+        ];
+        for q in models {
+            let base = q(rho, v);
+            proptest::prop_assert!(base > 0.0);
+            proptest::prop_assert!(q(rho * rho_bump, v) > base);
+            proptest::prop_assert!(q(rho, v * v_bump) > base);
+        }
+    }
+
+    /// At uniformly random in-domain (h, V) the surrogate answer stays
+    /// within the documented per-channel relative-error bound of the exact
+    /// shock/EOS/correlation path.
+    #[test]
+    fn surrogate_matches_exact_within_documented_bound(
+        uh in 0.0_f64..1.0,
+        uv in 0.0_f64..1.0,
+    ) {
+        let table = earth_table();
+        let h = H_RANGE.0 + uh * (H_RANGE.1 - H_RANGE.0);
+        let v = V_RANGE.0 + uv * (V_RANGE.1 - V_RANGE.0);
+        let atmosphere = Us76;
+        let mut exact_path = ExactResponse {
+            atmosphere: &atmosphere,
+            gas: air9_table(),
+            model: HeatingModel::earth_sutton_graves(),
+            radiative: RadiativeModel::TauberSuttonEarthSmooth,
+            nose_radius: NOSE_RADIUS,
+        };
+        let exact = exact_path.evaluate(h, v).expect("exact path solves in-domain");
+        let surrogate = table.query(h, v);
+        let err = rel_err(&surrogate, &exact);
+        proptest::prop_assert!(
+            err <= table.tolerance(),
+            "rel err {err:.3e} over bound {:.3e} at h={h:.0} m, V={v:.0} m/s",
+            table.tolerance()
+        );
+    }
+
+    /// `query_batch` is bitwise identical to per-point `query` for any
+    /// mix of in-domain and out-of-domain (clamped) points.
+    #[test]
+    fn batch_queries_bitwise_match_single(
+        n in 1_usize..64,
+        h_seed in 0.0_f64..1.0,
+        v_seed in 0.0_f64..1.0,
+    ) {
+        let table = earth_table();
+        // Golden-ratio scatter from the sampled seeds: covers in-domain and
+        // out-of-domain (edge-clamped) points without a vector strategy.
+        let (h, v): (Vec<f64>, Vec<f64>) = (0..n)
+            .map(|k| {
+                let uh = (h_seed + k as f64 * 0.618_033_988_749_895).fract();
+                let uv = (v_seed + k as f64 * 0.754_877_666_246_693).fract();
+                (30_000.0 + uh * 60_000.0, 2_000.0 + uv * 13_000.0)
+            })
+            .unzip();
+        let mut batch = vec![SurrogateQuery::default(); h.len()];
+        table.query_batch(&h, &v, &mut batch);
+        for i in 0..h.len() {
+            let single = table.query(h[i], v[i]);
+            proptest::prop_assert_eq!(single.p_stag.to_bits(), batch[i].p_stag.to_bits());
+            proptest::prop_assert_eq!(single.t_stag.to_bits(), batch[i].t_stag.to_bits());
+            proptest::prop_assert_eq!(single.q_conv.to_bits(), batch[i].q_conv.to_bits());
+            proptest::prop_assert_eq!(single.q_rad.to_bits(), batch[i].q_rad.to_bits());
+        }
+    }
+}

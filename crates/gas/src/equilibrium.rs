@@ -199,6 +199,20 @@ struct SolveScratch {
     w: Vec<f64>,
     /// Per-element shifted nuclei sums.
     nel: Vec<f64>,
+    /// Concentration potentials φ_s(T) for the solve temperature.
+    phi: Vec<f64>,
+}
+
+/// Reusable scratch for the allocation-free `_into` solve entries
+/// ([`EquilibriumGas::at_tp_into`], [`EquilibriumGas::at_trho_into`]).
+///
+/// Holding one of these (plus a reused [`EqState`]) across a sweep of
+/// solves keeps the hot path free of per-call heap traffic: the Newton
+/// work buffers, the potential vector, and the composition arrays are all
+/// grown once and reused.
+#[derive(Debug, Default)]
+pub struct EqSolveScratch {
+    inner: SolveScratch,
 }
 
 /// Result of an equilibrium-composition solve.
@@ -222,6 +236,27 @@ pub struct EqState {
     pub enthalpy: f64,
     /// Mixture molar mass \[kg/kmol\].
     pub molar_mass: f64,
+}
+
+impl EqState {
+    /// An empty state to be filled by the `_into` solve entries
+    /// ([`EquilibriumGas::at_tp_into`] and friends). The composition
+    /// vectors start empty and are sized by the first solve; reusing the
+    /// same state across a sweep then performs no further allocation.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            temperature: 0.0,
+            pressure: 0.0,
+            density: 0.0,
+            number_densities: Vec::new(),
+            mass_fractions: Vec::new(),
+            mole_fractions: Vec::new(),
+            energy: 0.0,
+            enthalpy: 0.0,
+            molar_mass: 0.0,
+        }
+    }
 }
 
 /// Equilibrium-gas model: a mixture plus fixed elemental abundances.
@@ -345,7 +380,7 @@ impl EquilibriumGas {
     ) {
         let ns = self.mix.len();
         let ne = self.elements.len();
-        let SolveScratch { lnn, w, nel } = scr;
+        let SolveScratch { lnn, w, nel, .. } = scr;
         lnn.resize(ns, 0.0);
         self.ln_n(lambda, phi, lnn);
 
@@ -555,6 +590,22 @@ impl EquilibriumGas {
         closure: Closure,
         scratch: &mut SolveScratch,
     ) -> Result<EqState, GasError> {
+        let mut out = EqState::empty();
+        self.solve_into(t, closure, scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free core of every equilibrium solve: writes the state
+    /// into `out`, reusing its composition vectors and the scratch's work
+    /// buffers. All arithmetic is identical (expression for expression) to
+    /// the historical allocating path, so results are bitwise unchanged.
+    fn solve_into(
+        &self,
+        t: f64,
+        closure: Closure,
+        scratch: &mut SolveScratch,
+        out: &mut EqState,
+    ) -> Result<(), GasError> {
         aerothermo_numerics::telemetry::counters::add(
             aerothermo_numerics::telemetry::Counter::EquilibriumStates,
             1,
@@ -564,12 +615,16 @@ impl EquilibriumGas {
             aerothermo_numerics::metrics::Timer::EquilibriumNewton,
         );
         let ns = self.mix.len();
-        let phi: Vec<f64> = self
-            .mix
-            .species()
-            .iter()
-            .map(|s| s.ln_concentration_potential(t))
-            .collect();
+        // Borrow-juggle the φ buffer out of the scratch so the scratch can
+        // still be lent to the Newton attempts below.
+        let mut phi = std::mem::take(&mut scratch.phi);
+        phi.clear();
+        phi.extend(
+            self.mix
+                .species()
+                .iter()
+                .map(|s| s.ln_concentration_potential(t)),
+        );
 
         // The scale-free residuals make 1e-9 ample for composition work;
         // rank-deficient trace-species directions can stall the last decades
@@ -662,46 +717,52 @@ impl EquilibriumGas {
             }
             attempt = self.newton_attempt(&mut lambda, &phi, t, closure, &opts, scratch);
         }
-        attempt.map_err(|e| GasError::EquilibriumNotConverged {
-            temperature: t,
-            detail: e.to_string(),
-        })?;
+        if let Err(e) = attempt {
+            scratch.phi = phi;
+            return Err(GasError::EquilibriumNotConverged {
+                temperature: t,
+                detail: e.to_string(),
+            });
+        }
         warm_cache::store(self.id, kind, ln_t, ln_v, &lambda);
 
         scratch.lnn.resize(ns, 0.0);
         self.ln_n(&lambda, &phi, &mut scratch.lnn);
-        let n: Vec<f64> = scratch.lnn.iter().map(|v| v.exp()).collect();
+        scratch.phi = phi;
+        let n = &mut out.number_densities;
+        n.clear();
+        n.extend(scratch.lnn.iter().map(|v| v.exp()));
         let rho: f64 = self
             .mix
             .species()
             .iter()
-            .zip(&n)
+            .zip(n.iter())
             .map(|(sp, ni)| sp.particle_mass() * ni)
             .sum();
         let ntot: f64 = n.iter().sum();
         let p = ntot * K_BOLTZMANN * t;
-        let y: Vec<f64> = self
-            .mix
-            .species()
-            .iter()
-            .zip(&n)
-            .map(|(sp, ni)| sp.particle_mass() * ni / rho)
-            .collect();
-        let x: Vec<f64> = n.iter().map(|ni| ni / ntot).collect();
-        let e = self.mix.e_total(t, &y);
+        let y = &mut out.mass_fractions;
+        y.clear();
+        y.extend(
+            self.mix
+                .species()
+                .iter()
+                .zip(out.number_densities.iter())
+                .map(|(sp, ni)| sp.particle_mass() * ni / rho),
+        );
+        let x = &mut out.mole_fractions;
+        x.clear();
+        x.extend(out.number_densities.iter().map(|ni| ni / ntot));
+        let e = self.mix.e_total(t, &out.mass_fractions);
         let h = e + p / rho;
         let mbar = rho / ntot * aerothermo_numerics::constants::N_AVOGADRO;
-        Ok(EqState {
-            temperature: t,
-            pressure: p,
-            density: rho,
-            number_densities: n,
-            mass_fractions: y,
-            mole_fractions: x,
-            energy: e,
-            enthalpy: h,
-            molar_mass: mbar,
-        })
+        out.temperature = t;
+        out.pressure = p;
+        out.density = rho;
+        out.energy = e;
+        out.enthalpy = h;
+        out.molar_mass = mbar;
+        Ok(())
     }
 
     /// Equilibrium composition at fixed temperature and pressure.
@@ -720,6 +781,38 @@ impl EquilibriumGas {
     /// cannot converge.
     pub fn at_trho(&self, t: f64, rho: f64) -> Result<EqState, GasError> {
         self.solve(t, Closure::Density(rho))
+    }
+
+    /// Allocation-free [`EquilibriumGas::at_tp`]: writes the state into
+    /// `out`, reusing its composition vectors and the caller-held scratch.
+    /// Results are bitwise identical to [`EquilibriumGas::at_tp`] — the
+    /// arithmetic is shared; only the buffer ownership differs.
+    ///
+    /// # Errors
+    /// Same as [`EquilibriumGas::at_tp`].
+    pub fn at_tp_into(
+        &self,
+        t: f64,
+        p: f64,
+        scratch: &mut EqSolveScratch,
+        out: &mut EqState,
+    ) -> Result<(), GasError> {
+        self.solve_into(t, Closure::Pressure(p), &mut scratch.inner, out)
+    }
+
+    /// Allocation-free [`EquilibriumGas::at_trho`]; see
+    /// [`EquilibriumGas::at_tp_into`].
+    ///
+    /// # Errors
+    /// Same as [`EquilibriumGas::at_trho`].
+    pub fn at_trho_into(
+        &self,
+        t: f64,
+        rho: f64,
+        scratch: &mut EqSolveScratch,
+        out: &mut EqState,
+    ) -> Result<(), GasError> {
+        self.solve_into(t, Closure::Density(rho), &mut scratch.inner, out)
     }
 
     /// Micro-batched [`EquilibriumGas::at_trho`]: solve a slice of

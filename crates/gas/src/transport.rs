@@ -94,6 +94,24 @@ pub fn mixture_viscosity(mix: &Mixture, t: f64, y: &[f64]) -> f64 {
     wilke_mix(mix, &x, &phi)
 }
 
+/// Allocation-free [`mixture_viscosity`]: the caller supplies the mole
+/// fraction and per-species viscosity work buffers (resized as needed, so
+/// they can start empty and be reused across a sweep). Bitwise identical
+/// to [`mixture_viscosity`].
+pub fn mixture_viscosity_with(
+    mix: &Mixture,
+    t: f64,
+    y: &[f64],
+    x: &mut Vec<f64>,
+    phi: &mut Vec<f64>,
+) -> f64 {
+    x.resize(mix.len(), 0.0);
+    mix.mass_to_mole_into(y, x);
+    phi.clear();
+    phi.extend(mix.species().iter().map(|s| species_viscosity(s, t)));
+    wilke_mix(mix, x, phi)
+}
+
 /// Mixture frozen thermal conductivity \[W/(m·K)\] from mass fractions.
 #[must_use]
 pub fn mixture_conductivity(mix: &Mixture, t: f64, y: &[f64]) -> f64 {

@@ -81,10 +81,13 @@ pub mod counters {
         /// remainder of [`Counter::FacesEvaluated`] went through the scalar
         /// boundary/tail path).
         FluxSimdFaces,
+        /// Stagnation-heating queries answered by the surrogate fast path
+        /// (single and batched).
+        SurrogateQueries,
     }
 
     /// Number of distinct counters.
-    pub const N_COUNTERS: usize = 22;
+    pub const N_COUNTERS: usize = 23;
 
     impl Counter {
         /// Every counter, in declaration order.
@@ -111,6 +114,7 @@ pub mod counters {
             Counter::EquilibriumBatchLanes3,
             Counter::EquilibriumBatchLanes4,
             Counter::FluxSimdFaces,
+            Counter::SurrogateQueries,
         ];
 
         /// Stable snake_case name (used as the JSON report key).
@@ -139,6 +143,7 @@ pub mod counters {
                 Counter::EquilibriumBatchLanes3 => "equilibrium_batch_lanes_3",
                 Counter::EquilibriumBatchLanes4 => "equilibrium_batch_lanes_4",
                 Counter::FluxSimdFaces => "flux_simd_faces",
+                Counter::SurrogateQueries => "surrogate_queries",
             }
         }
     }

@@ -144,6 +144,7 @@ pub struct FayRiddellInputs {
 }
 
 /// Evaluate the Fay-Riddell correlation.
+#[inline]
 #[must_use]
 pub fn fay_riddell(inp: &FayRiddellInputs) -> f64 {
     let le_term = 1.0 + (inp.lewis.powf(0.52) - 1.0) * inp.h_d_frac;
@@ -156,6 +157,7 @@ pub fn fay_riddell(inp: &FayRiddellInputs) -> f64 {
 }
 
 /// Newtonian stagnation velocity gradient `du_e/dx = (1/R_n)·√(2(p_e−p_∞)/ρ_e)`.
+#[inline]
 #[must_use]
 pub fn newtonian_velocity_gradient(nose_radius: f64, p_e: f64, p_inf: f64, rho_e: f64) -> f64 {
     (2.0 * (p_e - p_inf).max(0.0) / rho_e).sqrt() / nose_radius
@@ -164,6 +166,7 @@ pub fn newtonian_velocity_gradient(nose_radius: f64, p_e: f64, p_inf: f64, rho_e
 /// Sutton-Graves engineering stagnation heating `q = k·√(ρ/R_n)·V³`
 /// \[W/m²\]; `k = 1.7415e-4` (SI) for Earth air, ≈ 1.7e-4 for Titan's
 /// N₂-dominated atmosphere.
+#[inline]
 #[must_use]
 pub fn sutton_graves(k: f64, rho: f64, nose_radius: f64, velocity: f64) -> f64 {
     k * (rho / nose_radius).sqrt() * velocity.powi(3)
@@ -174,6 +177,7 @@ pub const SUTTON_GRAVES_EARTH: f64 = 1.7415e-4;
 
 /// Lees' laminar heating distribution over a hemisphere: `q(θ)/q_stag` for
 /// polar angle θ from the stagnation point (modified-Newtonian pressure).
+#[inline]
 #[must_use]
 pub fn lees_hemisphere_ratio(theta: f64) -> f64 {
     // Lees (1956): for a sphere,
@@ -275,6 +279,7 @@ pub fn lees_distribution(
 /// Flat-plate laminar reference heating (Eckert flat-plate correlation):
 /// `q = 0.332·Pr^{-2/3}·√(ρ_e μ_e u_e / x)·u_e·(h_aw − h_w)/u_e` — returned
 /// as the Stanton-number-based heat flux \[W/m²\] at distance `x`.
+#[inline]
 #[must_use]
 pub fn flat_plate_heating(
     rho_e: f64,
