@@ -234,6 +234,18 @@ impl SurrogateTable {
         }
     }
 
+    /// Whether `(altitude, velocity)` lies inside the table corridor, i.e.
+    /// whether [`SurrogateTable::query`] interpolates rather than clamps.
+    /// A resident-table server uses this to route out-of-corridor queries
+    /// to the exact [`StagnationResponse`] path instead of silently
+    /// answering with edge-clamped values.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, altitude: f64, velocity: f64) -> bool {
+        let ((h0, h1), (v0, v1)) = self.domain();
+        altitude >= h0 && altitude <= h1 && velocity >= v0 && velocity <= v1
+    }
+
     /// Single surrogate query at `(altitude [m], velocity [m/s])`.
     /// Out-of-domain inputs clamp to the table edges.
     #[inline]
@@ -431,6 +443,7 @@ impl SurrogateBuilder {
                     refine_passes: passes,
                     max_sampled_rel_err: worst,
                 };
+                counters::add(Counter::SurrogateBuilds, 1);
                 return Ok(table);
             }
             passes += 1;

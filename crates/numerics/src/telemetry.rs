@@ -84,10 +84,18 @@ pub mod counters {
         /// Stagnation-heating queries answered by the surrogate fast path
         /// (single and batched).
         SurrogateQueries,
+        /// Surrogate response-surface tables built (each build walks the
+        /// exact path over the whole grid, so a resident table should pin
+        /// this at 1 while `SurrogateQueries` grows).
+        SurrogateBuilds,
+        /// Stagnation-heating queries that fell back to the exact
+        /// `StagnationResponse` path because the point lay outside the
+        /// resident table's corridor.
+        SurrogateExactFallbacks,
     }
 
     /// Number of distinct counters.
-    pub const N_COUNTERS: usize = 23;
+    pub const N_COUNTERS: usize = 25;
 
     impl Counter {
         /// Every counter, in declaration order.
@@ -115,6 +123,8 @@ pub mod counters {
             Counter::EquilibriumBatchLanes4,
             Counter::FluxSimdFaces,
             Counter::SurrogateQueries,
+            Counter::SurrogateBuilds,
+            Counter::SurrogateExactFallbacks,
         ];
 
         /// Stable snake_case name (used as the JSON report key).
@@ -144,6 +154,8 @@ pub mod counters {
                 Counter::EquilibriumBatchLanes4 => "equilibrium_batch_lanes_4",
                 Counter::FluxSimdFaces => "flux_simd_faces",
                 Counter::SurrogateQueries => "surrogate_queries",
+                Counter::SurrogateBuilds => "surrogate_builds",
+                Counter::SurrogateExactFallbacks => "surrogate_exact_fallbacks",
             }
         }
     }

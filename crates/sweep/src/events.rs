@@ -134,21 +134,43 @@ impl EventSink {
         ));
     }
 
-    /// Periodic progress pulse: worker utilization and a naive ETA
-    /// (`elapsed / done * remaining`, `null` until the first case lands).
-    pub fn heartbeat(&self, busy: usize, workers: usize, done: usize, total: usize) {
+    /// Periodic progress pulse: worker utilization in `[0, 1]` and a
+    /// completion ETA.
+    ///
+    /// `done_wall_secs` is the cumulative wall time of the `done` recorded
+    /// cases; the ETA is their mean wall time scaled by the remaining case
+    /// count over the active workers
+    /// (`mean_case_secs * remaining / busy.clamp(1, workers)`), `null`
+    /// until the first case lands. The old `elapsed/done * remaining`
+    /// extrapolation was biased early during ramp-up: cases mid-flight
+    /// inflated `elapsed` without advancing `done`, so the first
+    /// heartbeats after a slow case overshot wildly and the estimate only
+    /// converged once the pool reached steady state. Utilization is
+    /// clamped so transient `busy > workers` readings (and a 0-clamped
+    /// worker count) can never emit a ratio above 1.
+    pub fn heartbeat(
+        &self,
+        busy: usize,
+        workers: usize,
+        done: usize,
+        total: usize,
+        done_wall_secs: f64,
+    ) {
         let t = self.elapsed_secs();
-        let eta = if done > 0 && total >= done {
-            json::write_f64(t / done as f64 * (total - done) as f64)
+        let eta = if done > 0 && total >= done && done_wall_secs.is_finite() {
+            let mean_case_secs = done_wall_secs.max(0.0) / done as f64;
+            let active = busy.clamp(1, workers.max(1)) as f64;
+            json::write_f64(mean_case_secs * (total - done) as f64 / active)
         } else {
             "null".to_string()
         };
+        let utilization = (busy as f64 / workers.max(1) as f64).clamp(0.0, 1.0);
         self.emit(&format!(
             "\"event\": \"heartbeat\", \"t_secs\": {}, \"busy\": {busy}, \
              \"workers\": {workers}, \"done\": {done}, \"total\": {total}, \
              \"utilization\": {}, \"eta_secs\": {eta}",
             json::write_f64(t),
-            json::write_f64(busy as f64 / workers.max(1) as f64),
+            json::write_f64(utilization),
         ));
     }
 
@@ -284,7 +306,7 @@ mod tests {
         let sink = EventSink::create(&path).unwrap();
         sink.plan_started("p", 2, 1);
         sink.case_started("a", 0);
-        sink.heartbeat(1, 1, 0, 2);
+        sink.heartbeat(1, 1, 0, 2, 0.0);
         sink.case_finished("a", "completed", 0, 0.01);
         sink.plan_finished(1, 0, 0, 0, false, 0.02);
         let text = std::fs::read_to_string(&path).unwrap();
@@ -325,6 +347,58 @@ mod tests {
         assert!(na.trim_end().ends_with('}'));
         let last = na.lines().last().unwrap();
         assert!(last.contains("plan_finished"));
+    }
+
+    #[test]
+    fn heartbeat_schema_eta_and_utilization_are_sane() {
+        let dir = std::env::temp_dir().join(format!("sweep-hb-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hb.jsonl").to_str().unwrap().to_string();
+        let sink = EventSink::create(&path).unwrap();
+        // Ramp-up: nothing done yet — ETA must be null, not an
+        // extrapolation from in-flight cases.
+        sink.heartbeat(3, 4, 0, 10, 0.0);
+        // Steady state: 4 done at a 0.5 s mean, 3 busy of 4 workers.
+        sink.heartbeat(3, 4, 4, 10, 2.0);
+        // Degenerate inputs: 0-clamped workers and busy > workers must not
+        // push utilization above 1; done > total must not yield a negative
+        // ETA (it goes null via the total >= done guard).
+        sink.heartbeat(5, 0, 2, 1, 1.0);
+        drop(sink);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<json::Value> = text.lines().map(|l| json::parse(l).unwrap()).collect();
+        assert_eq!(lines.len(), 3);
+        for (v, line) in lines.iter().zip(text.lines()) {
+            // Schema lock: exactly the fields the CI events gate requires.
+            for key in [
+                "seq",
+                "event",
+                "t_secs",
+                "busy",
+                "workers",
+                "done",
+                "total",
+                "utilization",
+            ] {
+                assert!(v.get(key).is_some(), "heartbeat missing '{key}': {line}");
+            }
+            assert!(line.contains("\"eta_secs\":"), "missing eta_secs: {line}");
+            let u = v.get("utilization").unwrap().as_f64().unwrap();
+            assert!((0.0..=1.0).contains(&u), "utilization {u} out of [0,1]");
+        }
+        assert!(
+            lines[0].get("eta_secs").unwrap().is_null(),
+            "no ETA before the first case lands"
+        );
+        // mean 0.5 s × 6 remaining / 3 active = 1.0 s.
+        let eta = lines[1].get("eta_secs").unwrap().as_f64().unwrap();
+        assert!((eta - 1.0).abs() < 1e-12, "eta {eta}");
+        assert!(lines[2].get("eta_secs").unwrap().is_null());
+        assert!(
+            (lines[2].get("utilization").unwrap().as_f64().unwrap() - 1.0).abs() < 1e-12,
+            "0-clamped workers must saturate at 1.0, not exceed it"
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

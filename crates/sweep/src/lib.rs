@@ -50,5 +50,8 @@ pub mod spec;
 pub mod store;
 
 pub use plan::SweepPlan;
-pub use pool::{run_sweep, CaseOutcome, CaseStatus, ScheduleOrder, SweepOptions, SweepReport};
+pub use pool::{
+    run_sweep, CaseOutcome, CaseStatus, RecordHook, ScheduleOrder, SweepOptions, SweepReport,
+};
 pub use spec::{CaseSpec, FlowSpec, GasSpec, LevelSpec};
+pub use store::{load_records, load_store, normalized_fingerprint, StoreLoad};

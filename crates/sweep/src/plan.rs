@@ -179,6 +179,16 @@ impl SweepPlan {
     /// the [`SweepPlan::validate`] invariants).
     pub fn parse(doc: &str) -> Result<Self, SolverError> {
         let v = json::parse(doc).map_err(|e| SolverError::BadInput(format!("plan JSON: {e}")))?;
+        Self::from_json(&v)
+    }
+
+    /// Deserialize a plan from an already-parsed JSON value (e.g. the
+    /// `plan` member of an `aerothermod` `submit` request).
+    ///
+    /// # Errors
+    /// [`SolverError::BadInput`] on schema violations (including the
+    /// [`SweepPlan::validate`] invariants).
+    pub fn from_json(v: &Value) -> Result<Self, SolverError> {
         let name = v
             .get("name")
             .and_then(Value::as_str)

@@ -18,9 +18,25 @@ use aerothermo_solvers::audit;
 use rayon::ThreadPoolBuilder;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Observer invoked (from the recording worker's thread) after each case
+/// record lands in the store and the in-memory outcome list — the
+/// progress-subscription hook a job server uses to track live sweep
+/// progress without polling the store file.
+pub type RecordHook = Arc<dyn Fn(&CaseOutcome) + Send + Sync>;
+
+/// Lock a pool-internal mutex, recovering from poisoning. The protected
+/// state is a plain `VecDeque`/`Vec`/writer with no invariants spanning
+/// the critical section, so a panic on another worker mid-lock (the thing
+/// that poisons) leaves it fully usable — propagating the poison instead
+/// would cascade one bad case into killing the whole sweep, defeating the
+/// per-case `catch_unwind` isolation.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// How the queue is ordered before workers start pulling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -35,7 +51,7 @@ pub enum ScheduleOrder {
 }
 
 /// Sweep execution policy.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct SweepOptions {
     /// Worker threads (cases in flight at once). Clamped to ≥ 1.
     pub workers: usize,
@@ -72,6 +88,38 @@ pub struct SweepOptions {
     /// Physics-audit cadence in steps propagated to every case
     /// (`--audit=N`); 0 leaves the process-wide cadence untouched.
     pub audit_every: usize,
+    /// External cancellation flag: when set (by another thread — e.g. the
+    /// `aerothermod` service handling a `cancel` request), workers stop
+    /// pulling new cases after finishing the one in flight, the report
+    /// comes back `halted`, and a later run with
+    /// [`SweepOptions::resume`] picks up exactly where the store left off.
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Per-record progress subscription (see [`RecordHook`]); `None`
+    /// disables it.
+    pub record_hook: Option<RecordHook>,
+}
+
+impl std::fmt::Debug for SweepOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepOptions")
+            .field("workers", &self.workers)
+            .field("order", &self.order)
+            .field("store_path", &self.store_path)
+            .field("resume", &self.resume)
+            .field("default_timeout_secs", &self.default_timeout_secs)
+            .field("halt_after_cases", &self.halt_after_cases)
+            .field("intra_case_threads", &self.intra_case_threads)
+            .field("events_path", &self.events_path)
+            .field("heartbeat_secs", &self.heartbeat_secs)
+            .field("trace_base", &self.trace_base)
+            .field("audit_every", &self.audit_every)
+            .field(
+                "cancel",
+                &self.cancel.as_ref().map(|c| c.load(Ordering::SeqCst)),
+            )
+            .field("record_hook", &self.record_hook.is_some())
+            .finish()
+    }
 }
 
 impl Default for SweepOptions {
@@ -88,6 +136,8 @@ impl Default for SweepOptions {
             heartbeat_secs: 0.25,
             trace_base: None,
             audit_every: 0,
+            cancel: None,
+            record_hook: None,
         }
     }
 }
@@ -364,9 +414,12 @@ pub fn run_sweep(plan: &SweepPlan, opts: &SweepOptions) -> Result<SweepReport, S
     let ran: Mutex<Vec<CaseOutcome>> = Mutex::new(Vec::new());
     let infra_errors: Mutex<Vec<SolverError>> = Mutex::new(Vec::new());
     let recorded = AtomicUsize::new(0);
+    // Cumulative wall time of this run's recorded cases, in ns — feeds the
+    // heartbeat ETA (mean completed-case wall time × remaining cases).
+    let done_wall_ns = AtomicU64::new(0);
     let stop = AtomicBool::new(false);
     let workers = opts.workers.max(1);
-    let total = queue.lock().unwrap().len();
+    let total = relock(&queue).len();
     let busy = AtomicUsize::new(0);
     let hb_stop = AtomicBool::new(false);
     set_gauge(Gauge::SweepCasesTotal, total as f64);
@@ -383,29 +436,29 @@ pub fn run_sweep(plan: &SweepPlan, opts: &SweepOptions) -> Result<SweepReport, S
         let hb = sink.as_ref().map(|sink| {
             let busy = &busy;
             let recorded = &recorded;
+            let done_wall_ns = &done_wall_ns;
             let hb_stop = &hb_stop;
             let period = opts.heartbeat_secs.max(0.01);
             s.spawn(move || {
-                sink.heartbeat(
-                    busy.load(Ordering::SeqCst),
-                    workers,
-                    recorded.load(Ordering::SeqCst),
-                    total,
-                );
+                let pulse = |busy_now: usize| {
+                    sink.heartbeat(
+                        busy_now,
+                        workers,
+                        recorded.load(Ordering::SeqCst),
+                        total,
+                        done_wall_ns.load(Ordering::SeqCst) as f64 / 1e9,
+                    );
+                };
+                pulse(busy.load(Ordering::SeqCst));
                 let mut last = Instant::now();
                 while !hb_stop.load(Ordering::SeqCst) {
                     std::thread::sleep(Duration::from_millis(20));
                     if last.elapsed().as_secs_f64() >= period {
-                        sink.heartbeat(
-                            busy.load(Ordering::SeqCst),
-                            workers,
-                            recorded.load(Ordering::SeqCst),
-                            total,
-                        );
+                        pulse(busy.load(Ordering::SeqCst));
                         last = Instant::now();
                     }
                 }
-                sink.heartbeat(0, workers, recorded.load(Ordering::SeqCst), total);
+                pulse(0);
             })
         });
         let handles: Vec<_> = (0..workers)
@@ -415,6 +468,7 @@ pub fn run_sweep(plan: &SweepPlan, opts: &SweepOptions) -> Result<SweepReport, S
                 let ran = &ran;
                 let infra_errors = &infra_errors;
                 let recorded = &recorded;
+                let done_wall_ns = &done_wall_ns;
                 let stop = &stop;
                 let busy = &busy;
                 let sink = sink.as_ref();
@@ -422,7 +476,13 @@ pub fn run_sweep(plan: &SweepPlan, opts: &SweepOptions) -> Result<SweepReport, S
                     if stop.load(Ordering::SeqCst) {
                         break;
                     }
-                    let Some(idx) = queue.lock().unwrap().pop_front() else {
+                    if let Some(cancel) = &opts.cancel {
+                        if cancel.load(Ordering::SeqCst) {
+                            stop.store(true, Ordering::SeqCst);
+                            break;
+                        }
+                    }
+                    let Some(idx) = relock(queue).pop_front() else {
                         break;
                     };
                     let case = &plan.cases[idx];
@@ -454,13 +514,26 @@ pub fn run_sweep(plan: &SweepPlan, opts: &SweepOptions) -> Result<SweepReport, S
                         }
                     }
                     if let Some(wr) = writer {
-                        if let Err(e) = wr.lock().unwrap().record(&outcome) {
-                            infra_errors.lock().unwrap().push(e);
+                        if let Err(e) = relock(wr).record(&outcome) {
+                            relock(infra_errors).push(e);
                             stop.store(true, Ordering::SeqCst);
                             break;
                         }
                     }
-                    ran.lock().unwrap().push(outcome);
+                    let wall_ns = (outcome.wall_secs.max(0.0) * 1e9) as u64;
+                    {
+                        let mut finished = relock(ran);
+                        finished.push(outcome);
+                        // The hook runs on this worker's thread while the
+                        // outcome list is locked; a panicking subscriber
+                        // poisons it, which `relock` recovers from (the
+                        // regression test for the poison-cascade bug
+                        // injects its panic exactly here).
+                        if let Some(hook) = &opts.record_hook {
+                            hook(finished.last().expect("just pushed"));
+                        }
+                    }
+                    done_wall_ns.fetch_add(wall_ns, Ordering::SeqCst);
                     let n = recorded.fetch_add(1, Ordering::SeqCst) + 1;
                     set_gauge(Gauge::SweepCasesDone, n as f64);
                     if opts.halt_after_cases.is_some_and(|k| n >= k) {
@@ -476,13 +549,16 @@ pub fn run_sweep(plan: &SweepPlan, opts: &SweepOptions) -> Result<SweepReport, S
         drop(hb); // scope joins it; the drop just documents the hand-off
     });
 
-    if let Some(e) = infra_errors.into_inner().unwrap().into_iter().next() {
+    let infra_errors = infra_errors
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+    if let Some(e) = infra_errors.into_iter().next() {
         return Err(e);
     }
 
     // Assemble plan-order outcomes: executed this run, or resumed from the
     // prior store. Cases never reached (halt drill) are simply absent.
-    let ran = ran.into_inner().unwrap();
+    let ran = ran.into_inner().unwrap_or_else(PoisonError::into_inner);
     let by_id: HashMap<&str, &CaseOutcome> = ran.iter().map(|o| (o.id.as_str(), o)).collect();
     let mut outcomes = Vec::with_capacity(plan.cases.len());
     for case in &plan.cases {
@@ -504,7 +580,11 @@ pub fn run_sweep(plan: &SweepPlan, opts: &SweepOptions) -> Result<SweepReport, S
         figure: plan.name.clone(),
         elapsed_secs: t0.elapsed().as_secs_f64(),
         workers,
-        halted: opts.halt_after_cases.is_some() && stop.load(Ordering::SeqCst),
+        halted: (opts.halt_after_cases.is_some() && stop.load(Ordering::SeqCst))
+            || opts
+                .cancel
+                .as_ref()
+                .is_some_and(|c| c.load(Ordering::SeqCst)),
         planned: plan.cases.len(),
         outcomes,
     };
@@ -660,6 +740,97 @@ mod tests {
         // The store now holds all 5 (2 from run one, 3 from run two).
         let records = load_records(&path).unwrap();
         assert_eq!(records.len(), 5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn record_time_panic_does_not_poison_the_sweep() {
+        // Regression test for the poison cascade: a panic on a worker
+        // thread *while it holds the shared outcome mutex* (injected via
+        // the record hook, which runs inside that critical section) used
+        // to poison the lock; every other worker's bare `.unwrap()` then
+        // panicked in turn and the final `into_inner().unwrap()` killed
+        // the whole sweep — one bad subscriber cascading past the
+        // per-case catch_unwind isolation. With `PoisonError::into_inner`
+        // recovery the panicking worker dies alone and the survivors
+        // drain the queue.
+        let path = tmp("poison.jsonl");
+        std::fs::remove_file(&path).ok();
+        let fired = Arc::new(AtomicBool::new(false));
+        let hook_fired = fired.clone();
+        let report = run_sweep(
+            &synthetic_plan(6, "ok"),
+            &SweepOptions {
+                workers: 2,
+                store_path: Some(path.clone()),
+                record_hook: Some(Arc::new(move |_o: &CaseOutcome| {
+                    if !hook_fired.swap(true, Ordering::SeqCst) {
+                        panic!("injected record-time panic");
+                    }
+                })),
+                ..SweepOptions::default()
+            },
+        )
+        .expect("sweep must survive a record-time panic");
+        assert!(fired.load(Ordering::SeqCst), "the injected panic fired");
+        assert_eq!(report.outcomes.len(), 6, "all cases recorded");
+        assert!(report.all_green(), "every case still completed");
+        assert_eq!(
+            load_records(&path).unwrap().len(),
+            6,
+            "the store is complete too"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn external_cancel_stops_the_sweep_resumably() {
+        let path = tmp("cancel.jsonl");
+        std::fs::remove_file(&path).ok();
+        let plan = synthetic_plan(8, "ok");
+        let cancel = Arc::new(AtomicBool::new(false));
+        let seen = Arc::new(AtomicUsize::new(0));
+        // Cancel from the record hook after the 2nd record lands — the
+        // same wiring a job server uses, without timing races.
+        let (c2, s2) = (cancel.clone(), seen.clone());
+        let report = run_sweep(
+            &plan,
+            &SweepOptions {
+                workers: 1,
+                store_path: Some(path.clone()),
+                cancel: Some(cancel.clone()),
+                record_hook: Some(Arc::new(move |_o: &CaseOutcome| {
+                    if s2.fetch_add(1, Ordering::SeqCst) + 1 >= 2 {
+                        c2.store(true, Ordering::SeqCst);
+                    }
+                })),
+                ..SweepOptions::default()
+            },
+        )
+        .expect("cancelled sweep still reports");
+        assert!(report.halted, "a cancelled sweep reports halted");
+        assert_eq!(report.outcomes.len(), 2, "worker stopped pulling");
+        // Resume completes the remainder without re-running the first two.
+        let report = run_sweep(
+            &plan,
+            &SweepOptions {
+                workers: 2,
+                store_path: Some(path.clone()),
+                resume: true,
+                ..SweepOptions::default()
+            },
+        )
+        .expect("resume after cancel");
+        assert_eq!(report.outcomes.len(), 8);
+        assert_eq!(
+            report
+                .outcomes
+                .iter()
+                .filter(|o| o.status == CaseStatus::Resumed)
+                .count(),
+            2
+        );
+        assert!(report.all_green());
         std::fs::remove_file(&path).ok();
     }
 

@@ -133,6 +133,22 @@ impl CaseOutcome {
     /// # Errors
     /// [`SolverError::BadInput`] on malformed lines.
     pub fn parse(line: &str) -> Result<Self, SolverError> {
+        Self::parse_with_warnings(line).map(|(rec, _)| rec)
+    }
+
+    /// Parse one JSONL line, also reporting how many counter entries were
+    /// dropped because their names are not in the current
+    /// [`Counter::ALL`](aerothermo_numerics::telemetry::Counter::ALL) set
+    /// (a version-skewed store written by a build with different counters).
+    ///
+    /// Metric values must be numbers or `null` (the writers' NaN/Inf
+    /// encoding, mapped back to NaN); anything else — strings, booleans,
+    /// nested structure — is corruption, not a crash artifact, and is a
+    /// typed error rather than a silent NaN.
+    ///
+    /// # Errors
+    /// [`SolverError::BadInput`] on malformed lines.
+    pub fn parse_with_warnings(line: &str) -> Result<(Self, usize), SolverError> {
         let v =
             json::parse(line).map_err(|e| SolverError::BadInput(format!("record JSON: {e}")))?;
         let req_str = |key: &str| {
@@ -148,28 +164,54 @@ impl CaseOutcome {
                 .ok_or_else(|| SolverError::BadInput(format!("record missing count '{key}'")))
         };
         let metrics = match v.get("metrics").and_then(Value::as_object) {
-            Some(pairs) => pairs
-                .iter()
-                .map(|(name, mv)| (name.clone(), mv.as_f64().unwrap_or(f64::NAN)))
-                .collect(),
+            Some(pairs) => {
+                let mut out = Vec::with_capacity(pairs.len());
+                for (name, mv) in pairs {
+                    let val = match mv {
+                        Value::Null => f64::NAN,
+                        Value::Number(x) => *x,
+                        other => {
+                            return Err(SolverError::BadInput(format!(
+                                "record metric '{name}' must be a number or null, got {other:?}"
+                            )))
+                        }
+                    };
+                    out.push((name.clone(), val));
+                }
+                out
+            }
             None => Vec::new(),
         };
+        let mut unknown_counters = 0usize;
         let counters = match v.get("counters").and_then(Value::as_object) {
-            Some(pairs) => pairs
-                .iter()
-                .filter_map(|(name, cv)| {
+            Some(pairs) => {
+                let mut out = Vec::with_capacity(pairs.len());
+                for (name, cv) in pairs {
                     // Counter names are a closed set; map back to the
                     // static strs so record and live outcomes compare equal.
-                    let name = aerothermo_numerics::telemetry::Counter::ALL
+                    let known = aerothermo_numerics::telemetry::Counter::ALL
                         .iter()
                         .map(|c| c.name())
-                        .find(|n| n == name)?;
-                    Some((name, cv.as_f64()? as u64))
-                })
-                .collect(),
+                        .find(|n| n == name);
+                    let val = cv
+                        .as_f64()
+                        .filter(|x| x.fract() == 0.0 && *x >= 0.0)
+                        .ok_or_else(|| {
+                            SolverError::BadInput(format!(
+                                "record counter '{name}' must be a non-negative integer, \
+                                 got {cv:?}"
+                            ))
+                        })?;
+                    match known {
+                        Some(name) => out.push((name, val as u64)),
+                        None => unknown_counters += 1,
+                    }
+                }
+                out
+            }
             None => Vec::new(),
         };
-        Ok(Self {
+        let rec = Self {
             id: req_str("id")?.to_string(),
             status: CaseStatus::parse(req_str("status")?)?,
             wall_secs: v
@@ -190,8 +232,52 @@ impl CaseOutcome {
                 .get("postmortem")
                 .and_then(Value::as_str)
                 .map(str::to_string),
-        })
+        };
+        Ok((rec, unknown_counters))
     }
+
+    /// The scheduling-independent core of this outcome as one comparable
+    /// string: status, retries, bitwise metric bit patterns, and the
+    /// thread-attributed counters. Wall time and worker index — the only
+    /// legitimately nondeterministic fields — are excluded. Two sweeps of
+    /// the same plan must produce equal fingerprints case for case, which
+    /// is the determinism oracle the sweep tests (and the `aerothermod`
+    /// service drill) compare against.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        let metrics: Vec<String> = self
+            .metrics
+            .iter()
+            .map(|(k, v)| format!("{k}={:016x}", v.to_bits()))
+            .collect();
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        format!(
+            "{}|r{}|{}|{}",
+            self.status.name(),
+            self.retries,
+            metrics.join(","),
+            counters.join(",")
+        )
+    }
+}
+
+/// Order-normalized determinism fingerprint of a record set: sorted by
+/// case ID, each entry `(id, `[`CaseOutcome::fingerprint`]`)`. A store
+/// written in any execution order (different worker counts, kill/resume
+/// splits, service-submitted vs direct runs) normalizes to the same value
+/// when — and only when — the per-case results are bitwise identical.
+#[must_use]
+pub fn normalized_fingerprint(records: &[CaseOutcome]) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = records
+        .iter()
+        .map(|r| (r.id.clone(), r.fingerprint()))
+        .collect();
+    out.sort();
+    out
 }
 
 /// Append-only JSONL writer: every record is written and flushed as one
@@ -258,18 +344,32 @@ impl JsonlWriter {
     }
 }
 
+/// A loaded store plus the data-loss warnings accumulated while parsing
+/// it (see [`load_store`]).
+#[derive(Debug, Clone, Default)]
+pub struct StoreLoad {
+    /// The parsed records, in file (execution) order.
+    pub records: Vec<CaseOutcome>,
+    /// Counter entries dropped across all records because their names are
+    /// unknown to this build (version skew between writer and reader).
+    /// Zero for a store written by the same build.
+    pub unknown_counters: usize,
+}
+
 /// Load all parseable records from a JSONL store. A truncated final line
 /// (the kill-mid-write case) is skipped silently; a missing file is an
 /// empty store. Interior garbage is an error — that's corruption, not a
-/// crash artifact.
+/// crash artifact. Counter entries with unknown names are dropped but
+/// *counted* on the returned [`StoreLoad`], so version-skewed stores load
+/// with the loss surfaced instead of silent.
 ///
 /// # Errors
 /// [`SolverError::BadInput`] on unreadable files or malformed interior
 /// lines.
-pub fn load_records(path: &str) -> Result<Vec<CaseOutcome>, SolverError> {
+pub fn load_store(path: &str) -> Result<StoreLoad, SolverError> {
     let doc = match std::fs::read_to_string(path) {
         Ok(doc) => doc,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(StoreLoad::default()),
         Err(e) => {
             return Err(SolverError::BadInput(format!(
                 "reading store '{path}': {e}"
@@ -277,10 +377,16 @@ pub fn load_records(path: &str) -> Result<Vec<CaseOutcome>, SolverError> {
         }
     };
     let lines: Vec<&str> = doc.lines().filter(|l| !l.trim().is_empty()).collect();
-    let mut records = Vec::with_capacity(lines.len());
+    let mut load = StoreLoad {
+        records: Vec::with_capacity(lines.len()),
+        unknown_counters: 0,
+    };
     for (k, line) in lines.iter().enumerate() {
-        match CaseOutcome::parse(line) {
-            Ok(rec) => records.push(rec),
+        match CaseOutcome::parse_with_warnings(line) {
+            Ok((rec, unknown)) => {
+                load.records.push(rec);
+                load.unknown_counters += unknown;
+            }
             // Only the final line may be a torn write.
             Err(_) if k + 1 == lines.len() && !doc.ends_with('\n') => {}
             Err(e) => {
@@ -291,7 +397,30 @@ pub fn load_records(path: &str) -> Result<Vec<CaseOutcome>, SolverError> {
             }
         }
     }
-    Ok(records)
+    Ok(load)
+}
+
+/// [`load_store`] without the warning channel: unknown-counter drops are
+/// reported to stderr instead of returned.
+///
+/// # Errors
+/// [`SolverError::BadInput`] on unreadable files or malformed interior
+/// lines.
+pub fn load_records(path: &str) -> Result<Vec<CaseOutcome>, SolverError> {
+    let load = load_store(path)?;
+    if load.unknown_counters > 0 {
+        eprintln!(
+            "warning: store '{path}' carries {} counter entr{} unknown to this \
+             build (version skew); they were dropped",
+            load.unknown_counters,
+            if load.unknown_counters == 1 {
+                "y"
+            } else {
+                "ies"
+            }
+        );
+    }
+    Ok(load.records)
 }
 
 /// The set of case IDs a resumed sweep can skip: those with a
@@ -395,6 +524,60 @@ mod tests {
         assert!(err.to_string().contains("line 4"), "{err}");
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn garbage_metric_values_are_typed_errors_not_nan() {
+        // null is the writers' NaN encoding and must keep loading as NaN …
+        let ok = r#"{"id": "a", "status": "completed", "wall_secs": 0.1, "retries": 0, "worker": 0, "note": "", "error": null, "metrics": {"q": null}, "counters": {}}"#;
+        let rec = CaseOutcome::parse(ok).expect("null metric parses");
+        assert!(rec.metric("q").unwrap().is_nan());
+        // … but a string/bool/array there is corruption, not a NaN.
+        for bad in [r#""oops""#, "true", "[1]", "{}"] {
+            let line = ok.replace("null}", &format!("{bad}}}"));
+            let err = CaseOutcome::parse(&line).expect_err(bad);
+            assert!(
+                err.to_string().contains("must be a number or null"),
+                "{bad}: {err}"
+            );
+            assert!(matches!(err, SolverError::BadInput(_)), "{bad}");
+        }
+    }
+
+    #[test]
+    fn unknown_counters_are_dropped_with_a_warning_count() {
+        let line = r#"{"id": "a", "status": "completed", "wall_secs": 0.1, "retries": 0, "worker": 0, "note": "", "error": null, "metrics": {}, "counters": {"newton_solves": 3, "counter_from_the_future": 7, "another_unknown": 1}}"#;
+        let (rec, unknown) = CaseOutcome::parse_with_warnings(line).expect("parses");
+        assert_eq!(rec.counters, vec![("newton_solves", 3)]);
+        assert_eq!(unknown, 2, "both unknown counters are counted, not lost");
+
+        // Non-integer counter values are corruption.
+        let bad = line.replace("\"newton_solves\": 3", "\"newton_solves\": 3.5");
+        let err = CaseOutcome::parse(&bad).expect_err("fractional counter");
+        assert!(err.to_string().contains("non-negative integer"), "{err}");
+
+        // The warning count aggregates across a whole store load.
+        let dir = std::env::temp_dir().join(format!("sweep-store-warn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("skewed.jsonl");
+        std::fs::write(&path, format!("{line}\n{line}\n")).unwrap();
+        let load = load_store(path.to_str().unwrap()).expect("skewed store loads");
+        assert_eq!(load.records.len(), 2);
+        assert_eq!(load.unknown_counters, 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn normalized_fingerprint_is_order_invariant_and_bitwise() {
+        let a = sample("a", CaseStatus::Completed);
+        let b = sample("b", CaseStatus::Failed);
+        let fwd = normalized_fingerprint(&[a.clone(), b.clone()]);
+        let rev = normalized_fingerprint(&[b, a.clone()]);
+        assert_eq!(fwd, rev, "record order must not matter");
+        // A one-ulp metric change must change the fingerprint.
+        let mut a2 = a;
+        a2.metrics[0].1 = f64::from_bits(a2.metrics[0].1.to_bits() + 1);
+        assert_ne!(a2.fingerprint(), rev[0].1);
     }
 
     #[test]

@@ -5,7 +5,8 @@
 use aerothermo_sweep::spec::{FlowSpec, GasSpec, LevelSpec};
 use aerothermo_sweep::store::load_records;
 use aerothermo_sweep::{
-    run_sweep, CaseStatus, ScheduleOrder, SweepOptions, SweepPlan, SweepReport,
+    normalized_fingerprint, run_sweep, CaseStatus, ScheduleOrder, SweepOptions, SweepPlan,
+    SweepReport,
 };
 
 /// 12 physics cases mixing instant correlations with real VSL solves on
@@ -47,30 +48,12 @@ fn run_with(workers: usize, order: ScheduleOrder) -> SweepReport {
 
 /// Everything scheduling-independent about an outcome: status, retries,
 /// bitwise metrics, and the thread-attributed kernel counters. Wall time
-/// and worker index are the only legitimately nondeterministic fields.
+/// and worker index are the only legitimately nondeterministic fields —
+/// exactly what [`normalized_fingerprint`] captures (it is the shared
+/// helper the service determinism drill compares stores with, so report
+/// and store comparisons use one definition of "identical").
 fn fingerprint(r: &SweepReport) -> Vec<(String, String)> {
-    r.outcomes
-        .iter()
-        .map(|o| {
-            let metrics: Vec<String> = o
-                .metrics
-                .iter()
-                .map(|(k, v)| format!("{k}={:016x}", v.to_bits()))
-                .collect();
-            let counters: Vec<String> =
-                o.counters.iter().map(|(k, v)| format!("{k}={v}")).collect();
-            (
-                o.id.clone(),
-                format!(
-                    "{}|r{}|{}|{}",
-                    o.status.name(),
-                    o.retries,
-                    metrics.join(","),
-                    counters.join(",")
-                ),
-            )
-        })
-        .collect()
+    normalized_fingerprint(&r.outcomes)
 }
 
 #[test]
@@ -123,21 +106,9 @@ fn store_is_order_normalized_across_worker_counts() {
         assert!(report.all_green());
         // The JSONL lands in completion order (nondeterministic with 4
         // workers); normalized by case ID the record set must be identical.
-        let mut records = load_records(&path).expect("store parses");
+        let records = load_records(&path).expect("store parses");
         assert_eq!(records.len(), 12);
-        records.sort_by(|a, b| a.id.cmp(&b.id));
-        let normalized: Vec<(String, String)> = records
-            .iter()
-            .map(|o| {
-                let metrics: Vec<String> = o
-                    .metrics
-                    .iter()
-                    .map(|(k, v)| format!("{k}={:016x}", v.to_bits()))
-                    .collect();
-                (o.id.clone(), metrics.join(","))
-            })
-            .collect();
-        stores.push(normalized);
+        stores.push(normalized_fingerprint(&records));
     }
     assert_eq!(stores[0], stores[1]);
     std::fs::remove_dir_all(&dir).ok();
