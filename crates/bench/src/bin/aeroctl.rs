@@ -7,8 +7,16 @@
 //!   ping                                liveness check
 //!   submit --plan=FILE [--workers=N] [--halt-after=K]
 //!                                       submit a sweep plan, print job id
+//!   submit-shard --plan=FILE --shard=i/n [--shard-strategy=S]
+//!                [--workers=N] [--halt-after=K]
+//!                                       submit one shard of a plan
+//!   federate JOB...                     merge finished shard-job stores
+//!                                       into the canonical store
 //!   status JOB                          one status line for JOB
-//!   wait JOB [--timeout=SECS]           poll until JOB leaves 'running'
+//!   wait JOB [--timeout=SECS]           poll until JOB leaves 'running';
+//!                                       a live progress line shows
+//!                                       done/total, elapsed, and the ETA
+//!                                       from the job's event heartbeats
 //!   results JOB                         print JOB's per-case records (JSONL)
 //!   cancel JOB                          raise JOB's cooperative cancel flag
 //!   resume JOB [--workers=N]            resume an interrupted/halted job
@@ -29,8 +37,9 @@ use aerothermo_sweep::SweepPlan;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: aeroctl --socket=PATH <ping|submit|status|wait|results|cancel|\
-         resume|query|query-batch|metrics|shutdown> [args]  (see --help)"
+        "usage: aeroctl --socket=PATH <ping|submit|submit-shard|federate|status|\
+         wait|results|cancel|resume|query|query-batch|metrics|shutdown> [args]  \
+         (see --help)"
     );
     std::process::exit(2);
 }
@@ -84,6 +93,51 @@ fn main() {
                 .unwrap_or_else(|e| die(&e));
             println!("{job}");
         }
+        "submit-shard" => {
+            let Some(path) = flag_value(&args, "--plan") else {
+                eprintln!("aeroctl: submit-shard requires --plan=FILE");
+                usage();
+            };
+            let Some(shard) = flag_value(&args, "--shard") else {
+                eprintln!("aeroctl: submit-shard requires --shard=i/n");
+                usage();
+            };
+            let plan = SweepPlan::load(&path).unwrap_or_else(|e| die(&e));
+            let strategy = flag_value(&args, "--shard-strategy");
+            let workers = flag_value(&args, "--workers").and_then(|w| w.parse().ok());
+            let halt = flag_value(&args, "--halt-after").and_then(|k| k.parse().ok());
+            let job = client
+                .submit_shard(&plan, &shard, strategy.as_deref(), workers, halt)
+                .unwrap_or_else(|e| die(&e));
+            println!("{job}");
+        }
+        "federate" => {
+            let jobs: Vec<String> = positional[1..].iter().map(|s| (*s).clone()).collect();
+            if jobs.is_empty() {
+                eprintln!("aeroctl: federate requires one or more job ids");
+                usage();
+            }
+            let v = client.federate(&jobs).unwrap_or_else(|e| die(&e));
+            use aerothermo_numerics::json::Value;
+            let report = v.get("report");
+            let merged = report
+                .and_then(|r| r.get("merged"))
+                .and_then(Value::as_f64)
+                .unwrap_or(f64::NAN);
+            let planned = report
+                .and_then(|r| r.get("plan_cases"))
+                .and_then(Value::as_f64)
+                .unwrap_or(f64::NAN);
+            let complete = report.and_then(|r| r.get("complete")) == Some(&Value::Bool(true));
+            println!(
+                "federated {merged}/{planned} case(s) -> {}{}",
+                v.get("store").and_then(Value::as_str).unwrap_or("?"),
+                if complete { "" } else { " [INCOMPLETE]" },
+            );
+            if !complete {
+                std::process::exit(4);
+            }
+        }
         "status" => {
             let Some(job) = positional.get(1) else {
                 usage()
@@ -98,9 +152,17 @@ fn main() {
             let timeout = flag_value(&args, "--timeout")
                 .and_then(|t| t.parse().ok())
                 .unwrap_or(600.0);
+            let started = std::time::Instant::now();
+            let mut progressed = false;
             let st = client
-                .wait(job, Duration::from_secs_f64(timeout))
+                .wait_with(job, Duration::from_secs_f64(timeout), |st| {
+                    print_progress(st, started.elapsed().as_secs_f64());
+                    progressed = true;
+                })
                 .unwrap_or_else(|e| die(&e));
+            if progressed {
+                eprintln!();
+            }
             print_status(&st);
             let phase = st
                 .get("phase")
@@ -205,6 +267,40 @@ fn main() {
             usage();
         }
     }
+}
+
+/// The `wait` progress line: done/total and elapsed from the status
+/// poll, ETA from the newest heartbeat in the job's event stream (the
+/// pool's mean-completed-case estimate — `None` until a case lands).
+fn print_progress(st: &aerothermo_numerics::json::Value, elapsed_secs: f64) {
+    use aerothermo_numerics::json::Value;
+    use std::io::Write;
+    let n = |k: &str| st.get(k).and_then(Value::as_f64).unwrap_or(f64::NAN);
+    let eta = st
+        .get("events")
+        .and_then(Value::as_str)
+        .and_then(last_heartbeat_eta)
+        .map_or_else(String::new, |eta| format!(" eta {eta:.1}s"));
+    eprint!(
+        "\r# {} {:.0}/{:.0} elapsed {elapsed_secs:.1}s{eta}   ",
+        st.get("job").and_then(Value::as_str).unwrap_or("?"),
+        n("done"),
+        n("total"),
+    );
+    let _ = std::io::stderr().flush();
+}
+
+/// `eta_secs` of the last heartbeat line in the events file, if any.
+fn last_heartbeat_eta(events_path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(events_path).ok()?;
+    text.lines()
+        .rev()
+        .filter(|l| l.contains("\"event\": \"heartbeat\""))
+        .find_map(|l| aerothermo_numerics::json::parse(l).ok())
+        .and_then(|v| {
+            v.get("eta_secs")
+                .and_then(aerothermo_numerics::json::Value::as_f64)
+        })
 }
 
 fn print_status(st: &aerothermo_numerics::json::Value) {

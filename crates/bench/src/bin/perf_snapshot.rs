@@ -3,9 +3,10 @@
 //! Runs a fixed suite of the kernels the figure binaries spend their time
 //! in — tridiagonal and block-tridiagonal sweeps, damped-Newton solves,
 //! stiff chemistry integration, direct equilibrium-composition solves,
-//! spectrum integration, and Euler blunt-body steps — under the span
-//! profiler, and writes the merged span statistics plus kernel counter
-//! totals as `BENCH_<label>.json`.
+//! spectrum integration, Euler blunt-body steps, and the distributed-sweep
+//! bookkeeping (plan partitioning, shard-store federation) — under the
+//! span profiler, and writes the merged span statistics plus kernel
+//! counter totals as `BENCH_<label>.json`.
 //!
 //! ```text
 //! perf_snapshot --label=baseline            # writes BENCH_baseline.json
@@ -44,6 +45,10 @@ use aerothermo_radiation::spectra::spectrum;
 use aerothermo_radiation::GasSample;
 use aerothermo_solvers::euler2d::{Bc, BcSet, EulerOptions, EulerSolver};
 use aerothermo_solvers::ns2d::{NsSolver, Transport};
+use aerothermo_sweep::shard::{federate, partition};
+use aerothermo_sweep::spec::{FlowSpec, GasSpec, LevelSpec};
+use aerothermo_sweep::store::{CaseOutcome, CaseStatus, JsonlWriter};
+use aerothermo_sweep::{CaseSpec, ShardStrategy, SweepPlan};
 
 fn arg_value(prefix: &str) -> Option<String> {
     std::env::args().find_map(|a| a.strip_prefix(prefix).map(str::to_string))
@@ -447,6 +452,83 @@ fn run_suite() {
         for _ in 0..120 {
             solver.step();
         }
+    }
+
+    // Distributed-sweep bookkeeping: cost-balanced plan partitioning
+    // (`shard_partition`) and shard-store federation (`federate`) over a
+    // synthetic 512-case plan — the sharding layer's only hot paths.
+    {
+        let mut cases = Vec::with_capacity(512);
+        for k in 0..512usize {
+            #[allow(clippy::cast_precision_loss)]
+            let rho = 1e-5 * (1.0 + (k % 37) as f64);
+            let level = if k % 3 == 0 {
+                LevelSpec::Vsl {
+                    n_points: 20 + (k % 5) * 10,
+                    radiating: false,
+                }
+            } else {
+                LevelSpec::Correlation { k_sg: 1.74e-4 }
+            };
+            cases.push(CaseSpec::new(
+                format!("case-{k:03}"),
+                GasSpec::Air9,
+                level,
+                FlowSpec::new(rho, 7_000.0, 220.0, f64::NAN, 0.5, 1500.0),
+            ));
+        }
+        let plan = SweepPlan {
+            name: "perf_shard".into(),
+            cases,
+        };
+        let mut assigned = 0usize;
+        for _ in 0..100 {
+            let shards = partition(&plan, 8, ShardStrategy::CostBalanced);
+            assigned += shards.iter().map(Vec::len).sum::<usize>();
+        }
+        assert_eq!(assigned, 512 * 100);
+
+        // Synthetic shard stores on disk (federation is an I/O + merge
+        // path; the records never run a solver here).
+        let dir = std::env::temp_dir().join(format!("perf-federate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp shard dir");
+        let shards = partition(&plan, 4, ShardStrategy::RoundRobin);
+        let stores: Vec<String> = shards
+            .iter()
+            .enumerate()
+            .map(|(i, idxs)| {
+                let path = dir
+                    .join(format!("shard-{i}.jsonl"))
+                    .to_str()
+                    .unwrap()
+                    .to_string();
+                let mut w = JsonlWriter::append(&path).expect("shard store opens");
+                for &k in idxs {
+                    #[allow(clippy::cast_precision_loss)]
+                    let q = 1e5 + k as f64;
+                    w.record(&CaseOutcome {
+                        id: plan.cases[k].id.clone(),
+                        status: CaseStatus::Completed,
+                        wall_secs: 0.01,
+                        retries: 0,
+                        worker: 0,
+                        note: String::new(),
+                        error: None,
+                        metrics: vec![("q_conv_w_m2".into(), q)],
+                        counters: Vec::new(),
+                        postmortem: None,
+                    })
+                    .expect("record written");
+                }
+                path
+            })
+            .collect();
+        for _ in 0..50 {
+            let (records, report) = federate(&plan, &stores).expect("federation runs");
+            assert_eq!(records.len(), 512);
+            assert!(report.complete());
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
 

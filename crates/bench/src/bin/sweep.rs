@@ -10,13 +10,25 @@
 //!
 //! Failed cases degrade to records and the exit code stays 0 unless
 //! `--strict` is passed (then a non-green sweep exits 4).
+//!
+//! # Distributed sharding
+//!
+//! `--shard=i/n` runs only shard `i` of an `n`-way deterministic plan
+//! partition (`--shard-strategy=round_robin|cost_balanced`) into a
+//! shard-stamped store (`<out>-shard{i}of{n}.jsonl`); any process
+//! computes the same partition from the plan alone, so shards need no
+//! coordination. `sweep federate --plan=... STORE...` then merges the
+//! shard stores back into the canonical plan-order store, reporting
+//! gaps/overlaps/torn tails (under `--strict`, an incomplete federation
+//! exits 4).
 
 use aerothermo_atmosphere::planets::ExponentialAtmosphere;
 use aerothermo_atmosphere::trajectory::{fly, EntryConditions, StopConditions, Vehicle};
 use aerothermo_bench::{cli, emit};
 use aerothermo_core::tables::Table;
 use aerothermo_sweep::plan::{method_matrix_plan, titan_fig02_plan};
-use aerothermo_sweep::{run_sweep, ScheduleOrder, SweepOptions, SweepPlan};
+use aerothermo_sweep::shard::{federate_to_store, shard_plan, shard_store_path, ShardSpec};
+use aerothermo_sweep::{run_sweep, ScheduleOrder, ShardStrategy, SweepOptions, SweepPlan};
 
 /// The Fig. 2 Titan entry, flown to trajectory points for the preset plan.
 fn titan_trajectory_plan() -> SweepPlan {
@@ -52,14 +64,96 @@ fn select_plan() -> Result<SweepPlan, String> {
     Err("no plan selected: pass --plan=PATH, --fig02-titan, or --fig10-matrix".to_string())
 }
 
+/// The `--shard=i/n` slice (with `--shard-strategy`), if requested.
+fn select_shard() -> Result<Option<ShardSpec>, String> {
+    let strategy = match cli::shard_strategy() {
+        Some(s) => ShardStrategy::parse(&s).map_err(|e| e.to_string())?,
+        None => ShardStrategy::default(),
+    };
+    match cli::shard() {
+        Some(s) => ShardSpec::parse(&s, strategy)
+            .map(Some)
+            .map_err(|e| e.to_string()),
+        None => Ok(None),
+    }
+}
+
+/// `sweep federate --plan=... [--out=PATH] SHARD_STORE...` — merge shard
+/// stores into the canonical store and report. Never returns.
+fn run_federate() -> ! {
+    let plan = match select_plan() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("sweep federate: {e}");
+            std::process::exit(2);
+        }
+    };
+    let shard_paths: Vec<String> = std::env::args()
+        .skip(2)
+        .filter(|a| !a.starts_with("--"))
+        .collect();
+    if shard_paths.is_empty() {
+        eprintln!("sweep federate: no shard stores given (pass one path per shard)");
+        std::process::exit(2);
+    }
+    let out = cli::sweep_store_path(&plan.name);
+    let report = match federate_to_store(&plan, &shard_paths, &out) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sweep federate: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("{}", report.summary());
+    println!("canonical store written to {out}");
+    if let Some(path) = cli::report_path() {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("sweep federate: writing report '{path}': {e}");
+            std::process::exit(2);
+        }
+        eprintln!("# federation report written to {path}");
+    }
+    if !report.complete() {
+        eprintln!(
+            "# warning: federation incomplete ({} gap(s), {} unknown id(s))",
+            report.gaps.len(),
+            report.unknown_ids.len()
+        );
+        if cli::strict() {
+            std::process::exit(aerothermo_sweep::report::STRICT_EXIT_CODE);
+        }
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     cli::announce("sweep");
-    let plan = match select_plan() {
+    if std::env::args().nth(1).as_deref() == Some("federate") {
+        run_federate();
+    }
+    let full_plan = match select_plan() {
         Ok(p) => p,
         Err(e) => {
             eprintln!("sweep: {e}");
             std::process::exit(2);
         }
+    };
+    let shard = match select_shard() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            std::process::exit(2);
+        }
+    };
+    let plan = match &shard {
+        Some(spec) => match shard_plan(&full_plan, spec) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("sweep: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => full_plan,
     };
 
     if let Some(path) = cli::emit_plan() {
@@ -76,21 +170,31 @@ fn main() {
     }
 
     let strict = cli::strict();
+    // Sharded runs stamp the store and events paths so n shards of the
+    // same plan never collide on one file.
+    let stamp = |base: String| match &shard {
+        Some(spec) => shard_store_path(&base, spec),
+        None => base,
+    };
     let opts = SweepOptions {
         workers: cli::workers(),
         order: ScheduleOrder::CheapestFirst,
-        store_path: Some(cli::sweep_store_path(&plan.name)),
+        store_path: Some(stamp(cli::sweep_store_path(&plan.name))),
         resume: cli::resume(),
         default_timeout_secs: cli::timeout_secs(),
         halt_after_cases: cli::halt_after_cases(),
-        events_path: cli::events_path(&plan.name),
+        events_path: cli::events_path(&plan.name).map(stamp),
         trace_base: cli::trace_path(),
         audit_every: cli::audit_cadence().unwrap_or(0),
         ..SweepOptions::default()
     };
     eprintln!(
-        "# sweep '{}': {} cases, {} workers, store {}",
+        "# sweep '{}'{}: {} cases, {} workers, store {}",
         plan.name,
+        shard.map_or_else(String::new, |s| format!(
+            " shard {s} ({})",
+            s.strategy.name()
+        )),
         plan.cases.len(),
         opts.workers,
         opts.store_path.as_deref().unwrap_or("-")

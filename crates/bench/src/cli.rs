@@ -175,6 +175,20 @@ pub fn halt_after_cases() -> Option<usize> {
     value_of("--halt-after-cases").and_then(|n| n.parse().ok())
 }
 
+/// Shard slice, parsed from `--shard=i/n` (raw string; the sweep driver
+/// parses it into an `aerothermo_sweep::ShardSpec`).
+#[must_use]
+pub fn shard() -> Option<String> {
+    value_of("--shard")
+}
+
+/// Shard assignment strategy, parsed from `--shard-strategy=NAME`
+/// (`round_robin`, the default, or `cost_balanced`).
+#[must_use]
+pub fn shard_strategy() -> Option<String> {
+    value_of("--shard-strategy")
+}
+
 /// Sweep lifecycle-event stream destination, parsed from `--events`
 /// (default `<plan>-events.jsonl` by the driver) or `--events=PATH`.
 #[must_use]
@@ -244,6 +258,14 @@ const KNOWN_FLAGS: &[(&str, &str)] = &[
     (
         "--halt-after-cases",
         "=K stop the sweep after K case records",
+    ),
+    (
+        "--shard",
+        "=i/n run only shard i of an n-way deterministic plan partition",
+    ),
+    (
+        "--shard-strategy",
+        "=NAME shard assignment: round_robin (default) or cost_balanced",
     ),
     (
         "--events",
@@ -322,6 +344,8 @@ mod tests {
         assert!(timeout_secs().is_nan());
         assert!(emit_plan().is_none());
         assert!(halt_after_cases().is_none());
+        assert!(shard().is_none());
+        assert!(shard_strategy().is_none());
         assert_eq!(checkpoint_file("figX"), "figX-restart.atrc");
         assert_eq!(sweep_store_path("figX"), "figX-results.jsonl");
         assert!(events_path("figX").is_none());

@@ -136,6 +136,58 @@ impl Client {
             .ok_or_else(|| SolverError::BadInput("submit response missing 'job'".into()))
     }
 
+    /// Submit one shard of `plan` (`shard` is the `i/n` slice string;
+    /// `strategy` is `round_robin`/`cost_balanced`, daemon default when
+    /// `None`), returning the assigned job id.
+    ///
+    /// # Errors
+    /// Plan/shard validation and transport failures.
+    pub fn submit_shard(
+        &mut self,
+        plan: &SweepPlan,
+        shard: &str,
+        strategy: Option<&str>,
+        workers: Option<usize>,
+        halt_after: Option<usize>,
+    ) -> Result<String, SolverError> {
+        let plan_json = plan.to_json().replace('\n', " ");
+        let mut req = format!(
+            "{{\"op\": \"submit_shard\", \"shard\": {}",
+            write_string(shard)
+        );
+        if let Some(s) = strategy {
+            req.push_str(&format!(", \"strategy\": {}", write_string(s)));
+        }
+        if let Some(w) = workers {
+            req.push_str(&format!(", \"workers\": {w}"));
+        }
+        if let Some(k) = halt_after {
+            req.push_str(&format!(", \"halt_after\": {k}"));
+        }
+        req.push_str(&format!(", \"plan\": {plan_json}}}"));
+        let v = self.call(&req)?;
+        v.get("job")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| SolverError::BadInput("submit_shard response missing 'job'".into()))
+    }
+
+    /// Federate the stores of finished shard `jobs` into the canonical
+    /// store; the response carries the merged store path and the
+    /// federation report object.
+    ///
+    /// # Errors
+    /// Unknown/running/mismatched jobs, conflicting overlaps, transport
+    /// failures.
+    pub fn federate(&mut self, jobs: &[String]) -> Result<Value, SolverError> {
+        let ids = jobs
+            .iter()
+            .map(|j| write_string(j))
+            .collect::<Vec<_>>()
+            .join(", ");
+        self.call(&format!("{{\"op\": \"federate\", \"jobs\": [{ids}]}}"))
+    }
+
     /// Poll the status object for `job`.
     ///
     /// # Errors
@@ -153,19 +205,42 @@ impl Client {
     /// # Errors
     /// Transport failures, or `BadInput` once `timeout` elapses.
     pub fn wait(&mut self, job: &str, timeout: Duration) -> Result<Value, SolverError> {
+        self.wait_with(job, timeout, |_| {})
+    }
+
+    /// [`Client::wait`] with a per-poll observer: `on_poll` sees every
+    /// still-running status object (the `aeroctl wait` progress line).
+    ///
+    /// Polling backs off exponentially — 50 ms doubling to a 1 s cap —
+    /// so a long sweep costs a handful of requests instead of a busy
+    /// 20 Hz status loop, while short jobs still return promptly.
+    ///
+    /// # Errors
+    /// Transport failures, or `BadInput` once `timeout` elapses.
+    pub fn wait_with(
+        &mut self,
+        job: &str,
+        timeout: Duration,
+        mut on_poll: impl FnMut(&Value),
+    ) -> Result<Value, SolverError> {
+        const BACKOFF_CAP: Duration = Duration::from_secs(1);
         let deadline = Instant::now() + timeout;
+        let mut backoff = Duration::from_millis(50);
         loop {
             let st = self.status(job)?;
             let phase = st.get("phase").and_then(Value::as_str).unwrap_or("");
             if phase != "running" {
                 return Ok(st);
             }
-            if Instant::now() >= deadline {
+            on_poll(&st);
+            let now = Instant::now();
+            if now >= deadline {
                 return Err(SolverError::BadInput(format!(
                     "timed out waiting for job '{job}' (still running)"
                 )));
             }
-            std::thread::sleep(Duration::from_millis(50));
+            std::thread::sleep(backoff.min(deadline - now));
+            backoff = (backoff * 2).min(BACKOFF_CAP);
         }
     }
 

@@ -1,0 +1,300 @@
+//! Coordinator mode: one `aerothermod` process orchestrating a fleet of
+//! per-shard child daemons over the existing UDS protocol.
+//!
+//! The coordinator spawns `shards` child daemons (each with its own
+//! socket and data directory under the root), submits shard `i/n` of the
+//! plan to child `i` via `submit_shard`, and then monitors the fleet:
+//! a child that dies (SIGKILL, OOM, crash) is respawned on the same data
+//! directory — the registry recovers its job as `interrupted` — and its
+//! job is `resume`d, continuing exactly where the store left off. When
+//! every shard completes, the coordinator shuts the children down and
+//! federates their stores into the canonical plan-order store.
+//!
+//! Everything a child computes is bitwise-deterministic per case, so the
+//! coordinator's federated store equals the single-process store under
+//! the order-normalized fingerprint — kills and respawns included.
+
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use aerothermo_numerics::json::Value;
+use aerothermo_numerics::telemetry::SolverError;
+use aerothermo_sweep::shard::{federate_to_store, FederationReport, ShardSpec};
+use aerothermo_sweep::{ShardStrategy, SweepPlan};
+
+use crate::Client;
+
+/// Fleet policy for [`run_coordinated_sweep`].
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Path of the `aerothermod` binary to spawn for each shard.
+    pub daemon_exe: String,
+    /// Shard count (child daemons).
+    pub shards: usize,
+    /// Case-assignment strategy shared by every shard.
+    pub strategy: ShardStrategy,
+    /// Sweep workers per child daemon.
+    pub workers: usize,
+    /// Root directory for child sockets, data dirs, and the federated
+    /// store (created if missing).
+    pub root_dir: String,
+    /// Fleet status poll cadence.
+    pub poll_interval: Duration,
+    /// Overall wall-clock budget for the coordinated run.
+    pub timeout: Duration,
+    /// Respawn budget *per shard*: a child dying more often than this
+    /// fails the run instead of looping forever.
+    pub max_respawns: usize,
+}
+
+impl CoordinatorConfig {
+    /// Defaults for a fleet rooted at `root_dir` spawning `daemon_exe`.
+    #[must_use]
+    pub fn new(daemon_exe: &str, root_dir: &str, shards: usize) -> Self {
+        Self {
+            daemon_exe: daemon_exe.to_string(),
+            shards: shards.max(1),
+            strategy: ShardStrategy::default(),
+            workers: 1,
+            root_dir: root_dir.to_string(),
+            poll_interval: Duration::from_millis(50),
+            timeout: Duration::from_secs(600),
+            max_respawns: 3,
+        }
+    }
+}
+
+/// Per-shard outcome of a coordinated run.
+#[derive(Debug)]
+pub struct ShardRun {
+    /// The shard this child ran.
+    pub shard: ShardSpec,
+    /// Child daemon socket path.
+    pub socket: String,
+    /// Child registry id of the shard job.
+    pub job: String,
+    /// The shard's JSONL store path.
+    pub store: String,
+    /// Times the child was respawned after dying mid-run.
+    pub respawns: usize,
+}
+
+/// A completed coordinated sweep: the canonical federated store plus the
+/// per-shard trail.
+#[derive(Debug)]
+pub struct CoordinatedSweep {
+    /// Canonical federated store path (`{root_dir}/federated.jsonl`).
+    pub store_path: String,
+    /// The federation report over the shard stores.
+    pub report: FederationReport,
+    /// Per-shard outcomes, shard order.
+    pub shards: Vec<ShardRun>,
+}
+
+/// One child daemon plus its live coordination state.
+struct ShardChild {
+    spec: ShardSpec,
+    socket: String,
+    data_dir: String,
+    child: Child,
+    job: Option<String>,
+    store: Option<String>,
+    respawns: usize,
+    done: bool,
+}
+
+/// Kill every still-running child on scope exit (error paths included);
+/// cleanly shut-down children have already exited and kill is a no-op.
+struct FleetGuard<'a>(&'a mut Vec<ShardChild>);
+
+impl Drop for FleetGuard<'_> {
+    fn drop(&mut self) {
+        for s in self.0.iter_mut() {
+            let _ = s.child.kill();
+            let _ = s.child.wait();
+        }
+    }
+}
+
+fn spawn_daemon(
+    cfg: &CoordinatorConfig,
+    socket: &str,
+    data_dir: &str,
+) -> Result<Child, SolverError> {
+    Command::new(&cfg.daemon_exe)
+        .arg(format!("--socket={socket}"))
+        .arg(format!("--data-dir={data_dir}"))
+        .arg(format!("--workers={}", cfg.workers.max(1)))
+        .arg("--accept-threads=1")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(|e| {
+            SolverError::BadInput(format!("spawning shard daemon '{}': {e}", cfg.daemon_exe))
+        })
+}
+
+fn connect(socket: &str) -> Result<Client, SolverError> {
+    Client::connect_with_retry(socket, Duration::from_secs(10))
+}
+
+/// Run `plan` across a coordinated fleet of child daemons and federate
+/// the result. Blocks until the canonical store is written (or the run
+/// fails); see the module docs for the lifecycle.
+///
+/// # Errors
+/// [`SolverError::BadInput`] on spawn/protocol failures, a shard
+/// exceeding its respawn budget, a shard job reporting `failed`, the
+/// overall timeout, or a federation conflict.
+pub fn run_coordinated_sweep(
+    plan: &SweepPlan,
+    cfg: &CoordinatorConfig,
+) -> Result<CoordinatedSweep, SolverError> {
+    plan.validate()?;
+    std::fs::create_dir_all(&cfg.root_dir).map_err(|e| {
+        SolverError::BadInput(format!("creating coordinator root '{}': {e}", cfg.root_dir))
+    })?;
+    let deadline = Instant::now() + cfg.timeout;
+    let mut fleet: Vec<ShardChild> = Vec::with_capacity(cfg.shards);
+    for i in 0..cfg.shards.max(1) {
+        let spec = ShardSpec::new(i, cfg.shards.max(1), cfg.strategy)?;
+        let socket = format!("{}/shard-{i}.sock", cfg.root_dir);
+        let data_dir = format!("{}/shard-{i}.data", cfg.root_dir);
+        let child = spawn_daemon(cfg, &socket, &data_dir)?;
+        fleet.push(ShardChild {
+            spec,
+            socket,
+            data_dir,
+            child,
+            job: None,
+            store: None,
+            respawns: 0,
+            done: false,
+        });
+    }
+    let guard = FleetGuard(&mut fleet);
+    let fleet = &mut *guard.0;
+
+    // Submit each shard its slice (children compute the identical
+    // partition from the full plan — the spec is just named here).
+    for s in fleet.iter_mut() {
+        let mut c = connect(&s.socket)?;
+        let job = c.submit_shard(
+            plan,
+            &s.spec.to_string(),
+            Some(s.spec.strategy.name()),
+            Some(cfg.workers.max(1)),
+            None,
+        )?;
+        s.job = Some(job);
+    }
+
+    // Monitor: poll each unfinished shard; respawn+resume dead children.
+    while fleet.iter().any(|s| !s.done) {
+        if Instant::now() >= deadline {
+            return Err(SolverError::BadInput(format!(
+                "coordinated sweep timed out after {:?}",
+                cfg.timeout
+            )));
+        }
+        for s in fleet.iter_mut() {
+            if s.done {
+                continue;
+            }
+            // A dead child first: respawn on the same data dir, then
+            // resume its recovered (interrupted) job.
+            if s.child.try_wait().ok().flatten().is_some() {
+                s.respawns += 1;
+                if s.respawns > cfg.max_respawns {
+                    return Err(SolverError::BadInput(format!(
+                        "shard {} died {} times (budget {}); giving up",
+                        s.spec, s.respawns, cfg.max_respawns
+                    )));
+                }
+                s.child = spawn_daemon(cfg, &s.socket, &s.data_dir)?;
+                let mut c = connect(&s.socket)?;
+                match &s.job {
+                    // Killed after submit: the registry recovered the job
+                    // from disk; resume it through the store's skip logic.
+                    Some(job) => {
+                        c.resume(job, Some(cfg.workers.max(1)))?;
+                    }
+                    // Killed before the plan was persisted: submit anew.
+                    None => {
+                        let job = c.submit_shard(
+                            plan,
+                            &s.spec.to_string(),
+                            Some(s.spec.strategy.name()),
+                            Some(cfg.workers.max(1)),
+                            None,
+                        )?;
+                        s.job = Some(job);
+                    }
+                }
+                continue;
+            }
+            let Some(job) = s.job.clone() else { continue };
+            let st = match connect(&s.socket).and_then(|mut c| c.status(&job)) {
+                Ok(st) => st,
+                // The child may have died between try_wait and the call;
+                // the next tick's try_wait sees it and respawns.
+                Err(_) => continue,
+            };
+            match st.get("phase").and_then(Value::as_str).unwrap_or("") {
+                "completed" => {
+                    s.store = st.get("store").and_then(Value::as_str).map(str::to_string);
+                    s.done = true;
+                }
+                "failed" => {
+                    return Err(SolverError::BadInput(format!(
+                        "shard {} job '{job}' failed: {}",
+                        s.spec,
+                        st.get("error").and_then(Value::as_str).unwrap_or("unknown")
+                    )));
+                }
+                // A live daemon whose job stopped early (halted or
+                // cancelled out-of-band): push it forward again.
+                "halted" | "cancelled" | "interrupted" => {
+                    if let Ok(mut c) = connect(&s.socket) {
+                        let _ = c.resume(&job, Some(cfg.workers.max(1)));
+                    }
+                }
+                _ => {}
+            }
+        }
+        std::thread::sleep(cfg.poll_interval);
+    }
+
+    // Fleet drained: shut children down cleanly, then federate.
+    for s in fleet.iter_mut() {
+        if let Ok(mut c) = connect(&s.socket) {
+            let _ = c.shutdown();
+        }
+        let _ = s.child.wait();
+    }
+    let stores: Vec<String> = fleet
+        .iter()
+        .map(|s| {
+            s.store.clone().ok_or_else(|| {
+                SolverError::BadInput(format!("shard {} finished without a store path", s.spec))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let store_path = format!("{}/federated.jsonl", cfg.root_dir);
+    let report = federate_to_store(plan, &stores, &store_path)?;
+    let shards = fleet
+        .iter()
+        .map(|s| ShardRun {
+            shard: s.spec,
+            socket: s.socket.clone(),
+            job: s.job.clone().unwrap_or_default(),
+            store: s.store.clone().unwrap_or_default(),
+            respawns: s.respawns,
+        })
+        .collect();
+    Ok(CoordinatedSweep {
+        store_path,
+        report,
+        shards,
+    })
+}

@@ -22,14 +22,18 @@
 //!   interrupted jobs, and `resume` re-enters the store's skip logic.
 //! * [`client`] — a blocking [`client::Client`] used by `aeroctl`, the
 //!   integration drills, and CI.
+//! * [`coordinator`] — distributed sweeps: one coordinator process
+//!   spawning per-shard child daemons, resuming any shard that dies, and
+//!   federating the shard stores into the canonical plan-order store.
 //!
 //! # Protocol
 //!
 //! One JSON object per line in each direction. Requests carry an `"op"`
 //! field; responses are `{"ok": true, ...}` or
-//! `{"ok": false, "error": "..."}`. Ops: `ping`, `submit`, `status`,
-//! `results`, `cancel`, `resume`, `query`, `query_batch`, `metrics`,
-//! `shutdown`. See `README.md` § Service for the full schemas.
+//! `{"ok": false, "error": "..."}`. Ops: `ping`, `submit`,
+//! `submit_shard`, `federate`, `status`, `results`, `cancel`, `resume`,
+//! `query`, `query_batch`, `metrics`, `shutdown`. See `README.md`
+//! § Service for the full schemas.
 //!
 //! # Determinism
 //!
@@ -43,10 +47,12 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod coordinator;
 pub mod jobs;
 pub mod server;
 
 pub use client::Client;
+pub use coordinator::{run_coordinated_sweep, CoordinatedSweep, CoordinatorConfig};
 pub use jobs::{JobPhase, JobRegistry};
 pub use server::Daemon;
 

@@ -24,7 +24,7 @@ use aerothermo_gas::eq_table::air9_table;
 use aerothermo_numerics::json::{self, write_f64, write_string, Value};
 use aerothermo_numerics::metrics;
 use aerothermo_numerics::telemetry::{counters, Counter, SolverError};
-use aerothermo_sweep::SweepPlan;
+use aerothermo_sweep::{ShardSpec, ShardStrategy, SweepPlan};
 
 use crate::jobs::{Job, JobRegistry};
 use crate::ServiceConfig;
@@ -299,7 +299,7 @@ fn opt_usize(v: &Value, key: &str) -> Result<Option<usize>, SolverError> {
 fn status_json(job: &Job) -> String {
     format!(
         "{{\"ok\": true, \"job\": {}, \"plan\": {}, \"phase\": {}, \"done\": {}, \
-         \"total\": {}, \"error\": {}, \"store\": {}, \"events\": {}}}",
+         \"total\": {}, \"error\": {}, \"store\": {}, \"events\": {}, \"shard\": {}}}",
         write_string(&job.id),
         write_string(&job.plan_name),
         write_string(job.phase().name()),
@@ -309,6 +309,8 @@ fn status_json(job: &Job) -> String {
             .map_or_else(|| "null".into(), |e| write_string(&e)),
         write_string(&job.store_path),
         write_string(&job.events_path),
+        job.shard
+            .map_or_else(|| "null".into(), |s| write_string(&s.to_string())),
     )
 }
 
@@ -360,6 +362,55 @@ fn handle(shared: &Arc<Shared>, line: &str) -> Result<String, SolverError> {
             Ok(format!(
                 "{{\"ok\": true, \"job\": {}, \"planned\": {total}}}",
                 write_string(&id),
+            ))
+        }
+        "submit_shard" => {
+            let plan_v = v.get("plan").ok_or_else(|| {
+                SolverError::BadInput("submit_shard missing object 'plan'".into())
+            })?;
+            let plan = SweepPlan::from_json(plan_v)?;
+            let shard_s = v.get("shard").and_then(Value::as_str).ok_or_else(|| {
+                SolverError::BadInput("submit_shard missing string 'shard' (i/n)".into())
+            })?;
+            let strategy = match v.get("strategy").and_then(Value::as_str) {
+                Some(s) => ShardStrategy::parse(s)?,
+                None => ShardStrategy::default(),
+            };
+            let spec = ShardSpec::parse(shard_s, strategy)?;
+            let workers = opt_usize(&v, "workers")?
+                .unwrap_or(shared.cfg.workers)
+                .max(1);
+            let halt_after = opt_usize(&v, "halt_after")?;
+            let job = shared.jobs.submit_shard(&plan, spec)?;
+            let (id, total) = (job.id.clone(), job.total);
+            spawn_run(job, workers, halt_after);
+            Ok(format!(
+                "{{\"ok\": true, \"job\": {}, \"planned\": {total}, \"shard\": {}}}",
+                write_string(&id),
+                write_string(&spec.to_string()),
+            ))
+        }
+        "federate" => {
+            let ids: Vec<String> = v
+                .get("jobs")
+                .and_then(Value::as_array)
+                .ok_or_else(|| SolverError::BadInput("federate missing array 'jobs'".into()))?
+                .iter()
+                .map(|x| {
+                    x.as_str().map(str::to_string).ok_or_else(|| {
+                        SolverError::BadInput("'jobs' entries must be job id strings".into())
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            let (store, report) = shared.jobs.federate(&ids)?;
+            // The report serializer is multi-line for on-disk readability;
+            // collapse it for the line protocol (string newlines are
+            // escaped by the writer, so this is purely structural).
+            let report_json = report.to_json().replace('\n', " ");
+            Ok(format!(
+                "{{\"ok\": true, \"store\": {}, \"report\": {}}}",
+                write_string(&store),
+                report_json.trim(),
             ))
         }
         "status" => {

@@ -29,6 +29,11 @@
 //! * [`events`] — live JSONL lifecycle-event stream (`--events=PATH`):
 //!   plan/case start/finish/retry lines plus utilization heartbeats,
 //!   order-normalized deterministic across worker counts.
+//! * [`shard`] — distributed scale-out: deterministic case partitioning
+//!   (`--shard=i/n`, round-robin or cost-balanced, a pure function of the
+//!   plan), shard-stamped per-process stores, and the `federate` merge
+//!   engine reconstructing the canonical store with gap/overlap/torn-tail
+//!   detection.
 //!
 //! # Determinism
 //!
@@ -46,12 +51,17 @@ pub mod plan;
 pub mod pool;
 pub mod report;
 pub mod runner;
+pub mod shard;
 pub mod spec;
 pub mod store;
 
 pub use plan::SweepPlan;
 pub use pool::{
     run_sweep, CaseOutcome, CaseStatus, RecordHook, ScheduleOrder, SweepOptions, SweepReport,
+};
+pub use shard::{
+    federate, federate_to_store, shard_plan, shard_store_path, FederationReport, ShardSpec,
+    ShardStrategy,
 };
 pub use spec::{CaseSpec, FlowSpec, GasSpec, LevelSpec};
 pub use store::{load_records, load_store, normalized_fingerprint, StoreLoad};
